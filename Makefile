@@ -1,0 +1,30 @@
+# Convenience targets. Everything is plain pytest / python -m underneath.
+
+.PHONY: install test bench tables tables-large ablations export examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+tables:
+	python -m repro.experiments all --scale medium
+
+tables-large:
+	python -m repro.experiments all --scale large
+
+ablations:
+	python -m repro.experiments ablations --scale medium
+
+export:
+	python -m repro.experiments export --scale medium --out-dir suite-export
+
+examples:
+	@for ex in examples/*.py; do echo "== $$ex"; python $$ex || exit 1; done
+
+clean:
+	rm -rf .pytest_cache suite-export **/__pycache__

@@ -1,0 +1,108 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* Decision heuristic: VSIDS vs static / random / Jeroslow-Wang — what
+  Chaff's heuristic buys on structured instances.
+* Learned-clause minimization: shorter clauses (and usually fewer
+  conflicts) for more recorded resolutions; traces stay checkable.
+* Restart policy: geometric vs Luby vs none.
+* Clause deletion: aggressive deletion vs keep-everything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import DepthFirstChecker
+from repro.generators import pigeonhole
+from repro.circuits import miter_to_cnf, shifter_equivalence_miter
+from repro.solver import Solver, SolverConfig
+from repro.trace import InMemoryTraceWriter
+
+PHP = pigeonhole(7, 6)
+SHIFT = miter_to_cnf(shifter_equivalence_miter(8))
+
+HEURISTICS = ["vsids", "static", "random", "jeroslow-wang"]
+RESTARTS = ["geometric", "luby", "none"]
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_heuristic_php(benchmark, heuristic):
+    def run():
+        result = Solver(PHP, SolverConfig(decision_heuristic=heuristic)).solve()
+        assert result.is_unsat
+        return result
+
+    benchmark.group = "ablation:heuristic:php76"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("heuristic", HEURISTICS)
+def test_heuristic_shift_miter(benchmark, heuristic):
+    def run():
+        result = Solver(SHIFT, SolverConfig(decision_heuristic=heuristic)).solve()
+        assert result.is_unsat
+        return result
+
+    benchmark.group = "ablation:heuristic:shift_eq8"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("minimize", [False, True], ids=["plain", "minimized"])
+def test_minimization(benchmark, minimize):
+    def run():
+        result = Solver(PHP, SolverConfig(minimize_learned=minimize)).solve()
+        assert result.is_unsat
+        return result
+
+    benchmark.group = "ablation:minimization:php76"
+    benchmark(run)
+
+
+def test_minimized_traces_stay_checkable_and_shorter():
+    def learned_stats(minimize):
+        writer = InMemoryTraceWriter()
+        Solver(PHP, SolverConfig(minimize_learned=minimize), trace_writer=writer).solve()
+        trace = writer.to_trace()
+        report = DepthFirstChecker(PHP, trace).check()
+        assert report.verified
+        total_learned_literals = report.resolutions  # proxy: more resolutions
+        return trace, report
+
+    plain_trace, _ = learned_stats(False)
+    mini_trace, _ = learned_stats(True)
+    plain_sources = sum(len(r.sources) for r in plain_trace.learned.values())
+    mini_sources = sum(len(r.sources) for r in mini_trace.learned.values())
+    # Minimization records at least as many resolutions per clause.
+    assert mini_sources / max(len(mini_trace.learned), 1) >= plain_sources / max(
+        len(plain_trace.learned), 1
+    )
+
+
+@pytest.mark.parametrize("policy", RESTARTS)
+def test_restart_policy(benchmark, policy):
+    def run():
+        result = Solver(PHP, SolverConfig(restart_policy=policy)).solve()
+        assert result.is_unsat
+        return result
+
+    benchmark.group = "ablation:restarts:php76"
+    benchmark(run)
+
+
+@pytest.mark.parametrize(
+    "label,kwargs",
+    [
+        ("keep-all", {"min_learned_cap": 10**9}),
+        ("default", {}),
+        ("aggressive", {"min_learned_cap": 20, "max_learned_factor": 0.0}),
+    ],
+    ids=["keep-all", "default", "aggressive"],
+)
+def test_clause_deletion_policy(benchmark, label, kwargs):
+    def run():
+        result = Solver(PHP, SolverConfig(**kwargs)).solve()
+        assert result.is_unsat
+        return result
+
+    benchmark.group = "ablation:deletion:php76"
+    benchmark(run)

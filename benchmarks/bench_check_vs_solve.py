@@ -1,0 +1,63 @@
+"""§4 remark: "the actual time needed to check a proof is always
+significantly smaller compared with the time needed to perform the actual
+proof."
+
+Benchmarks solving and checking side by side per instance and asserts the
+ratio stays below 1 on the harder instances.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import bench_suite
+from repro.checker import DepthFirstChecker
+from repro.solver import Solver, SolverConfig
+
+NAMES = [instance.name for instance in bench_suite()]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_solve(benchmark, prepared_instances, name):
+    prepared = prepared_instances[name]
+
+    def run():
+        return Solver(prepared.formula, SolverConfig()).solve()
+
+    benchmark.group = f"check-vs-solve:{name}"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_check(benchmark, prepared_instances, name):
+    prepared = prepared_instances[name]
+
+    def run():
+        report = DepthFirstChecker(prepared.formula, prepared.trace).check()
+        assert report.verified
+        return report
+
+    benchmark.group = f"check-vs-solve:{name}"
+    benchmark(run)
+
+
+def test_checking_cheaper_than_solving_on_hard_instances(prepared_instances):
+    """Timing-shape assertion: on instances that take meaningful solve
+    time, checking costs a fraction of solving (the paper's headline)."""
+    checked = 0
+    for prepared in prepared_instances.values():
+        solve_start = time.perf_counter()
+        Solver(prepared.formula, SolverConfig()).solve()
+        solve_time = time.perf_counter() - solve_start
+        if solve_time < 0.05:
+            continue  # too fast to compare meaningfully
+        report = DepthFirstChecker(prepared.formula, prepared.trace).check()
+        assert report.verified
+        checked += 1
+        assert report.check_time < solve_time, (
+            f"{prepared.name}: check {report.check_time:.3f}s >= "
+            f"solve {solve_time:.3f}s"
+        )
+    assert checked >= 1, "no instance was slow enough to compare; raise the scale"

@@ -1,0 +1,92 @@
+"""Benches for the extension layers built on checked proofs.
+
+* trace trimming (drat-trim-style core proofs),
+* Craig interpolation (proof -> circuit),
+* assumption queries with verified failed-assumption cores,
+* variable-elimination preprocessing on/off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import DepthFirstChecker
+from repro.circuits import miter_to_cnf, shifter_equivalence_miter
+from repro.generators import pigeonhole, tseitin_random_regular
+from repro.interp import compute_interpolant, verify_interpolant
+from repro.solver import Solver, SolverConfig
+from repro.solver.assumptions import solve_with_assumptions
+from repro.trace import InMemoryTraceWriter
+from repro.trace.trim import trim_trace
+
+
+@pytest.fixture(scope="module")
+def shifter_proof():
+    formula = miter_to_cnf(shifter_equivalence_miter(8))
+    writer = InMemoryTraceWriter()
+    result = Solver(formula, SolverConfig(), trace_writer=writer).solve()
+    assert result.is_unsat
+    return formula, writer.to_trace()
+
+
+def test_bench_trim(benchmark, shifter_proof):
+    formula, trace = shifter_proof
+
+    def run():
+        return trim_trace(formula, trace)
+
+    benchmark.group = "extensions:trim"
+    result = benchmark(run)
+    assert result.dropped_learned > 0
+
+
+def test_bench_check_trimmed_vs_full(benchmark, shifter_proof):
+    formula, trace = shifter_proof
+    trimmed = trim_trace(formula, trace).trace
+
+    def run():
+        report = DepthFirstChecker(formula, trimmed).check()
+        assert report.verified
+        return report
+
+    benchmark.group = "extensions:trim"
+    benchmark(run)
+
+
+def test_bench_interpolation(benchmark, shifter_proof):
+    formula, trace = shifter_proof
+    a_ids = set(range(1, formula.num_clauses // 2 + 1))
+
+    def run():
+        return compute_interpolant(formula, trace, a_ids)
+
+    benchmark.group = "extensions:interpolation"
+    interpolant = benchmark(run)
+    assert verify_interpolant(formula, a_ids, interpolant)
+
+
+def test_bench_assumption_query(benchmark):
+    formula = pigeonhole(4, 4)  # SAT base; assumptions make it UNSAT
+
+    def run():
+        result = solve_with_assumptions(formula, [1, 5])  # two pigeons, hole 0
+        assert result.is_unsat
+        return result
+
+    benchmark.group = "extensions:assumptions"
+    result = benchmark(run)
+    assert set(result.failed_assumptions) == {1, 5}
+
+
+@pytest.mark.parametrize("elimination", [False, True], ids=["plain", "with-VE"])
+def test_bench_variable_elimination(benchmark, elimination):
+    formula = tseitin_random_regular(12, degree=3, seed=6)
+
+    def run():
+        config = SolverConfig(preprocess_elimination=elimination)
+        result = Solver(formula, config).solve()
+        assert result.is_unsat
+        return result
+
+    benchmark.group = "extensions:elimination"
+    benchmark(run)

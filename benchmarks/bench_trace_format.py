@@ -1,0 +1,53 @@
+"""§4 remark: ASCII vs binary trace formats.
+
+"It is quite easy to modify the format to emphasize space efficiency and
+get a 2-3x compaction (e.g. use binary encoding instead of ASCII). By
+doing so, we also expect the efficiency of the checker to improve as ...
+a significant amount of run time for the checker is spent on parsing."
+
+We benchmark parsing both formats and assert the compaction ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_suite
+from repro.trace import iter_ascii_records, iter_binary_records
+
+NAMES = [instance.name for instance in bench_suite()]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_parse_ascii_trace(benchmark, prepared_instances, name):
+    prepared = prepared_instances[name]
+
+    def run():
+        return sum(1 for _ in iter_ascii_records(prepared.ascii_path))
+
+    benchmark.group = f"formats:{name}"
+    records = benchmark(run)
+    assert records > 0
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_parse_binary_trace(benchmark, prepared_instances, name):
+    prepared = prepared_instances[name]
+
+    def run():
+        return sum(1 for _ in iter_binary_records(prepared.binary_path))
+
+    benchmark.group = f"formats:{name}"
+    records = benchmark(run)
+    assert records > 0
+
+
+def test_compaction_ratio(prepared_instances):
+    """The paper's 2-3x claim, on every instance with a non-trivial trace."""
+    for prepared in prepared_instances.values():
+        ascii_size = prepared.ascii_path.stat().st_size
+        binary_size = prepared.binary_path.stat().st_size
+        if ascii_size < 2048:
+            continue  # tiny traces are all fixed overhead
+        ratio = ascii_size / binary_size
+        assert 1.5 <= ratio <= 4.0, f"{prepared.name}: compaction {ratio:.2f}x"

@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate the paper's tables as timing comparisons. They
+run at the ``small`` suite scale by default so the whole harness completes
+in a couple of minutes of pure Python; set ``REPRO_BENCH_SCALE=medium`` (or
+``large``) for the EXPERIMENTS.md-grade runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.suite import BenchmarkInstance, core_suite, default_suite
+from repro.solver import Solver, SolverConfig
+from repro.trace import AsciiTraceWriter, BinaryTraceWriter, load_trace
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def bench_suite() -> list[BenchmarkInstance]:
+    return default_suite(BENCH_SCALE)
+
+
+def bench_core_suite() -> list[BenchmarkInstance]:
+    return core_suite(BENCH_SCALE)
+
+
+class PreparedInstance:
+    """An instance solved once up front: formula + trace files + trace."""
+
+    def __init__(self, instance: BenchmarkInstance, directory):
+        self.name = instance.name
+        self.formula = instance.build()
+        self.ascii_path = directory / f"{instance.name}.trace"
+        self.binary_path = directory / f"{instance.name}.rtb"
+        result = Solver(
+            self.formula, SolverConfig(), trace_writer=AsciiTraceWriter(self.ascii_path)
+        ).solve()
+        assert result.is_unsat, f"{instance.name} must be UNSAT"
+        Solver(
+            self.formula, SolverConfig(), trace_writer=BinaryTraceWriter(self.binary_path)
+        ).solve()
+        self.trace = load_trace(self.binary_path)
+        self.solve_time = result.stats.solve_time
+
+
+@pytest.fixture(scope="session")
+def prepared_instances(tmp_path_factory) -> dict[str, PreparedInstance]:
+    directory = tmp_path_factory.mktemp("bench-traces")
+    return {
+        instance.name: PreparedInstance(instance, directory)
+        for instance in bench_suite()
+    }

@@ -1,0 +1,71 @@
+"""Combinational equivalence checking with a validated UNSAT answer.
+
+The EDA scenario from the paper's introduction: a synthesis-style rewrite
+of a circuit must be proven equivalent to the original. The SAT solver
+answers UNSAT on the miter ("no distinguishing input exists"); because the
+claim is mission-critical, the resolution checker validates the proof
+before the result is trusted.
+
+Run:  python examples/equivalence_checking.py
+"""
+
+from repro.checker import DepthFirstChecker
+from repro.circuits import (
+    carry_select_adder,
+    equivalence_cnf,
+    random_circuit,
+    rewritten_copy,
+    ripple_carry_adder,
+)
+from repro.solver import Solver, SolverConfig
+from repro.trace import InMemoryTraceWriter
+
+
+def check_equivalence(name: str, left, right) -> None:
+    formula = equivalence_cnf(left, right)
+    writer = InMemoryTraceWriter()
+    result = Solver(formula, SolverConfig(), trace_writer=writer).solve()
+
+    if result.is_sat:
+        # A satisfying assignment IS a counterexample input vector.
+        print(f"{name}: NOT equivalent (counterexample found)")
+        return
+
+    report = DepthFirstChecker(formula, writer.to_trace()).check()
+    verdict = "equivalent (proof VERIFIED)" if report.verified else "PROOF REJECTED"
+    print(
+        f"{name}: {verdict} — {result.stats.conflicts} conflicts, "
+        f"checker built {report.clauses_built}/{report.total_learned} learned "
+        f"clauses ({report.built_pct:.0f}%)"
+    )
+    assert report.verified
+
+
+def main() -> None:
+    # 1. Two adder architectures computing the same function.
+    check_equivalence(
+        "ripple-carry vs carry-select adder (8 bit)",
+        ripple_carry_adder(8),
+        carry_select_adder(8, block=3),
+    )
+
+    # 2. A random logic block vs its De Morgan / double-negation rewrite —
+    #    the c5135/c7225-style industrial CEC workload.
+    original = random_circuit(num_inputs=10, num_gates=80, num_outputs=4, seed=42)
+    check_equivalence(
+        "random logic vs semantics-preserving rewrite",
+        original,
+        rewritten_copy(original, seed=43),
+    )
+
+    # 3. A genuinely different circuit: the miter is SAT and the solver's
+    #    model is a concrete distinguishing input (checkable in linear time).
+    check_equivalence(
+        "two unrelated random circuits",
+        random_circuit(8, 30, 2, seed=1),
+        random_circuit(8, 30, 2, seed=2),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: solve a formula, validate the answer — both directions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, check_model
+from repro.cnf import CnfFormula, parse_dimacs
+from repro.solver import SolverConfig, solve_formula
+from repro.trace import InMemoryTraceWriter
+
+
+def main() -> None:
+    # -- A satisfiable formula: verify the model -------------------------------
+    sat_formula = parse_dimacs(
+        """\
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+"""
+    )
+    result = solve_formula(sat_formula)
+    print(f"satisfiable formula -> {result.status}, model {result.model}")
+    assert check_model(sat_formula, result.model), "model must satisfy the formula"
+    print("model verified in linear time (the easy direction)\n")
+
+    # -- An unsatisfiable formula: verify the proof ----------------------------
+    # The pigeonhole principle with 4 pigeons and 3 holes.
+    unsat_formula = CnfFormula(12)
+    holes = 3
+    for pigeon in range(4):
+        unsat_formula.add_clause([pigeon * holes + hole + 1 for hole in range(holes)])
+    for hole in range(holes):
+        for p1 in range(4):
+            for p2 in range(p1 + 1, 4):
+                unsat_formula.add_clause([-(p1 * holes + hole + 1), -(p2 * holes + hole + 1)])
+
+    trace_writer = InMemoryTraceWriter()
+    result = solve_formula(unsat_formula, SolverConfig(seed=0), trace_writer=trace_writer)
+    print(f"pigeonhole(4,3) -> {result.status} after {result.stats.conflicts} conflicts")
+
+    trace = trace_writer.to_trace()
+    for checker in (
+        DepthFirstChecker(unsat_formula, trace),
+        BreadthFirstChecker(unsat_formula, trace),
+    ):
+        report = checker.check()
+        print(report.summary())
+        assert report.verified
+
+    df_report = DepthFirstChecker(unsat_formula, trace).check()
+    print(
+        f"\nbyproduct: the proof touches {len(df_report.original_core)} of "
+        f"{unsat_formula.num_clauses} original clauses (an unsatisfiable core)"
+    )
+
+
+if __name__ == "__main__":
+    main()

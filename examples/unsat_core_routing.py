@@ -1,0 +1,53 @@
+"""Explaining an un-routable FPGA channel with an unsatisfiable core (§4).
+
+"In FPGA routing, an unsatisfiable instance means that the channels are
+un-routable. The unsatisfiable core can help the designers concentrate on
+the reasons (constraints) that are responsible for the routing failure."
+
+We build a channel with one congested region plus lots of easily-routable
+nets, show the instance is UNSAT, and use iterated core extraction to
+reduce the blame to exactly the congested nets.
+
+Run:  python examples/unsat_core_routing.py
+"""
+
+from repro.core_extract import iterate_core
+from repro.generators import RoutingNet, channel_routing
+
+
+def main() -> None:
+    tracks = 4
+    # Five nets all crossing columns 0-4: one more than the channel holds.
+    congested = [RoutingNet(0, 4 + i) for i in range(tracks + 1)]
+    # Twenty short nets in disjoint columns: trivially routable.
+    easy = [RoutingNet(100 + 10 * i, 102 + 10 * i) for i in range(20)]
+    nets = congested + easy
+
+    formula = channel_routing(nets, tracks)
+    print(
+        f"channel: {len(nets)} nets, {tracks} tracks -> "
+        f"{formula.num_vars} vars, {formula.num_clauses} clauses"
+    )
+
+    outcome = iterate_core(formula, max_iterations=30)
+    print("\niterated unsat-core extraction (Table 3 procedure):")
+    for index, (clauses, variables) in enumerate(outcome.iterations):
+        label = "input " if index == 0 else f"iter {index}"
+        print(f"  {label}: {clauses:4d} clauses, {variables:3d} variables")
+    if outcome.reached_fixed_point:
+        print(f"  fixed point after {outcome.num_iterations} iterations")
+
+    # Map core clauses back to nets: variables are x(net, track).
+    blamed_nets = set()
+    for cid in outcome.final_core_ids:
+        for lit in formula[cid].literals:
+            blamed_nets.add((abs(lit) - 1) // tracks)
+
+    print(f"\nnets blamed by the core: {sorted(blamed_nets)}")
+    print(f"(the congested nets are 0..{len(congested) - 1}; "
+          f"the {len(easy)} easy nets are exonerated)")
+    assert blamed_nets <= set(range(len(congested))), "core must blame only congestion"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — resolution-based validation of SAT solvers.
+
+Reproduction of Zhang & Malik, "Validating SAT Solvers Using an
+Independent Resolution-Based Checker" (DATE 2003). See README.md for the
+tour; the headline API is re-exported here:
+
+* :func:`solve_formula` / :class:`Solver` — the CDCL engine with trace
+  generation.
+* :class:`DepthFirstChecker` / :class:`BreadthFirstChecker` /
+  :class:`HybridChecker` — the independent proof checkers.
+* :func:`check_model` — linear-time SAT-side validation.
+* :func:`extract_core` / :func:`iterate_core` — unsatisfiable cores.
+"""
+
+from repro.cnf import CnfFormula, parse_dimacs, parse_dimacs_file, write_dimacs
+from repro.solver import (
+    Solver,
+    SolverConfig,
+    solve_formula,
+    solve_with_assumptions,
+)
+from repro.checker import (
+    BreadthFirstChecker,
+    DepthFirstChecker,
+    HybridChecker,
+    RupChecker,
+    check_model,
+)
+from repro.core_extract import extract_core, iterate_core
+from repro.trace import InMemoryTraceWriter, load_trace, open_trace_writer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CnfFormula",
+    "parse_dimacs",
+    "parse_dimacs_file",
+    "write_dimacs",
+    "Solver",
+    "SolverConfig",
+    "solve_formula",
+    "solve_with_assumptions",
+    "DepthFirstChecker",
+    "BreadthFirstChecker",
+    "HybridChecker",
+    "RupChecker",
+    "check_model",
+    "extract_core",
+    "iterate_core",
+    "InMemoryTraceWriter",
+    "load_trace",
+    "open_trace_writer",
+    "__version__",
+]

@@ -1,0 +1,52 @@
+"""Validated EDA application flows.
+
+The paper's opening list of SAT-powered EDA applications — "test pattern
+generation, combinational equivalence checking, microprocessor
+verification, bounded model checking, FPGA routing" — motivates why
+solver answers must be validated: these flows are mission critical. This
+package builds three of those flows end-to-end on top of the solver and
+checkers, with *every* answer independently validated:
+
+* :class:`EquivalenceChecker` — CEC with verified equivalence proofs and
+  simulation-confirmed counterexamples.
+* ATPG (:func:`generate_test`, :func:`run_atpg`) — stuck-at test pattern
+  generation with verified redundant-fault proofs.
+* :class:`BoundedModelChecker` — BMC sweeps with verified safe bounds and
+  simulation-confirmed counterexample traces.
+"""
+
+from repro.apps.cec import EquivalenceChecker, EquivalenceResult
+from repro.apps.atpg import (
+    StuckAtFault,
+    TestResult,
+    AtpgReport,
+    generate_test,
+    enumerate_faults,
+    run_atpg,
+)
+from repro.apps.bmc_engine import (
+    BoundedModelChecker,
+    BmcOutcome,
+    Counterexample,
+)
+from repro.apps.itp_mc import InterpolationModelChecker, ItpMcResult
+from repro.apps.sec import SecResult, build_product_system, check_sequential_equivalence
+
+__all__ = [
+    "EquivalenceChecker",
+    "EquivalenceResult",
+    "StuckAtFault",
+    "TestResult",
+    "AtpgReport",
+    "generate_test",
+    "enumerate_faults",
+    "run_atpg",
+    "BoundedModelChecker",
+    "BmcOutcome",
+    "Counterexample",
+    "InterpolationModelChecker",
+    "ItpMcResult",
+    "SecResult",
+    "build_product_system",
+    "check_sequential_equivalence",
+]

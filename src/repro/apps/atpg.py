@@ -1,0 +1,141 @@
+"""SAT-based ATPG: stuck-at test pattern generation with validated answers.
+
+The paper's first-listed application. For a stuck-at fault on some net, a
+*test vector* is an input assignment under which the good and faulty
+circuits produce different outputs. SAT formulation: miter the good
+circuit against a copy with the faulted net forced to a constant; a model
+is a test vector (validated here by simulating the fault), and UNSAT —
+validated by the resolution checker — proves the fault *untestable*
+(redundant logic, which synthesis can remove).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.cec import EquivalenceChecker
+from repro.checker.report import CheckReport
+from repro.circuits.netlist import Circuit
+from repro.solver import SolverConfig
+from repro.solver.result import SolverStats
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """Net ``net`` permanently stuck at ``value``."""
+
+    net: int
+    value: bool
+
+    def __str__(self) -> str:
+        return f"net{self.net}/sa{1 if self.value else 0}"
+
+
+@dataclass
+class TestResult:
+    """ATPG outcome for one fault."""
+
+    fault: StuckAtFault
+    testable: bool | None  # None when the solver hit a budget
+    vector: list[bool] | None = None
+    good_outputs: list[bool] | None = None
+    faulty_outputs: list[bool] | None = None
+    proof_report: CheckReport | None = None  # untestability proof
+    solver_stats: SolverStats = field(default_factory=SolverStats)
+
+
+@dataclass
+class AtpgReport:
+    """Whole-circuit ATPG summary."""
+
+    results: list[TestResult] = field(default_factory=list)
+
+    @property
+    def testable(self) -> list[TestResult]:
+        return [r for r in self.results if r.testable]
+
+    @property
+    def untestable(self) -> list[TestResult]:
+        return [r for r in self.results if r.testable is False]
+
+    @property
+    def fault_coverage(self) -> float:
+        if not self.results:
+            return 1.0
+        return len(self.testable) / len(self.results)
+
+
+def inject_fault(circuit: Circuit, fault: StuckAtFault) -> Circuit:
+    """Copy ``circuit`` with the faulted net replaced by a constant.
+
+    Every *consumer* of the net (gates and outputs) sees the constant; the
+    net's own driver is left in place (its fan-out is simply cut), which
+    matches the standard stuck-at model.
+    """
+    known_nets = set(circuit.inputs) | {gate.output for gate in circuit.gates}
+    if fault.net not in known_nets:
+        raise ValueError(f"fault on unknown net {fault.net}")
+    faulty = Circuit(name=f"{circuit.name}_{fault}")
+    remap: dict[int, int] = {}
+    for net in circuit.inputs:
+        remap[net] = faulty.add_input()
+    constant = faulty.const(fault.value)
+
+    def read(net: int) -> int:
+        if net == fault.net:
+            return constant
+        return remap[net]
+
+    for gate in circuit.gates:
+        remap[gate.output] = faulty.add_gate(gate.gtype, *(read(n) for n in gate.inputs))
+    for net in circuit.outputs:
+        faulty.mark_output(read(net))
+    return faulty
+
+
+def generate_test(
+    circuit: Circuit,
+    fault: StuckAtFault,
+    config: SolverConfig | None = None,
+) -> TestResult:
+    """Find a test vector for one fault, or prove it untestable."""
+    faulty = inject_fault(circuit, fault)
+    outcome = EquivalenceChecker(circuit, faulty, config=config).run()
+
+    if outcome.equivalent is None:
+        return TestResult(fault=fault, testable=None, solver_stats=outcome.solver_stats)
+    if outcome.equivalent:
+        # Good == faulty on all inputs: the fault is untestable, and we
+        # hold a checked resolution proof of that.
+        return TestResult(
+            fault=fault,
+            testable=False,
+            proof_report=outcome.proof_report,
+            solver_stats=outcome.solver_stats,
+        )
+    return TestResult(
+        fault=fault,
+        testable=True,
+        vector=outcome.counterexample,
+        good_outputs=outcome.left_outputs,
+        faulty_outputs=outcome.right_outputs,
+        solver_stats=outcome.solver_stats,
+    )
+
+
+def enumerate_faults(circuit: Circuit) -> list[StuckAtFault]:
+    """Both stuck-at faults on every gate output and primary input."""
+    nets = list(circuit.inputs) + [gate.output for gate in circuit.gates]
+    return [StuckAtFault(net, value) for net in nets for value in (False, True)]
+
+
+def run_atpg(
+    circuit: Circuit,
+    faults: list[StuckAtFault] | None = None,
+    config: SolverConfig | None = None,
+) -> AtpgReport:
+    """ATPG over a fault list (default: the full stuck-at fault set)."""
+    report = AtpgReport()
+    for fault in faults if faults is not None else enumerate_faults(circuit):
+        report.results.append(generate_test(circuit, fault, config=config))
+    return report

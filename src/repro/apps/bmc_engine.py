@@ -1,0 +1,148 @@
+"""A bounded model checker with validated verdicts at every bound.
+
+Sweeps bounds 0..max_bound. At each bound:
+
+* UNSAT — the resolution checker replays the proof before the bound is
+  declared safe;
+* SAT — the model is decoded into a concrete execution (states + inputs
+  per step) and *replayed through the transition circuit*, so a reported
+  counterexample is a real one by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bmc.transition import TransitionSystem
+from repro.checker.depth_first import DepthFirstChecker
+from repro.checker.report import CheckReport
+from repro.circuits.tseitin import tseitin_encode
+from repro.solver import Solver, SolverConfig
+from repro.trace import InMemoryTraceWriter
+
+
+@dataclass
+class Counterexample:
+    """A validated execution reaching a bad state."""
+
+    states: list[list[bool]]  # state bits per step, step 0 first
+    inputs: list[list[bool]]  # input bits per transition
+    bad_step: int
+
+    @property
+    def length(self) -> int:
+        return len(self.states) - 1
+
+
+@dataclass
+class BmcOutcome:
+    """Result of a BMC sweep."""
+
+    safe_through: int  # highest bound proven safe (-1 when none)
+    counterexample: Counterexample | None = None
+    proof_reports: list[CheckReport] = field(default_factory=list)
+
+    @property
+    def property_violated(self) -> bool:
+        return self.counterexample is not None
+
+
+class BoundedModelChecker:
+    """Per-bound BMC driver over a transition system."""
+
+    def __init__(self, system: TransitionSystem, config: SolverConfig | None = None):
+        self.system = system
+        self.config = config or SolverConfig()
+
+    def check_bound(self, bound: int):
+        """Decide one bound; returns ("safe", report) or ("cex", counterexample)."""
+        formula, state_vars, input_vars = self._unroll_with_inputs(bound)
+
+        bad_vars = []
+        for step_vars in state_vars:
+            bindings = dict(zip(self.system.bad.inputs, step_vars))
+            encoded = tseitin_encode(self.system.bad, formula, bindings=bindings)
+            bad_vars.append(encoded.var(self.system.bad.outputs[0]))
+        formula.add_clause(bad_vars)
+
+        writer = InMemoryTraceWriter()
+        result = Solver(formula, config=self.config, trace_writer=writer).solve()
+        if result.status == "UNKNOWN":
+            raise RuntimeError(f"solver budget exhausted at bound {bound}")
+
+        if result.is_unsat:
+            report = DepthFirstChecker(formula, writer.to_trace()).check()
+            report.raise_if_failed()
+            return "safe", report
+
+        assert result.model is not None
+        states = [
+            [result.model[var] for var in step_vars] for step_vars in state_vars
+        ]
+        inputs = [
+            [result.model[var] for var in step_inputs] for step_inputs in input_vars
+        ]
+        bad_step = next(
+            step for step, var in enumerate(bad_vars) if result.model[var]
+        )
+        counterexample = Counterexample(states=states, inputs=inputs, bad_step=bad_step)
+        self._validate_counterexample(counterexample)
+        return "cex", counterexample
+
+    def run(self, max_bound: int) -> BmcOutcome:
+        """Sweep bounds 0..max_bound, stopping at the first counterexample."""
+        outcome = BmcOutcome(safe_through=-1)
+        for bound in range(max_bound + 1):
+            verdict, payload = self.check_bound(bound)
+            if verdict == "cex":
+                outcome.counterexample = payload
+                return outcome
+            outcome.proof_reports.append(payload)
+            outcome.safe_through = bound
+        return outcome
+
+    # -- internals ---------------------------------------------------------------
+
+    def _unroll_with_inputs(self, bound: int):
+        """Like :func:`repro.bmc.unroll.unroll`, also returning input vars."""
+        from repro.cnf import CnfFormula
+
+        system = self.system
+        formula = CnfFormula(0)
+        state_vars = [[formula.num_vars + i + 1 for i in range(system.num_state_bits)]]
+        formula.num_vars += system.num_state_bits
+        for clause in system.init:
+            formula.add_clause(
+                [state_vars[0][abs(lit) - 1] * (1 if lit > 0 else -1) for lit in clause]
+            )
+        input_vars: list[list[int]] = []
+        state_nets = system.transition.inputs[: system.num_state_bits]
+        input_nets = system.transition.inputs[system.num_state_bits :]
+        for _ in range(bound):
+            bindings = dict(zip(state_nets, state_vars[-1]))
+            encoded = tseitin_encode(system.transition, formula, bindings=bindings)
+            state_vars.append([encoded.var(net) for net in system.transition.outputs])
+            input_vars.append([encoded.var(net) for net in input_nets])
+        return formula, state_vars, input_vars
+
+    def _validate_counterexample(self, cex: Counterexample) -> None:
+        """Replay the execution through the real circuits."""
+        system = self.system
+        # Initial state must satisfy the init clauses.
+        for clause in system.init:
+            if not any(
+                cex.states[0][abs(lit) - 1] == (lit > 0) for lit in clause
+            ):
+                raise AssertionError("counterexample violates the initial condition")
+        for step in range(len(cex.states) - 1):
+            simulated = system.transition.simulate(
+                list(cex.states[step]) + list(cex.inputs[step])
+            )
+            if simulated != cex.states[step + 1]:
+                raise AssertionError(
+                    f"counterexample transition at step {step} does not "
+                    "match the transition circuit"
+                )
+        bad_value = system.bad.simulate(list(cex.states[cex.bad_step]))[0]
+        if not bad_value:
+            raise AssertionError("counterexample does not actually reach a bad state")

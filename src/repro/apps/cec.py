@@ -1,0 +1,82 @@
+"""Combinational equivalence checking with validated answers.
+
+Both verdicts are independently confirmed before being reported:
+
+* "equivalent" — the solver's UNSAT proof on the miter is replayed by a
+  resolution checker;
+* "not equivalent" — the satisfying assignment is decoded into an input
+  vector and *simulated* through both circuits, which must disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.checker.depth_first import DepthFirstChecker
+from repro.checker.report import CheckReport
+from repro.circuits.miter import build_miter
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import tseitin_encode
+from repro.cnf import CnfFormula
+from repro.solver import Solver, SolverConfig
+from repro.solver.result import SolverStats
+from repro.trace import InMemoryTraceWriter
+
+
+@dataclass
+class EquivalenceResult:
+    """Verdict of a CEC run."""
+
+    equivalent: bool | None  # None when the solver hit a budget
+    counterexample: list[bool] | None = None  # input vector, if inequivalent
+    left_outputs: list[bool] | None = None
+    right_outputs: list[bool] | None = None
+    proof_report: CheckReport | None = None
+    solver_stats: SolverStats = field(default_factory=SolverStats)
+
+
+class EquivalenceChecker:
+    """One-shot CEC between two circuits with matching interfaces."""
+
+    def __init__(self, left: Circuit, right: Circuit, config: SolverConfig | None = None):
+        self.left = left
+        self.right = right
+        self.config = config or SolverConfig()
+        self.miter = build_miter(left, right)
+
+    def run(self) -> EquivalenceResult:
+        formula = CnfFormula(0)
+        encoded = tseitin_encode(self.miter, formula)
+        formula.add_clause([encoded.var(self.miter.outputs[0])])
+
+        writer = InMemoryTraceWriter()
+        result = Solver(formula, config=self.config, trace_writer=writer).solve()
+
+        if result.status == "UNKNOWN":
+            return EquivalenceResult(equivalent=None, solver_stats=result.stats)
+
+        if result.is_sat:
+            assert result.model is not None
+            vector = [
+                result.model[encoded.var(net)] for net in self.miter.inputs
+            ]
+            left_out = self.left.simulate(vector)
+            right_out = self.right.simulate(vector)
+            if left_out == right_out:
+                raise AssertionError(
+                    "solver produced a spurious counterexample — its model "
+                    "does not distinguish the circuits"
+                )
+            return EquivalenceResult(
+                equivalent=False,
+                counterexample=vector,
+                left_outputs=left_out,
+                right_outputs=right_out,
+                solver_stats=result.stats,
+            )
+
+        report = DepthFirstChecker(formula, writer.to_trace()).check()
+        report.raise_if_failed()
+        return EquivalenceResult(
+            equivalent=True, proof_report=report, solver_stats=result.stats
+        )

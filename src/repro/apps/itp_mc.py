@@ -1,0 +1,315 @@
+"""Unbounded model checking via interpolation (McMillan, CAV 2003).
+
+The deepest "other application" of checked resolution proofs: BMC can only
+refute or bound-check a property, but the interpolant of an UNSAT
+unrolling is an *overapproximate image* of the reachable states. Iterating
+images to a fixed point proves the property for **all** depths:
+
+    R := Init
+    loop:
+        A := R(s0) AND T(s0, s1)
+        B := T(s1 .. sk) AND Bad(s1 .. sk)
+        if A AND B is SAT:
+            R is Init  -> real counterexample (validated by simulation)
+            otherwise  -> overapproximation too coarse: increase k
+        else:
+            I := interpolant(A, B) over the step-1 state variables
+            if I implies the accumulated reach set: FIXED POINT -> proved
+            R := I   (continue the inner loop from the overapproximation)
+
+Every UNSAT answer along the way is certified by the resolution checker
+(the interpolation construction refuses unchecked proofs), and every
+counterexample is replayed through the transition circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.bmc_engine import BoundedModelChecker, Counterexample
+from repro.bmc.transition import TransitionSystem
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import tseitin_encode
+from repro.cnf import CnfFormula
+from repro.interp import Interpolant, compute_interpolant
+from repro.solver import Solver, SolverConfig
+from repro.trace import InMemoryTraceWriter
+
+
+@dataclass
+class ItpMcResult:
+    """Verdict of an interpolation-based model-checking run."""
+
+    status: str  # "proved" | "counterexample" | "unknown"
+    counterexample: Counterexample | None = None
+    fixed_point_frontier: Circuit | None = None  # reach-set circuit, if proved
+    bound_used: int = 0
+    image_iterations: int = 0
+    stats: dict = field(default_factory=dict)
+
+
+class _ReachSet:
+    """Disjunction of state-predicate circuits over the state bits."""
+
+    def __init__(self, num_state_bits: int):
+        self.num_state_bits = num_state_bits
+        self.members: list[Circuit] = []
+
+    def add(self, circuit: Circuit) -> None:
+        if len(circuit.inputs) != self.num_state_bits:
+            raise ValueError("reach-set member must range over the state bits")
+        self.members.append(circuit)
+
+    def union_circuit(self) -> Circuit:
+        """One circuit computing the OR of every member."""
+        union = Circuit(name="reach")
+        state = union.add_inputs(self.num_state_bits)
+        outs = []
+        for member in self.members:
+            remap = dict(zip(member.inputs, state))
+            for gate in member.gates:
+                remap[gate.output] = union.add_gate(
+                    gate.gtype, *(remap[n] for n in gate.inputs)
+                )
+            outs.append(remap[member.outputs[0]])
+        if not outs:
+            union.mark_output(union.const(False))
+        elif len(outs) == 1:
+            union.mark_output(outs[0])
+        else:
+            union.mark_output(union.or_(*outs))
+        return union
+
+
+class InterpolationModelChecker:
+    """McMillan's interpolation loop over a transition system."""
+
+    def __init__(self, system: TransitionSystem, config: SolverConfig | None = None):
+        if system.bad.inputs and len(system.bad.inputs) != system.num_state_bits:
+            raise ValueError("bad circuit must range over the state bits")
+        self.system = system
+        self.config = config or SolverConfig()
+
+    # -- public API -------------------------------------------------------------
+
+    def prove(self, max_bound: int = 10, max_images: int = 50) -> ItpMcResult:
+        """Try to decide the property outright.
+
+        Returns "proved" (safe for every depth), "counterexample" (with a
+        validated trace), or "unknown" (budgets exhausted).
+        """
+        initial_cex = self._check_initial_bad()
+        if initial_cex is not None:
+            return ItpMcResult(status="counterexample", counterexample=initial_cex)
+        total_images = 0
+        for bound in range(1, max_bound + 1):
+            verdict, payload, images = self._round(bound, max_images - total_images)
+            total_images += images
+            if verdict == "proved":
+                return ItpMcResult(
+                    status="proved",
+                    fixed_point_frontier=payload,
+                    bound_used=bound,
+                    image_iterations=total_images,
+                )
+            if verdict == "cex":
+                return ItpMcResult(
+                    status="counterexample",
+                    counterexample=payload,
+                    bound_used=bound,
+                    image_iterations=total_images,
+                )
+            if total_images >= max_images:
+                break
+        return ItpMcResult(status="unknown", bound_used=max_bound, image_iterations=total_images)
+
+    def _check_initial_bad(self) -> Counterexample | None:
+        """Length-0 counterexample: an initial state that is already bad."""
+        system = self.system
+        formula = CnfFormula(0)
+        state_vars = [formula.num_vars + i + 1 for i in range(system.num_state_bits)]
+        formula.num_vars += system.num_state_bits
+        for clause in system.init:
+            formula.add_clause(
+                [state_vars[abs(lit) - 1] * (1 if lit > 0 else -1) for lit in clause]
+            )
+        encoded = tseitin_encode(
+            system.bad, formula, bindings=dict(zip(system.bad.inputs, state_vars))
+        )
+        formula.add_clause([encoded.var(system.bad.outputs[0])])
+        result = Solver(formula, config=self.config).solve()
+        if not result.is_sat:
+            return None
+        state = [result.model[var] for var in state_vars]
+        counterexample = Counterexample(states=[state], inputs=[], bad_step=0)
+        BoundedModelChecker(system, config=self.config)._validate_counterexample(
+            counterexample
+        )
+        return counterexample
+
+    # -- one bound's image iteration -----------------------------------------------
+
+    def _round(self, bound: int, image_budget: int):
+        system = self.system
+        reach = _ReachSet(system.num_state_bits)
+        frontier: Circuit | None = None  # None encodes "the real Init"
+        images = 0
+        while images < image_budget:
+            built = self._build_query(frontier, bound)
+            formula, a_ids, shared_state_vars, decode = built
+            writer = InMemoryTraceWriter()
+            result = Solver(formula, config=self.config, trace_writer=writer).solve()
+            if result.status == "UNKNOWN":
+                return "budget", None, images
+            if result.is_sat:
+                if frontier is None:
+                    counterexample = decode(result.model)
+                    return "cex", counterexample, images
+                return "refine", None, images  # spurious: need a deeper bound
+            interpolant = compute_interpolant(formula, writer.to_trace(), a_ids)
+            images += 1
+            image = self._interpolant_to_state_circuit(interpolant, shared_state_vars)
+            if self._implied_by_reach(image, reach, include_init=True):
+                return "proved", reach.union_circuit(), images
+            reach.add(image)
+            frontier = image
+        return "budget", None, images
+
+    # -- query construction ------------------------------------------------------------
+
+    def _build_query(self, frontier: Circuit | None, bound: int):
+        """CNF for frontier(s0) AND T(s0,s1) AND [T... AND Bad(s1..sk)].
+
+        Returns (formula, a_clause_ids, step-1 state variables, decoder).
+        The A-partition is everything over step-0/step-1 variables: the
+        frontier constraint plus the first transition.
+        """
+        system = self.system
+        formula = CnfFormula(0)
+        state_nets = system.transition.inputs[: system.num_state_bits]
+        input_nets = system.transition.inputs[system.num_state_bits :]
+
+        state_vars = [[formula.num_vars + i + 1 for i in range(system.num_state_bits)]]
+        formula.num_vars += system.num_state_bits
+
+        if frontier is None:
+            for clause in system.init:
+                formula.add_clause(
+                    [state_vars[0][abs(lit) - 1] * (1 if lit > 0 else -1) for lit in clause]
+                )
+        else:
+            bindings = dict(zip(frontier.inputs, state_vars[0]))
+            encoded = tseitin_encode(frontier, formula, bindings=bindings)
+            formula.add_clause([encoded.var(frontier.outputs[0])])
+
+        input_vars: list[list[int]] = []
+        for _ in range(bound):
+            bindings = dict(zip(state_nets, state_vars[-1]))
+            encoded = tseitin_encode(system.transition, formula, bindings=bindings)
+            state_vars.append([encoded.var(net) for net in system.transition.outputs])
+            input_vars.append([encoded.var(net) for net in input_nets])
+            if len(state_vars) == 2:
+                a_boundary = formula.num_clauses  # A = clauses so far
+
+        bad_vars = []
+        for step_vars in state_vars[1:]:
+            bindings = dict(zip(system.bad.inputs, step_vars))
+            encoded = tseitin_encode(system.bad, formula, bindings=bindings)
+            bad_vars.append(encoded.var(system.bad.outputs[0]))
+        formula.add_clause(bad_vars)
+
+        a_ids = set(range(1, a_boundary + 1))
+
+        def decode(model) -> Counterexample:
+            states = [[model[var] for var in step] for step in state_vars]
+            inputs = [[model[var] for var in step] for step in input_vars]
+            bad_step = 1 + next(
+                index for index, var in enumerate(bad_vars) if model[var]
+            )
+            counterexample = Counterexample(states=states, inputs=inputs, bad_step=bad_step)
+            BoundedModelChecker(system, config=self.config)._validate_counterexample(
+                counterexample
+            )
+            return counterexample
+
+        return formula, a_ids, state_vars[1], decode
+
+    # -- interpolant plumbing --------------------------------------------------------------
+
+    def _interpolant_to_state_circuit(
+        self, interpolant: Interpolant, shared_state_vars: list[int]
+    ) -> Circuit:
+        """Rebase the interpolant circuit onto the state-bit interface.
+
+        The A/B split guarantees shared variables are a subset of the
+        step-1 state variables; unused state bits become don't-cares.
+        """
+        position_of = {var: index for index, var in enumerate(shared_state_vars)}
+        for var in interpolant.input_vars:
+            if var not in position_of:
+                raise AssertionError(
+                    "interpolant escaped the step-1 state interface — the "
+                    "A/B partition is wrong"
+                )
+        rebased = Circuit(name="image")
+        state = rebased.add_inputs(self.system.num_state_bits)
+        remap = {
+            net: state[position_of[var]]
+            for net, var in zip(interpolant.circuit.inputs, interpolant.input_vars)
+        }
+        for gate in interpolant.circuit.gates:
+            remap[gate.output] = rebased.add_gate(
+                gate.gtype, *(remap[n] for n in gate.inputs)
+            )
+        rebased.mark_output(remap[interpolant.circuit.outputs[0]])
+        return rebased
+
+    def _implied_by_reach(
+        self, image: Circuit, reach: _ReachSet, include_init: bool
+    ) -> bool:
+        """Fixed-point test: image(s) AND NOT (Init(s) OR reach(s)) UNSAT?"""
+        formula = CnfFormula(0)
+        state_vars = [formula.num_vars + i + 1 for i in range(self.system.num_state_bits)]
+        formula.num_vars += self.system.num_state_bits
+
+        encoded_image = tseitin_encode(
+            image, formula, bindings=dict(zip(image.inputs, state_vars))
+        )
+        formula.add_clause([encoded_image.var(image.outputs[0])])
+
+        negated_parts = []
+        if include_init:
+            init_circuit = self._init_as_circuit()
+            encoded = tseitin_encode(
+                init_circuit, formula, bindings=dict(zip(init_circuit.inputs, state_vars))
+            )
+            negated_parts.append(encoded.var(init_circuit.outputs[0]))
+        for member in reach.members:
+            encoded = tseitin_encode(
+                member, formula, bindings=dict(zip(member.inputs, state_vars))
+            )
+            negated_parts.append(encoded.var(member.outputs[0]))
+        for var in negated_parts:
+            formula.add_clause([-var])
+        return Solver(formula, config=self.config).solve().is_unsat
+
+    def _init_as_circuit(self) -> Circuit:
+        """The init CNF as an AND-of-ORs circuit over the state bits."""
+        circuit = Circuit(name="init")
+        state = circuit.add_inputs(self.system.num_state_bits)
+        clause_nets = []
+        for clause in self.system.init:
+            literal_nets = [
+                state[abs(lit) - 1] if lit > 0 else circuit.not_(state[abs(lit) - 1])
+                for lit in clause
+            ]
+            clause_nets.append(
+                literal_nets[0] if len(literal_nets) == 1 else circuit.or_(*literal_nets)
+            )
+        if not clause_nets:
+            circuit.mark_output(circuit.const(True))
+        elif len(clause_nets) == 1:
+            circuit.mark_output(clause_nets[0])
+        else:
+            circuit.mark_output(circuit.and_(*clause_nets))
+        return circuit

@@ -1,0 +1,147 @@
+"""Sequential equivalence checking (SEC) for Moore-style designs.
+
+Builds the *product machine* of two sequential circuits driven by the
+same primary inputs; the bad state asserts that designated state elements
+(the observable registers) disagree. Bounded equivalence comes from the
+validated BMC engine; full equivalence from the interpolation model
+checker — so "sequentially equivalent" arrives with a machine-checked
+proof, and "not equivalent" with a replayable distinguishing input
+sequence.
+
+Moore-style means the compared observables are registers (state), not
+combinational outputs — the restriction inherited from
+``to_transition_system``'s state-only bad cones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.bmc_engine import BoundedModelChecker, Counterexample
+from repro.apps.itp_mc import InterpolationModelChecker, ItpMcResult
+from repro.bmc.transition import TransitionSystem
+from repro.circuits.netlist import Circuit
+from repro.circuits.sequential import SequentialCircuit
+from repro.solver import SolverConfig
+
+
+@dataclass
+class SecResult:
+    """Verdict of a sequential equivalence check."""
+
+    equivalent: bool | None  # None = undecided within budgets
+    proved_unbounded: bool = False
+    bound_checked: int = -1
+    distinguishing_run: Counterexample | None = None
+
+
+def build_product_system(
+    left: SequentialCircuit,
+    right: SequentialCircuit,
+    observed_left: list[int] | None = None,
+    observed_right: list[int] | None = None,
+    name: str = "product",
+) -> TransitionSystem:
+    """Product machine whose bad state is "observed registers disagree".
+
+    ``observed_left`` / ``observed_right`` are register indices to compare
+    (defaults: all registers, which then must be equally many).
+    """
+    if left.num_primary_inputs != right.num_primary_inputs:
+        raise ValueError("designs must share the primary-input interface")
+    observed_left = list(range(left.num_registers)) if observed_left is None else observed_left
+    observed_right = (
+        list(range(right.num_registers)) if observed_right is None else observed_right
+    )
+    if len(observed_left) != len(observed_right):
+        raise ValueError("observed register lists must pair up")
+    for index in observed_left:
+        if not 0 <= index < left.num_registers:
+            raise ValueError(f"left register index {index} out of range")
+    for index in observed_right:
+        if not 0 <= index < right.num_registers:
+            raise ValueError(f"right register index {index} out of range")
+
+    num_inputs = left.num_primary_inputs
+    total_state = left.num_registers + right.num_registers
+
+    transition = Circuit(name=f"{name}_T")
+    state_nets = transition.add_inputs(total_state)
+    input_nets = transition.add_inputs(num_inputs)
+
+    def splice(design: SequentialCircuit, state_slice: list[int]) -> list[int]:
+        remap = dict(
+            zip(design.core.inputs, state_slice + input_nets)
+        )
+        for gate in design.core.gates:
+            remap[gate.output] = transition.add_gate(
+                gate.gtype, *(remap[n] for n in gate.inputs)
+            )
+        return [remap[register.next_input] for register in design.registers]
+
+    left_next = splice(left, state_nets[: left.num_registers])
+    right_next = splice(right, state_nets[left.num_registers :])
+    for net in left_next + right_next:
+        transition.mark_output(transition.buf(net))
+
+    bad = Circuit(name=f"{name}_bad")
+    bad_state = bad.add_inputs(total_state)
+    differences = [
+        bad.xor(bad_state[l_index], bad_state[left.num_registers + r_index])
+        for l_index, r_index in zip(observed_left, observed_right)
+    ]
+    bad.mark_output(differences[0] if len(differences) == 1 else bad.or_(*differences))
+
+    init = []
+    for index, register in enumerate(left.registers):
+        init.append([(index + 1) if register.init else -(index + 1)])
+    offset = left.num_registers
+    for index, register in enumerate(right.registers):
+        position = offset + index + 1
+        init.append([position if register.init else -position])
+
+    return TransitionSystem(
+        num_state_bits=total_state,
+        num_input_bits=num_inputs,
+        init=init,
+        transition=transition,
+        bad=bad,
+        name=name,
+    )
+
+
+def check_sequential_equivalence(
+    left: SequentialCircuit,
+    right: SequentialCircuit,
+    bound: int = 10,
+    prove: bool = True,
+    observed_left: list[int] | None = None,
+    observed_right: list[int] | None = None,
+    config: SolverConfig | None = None,
+    max_images: int = 50,
+) -> SecResult:
+    """Decide observable equivalence of two Moore designs.
+
+    With ``prove`` (default) the interpolation engine attempts a full
+    unbounded proof first; bounded BMC is the fallback (and the
+    counterexample finder).
+    """
+    system = build_product_system(
+        left, right, observed_left=observed_left, observed_right=observed_right
+    )
+
+    if prove:
+        outcome: ItpMcResult = InterpolationModelChecker(system, config=config).prove(
+            max_bound=bound, max_images=max_images
+        )
+        if outcome.status == "proved":
+            return SecResult(equivalent=True, proved_unbounded=True)
+        if outcome.status == "counterexample":
+            return SecResult(
+                equivalent=False, distinguishing_run=outcome.counterexample
+            )
+
+    bmc = BoundedModelChecker(system, config=config).run(max_bound=bound)
+    if bmc.property_violated:
+        return SecResult(equivalent=False, distinguishing_run=bmc.counterexample)
+    return SecResult(equivalent=None, bound_checked=bmc.safe_through)

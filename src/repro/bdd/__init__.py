@@ -1,0 +1,24 @@
+"""A small ROBDD engine — the other symbolic engine of the paper's era.
+
+BMC (the paper's [2]) was introduced as "symbolic model checking *without*
+BDDs"; this package supplies the BDD side so the test suite can
+cross-validate the SAT-based flows against an entirely independent
+technology: BDD equivalence checking against SAT-based CEC, and exact
+symbolic reachability against BMC / interpolation verdicts.
+
+Classic reduced ordered BDDs with a unique table and memoized ``ite``;
+no complement edges (simplicity over speed — this is a referee, not a
+race car).
+"""
+
+from repro.bdd.manager import BddManager
+from repro.bdd.circuit_bridge import circuit_outputs_to_bdds, bdd_equivalent
+from repro.bdd.reachability import symbolic_reachability, ReachabilityResult
+
+__all__ = [
+    "BddManager",
+    "circuit_outputs_to_bdds",
+    "bdd_equivalent",
+    "symbolic_reachability",
+    "ReachabilityResult",
+]

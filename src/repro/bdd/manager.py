@@ -1,0 +1,240 @@
+"""Reduced ordered binary decision diagrams.
+
+Nodes are integers: 0 and 1 are the terminals; internal nodes are handles
+into the manager's tables. Variables are identified by their position in
+a fixed global order (small index = nearer the root).
+"""
+
+from __future__ import annotations
+
+FALSE = 0
+TRUE = 1
+
+
+class BddManager:
+    """Unique-table ROBDD manager with memoized ite."""
+
+    def __init__(self):
+        # node id -> (level, low, high); ids 0/1 are terminals.
+        self._nodes: dict[int, tuple[int, int, int]] = {}
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._next_id = 2
+
+    # -- structure ---------------------------------------------------------
+
+    def level_of(self, node: int) -> int:
+        """Variable level of a node (terminals sit at +infinity)."""
+        if node in (FALSE, TRUE):
+            return 1 << 60
+        return self._nodes[node][0]
+
+    def low_high(self, node: int) -> tuple[int, int]:
+        _, low, high = self._nodes[node]
+        return low, high
+
+    def make_node(self, level: int, low: int, high: int) -> int:
+        """Reduced, hash-consed node constructor."""
+        if low == high:
+            return low
+        key = (level, low, high)
+        existing = self._unique.get(key)
+        if existing is not None:
+            return existing
+        node = self._next_id
+        self._next_id += 1
+        self._nodes[node] = key
+        self._unique[key] = node
+        return node
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    # -- constants and variables ----------------------------------------------
+
+    def true(self) -> int:
+        return TRUE
+
+    def false(self) -> int:
+        return FALSE
+
+    def var(self, level: int) -> int:
+        """The function "variable at ``level`` is true"."""
+        if level < 0:
+            raise ValueError("variable level must be >= 0")
+        return self.make_node(level, FALSE, TRUE)
+
+    # -- the universal combinator -----------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """if f then g else h."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self.level_of(f), self.level_of(g), self.level_of(h))
+
+        def cofactor(node: int, branch: int) -> int:
+            if self.level_of(node) != level:
+                return node
+            return self.low_high(node)[branch]
+
+        low = self.ite(cofactor(f, 0), cofactor(g, 0), cofactor(h, 0))
+        high = self.ite(cofactor(f, 1), cofactor(g, 1), cofactor(h, 1))
+        result = self.make_node(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    # -- boolean operations -------------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def xnor(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def and_many(self, operands) -> int:
+        result = TRUE
+        for operand in operands:
+            result = self.and_(result, operand)
+        return result
+
+    def or_many(self, operands) -> int:
+        result = FALSE
+        for operand in operands:
+            result = self.or_(result, operand)
+        return result
+
+    # -- cofactors, quantification, substitution -------------------------------------
+
+    def restrict(self, f: int, level: int, value: bool) -> int:
+        """Cofactor: fix the variable at ``level`` to ``value``."""
+        memo: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node in (FALSE, TRUE):
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            node_level, low, high = self._nodes[node]
+            if node_level > level:
+                result = node
+            elif node_level == level:
+                result = walk(high if value else low)
+            else:
+                result = self.make_node(node_level, walk(low), walk(high))
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, levels, f: int) -> int:
+        """Existential quantification over an iterable of levels."""
+        result = f
+        for level in sorted(set(levels), reverse=True):
+            result = self.or_(
+                self.restrict(result, level, False),
+                self.restrict(result, level, True),
+            )
+        return result
+
+    def rename(self, f: int, mapping: dict[int, int]) -> int:
+        """Relabel variable levels via an order-preserving mapping.
+
+        ``mapping`` must be strictly monotone on the levels it moves and
+        must not collide with levels in ``f``'s support outside the
+        mapping — sufficient for the interleaved current/next encoding
+        reachability uses, and checked.
+        """
+        items = sorted(mapping.items())
+        for (a, fa), (b, fb) in zip(items, items[1:]):
+            if not (a < b and fa < fb):
+                raise ValueError("rename mapping must be order-preserving")
+        support = self.support(f)
+        moved_targets = set(mapping.values())
+        if moved_targets & (support - set(mapping)):
+            raise ValueError("rename target collides with the function's support")
+        memo: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node in (FALSE, TRUE):
+                return node
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[node]
+            result = self.make_node(mapping.get(level, level), walk(low), walk(high))
+            memo[node] = result
+            return result
+
+        return walk(f)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def evaluate(self, f: int, assignment: dict[int, bool]) -> bool:
+        """Evaluate under a level -> bool assignment (must cover support)."""
+        node = f
+        while node not in (FALSE, TRUE):
+            level, low, high = self._nodes[node]
+            node = high if assignment[level] else low
+        return node == TRUE
+
+    def support(self, f: int) -> set[int]:
+        """The set of variable levels the function depends on."""
+        seen: set[int] = set()
+        levels: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node in (FALSE, TRUE) or node in seen:
+                continue
+            seen.add(node)
+            level, low, high = self._nodes[node]
+            levels.add(level)
+            stack.extend((low, high))
+        return levels
+
+    def count_sat(self, f: int, num_vars: int) -> int:
+        """Number of satisfying assignments over levels 0..num_vars-1."""
+        memo: dict[int, int] = {}
+
+        def effective_level(node: int) -> int:
+            level = self.level_of(node)
+            return num_vars if level >= num_vars else level
+
+        def walk(node: int) -> int:
+            """Count over the variables from the node's own level down."""
+            if node == TRUE:
+                return 1
+            if node == FALSE:
+                return 0
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            level, low, high = self._nodes[node]
+            result = 0
+            for child in (low, high):
+                result += walk(child) << (effective_level(child) - level - 1)
+            memo[node] = result
+            return result
+
+        return walk(f) << effective_level(f)

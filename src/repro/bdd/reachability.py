@@ -1,0 +1,105 @@
+"""Exact symbolic reachability over transition systems.
+
+Classic BDD-based forward image computation — the pre-BMC technology the
+paper's citation [2] positioned SAT against. Exact reachability gives
+ground truth to cross-validate the SAT-based engines: a bad state is
+reachable iff Reach AND Bad is non-empty, and the iteration count bounds
+where BMC must find its counterexample.
+
+Variable convention: state bit i lives at level 2i (current) and 2i+1
+(next); primary inputs live above all state levels. The interleaving
+makes the next->current renaming order-preserving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bdd.circuit_bridge import circuit_outputs_to_bdds
+from repro.bdd.manager import BddManager
+from repro.bmc.transition import TransitionSystem
+
+
+@dataclass
+class ReachabilityResult:
+    """Exact reachability facts."""
+
+    bad_reachable: bool
+    iterations: int  # image steps to the fixed point (or to hitting bad)
+    num_reachable_states: int | None  # None when stopped early at a bad state
+    shortest_counterexample: int | None  # steps to the first bad state
+
+
+def symbolic_reachability(
+    system: TransitionSystem,
+    max_iterations: int = 10_000,
+    stop_at_bad: bool = True,
+) -> ReachabilityResult:
+    """Forward reachability to a fixed point (or the first bad state)."""
+    manager = BddManager()
+    n = system.num_state_bits
+
+    def current_level(i: int) -> int:
+        return 2 * i
+
+    def next_level(i: int) -> int:
+        return 2 * i + 1
+
+    input_base = 2 * n
+    current_levels = [current_level(i) for i in range(n)]
+    input_levels = [input_base + j for j in range(system.num_input_bits)]
+
+    # Transition relation T(s, x, s') = AND_i (s'_i <-> f_i(s, x)).
+    next_functions = circuit_outputs_to_bdds(
+        system.transition, manager, input_levels=current_levels + input_levels
+    )
+    relation = manager.true()
+    for i, function in enumerate(next_functions):
+        relation = manager.and_(
+            relation, manager.xnor(manager.var(next_level(i)), function)
+        )
+
+    bad = circuit_outputs_to_bdds(system.bad, manager, input_levels=current_levels)[0]
+
+    init = manager.true()
+    for clause in system.init:
+        clause_bdd = manager.false()
+        for lit in clause:
+            var_bdd = manager.var(current_level(abs(lit) - 1))
+            clause_bdd = manager.or_(
+                clause_bdd, var_bdd if lit > 0 else manager.not_(var_bdd)
+            )
+        init = manager.and_(init, clause_bdd)
+
+    quantified = set(current_levels) | set(input_levels)
+    rename_map = {next_level(i): current_level(i) for i in range(n)}
+
+    reach = init
+    frontier = init
+    steps = 0
+    shortest: int | None = 0 if manager.and_(init, bad) != manager.false() else None
+    if shortest is not None and stop_at_bad:
+        return ReachabilityResult(True, 0, None, 0)
+
+    while frontier != manager.false() and steps < max_iterations:
+        image_next = manager.exists(
+            quantified, manager.and_(frontier, relation)
+        )
+        image = manager.rename(image_next, rename_map)
+        frontier = manager.and_(image, manager.not_(reach))
+        reach = manager.or_(reach, image)
+        steps += 1
+        if shortest is None and manager.and_(frontier, bad) != manager.false():
+            shortest = steps
+            if stop_at_bad:
+                return ReachabilityResult(True, steps, None, steps)
+
+    # reach ranges over the even (current-state) levels only; counting over
+    # all 2n levels treats the odd levels as don't-cares, so divide out.
+    num_states = manager.count_sat(reach, 2 * n) >> n
+    return ReachabilityResult(
+        bad_reachable=shortest is not None,
+        iterations=steps,
+        num_reachable_states=num_states,
+        shortest_counterexample=shortest,
+    )

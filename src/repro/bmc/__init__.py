@@ -1,0 +1,20 @@
+"""Bounded model checking substrate (the ``barrel``/``longmult`` family).
+
+BMC (Biere et al., the paper's [2]) unrolls a transition system k steps
+and asks whether a bad state is reachable within the bound. An UNSAT
+answer — the safety property holds through k steps — is exactly the kind
+of claim the paper's checker validates.
+"""
+
+from repro.bmc.transition import TransitionSystem
+from repro.bmc.unroll import unroll, bmc_cnf
+from repro.bmc.systems import counter_system, token_ring_system, lfsr_system
+
+__all__ = [
+    "TransitionSystem",
+    "unroll",
+    "bmc_cnf",
+    "counter_system",
+    "token_ring_system",
+    "lfsr_system",
+]

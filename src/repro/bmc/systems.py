@@ -1,0 +1,132 @@
+"""Concrete transition systems for the benchmark suite."""
+
+from __future__ import annotations
+
+from repro.bmc.transition import TransitionSystem
+from repro.circuits.netlist import Circuit
+
+
+def _equals_const_circuit(width: int, value: int) -> Circuit:
+    """Bad-state circuit: state == value."""
+    circuit = Circuit(name=f"eq{value}")
+    state = circuit.add_inputs(width)
+    bits = [
+        state[i] if (value >> i) & 1 else circuit.not_(state[i]) for i in range(width)
+    ]
+    out = bits[0] if width == 1 else circuit.and_(*bits)
+    circuit.mark_output(out)
+    return circuit
+
+
+def counter_system(
+    width: int, bad_value: int | None = None, with_enable: bool = False
+) -> TransitionSystem:
+    """A ``width``-bit incrementing counter starting at 0.
+
+    Bad state: counter == ``bad_value`` (default: all ones). BMC with
+    bound < bad_value is UNSAT — the counter cannot get there that fast —
+    which makes the bound a precise hardness dial (the ``barrel``/BMC
+    analog).
+
+    With ``with_enable`` the counter increments only when a free input bit
+    is 1; the environment's choices make the refutation a genuine search
+    over input sequences rather than a single BCP chain.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if bad_value is None:
+        bad_value = (1 << width) - 1
+    if not 0 < bad_value < (1 << width):
+        raise ValueError("bad_value out of range")
+    transition = Circuit(name=f"inc{width}")
+    state = transition.add_inputs(width)
+    carry = transition.add_input() if with_enable else transition.const(True)
+    for i in range(width):
+        transition.mark_output(transition.xor(state[i], carry))
+        carry = transition.and_(state[i], carry)
+    init = [[-(i + 1)] for i in range(width)]  # counter starts at 0
+    return TransitionSystem(
+        num_state_bits=width,
+        num_input_bits=1 if with_enable else 0,
+        init=init,
+        transition=transition,
+        bad=_equals_const_circuit(width, bad_value),
+        name=f"counter{width}_to_{bad_value}",
+    )
+
+
+def token_ring_system(size: int) -> TransitionSystem:
+    """A one-hot token rotating around a ring; bad = token lost or doubled.
+
+    The mutual-exclusion-style invariant holds for every bound, so every
+    BMC query is UNSAT — a family whose proofs grow linearly with the
+    bound.
+    """
+    if size < 2:
+        raise ValueError("size must be >= 2")
+    transition = Circuit(name=f"rot{size}")
+    state = transition.add_inputs(size)
+    for i in range(size):
+        transition.mark_output(transition.buf(state[(i - 1) % size]))
+    # Bad: not exactly one token.
+    bad = Circuit(name="not_onehot")
+    bits = bad.add_inputs(size)
+    any_pair = [
+        bad.and_(bits[i], bits[j]) for i in range(size) for j in range(i + 1, size)
+    ]
+    none = bad.nor(*bits)
+    bad.mark_output(bad.or_(none, *any_pair))
+    init = [[1]] + [[-(i + 1)] for i in range(1, size)]  # token at position 0
+    return TransitionSystem(
+        num_state_bits=size,
+        num_input_bits=0,
+        init=init,
+        transition=transition,
+        bad=bad,
+        name=f"token_ring{size}",
+    )
+
+
+def lfsr_system(
+    width: int, taps: tuple[int, ...] = (0,), any_nonzero_seed: bool = True
+) -> TransitionSystem:
+    """A Fibonacci LFSR seeded non-zero; bad = all-zero state.
+
+    The feedback always XORs in the bit being shifted out (index
+    ``width-1``), which makes the update bijective; zero is then a fixed
+    point no non-zero orbit can enter, so every BMC bound is UNSAT. The
+    XOR feedback gives resolution proofs the flavour of the paper's
+    ``longmult``.
+
+    With ``any_nonzero_seed`` (default) the initial state is only
+    constrained to be non-zero, so the refutation must cover every seed —
+    a genuine search. Otherwise the seed is the concrete 000..01 and BCP
+    refutes the query on its own.
+    """
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if any(t < 0 or t >= width - 1 for t in taps) or not taps:
+        raise ValueError("taps must be distinct indices in [0, width-1)")
+    transition = Circuit(name=f"lfsr{width}")
+    state = transition.add_inputs(width)
+    feedback = state[width - 1]
+    for tap in dict.fromkeys(taps):
+        feedback = transition.xor(feedback, state[tap])
+    transition.mark_output(feedback)
+    for i in range(width - 1):
+        transition.mark_output(transition.buf(state[i]))
+    bad = Circuit(name="all_zero")
+    bits = bad.add_inputs(width)
+    bad.mark_output(bad.nor(*bits))
+    if any_nonzero_seed:
+        init = [[i + 1 for i in range(width)]]  # at least one bit set
+    else:
+        init = [[1]] + [[-(i + 1)] for i in range(1, width)]  # seed = 000..01
+    return TransitionSystem(
+        num_state_bits=width,
+        num_input_bits=0,
+        init=init,
+        transition=transition,
+        bad=bad,
+        name=f"lfsr{width}",
+    )

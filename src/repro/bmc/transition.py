@@ -1,0 +1,54 @@
+"""Symbolic transition systems."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Circuit
+
+
+@dataclass
+class TransitionSystem:
+    """A finite-state system given as circuits.
+
+    * ``num_state_bits`` / ``num_input_bits`` — widths of the state and the
+      free (nondeterministic) input.
+    * ``init`` — CNF over the *initial* state bits; literal ±i refers to
+      state bit i (1-based).
+    * ``transition`` — a circuit whose inputs are
+      (state bits, then input bits) and whose outputs are the next-state
+      bits, in order.
+    * ``bad`` — a circuit over the state bits with one output that is 1 in
+      exactly the bad states.
+    """
+
+    num_state_bits: int
+    num_input_bits: int
+    init: list[list[int]]
+    transition: Circuit
+    bad: Circuit
+    name: str = "ts"
+
+    def __post_init__(self) -> None:
+        expected_inputs = self.num_state_bits + self.num_input_bits
+        if len(self.transition.inputs) != expected_inputs:
+            raise ValueError(
+                f"transition circuit has {len(self.transition.inputs)} inputs, "
+                f"expected {expected_inputs}"
+            )
+        if len(self.transition.outputs) != self.num_state_bits:
+            raise ValueError(
+                f"transition circuit has {len(self.transition.outputs)} outputs, "
+                f"expected {self.num_state_bits}"
+            )
+        if len(self.bad.inputs) != self.num_state_bits:
+            raise ValueError(
+                f"bad-state circuit has {len(self.bad.inputs)} inputs, "
+                f"expected {self.num_state_bits}"
+            )
+        if len(self.bad.outputs) != 1:
+            raise ValueError("bad-state circuit must have exactly one output")
+        for clause in self.init:
+            for lit in clause:
+                if lit == 0 or abs(lit) > self.num_state_bits:
+                    raise ValueError(f"init literal {lit} out of state range")

@@ -1,0 +1,48 @@
+"""k-step unrolling of a transition system into CNF."""
+
+from __future__ import annotations
+
+from repro.bmc.transition import TransitionSystem
+from repro.circuits.tseitin import tseitin_encode
+from repro.cnf import CnfFormula
+
+
+def unroll(system: TransitionSystem, steps: int) -> tuple[CnfFormula, list[list[int]]]:
+    """Unroll ``steps`` transitions; returns (formula, state vars per step).
+
+    The returned formula contains the initial-state constraint and the
+    chained transition relations but no property — callers add their own
+    goal/bad constraint over the per-step state variables.
+    """
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    formula = CnfFormula(0)
+    # Fresh variables for the step-0 state.
+    state_vars = [[formula.num_vars + i + 1 for i in range(system.num_state_bits)]]
+    formula.num_vars += system.num_state_bits
+    for clause in system.init:
+        formula.add_clause(
+            [state_vars[0][abs(lit) - 1] * (1 if lit > 0 else -1) for lit in clause]
+        )
+    for _ in range(steps):
+        current = state_vars[-1]
+        bindings = dict(zip(system.transition.inputs[: system.num_state_bits], current))
+        encoded = tseitin_encode(system.transition, formula, bindings=bindings)
+        state_vars.append([encoded.var(net) for net in system.transition.outputs])
+    return formula, state_vars
+
+
+def bmc_cnf(system: TransitionSystem, bound: int) -> CnfFormula:
+    """CNF asking "is a bad state reachable within ``bound`` steps?"
+
+    UNSAT means the safety property holds for all executions of length
+    <= bound — the claim the checkers validate.
+    """
+    formula, state_vars = unroll(system, bound)
+    bad_literals = []
+    for step_vars in state_vars:
+        bindings = dict(zip(system.bad.inputs, step_vars))
+        encoded = tseitin_encode(system.bad, formula, bindings=bindings)
+        bad_literals.append(encoded.var(system.bad.outputs[0]))
+    formula.add_clause(bad_literals)
+    return formula

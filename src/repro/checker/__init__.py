@@ -1,0 +1,47 @@
+"""Independent resolution-based checkers for SAT solver validation (§3).
+
+Given the original CNF formula and the solver's trace, each checker tries to
+re-derive the empty clause by resolution. Success proves the UNSAT claim;
+failure pinpoints a bug in the solver (or its trace generation) with a
+structured diagnostic.
+
+* :class:`DepthFirstChecker` — Fig. 3 of the paper. Builds only the clauses
+  the proof needs; holds the whole trace (and every built clause) in memory.
+  Byproduct: the unsatisfiable core used by §4's Table 3.
+* :class:`BreadthFirstChecker` — streams the trace in generation order with
+  a counting pre-pass and reference-counted deletion; peak memory never
+  exceeds what the solver itself held.
+* :class:`HybridChecker` — the paper's future-work design: DF-style marking
+  over the clause-ID graph plus BF-style streaming of only the needed
+  clauses.
+* :func:`check_model` — the easy direction: linear-time validation of a
+  satisfying assignment.
+* :class:`RupChecker` — modern extension: validates DRUP-style proofs by
+  reverse unit propagation (the lineage that leads to drat-trim).
+"""
+
+from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.report import CheckReport
+from repro.checker.resolution import resolve, ResolutionError
+from repro.checker.memory import MemoryMeter, MemoryLimitExceeded
+from repro.checker.model import check_model
+from repro.checker.depth_first import DepthFirstChecker
+from repro.checker.breadth_first import BreadthFirstChecker
+from repro.checker.hybrid import HybridChecker
+from repro.checker.rup import RupChecker, DrupWriter
+
+__all__ = [
+    "CheckFailure",
+    "FailureKind",
+    "CheckReport",
+    "resolve",
+    "ResolutionError",
+    "MemoryMeter",
+    "MemoryLimitExceeded",
+    "check_model",
+    "DepthFirstChecker",
+    "BreadthFirstChecker",
+    "HybridChecker",
+    "RupChecker",
+    "DrupWriter",
+]

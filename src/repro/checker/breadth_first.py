@@ -1,0 +1,297 @@
+"""The breadth-first checker (§3.3 of the paper).
+
+Streams the trace in generation order, building every learned clause as its
+record arrives. A counting pre-pass (written to a temporary file, exactly as
+the paper describes — even one in-memory counter per learned clause may not
+fit) records how many times each clause is used as a resolve source; during
+checking, a clause is deleted the moment its last use completes. Peak
+resident memory therefore never exceeds what the solver itself held while
+producing the trace.
+
+The counting pass can be chunked over clause-ID ranges
+(``count_chunk_size``) — the paper: "we may also need to break the first
+pass into several passes so that we can count the number of usages of the
+clauses in one range at a time."
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import time
+from array import array
+from pathlib import Path
+from typing import FrozenSet, Iterator
+
+from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.level_zero import LevelZeroState, derive_empty_clause
+from repro.checker.memory import MemoryMeter
+from repro.checker.report import CheckReport
+from repro.checker.resolution import resolve
+from repro.cnf import CnfFormula
+from repro.trace.io import iter_trace_records
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    Trace,
+    TraceHeader,
+    TraceRecord,
+    TraceResult,
+)
+
+_COUNT_FORMAT = "<Q"
+_COUNT_SIZE = struct.calcsize(_COUNT_FORMAT)
+
+
+class BreadthFirstChecker:
+    """Validates an UNSAT claim by streaming the trace with bounded memory."""
+
+    method = "breadth-first"
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        trace_source: str | Path | Trace,
+        memory_limit: int | None = None,
+        count_chunk_size: int | None = None,
+        tmp_dir: str | Path | None = None,
+    ):
+        self.formula = formula
+        self._source = trace_source
+        self.meter = MemoryMeter(limit=memory_limit)
+        self._chunk_size = count_chunk_size
+        self._tmp_dir = str(tmp_dir) if tmp_dir is not None else None
+        self._num_original: int | None = None
+        self._resident: dict[int, FrozenSet[int]] = {}
+        self._remaining: dict[int, int] = {}
+        self._clauses_built = 0
+        self._total_learned = 0
+        self._resolutions = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self) -> CheckReport:
+        """Run the check; never raises — failures land in the report."""
+        start = time.perf_counter()
+        failure: CheckFailure | None = None
+        verified = False
+        counts_path: str | None = None
+        try:
+            max_cid = self._scan_extent()
+            counts_path = self._counting_pass(max_cid)
+            with open(counts_path, "rb") as counts_file:
+                verified = self._checking_pass(counts_file)
+        except CheckFailure as exc:
+            failure = exc
+        finally:
+            if counts_path is not None:
+                os.unlink(counts_path)
+        return CheckReport(
+            method=self.method,
+            verified=verified,
+            failure=failure,
+            clauses_built=self._clauses_built,
+            total_learned=self._total_learned,
+            peak_memory_units=self.meter.peak,
+            check_time=time.perf_counter() - start,
+            resolutions=self._resolutions,
+        )
+
+    # -- record streaming -------------------------------------------------------
+
+    def _records(self) -> Iterator[TraceRecord]:
+        if isinstance(self._source, Trace):
+            return self._source.records()
+        return iter_trace_records(self._source)
+
+    # -- pass 0: extent ----------------------------------------------------------
+
+    def _scan_extent(self) -> int:
+        """Find the number of original clauses and the largest clause ID."""
+        max_cid = 0
+        self._total_learned = 0
+        saw_header = False
+        for record in self._records():
+            if isinstance(record, TraceHeader):
+                saw_header = True
+                self._num_original = record.num_original_clauses
+                max_cid = max(max_cid, record.num_original_clauses)
+                if self.formula.num_clauses != record.num_original_clauses:
+                    raise CheckFailure(
+                        FailureKind.UNKNOWN_CLAUSE,
+                        "formula / trace disagree on the number of original clauses",
+                        formula_clauses=self.formula.num_clauses,
+                        trace_clauses=record.num_original_clauses,
+                    )
+            elif isinstance(record, LearnedClause):
+                self._total_learned += 1
+                max_cid = max(max_cid, record.cid)
+        if not saw_header:
+            raise CheckFailure(FailureKind.BAD_LEVEL_ZERO, "trace has no header")
+        return max_cid
+
+    # -- pass 1: counting ---------------------------------------------------------
+
+    def _count_references(self, low: int, high: int, counts: array) -> None:
+        """Accumulate uses of clause IDs in [low, high) into ``counts``."""
+        assert self._num_original is not None
+        num_original = self._num_original
+        for record in self._records():
+            if isinstance(record, LearnedClause):
+                for source in record.sources:
+                    if low <= source < high and source > num_original:
+                        counts[source - low] += 1
+            elif isinstance(record, LevelZeroAssignment):
+                if low <= record.antecedent < high and record.antecedent > num_original:
+                    counts[record.antecedent - low] += 1
+            elif isinstance(record, FinalConflict):
+                if low <= record.cid < high and record.cid > num_original:
+                    counts[record.cid - low] += 1
+
+    def _counting_pass(self, max_cid: int) -> str:
+        """Write per-learned-clause use counts to a temporary file."""
+        assert self._num_original is not None
+        first_learned = self._num_original + 1
+        span = max(0, max_cid - self._num_original)
+        chunk = self._chunk_size or max(span, 1)
+        fd, path = tempfile.mkstemp(prefix="bfcheck-counts-", dir=self._tmp_dir)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for low in range(first_learned, max_cid + 1, chunk):
+                    high = min(low + chunk, max_cid + 1)
+                    counts = array("Q", bytes(_COUNT_SIZE * (high - low)))
+                    self._count_references(low, high, counts)
+                    counts.tofile(handle)
+        except BaseException:
+            os.unlink(path)
+            raise
+        return path
+
+    def _read_count(self, counts_file, cid: int) -> int:
+        assert self._num_original is not None
+        offset = (cid - self._num_original - 1) * _COUNT_SIZE
+        counts_file.seek(offset)
+        blob = counts_file.read(_COUNT_SIZE)
+        if len(blob) != _COUNT_SIZE:
+            raise CheckFailure(
+                FailureKind.UNKNOWN_CLAUSE,
+                "clause ID outside the counted range",
+                cid=cid,
+            )
+        return struct.unpack(_COUNT_FORMAT, blob)[0]
+
+    # -- pass 2: checking -----------------------------------------------------------
+
+    def _get_clause(self, cid: int) -> FrozenSet[int]:
+        assert self._num_original is not None
+        if cid <= self._num_original:
+            try:
+                return frozenset(self.formula[cid].literals)
+            except KeyError:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "trace references an original clause absent from the formula",
+                    cid=cid,
+                ) from None
+        clause = self._resident.get(cid)
+        if clause is None:
+            raise CheckFailure(
+                FailureKind.UNKNOWN_CLAUSE,
+                "clause is not resident: never defined, defined later, or "
+                "already fully consumed",
+                cid=cid,
+            )
+        return clause
+
+    def _consume_use(self, cid: int) -> None:
+        """Decrement a resident clause's remaining-use counter; free at zero."""
+        assert self._num_original is not None
+        if cid <= self._num_original:
+            return
+        remaining = self._remaining.get(cid)
+        if remaining is None:
+            return
+        if remaining <= 1:
+            clause = self._resident.pop(cid)
+            del self._remaining[cid]
+            self.meter.release(self.meter.clause_units(len(clause)))
+        else:
+            self._remaining[cid] = remaining - 1
+
+    def _build_learned(self, record: LearnedClause, counts_file) -> None:
+        for source in record.sources:
+            if source >= record.cid:
+                raise CheckFailure(
+                    FailureKind.CYCLIC_TRACE,
+                    "learned clause resolves from a clause with an ID not "
+                    "smaller than its own",
+                    cid=record.cid,
+                    source=source,
+                )
+        clause = self._get_clause(record.sources[0])
+        previous = record.sources[0]
+        for source in record.sources[1:]:
+            clause = resolve(clause, self._get_clause(source), cid_a=previous, cid_b=source)
+            self._resolutions += 1
+            previous = source
+        self._clauses_built += 1
+        # Decrement sources only after the build succeeded, so diagnostics
+        # for a failed build still see the inputs.
+        for source in record.sources:
+            self._consume_use(source)
+        total_uses = self._read_count(counts_file, record.cid)
+        if total_uses == 0:
+            return  # validated, never used again: drop immediately
+        self._resident[record.cid] = clause
+        self._remaining[record.cid] = total_uses
+        self.meter.allocate(self.meter.clause_units(len(clause)))
+
+    def _checking_pass(self, counts_file) -> bool:
+        assert self._num_original is not None
+        level_zero_entries: list[LevelZeroAssignment] = []
+        final_conflicts: list[int] = []
+        status = "UNKNOWN"
+        last_cid = self._num_original
+        for record in self._records():
+            if isinstance(record, LearnedClause):
+                if record.cid <= last_cid:
+                    raise CheckFailure(
+                        FailureKind.CYCLIC_TRACE,
+                        "learned clause IDs must be strictly increasing",
+                        cid=record.cid,
+                        previous=last_cid,
+                    )
+                last_cid = record.cid
+                self._build_learned(record, counts_file)
+            elif isinstance(record, LevelZeroAssignment):
+                level_zero_entries.append(record)
+                self.meter.allocate(self.meter.record_units(3))
+            elif isinstance(record, FinalConflict):
+                final_conflicts.append(record.cid)
+            elif isinstance(record, TraceResult):
+                status = record.status
+
+        if status != "UNSAT":
+            raise CheckFailure(
+                FailureKind.BAD_STATUS,
+                "trace does not claim UNSAT; nothing to check",
+                status=status,
+            )
+        if not final_conflicts:
+            raise CheckFailure(
+                FailureKind.BAD_FINAL_CONFLICT,
+                "trace has no final conflicting clause",
+            )
+        final_cid = final_conflicts[0]
+        level_zero = LevelZeroState(level_zero_entries)
+        steps = derive_empty_clause(
+            final_cid,
+            self._get_clause(final_cid),
+            level_zero,
+            get_clause=self._get_clause,
+            on_use=self._consume_use,
+        )
+        self._resolutions += steps
+        return True

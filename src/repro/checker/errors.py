@@ -1,0 +1,41 @@
+"""Structured check failures.
+
+The paper: "If such checks fail, the solver (or its trace generation) is
+buggy. The checker can also provide as much information as possible about
+the failure to help debug the solver." Every failure therefore carries a
+machine-readable kind plus the clause IDs / literals involved.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class FailureKind(enum.Enum):
+    """What went wrong during checking."""
+
+    UNKNOWN_CLAUSE = "unknown-clause"  # trace references an undefined clause ID
+    BAD_RESOLUTION = "bad-resolution"  # not exactly one clashing variable
+    BAD_ANTECEDENT = "bad-antecedent"  # clause is not unit for the variable
+    BAD_FINAL_CONFLICT = "bad-final-conflict"  # clause not falsified at level 0
+    BAD_LEVEL_ZERO = "bad-level-zero"  # inconsistent level-0 trail
+    NOT_EMPTY = "not-empty"  # derivation finished without an empty clause
+    MEMORY_OUT = "memory-out"  # checker exceeded its memory budget
+    BAD_STATUS = "bad-status"  # trace does not claim UNSAT
+    CYCLIC_TRACE = "cyclic-trace"  # clause (transitively) resolves from itself
+
+
+class CheckFailure(Exception):
+    """A failed validity check, with debugging context.
+
+    ``context`` holds whatever helps debug the solver: clause IDs, literal
+    lists, variable numbers. Rendered into the message for humans and kept
+    structured for tooling.
+    """
+
+    def __init__(self, kind: FailureKind, message: str, **context: Any):
+        self.kind = kind
+        self.context = context
+        detail = ", ".join(f"{key}={value!r}" for key, value in context.items())
+        super().__init__(f"[{kind.value}] {message}" + (f" ({detail})" if detail else ""))

@@ -1,0 +1,262 @@
+"""The hybrid checker — the paper's future-work design (§5).
+
+"It is desirable to have a checker that has the advantage of both the
+depth-first and breadth-first approaches without suffering from their
+respective shortcomings."
+
+Strategy:
+
+1. **Marking pass** (depth-first over the *clause-ID graph* only): stream
+   the trace keeping just the resolve-source ID lists — integers, no
+   literals — then walk backwards from the final conflicting clause and the
+   level-0 antecedents to find the set of *needed* learned clauses, with
+   per-clause use counts restricted to needed consumers.
+2. **Streaming pass** (breadth-first): stream the trace again, building
+   only the needed clauses, deleting each as soon as its last needed use
+   completes.
+
+Compared to DF it never holds unneeded literals; compared to BF it builds
+only the DF subset (Table 2's "Built %"). It still holds the ID graph in
+memory — a disk-based DFS (the paper cites external-memory graph traversal)
+would remove that too; we account its memory honestly so the trade-off is
+visible in the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import FrozenSet, Iterator
+
+from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.level_zero import LevelZeroState, derive_empty_clause
+from repro.checker.memory import MemoryMeter
+from repro.checker.report import CheckReport
+from repro.checker.resolution import resolve
+from repro.cnf import CnfFormula
+from repro.trace.io import iter_trace_records
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    Trace,
+    TraceHeader,
+    TraceRecord,
+    TraceResult,
+)
+
+
+class HybridChecker:
+    """Marks the needed sub-DAG by ID, then streams and builds only that."""
+
+    method = "hybrid"
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        trace_source: str | Path | Trace,
+        memory_limit: int | None = None,
+    ):
+        self.formula = formula
+        self._source = trace_source
+        self.meter = MemoryMeter(limit=memory_limit)
+        self._num_original: int | None = None
+        self._resident: dict[int, FrozenSet[int]] = {}
+        self._remaining: dict[int, int] = {}
+        self._clauses_built = 0
+        self._total_learned = 0
+        self._resolutions = 0
+        self._original_core: set[int] = set()
+        self._learned_used: set[int] = set()
+
+    def check(self) -> CheckReport:
+        """Run the check; never raises — failures land in the report."""
+        start = time.perf_counter()
+        failure: CheckFailure | None = None
+        verified = False
+        try:
+            needed_counts, level_zero_entries, final_cid, status = self._marking_pass()
+            if status != "UNSAT":
+                raise CheckFailure(
+                    FailureKind.BAD_STATUS,
+                    "trace does not claim UNSAT; nothing to check",
+                    status=status,
+                )
+            verified = self._streaming_pass(needed_counts, level_zero_entries, final_cid)
+        except CheckFailure as exc:
+            failure = exc
+        return CheckReport(
+            method=self.method,
+            verified=verified,
+            failure=failure,
+            clauses_built=self._clauses_built,
+            total_learned=self._total_learned,
+            peak_memory_units=self.meter.peak,
+            check_time=time.perf_counter() - start,
+            resolutions=self._resolutions,
+            original_core=self._original_core if verified else None,
+            learned_used=self._learned_used if verified else None,
+        )
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _records(self) -> Iterator[TraceRecord]:
+        if isinstance(self._source, Trace):
+            return self._source.records()
+        return iter_trace_records(self._source)
+
+    # -- pass 1: mark the needed sub-DAG ----------------------------------------
+
+    def _marking_pass(self):
+        sources_by_cid: dict[int, tuple[int, ...]] = {}
+        level_zero_entries: list[LevelZeroAssignment] = []
+        final_conflicts: list[int] = []
+        status = "UNKNOWN"
+        graph_units = 0
+        for record in self._records():
+            if isinstance(record, TraceHeader):
+                self._num_original = record.num_original_clauses
+                if self.formula.num_clauses != record.num_original_clauses:
+                    raise CheckFailure(
+                        FailureKind.UNKNOWN_CLAUSE,
+                        "formula / trace disagree on the number of original clauses",
+                        formula_clauses=self.formula.num_clauses,
+                        trace_clauses=record.num_original_clauses,
+                    )
+            elif isinstance(record, LearnedClause):
+                if record.cid in sources_by_cid:
+                    raise CheckFailure(
+                        FailureKind.CYCLIC_TRACE,
+                        "duplicate learned clause ID",
+                        cid=record.cid,
+                    )
+                sources_by_cid[record.cid] = record.sources
+                graph_units += self.meter.record_units(1 + len(record.sources))
+            elif isinstance(record, LevelZeroAssignment):
+                level_zero_entries.append(record)
+            elif isinstance(record, FinalConflict):
+                final_conflicts.append(record.cid)
+            elif isinstance(record, TraceResult):
+                status = record.status
+        if self._num_original is None:
+            raise CheckFailure(FailureKind.BAD_LEVEL_ZERO, "trace has no header")
+        if not final_conflicts and status == "UNSAT":
+            raise CheckFailure(
+                FailureKind.BAD_FINAL_CONFLICT,
+                "trace has no final conflicting clause",
+            )
+        self._total_learned = len(sources_by_cid)
+        # The ID graph is held in memory during marking: account for it.
+        self.meter.allocate(graph_units)
+
+        needed_counts: dict[int, int] = {}
+        if status == "UNSAT":
+            roots = [final_conflicts[0]] + [e.antecedent for e in level_zero_entries]
+            stack = [cid for cid in roots if cid > self._num_original]
+            visited: set[int] = set()
+            while stack:
+                cid = stack.pop()
+                if cid in visited:
+                    continue
+                visited.add(cid)
+                sources = sources_by_cid.get(cid)
+                if sources is None:
+                    raise CheckFailure(
+                        FailureKind.UNKNOWN_CLAUSE,
+                        "trace references a clause ID that was never defined",
+                        cid=cid,
+                    )
+                for source in sources:
+                    if source >= cid:
+                        raise CheckFailure(
+                            FailureKind.CYCLIC_TRACE,
+                            "learned clause resolves from a clause with an ID "
+                            "not smaller than its own",
+                            cid=cid,
+                            source=source,
+                        )
+                    if source > self._num_original:
+                        needed_counts[source] = needed_counts.get(source, 0) + 1
+                        if source not in visited:
+                            stack.append(source)
+            # Roots get one extra use each (final derivation / antecedent use).
+            for root in roots:
+                if root > self._num_original:
+                    needed_counts[root] = needed_counts.get(root, 0) + 1
+        self.meter.release(graph_units)
+
+        final_cid = final_conflicts[0] if final_conflicts else -1
+        return needed_counts, level_zero_entries, final_cid, status
+
+    # -- pass 2: stream and build only the needed clauses -------------------------
+
+    def _get_clause(self, cid: int) -> FrozenSet[int]:
+        assert self._num_original is not None
+        if cid <= self._num_original:
+            try:
+                return frozenset(self.formula[cid].literals)
+            except KeyError:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "trace references an original clause absent from the formula",
+                    cid=cid,
+                ) from None
+        clause = self._resident.get(cid)
+        if clause is None:
+            raise CheckFailure(
+                FailureKind.UNKNOWN_CLAUSE,
+                "clause is not resident: never defined, defined later, or "
+                "already fully consumed",
+                cid=cid,
+            )
+        return clause
+
+    def _note_use(self, cid: int) -> None:
+        assert self._num_original is not None
+        if cid <= self._num_original:
+            self._original_core.add(cid)
+            return
+        self._learned_used.add(cid)
+        remaining = self._remaining.get(cid)
+        if remaining is None:
+            return
+        if remaining <= 1:
+            clause = self._resident.pop(cid)
+            del self._remaining[cid]
+            self.meter.release(self.meter.clause_units(len(clause)))
+        else:
+            self._remaining[cid] = remaining - 1
+
+    def _streaming_pass(self, needed_counts, level_zero_entries, final_cid) -> bool:
+        assert self._num_original is not None
+        for record in self._records():
+            if not isinstance(record, LearnedClause):
+                continue
+            uses = needed_counts.get(record.cid)
+            if uses is None:
+                continue  # not on any path to the empty clause: skip
+            clause = self._get_clause(record.sources[0])
+            previous = record.sources[0]
+            self._note_use(record.sources[0])
+            for source in record.sources[1:]:
+                next_clause = self._get_clause(source)
+                clause = resolve(clause, next_clause, cid_a=previous, cid_b=source)
+                self._note_use(source)
+                self._resolutions += 1
+                previous = source
+            self._clauses_built += 1
+            self._resident[record.cid] = clause
+            self._remaining[record.cid] = uses
+            self.meter.allocate(self.meter.clause_units(len(clause)))
+
+        level_zero = LevelZeroState(level_zero_entries)
+        self.meter.allocate(self.meter.record_units(3) * len(level_zero_entries))
+        steps = derive_empty_clause(
+            final_cid,
+            self._get_clause(final_cid),
+            level_zero,
+            get_clause=self._get_clause,
+            on_use=self._note_use,
+        )
+        self._resolutions += steps
+        return True

@@ -1,0 +1,56 @@
+"""Deterministic, logical memory accounting for the checkers.
+
+The paper evaluates checkers by peak memory (Table 2) under an 800 MB cap,
+with the depth-first checker memory-outing on the two hardest instances.
+OS-level peak RSS is noisy and Python-object overhead would swamp the
+algorithmic signal, so we count *logical units*: one unit per resident
+integer (a literal, or a resolve-source ID), plus a fixed per-object
+overhead. This makes DF-vs-BF comparisons exact, platform-independent, and
+lets a configurable limit reproduce the memory-out behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.checker.errors import CheckFailure, FailureKind
+
+CLAUSE_OVERHEAD = 2  # per resident clause: id + length field
+RECORD_OVERHEAD = 2  # per resident trace record
+
+
+class MemoryLimitExceeded(CheckFailure):
+    """The checker's logical memory budget was exceeded."""
+
+    def __init__(self, used: int, limit: int):
+        super().__init__(
+            FailureKind.MEMORY_OUT,
+            "checker exceeded its memory budget",
+            used_units=used,
+            limit_units=limit,
+        )
+
+
+class MemoryMeter:
+    """Tracks current and peak logical memory, enforcing an optional limit."""
+
+    def __init__(self, limit: int | None = None):
+        self.current = 0
+        self.peak = 0
+        self.limit = limit
+
+    def allocate(self, units: int) -> None:
+        self.current += units
+        if self.current > self.peak:
+            self.peak = self.current
+        if self.limit is not None and self.current > self.limit:
+            raise MemoryLimitExceeded(self.current, self.limit)
+
+    def release(self, units: int) -> None:
+        self.current -= units
+        if self.current < 0:
+            raise AssertionError("memory meter went negative — accounting bug")
+
+    def clause_units(self, num_literals: int) -> int:
+        return num_literals + CLAUSE_OVERHEAD
+
+    def record_units(self, num_ints: int) -> int:
+        return num_ints + RECORD_OVERHEAD

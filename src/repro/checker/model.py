@@ -1,0 +1,54 @@
+"""Validation of SAT claims.
+
+"When the solver claims satisfiability ... an independent program can take
+this and verify that it indeed satisfies the formula. The NP-Completeness
+of SAT guarantees that such a check takes polynomial time — in fact linear
+time for CNF."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnf import CnfFormula
+
+
+@dataclass
+class ModelCheckResult:
+    """Outcome of a satisfying-assignment check."""
+
+    satisfied: bool
+    falsified_clause_ids: list[int]
+    unassigned_vars: list[int]
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+def check_model(formula: CnfFormula, model: dict[int, bool]) -> ModelCheckResult:
+    """Check a model against a formula in a single linear pass.
+
+    A clause whose literals are all either falsified or unassigned counts
+    as falsified — the solver must provide values for every variable it
+    relies on. Unassigned variables that some clause actually mentions are
+    reported so the caller can distinguish "partial model" from "wrong
+    model".
+    """
+    falsified: list[int] = []
+    unassigned: set[int] = set()
+    for clause in formula:
+        satisfied = False
+        for lit in clause:
+            value = model.get(abs(lit))
+            if value is None:
+                unassigned.add(abs(lit))
+            elif value == (lit > 0):
+                satisfied = True
+                break
+        if not satisfied:
+            falsified.append(clause.cid)
+    return ModelCheckResult(
+        satisfied=not falsified,
+        falsified_clause_ids=falsified,
+        unassigned_vars=sorted(unassigned),
+    )

@@ -1,0 +1,55 @@
+"""The result object shared by all checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checker.errors import CheckFailure
+
+
+@dataclass
+class CheckReport:
+    """Outcome of a checking run.
+
+    ``verified`` is True only when the empty clause was derived and every
+    intermediate check passed. ``clauses_built`` / ``total_learned`` feed
+    Table 2's "Num. Cls Built" and "Built %" columns; ``peak_memory_units``
+    is the logical peak (see :mod:`repro.checker.memory`).
+
+    ``original_core`` (depth-first and hybrid only) is the set of original
+    clause IDs the proof touched — an unsatisfiable core (§4, Table 3).
+    ``learned_used`` is the analogous set of learned clause IDs.
+    """
+
+    method: str
+    verified: bool
+    failure: CheckFailure | None = None
+    clauses_built: int = 0
+    total_learned: int = 0
+    peak_memory_units: int = 0
+    check_time: float = 0.0
+    resolutions: int = 0
+    original_core: set[int] | None = None
+    learned_used: set[int] | None = None
+
+    @property
+    def built_pct(self) -> float:
+        """Percentage of learned clauses the checker had to construct."""
+        if self.total_learned == 0:
+            return 0.0
+        return 100.0 * self.clauses_built / self.total_learned
+
+    def raise_if_failed(self) -> None:
+        """Re-raise the recorded failure (for callers preferring exceptions)."""
+        if self.failure is not None:
+            raise self.failure
+        if not self.verified:
+            raise AssertionError("check unverified but no failure recorded")
+
+    def summary(self) -> str:
+        status = "Check Succeeded" if self.verified else f"Check Failed: {self.failure}"
+        return (
+            f"[{self.method}] {status} | built {self.clauses_built}/"
+            f"{self.total_learned} learned ({self.built_pct:.1f}%) | "
+            f"peak {self.peak_memory_units} units | {self.check_time:.3f}s"
+        )

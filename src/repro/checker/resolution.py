@@ -1,0 +1,57 @@
+"""The resolution primitive, with the validity check built in.
+
+"When resolve(cl, cl1) is called, the function should check whether there
+is one and only one variable appearing in both clauses with different
+phases" (§3.2). Clauses are represented as frozensets of DIMACS literals.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.checker.errors import CheckFailure, FailureKind
+
+
+class ResolutionError(CheckFailure):
+    """Resolution attempted on clauses without exactly one clashing variable."""
+
+    def __init__(self, message: str, **context):
+        super().__init__(FailureKind.BAD_RESOLUTION, message, **context)
+
+
+def resolve(
+    clause_a: FrozenSet[int],
+    clause_b: FrozenSet[int],
+    cid_a: int | None = None,
+    cid_b: int | None = None,
+) -> FrozenSet[int]:
+    """Resolve two clauses, verifying exactly one clashing variable.
+
+    Returns the resolvent. Raises :class:`ResolutionError` when zero or
+    more than one variable appears in both clauses with opposite phases.
+    """
+    clashing = [lit for lit in clause_a if -lit in clause_b]
+    if len(clashing) != 1:
+        raise ResolutionError(
+            "resolution requires exactly one clashing variable, "
+            f"found {len(clashing)}",
+            cid_a=cid_a,
+            cid_b=cid_b,
+            clashing_vars=sorted(abs(lit) for lit in clashing),
+        )
+    pivot = clashing[0]
+    return (clause_a | clause_b) - {pivot, -pivot}
+
+
+def resolve_chain(
+    clauses: list[tuple[int, FrozenSet[int]]],
+) -> FrozenSet[int]:
+    """Left-fold resolution over (cid, literals) pairs — a learned clause's
+    derivation from its resolve sources."""
+    if not clauses:
+        raise ResolutionError("empty resolution chain")
+    cid_acc, acc = clauses[0]
+    for cid, lits in clauses[1:]:
+        acc = resolve(acc, lits, cid_a=cid_acc, cid_b=cid)
+        cid_acc = cid
+    return acc

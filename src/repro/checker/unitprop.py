@@ -1,0 +1,107 @@
+"""A small, self-contained unit-propagation engine for the RUP checker.
+
+Deliberately independent from the solver's BCP: a checker that shares the
+propagation code with the solver it validates would inherit its bugs. This
+one trades speed for simplicity — counter-based propagation over clause
+lists, no watched literals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class UnitPropagator:
+    """Propagates unit clauses over a growable clause set.
+
+    Clauses are added with :meth:`add_clause`; :meth:`propagate` runs unit
+    propagation from a set of assumption literals and reports whether a
+    conflict (some clause with all literals false) was reached.
+    """
+
+    def __init__(self, num_vars: int):
+        self.num_vars = num_vars
+        self.clauses: list[list[int]] = []
+        self._occurrences: dict[int, list[int]] = {}
+        self._unit_indices: set[int] = set()
+        self._has_empty = False
+
+    def grow(self, num_vars: int) -> None:
+        if num_vars > self.num_vars:
+            self.num_vars = num_vars
+
+    def add_clause(self, literals: Sequence[int]) -> int:
+        """Add a clause; returns its index."""
+        index = len(self.clauses)
+        clause = list(dict.fromkeys(literals))
+        self.clauses.append(clause)
+        if not clause:
+            self._has_empty = True
+        elif len(clause) == 1:
+            self._unit_indices.add(index)
+        for lit in clause:
+            self._occurrences.setdefault(lit, []).append(index)
+            var = abs(lit)
+            if var > self.num_vars:
+                self.num_vars = var
+        return index
+
+    def remove_clause(self, index: int) -> None:
+        """Remove a clause (its slot is tombstoned)."""
+        clause = self.clauses[index]
+        if clause is None:
+            return
+        for lit in clause:
+            self._occurrences[lit].remove(index)
+        self._unit_indices.discard(index)
+        self.clauses[index] = None  # type: ignore[call-overload]
+
+    def propagate(self, assumptions: Iterable[int]) -> bool:
+        """Unit-propagate from ``assumptions``; True iff a conflict arises.
+
+        Conflicting assumptions (both phases of a variable) count as an
+        immediate conflict.
+        """
+        if self._has_empty:
+            return True
+        value: dict[int, bool] = {}
+        queue: list[int] = []
+        unit_literals = [self.clauses[index][0] for index in self._unit_indices]
+        for lit in list(assumptions) + unit_literals:
+            var = abs(lit)
+            phase = lit > 0
+            existing = value.get(var)
+            if existing is None:
+                value[var] = phase
+                queue.append(lit)
+            elif existing != phase:
+                return True
+
+        head = 0
+        while head < len(queue):
+            lit = queue[head]
+            head += 1
+            # Clauses containing -lit may have become unit or conflicting.
+            for index in self._occurrences.get(-lit, ()):
+                clause = self.clauses[index]
+                if clause is None:
+                    continue
+                unit_lit = 0
+                satisfied = False
+                for clause_lit in clause:
+                    existing = value.get(abs(clause_lit))
+                    if existing is None:
+                        if unit_lit:
+                            unit_lit = None  # two free literals: not unit
+                            break
+                        unit_lit = clause_lit
+                    elif existing == (clause_lit > 0):
+                        satisfied = True
+                        break
+                if satisfied or unit_lit is None:
+                    continue
+                if unit_lit == 0:
+                    return True  # all literals false: conflict
+                value[abs(unit_lit)] = unit_lit > 0
+                queue.append(unit_lit)
+        return False

@@ -1,0 +1,60 @@
+"""Gate-level circuit substrate.
+
+The paper's benchmark families come from EDA flows — microprocessor
+verification, combinational equivalence checking, FPGA routing. This
+package provides the circuit machinery to generate analogous instances:
+netlists, Tseitin CNF encoding, equivalence miters, and arithmetic blocks
+(adders, multipliers — the XOR-heavy structures behind the paper's
+``longmult`` remark).
+"""
+
+from repro.circuits.netlist import Circuit, Gate, GateType
+from repro.circuits.tseitin import tseitin_encode, TseitinResult
+from repro.circuits.miter import build_miter, miter_to_cnf, equivalence_cnf
+from repro.circuits.arith import (
+    ripple_carry_adder,
+    carry_select_adder,
+    array_multiplier,
+    multiplier_commutativity_miter,
+    adder_equivalence_miter,
+)
+from repro.circuits.barrel import barrel_shifter, naive_shifter, shifter_equivalence_miter
+from repro.circuits.random_logic import random_circuit, rewritten_copy, random_cec_miter
+from repro.circuits.sequential import Register, SequentialCircuit, to_transition_system
+from repro.circuits.bench_format import (
+    BenchFormatError,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "tseitin_encode",
+    "TseitinResult",
+    "build_miter",
+    "miter_to_cnf",
+    "equivalence_cnf",
+    "ripple_carry_adder",
+    "carry_select_adder",
+    "array_multiplier",
+    "multiplier_commutativity_miter",
+    "adder_equivalence_miter",
+    "barrel_shifter",
+    "naive_shifter",
+    "shifter_equivalence_miter",
+    "random_circuit",
+    "rewritten_copy",
+    "random_cec_miter",
+    "Register",
+    "SequentialCircuit",
+    "to_transition_system",
+    "BenchFormatError",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "write_bench_file",
+]

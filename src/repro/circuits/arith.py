@@ -1,0 +1,125 @@
+"""Arithmetic circuits: adders and multipliers.
+
+Multipliers are the paper's hard case: "longmult12 ... is derived from a
+multiplier. The original circuit contains many xor gates. It is well known
+that xor gates often require long proofs by resolution." The multiplier
+commutativity miter below reproduces that structure.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.miter import build_miter
+from repro.circuits.netlist import Circuit
+
+
+def _full_adder(circuit: Circuit, a: int, b: int, cin: int) -> tuple[int, int]:
+    """Returns (sum, carry-out)."""
+    axb = circuit.xor(a, b)
+    total = circuit.xor(axb, cin)
+    carry = circuit.or_(circuit.and_(a, b), circuit.and_(axb, cin))
+    return total, carry
+
+
+def ripple_carry_adder(width: int, name: str = "rca") -> Circuit:
+    """width-bit ripple-carry adder: inputs a[0..w), b[0..w); outputs sum + carry."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name=f"{name}{width}")
+    a = circuit.add_inputs(width)
+    b = circuit.add_inputs(width)
+    carry = circuit.const(False)
+    for i in range(width):
+        total, carry = _full_adder(circuit, a[i], b[i], carry)
+        circuit.mark_output(total)
+    circuit.mark_output(carry)
+    return circuit
+
+
+def carry_select_adder(width: int, block: int = 2, name: str = "csa") -> Circuit:
+    """Carry-select adder: per-block duplicate adders muxed by carry-in.
+
+    Functionally identical to the ripple-carry adder; structurally very
+    different — a natural CEC pair.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    circuit = Circuit(name=f"{name}{width}")
+    a = circuit.add_inputs(width)
+    b = circuit.add_inputs(width)
+    carry = circuit.const(False)
+    position = 0
+    while position < width:
+        size = min(block, width - position)
+        # Compute the block twice, for carry-in 0 and 1, then select.
+        sums0, sums1 = [], []
+        carry0 = circuit.const(False)
+        carry1 = circuit.const(True)
+        for i in range(position, position + size):
+            s0, carry0 = _full_adder(circuit, a[i], b[i], carry0)
+            s1, carry1 = _full_adder(circuit, a[i], b[i], carry1)
+            sums0.append(s0)
+            sums1.append(s1)
+        for s0, s1 in zip(sums0, sums1):
+            circuit.mark_output(circuit.mux(carry, s0, s1))
+        carry = circuit.mux(carry, carry0, carry1)
+        position += size
+    circuit.mark_output(carry)
+    return circuit
+
+
+def array_multiplier(width: int, name: str = "mult") -> Circuit:
+    """width x width array multiplier producing 2*width output bits."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    circuit = Circuit(name=f"{name}{width}")
+    a = circuit.add_inputs(width)
+    b = circuit.add_inputs(width)
+    zero = circuit.const(False)
+    # Partial-product accumulation, row by row.
+    accum = [zero] * (2 * width)
+    for j in range(width):
+        carry = zero
+        row = [circuit.and_(a[i], b[j]) for i in range(width)]
+        for i in range(width):
+            total, carry = _full_adder(circuit, accum[i + j], row[i], carry)
+            accum[i + j] = total
+        # Propagate the final carry up the accumulator.
+        position = j + width
+        while position < 2 * width:
+            total, carry = _full_adder(circuit, accum[position], carry, zero)
+            accum[position] = total
+            position += 1
+    for net in accum:
+        circuit.mark_output(net)
+    return circuit
+
+
+def adder_equivalence_miter(width: int, block: int = 2) -> Circuit:
+    """Ripple-carry vs carry-select: the pipelined-datapath CEC analog."""
+    return build_miter(
+        ripple_carry_adder(width),
+        carry_select_adder(width, block=block),
+        name=f"adder_eq{width}",
+    )
+
+
+def multiplier_commutativity_miter(width: int) -> Circuit:
+    """a*b vs b*a on an array multiplier: XOR-heavy, long resolution proofs.
+
+    The operand swap makes the two sides structurally dissimilar even
+    though they are semantically identical — the ``longmult`` analog.
+    """
+    left = array_multiplier(width, name="multL")
+    right_core = array_multiplier(width, name="multR")
+    # Swap the operand order by permuting the right circuit's inputs.
+    right = Circuit(name="multR_swapped")
+    ins = right.add_inputs(2 * width)
+    swapped = ins[width:] + ins[:width]
+    remap = dict(zip(right_core.inputs, swapped))
+    for gate in right_core.gates:
+        remap[gate.output] = right.add_gate(gate.gtype, *(remap[n] for n in gate.inputs))
+    for net in right_core.outputs:
+        right.mark_output(remap[net])
+    return build_miter(left, right, name=f"mult_comm{width}")

@@ -1,0 +1,62 @@
+"""Barrel shifter circuits (the ``barrel`` BMC family's namesake).
+
+A barrel shifter rotates a word left by a binary-encoded amount in
+log-stages of muxes; the naive shifter muxes over every possible amount.
+Their equivalence miter is a mid-hardness structured instance.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.miter import build_miter
+from repro.circuits.netlist import Circuit
+
+
+def barrel_shifter(width: int, name: str = "barrel") -> Circuit:
+    """Rotate-left of a ``width``-bit word by a ceil(log2(width))-bit amount.
+
+    width must be a power of two so every encoded amount is a valid
+    rotation.
+    """
+    if width < 2 or width & (width - 1):
+        raise ValueError("width must be a power of two >= 2")
+    stages = width.bit_length() - 1
+    circuit = Circuit(name=f"{name}{width}")
+    word = circuit.add_inputs(width)
+    amount = circuit.add_inputs(stages)
+    for stage in range(stages):
+        shift = 1 << stage
+        rotated = [word[(i - shift) % width] for i in range(width)]
+        word = [circuit.mux(amount[stage], word[i], rotated[i]) for i in range(width)]
+    for net in word:
+        circuit.mark_output(net)
+    return circuit
+
+
+def naive_shifter(width: int, name: str = "naive_shift") -> Circuit:
+    """Same function as :func:`barrel_shifter`, via one-hot decode + big OR."""
+    if width < 2 or width & (width - 1):
+        raise ValueError("width must be a power of two >= 2")
+    stages = width.bit_length() - 1
+    circuit = Circuit(name=f"{name}{width}")
+    word = circuit.add_inputs(width)
+    amount = circuit.add_inputs(stages)
+    # One-hot decode of the shift amount.
+    inverted = [circuit.not_(bit) for bit in amount]
+    selects = []
+    for value in range(width):
+        bits = [
+            amount[k] if (value >> k) & 1 else inverted[k] for k in range(stages)
+        ]
+        selects.append(bits[0] if stages == 1 else circuit.and_(*bits))
+    for i in range(width):
+        terms = [
+            circuit.and_(selects[value], word[(i - value) % width])
+            for value in range(width)
+        ]
+        circuit.mark_output(circuit.or_(*terms))
+    return circuit
+
+
+def shifter_equivalence_miter(width: int) -> Circuit:
+    """Barrel vs naive shifter CEC miter."""
+    return build_miter(barrel_shifter(width), naive_shifter(width), name=f"shift_eq{width}")

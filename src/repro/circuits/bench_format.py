@@ -1,0 +1,206 @@
+"""ISCAS ``.bench`` netlist format.
+
+The interchange format of the ISCAS-85/89 benchmark circuits — the family
+the paper's CEC instances (c5135, c7225) descend from:
+
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = AND(G1, G3)
+    G11 = NOT(G10)
+    G12 = DFF(G11)        # sequential extension (ISCAS-89)
+
+Combinational gates map directly onto :class:`repro.circuits.Circuit`;
+``DFF`` lines produce a :class:`repro.circuits.sequential.SequentialCircuit`.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import TextIO
+
+from repro.circuits.netlist import Circuit, GateType
+from repro.circuits.sequential import Register, SequentialCircuit
+
+
+class BenchFormatError(ValueError):
+    """Malformed .bench input."""
+
+
+_GATE_TYPES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+}
+
+_LINE_RE = re.compile(r"^(\w+)\s*=\s*(\w+)\s*\(([^)]*)\)$")
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\((\w+)\)$")
+
+
+def parse_bench(text: str) -> Circuit | SequentialCircuit:
+    """Parse .bench text; returns a SequentialCircuit when DFFs appear."""
+    return _parse(io.StringIO(text))
+
+
+def parse_bench_file(path: str | Path) -> Circuit | SequentialCircuit:
+    with open(path, "r", encoding="ascii") as handle:
+        return _parse(handle)
+
+
+def _parse(stream: TextIO) -> Circuit | SequentialCircuit:
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gates: list[tuple[str, str, list[str]]] = []  # (name, type, operands)
+    dffs: list[tuple[str, str]] = []  # (output name, next-state name)
+
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            (inputs if io_match.group(1) == "INPUT" else outputs).append(io_match.group(2))
+            continue
+        gate_match = _LINE_RE.match(line)
+        if not gate_match:
+            raise BenchFormatError(f"line {lineno}: cannot parse {line!r}")
+        name, gtype, operand_text = gate_match.groups()
+        operands = [tok.strip() for tok in operand_text.split(",") if tok.strip()]
+        gtype = gtype.upper()
+        if gtype == "DFF":
+            if len(operands) != 1:
+                raise BenchFormatError(f"line {lineno}: DFF takes one operand")
+            dffs.append((name, operands[0]))
+        elif gtype in _GATE_TYPES:
+            if not operands:
+                raise BenchFormatError(f"line {lineno}: gate with no operands")
+            gates.append((name, gtype, operands))
+        else:
+            raise BenchFormatError(f"line {lineno}: unknown gate type {gtype!r}")
+
+    circuit = Circuit(name="bench")
+    net_of: dict[str, int] = {}
+    registers: list[Register] = []
+    for name, _ in dffs:
+        net_of[name] = circuit.add_input()  # register outputs lead
+    for name in inputs:
+        if name in net_of:
+            raise BenchFormatError(f"signal {name} declared twice")
+        net_of[name] = circuit.add_input()
+
+    # Gates may appear in any order in .bench files: build topologically.
+    pending = list(gates)
+    while pending:
+        progressed = False
+        remaining = []
+        for name, gtype, operands in pending:
+            if all(op in net_of for op in operands):
+                if name in net_of:
+                    raise BenchFormatError(f"signal {name} defined twice")
+                net_of[name] = circuit.add_gate(
+                    _GATE_TYPES[gtype], *(net_of[op] for op in operands)
+                )
+                progressed = True
+            else:
+                remaining.append((name, gtype, operands))
+        if not progressed:
+            missing = sorted(
+                {op for _, _, ops in remaining for op in ops if op not in net_of}
+            )
+            raise BenchFormatError(
+                f"undriven or cyclic signals: {', '.join(missing[:5])}"
+            )
+        pending = remaining
+
+    for name in outputs:
+        if name not in net_of:
+            raise BenchFormatError(f"output {name} is never defined")
+        circuit.mark_output(net_of[name])
+
+    if not dffs:
+        return circuit
+    for name, next_name in dffs:
+        if next_name not in net_of:
+            raise BenchFormatError(f"DFF {name} latches undefined signal {next_name}")
+        registers.append(Register(output=net_of[name], next_input=net_of[next_name]))
+    return SequentialCircuit(
+        core=circuit,
+        registers=registers,
+        num_primary_inputs=len(inputs),
+    )
+
+
+def write_bench(circuit: Circuit, name_prefix: str = "G") -> str:
+    """Serialize a combinational circuit to .bench text.
+
+    Multi-input NOT/BUF and MUX/CONST gates are lowered to .bench's gate
+    set (MUX -> AND/NOT/OR, CONST -> XOR/XNOR of an input with itself...
+    .bench has no constants, so constants are expressed via a tied input
+    pattern: CONST0 = AND(x, NOT x) over the first input).
+    """
+    lines: list[str] = [f"# {circuit.name}"]
+    name_of: dict[int, str] = {}
+    for index, net in enumerate(circuit.inputs):
+        name_of[net] = f"{name_prefix}{net}"
+        lines.append(f"INPUT({name_of[net]})")
+    for net in circuit.outputs:
+        lines.append(f"OUTPUT({name_prefix}{net})")
+
+    if not circuit.inputs and any(
+        gate.gtype in (GateType.CONST0, GateType.CONST1) for gate in circuit.gates
+    ):
+        raise ValueError(".bench export of constants requires at least one input")
+
+    extra = 0
+
+    def fresh() -> str:
+        nonlocal extra
+        extra += 1
+        return f"{name_prefix}aux{extra}"
+
+    for gate in circuit.gates:
+        out = f"{name_prefix}{gate.output}"
+        name_of[gate.output] = out
+        ins = [name_of[n] for n in gate.inputs]
+        gtype = gate.gtype
+        if gtype in (GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+                     GateType.XOR, GateType.XNOR):
+            lines.append(f"{out} = {gtype.name}({', '.join(ins)})")
+        elif gtype == GateType.NOT:
+            lines.append(f"{out} = NOT({ins[0]})")
+        elif gtype == GateType.BUF:
+            lines.append(f"{out} = BUFF({ins[0]})")
+        elif gtype == GateType.CONST0:
+            anchor = name_of[circuit.inputs[0]]
+            inverted = fresh()
+            lines.append(f"{inverted} = NOT({anchor})")
+            lines.append(f"{out} = AND({anchor}, {inverted})")
+        elif gtype == GateType.CONST1:
+            anchor = name_of[circuit.inputs[0]]
+            inverted = fresh()
+            lines.append(f"{inverted} = NOT({anchor})")
+            lines.append(f"{out} = OR({anchor}, {inverted})")
+        elif gtype == GateType.MUX:
+            select, a, b = ins
+            not_select = fresh()
+            left = fresh()
+            right = fresh()
+            lines.append(f"{not_select} = NOT({select})")
+            lines.append(f"{left} = AND({not_select}, {a})")
+            lines.append(f"{right} = AND({select}, {b})")
+            lines.append(f"{out} = OR({left}, {right})")
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unhandled gate type {gtype}")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit: Circuit, path: str | Path) -> None:
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_bench(circuit))

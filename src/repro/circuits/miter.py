@@ -1,0 +1,65 @@
+"""Equivalence-checking miters.
+
+A miter ties two circuits to the same primary inputs, XORs corresponding
+outputs, and ORs the XORs into a single net. The miter output is
+satisfiable (as a CNF asking output=1) iff the circuits differ — so an
+UNSAT answer *proves* equivalence, which is exactly the claim the paper's
+checker validates for CEC workloads (c5135/c7225).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import tseitin_encode
+from repro.cnf import CnfFormula
+
+
+def build_miter(left: Circuit, right: Circuit, name: str | None = None) -> Circuit:
+    """Structurally merge two circuits into one miter circuit.
+
+    Both circuits must have the same number of inputs and outputs. The
+    result has the shared inputs and a single output that is 1 iff some
+    output pair differs.
+    """
+    if len(left.inputs) != len(right.inputs):
+        raise ValueError(
+            f"input arity mismatch: {len(left.inputs)} vs {len(right.inputs)}"
+        )
+    if len(left.outputs) != len(right.outputs):
+        raise ValueError(
+            f"output arity mismatch: {len(left.outputs)} vs {len(right.outputs)}"
+        )
+    if not left.outputs:
+        raise ValueError("miter needs at least one output pair")
+
+    miter = Circuit(name=name or f"miter({left.name},{right.name})")
+    shared = miter.add_inputs(len(left.inputs))
+    left_outs = _splice(miter, left, shared)
+    right_outs = _splice(miter, right, shared)
+    diffs = [miter.xor(a, b) for a, b in zip(left_outs, right_outs)]
+    out = diffs[0] if len(diffs) == 1 else miter.or_(*diffs)
+    miter.mark_output(out)
+    return miter
+
+
+def _splice(target: Circuit, source: Circuit, input_nets: list[int]) -> list[int]:
+    """Copy ``source``'s gates into ``target`` with inputs remapped."""
+    remap: dict[int, int] = dict(zip(source.inputs, input_nets))
+    for gate in source.gates:
+        new_inputs = tuple(remap[net] for net in gate.inputs)
+        remap[gate.output] = target.add_gate(gate.gtype, *new_inputs)
+    return [remap[net] for net in source.outputs]
+
+
+def miter_to_cnf(miter: Circuit) -> CnfFormula:
+    """CNF asking "can the miter output be 1?" — UNSAT proves equivalence."""
+    if len(miter.outputs) != 1:
+        raise ValueError("a miter has exactly one output")
+    encoded = tseitin_encode(miter)
+    encoded.formula.add_clause([encoded.var(miter.outputs[0])])
+    return encoded.formula
+
+
+def equivalence_cnf(left: Circuit, right: Circuit) -> CnfFormula:
+    """One-step convenience: miter two circuits and return the CEC CNF."""
+    return miter_to_cnf(build_miter(left, right))

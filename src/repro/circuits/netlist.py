@@ -1,0 +1,173 @@
+"""Combinational netlists over integer nets.
+
+Nets are positive integers allocated by the circuit. Gates are simple
+records; circuits are DAGs (cycles are rejected at simulation/encoding
+time by construction: a gate's inputs must already exist).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+class GateType(enum.Enum):
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    XOR = "xor"
+    NAND = "nand"
+    NOR = "nor"
+    XNOR = "xnor"
+    BUF = "buf"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    MUX = "mux"  # inputs: (select, a, b) -> select ? b : a
+
+
+_ARITY = {
+    GateType.NOT: 1,
+    GateType.BUF: 1,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+    GateType.MUX: 3,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: type, input nets, output net."""
+
+    gtype: GateType
+    inputs: tuple[int, ...]
+    output: int
+
+
+@dataclass
+class Circuit:
+    """A combinational circuit with named primary inputs and outputs."""
+
+    name: str = "circuit"
+    inputs: list[int] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    gates: list[Gate] = field(default_factory=list)
+    _next_net: int = 1
+    _defined: set[int] = field(default_factory=set)
+
+    # -- construction ------------------------------------------------------
+
+    def new_net(self) -> int:
+        net = self._next_net
+        self._next_net += 1
+        return net
+
+    def add_input(self) -> int:
+        net = self.new_net()
+        self.inputs.append(net)
+        self._defined.add(net)
+        return net
+
+    def add_inputs(self, count: int) -> list[int]:
+        return [self.add_input() for _ in range(count)]
+
+    def add_gate(self, gtype: GateType, *input_nets: int) -> int:
+        """Add a gate over existing nets; returns the fresh output net."""
+        expected = _ARITY.get(gtype)
+        if expected is not None and len(input_nets) != expected:
+            raise ValueError(
+                f"{gtype.value} takes {expected} inputs, got {len(input_nets)}"
+            )
+        if expected is None and len(input_nets) < 2:
+            raise ValueError(f"{gtype.value} takes at least 2 inputs")
+        for net in input_nets:
+            if net not in self._defined:
+                raise ValueError(f"net {net} is not defined yet (no feedback loops)")
+        output = self.new_net()
+        self.gates.append(Gate(gtype, tuple(input_nets), output))
+        self._defined.add(output)
+        return output
+
+    # Convenience wrappers ---------------------------------------------------
+
+    def and_(self, *nets: int) -> int:
+        return self.add_gate(GateType.AND, *nets)
+
+    def or_(self, *nets: int) -> int:
+        return self.add_gate(GateType.OR, *nets)
+
+    def not_(self, net: int) -> int:
+        return self.add_gate(GateType.NOT, net)
+
+    def xor(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.XOR, a, b)
+
+    def xnor(self, a: int, b: int) -> int:
+        return self.add_gate(GateType.XNOR, a, b)
+
+    def nand(self, *nets: int) -> int:
+        return self.add_gate(GateType.NAND, *nets)
+
+    def nor(self, *nets: int) -> int:
+        return self.add_gate(GateType.NOR, *nets)
+
+    def buf(self, net: int) -> int:
+        return self.add_gate(GateType.BUF, net)
+
+    def mux(self, select: int, a: int, b: int) -> int:
+        """select ? b : a"""
+        return self.add_gate(GateType.MUX, select, a, b)
+
+    def const(self, value: bool) -> int:
+        return self.add_gate(GateType.CONST1 if value else GateType.CONST0)
+
+    def mark_output(self, net: int) -> int:
+        if net not in self._defined:
+            raise ValueError(f"net {net} is not defined")
+        self.outputs.append(net)
+        return net
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def simulate(self, input_values: Sequence[bool]) -> list[bool]:
+        """Evaluate the circuit on concrete inputs; returns output values."""
+        if len(input_values) != len(self.inputs):
+            raise ValueError(
+                f"expected {len(self.inputs)} input values, got {len(input_values)}"
+            )
+        value: dict[int, bool] = dict(zip(self.inputs, input_values))
+        for gate in self.gates:
+            operands = [value[net] for net in gate.inputs]
+            value[gate.output] = _evaluate(gate.gtype, operands)
+        return [value[net] for net in self.outputs]
+
+
+def _evaluate(gtype: GateType, operands: list[bool]) -> bool:
+    if gtype == GateType.AND:
+        return all(operands)
+    if gtype == GateType.OR:
+        return any(operands)
+    if gtype == GateType.NOT:
+        return not operands[0]
+    if gtype == GateType.BUF:
+        return operands[0]
+    if gtype == GateType.XOR:
+        return operands[0] != operands[1]
+    if gtype == GateType.XNOR:
+        return operands[0] == operands[1]
+    if gtype == GateType.NAND:
+        return not all(operands)
+    if gtype == GateType.NOR:
+        return not any(operands)
+    if gtype == GateType.CONST0:
+        return False
+    if gtype == GateType.CONST1:
+        return True
+    if gtype == GateType.MUX:
+        select, a, b = operands
+        return b if select else a
+    raise AssertionError(f"unhandled gate type {gtype}")

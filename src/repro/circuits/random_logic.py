@@ -1,0 +1,103 @@
+"""Random logic and semantics-preserving rewrites — the CEC analog.
+
+The paper's c5135/c7225 instances are equivalence checks of industrial
+random logic. We generate a seeded random DAG circuit and a structurally
+rewritten copy (De Morgan, double negation, AND/OR re-association); the
+miter of the two is unsatisfiable by construction but non-trivially so.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.miter import build_miter
+from repro.circuits.netlist import Circuit, Gate, GateType
+
+_BINARY_TYPES = [GateType.AND, GateType.OR, GateType.XOR, GateType.NAND, GateType.NOR]
+
+
+def random_circuit(
+    num_inputs: int,
+    num_gates: int,
+    num_outputs: int,
+    seed: int = 0,
+    name: str = "rand",
+) -> Circuit:
+    """A seeded random combinational DAG."""
+    if num_inputs < 2:
+        raise ValueError("need at least 2 inputs")
+    if num_outputs < 1:
+        raise ValueError("need at least 1 output")
+    rng = random.Random(seed)
+    circuit = Circuit(name=f"{name}_{seed}")
+    nets = circuit.add_inputs(num_inputs)
+    for _ in range(num_gates):
+        gtype = rng.choice(_BINARY_TYPES)
+        a, b = rng.sample(nets, 2)
+        nets.append(circuit.add_gate(gtype, a, b))
+    # Prefer recent nets as outputs so the whole DAG stays relevant.
+    candidates = nets[-max(num_outputs * 2, 4):]
+    for net in rng.sample(candidates, min(num_outputs, len(candidates))):
+        circuit.mark_output(net)
+    return circuit
+
+
+def rewritten_copy(source: Circuit, seed: int = 0) -> Circuit:
+    """A logically equivalent, structurally different copy of ``source``.
+
+    Applies, per gate and pseudo-randomly: De Morgan rewrites
+    (AND(a,b) = NOT(OR(NOT a, NOT b)) etc.), XOR expansion into the
+    AND/OR form, and double-negation insertion.
+    """
+    rng = random.Random(seed)
+    target = Circuit(name=f"{source.name}_rw")
+    remap: dict[int, int] = {}
+    for net in source.inputs:
+        remap[net] = target.add_input()
+
+    def maybe_double_negate(net: int) -> int:
+        if rng.random() < 0.25:
+            return target.not_(target.not_(net))
+        return net
+
+    for gate in source.gates:
+        ins = [remap[n] for n in gate.inputs]
+        remap[gate.output] = _rewrite_gate(target, gate, ins, rng)
+        remap[gate.output] = maybe_double_negate(remap[gate.output])
+    for net in source.outputs:
+        target.mark_output(remap[net])
+    return target
+
+
+def _rewrite_gate(target: Circuit, gate: Gate, ins: list[int], rng: random.Random) -> int:
+    gtype = gate.gtype
+    rewrite = rng.random() < 0.6
+    if gtype == GateType.AND and rewrite:
+        return target.not_(target.or_(*[target.not_(n) for n in ins]))
+    if gtype == GateType.OR and rewrite:
+        return target.not_(target.and_(*[target.not_(n) for n in ins]))
+    if gtype == GateType.NAND and rewrite:
+        return target.or_(*[target.not_(n) for n in ins])
+    if gtype == GateType.NOR and rewrite:
+        return target.and_(*[target.not_(n) for n in ins])
+    if gtype == GateType.XOR and rewrite and len(ins) == 2:
+        a, b = ins
+        return target.or_(
+            target.and_(a, target.not_(b)), target.and_(target.not_(a), b)
+        )
+    if gtype == GateType.XNOR and rewrite and len(ins) == 2:
+        a, b = ins
+        return target.or_(target.and_(a, b), target.and_(target.not_(a), target.not_(b)))
+    return target.add_gate(gtype, *ins)
+
+
+def random_cec_miter(
+    num_inputs: int = 12,
+    num_gates: int = 60,
+    num_outputs: int = 4,
+    seed: int = 0,
+) -> Circuit:
+    """Miter of a random circuit against its rewritten copy (UNSAT CEC)."""
+    original = random_circuit(num_inputs, num_gates, num_outputs, seed=seed)
+    rewritten = rewritten_copy(original, seed=seed + 1)
+    return build_miter(original, rewritten, name=f"cec_rand{seed}")

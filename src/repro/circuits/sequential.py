@@ -1,0 +1,168 @@
+"""Sequential circuits: combinational netlists plus registers.
+
+Bridges the circuit substrate to the BMC substrate: a
+:class:`SequentialCircuit` is a combinational ``Circuit`` whose
+designated *register* nets hold state; :func:`to_transition_system`
+produces the :class:`~repro.bmc.transition.TransitionSystem` the model
+checkers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.circuits.netlist import Circuit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.bmc.transition import TransitionSystem
+
+
+@dataclass
+class Register:
+    """One state element: ``output`` is readable, ``next_input`` drives it."""
+
+    output: int  # a net the combinational logic reads (declared as input)
+    next_input: int  # the net whose value is latched each cycle
+    init: bool = False  # reset value
+
+
+@dataclass
+class SequentialCircuit:
+    """A synchronous design: combinational core + registers + bad output.
+
+    The combinational ``core`` circuit's inputs must be the register
+    outputs first (in register order), then the primary inputs. Exactly
+    one core output may be designated the *bad* signal for verification.
+    """
+
+    core: Circuit
+    registers: list[Register] = field(default_factory=list)
+    num_primary_inputs: int = 0
+    bad_output: int | None = None  # index into core.outputs
+
+    def __post_init__(self) -> None:
+        expected = len(self.registers) + self.num_primary_inputs
+        if len(self.core.inputs) != expected:
+            raise ValueError(
+                f"core has {len(self.core.inputs)} inputs, expected "
+                f"{len(self.registers)} register outputs + "
+                f"{self.num_primary_inputs} primary inputs"
+            )
+        declared = set(self.core.inputs[: len(self.registers)])
+        for register in self.registers:
+            if register.output not in declared:
+                raise ValueError(
+                    f"register output net {register.output} is not one of the "
+                    "core's leading inputs"
+                )
+        core_nets = set(self.core.inputs) | {g.output for g in self.core.gates}
+        for register in self.registers:
+            if register.next_input not in core_nets:
+                raise ValueError(
+                    f"register next-state net {register.next_input} is undefined"
+                )
+        if self.bad_output is not None and not (
+            0 <= self.bad_output < len(self.core.outputs)
+        ):
+            raise ValueError(f"bad_output index {self.bad_output} out of range")
+
+    @property
+    def num_registers(self) -> int:
+        return len(self.registers)
+
+    def simulate_cycle(
+        self, state: list[bool], primary_inputs: list[bool]
+    ) -> tuple[list[bool], list[bool]]:
+        """One clock cycle: returns (next_state, core outputs)."""
+        if len(state) != self.num_registers:
+            raise ValueError("state width mismatch")
+        values = self._evaluate(state, primary_inputs)
+        next_state = [values[r.next_input] for r in self.registers]
+        outputs = [values[net] for net in self.core.outputs]
+        return next_state, outputs
+
+    def _evaluate(self, state, primary_inputs) -> dict[int, bool]:
+        from repro.circuits.netlist import _evaluate as eval_gate
+
+        values = dict(zip(self.core.inputs, list(state) + list(primary_inputs)))
+        for gate in self.core.gates:
+            values[gate.output] = eval_gate(gate.gtype, [values[n] for n in gate.inputs])
+        return values
+
+
+def to_transition_system(design: SequentialCircuit, name: str | None = None) -> "TransitionSystem":
+    """Convert a sequential design into a TransitionSystem.
+
+    State bits are the registers in order; the bad circuit is carved out
+    of the core by re-synthesizing the cone of the designated bad output
+    over the register outputs only (primary inputs in the bad cone are
+    not supported — guard your property on state).
+    """
+    # Imported here: repro.bmc depends on repro.circuits at import time.
+    from repro.bmc.transition import TransitionSystem
+
+    if design.bad_output is None:
+        raise ValueError("design has no bad output designated")
+
+    # Transition circuit: same core, outputs = register next-state nets.
+    transition = Circuit(name=f"{design.core.name}_T")
+    remap: dict[int, int] = {}
+    for net in design.core.inputs:
+        remap[net] = transition.add_input()
+    for gate in design.core.gates:
+        remap[gate.output] = transition.add_gate(
+            gate.gtype, *(remap[n] for n in gate.inputs)
+        )
+    for register in design.registers:
+        transition.mark_output(transition.buf(remap[register.next_input]))
+
+    # Bad circuit: the cone of the bad output, over register outputs only.
+    bad_net = design.core.outputs[design.bad_output]
+    cone = _transitive_fanin(design.core, bad_net)
+    register_nets = {r.output for r in design.registers}
+    primary_nets = set(design.core.inputs[design.num_registers :])
+    if cone & primary_nets:
+        raise ValueError(
+            "the bad output depends on primary inputs; express the property "
+            "over registers only"
+        )
+    bad = Circuit(name=f"{design.core.name}_bad")
+    bad_remap: dict[int, int] = {}
+    for net in design.core.inputs[: design.num_registers]:
+        bad_remap[net] = bad.add_input()
+    for gate in design.core.gates:
+        if gate.output in cone:
+            bad_remap[gate.output] = bad.add_gate(
+                gate.gtype, *(bad_remap[n] for n in gate.inputs)
+            )
+    bad.mark_output(bad_remap[bad_net])
+
+    init = [
+        [(index + 1) if register.init else -(index + 1)]
+        for index, register in enumerate(design.registers)
+    ]
+    return TransitionSystem(
+        num_state_bits=design.num_registers,
+        num_input_bits=design.num_primary_inputs,
+        init=init,
+        transition=transition,
+        bad=bad,
+        name=name or f"{design.core.name}_ts",
+    )
+
+
+def _transitive_fanin(circuit: Circuit, net: int) -> set[int]:
+    """All nets in the cone of ``net`` (inclusive)."""
+    driver = {gate.output: gate for gate in circuit.gates}
+    cone: set[int] = set()
+    stack = [net]
+    while stack:
+        current = stack.pop()
+        if current in cone:
+            continue
+        cone.add(current)
+        gate = driver.get(current)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    return cone

@@ -1,0 +1,106 @@
+"""Tseitin transformation: circuit -> equisatisfiable CNF.
+
+Each net gets a CNF variable; each gate contributes the standard clause
+set asserting output <-> gate function. The mapping net -> variable is
+returned so callers can constrain inputs/outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Circuit, Gate, GateType
+from repro.cnf import CnfFormula
+
+
+@dataclass
+class TseitinResult:
+    """CNF plus the net -> variable mapping."""
+
+    formula: CnfFormula
+    var_of_net: dict[int, int]
+
+    def var(self, net: int) -> int:
+        return self.var_of_net[net]
+
+
+def tseitin_encode(
+    circuit: Circuit,
+    formula: CnfFormula | None = None,
+    bindings: dict[int, int] | None = None,
+) -> TseitinResult:
+    """Encode a circuit, optionally extending an existing formula.
+
+    When ``formula`` is given, fresh variables are allocated after its
+    current ``num_vars`` — this is how a miter encodes two circuits into
+    one CNF. ``bindings`` pins circuit nets (typically inputs) to existing
+    formula variables — this is how BMC unrolling chains time steps.
+    """
+    if formula is None:
+        formula = CnfFormula(0)
+    var_of_net: dict[int, int] = dict(bindings) if bindings else {}
+    next_var = formula.num_vars + 1
+
+    def var(net: int) -> int:
+        nonlocal next_var
+        existing = var_of_net.get(net)
+        if existing is None:
+            existing = next_var
+            var_of_net[net] = existing
+            next_var += 1
+        return existing
+
+    for net in circuit.inputs:
+        var(net)
+    for gate in circuit.gates:
+        _encode_gate(gate, var, formula)
+    for net in circuit.outputs:
+        var(net)
+    # Make sure the formula knows about variables even if no clause uses
+    # them (e.g. a floating input).
+    if formula.num_vars < next_var - 1:
+        formula.num_vars = next_var - 1
+    return TseitinResult(formula=formula, var_of_net=var_of_net)
+
+
+def _encode_gate(gate: Gate, var, formula: CnfFormula) -> None:
+    out = var(gate.output)
+    ins = [var(net) for net in gate.inputs]
+    gtype = gate.gtype
+
+    if gtype in (GateType.AND, GateType.NAND):
+        # out <-> AND(ins); for NAND flip the output phase.
+        phase = 1 if gtype == GateType.AND else -1
+        for lit in ins:
+            formula.add_clause([-phase * out, lit])
+        formula.add_clause([phase * out] + [-lit for lit in ins])
+    elif gtype in (GateType.OR, GateType.NOR):
+        phase = 1 if gtype == GateType.OR else -1
+        for lit in ins:
+            formula.add_clause([phase * out, -lit])
+        formula.add_clause([-phase * out] + list(ins))
+    elif gtype in (GateType.NOT, GateType.BUF):
+        phase = -1 if gtype == GateType.NOT else 1
+        formula.add_clause([-out, phase * ins[0]])
+        formula.add_clause([out, -phase * ins[0]])
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        a, b = ins
+        phase = 1 if gtype == GateType.XOR else -1
+        # out <-> a xor b (xnor: negate out).
+        formula.add_clause([-phase * out, a, b])
+        formula.add_clause([-phase * out, -a, -b])
+        formula.add_clause([phase * out, -a, b])
+        formula.add_clause([phase * out, a, -b])
+    elif gtype == GateType.CONST0:
+        formula.add_clause([-out])
+    elif gtype == GateType.CONST1:
+        formula.add_clause([out])
+    elif gtype == GateType.MUX:
+        select, a, b = ins
+        # select=0 -> out=a; select=1 -> out=b.
+        formula.add_clause([select, -a, out])
+        formula.add_clause([select, a, -out])
+        formula.add_clause([-select, -b, out])
+        formula.add_clause([-select, b, -out])
+    else:  # pragma: no cover - defensive
+        raise AssertionError(f"unhandled gate type {gtype}")

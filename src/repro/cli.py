@@ -1,0 +1,182 @@
+"""Command-line entry points: repro-solve, repro-check, repro-core.
+
+A minimal DIMACS-in, verdict-out interface so the solver/checker pipeline
+can be driven from shell scripts the way zchaff and its checker were.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.checker import (
+    BreadthFirstChecker,
+    DepthFirstChecker,
+    HybridChecker,
+    RupChecker,
+    DrupWriter,
+    check_model,
+)
+from repro.cnf import parse_dimacs_file
+from repro.core_extract import iterate_core
+from repro.solver import Solver, SolverConfig
+from repro.trace import load_trace, open_trace_writer
+
+
+def solve_main(argv: list[str] | None = None) -> int:
+    """repro-solve: solve a DIMACS file, optionally logging proofs."""
+    parser = argparse.ArgumentParser(prog="repro-solve")
+    parser.add_argument("cnf", help="DIMACS CNF file")
+    parser.add_argument("--trace", help="write a resolution trace here")
+    parser.add_argument("--trace-format", default="ascii", choices=["ascii", "binary"])
+    parser.add_argument("--drup", help="write a DRUP proof here")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-conflicts", type=int, default=None)
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="check the answer before reporting it (model check on SAT, "
+        "depth-first proof check on UNSAT)",
+    )
+    args = parser.parse_args(argv)
+
+    formula = parse_dimacs_file(args.cnf)
+    validate_writer = None
+    if args.validate and not args.trace:
+        from repro.trace import InMemoryTraceWriter
+
+        validate_writer = InMemoryTraceWriter()
+    trace_writer = (
+        open_trace_writer(args.trace, args.trace_format) if args.trace else validate_writer
+    )
+    drup_writer = DrupWriter(args.drup) if args.drup else None
+    config = SolverConfig(seed=args.seed, max_conflicts=args.max_conflicts)
+    result = Solver(
+        formula, config=config, trace_writer=trace_writer, drup_writer=drup_writer
+    ).solve()
+
+    if args.validate and result.is_unsat:
+        if validate_writer is not None:
+            trace = validate_writer.to_trace()
+        else:
+            trace = load_trace(args.trace)
+        report = DepthFirstChecker(formula, trace).check()
+        if not report.verified:
+            print(f"c VALIDATION FAILED: {report.failure}", file=sys.stderr)
+            return 2
+        print("c proof validated (depth-first checker)")
+
+    print(f"s {result.status}")
+    if result.is_sat:
+        assert result.model is not None
+        literals = [v if value else -v for v, value in sorted(result.model.items())]
+        print("v " + " ".join(map(str, literals)) + " 0")
+        if not check_model(formula, result.model):
+            print("c INTERNAL ERROR: model does not satisfy the formula", file=sys.stderr)
+            return 2
+    stats = result.stats
+    print(
+        f"c decisions={stats.decisions} conflicts={stats.conflicts} "
+        f"propagations={stats.propagations} learned={stats.learned_clauses} "
+        f"time={stats.solve_time:.3f}s"
+    )
+    return 0 if result.status != "UNKNOWN" else 1
+
+
+_CHECKERS = {
+    "df": "depth-first",
+    "bf": "breadth-first",
+    "hybrid": "hybrid",
+    "rup": "rup",
+}
+
+
+def check_main(argv: list[str] | None = None) -> int:
+    """repro-check: validate an UNSAT claim from its trace/proof."""
+    parser = argparse.ArgumentParser(prog="repro-check")
+    parser.add_argument("cnf", help="DIMACS CNF file")
+    parser.add_argument("proof", help="trace file (df/bf/hybrid) or DRUP file (rup)")
+    parser.add_argument("--method", default="df", choices=sorted(_CHECKERS))
+    parser.add_argument("--mem-limit", type=int, default=None, help="logical units")
+    parser.add_argument("--show-core", action="store_true", help="print the unsat core (df/hybrid)")
+    args = parser.parse_args(argv)
+
+    formula = parse_dimacs_file(args.cnf)
+    if args.method == "df":
+        checker = DepthFirstChecker(formula, load_trace(args.proof), memory_limit=args.mem_limit)
+    elif args.method == "bf":
+        checker = BreadthFirstChecker(formula, args.proof, memory_limit=args.mem_limit)
+    elif args.method == "hybrid":
+        checker = HybridChecker(formula, args.proof, memory_limit=args.mem_limit)
+    else:
+        checker = RupChecker(formula, args.proof)
+
+    report = checker.check()
+    print(report.summary())
+    if report.verified and args.show_core and report.original_core is not None:
+        print("c core clause ids: " + " ".join(map(str, sorted(report.original_core))))
+    return 0 if report.verified else 1
+
+
+def trace_stats_main(argv: list[str] | None = None) -> int:
+    """repro-trace-stats: analytics for a trace file."""
+    parser = argparse.ArgumentParser(prog="repro-trace-stats")
+    parser.add_argument("trace", help="ASCII or binary trace file")
+    args = parser.parse_args(argv)
+
+    from repro.trace import analyze_trace
+
+    print(analyze_trace(args.trace).summary())
+    return 0
+
+
+def trim_main(argv: list[str] | None = None) -> int:
+    """repro-trim: drop trace records the proof does not need."""
+    parser = argparse.ArgumentParser(prog="repro-trim")
+    parser.add_argument("cnf", help="DIMACS CNF file")
+    parser.add_argument("trace", help="trace file to trim")
+    parser.add_argument("output", help="where to write the trimmed trace")
+    parser.add_argument("--format", default="ascii", choices=["ascii", "binary"])
+    args = parser.parse_args(argv)
+
+    from repro.trace import load_trace, write_trimmed
+
+    formula = parse_dimacs_file(args.cnf)
+    result = write_trimmed(formula, load_trace(args.trace), args.output, fmt=args.format)
+    print(
+        f"kept {result.kept_learned} learned clauses, dropped "
+        f"{result.dropped_learned} ({result.kept_fraction:.0%} kept); "
+        f"original core: {len(result.original_core)} clauses"
+    )
+    return 0
+
+
+def core_main(argv: list[str] | None = None) -> int:
+    """repro-core: iterated unsat-core extraction (Table 3 for one file)."""
+    parser = argparse.ArgumentParser(prog="repro-core")
+    parser.add_argument("cnf", help="DIMACS CNF file (must be UNSAT)")
+    parser.add_argument("--iterations", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--minimal",
+        action="store_true",
+        help="continue with deletion-based minimization to a true MUS",
+    )
+    args = parser.parse_args(argv)
+
+    formula = parse_dimacs_file(args.cnf)
+    config = SolverConfig(seed=args.seed)
+    outcome = iterate_core(formula, max_iterations=args.iterations, config=config)
+    for index, (clauses, variables) in enumerate(outcome.iterations):
+        label = "input" if index == 0 else f"iter {index}"
+        print(f"{label}: {clauses} clauses, {variables} variables")
+    if outcome.reached_fixed_point:
+        print(f"fixed point after {outcome.num_iterations} iterations")
+    core_ids = outcome.final_core_ids
+    if args.minimal:
+        from repro.core_extract import minimal_core
+
+        core_ids = minimal_core(formula, config=config, start_from=core_ids)
+        print(f"minimal core (MUS): {len(core_ids)} clauses")
+    print("core clause ids: " + " ".join(map(str, sorted(core_ids))))
+    return 0

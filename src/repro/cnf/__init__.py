@@ -1,0 +1,43 @@
+"""CNF substrate: literals, clauses, formulas, DIMACS I/O, assignments.
+
+Literals follow the DIMACS convention end-to-end: a literal is a nonzero
+signed integer whose absolute value is the variable index (1-based) and whose
+sign is the polarity. ``-3`` means "variable 3 is false".
+"""
+
+from repro.cnf.literals import (
+    negate,
+    variable_of,
+    is_positive,
+    literal,
+    lit_to_str,
+)
+from repro.cnf.clause import Clause
+from repro.cnf.formula import CnfFormula
+from repro.cnf.assignment import Assignment, TRUE, FALSE, UNASSIGNED
+from repro.cnf.dimacs import (
+    parse_dimacs,
+    parse_dimacs_file,
+    write_dimacs,
+    write_dimacs_file,
+    DimacsError,
+)
+
+__all__ = [
+    "negate",
+    "variable_of",
+    "is_positive",
+    "literal",
+    "lit_to_str",
+    "Clause",
+    "CnfFormula",
+    "Assignment",
+    "TRUE",
+    "FALSE",
+    "UNASSIGNED",
+    "parse_dimacs",
+    "parse_dimacs_file",
+    "write_dimacs",
+    "write_dimacs_file",
+    "DimacsError",
+]

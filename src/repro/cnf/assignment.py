@@ -1,0 +1,100 @@
+"""The assignment trail shared vocabulary of the solver.
+
+Tracks, per variable: value, decision level, antecedent clause ID, and the
+chronological position on the trail. The paper's invariant (§2.1) — "a
+non-free, non-decision variable will always have an antecedent, and its
+decision level will always equal the highest decision level of the other
+variables in its antecedent clause" — is enforced by the solver and replayed
+by the checkers via this record.
+"""
+
+from __future__ import annotations
+
+TRUE = 1
+FALSE = 0
+UNASSIGNED = -1
+
+NO_ANTECEDENT = 0  # decision variables and unassigned variables
+
+
+class Assignment:
+    """Trail-based variable assignment with decision levels and antecedents."""
+
+    def __init__(self, num_vars: int):
+        self.num_vars = num_vars
+        n = num_vars + 1  # 1-based variable indexing
+        self.values = [UNASSIGNED] * n
+        self.levels = [-1] * n
+        self.antecedents = [NO_ANTECEDENT] * n
+        self.positions = [-1] * n  # index on the trail, for chronology
+        self.trail: list[int] = []  # literals in assignment order
+        self.level_limits: list[int] = []  # trail length at each decision
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.level_limits)
+
+    def value_of_lit(self, lit: int) -> int:
+        """TRUE/FALSE/UNASSIGNED status of a literal."""
+        value = self.values[abs(lit)]
+        if value == UNASSIGNED:
+            return UNASSIGNED
+        if lit > 0:
+            return value
+        return TRUE if value == FALSE else FALSE
+
+    def is_assigned(self, var: int) -> bool:
+        return self.values[var] != UNASSIGNED
+
+    def num_assigned(self) -> int:
+        return len(self.trail)
+
+    def model(self) -> dict[int, bool]:
+        """Variable -> bool for every assigned variable."""
+        return {abs(lit): lit > 0 for lit in self.trail}
+
+    # -- mutation --------------------------------------------------------
+
+    def new_decision_level(self) -> int:
+        self.level_limits.append(len(self.trail))
+        return self.decision_level
+
+    def assign(self, lit: int, antecedent: int = NO_ANTECEDENT) -> None:
+        """Put a literal on the trail at the current decision level."""
+        var = abs(lit)
+        if self.values[var] != UNASSIGNED:
+            raise ValueError(f"variable {var} is already assigned")
+        self.values[var] = TRUE if lit > 0 else FALSE
+        self.levels[var] = self.decision_level
+        self.antecedents[var] = antecedent
+        self.positions[var] = len(self.trail)
+        self.trail.append(lit)
+
+    def backtrack(self, level: int) -> None:
+        """Undo all assignments above ``level`` (assertion-based backtracking)."""
+        if level < 0 or level > self.decision_level:
+            raise ValueError(f"cannot backtrack to level {level}")
+        if level == self.decision_level:
+            return
+        keep = self.level_limits[level]
+        for lit in self.trail[keep:]:
+            var = abs(lit)
+            self.values[var] = UNASSIGNED
+            self.levels[var] = -1
+            self.antecedents[var] = NO_ANTECEDENT
+            self.positions[var] = -1
+        del self.trail[keep:]
+        del self.level_limits[level:]
+
+    def grow(self, num_vars: int) -> None:
+        """Extend capacity to ``num_vars`` (used when formulas grow)."""
+        if num_vars <= self.num_vars:
+            return
+        extra = num_vars - self.num_vars
+        self.values.extend([UNASSIGNED] * extra)
+        self.levels.extend([-1] * extra)
+        self.antecedents.extend([NO_ANTECEDENT] * extra)
+        self.positions.extend([-1] * extra)
+        self.num_vars = num_vars

@@ -1,0 +1,73 @@
+"""Immutable clause objects with identity, as shared by solver and checkers.
+
+The paper (§3.1) requires that the solver and the checker agree on clause
+IDs: original clauses are numbered by their order of appearance in the
+formula, learned clauses continue the numbering. ``Clause`` therefore
+carries its ID alongside its literals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Clause:
+    """A disjunction of literals with a stable identity.
+
+    Literals are stored deduplicated in a tuple; a clause containing both
+    phases of some variable (a tautology) is representable but flagged, since
+    tautologies can legitimately appear in inputs yet never in resolvents
+    produced by conflict analysis.
+    """
+
+    __slots__ = ("cid", "literals", "learned")
+
+    def __init__(self, cid: int, literals: Iterable[int], learned: bool = False):
+        seen: dict[int, None] = {}
+        for lit in literals:
+            if lit == 0 or not isinstance(lit, int):
+                raise ValueError(f"invalid literal {lit!r} in clause {cid}")
+            seen.setdefault(lit, None)
+        self.cid = cid
+        self.literals: tuple[int, ...] = tuple(seen)
+        self.learned = learned
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.literals)
+
+    def __contains__(self, lit: int) -> bool:
+        return lit in self.literals
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clause):
+            return NotImplemented
+        return self.cid == other.cid and set(self.literals) == set(other.literals)
+
+    def __hash__(self) -> int:
+        return hash((self.cid, frozenset(self.literals)))
+
+    def __repr__(self) -> str:
+        kind = "L" if self.learned else "O"
+        lits = " ".join(str(lit) for lit in self.literals)
+        return f"Clause({kind}{self.cid}: {lits})"
+
+    @property
+    def is_empty(self) -> bool:
+        """The empty clause — the root of an unsatisfiability proof."""
+        return not self.literals
+
+    @property
+    def is_unit(self) -> bool:
+        return len(self.literals) == 1
+
+    @property
+    def is_tautology(self) -> bool:
+        lits = set(self.literals)
+        return any(-lit in lits for lit in lits)
+
+    def variables(self) -> set[int]:
+        """Set of variable indices occurring in the clause."""
+        return {abs(lit) for lit in self.literals}

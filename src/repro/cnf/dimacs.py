@@ -1,0 +1,103 @@
+"""DIMACS CNF reader/writer.
+
+Tolerant of the quirks found in real benchmark files: comments anywhere,
+clauses spanning multiple lines, trailing ``%``/``0`` sections, and headers
+that under- or over-declare the variable count (the paper's Table 3 notes
+that declared and used variable counts differ in practice).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.cnf.formula import CnfFormula
+
+
+class DimacsError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF from a string."""
+    return _parse(io.StringIO(text))
+
+
+def parse_dimacs_file(path: str | Path) -> CnfFormula:
+    """Parse DIMACS CNF from a file path."""
+    with open(path, "r", encoding="ascii") as handle:
+        return _parse(handle)
+
+
+def _parse(stream: TextIO) -> CnfFormula:
+    declared_vars = 0
+    declared_clauses: int | None = None
+    saw_header = False
+    formula: CnfFormula | None = None
+    current: list[int] = []
+
+    for lineno, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("%"):
+            break  # some SATLIB files end with '%\n0'
+        if line.startswith("p"):
+            if saw_header:
+                raise DimacsError(f"line {lineno}: duplicate header")
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise DimacsError(f"line {lineno}: bad header {line!r}")
+            try:
+                declared_vars = int(fields[2])
+                declared_clauses = int(fields[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {lineno}: bad header {line!r}") from exc
+            if declared_vars < 0 or declared_clauses < 0:
+                raise DimacsError(f"line {lineno}: negative counts in header")
+            saw_header = True
+            formula = CnfFormula(declared_vars)
+            continue
+        if not saw_header:
+            raise DimacsError(f"line {lineno}: clause before 'p cnf' header")
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"line {lineno}: bad token {token!r}") from exc
+            if lit == 0:
+                assert formula is not None
+                formula.add_clause(current)
+                current = []
+            else:
+                current.append(lit)
+
+    if not saw_header or formula is None:
+        raise DimacsError("missing 'p cnf' header")
+    if current:
+        # Final clause without a terminating 0 — accept it, as many tools do.
+        formula.add_clause(current)
+    if declared_clauses is not None and formula.num_clauses != declared_clauses:
+        raise DimacsError(
+            f"header declares {declared_clauses} clauses, found {formula.num_clauses}"
+        )
+    return formula
+
+
+def write_dimacs(formula: CnfFormula, comment: str | None = None) -> str:
+    """Serialize a formula to DIMACS text."""
+    parts: list[str] = []
+    if comment:
+        for line in comment.splitlines():
+            parts.append(f"c {line}")
+    parts.append(f"p cnf {formula.num_vars} {formula.num_clauses}")
+    for clause in formula:
+        parts.append(" ".join(str(lit) for lit in clause.literals) + " 0")
+    return "\n".join(parts) + "\n"
+
+
+def write_dimacs_file(formula: CnfFormula, path: str | Path, comment: str | None = None) -> None:
+    """Write a formula to a DIMACS file."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(write_dimacs(formula, comment=comment))

@@ -1,0 +1,89 @@
+"""CNF formulas: an ordered collection of clauses with agreed-upon IDs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.cnf.clause import Clause
+
+
+class CnfFormula:
+    """A CNF formula whose clauses carry the IDs the checker will use.
+
+    Original clauses receive IDs 1..m in order of appearance, matching the
+    paper's requirement that "the original clauses have IDs that are agreed
+    to by both the solver and the checker (e.g. the order of appearance in
+    the formula)".
+    """
+
+    def __init__(self, num_vars: int, clauses: Iterable[Sequence[int]] = ()):
+        if num_vars < 0:
+            raise ValueError(f"num_vars must be non-negative, got {num_vars}")
+        self.num_vars = num_vars
+        self.clauses: list[Clause] = []
+        for lits in clauses:
+            self.add_clause(lits)
+
+    def add_clause(self, literals: Sequence[int]) -> Clause:
+        """Append a clause, growing ``num_vars`` if literals exceed it."""
+        clause = Clause(len(self.clauses) + 1, literals)
+        for lit in clause:
+            var = abs(lit)
+            if var > self.num_vars:
+                self.num_vars = var
+        self.clauses.append(clause)
+        return clause
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __getitem__(self, cid: int) -> Clause:
+        """Look up a clause by its 1-based ID."""
+        if not 1 <= cid <= len(self.clauses):
+            raise KeyError(f"no original clause with id {cid}")
+        return self.clauses[cid - 1]
+
+    def __repr__(self) -> str:
+        return f"CnfFormula(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+    def used_variables(self) -> set[int]:
+        """Variables that actually occur in some clause.
+
+        The paper's Table 3 notes that the header's variable count can exceed
+        the number of variables actually used; this gives the true count.
+        """
+        used: set[int] = set()
+        for clause in self.clauses:
+            used.update(clause.variables())
+        return used
+
+    def restrict_to(self, clause_ids: Iterable[int]) -> "CnfFormula":
+        """Build a sub-formula from a subset of clause IDs (e.g. an unsat core).
+
+        Clause IDs are re-assigned 1..k in ascending order of the original
+        IDs; variables keep their original indices.
+        """
+        sub = CnfFormula(self.num_vars)
+        for cid in sorted(set(clause_ids)):
+            sub.add_clause(self[cid].literals)
+        return sub
+
+    def evaluate(self, model: dict[int, bool]) -> bool:
+        """True iff ``model`` (variable -> value) satisfies every clause."""
+        for clause in self.clauses:
+            for lit in clause:
+                value = model.get(abs(lit))
+                if value is None:
+                    continue
+                if value == (lit > 0):
+                    break
+            else:
+                return False
+        return True

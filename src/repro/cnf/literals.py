@@ -1,0 +1,41 @@
+"""Literal helpers for the DIMACS signed-integer convention.
+
+A literal is a nonzero int; ``abs(lit)`` is the 1-based variable index and
+the sign is the polarity. These helpers exist mostly for readability — hot
+loops in the solver inline the arithmetic.
+"""
+
+from __future__ import annotations
+
+
+def negate(lit: int) -> int:
+    """Return the complementary literal (x3 <-> -x3)."""
+    return -lit
+
+
+def variable_of(lit: int) -> int:
+    """Return the (positive) variable index of a literal."""
+    return lit if lit > 0 else -lit
+
+
+def is_positive(lit: int) -> bool:
+    """True when the literal is the positive phase of its variable."""
+    return lit > 0
+
+
+def literal(var: int, positive: bool) -> int:
+    """Build a literal from a variable index and a polarity.
+
+    Raises ValueError for non-positive variable indices, which would
+    otherwise silently corrupt the sign convention.
+    """
+    if var <= 0:
+        raise ValueError(f"variable index must be positive, got {var}")
+    return var if positive else -var
+
+
+def lit_to_str(lit: int) -> str:
+    """Human-readable form, e.g. ``x3`` / ``~x3``."""
+    if lit > 0:
+        return f"x{lit}"
+    return f"~x{-lit}"

@@ -1,0 +1,94 @@
+"""Satisfiability-preserving formula transformations.
+
+Benchmark hygiene tools: shuffling variables, clauses, and polarities is
+the standard way to measure a solver's sensitivity to accidental input
+order (heuristic tie-breaking makes solvers notoriously order-sensitive),
+and cleanup normalizations are handy before handing formulas around.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cnf.formula import CnfFormula
+
+
+@dataclass
+class VariableRenaming:
+    """A bijective renaming: new_of[old] = new (1-based arrays)."""
+
+    new_of: list[int]
+
+    def apply_literal(self, lit: int) -> int:
+        var = abs(lit)
+        renamed = self.new_of[var]
+        return renamed if lit > 0 else -renamed
+
+    def translate_model(self, model: dict[int, bool]) -> dict[int, bool]:
+        """Translate a model of the *renamed* formula back to the original."""
+        return {old: model[self.new_of[old]] for old in range(1, len(self.new_of))}
+
+
+def permute_variables(formula: CnfFormula, seed: int = 0) -> tuple[CnfFormula, VariableRenaming]:
+    """Apply a random variable permutation; returns (formula, renaming)."""
+    rng = random.Random(seed)
+    order = list(range(1, formula.num_vars + 1))
+    rng.shuffle(order)
+    new_of = [0] * (formula.num_vars + 1)
+    for new_index, old in enumerate(order, start=1):
+        new_of[old] = new_index
+    renaming = VariableRenaming(new_of)
+    permuted = CnfFormula(formula.num_vars)
+    for clause in formula:
+        permuted.add_clause([renaming.apply_literal(lit) for lit in clause.literals])
+    return permuted, renaming
+
+
+def permute_clauses(formula: CnfFormula, seed: int = 0) -> tuple[CnfFormula, list[int]]:
+    """Shuffle clause order; returns (formula, old_cid_of_new_position)."""
+    rng = random.Random(seed)
+    order = list(range(1, formula.num_clauses + 1))
+    rng.shuffle(order)
+    permuted = CnfFormula(formula.num_vars)
+    for old_cid in order:
+        permuted.add_clause(list(formula[old_cid].literals))
+    return permuted, order
+
+
+def flip_polarities(formula: CnfFormula, seed: int = 0) -> tuple[CnfFormula, set[int]]:
+    """Negate a random subset of variables everywhere; returns the set.
+
+    Satisfiability is preserved: flip the same variables in any model.
+    """
+    rng = random.Random(seed)
+    flipped = {var for var in range(1, formula.num_vars + 1) if rng.random() < 0.5}
+    transformed = CnfFormula(formula.num_vars)
+    for clause in formula:
+        transformed.add_clause(
+            [-lit if abs(lit) in flipped else lit for lit in clause.literals]
+        )
+    return transformed, flipped
+
+
+def scramble(formula: CnfFormula, seed: int = 0) -> CnfFormula:
+    """All three shuffles composed — the standard benchmark scrambler."""
+    permuted, _ = permute_variables(formula, seed=seed)
+    flipped, _ = flip_polarities(permuted, seed=seed + 1)
+    shuffled, _ = permute_clauses(flipped, seed=seed + 2)
+    return shuffled
+
+
+def remove_tautologies(formula: CnfFormula) -> CnfFormula:
+    """Drop tautological clauses (and exact duplicate clauses)."""
+    cleaned = CnfFormula(formula.num_vars)
+    seen: set[frozenset[int]] = set()
+    for clause in formula:
+        if clause.is_tautology:
+            continue
+        key = frozenset(clause.literals)
+        if key in seen:
+            continue
+        seen.add(key)
+        cleaned.add_clause(list(clause.literals))
+    return cleaned

@@ -1,0 +1,40 @@
+"""Experiment harness: regenerates the paper's Tables 1-3 and the §4/§5
+remarks (trace-format compaction, check-vs-solve ratio, hybrid checker).
+
+Entry points:
+
+* ``python -m repro.experiments table1`` — trace-generation overhead.
+* ``python -m repro.experiments table2`` — DF vs BF checker comparison.
+* ``python -m repro.experiments table3`` — iterated unsat-core extraction.
+* ``python -m repro.experiments formats`` — ASCII vs binary trace sizes.
+* ``python -m repro.experiments all`` — everything, in order.
+"""
+
+from repro.experiments.suite import BenchmarkInstance, default_suite, core_suite
+from repro.experiments.runner import InstanceResult, run_instance
+from repro.experiments.tables import (
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_formats_table,
+)
+
+__all__ = [
+    "BenchmarkInstance",
+    "default_suite",
+    "core_suite",
+    "InstanceResult",
+    "run_instance",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_formats_table",
+]

@@ -1,0 +1,103 @@
+"""CLI: regenerate the paper's tables.
+
+Usage:
+    python -m repro.experiments table1 [--scale medium]
+    python -m repro.experiments table2 [--scale medium] [--mem-limit N]
+    python -m repro.experiments table3 [--scale medium] [--iterations 30]
+    python -m repro.experiments formats
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.runner import run_instance
+from repro.experiments.suite import core_suite, default_suite
+from repro.experiments.tables import (
+    render_check_vs_solve,
+    render_formats_table,
+    render_hybrid_table,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+def _run_suite(scale: str, memory_limit: int | None = None, verbose: bool = True):
+    results = []
+    for instance in default_suite(scale):
+        if verbose:
+            print(f"  running {instance.name} ...", file=sys.stderr, flush=True)
+        results.append(run_instance(instance, memory_limit=memory_limit))
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments", description="Regenerate the paper's tables."
+    )
+    parser.add_argument(
+        "what",
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "formats",
+            "check-vs-solve",
+            "hybrid",
+            "ablations",
+            "export",
+            "all",
+        ],
+    )
+    parser.add_argument("--scale", default="medium", choices=["small", "medium", "large"])
+    parser.add_argument("--out-dir", default="suite-export", help="directory for `export`")
+    parser.add_argument(
+        "--mem-limit",
+        type=int,
+        default=None,
+        help="checker memory budget in logical units (reproduces Table 2's "
+        "depth-first memory-outs)",
+    )
+    parser.add_argument("--iterations", type=int, default=30, help="Table 3 iteration cap")
+    args = parser.parse_args(argv)
+
+    if args.what == "export":
+        from repro.experiments.export import export_suite
+
+        manifest = export_suite(args.out_dir, scale=args.scale)
+        print(
+            f"exported {len(manifest['instances'])} instances to {args.out_dir} "
+            "(see manifest.json)"
+        )
+        return 0
+
+    needs_suite = args.what in ("table1", "table2", "formats", "check-vs-solve", "hybrid", "all")
+    results = _run_suite(args.scale, memory_limit=args.mem_limit) if needs_suite else []
+
+    sections = []
+    if args.what in ("table1", "all"):
+        sections.append(render_table1(results))
+    if args.what in ("table2", "all"):
+        sections.append(render_table2(results))
+    if args.what in ("table3", "all"):
+        sections.append(render_table3(core_suite(args.scale), args.iterations))
+    if args.what in ("formats", "all"):
+        sections.append(render_formats_table(results))
+    if args.what in ("check-vs-solve", "all"):
+        sections.append(render_check_vs_solve(results))
+    if args.what in ("hybrid", "all"):
+        sections.append(render_hybrid_table(results))
+    if args.what in ("ablations", "all"):
+        from repro.experiments.ablations import render_ablation_tables
+
+        sections.append(render_ablation_tables(args.scale))
+
+    print("\n\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+"""Ablation tables: what the solver's design choices buy.
+
+DESIGN.md calls out four choices; this renders a conflicts/time table for
+each over a pair of representative instances.
+"""
+
+from __future__ import annotations
+
+from repro.circuits import miter_to_cnf, shifter_equivalence_miter
+from repro.experiments.tables import format_table
+from repro.generators import pigeonhole
+from repro.solver import Solver, SolverConfig
+
+
+def _instances(scale: str):
+    # The shifter miter stays at width 8 even at larger scales: the static
+    # heuristic (deliberately bad on structured instances — that is the
+    # point of the ablation) blows up super-linearly with the width.
+    if scale == "small":
+        return [("php65", pigeonhole(6, 5)), ("shift8", miter_to_cnf(shifter_equivalence_miter(8)))]
+    return [("php76", pigeonhole(7, 6)), ("shift8", miter_to_cnf(shifter_equivalence_miter(8)))]
+
+
+def _run(formula, **kwargs):
+    result = Solver(formula, SolverConfig(**kwargs)).solve()
+    assert result.is_unsat
+    return result
+
+
+def render_ablation_tables(scale: str = "medium") -> str:
+    """All four ablations as text tables."""
+    instances = _instances(scale)
+    sections = []
+
+    rows = []
+    for name, formula in instances:
+        for heuristic in ("vsids", "jeroslow-wang", "static", "random"):
+            result = _run(formula, decision_heuristic=heuristic)
+            rows.append(
+                [name, heuristic, result.stats.conflicts, f"{result.stats.solve_time:.3f}"]
+            )
+    sections.append(
+        "Ablation: decision heuristic\n"
+        + format_table(["Instance", "Heuristic", "Conflicts", "Time (s)"], rows)
+    )
+
+    rows = []
+    for name, formula in instances:
+        for minimize in (False, True):
+            result = _run(formula, minimize_learned=minimize)
+            rows.append(
+                [
+                    name,
+                    "minimized" if minimize else "plain",
+                    result.stats.conflicts,
+                    f"{result.stats.solve_time:.3f}",
+                ]
+            )
+    sections.append(
+        "Ablation: learned-clause minimization\n"
+        + format_table(["Instance", "Learning", "Conflicts", "Time (s)"], rows)
+    )
+
+    rows = []
+    for name, formula in instances:
+        for policy in ("geometric", "luby", "none"):
+            result = _run(formula, restart_policy=policy)
+            rows.append(
+                [name, policy, result.stats.conflicts, result.stats.restarts,
+                 f"{result.stats.solve_time:.3f}"]
+            )
+    sections.append(
+        "Ablation: restart policy\n"
+        + format_table(["Instance", "Policy", "Conflicts", "Restarts", "Time (s)"], rows)
+    )
+
+    rows = []
+    for name, formula in instances:
+        for label, kwargs in (
+            ("keep-all", {"min_learned_cap": 10**9}),
+            ("default", {}),
+            ("aggressive", {"min_learned_cap": 20, "max_learned_factor": 0.0}),
+        ):
+            result = _run(formula, **kwargs)
+            rows.append(
+                [name, label, result.stats.conflicts, result.stats.deleted_clauses,
+                 f"{result.stats.solve_time:.3f}"]
+            )
+    sections.append(
+        "Ablation: learned-clause deletion\n"
+        + format_table(["Instance", "Policy", "Conflicts", "Deleted", "Time (s)"], rows)
+    )
+
+    return "\n\n".join(sections)

@@ -1,0 +1,129 @@
+"""Per-instance experiment pipeline.
+
+For one benchmark instance: solve with tracing off, solve with tracing on
+(ASCII and binary trace files), then run the depth-first, breadth-first
+and hybrid checkers over the trace. Everything the table renderers need
+comes back in one ``InstanceResult``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, HybridChecker
+from repro.checker.report import CheckReport
+from repro.experiments.suite import BenchmarkInstance
+from repro.solver import Solver, SolverConfig
+from repro.trace import AsciiTraceWriter, BinaryTraceWriter, load_trace
+
+
+@dataclass
+class InstanceResult:
+    """Everything measured for one instance."""
+
+    name: str
+    family: str
+    paper_analog: str
+    num_vars: int
+    num_clauses: int
+    learned_clauses: int
+    conflicts: int
+    time_trace_off: float
+    time_trace_on: float
+    ascii_trace_bytes: int
+    binary_trace_bytes: int
+    df: CheckReport | None = None
+    bf: CheckReport | None = None
+    hybrid: CheckReport | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def trace_overhead_pct(self) -> float:
+        if self.time_trace_off <= 0:
+            return 0.0
+        return 100.0 * (self.time_trace_on - self.time_trace_off) / self.time_trace_off
+
+    @property
+    def compaction_ratio(self) -> float:
+        if self.binary_trace_bytes == 0:
+            return 0.0
+        return self.ascii_trace_bytes / self.binary_trace_bytes
+
+
+def run_instance(
+    instance: BenchmarkInstance,
+    work_dir: str | Path | None = None,
+    config: SolverConfig | None = None,
+    memory_limit: int | None = None,
+    run_checkers: bool = True,
+    keep_traces: bool = False,
+) -> InstanceResult:
+    """Run the full pipeline on one instance.
+
+    ``memory_limit`` (logical units, see :mod:`repro.checker.memory`)
+    applies to both checkers and reproduces Table 2's depth-first
+    memory-outs when set.
+    """
+    formula = instance.build()
+    config = config or SolverConfig()
+
+    own_dir = None
+    if work_dir is None:
+        own_dir = tempfile.TemporaryDirectory(prefix="repro-exp-")
+        work_dir = own_dir.name
+    work_dir = Path(work_dir)
+    ascii_path = work_dir / f"{instance.name}.trace"
+    binary_path = work_dir / f"{instance.name}.rtb"
+
+    try:
+        # Run 1: trace generation off (the baseline of Table 1).
+        result_off = Solver(formula, config=config).solve()
+        if not result_off.is_unsat:
+            raise ValueError(
+                f"suite instance {instance.name} is {result_off.status}, not UNSAT"
+            )
+
+        # Run 2: trace on, ASCII (the timed run of Table 1).
+        result_on = Solver(
+            formula, config=config, trace_writer=AsciiTraceWriter(ascii_path)
+        ).solve()
+
+        # Run 3: trace on, binary (for the §4 compaction remark).
+        Solver(
+            formula, config=config, trace_writer=BinaryTraceWriter(binary_path)
+        ).solve()
+
+        outcome = InstanceResult(
+            name=instance.name,
+            family=instance.family,
+            paper_analog=instance.paper_analog,
+            num_vars=len(formula.used_variables()),
+            num_clauses=formula.num_clauses,
+            learned_clauses=result_on.stats.learned_clauses,
+            conflicts=result_on.stats.conflicts,
+            time_trace_off=result_off.stats.solve_time,
+            time_trace_on=result_on.stats.solve_time,
+            ascii_trace_bytes=ascii_path.stat().st_size,
+            binary_trace_bytes=binary_path.stat().st_size,
+        )
+
+        if run_checkers:
+            trace = load_trace(binary_path)
+            outcome.df = DepthFirstChecker(
+                formula, trace, memory_limit=memory_limit
+            ).check()
+            outcome.bf = BreadthFirstChecker(
+                formula, binary_path, memory_limit=memory_limit
+            ).check()
+            outcome.hybrid = HybridChecker(
+                formula, binary_path, memory_limit=memory_limit
+            ).check()
+        return outcome
+    finally:
+        if own_dir is not None:
+            if keep_traces:  # pragma: no cover - debugging aid
+                own_dir._finalizer.detach()  # type: ignore[attr-defined]
+            else:
+                own_dir.cleanup()

@@ -1,0 +1,183 @@
+"""The benchmark suite: synthetic analogs of the paper's Table 1 instances.
+
+Every instance is generated deterministically. Three scales:
+
+* ``small``  — seconds for the full pipeline; used by the test suite.
+* ``medium`` — the default; solve times from ~0.05 s to a few seconds.
+* ``large``  — the EXPERIMENTS.md runs; the hardest instances take tens of
+  seconds in pure Python, mirroring the paper's spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bmc import bmc_cnf, counter_system, lfsr_system
+from repro.circuits import (
+    adder_equivalence_miter,
+    miter_to_cnf,
+    multiplier_commutativity_miter,
+    random_cec_miter,
+    shifter_equivalence_miter,
+)
+from repro.cnf import CnfFormula
+from repro.generators import (
+    dense_channel_instance,
+    pigeonhole,
+    random_ksat,
+    swap_planning,
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkInstance:
+    """A named, generated-on-demand unsatisfiable instance."""
+
+    name: str
+    family: str  # which paper family this stands in for
+    paper_analog: str  # the Table 1 instance it mirrors
+    factory: Callable[[], CnfFormula]
+
+    def build(self) -> CnfFormula:
+        return self.factory()
+
+
+def _scaled(scale: str, small, medium, large):
+    try:
+        return {"small": small, "medium": medium, "large": large}[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; use small/medium/large") from None
+
+
+def default_suite(scale: str = "medium") -> list[BenchmarkInstance]:
+    """The Table 1/Table 2 suite, ordered roughly by solve time."""
+    php_a = _scaled(scale, (5, 4), (7, 6), (8, 7))
+    php_b = _scaled(scale, (6, 5), (8, 7), (9, 8))
+    adder_w = _scaled(scale, 8, 16, 24)
+    shift_w = _scaled(scale, 8, 16, 16)
+    mult_w = _scaled(scale, 3, 4, 5)
+    cec = _scaled(scale, (12, 80, 4), (20, 250, 8), (24, 400, 8))
+    ksat = _scaled(scale, (40, 180), (80, 360), (120, 530))
+    fpga = _scaled(scale, (4, 6, 10), (7, 9, 30), (8, 10, 40))
+    swap = _scaled(scale, (4, 8), (5, 12), (6, 16))
+    counter = _scaled(scale, (5, 20, 15), (6, 40, 30), (7, 80, 60))
+    lfsr = _scaled(scale, (5, 8), (8, 16), (10, 24))
+
+    return [
+        BenchmarkInstance(
+            "cec_rand",
+            "combinational equivalence checking",
+            "c5135 / c7225",
+            lambda: miter_to_cnf(random_cec_miter(*cec, seed=11)),
+        ),
+        BenchmarkInstance(
+            "bw_swap",
+            "AI planning",
+            "bw_large.d",
+            lambda: swap_planning(*swap),
+        ),
+        BenchmarkInstance(
+            "barrel_counter",
+            "bounded model checking",
+            "barrel",
+            lambda: bmc_cnf(
+                counter_system(counter[0], counter[1], with_enable=True), counter[2]
+            ),
+        ),
+        BenchmarkInstance(
+            "lfsr_bmc",
+            "bounded model checking",
+            "longmult (BMC side)",
+            lambda: bmc_cnf(lfsr_system(lfsr[0]), lfsr[1]),
+        ),
+        BenchmarkInstance(
+            "dlx_adder_eq",
+            "microprocessor verification",
+            "2dlx_cc_mc_ex_bp_f",
+            lambda: miter_to_cnf(adder_equivalence_miter(adder_w, block=4)),
+        ),
+        BenchmarkInstance(
+            "vliw_shift_eq",
+            "microprocessor verification",
+            "9vliw_bp_mc",
+            lambda: miter_to_cnf(shifter_equivalence_miter(shift_w)),
+        ),
+        BenchmarkInstance(
+            "aim_ksat",
+            "random (control)",
+            "(none - control family)",
+            lambda: random_ksat(*ksat, seed=12),
+        ),
+        BenchmarkInstance(
+            "longmult_comm",
+            "multiplier equivalence",
+            "longmult12",
+            lambda: miter_to_cnf(multiplier_commutativity_miter(mult_w)),
+        ),
+        BenchmarkInstance(
+            "fpga_route",
+            "FPGA routing",
+            "too_largefs3w8v262",
+            lambda: dense_channel_instance(*fpga, seed=5)[0],
+        ),
+        BenchmarkInstance(
+            "pipe_php_a",
+            "microprocessor verification",
+            "5pipe_5_ooo",
+            lambda: pigeonhole(*php_a),
+        ),
+        BenchmarkInstance(
+            "pipe_php_b",
+            "microprocessor verification",
+            "6pipe / 7pipe",
+            lambda: pigeonhole(*php_b),
+        ),
+    ]
+
+
+def core_suite(scale: str = "medium") -> list[BenchmarkInstance]:
+    """The Table 3 suite: instances whose cores are interesting.
+
+    Mirrors the paper's observation that planning (bw_large.d) and FPGA
+    routing (too_large...) instances have *small* cores while pigeonhole-
+    like and XOR-heavy instances need almost everything.
+    """
+    fpga = _scaled(scale, (4, 6, 12), (6, 8, 30), (7, 9, 40))
+    swap = _scaled(scale, (4, 8), (4, 10), (5, 12))
+    php = _scaled(scale, (5, 4), (6, 5), (7, 6))
+    mult_w = _scaled(scale, 3, 3, 4)
+    ksat = _scaled(scale, (30, 150), (40, 190), (60, 280))
+
+    return [
+        BenchmarkInstance(
+            "fpga_route_core",
+            "FPGA routing",
+            "too_largefs3w8v262",
+            lambda: dense_channel_instance(*fpga, seed=5)[0],
+        ),
+        BenchmarkInstance(
+            "bw_swap_core",
+            "AI planning",
+            "bw_large.d",
+            lambda: swap_planning(*swap),
+        ),
+        BenchmarkInstance(
+            "aim_ksat_core",
+            "random (control)",
+            "(none - control family)",
+            lambda: random_ksat(*ksat, seed=21),
+        ),
+        BenchmarkInstance(
+            "pipe_php_core",
+            "microprocessor verification",
+            "5pipe_5_ooo",
+            lambda: pigeonhole(*php),
+        ),
+        BenchmarkInstance(
+            "longmult_core",
+            "multiplier equivalence",
+            "longmult12",
+            lambda: miter_to_cnf(multiplier_commutativity_miter(mult_w)),
+        ),
+    ]

@@ -1,0 +1,44 @@
+"""Benchmark instance generators.
+
+Synthetic stand-ins for the paper's benchmark families (we have no access
+to the original industrial CNF files; see DESIGN.md's substitution table):
+
+* :func:`pigeonhole` — the classic hard verification family.
+* :func:`random_ksat` — phase-transition random instances.
+* :func:`parity_chain` / :func:`random_parity` — XOR structure (longmult's
+  "long resolution proofs" behaviour).
+* :func:`graph_coloring` — coloring a graph with too few colors.
+* :func:`channel_routing` — FPGA channel routability (too_largefs3w8v262).
+* :func:`path_planning` — plan-length infeasibility (bw_large.d's AI
+  planning flavour): no plan of length < shortest-path exists.
+"""
+
+from repro.generators.pigeonhole import pigeonhole
+from repro.generators.random_ksat import random_ksat
+from repro.generators.parity import parity_chain, random_parity
+from repro.generators.coloring import graph_coloring, clique_coloring
+from repro.generators.routing import channel_routing, RoutingNet, dense_channel_instance
+from repro.generators.planning import path_planning, grid_planning, swap_planning
+from repro.generators.tseitin_graphs import (
+    tseitin_formula,
+    tseitin_random_regular,
+    is_satisfiable_charge,
+)
+
+__all__ = [
+    "pigeonhole",
+    "random_ksat",
+    "parity_chain",
+    "random_parity",
+    "graph_coloring",
+    "clique_coloring",
+    "channel_routing",
+    "RoutingNet",
+    "dense_channel_instance",
+    "path_planning",
+    "grid_planning",
+    "swap_planning",
+    "tseitin_formula",
+    "tseitin_random_regular",
+    "is_satisfiable_charge",
+]

@@ -1,0 +1,50 @@
+"""Graph coloring instances."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cnf import CnfFormula
+
+
+def graph_coloring(num_vertices: int, edges: Iterable[tuple[int, int]], colors: int) -> CnfFormula:
+    """Can the graph be properly colored with ``colors`` colors?
+
+    Variables x(v, c) = "vertex v has color c" (v, c both 0-based here;
+    variables are 1-based). UNSAT iff the chromatic number exceeds
+    ``colors``.
+    """
+    if num_vertices < 1 or colors < 1:
+        raise ValueError("need at least one vertex and one color")
+
+    def var(v: int, c: int) -> int:
+        return v * colors + c + 1
+
+    clauses: list[list[int]] = []
+    for v in range(num_vertices):
+        clauses.append([var(v, c) for c in range(colors)])
+        for c1 in range(colors):
+            for c2 in range(c1 + 1, colors):
+                clauses.append([-var(v, c1), -var(v, c2)])
+    for u, v in edges:
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices) or u == v:
+            raise ValueError(f"bad edge ({u}, {v})")
+        for c in range(colors):
+            clauses.append([-var(u, c), -var(v, c)])
+    return CnfFormula(num_vertices * colors, clauses)
+
+
+def clique_coloring(clique_size: int, colors: int, pendant_vertices: int = 0) -> CnfFormula:
+    """Color a ``clique_size``-clique (plus optional pendant padding).
+
+    UNSAT iff colors < clique_size. Pendant vertices hang off the clique
+    and are always colorable — they pad the formula without joining the
+    unsat core, which makes this family a good Table 3 subject.
+    """
+    edges = [
+        (u, v) for u in range(clique_size) for v in range(u + 1, clique_size)
+    ]
+    total = clique_size + pendant_vertices
+    for extra in range(clique_size, total):
+        edges.append((extra % clique_size, extra))
+    return graph_coloring(total, edges, colors)

@@ -1,0 +1,70 @@
+"""XOR / parity instances — the structure behind ``longmult``.
+
+XOR constraints have no short resolution refutations in general; these
+generators produce instances whose proofs use a large fraction of the
+learned clauses (the paper's Table 2 calls out longmult12 for exactly
+this).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cnf import CnfFormula
+
+
+def _xor_clauses(variables: list[int], parity: bool) -> list[list[int]]:
+    """Direct CNF of x1 ^ ... ^ xn = parity (2^(n-1) clauses)."""
+    clauses = []
+    n = len(variables)
+    for mask in range(1 << n):
+        ones = bin(mask).count("1")
+        # Forbid assignments with the wrong parity: assignment bit 1 = var
+        # true. A clause negates one forbidden full assignment.
+        if (ones % 2 == 1) != parity:
+            clauses.append(
+                [-variables[i] if (mask >> i) & 1 else variables[i] for i in range(n)]
+            )
+    return clauses
+
+
+def parity_chain(length: int, satisfiable: bool = False) -> CnfFormula:
+    """Chained 3-variable XORs x_i ^ x_{i+1} ^ y_i = 0 with contradictory ends.
+
+    The chain forces x_1 == x_n through intermediate carries; pinning the
+    two ends to different values makes it unsatisfiable.
+    """
+    if length < 2:
+        raise ValueError("length must be >= 2")
+    clauses: list[list[int]] = []
+    # Variables: x_1..x_length, then y_1..y_{length-1}.
+    def x(i: int) -> int:
+        return i
+
+    def y(i: int) -> int:
+        return length + i
+
+    for i in range(1, length):
+        clauses.extend(_xor_clauses([x(i), x(i + 1), y(i)], parity=False))
+        clauses.append([-y(i)])  # carry pinned low => x_i == x_{i+1}
+    clauses.append([x(1)])
+    clauses.append([x(length)] if satisfiable else [-x(length)])
+    return CnfFormula(2 * length - 1, clauses)
+
+
+def random_parity(num_vars: int, num_constraints: int, arity: int = 3, seed: int = 0) -> CnfFormula:
+    """Random XOR constraints of given arity; over-constrained => UNSAT.
+
+    With num_constraints > num_vars the linear system over GF(2) is almost
+    surely inconsistent, and resolution needs long proofs to show it.
+    """
+    if arity < 2:
+        raise ValueError("arity must be >= 2")
+    if num_vars < arity:
+        raise ValueError("need at least `arity` variables")
+    rng = random.Random(seed)
+    clauses: list[list[int]] = []
+    for _ in range(num_constraints):
+        variables = rng.sample(range(1, num_vars + 1), arity)
+        clauses.extend(_xor_clauses(variables, parity=rng.random() < 0.5))
+    return CnfFormula(num_vars, clauses)

@@ -1,0 +1,28 @@
+"""Pigeonhole principle instances."""
+
+from __future__ import annotations
+
+from repro.cnf import CnfFormula
+
+
+def pigeonhole(pigeons: int, holes: int) -> CnfFormula:
+    """PHP(p, h): p pigeons into h holes, one clause set per constraint.
+
+    Unsatisfiable iff pigeons > holes; resolution proofs are exponential
+    in the instance size, so small parameters already stress the checker.
+    Variable x(i,j) = "pigeon i sits in hole j".
+    """
+    if pigeons < 1 or holes < 1:
+        raise ValueError("need at least one pigeon and one hole")
+    clauses: list[list[int]] = []
+
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    for i in range(pigeons):
+        clauses.append([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    return CnfFormula(pigeons * holes, clauses)

@@ -1,0 +1,146 @@
+"""Plan-length infeasibility instances (the AI-planning analog).
+
+SAT-based planning encodes "does a plan of length k exist?"; the paper's
+bw_large.d is the blocks-world instance of that family, and §4 notes that
+its unsat core explains *why* no schedule is feasible. We encode
+single-agent movement planning on a graph: the agent starts at one vertex
+and must reach a goal within k steps. For k < distance(start, goal) the
+instance is UNSAT, and the core names the bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cnf import CnfFormula
+
+
+def path_planning(
+    num_vertices: int,
+    edges: Iterable[tuple[int, int]],
+    start: int,
+    goal: int,
+    horizon: int,
+) -> CnfFormula:
+    """Reach ``goal`` from ``start`` in at most ``horizon`` moves.
+
+    Variable x(v, t) = "agent at vertex v at time t" (vertices 0-based).
+    Encoding: initial state, goal at the final step, exactly-one location
+    per step, and frame/transition axioms (at(v, t+1) requires being at v
+    or one of its neighbours at t).
+    """
+    if not 0 <= start < num_vertices or not 0 <= goal < num_vertices:
+        raise ValueError("start/goal out of range")
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    neighbours: dict[int, set[int]] = {v: set() for v in range(num_vertices)}
+    for u, v in edges:
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices) or u == v:
+            raise ValueError(f"bad edge ({u}, {v})")
+        neighbours[u].add(v)
+        neighbours[v].add(u)
+
+    def var(v: int, t: int) -> int:
+        return t * num_vertices + v + 1
+
+    clauses: list[list[int]] = []
+    clauses.append([var(start, 0)])
+    for v in range(num_vertices):
+        if v != start:
+            clauses.append([-var(v, 0)])
+    clauses.append([var(goal, horizon)])
+    for t in range(horizon + 1):
+        clauses.append([var(v, t) for v in range(num_vertices)])
+        for v1 in range(num_vertices):
+            for v2 in range(v1 + 1, num_vertices):
+                clauses.append([-var(v1, t), -var(v2, t)])
+    for t in range(horizon):
+        for v in range(num_vertices):
+            clauses.append(
+                [-var(v, t + 1), var(v, t)] + [var(u, t) for u in sorted(neighbours[v])]
+            )
+    return CnfFormula((horizon + 1) * num_vertices, clauses)
+
+
+def swap_planning(path_length: int, horizon: int) -> CnfFormula:
+    """Two agents on a path graph must swap ends — impossible at any horizon.
+
+    Agents occupy distinct vertices and move along edges one step at a
+    time; on a path they cannot pass each other, so the goal is
+    unreachable for every horizon. Unlike single-agent planning this is
+    not refuted by unit propagation alone: the solver must search over
+    interleavings (the blocks-world "obstruction" flavour of bw_large.d).
+
+    Variable x(a, v, t) = "agent a at vertex v at time t".
+    """
+    if path_length < 2:
+        raise ValueError("path needs at least 2 vertices")
+    if horizon < 0:
+        raise ValueError("horizon must be >= 0")
+    agents = 2
+    n = path_length
+
+    def var(a: int, v: int, t: int) -> int:
+        return (t * agents + a) * n + v + 1
+
+    clauses: list[list[int]] = []
+    # Initial and goal states: agents at opposite ends, swapped at the end.
+    clauses.append([var(0, 0, 0)])
+    clauses.append([var(1, n - 1, 0)])
+    clauses.append([var(0, n - 1, horizon)])
+    clauses.append([var(1, 0, horizon)])
+    for t in range(horizon + 1):
+        for a in range(agents):
+            clauses.append([var(a, v, t) for v in range(n)])
+            for v1 in range(n):
+                for v2 in range(v1 + 1, n):
+                    clauses.append([-var(a, v1, t), -var(a, v2, t)])
+        # No two agents on one vertex.
+        for v in range(n):
+            clauses.append([-var(0, v, t), -var(1, v, t)])
+    for t in range(horizon):
+        for a in range(agents):
+            for v in range(n):
+                moves = [var(a, v, t)]
+                if v > 0:
+                    moves.append(var(a, v - 1, t))
+                if v < n - 1:
+                    moves.append(var(a, v + 1, t))
+                clauses.append([-var(a, v, t + 1)] + moves)
+        # No swapping across a single edge in one step.
+        for v in range(n - 1):
+            for a in range(agents):
+                other = 1 - a
+                clauses.append(
+                    [-var(a, v, t), -var(other, v + 1, t), -var(a, v + 1, t + 1), -var(other, v, t + 1)]
+                )
+    return CnfFormula((horizon + 1) * agents * n, clauses)
+
+
+def grid_planning(width: int, height: int, horizon: int | None = None) -> CnfFormula:
+    """Corner-to-corner planning on a width x height grid.
+
+    The shortest plan has length (width-1) + (height-1); the default
+    horizon is one step short of that, making the instance UNSAT with a
+    core that traces the Manhattan-distance argument.
+    """
+    if width < 1 or height < 1:
+        raise ValueError("grid must be non-empty")
+    distance = (width - 1) + (height - 1)
+    if horizon is None:
+        horizon = max(distance - 1, 0)
+
+    def vertex(x: int, y: int) -> int:
+        return y * width + x
+
+    edges = []
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                edges.append((vertex(x, y), vertex(x + 1, y)))
+            if y + 1 < height:
+                edges.append((vertex(x, y), vertex(x, y + 1)))
+    return path_planning(
+        width * height, edges, start=vertex(0, 0), goal=vertex(width - 1, height - 1),
+        horizon=horizon,
+    )

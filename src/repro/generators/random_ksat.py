@@ -1,0 +1,26 @@
+"""Uniform random k-SAT."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cnf import CnfFormula
+
+
+def random_ksat(num_vars: int, num_clauses: int, k: int = 3, seed: int = 0) -> CnfFormula:
+    """Uniform random k-SAT: each clause draws k distinct variables.
+
+    At clause/variable ratio ~4.27 (k=3) instances sit at the
+    SAT/UNSAT phase transition; above it they are almost surely UNSAT
+    with proofs of meaningful size.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if num_vars < k:
+        raise ValueError("need at least k variables")
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), k)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return CnfFormula(num_vars, clauses)

@@ -1,0 +1,85 @@
+"""FPGA channel-routing instances (the too_largefs3w8v262 analog).
+
+SAT-based detailed routing (the paper's [3]) asks whether every net can be
+assigned a routing track such that nets whose horizontal spans overlap
+never share one. With W tracks this is interval-graph coloring: the
+instance is un-routable — UNSAT — exactly when some column is crossed by
+more than W nets. The unsat core then names the nets responsible for the
+congestion, the application §4 highlights.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cnf import CnfFormula
+
+
+@dataclass(frozen=True)
+class RoutingNet:
+    """A net occupying columns [start, end] of the channel."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise ValueError(f"net span [{self.start}, {self.end}] is inverted")
+
+    def overlaps(self, other: "RoutingNet") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+
+def channel_routing(nets: list[RoutingNet], tracks: int) -> CnfFormula:
+    """Assign each net one of ``tracks`` tracks; overlapping nets differ.
+
+    Variable x(n, t) = "net n uses track t".
+    """
+    if tracks < 1:
+        raise ValueError("need at least one track")
+
+    def var(n: int, t: int) -> int:
+        return n * tracks + t + 1
+
+    clauses: list[list[int]] = []
+    for n in range(len(nets)):
+        clauses.append([var(n, t) for t in range(tracks)])
+        for t1 in range(tracks):
+            for t2 in range(t1 + 1, tracks):
+                clauses.append([-var(n, t1), -var(n, t2)])
+    for i in range(len(nets)):
+        for j in range(i + 1, len(nets)):
+            if nets[i].overlaps(nets[j]):
+                for t in range(tracks):
+                    clauses.append([-var(i, t), -var(j, t)])
+    return CnfFormula(len(nets) * tracks, clauses)
+
+
+def dense_channel_instance(
+    tracks: int,
+    congested_nets: int | None = None,
+    easy_nets: int = 20,
+    seed: int = 0,
+) -> tuple[CnfFormula, int]:
+    """A channel with one congested region and plenty of routable filler.
+
+    ``congested_nets`` (default ``tracks + 1``) nets all cross column 0 —
+    one more than the channel can carry, so the instance is UNSAT — while
+    ``easy_nets`` short nets live in disjoint columns far away. The easy
+    nets are irrelevant to unsatisfiability, so iterated core extraction
+    (Table 3) shrinks the instance down to the congestion.
+
+    Returns (formula, number of congested nets).
+    """
+    if congested_nets is None:
+        congested_nets = tracks + 1
+    if congested_nets <= tracks:
+        raise ValueError("instance would be routable; need congested_nets > tracks")
+    rng = random.Random(seed)
+    nets = [RoutingNet(0, 2 + rng.randrange(4)) for _ in range(congested_nets)]
+    base = 100
+    for i in range(easy_nets):
+        start = base + 10 * i
+        nets.append(RoutingNet(start, start + rng.randrange(3)))
+    return channel_routing(nets, tracks), congested_nets

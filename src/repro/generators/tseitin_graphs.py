@@ -1,0 +1,109 @@
+"""Tseitin graph formulas — provably hard for resolution (Urquhart 1987).
+
+Assign every vertex v a charge c(v) in GF(2) and every edge a Boolean
+variable; constrain each vertex's incident edge variables to XOR to its
+charge. The formula is satisfiable iff the total charge of every connected
+component is even. Over expander graphs these formulas need exponentially
+long resolution proofs — the theoretical ceiling behind the paper's
+empirical longmult observation that XOR structure makes checking-relevant
+proofs long.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.cnf import CnfFormula
+
+
+def tseitin_formula(
+    num_vertices: int,
+    edges: Sequence[tuple[int, int]],
+    charges: Sequence[bool],
+) -> CnfFormula:
+    """The Tseitin formula of a charged graph.
+
+    Edge *i* (0-based) becomes variable *i+1*. Vertex constraints are
+    expanded to CNF directly (2^(d-1) clauses for degree d — keep degrees
+    small).
+    """
+    if len(charges) != num_vertices:
+        raise ValueError("need exactly one charge per vertex")
+    incident: dict[int, list[int]] = {v: [] for v in range(num_vertices)}
+    for index, (u, v) in enumerate(edges):
+        if not (0 <= u < num_vertices and 0 <= v < num_vertices) or u == v:
+            raise ValueError(f"bad edge ({u}, {v})")
+        incident[u].append(index + 1)
+        incident[v].append(index + 1)
+
+    clauses: list[list[int]] = []
+    for vertex in range(num_vertices):
+        variables = incident[vertex]
+        degree = len(variables)
+        if degree == 0:
+            if charges[vertex]:
+                clauses.append([])  # odd charge on an isolated vertex: UNSAT
+            continue
+        if degree > 12:
+            raise ValueError(
+                f"vertex {vertex} has degree {degree}; the direct CNF "
+                "expansion would be huge"
+            )
+        for mask in range(1 << degree):
+            ones = bin(mask).count("1")
+            if (ones % 2 == 1) != charges[vertex]:
+                clauses.append(
+                    [
+                        -variables[i] if (mask >> i) & 1 else variables[i]
+                        for i in range(degree)
+                    ]
+                )
+    return CnfFormula(len(edges), clauses)
+
+
+def is_satisfiable_charge(
+    num_vertices: int, edges: Sequence[tuple[int, int]], charges: Sequence[bool]
+) -> bool:
+    """Ground truth by graph theory: every component's charge must be even."""
+    parent = list(range(num_vertices))
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for u, v in edges:
+        parent[find(u)] = find(v)
+    component_charge: dict[int, int] = {}
+    for vertex in range(num_vertices):
+        root = find(vertex)
+        component_charge[root] = component_charge.get(root, 0) ^ int(charges[vertex])
+    return all(charge == 0 for charge in component_charge.values())
+
+
+def tseitin_random_regular(
+    num_vertices: int, degree: int = 3, seed: int = 0, satisfiable: bool = False
+) -> CnfFormula:
+    """Tseitin formula over a random ``degree``-regular graph.
+
+    Charges are random with the total parity fixed to make the instance
+    UNSAT (default) or SAT. Random regular graphs are expanders with high
+    probability — the hard case for resolution.
+    """
+    import networkx as nx
+
+    if num_vertices * degree % 2:
+        raise ValueError("num_vertices * degree must be even")
+    graph = nx.random_regular_graph(degree, num_vertices, seed=seed)
+    edges = [tuple(sorted(edge)) for edge in graph.edges()]
+    rng = random.Random(seed + 1)
+    charges = [rng.random() < 0.5 for _ in range(num_vertices)]
+    # Random regular graphs on these sizes are connected w.h.p.; fix total
+    # parity by flipping one charge if needed.
+    total_odd = sum(charges) % 2 == 1
+    want_odd = not satisfiable
+    if total_odd != want_odd:
+        charges[0] = not charges[0]
+    return tseitin_formula(num_vertices, edges, charges)

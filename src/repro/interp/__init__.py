@@ -1,0 +1,21 @@
+"""Craig interpolation from resolution proofs — an "other application".
+
+The paper closes §1 by noting that checkable resolution proofs enable
+more than validation; the most influential follow-on use (McMillan,
+CAV 2003 — contemporaneous with this paper) is computing *Craig
+interpolants* from the very resolution traces this library checks. Given
+an unsatisfiable A ∧ B and a resolution refutation, the interpolant I
+satisfies:
+
+1. A implies I,
+2. I ∧ B is unsatisfiable,
+3. I mentions only variables shared by A and B.
+
+Interpolants are the engine of unbounded SAT-based model checking: they
+overapproximate reachable-state images using nothing but the proofs the
+solver already produces.
+"""
+
+from repro.interp.interpolant import Interpolant, compute_interpolant, verify_interpolant
+
+__all__ = ["Interpolant", "compute_interpolant", "verify_interpolant"]

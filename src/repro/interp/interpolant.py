@@ -1,0 +1,197 @@
+"""McMillan-style interpolation over the checked resolution graph.
+
+Interpolant construction (McMillan's system):
+
+* leaf clause in A  ->  OR of its literals over *shared* variables
+  (False when none);
+* leaf clause in B  ->  True;
+* resolution on pivot v:
+  - v local to A (does not occur in B): I = I_left OR I_right,
+  - otherwise (v occurs in B):          I = I_left AND I_right.
+
+The partial interpolant of the empty-clause root is the interpolant of
+(A, B). We build it as a :class:`repro.circuits.Circuit` over one input
+net per shared variable, so it can be simulated, printed, or Tseitin-
+encoded straight back into CNF for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import tseitin_encode
+from repro.cnf import CnfFormula
+from repro.resolution.graph import EMPTY_CLAUSE_ID, ResolutionGraph
+from repro.trace.records import Trace
+
+
+@dataclass
+class Interpolant:
+    """The interpolant circuit plus its variable interface.
+
+    ``circuit`` has one input per entry of ``input_vars`` (same order) and
+    a single output computing I. ``shared_vars`` is the full shared set
+    (a superset of ``input_vars`` when some shared variables ended up
+    unused by the proof).
+    """
+
+    circuit: Circuit
+    input_vars: list[int]
+    shared_vars: set[int]
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Evaluate I under a (total over input_vars) assignment."""
+        inputs = [assignment[var] for var in self.input_vars]
+        return self.circuit.simulate(inputs)[0]
+
+    def to_cnf_implication(self, num_formula_vars: int) -> tuple[CnfFormula, int]:
+        """Tseitin-encode I over the original variable numbering.
+
+        Returns ``(formula, output_var)`` where ``formula`` contains only
+        the encoding clauses (callers add A- or B-clauses plus a unit on
+        ``output_var``) and input nets are bound to the original variable
+        IDs.
+        """
+        formula = CnfFormula(num_formula_vars)
+        bindings = dict(zip(self.circuit.inputs, self.input_vars))
+        encoded = tseitin_encode(self.circuit, formula, bindings=bindings)
+        return formula, encoded.var(self.circuit.outputs[0])
+
+
+def compute_interpolant(
+    formula: CnfFormula,
+    trace: Trace,
+    a_clause_ids: Iterable[int],
+) -> Interpolant:
+    """Compute the Craig interpolant of (A, B) from a checked refutation.
+
+    ``a_clause_ids`` selects the A-partition among the original clauses;
+    every other original clause belongs to B. The trace is validated (via
+    the resolution-graph construction) before interpolation begins.
+    """
+    a_ids = set(a_clause_ids)
+    for cid in a_ids:
+        if not 1 <= cid <= formula.num_clauses:
+            raise ValueError(f"A-partition references unknown clause {cid}")
+
+    graph = ResolutionGraph.from_trace(formula, trace)
+
+    a_vars: set[int] = set()
+    b_vars: set[int] = set()
+    for clause in formula:
+        target = a_vars if clause.cid in a_ids else b_vars
+        target.update(clause.variables())
+    shared = a_vars & b_vars
+
+    circuit = Circuit(name="interpolant")
+    input_vars = sorted(shared)
+    net_of_var = {var: circuit.add_input() for var in input_vars}
+
+    const_true: int | None = None
+    const_false: int | None = None
+
+    def true_net() -> int:
+        nonlocal const_true
+        if const_true is None:
+            const_true = circuit.const(True)
+        return const_true
+
+    def false_net() -> int:
+        nonlocal const_false
+        if const_false is None:
+            const_false = circuit.const(False)
+        return const_false
+
+    def or_nets(nets: list[int]) -> int:
+        if not nets:
+            return false_net()
+        if len(nets) == 1:
+            return nets[0]
+        return circuit.or_(*nets)
+
+    def leaf_interpolant(cid: int) -> int:
+        if cid not in a_ids:
+            return true_net()
+        literal_nets = []
+        for lit in graph.literals[cid]:
+            var = abs(lit)
+            if var in shared:
+                net = net_of_var[var]
+                literal_nets.append(net if lit > 0 else circuit.not_(net))
+        return or_nets(literal_nets)
+
+    def combine(pivot: int, left: int, right: int) -> int:
+        if pivot in b_vars:
+            return circuit.and_(left, right)
+        return circuit.or_(left, right)
+
+    partial: dict[int, int] = {}
+
+    def interpolant_of(cid: int) -> int:
+        cached = partial.get(cid)
+        if cached is not None:
+            return cached
+        if graph.is_leaf(cid) and cid != EMPTY_CLAUSE_ID:
+            net = leaf_interpolant(cid)
+            partial[cid] = net
+            return net
+        sources = graph.parents[cid]
+        accumulated_net = interpolant_of(sources[0])
+        accumulated_lits: FrozenSet[int] = graph.literals[sources[0]]
+        for source in sources[1:]:
+            source_lits = graph.literals[source]
+            pivot = _pivot_between(accumulated_lits, source_lits, cid)
+            accumulated_net = combine(pivot, accumulated_net, interpolant_of(source))
+            accumulated_lits = (accumulated_lits | source_lits) - {pivot, -pivot}
+        partial[cid] = accumulated_net
+        return accumulated_net
+
+    # The DAG is shallow per-node but long end-to-end: process in ID order
+    # so the recursion above only ever descends one level.
+    for cid in sorted(graph.parents):
+        if cid != EMPTY_CLAUSE_ID:
+            interpolant_of(cid)
+    root = interpolant_of(EMPTY_CLAUSE_ID)
+    circuit.mark_output(root)
+    return Interpolant(circuit=circuit, input_vars=input_vars, shared_vars=shared)
+
+
+def _pivot_between(left: FrozenSet[int], right: FrozenSet[int], cid: int) -> int:
+    clashing = [abs(lit) for lit in left if -lit in right]
+    if len(clashing) != 1:
+        raise AssertionError(
+            f"node {cid}: resolution chain lost the exactly-one-clash "
+            "invariant (checked earlier, so this is a bug)"
+        )
+    return clashing[0]
+
+
+def verify_interpolant(
+    formula: CnfFormula,
+    a_clause_ids: Iterable[int],
+    interpolant: Interpolant,
+) -> bool:
+    """Check both interpolant obligations with independent SAT calls.
+
+    (1) A AND NOT I is unsatisfiable (so A implies I);
+    (2) I AND B is unsatisfiable.
+    The variable condition holds by construction (inputs are shared vars).
+    """
+    from repro.solver import Solver, SolverConfig  # local: avoid cycle at import
+
+    a_ids = set(a_clause_ids)
+    encoding, output_var = interpolant.to_cnf_implication(formula.num_vars)
+
+    def side_check(clause_ids: Iterable[int], output_literal: int) -> bool:
+        side = CnfFormula(encoding.num_vars)
+        for clause in encoding:
+            side.add_clause(list(clause.literals))
+        for cid in clause_ids:
+            side.add_clause(list(formula[cid].literals))
+        side.add_clause([output_literal])
+        return Solver(side, SolverConfig()).solve().is_unsat
+
+    b_ids = [cid for cid in range(1, formula.num_clauses + 1) if cid not in a_ids]
+    return side_check(sorted(a_ids), -output_var) and side_check(b_ids, output_var)

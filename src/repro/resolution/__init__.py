@@ -1,0 +1,22 @@
+"""Resolution proofs as first-class objects, plus the Davis-Putnam baseline.
+
+The paper's Lemma: a CNF formula is unsatisfiable if the empty clause can
+be derived from it by resolution. :class:`ResolutionGraph` materializes
+such a derivation as an explicit DAG (handy for proof analytics and for
+the §4 applications); :func:`davis_putnam` is the classic 1960 resolution
+procedure the paper contrasts with DLL search — correct, but with the
+exponential space appetite that made the field switch to search.
+"""
+
+from repro.resolution.graph import ResolutionGraph, ProofStats
+from repro.resolution.davis_putnam import davis_putnam, DavisPutnamResult
+from repro.resolution.export import to_networkx, to_dot
+
+__all__ = [
+    "ResolutionGraph",
+    "ProofStats",
+    "davis_putnam",
+    "DavisPutnamResult",
+    "to_networkx",
+    "to_dot",
+]

@@ -1,0 +1,71 @@
+"""Exports of resolution-proof DAGs: networkx graphs and Graphviz DOT.
+
+For proof analytics (centrality of clauses, depth/width profiles) and for
+eyeballing small proofs while debugging a solver.
+"""
+
+from __future__ import annotations
+
+from repro.resolution.graph import EMPTY_CLAUSE_ID, ResolutionGraph
+
+
+def _node_kind(graph: ResolutionGraph, cid: int) -> str:
+    if cid == EMPTY_CLAUSE_ID:
+        return "empty"
+    if cid <= graph.num_original:
+        return "original"
+    return "learned"
+
+
+def _label(graph: ResolutionGraph, cid: int) -> str:
+    if cid == EMPTY_CLAUSE_ID:
+        return "[] (empty)"
+    literals = " ".join(str(lit) for lit in sorted(graph.literals[cid], key=abs))
+    return f"{cid}: {literals}"
+
+
+def to_networkx(graph: ResolutionGraph):
+    """Build a ``networkx.DiGraph`` with edges from sources to resolvents.
+
+    Node attributes: ``kind`` (original / learned / empty), ``literals``
+    (tuple), ``num_literals``. Edge attribute ``order`` is the source's
+    position in the resolution chain.
+    """
+    import networkx as nx
+
+    digraph = nx.DiGraph()
+    for cid, literals in graph.literals.items():
+        digraph.add_node(
+            cid,
+            kind=_node_kind(graph, cid),
+            literals=tuple(sorted(literals, key=abs)),
+            num_literals=len(literals),
+        )
+    for cid, sources in graph.parents.items():
+        for order, source in enumerate(sources):
+            digraph.add_edge(source, cid, order=order)
+    return digraph
+
+
+def to_dot(graph: ResolutionGraph, max_nodes: int = 200) -> str:
+    """Render the proof DAG as Graphviz DOT (small proofs only).
+
+    Raises ValueError when the proof exceeds ``max_nodes`` — a plot that
+    size is unreadable anyway; use :func:`to_networkx` for analytics.
+    """
+    if len(graph.literals) > max_nodes:
+        raise ValueError(
+            f"proof has {len(graph.literals)} nodes (> {max_nodes}); "
+            "use to_networkx for large proofs"
+        )
+    shapes = {"original": "box", "learned": "ellipse", "empty": "doublecircle"}
+    lines = ["digraph proof {", "  rankdir=BT;"]
+    for cid in sorted(graph.literals):
+        kind = _node_kind(graph, cid)
+        label = _label(graph, cid).replace('"', r"\"")
+        lines.append(f'  n{cid} [shape={shapes[kind]}, label="{label}"];')
+    for cid, sources in sorted(graph.parents.items()):
+        for source in sources:
+            lines.append(f"  n{source} -> n{cid};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""A zchaff-style CDCL SAT solver with resolution trace generation.
+
+Implements the algorithm of Fig. 1/Fig. 2 of the paper: DLL search with
+two-watched-literal BCP, VSIDS-style decision heuristic, first-UIP conflict
+analysis by resolution, clause learning with activity-based deletion,
+assertion-based backtracking, and increasing-period restarts (required for
+termination, §2.2). The solver optionally emits the trace the checkers
+consume (§3.1).
+"""
+
+from repro.solver.config import SolverConfig
+from repro.solver.result import SolveResult, SolverStats, SAT, UNSAT, UNKNOWN
+from repro.solver.solver import Solver, solve_formula
+from repro.solver.assumptions import AssumptionResult, solve_with_assumptions
+from repro.solver.restarts import (
+    GeometricRestartPolicy,
+    LubyRestartPolicy,
+    NoRestartPolicy,
+    make_restart_policy,
+)
+
+__all__ = [
+    "SolverConfig",
+    "SolveResult",
+    "SolverStats",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "Solver",
+    "solve_formula",
+    "AssumptionResult",
+    "solve_with_assumptions",
+    "GeometricRestartPolicy",
+    "LubyRestartPolicy",
+    "NoRestartPolicy",
+    "make_restart_policy",
+]

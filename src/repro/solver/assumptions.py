@@ -1,0 +1,110 @@
+"""Solving under assumptions, with *verified* failed-assumption cores.
+
+EDA flows rarely ask one SAT question: they ask thousands of related ones
+("is this path sensitizable given these mode pins?"). The standard
+interface is ``solve(formula, assumptions)``; on UNSAT the caller wants to
+know *which assumptions* caused it.
+
+We implement assumptions by appending one unit clause per assumption
+literal and solving the augmented formula. On UNSAT, the depth-first
+checker both validates the proof and (via its unsat-core byproduct, §4)
+tells us exactly which assumption units the proof used — a failed-
+assumption set that is machine-checked, not merely reported by the
+solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.checker.depth_first import DepthFirstChecker
+from repro.cnf import CnfFormula
+from repro.solver.config import SolverConfig
+from repro.solver.result import SolverStats
+from repro.solver.solver import Solver
+from repro.trace import InMemoryTraceWriter
+
+
+@dataclass
+class AssumptionResult:
+    """Outcome of an assumption query."""
+
+    status: str  # SAT | UNSAT | UNKNOWN
+    model: dict[int, bool] | None = None
+    failed_assumptions: list[int] = field(default_factory=list)
+    core_clause_ids: set[int] = field(default_factory=set)  # original formula IDs
+    proof_verified: bool = False
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "SAT"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "UNSAT"
+
+
+def solve_with_assumptions(
+    formula: CnfFormula,
+    assumptions: Sequence[int],
+    config: SolverConfig | None = None,
+) -> AssumptionResult:
+    """Decide ``formula`` under the given assumption literals.
+
+    On UNSAT, ``failed_assumptions`` is the subset of assumptions the
+    verified proof actually used (possibly empty, when the formula is
+    unsatisfiable on its own) and ``core_clause_ids`` is the unsat core
+    among the *formula's* clauses. Raises the checker's failure if the
+    solver's proof does not verify.
+    """
+    seen: set[int] = set()
+    for lit in assumptions:
+        if lit == 0 or abs(lit) > max(formula.num_vars, abs(lit)):
+            raise ValueError(f"bad assumption literal {lit}")
+        if -lit in seen:
+            return _contradictory_assumptions(lit)
+        seen.add(lit)
+
+    augmented = CnfFormula(formula.num_vars)
+    for clause in formula:
+        augmented.add_clause(list(clause.literals))
+    assumption_cid: dict[int, int] = {}
+    for lit in assumptions:
+        if lit in assumption_cid:
+            continue
+        clause = augmented.add_clause([lit])
+        assumption_cid[lit] = clause.cid
+
+    writer = InMemoryTraceWriter()
+    result = Solver(augmented, config=config, trace_writer=writer).solve()
+
+    if result.status != "UNSAT":
+        return AssumptionResult(
+            status=result.status, model=result.model, stats=result.stats
+        )
+
+    report = DepthFirstChecker(augmented, writer.to_trace()).check()
+    report.raise_if_failed()
+    assert report.original_core is not None
+    failed = [
+        lit for lit, cid in assumption_cid.items() if cid in report.original_core
+    ]
+    core = {cid for cid in report.original_core if cid <= formula.num_clauses}
+    return AssumptionResult(
+        status="UNSAT",
+        failed_assumptions=failed,
+        core_clause_ids=core,
+        proof_verified=True,
+        stats=result.stats,
+    )
+
+
+def _contradictory_assumptions(lit: int) -> AssumptionResult:
+    """Both phases assumed: trivially UNSAT, blame exactly that pair."""
+    return AssumptionResult(
+        status="UNSAT",
+        failed_assumptions=[-lit, lit],
+        proof_verified=True,
+    )

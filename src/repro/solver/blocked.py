@@ -1,0 +1,113 @@
+"""Blocked clause elimination (BCE).
+
+A clause C containing literal l is *blocked* if every resolvent of C on l
+(against each clause containing ~l) is a tautology. Blocked clauses can
+be removed without affecting satisfiability (Kullmann): any model of the
+reduced formula extends to one of the original by flipping l when C ends
+up falsified.
+
+Interplay with the checker is the pleasant part: removal only *shrinks*
+what the solver may use, so an UNSAT trace over the reduced clause set is
+automatically a valid proof for the original formula — no trace records
+are needed (contrast with variable elimination, whose resolvents must be
+recorded). SAT models are repaired in reverse removal order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.solver.database import ClauseDatabase
+
+
+@dataclass
+class BlockedClauseRecord:
+    """One removed clause and its blocking literal."""
+
+    literals: list[int]
+    blocking_literal: int
+
+
+@dataclass
+class BceResult:
+    records: list[BlockedClauseRecord] = field(default_factory=list)
+
+    @property
+    def removed(self) -> int:
+        return len(self.records)
+
+
+def _resolvent_is_tautology(clause_a: list[int], clause_b: list[int], pivot: int) -> bool:
+    """Tautology check for the resolvent of A (contains pivot) and B
+    (contains -pivot), resolving on pivot."""
+    literals_a = {lit for lit in clause_a if lit != pivot}
+    for lit in clause_b:
+        if lit != -pivot and -lit in literals_a:
+            return True
+    return False
+
+
+def eliminate_blocked_clauses(
+    db: ClauseDatabase,
+    is_assigned,
+    max_occurrences: int = 30,
+) -> BceResult:
+    """Remove blocked clauses from the database, to fixpoint.
+
+    Only clauses whose variables are all unassigned are considered — this
+    keeps level-0 antecedents untouchable, mirroring the variable
+    eliminator's discipline.
+    """
+    result = BceResult()
+    changed = True
+    while changed:
+        changed = False
+        occurrences: dict[int, list[int]] = {}
+        for cid, literals in db.lits.items():
+            for lit in literals:
+                occurrences.setdefault(lit, []).append(cid)
+
+        for cid in list(db.lits):
+            literals = db.lits.get(cid)
+            if literals is None or not literals:
+                continue
+            if any(is_assigned(abs(lit)) for lit in literals):
+                continue
+            for lit in literals:
+                opponents = occurrences.get(-lit, [])
+                if len(opponents) > max_occurrences:
+                    continue
+                if all(
+                    other == cid
+                    or other not in db
+                    or _resolvent_is_tautology(literals, db.lits[other], lit)
+                    for other in opponents
+                ):
+                    if len(literals) >= 2:
+                        db._detach(cid)
+                    result.records.append(
+                        BlockedClauseRecord(list(literals), blocking_literal=lit)
+                    )
+                    del db.lits[cid]
+                    db.protected.discard(cid)
+                    if cid in db.learned_ids:
+                        db.learned_ids.remove(cid)
+                        del db.activity[cid]
+                    changed = True
+                    break
+    return result
+
+
+def repair_model(model: dict[int, bool], records: list[BlockedClauseRecord]) -> None:
+    """Extend a model of the reduced formula to the original, in place.
+
+    Processes removals in reverse order: if a removed clause is falsified
+    by the current model, flip its blocking literal (the blockedness
+    condition guarantees no earlier-restored clause breaks).
+    """
+    for record in reversed(records):
+        satisfied = any(
+            model.get(abs(lit), False) == (lit > 0) for lit in record.literals
+        )
+        if not satisfied:
+            model[abs(record.blocking_literal)] = record.blocking_literal > 0

@@ -1,0 +1,149 @@
+"""Fault-injected solver variants.
+
+The paper's motivation: "during the recent SAT 2002 solver competition,
+quite a few submitted SAT solvers were found to be buggy. Thus, a rigorous
+checker is needed to validate the solvers." These deliberately broken
+variants exist to demonstrate — and regression-test — that the checkers
+catch real bug classes with useful diagnostics.
+
+Two kinds of faults are modeled:
+
+* **Trace-generation bugs** (`CorruptingTraceWriter`): the solver reasons
+  correctly but records a wrong trace (dropped resolve source, swapped
+  order, wrong antecedent, missing level-0 entry, wrong final conflict).
+* **Reasoning bugs** (`UnsoundLearningSolver`): the solver silently drops a
+  literal from learned clauses, which is unsound and can make it claim
+  UNSAT for satisfiable formulas; the recorded sources then no longer
+  reproduce the clauses the solver actually used.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.cnf import CnfFormula
+from repro.solver.config import SolverConfig
+from repro.solver.solver import Solver
+
+
+class BugKind(enum.Enum):
+    """Bug classes the checker must catch."""
+
+    DROP_SOURCE = "drop_source"  # omit a resolve source of some learned clause
+    SWAP_SOURCES = "swap_sources"  # break the resolution order
+    WRONG_ANTECEDENT = "wrong_antecedent"  # bogus antecedent for a level-0 var
+    OMIT_LEVEL_ZERO = "omit_level_zero"  # drop a level-0 trail entry
+    WRONG_FINAL_CONFLICT = "wrong_final_conflict"  # CONF points at a non-conflict
+    DROP_LEARNED_LITERAL = "drop_learned_literal"  # unsound learning
+
+
+class CorruptingTraceWriter:
+    """Wraps a real trace writer and injects one trace-generation bug.
+
+    The corruption site is chosen pseudo-randomly (seeded) among the
+    eligible records so different instances exercise different positions.
+    """
+
+    def __init__(self, inner, bug: BugKind, seed: int = 0):
+        if bug == BugKind.DROP_LEARNED_LITERAL:
+            raise ValueError("DROP_LEARNED_LITERAL is a reasoning bug; use UnsoundLearningSolver")
+        self._inner = inner
+        self._bug = bug
+        self._rng = random.Random(seed)
+        self._corrupted = False
+        self._level_zero_seen = 0
+
+    @property
+    def corrupted(self) -> bool:
+        """Whether the injected bug actually fired during this run."""
+        return self._corrupted
+
+    def header(self, num_vars: int, num_original_clauses: int) -> None:
+        self._inner.header(num_vars, num_original_clauses)
+
+    def learned_clause(self, cid: int, sources) -> None:
+        sources = list(sources)
+        if not self._corrupted and len(sources) >= 3 and self._rng.random() < 0.2:
+            if self._bug == BugKind.DROP_SOURCE:
+                del sources[self._rng.randrange(1, len(sources))]
+                self._corrupted = True
+            elif self._bug == BugKind.SWAP_SOURCES:
+                # Swapping the conflicting clause with a later antecedent
+                # breaks the reverse-chronological resolution order.
+                sources[0], sources[-1] = sources[-1], sources[0]
+                self._corrupted = True
+        self._inner.learned_clause(cid, sources)
+
+    def level_zero(self, var: int, value: bool, antecedent: int) -> None:
+        self._level_zero_seen += 1
+        if not self._corrupted:
+            if self._bug == BugKind.OMIT_LEVEL_ZERO and self._rng.random() < 0.5:
+                self._corrupted = True
+                return
+            if self._bug == BugKind.WRONG_ANTECEDENT and self._rng.random() < 0.5:
+                self._corrupted = True
+                self._inner.level_zero(var, value, max(1, antecedent - 1))
+                return
+        self._inner.level_zero(var, value, antecedent)
+
+    def final_conflict(self, cid: int) -> None:
+        if self._bug == BugKind.WRONG_FINAL_CONFLICT:
+            self._corrupted = True
+            cid = 1 if cid != 1 else 2
+        self._inner.final_conflict(cid)
+
+    def result(self, status: str) -> None:
+        self._inner.result(status)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class UnsoundLearningSolver(Solver):
+    """A solver whose conflict analysis silently drops a learned literal.
+
+    This is the classic unsound-learning bug: the clause database diverges
+    from what resolution actually derives. The solver may answer UNSAT on
+    satisfiable formulas; either way the checker's reconstruction will not
+    match the clauses the solver used and the check fails.
+    """
+
+    def __init__(self, formula: CnfFormula, config: SolverConfig | None = None, trace_writer=None, drop_period: int = 5):
+        super().__init__(formula, config=config, trace_writer=trace_writer)
+        self._drop_period = drop_period
+        self._learn_count = 0
+
+    def _propagate_and_learn(self):
+        # Intercept learned clauses by monkey-wrapping the database add.
+        original_add = self.db.add_learned
+
+        def buggy_add(literals, watch_hint=None):
+            self._learn_count += 1
+            if self._learn_count % self._drop_period == 0 and len(literals) > 2:
+                literals = literals[:-1]  # drop the last (lowest-level) literal
+            return original_add(literals, watch_hint)
+
+        self.db.add_learned = buggy_add
+        try:
+            return super()._propagate_and_learn()
+        finally:
+            self.db.add_learned = original_add
+
+
+def make_buggy_solver(
+    formula: CnfFormula,
+    bug: BugKind,
+    trace_writer,
+    config: SolverConfig | None = None,
+    seed: int = 0,
+):
+    """Build a solver afflicted with ``bug`` writing through ``trace_writer``.
+
+    Returns ``(solver, corrupting_writer_or_None)`` — for trace bugs the
+    second element exposes whether the fault actually fired.
+    """
+    if bug == BugKind.DROP_LEARNED_LITERAL:
+        return UnsoundLearningSolver(formula, config=config, trace_writer=trace_writer), None
+    wrapper = CorruptingTraceWriter(trace_writer, bug, seed=seed)
+    return Solver(formula, config=config, trace_writer=wrapper), wrapper

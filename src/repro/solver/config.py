@@ -1,0 +1,69 @@
+"""Solver configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SolverConfig:
+    """Tunables for the CDCL solver.
+
+    Defaults mirror the spirit of zchaff's defaults scaled to the size of
+    instances a pure-Python solver handles. All randomness (decision
+    tie-breaking, optional random decisions) derives from ``seed`` so runs
+    are reproducible bit-for-bit.
+    """
+
+    # Decision heuristic
+    decision_heuristic: str = "vsids"  # vsids | static | random | jeroslow-wang
+    var_decay: float = 0.95
+    random_decision_freq: float = 0.0  # fraction of decisions made at random
+    default_phase: bool = False  # branch negative first, like zchaff
+
+    # Learning
+    minimize_learned: bool = False  # self-subsumption minimization (tracked
+    # as extra resolutions, so traces stay exactly checkable)
+
+    # Preprocessing
+    preprocess_blocked_clause: bool = False  # blocked clause elimination
+    preprocess_elimination: bool = False  # NiVER-style variable elimination
+    elimination_max_occurrences: int = 10
+    elimination_max_resolvent_length: int = 20
+
+    # Restarts ("increasing restart period", §2.2 termination discussion)
+    restart_policy: str = "geometric"  # geometric | luby | none
+    restart_first: int = 100
+    restart_inc: float = 1.5
+    luby_unit: int = 64
+
+    # Learned clause deletion
+    clause_decay: float = 0.999
+    max_learned_factor: float = 1.0 / 3.0  # initial cap: originals * factor
+    max_learned_growth: float = 1.1  # cap growth per reduction
+    min_learned_cap: int = 500
+
+    # Budgets (None = unlimited)
+    max_conflicts: int | None = None
+    max_decisions: int | None = None
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.var_decay <= 1.0:
+            raise ValueError(f"var_decay must be in (0, 1], got {self.var_decay}")
+        if not 0.0 < self.clause_decay <= 1.0:
+            raise ValueError(f"clause_decay must be in (0, 1], got {self.clause_decay}")
+        if not 0.0 <= self.random_decision_freq <= 1.0:
+            raise ValueError("random_decision_freq must be in [0, 1]")
+        if self.decision_heuristic not in ("vsids", "static", "random", "jeroslow-wang"):
+            raise ValueError(f"unknown decision heuristic {self.decision_heuristic!r}")
+        if self.restart_policy not in ("geometric", "luby", "none"):
+            raise ValueError(f"unknown restart policy {self.restart_policy!r}")
+        if self.restart_first < 1:
+            raise ValueError("restart_first must be >= 1")
+        if self.restart_inc < 1.0:
+            raise ValueError(
+                "restart_inc must be >= 1.0: the paper requires the restart "
+                "period to increase for the solver to terminate"
+            )

@@ -1,0 +1,168 @@
+"""First-UIP conflict analysis by resolution (Fig. 2 of the paper).
+
+Starting from the conflicting clause, iteratively resolve with the
+antecedent of the literal assigned *last* (reverse chronological order,
+``choose_literal`` in the paper) until the resolvent is an *asserting
+clause*: exactly one literal at the current decision level. The sequence of
+clause IDs used — conflicting clause first, then each antecedent — is the
+learned clause's *resolve sources*, recorded in the trace for the checker.
+
+Literals assigned at decision level 0 are kept in the learned clause so the
+learned clause is the exact resolvent of its sources (the checker re-derives
+it literal-for-literal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnf import Assignment
+from repro.solver.database import ClauseDatabase
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of conflict analysis at a decision level > 0."""
+
+    learned_literals: list[int]  # asserting literal first
+    sources: list[int]  # conflicting clause, then antecedents in order
+    backtrack_level: int  # the asserting level
+    asserting_literal: int  # the single current-level literal (negated UIP)
+
+
+def analyze_conflict(
+    conflict_cid: int,
+    db: ClauseDatabase,
+    assignment: Assignment,
+    bump_var=None,
+    bump_clause=None,
+    minimize: bool = False,
+) -> AnalysisResult:
+    """Run 1-UIP analysis. The caller guarantees decision level > 0.
+
+    ``bump_var`` / ``bump_clause`` are optional callbacks for the decision
+    heuristic and clause-activity bookkeeping.
+
+    ``minimize`` enables self-subsumption minimization: a lower-level
+    literal is dropped when resolving with its variable's antecedent
+    introduces nothing new. Each drop *is* one more resolution, so the
+    antecedent is appended to the resolve sources and the trace stays
+    exactly checkable — the learned clause remains the literal-for-literal
+    resolvent of its recorded sources.
+    """
+    current_level = assignment.decision_level
+    if current_level == 0:
+        raise ValueError("analyze_conflict requires decision level > 0")
+
+    sources = [conflict_cid]
+    seen: set[int] = set()
+    lower_literals: list[int] = []  # false literals below the current level
+    counter = 0  # unresolved current-level literals
+
+    def absorb(literals: list[int], pivot_var: int | None) -> None:
+        nonlocal counter
+        for lit in literals:
+            var = abs(lit)
+            if var == pivot_var or var in seen:
+                continue
+            seen.add(var)
+            if bump_var is not None:
+                bump_var(var)
+            if assignment.levels[var] == current_level:
+                counter += 1
+            else:
+                lower_literals.append(lit)
+
+    if bump_clause is not None:
+        bump_clause(conflict_cid)
+    absorb(db.clause_literals(conflict_cid), None)
+    if counter == 0:
+        raise RuntimeError(
+            f"conflicting clause {conflict_cid} has no literal at the current "
+            "decision level; the BCP invariant is broken"
+        )
+
+    trail = assignment.trail
+    index = len(trail) - 1
+    while True:
+        # choose_literal: the current-level literal assigned last.
+        while abs(trail[index]) not in seen or assignment.levels[abs(trail[index])] != current_level:
+            index -= 1
+        pivot_lit = trail[index]
+        pivot_var = abs(pivot_lit)
+        index -= 1
+        if counter == 1:
+            asserting_literal = -pivot_lit
+            break
+        antecedent = assignment.antecedents[pivot_var]
+        if antecedent == 0:
+            raise RuntimeError(
+                f"variable {pivot_var} at level {current_level} has no "
+                "antecedent but is not the last current-level literal"
+            )
+        sources.append(antecedent)
+        if bump_clause is not None:
+            bump_clause(antecedent)
+        counter -= 1
+        absorb(db.clause_literals(antecedent), pivot_var)
+
+    if minimize and lower_literals:
+        _minimize_lower_literals(
+            lower_literals, sources, db, assignment, bump_clause
+        )
+
+    backtrack_level = 0
+    watch_literal_index = -1
+    for i, lit in enumerate(lower_literals):
+        level = assignment.levels[abs(lit)]
+        if level > backtrack_level:
+            backtrack_level = level
+            watch_literal_index = i
+
+    learned = [asserting_literal] + lower_literals
+    # Put the highest-level lower literal at position 1 so the database can
+    # watch it: after backtracking it is the most recently falsified literal.
+    if watch_literal_index >= 0:
+        learned[1], learned[watch_literal_index + 1] = (
+            learned[watch_literal_index + 1],
+            learned[1],
+        )
+    return AnalysisResult(
+        learned_literals=learned,
+        sources=sources,
+        backtrack_level=backtrack_level,
+        asserting_literal=asserting_literal,
+    )
+
+
+def _minimize_lower_literals(
+    lower_literals: list[int],
+    sources: list[int],
+    db: ClauseDatabase,
+    assignment: Assignment,
+    bump_clause=None,
+) -> None:
+    """Self-subsumption minimization over the below-current-level literals.
+
+    A literal ``lit`` can be resolved away against its variable's
+    antecedent when every *other* antecedent literal is already in the
+    clause: the resolution removes ``lit`` and adds nothing. Mutates
+    ``lower_literals`` in place and appends the antecedents used to
+    ``sources`` in resolution order.
+    """
+    remaining = set(lower_literals)
+    for lit in list(lower_literals):
+        var = lit if lit > 0 else -lit
+        antecedent = assignment.antecedents[var]
+        if antecedent == 0 or antecedent not in db:
+            continue  # a decision, or its antecedent is gone
+        others = [other for other in db.clause_literals(antecedent) if other != -lit]
+        if -lit not in db.clause_literals(antecedent):
+            continue  # not actually this variable's implying clause anymore
+        if all(other in remaining for other in others):
+            remaining.discard(lit)
+            sources.append(antecedent)
+            if bump_clause is not None:
+                bump_clause(antecedent)
+    if len(remaining) != len(lower_literals):
+        lower_literals[:] = [lit for lit in lower_literals if lit in remaining]

@@ -1,0 +1,221 @@
+"""Bounded variable elimination (NiVER-style) with traced resolutions.
+
+Resolution-based preprocessing: a variable v is *eliminated* by replacing
+every clause containing v or ~v with all their pairwise resolvents on v
+(the Davis-Putnam step), applied only when the replacement does not grow
+the formula (the NiVER rule). The key point for this library: every
+resolvent is a resolution with exactly two sources, so it is recorded in
+the trace like any learned clause and the final proof remains exactly
+checkable by the unmodified checkers.
+
+Eliminated variables never appear in the remaining clauses, are excluded
+from branching, and are reconstructed after a SAT answer from the clauses
+removed during their elimination (in reverse elimination order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.solver.database import ClauseDatabase
+
+
+@dataclass
+class EliminationRecord:
+    """What it takes to undo one variable's elimination in a model."""
+
+    var: int
+    removed_clauses: list[list[int]]
+
+
+@dataclass
+class EliminationStats:
+    eliminated_vars: int = 0
+    removed_clauses: int = 0
+    added_resolvents: int = 0
+
+
+@dataclass
+class EliminationResult:
+    stats: EliminationStats = field(default_factory=EliminationStats)
+    records: list[EliminationRecord] = field(default_factory=list)
+    conflict_cid: int | None = None  # an empty resolvent: instant UNSAT
+    unit_cids: list[int] = field(default_factory=list)  # unit resolvents
+
+
+class VariableEliminator:
+    """Runs bounded VE over a solver's clause database.
+
+    The caller (the solver, right after level-0 BCP) supplies which
+    variables are assigned; only fully-unassigned variables are
+    candidates, which guarantees no level-0 antecedent clause is removed
+    (such clauses contain only assigned variables).
+    """
+
+    def __init__(
+        self,
+        db: ClauseDatabase,
+        trace=None,
+        value_of_lit=None,
+        max_occurrences: int = 10,
+        max_resolvent_length: int = 20,
+    ):
+        self.db = db
+        self.trace = trace
+        # Literal valuation under the permanent level-0 assignment; used to
+        # keep watched literals on non-false positions and to classify
+        # resolvents as satisfied / unit / conflicting at add time.
+        self._value_of_lit = value_of_lit or (lambda lit: -1)
+        self.max_occurrences = max_occurrences
+        self.max_resolvent_length = max_resolvent_length
+
+    def run(self, is_assigned) -> EliminationResult:
+        """Eliminate variables until no candidate passes the NiVER test."""
+        result = EliminationResult()
+        occurrences = self._occurrence_index()
+        queue = sorted(
+            occurrences,
+            key=lambda var: len(occurrences[var][0]) * len(occurrences[var][1]),
+        )
+        for var in queue:
+            if is_assigned(var):
+                continue
+            outcome = self._try_eliminate(var, result)
+            if outcome == "conflict":
+                return result
+        return result
+
+    # -- internals --------------------------------------------------------------
+
+    def _occurrence_index(self) -> dict[int, tuple[list[int], list[int]]]:
+        index: dict[int, tuple[list[int], list[int]]] = {}
+        for cid, literals in self.db.lits.items():
+            for lit in literals:
+                slot = index.setdefault(abs(lit), ([], []))
+                slot[0 if lit > 0 else 1].append(cid)
+        return index
+
+    def _current_occurrences(self, var: int) -> tuple[list[int], list[int]]:
+        positive, negative = [], []
+        for cid, literals in self.db.lits.items():
+            if var in literals:
+                positive.append(cid)
+            elif -var in literals:
+                negative.append(cid)
+            # A clause with both phases is a tautology; it blocks nothing
+            # but resolving on it is useless — classify it as positive so
+            # it still gets removed with the variable.
+        return positive, negative
+
+    def _try_eliminate(self, var: int, result: EliminationResult) -> str:
+        positive, negative = self._current_occurrences(var)
+        if not positive and not negative:
+            return "skip"
+        if len(positive) > self.max_occurrences or len(negative) > self.max_occurrences:
+            return "skip"
+
+        removed_literal_total = sum(
+            len(self.db.lits[cid]) for cid in positive + negative
+        )
+        resolvents: list[tuple[list[int], int, int]] = []
+        resolvent_literal_total = 0
+        for pos_cid in positive:
+            pos_lits = self.db.lits[pos_cid]
+            if -var in pos_lits:
+                continue  # tautological clause: no useful resolvents
+            for neg_cid in negative:
+                neg_lits = self.db.lits[neg_cid]
+                merged: dict[int, None] = {}
+                tautology = False
+                for lit in pos_lits:
+                    if lit != var:
+                        merged[lit] = None
+                for lit in neg_lits:
+                    if lit == -var:
+                        continue
+                    if -lit in merged:
+                        tautology = True
+                        break
+                    merged[lit] = None
+                if tautology:
+                    continue
+                literals = list(merged)
+                if len(literals) > self.max_resolvent_length:
+                    return "skip"  # would create an oversized clause
+                resolvents.append((literals, pos_cid, neg_cid))
+                resolvent_literal_total += len(literals)
+                if resolvent_literal_total > removed_literal_total:
+                    return "skip"  # NiVER: never increase the formula
+
+        # Commit: remove the occurrence clauses, add the resolvents.
+        removed: list[list[int]] = []
+        for cid in positive + negative:
+            literals = self.db.lits[cid]
+            if len(literals) >= 2:
+                self.db._detach(cid)
+            removed.append(list(literals))
+            del self.db.lits[cid]
+            self.db.protected.discard(cid)
+            if cid in self.db.learned_ids:
+                self.db.learned_ids.remove(cid)
+                del self.db.activity[cid]
+        result.records.append(EliminationRecord(var=var, removed_clauses=removed))
+        result.stats.eliminated_vars += 1
+        result.stats.removed_clauses += len(removed)
+
+        from repro.cnf import FALSE, TRUE, UNASSIGNED  # local: avoid cycle
+
+        for literals, pos_cid, neg_cid in resolvents:
+            values = {lit: self._value_of_lit(lit) for lit in literals}
+            if any(value == TRUE for value in values.values()):
+                # Satisfied forever (level-0 assignments are permanent):
+                # logically entailed, so it is sound to drop it unrecorded.
+                continue
+            # Watches live at positions 0/1: put non-false literals first.
+            ordered = sorted(literals, key=lambda lit: values[lit] == FALSE)
+            cid = self.db.add_learned(ordered)
+            self.db.protected.add(cid)
+            if self.trace is not None:
+                self.trace.learned_clause(cid, [pos_cid, neg_cid])
+            result.stats.added_resolvents += 1
+            non_false = [lit for lit in ordered if values[lit] != FALSE]
+            if not non_false:
+                result.conflict_cid = cid
+                return "conflict"
+            if len(non_false) == 1 and values[non_false[0]] == UNASSIGNED:
+                result.unit_cids.append(cid)
+        return "eliminated"
+
+
+def reconstruct_model(model: dict[int, bool], records: list[EliminationRecord]) -> None:
+    """Fix up eliminated variables in a satisfying model, in place.
+
+    Processes eliminations in reverse order: each variable is set so that
+    every clause removed during its elimination is satisfied (always
+    possible — the resolvents, which the model satisfies, guarantee it).
+    """
+    for record in reversed(records):
+        var = record.var
+        forced: bool | None = None
+        for literals in record.removed_clauses:
+            var_literal = None
+            others_satisfied = False
+            both_phases = (var in literals) and (-var in literals)
+            if both_phases:
+                continue  # tautology on var: always satisfiable
+            for lit in literals:
+                if abs(lit) == var:
+                    var_literal = lit
+                elif model.get(abs(lit)) == (lit > 0):
+                    others_satisfied = True
+                    break
+            if others_satisfied or var_literal is None:
+                continue
+            needed = var_literal > 0
+            if forced is None:
+                forced = needed
+            elif forced != needed:
+                raise AssertionError(
+                    f"model reconstruction conflict on eliminated variable {var}"
+                )
+        model[var] = False if forced is None else forced

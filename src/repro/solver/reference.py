@@ -1,0 +1,50 @@
+"""A tiny reference solver for cross-validation.
+
+Plain recursive DLL with naive unit propagation — slow but simple enough
+to trust. The test suite solves the same random formulas with this and the
+CDCL engine and requires identical SAT/UNSAT answers.
+"""
+
+from __future__ import annotations
+
+from repro.cnf import CnfFormula
+
+
+def reference_is_satisfiable(formula: CnfFormula, _limit: int = 10**7) -> bool:
+    """Decide satisfiability by naive DLL. Intended for small formulas."""
+    clauses = [list(clause.literals) for clause in formula]
+    return _dll(clauses, {})
+
+
+def _simplify(clauses: list[list[int]], lit: int) -> list[list[int]] | None:
+    """Assign ``lit`` true; None signals an empty (conflicting) clause."""
+    out: list[list[int]] = []
+    for clause in clauses:
+        if lit in clause:
+            continue
+        reduced = [other for other in clause if other != -lit]
+        if not reduced:
+            return None
+        out.append(reduced)
+    return out
+
+
+def _dll(clauses: list[list[int]], assignment: dict[int, bool]) -> bool:
+    if any(not clause for clause in clauses):
+        return False  # an input empty clause
+    # Unit propagation.
+    while True:
+        unit = next((clause[0] for clause in clauses if len(clause) == 1), None)
+        if unit is None:
+            break
+        clauses = _simplify(clauses, unit)
+        if clauses is None:
+            return False
+    if not clauses:
+        return True
+    branch_lit = clauses[0][0]
+    for lit in (branch_lit, -branch_lit):
+        simplified = _simplify(clauses, lit)
+        if simplified is not None and _dll(simplified, assignment):
+            return True
+    return False

@@ -1,0 +1,84 @@
+"""Restart policies.
+
+The paper's termination proof (§2.2, Proposition 1) observes that restarts
+can make the solver loop forever unless the restart period increases over
+time. Both policies provided here have that property; ``NoRestartPolicy``
+disables restarts entirely.
+"""
+
+from __future__ import annotations
+
+
+class NoRestartPolicy:
+    """Never restart."""
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return False
+
+    def on_restart(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class GeometricRestartPolicy:
+    """Restart after a conflict budget that grows geometrically."""
+
+    def __init__(self, first: int = 100, inc: float = 1.5):
+        if first < 1:
+            raise ValueError("first restart interval must be >= 1")
+        if inc < 1.0:
+            raise ValueError("interval must not shrink (termination, §2.2)")
+        self._limit = float(first)
+        self._inc = inc
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return conflicts_since_restart >= self._limit
+
+    def on_restart(self) -> None:
+        self._limit *= self._inc
+
+
+class LubyRestartPolicy:
+    """Luby sequence restarts (1,1,2,1,1,2,4,...) scaled by a unit.
+
+    The Luby sequence is unbounded, so the increasing-period requirement is
+    met in the limit even though individual intervals shrink.
+    """
+
+    def __init__(self, unit: int = 64):
+        if unit < 1:
+            raise ValueError("luby unit must be >= 1")
+        self._unit = unit
+        self._index = 1
+
+    @staticmethod
+    def luby(i: int) -> int:
+        """The i-th element (1-based) of the Luby sequence 1,1,2,1,1,2,4,..."""
+        if i < 1:
+            raise ValueError("luby index is 1-based")
+        x = i - 1
+        size, seq = 1, 0
+        while size < x + 1:
+            seq += 1
+            size = 2 * size + 1
+        while size - 1 != x:
+            size = (size - 1) >> 1
+            seq -= 1
+            x %= size
+        return 1 << seq
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return conflicts_since_restart >= self._unit * self.luby(self._index)
+
+    def on_restart(self) -> None:
+        self._index += 1
+
+
+def make_restart_policy(name: str, first: int = 100, inc: float = 1.5, luby_unit: int = 64):
+    """Factory used by the solver config."""
+    if name == "none":
+        return NoRestartPolicy()
+    if name == "geometric":
+        return GeometricRestartPolicy(first, inc)
+    if name == "luby":
+        return LubyRestartPolicy(luby_unit)
+    raise ValueError(f"unknown restart policy {name!r}")

@@ -1,0 +1,57 @@
+"""Solve results and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class SolverStats:
+    """Counters the experiment harness reports (cf. Table 1)."""
+
+    decisions: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    restarts: int = 0
+    max_decision_level: int = 0
+    solve_time: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "decisions": self.decisions,
+            "conflicts": self.conflicts,
+            "propagations": self.propagations,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "restarts": self.restarts,
+            "max_decision_level": self.max_decision_level,
+            "solve_time": self.solve_time,
+        }
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solver run.
+
+    ``model`` is populated on SAT (variable -> bool for every variable that
+    occurs in the formula). On UNSAT the companion trace (if a writer was
+    attached) carries the checkable proof.
+    """
+
+    status: str
+    model: dict[int, bool] | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT

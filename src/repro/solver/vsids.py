@@ -1,0 +1,90 @@
+"""VSIDS-style decision heuristic with phase saving.
+
+Chaff's contribution: each variable carries an activity score bumped when
+the variable participates in conflict analysis; scores decay geometrically
+so recent conflicts dominate. Selection uses a max-heap with lazy deletion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+from repro.cnf import Assignment
+
+
+class VsidsHeuristic:
+    """Activity-driven branching with saved phases."""
+
+    def __init__(
+        self,
+        num_vars: int,
+        var_decay: float = 0.95,
+        default_phase: bool = False,
+        random_freq: float = 0.0,
+        seed: int = 0,
+    ):
+        self.num_vars = num_vars
+        self.activity = [0.0] * (num_vars + 1)
+        self.phase = [default_phase] * (num_vars + 1)
+        self.banned: set[int] = set()  # e.g. variables eliminated by preprocessing
+        self.var_inc = 1.0
+        self.var_decay = var_decay
+        self.random_freq = random_freq
+        self._rng = random.Random(seed)
+        # Heap of (-activity, var); stale entries skipped at pop time.
+        self._heap: list[tuple[float, int]] = [(0.0, v) for v in range(1, num_vars + 1)]
+        heapq.heapify(self._heap)
+
+    def bump(self, var: int) -> None:
+        """Increase a variable's activity (it appeared in conflict analysis)."""
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            self._rescale()
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def decay(self) -> None:
+        """Geometric decay, implemented by scaling the increment."""
+        self.var_inc /= self.var_decay
+
+    def _rescale(self) -> None:
+        for var in range(1, self.num_vars + 1):
+            self.activity[var] *= 1e-100
+        self.var_inc *= 1e-100
+        self._heap = [(-self.activity[v], v) for v in range(1, self.num_vars + 1)]
+        heapq.heapify(self._heap)
+
+    def save_phase(self, lit: int) -> None:
+        """Remember the polarity a variable was last assigned."""
+        self.phase[abs(lit)] = lit > 0
+
+    def requeue(self, var: int) -> None:
+        """Make a variable selectable again after backtracking."""
+        heapq.heappush(self._heap, (-self.activity[var], var))
+
+    def pick_branch(self, assignment: Assignment) -> int | None:
+        """Return the decision literal, or None if all variables assigned."""
+        if self.random_freq and self._rng.random() < self.random_freq:
+            free = [
+                v
+                for v in range(1, self.num_vars + 1)
+                if not assignment.is_assigned(v) and v not in self.banned
+            ]
+            if not free:
+                return None
+            var = self._rng.choice(free)
+            return var if self.phase[var] else -var
+        while self._heap:
+            neg_act, var = heapq.heappop(self._heap)
+            if assignment.is_assigned(var) or var in self.banned:
+                continue
+            if -neg_act != self.activity[var]:
+                # Stale entry: a fresher one with the true activity exists.
+                continue
+            return var if self.phase[var] else -var
+        # Heap exhausted: fall back to a linear scan (covers stale-heap cases).
+        for var in range(1, self.num_vars + 1):
+            if not assignment.is_assigned(var) and var not in self.banned:
+                heapq.heappush(self._heap, (-self.activity[var], var))
+                return var if self.phase[var] else -var
+        return None

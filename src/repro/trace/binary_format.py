@@ -1,0 +1,181 @@
+"""Compact binary trace format.
+
+Implements the paper's remark that switching from ASCII to a binary
+encoding buys a 2-3x size reduction and faster parsing. Layout:
+
+    magic  b"RTB1"
+    records, each:  1 tag byte + LEB128 varint payload
+
+Clause IDs inside a ``CL`` record are delta-encoded against the learned
+clause's own ID (sources are always smaller than the learned ID), which
+keeps most varints short on real traces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    Trace,
+    TraceError,
+    TraceHeader,
+    TraceRecord,
+    TraceResult,
+    assemble_trace,
+)
+
+MAGIC = b"RTB1"
+
+_TAG_HEADER = 0x01
+_TAG_LEARNED = 0x02
+_TAG_LEVEL_ZERO = 0x03
+_TAG_FINAL_CONFLICT = 0x04
+_TAG_RESULT_SAT = 0x05
+_TAG_RESULT_UNSAT = 0x06
+
+
+def encode_varint(value: int) -> bytes:
+    """LEB128-encode a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"varint must be non-negative, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(read: "_ByteReader") -> int:
+    """Decode one LEB128 varint from a byte reader."""
+    shift = 0
+    result = 0
+    while True:
+        byte = read.next_byte()
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+        if shift > 63:
+            raise TraceError("varint too long")
+
+
+class _ByteReader:
+    """Buffered byte-at-a-time reader over a binary stream."""
+
+    def __init__(self, handle: IO[bytes], chunk_size: int = 1 << 16):
+        self._handle = handle
+        self._chunk_size = chunk_size
+        self._buffer = b""
+        self._pos = 0
+
+    def next_byte(self) -> int:
+        if self._pos >= len(self._buffer):
+            self._buffer = self._handle.read(self._chunk_size)
+            self._pos = 0
+            if not self._buffer:
+                raise TraceError("unexpected end of binary trace")
+        byte = self._buffer[self._pos]
+        self._pos += 1
+        return byte
+
+    def at_eof(self) -> bool:
+        if self._pos < len(self._buffer):
+            return False
+        self._buffer = self._handle.read(self._chunk_size)
+        self._pos = 0
+        return not self._buffer
+
+
+class BinaryTraceWriter:
+    """Streams trace records to a compact binary file."""
+
+    def __init__(self, path: str | Path):
+        self._path = Path(path)
+        self._handle: IO[bytes] = open(self._path, "wb")
+        self._handle.write(MAGIC)
+        self._closed = False
+
+    def header(self, num_vars: int, num_original_clauses: int) -> None:
+        self._handle.write(
+            bytes([_TAG_HEADER])
+            + encode_varint(num_vars)
+            + encode_varint(num_original_clauses)
+        )
+
+    def learned_clause(self, cid: int, sources: list[int] | tuple[int, ...]) -> None:
+        parts = [bytes([_TAG_LEARNED]), encode_varint(cid), encode_varint(len(sources))]
+        for src in sources:
+            # Sources always precede the learned clause, so cid - src > 0.
+            delta = cid - src
+            if delta <= 0:
+                raise TraceError(
+                    f"learned clause {cid} lists source {src} with id >= its own"
+                )
+            parts.append(encode_varint(delta))
+        self._handle.write(b"".join(parts))
+
+    def level_zero(self, var: int, value: bool, antecedent: int) -> None:
+        self._handle.write(
+            bytes([_TAG_LEVEL_ZERO])
+            + encode_varint(var * 2 + (1 if value else 0))
+            + encode_varint(antecedent)
+        )
+
+    def final_conflict(self, cid: int) -> None:
+        self._handle.write(bytes([_TAG_FINAL_CONFLICT]) + encode_varint(cid))
+
+    def result(self, status: str) -> None:
+        tag = _TAG_RESULT_SAT if status == "SAT" else _TAG_RESULT_UNSAT
+        self._handle.write(bytes([tag]))
+
+    def close(self) -> None:
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_binary_records(path: str | Path) -> Iterator[TraceRecord]:
+    """Stream records from a binary trace file (constant memory)."""
+    with open(path, "rb") as handle:
+        if handle.read(len(MAGIC)) != MAGIC:
+            raise TraceError(f"{path}: not a binary trace (bad magic)")
+        reader = _ByteReader(handle)
+        while not reader.at_eof():
+            tag = reader.next_byte()
+            if tag == _TAG_HEADER:
+                yield TraceHeader(decode_varint(reader), decode_varint(reader))
+            elif tag == _TAG_LEARNED:
+                cid = decode_varint(reader)
+                count = decode_varint(reader)
+                sources = tuple(cid - decode_varint(reader) for _ in range(count))
+                yield LearnedClause(cid, sources)
+            elif tag == _TAG_LEVEL_ZERO:
+                packed = decode_varint(reader)
+                yield LevelZeroAssignment(packed >> 1, bool(packed & 1), decode_varint(reader))
+            elif tag == _TAG_FINAL_CONFLICT:
+                yield FinalConflict(decode_varint(reader))
+            elif tag == _TAG_RESULT_SAT:
+                yield TraceResult("SAT")
+            elif tag == _TAG_RESULT_UNSAT:
+                yield TraceResult("UNSAT")
+            else:
+                raise TraceError(f"unknown binary record tag {tag:#x}")
+
+
+def read_binary_trace(path: str | Path) -> Trace:
+    """Load a full binary trace into memory."""
+    return assemble_trace(iter_binary_records(path))

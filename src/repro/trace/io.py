@@ -1,0 +1,96 @@
+"""Format-dispatching trace I/O plus an in-memory writer for tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Protocol
+
+from repro.trace.ascii_format import AsciiTraceWriter, iter_ascii_records
+from repro.trace.binary_format import MAGIC, BinaryTraceWriter, iter_binary_records
+from repro.trace.records import Trace, TraceRecord, assemble_trace
+
+
+class TraceWriter(Protocol):
+    """What the solver needs from a trace sink (§3.1 modifications 1-3)."""
+
+    def header(self, num_vars: int, num_original_clauses: int) -> None: ...
+
+    def learned_clause(self, cid: int, sources: list[int] | tuple[int, ...]) -> None: ...
+
+    def level_zero(self, var: int, value: bool, antecedent: int) -> None: ...
+
+    def final_conflict(self, cid: int) -> None: ...
+
+    def result(self, status: str) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def open_trace_writer(path: str | Path, fmt: str = "ascii") -> AsciiTraceWriter | BinaryTraceWriter:
+    """Open a trace writer of the requested format ("ascii" or "binary")."""
+    if fmt == "ascii":
+        return AsciiTraceWriter(path)
+    if fmt == "binary":
+        return BinaryTraceWriter(path)
+    raise ValueError(f"unknown trace format {fmt!r}")
+
+
+def _sniff_format(path: str | Path) -> str:
+    with open(path, "rb") as handle:
+        return "binary" if handle.read(len(MAGIC)) == MAGIC else "ascii"
+
+
+def iter_trace_records(path: str | Path) -> Iterator[TraceRecord]:
+    """Stream records from a trace file, auto-detecting the format."""
+    if _sniff_format(path) == "binary":
+        return iter_binary_records(path)
+    return iter_ascii_records(path)
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a full trace into memory, auto-detecting the format."""
+    return assemble_trace(iter_trace_records(path))
+
+
+class InMemoryTraceWriter:
+    """Collects trace records in memory; doubles as a loaded Trace source.
+
+    Useful in tests and for the depth-first checker when solver and checker
+    run in the same process (no round-trip through the filesystem).
+    """
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self.closed = False
+
+    def header(self, num_vars: int, num_original_clauses: int) -> None:
+        from repro.trace.records import TraceHeader
+
+        self.records.append(TraceHeader(num_vars, num_original_clauses))
+
+    def learned_clause(self, cid: int, sources: list[int] | tuple[int, ...]) -> None:
+        from repro.trace.records import LearnedClause
+
+        self.records.append(LearnedClause(cid, tuple(sources)))
+
+    def level_zero(self, var: int, value: bool, antecedent: int) -> None:
+        from repro.trace.records import LevelZeroAssignment
+
+        self.records.append(LevelZeroAssignment(var, value, antecedent))
+
+    def final_conflict(self, cid: int) -> None:
+        from repro.trace.records import FinalConflict
+
+        self.records.append(FinalConflict(cid))
+
+    def result(self, status: str) -> None:
+        from repro.trace.records import TraceResult
+
+        self.records.append(TraceResult(status))
+
+    def close(self) -> None:
+        self.closed = True
+
+    def to_trace(self) -> Trace:
+        """Assemble the collected records into a Trace."""
+        return assemble_trace(iter(self.records))

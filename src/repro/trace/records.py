@@ -1,0 +1,127 @@
+"""Trace record types and the in-memory trace container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+
+class TraceError(ValueError):
+    """Raised on malformed or internally inconsistent traces."""
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Leading record: instance dimensions agreed with the checker."""
+
+    num_vars: int
+    num_original_clauses: int
+
+
+@dataclass(frozen=True)
+class LearnedClause:
+    """A learned clause: its ID plus resolve-source IDs in resolution order.
+
+    ``sources[0]`` is the conflicting clause conflict analysis started from;
+    each subsequent entry is the antecedent clause resolved in next. The
+    learned clause's literals are deliberately *not* recorded — the checker
+    must reconstruct them by resolution (that is the point of the check).
+    """
+
+    cid: int
+    sources: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sources) < 1:
+            raise TraceError(f"learned clause {self.cid} has no resolve sources")
+
+
+@dataclass(frozen=True)
+class LevelZeroAssignment:
+    """One entry of the decision-level-0 trail (chronological order)."""
+
+    var: int
+    value: bool
+    antecedent: int  # clause ID; every level-0 variable has one
+
+
+@dataclass(frozen=True)
+class FinalConflict:
+    """ID of the clause found conflicting at decision level 0."""
+
+    cid: int
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """The solver's claim ("UNSAT" is what the checkers validate)."""
+
+    status: str  # "SAT" | "UNSAT"
+
+
+TraceRecord = Union[TraceHeader, LearnedClause, LevelZeroAssignment, FinalConflict, TraceResult]
+
+
+@dataclass
+class Trace:
+    """A fully materialized trace (what the depth-first checker loads)."""
+
+    header: TraceHeader
+    learned: dict[int, LearnedClause] = field(default_factory=dict)
+    level_zero: list[LevelZeroAssignment] = field(default_factory=list)
+    final_conflicts: list[int] = field(default_factory=list)
+    status: str = "UNKNOWN"
+
+    @property
+    def num_learned(self) -> int:
+        return len(self.learned)
+
+    def antecedent_of(self, var: int) -> int | None:
+        for entry in self.level_zero:
+            if entry.var == var:
+                return entry.antecedent
+        return None
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Replay the trace as a stream of records (canonical order)."""
+        yield self.header
+        for rec in self.learned.values():
+            yield rec
+        for entry in self.level_zero:
+            yield entry
+        for cid in self.final_conflicts:
+            yield FinalConflict(cid)
+        yield TraceResult(self.status)
+
+
+def assemble_trace(records: Iterator[TraceRecord] | list[TraceRecord]) -> Trace:
+    """Build an in-memory Trace from a record stream, validating structure."""
+    header: TraceHeader | None = None
+    trace: Trace | None = None
+    for rec in records:
+        if isinstance(rec, TraceHeader):
+            if header is not None:
+                raise TraceError("duplicate trace header")
+            header = rec
+            trace = Trace(header)
+        elif trace is None:
+            raise TraceError("trace record before header")
+        elif isinstance(rec, LearnedClause):
+            if rec.cid in trace.learned:
+                raise TraceError(f"duplicate learned clause id {rec.cid}")
+            if rec.cid <= header.num_original_clauses:
+                raise TraceError(
+                    f"learned clause id {rec.cid} collides with original clauses"
+                )
+            trace.learned[rec.cid] = rec
+        elif isinstance(rec, LevelZeroAssignment):
+            trace.level_zero.append(rec)
+        elif isinstance(rec, FinalConflict):
+            trace.final_conflicts.append(rec.cid)
+        elif isinstance(rec, TraceResult):
+            trace.status = rec.status
+        else:  # pragma: no cover - defensive
+            raise TraceError(f"unknown record type {type(rec).__name__}")
+    if trace is None:
+        raise TraceError("empty trace")
+    return trace

@@ -1,0 +1,90 @@
+"""Trace analytics: what is actually inside a resolution trace.
+
+Useful when tuning the trace format (the paper's §4 compaction remark) or
+diagnosing why a checker run is slow: the distribution of resolve-chain
+lengths tells you how much re-resolution work the checker faces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.trace.io import iter_trace_records
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    TraceHeader,
+    TraceResult,
+)
+
+
+@dataclass
+class TraceStatistics:
+    """Aggregate numbers for one trace."""
+
+    num_vars: int = 0
+    num_original_clauses: int = 0
+    num_learned: int = 0
+    total_sources: int = 0
+    max_sources: int = 0
+    chain_length_histogram: dict[int, int] = field(default_factory=dict)
+    level_zero_entries: int = 0
+    final_conflicts: int = 0
+    status: str = "UNKNOWN"
+
+    @property
+    def mean_sources(self) -> float:
+        if self.num_learned == 0:
+            return 0.0
+        return self.total_sources / self.num_learned
+
+    @property
+    def total_resolutions(self) -> int:
+        """Resolutions the checker must perform to rebuild every clause."""
+        return self.total_sources - self.num_learned if self.num_learned else 0
+
+    def summary(self) -> str:
+        lines = [
+            f"variables          : {self.num_vars}",
+            f"original clauses   : {self.num_original_clauses}",
+            f"learned clauses    : {self.num_learned}",
+            f"resolve sources    : {self.total_sources} "
+            f"(mean {self.mean_sources:.2f}, max {self.max_sources})",
+            f"resolutions to replay: {self.total_resolutions}",
+            f"level-0 trail      : {self.level_zero_entries} entries",
+            f"final conflicts    : {self.final_conflicts}",
+            f"claimed result     : {self.status}",
+        ]
+        if self.chain_length_histogram:
+            lines.append("chain length histogram:")
+            for length in sorted(self.chain_length_histogram):
+                count = self.chain_length_histogram[length]
+                lines.append(f"  {length:4d} sources: {count}")
+        return "\n".join(lines)
+
+
+def analyze_trace(path: str | Path) -> TraceStatistics:
+    """Stream a trace file and accumulate statistics (constant memory)."""
+    stats = TraceStatistics()
+    for record in iter_trace_records(path):
+        if isinstance(record, TraceHeader):
+            stats.num_vars = record.num_vars
+            stats.num_original_clauses = record.num_original_clauses
+        elif isinstance(record, LearnedClause):
+            stats.num_learned += 1
+            count = len(record.sources)
+            stats.total_sources += count
+            if count > stats.max_sources:
+                stats.max_sources = count
+            stats.chain_length_histogram[count] = (
+                stats.chain_length_histogram.get(count, 0) + 1
+            )
+        elif isinstance(record, LevelZeroAssignment):
+            stats.level_zero_entries += 1
+        elif isinstance(record, FinalConflict):
+            stats.final_conflicts += 1
+        elif isinstance(record, TraceResult):
+            stats.status = record.status
+    return stats

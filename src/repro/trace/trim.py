@@ -1,0 +1,96 @@
+"""Trace trimming: keep only the clauses a proof actually needs.
+
+The depth-first checker "can tell what clauses are needed for this proof
+of unsatisfiability" (§3.2). Trimming materializes that: it drops every
+learned-clause record the empty-clause derivation never touches, yielding
+a smaller trace that still checks with every strategy (clause IDs are
+preserved, so resolve-source references stay valid). This is the ancestor
+of drat-trim's core extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnf import CnfFormula
+from repro.trace.records import Trace
+
+
+@dataclass
+class TrimResult:
+    """A trimmed trace plus before/after accounting."""
+
+    trace: Trace
+    kept_learned: int
+    dropped_learned: int
+    original_core: set[int]
+
+    @property
+    def kept_fraction(self) -> float:
+        total = self.kept_learned + self.dropped_learned
+        return self.kept_learned / total if total else 1.0
+
+
+def trim_trace(formula: CnfFormula, trace: Trace) -> TrimResult:
+    """Verify ``trace`` and return a copy containing only needed clauses.
+
+    Raises the checker's failure if the input trace does not constitute a
+    valid proof — a trimmed invalid proof would be meaningless.
+    """
+    # Imported here: repro.checker depends on repro.trace at import time.
+    from repro.checker.depth_first import DepthFirstChecker
+
+    checker = DepthFirstChecker(formula, trace)
+    report = checker.check()
+    report.raise_if_failed()
+    assert report.learned_used is not None and report.original_core is not None
+
+    # Keep the transitive closure over ALL proof roots (final conflict plus
+    # every level-0 antecedent). This is a superset of what the DF
+    # derivation touched, and it is exactly what keeps the trimmed trace
+    # valid for every checker: the level-0 trail is preserved verbatim, so
+    # each of its antecedent references must stay resolvable.
+    num_original = trace.header.num_original_clauses
+    roots = [trace.final_conflicts[0]] + [e.antecedent for e in trace.level_zero]
+    needed: set[int] = set()
+    stack = [cid for cid in roots if cid > num_original]
+    while stack:
+        cid = stack.pop()
+        if cid in needed:
+            continue
+        needed.add(cid)
+        for source in trace.learned[cid].sources:
+            if source > num_original and source not in needed:
+                stack.append(source)
+
+    trimmed = Trace(trace.header)
+    for cid, record in trace.learned.items():
+        if cid in needed:
+            trimmed.learned[cid] = record
+    trimmed.level_zero = list(trace.level_zero)
+    trimmed.final_conflicts = [trace.final_conflicts[0]]
+    trimmed.status = trace.status
+    return TrimResult(
+        trace=trimmed,
+        kept_learned=len(trimmed.learned),
+        dropped_learned=trace.num_learned - len(trimmed.learned),
+        original_core=set(report.original_core),
+    )
+
+
+def write_trimmed(formula: CnfFormula, trace: Trace, path, fmt: str = "ascii") -> TrimResult:
+    """Trim and write the result to ``path`` in the requested format."""
+    from repro.trace.io import open_trace_writer
+
+    result = trim_trace(formula, trace)
+    writer = open_trace_writer(path, fmt)
+    writer.header(result.trace.header.num_vars, result.trace.header.num_original_clauses)
+    for record in result.trace.learned.values():
+        writer.learned_clause(record.cid, record.sources)
+    for entry in result.trace.level_zero:
+        writer.level_zero(entry.var, entry.value, entry.antecedent)
+    for cid in result.trace.final_conflicts:
+        writer.final_conflict(cid)
+    writer.result(result.trace.status)
+    writer.close()
+    return result

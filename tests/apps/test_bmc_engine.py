@@ -1,0 +1,64 @@
+"""The BMC application flow."""
+
+import pytest
+
+from repro.apps import BoundedModelChecker
+from repro.bmc import counter_system, lfsr_system, token_ring_system
+from repro.solver import SolverConfig
+
+
+class TestCounter:
+    def test_sweep_finds_counterexample_at_exact_depth(self):
+        system = counter_system(4, bad_value=5)
+        outcome = BoundedModelChecker(system).run(max_bound=8)
+        assert outcome.property_violated
+        assert outcome.counterexample.length == 5
+        assert outcome.safe_through == 4
+        assert len(outcome.proof_reports) == 5
+        assert all(report.verified for report in outcome.proof_reports)
+
+    def test_counterexample_states_decode_the_count(self):
+        system = counter_system(4, bad_value=3)
+        outcome = BoundedModelChecker(system).run(max_bound=5)
+        cex = outcome.counterexample
+        values = [
+            sum(1 << i for i, bit in enumerate(state) if bit) for state in cex.states
+        ]
+        assert values == [0, 1, 2, 3]
+        assert cex.bad_step == 3
+
+    def test_safe_when_bound_too_small(self):
+        system = counter_system(4, bad_value=9)
+        outcome = BoundedModelChecker(system).run(max_bound=6)
+        assert not outcome.property_violated
+        assert outcome.safe_through == 6
+
+    def test_enabled_counter_cex_uses_inputs(self):
+        system = counter_system(4, bad_value=3, with_enable=True)
+        outcome = BoundedModelChecker(system).run(max_bound=4)
+        cex = outcome.counterexample
+        assert cex is not None
+        # Exactly three of the enable inputs fired along the way.
+        fired = sum(1 for step in cex.inputs[: cex.bad_step] for bit in step if bit)
+        assert fired == 3
+
+
+class TestInvariants:
+    def test_token_ring_safe(self):
+        outcome = BoundedModelChecker(token_ring_system(4)).run(max_bound=6)
+        assert not outcome.property_violated
+        assert outcome.safe_through == 6
+
+    def test_lfsr_safe(self):
+        outcome = BoundedModelChecker(lfsr_system(5)).run(max_bound=6)
+        assert not outcome.property_violated
+
+
+def test_budget_exhaustion_raises():
+    # Free enable inputs force real decisions, so a zero-decision budget
+    # must trip at some bound.
+    system = counter_system(5, bad_value=20, with_enable=True)
+    checker = BoundedModelChecker(system, config=SolverConfig(max_decisions=0))
+    with pytest.raises(RuntimeError):
+        for bound in range(10):
+            checker.check_bound(bound)

@@ -1,0 +1,93 @@
+"""Interpolation-based unbounded model checking."""
+
+import pytest
+
+from repro.apps import InterpolationModelChecker
+from repro.bmc import counter_system, lfsr_system, token_ring_system
+from repro.circuits import Circuit
+from repro.bmc.transition import TransitionSystem
+from repro.solver import SolverConfig
+
+
+class TestProvedProperties:
+    def test_token_ring_proved_for_all_depths(self):
+        result = InterpolationModelChecker(token_ring_system(4)).prove(max_bound=6)
+        assert result.status == "proved"
+        assert result.fixed_point_frontier is not None
+        assert result.image_iterations >= 1
+
+    def test_lfsr_proved(self):
+        result = InterpolationModelChecker(lfsr_system(4)).prove(max_bound=8)
+        assert result.status == "proved"
+
+    def test_fixed_point_is_a_sound_invariant(self):
+        """Semantic check by exhaustive simulation on a small ring:
+        every reachable state satisfies Init OR reach-set; no bad state
+        satisfies the reach set (interpolants exclude bad states)."""
+        system = token_ring_system(3)
+        result = InterpolationModelChecker(system).prove(max_bound=6)
+        assert result.status == "proved"
+        union = result.fixed_point_frontier
+
+        def one_hot(state):
+            return sum(state) == 1
+
+        # Reachable states: the three rotations of the initial token.
+        reachable = [
+            [i == position for i in range(3)] for position in range(3)
+        ]
+        for state in reachable:
+            in_init = state == [True, False, False]
+            assert in_init or union.simulate(state)[0], state
+        for bits in range(8):
+            state = [bool((bits >> i) & 1) for i in range(3)]
+            if not one_hot(state):  # a bad state
+                assert not union.simulate(state)[0], state
+
+
+class TestCounterexamples:
+    def test_counter_cex_found_at_exact_depth(self):
+        system = counter_system(4, bad_value=5)
+        result = InterpolationModelChecker(system).prove(max_bound=8)
+        assert result.status == "counterexample"
+        assert result.counterexample.length == 5
+
+    def test_enabled_counter_cex_with_budget(self):
+        system = counter_system(3, bad_value=5, with_enable=True)
+        result = InterpolationModelChecker(system).prove(max_bound=8, max_images=60)
+        assert result.status == "counterexample"
+        assert result.counterexample.length == 5
+
+    def test_initially_bad_state(self):
+        # Init admits the all-ones state; bad = all ones.
+        system = counter_system(2, bad_value=3)
+        relaxed = TransitionSystem(
+            num_state_bits=2,
+            num_input_bits=0,
+            init=[],  # any initial state
+            transition=system.transition,
+            bad=system.bad,
+            name="relaxed",
+        )
+        result = InterpolationModelChecker(relaxed).prove(max_bound=4)
+        assert result.status == "counterexample"
+        assert result.counterexample.length == 0
+        assert result.counterexample.states[0] == [True, True]
+
+
+class TestBudgets:
+    def test_image_budget_gives_unknown(self):
+        system = counter_system(4, bad_value=15, with_enable=True)
+        result = InterpolationModelChecker(system).prove(max_bound=20, max_images=5)
+        assert result.status == "unknown"
+
+    def test_bound_budget_gives_unknown(self):
+        system = counter_system(4, bad_value=15, with_enable=True)
+        result = InterpolationModelChecker(system).prove(max_bound=3, max_images=100)
+        assert result.status == "unknown"
+
+    def test_large_budget_decides_deep_counterexample(self):
+        system = counter_system(4, bad_value=15, with_enable=True)
+        result = InterpolationModelChecker(system).prove(max_bound=20, max_images=200)
+        assert result.status == "counterexample"
+        assert result.counterexample.length == 15

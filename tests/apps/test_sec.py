@@ -1,0 +1,118 @@
+"""Sequential equivalence checking."""
+
+import pytest
+
+from repro.apps import build_product_system, check_sequential_equivalence
+from repro.circuits import Circuit, Register, SequentialCircuit
+
+
+def _toggle(init=False, inverted_encoding=False):
+    """A one-register toggle; optionally state-inverted (same behaviour
+    after re-observation, different with raw observation)."""
+    core = Circuit(name="toggle")
+    state = core.add_input()
+    enable = core.add_input()
+    if inverted_encoding:
+        nxt = core.xnor(state, enable)  # stores the complement trajectory
+    else:
+        nxt = core.xor(state, enable)
+    return SequentialCircuit(
+        core=core,
+        registers=[Register(output=state, next_input=nxt, init=init)],
+        num_primary_inputs=1,
+    )
+
+
+def _two_register_counter(gray=False):
+    """A 2-bit counter with enable; optionally Gray-coded.
+
+    Both count cycles of length 4; bit patterns differ.
+    """
+    core = Circuit(name="gray" if gray else "binary")
+    b0, b1 = core.add_input(), core.add_input()
+    enable = core.add_input()
+    if gray:
+        # Gray sequence 00 -> 01 -> 11 -> 10: n0 = b0 xor (en and not b1 ...)
+        n0 = core.mux(enable, b0, core.not_(b1))
+        n1 = core.mux(enable, b1, b0)
+    else:
+        n0 = core.xor(b0, enable)
+        n1 = core.xor(b1, core.and_(b0, enable))
+    return SequentialCircuit(
+        core=core,
+        registers=[Register(output=b0, next_input=n0), Register(output=b1, next_input=n1)],
+        num_primary_inputs=1,
+    )
+
+
+class TestProductConstruction:
+    def test_interface_mismatch_rejected(self):
+        left = _toggle()
+        right_core = Circuit()
+        s = right_core.add_input()
+        right = SequentialCircuit(
+            core=right_core,
+            registers=[Register(output=s, next_input=s)],
+            num_primary_inputs=0,
+        )
+        with pytest.raises(ValueError):
+            build_product_system(left, right)
+
+    def test_observed_pairing_validated(self):
+        left, right = _toggle(), _toggle()
+        with pytest.raises(ValueError):
+            build_product_system(left, right, observed_left=[0], observed_right=[])
+        with pytest.raises(ValueError):
+            build_product_system(left, right, observed_left=[5], observed_right=[0])
+
+    def test_product_dimensions(self):
+        system = build_product_system(_toggle(), _toggle())
+        assert system.num_state_bits == 2
+        assert system.num_input_bits == 1
+
+
+class TestVerdicts:
+    def test_identical_toggles_proved_equivalent(self):
+        result = check_sequential_equivalence(_toggle(), _toggle(), bound=4)
+        assert result.equivalent is True
+        assert result.proved_unbounded
+
+    def test_different_reset_caught(self):
+        result = check_sequential_equivalence(_toggle(init=False), _toggle(init=True), bound=4)
+        assert result.equivalent is False
+        assert result.distinguishing_run is not None
+        assert result.distinguishing_run.length == 0  # differ at reset
+
+    def test_inverted_encoding_diverges_after_one_step(self):
+        result = check_sequential_equivalence(
+            _toggle(), _toggle(inverted_encoding=True), bound=4
+        )
+        assert result.equivalent is False
+        # Same reset state; one enable pulse separates them.
+        assert result.distinguishing_run.length >= 1
+
+    def test_binary_vs_gray_counters_differ(self):
+        result = check_sequential_equivalence(
+            _two_register_counter(gray=False), _two_register_counter(gray=True), bound=6
+        )
+        assert result.equivalent is False
+
+    def test_binary_vs_gray_low_bit_only(self):
+        # Observing only bit 0: binary toggles it every enable; Gray does
+        # not — still distinguishable.
+        result = check_sequential_equivalence(
+            _two_register_counter(gray=False),
+            _two_register_counter(gray=True),
+            observed_left=[0],
+            observed_right=[0],
+            bound=6,
+        )
+        assert result.equivalent is False
+
+    def test_undecided_without_proof(self):
+        # prove=False and a bounded run on equivalent designs: undecided.
+        result = check_sequential_equivalence(
+            _toggle(), _toggle(), bound=3, prove=False
+        )
+        assert result.equivalent is None
+        assert result.bound_checked == 3

@@ -1,0 +1,85 @@
+"""The BDD engine as an independent referee for the SAT-based flows."""
+
+import itertools
+
+import pytest
+
+from repro.apps import BoundedModelChecker, EquivalenceChecker, InterpolationModelChecker
+from repro.bdd import BddManager, bdd_equivalent, circuit_outputs_to_bdds, symbolic_reachability
+from repro.bmc import counter_system, lfsr_system, token_ring_system
+from repro.circuits import (
+    carry_select_adder,
+    random_circuit,
+    rewritten_copy,
+    ripple_carry_adder,
+)
+
+
+class TestCircuitCompilation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bdd_matches_simulation(self, seed):
+        circuit = random_circuit(6, 25, 3, seed=seed)
+        manager = BddManager()
+        bdds = circuit_outputs_to_bdds(circuit, manager)
+        for bits in itertools.product([False, True], repeat=6):
+            env = dict(enumerate(bits))
+            expected = circuit.simulate(list(bits))
+            actual = [manager.evaluate(bdd, env) for bdd in bdds]
+            assert actual == expected
+
+
+class TestCecRefereeing:
+    def test_bdd_and_sat_agree_on_equivalent_pairs(self):
+        pairs = [
+            (ripple_carry_adder(4), carry_select_adder(4, block=2)),
+        ]
+        base = random_circuit(7, 35, 3, seed=3)
+        pairs.append((base, rewritten_copy(base, seed=4)))
+        for left, right in pairs:
+            sat_verdict = EquivalenceChecker(left, right).run().equivalent
+            assert sat_verdict is True
+            assert bdd_equivalent(left, right)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bdd_and_sat_agree_on_random_pairs(self, seed):
+        left = random_circuit(6, 20, 2, seed=seed)
+        right = random_circuit(6, 20, 2, seed=seed + 100)
+        sat_verdict = EquivalenceChecker(left, right).run().equivalent
+        assert sat_verdict == bdd_equivalent(left, right)
+
+
+class TestReachabilityRefereeing:
+    def test_exact_counts(self):
+        ring = symbolic_reachability(token_ring_system(5), stop_at_bad=False)
+        assert not ring.bad_reachable
+        assert ring.num_reachable_states == 5  # the five token positions
+        lfsr = symbolic_reachability(lfsr_system(5), stop_at_bad=False)
+        assert not lfsr.bad_reachable
+        assert lfsr.num_reachable_states == 31  # every non-zero seed
+
+    def test_bmc_counterexample_depth_matches_exact_shortest_path(self):
+        system = counter_system(4, bad_value=9)
+        exact = symbolic_reachability(system)
+        bmc = BoundedModelChecker(system).run(max_bound=12)
+        assert exact.bad_reachable and bmc.property_violated
+        assert bmc.counterexample.length == exact.shortest_counterexample == 9
+
+    def test_bmc_safe_bound_consistent_with_exact(self):
+        system = counter_system(4, bad_value=9)
+        exact = symbolic_reachability(system)
+        bmc = BoundedModelChecker(system).run(max_bound=exact.shortest_counterexample - 1)
+        assert not bmc.property_violated  # BMC must be silent below the depth
+
+    def test_interpolation_proof_agrees_with_exact_unreachability(self):
+        for system in (token_ring_system(4), lfsr_system(4)):
+            exact = symbolic_reachability(system, stop_at_bad=False)
+            assert not exact.bad_reachable
+            itp = InterpolationModelChecker(system).prove(max_bound=6)
+            assert itp.status == "proved"
+
+    def test_enabled_counter_nondeterministic_inputs(self):
+        system = counter_system(3, bad_value=6, with_enable=True)
+        exact = symbolic_reachability(system)
+        assert exact.shortest_counterexample == 6
+        bmc = BoundedModelChecker(system).run(max_bound=8)
+        assert bmc.counterexample.length == 6

@@ -1,0 +1,133 @@
+"""ROBDD manager: operations, canonicity, quantification, counting."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager
+from repro.bdd.manager import FALSE, TRUE
+
+
+@pytest.fixture
+def manager():
+    return BddManager()
+
+
+class TestBasics:
+    def test_terminals(self, manager):
+        assert manager.true() == TRUE
+        assert manager.false() == FALSE
+        assert manager.not_(TRUE) == FALSE
+
+    def test_var_and_evaluate(self, manager):
+        x = manager.var(0)
+        assert manager.evaluate(x, {0: True})
+        assert not manager.evaluate(x, {0: False})
+
+    def test_reduction_rule(self, manager):
+        x = manager.var(0)
+        assert manager.make_node(1, x, x) == x  # low == high collapses
+
+    def test_hash_consing(self, manager):
+        a = manager.and_(manager.var(0), manager.var(1))
+        b = manager.and_(manager.var(0), manager.var(1))
+        assert a == b  # canonical: same function, same node
+
+    def test_de_morgan_canonically(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        left = manager.not_(manager.and_(x, y))
+        right = manager.or_(manager.not_(x), manager.not_(y))
+        assert left == right
+
+    def test_xor_xnor_complementary(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        assert manager.not_(manager.xor(x, y)) == manager.xnor(x, y)
+
+    def test_var_validation(self, manager):
+        with pytest.raises(ValueError):
+            manager.var(-1)
+
+
+class TestSemantics:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_ops_match_python_booleans(self, data):
+        manager = BddManager()
+        num_vars = data.draw(st.integers(min_value=1, max_value=4))
+        variables = [manager.var(i) for i in range(num_vars)]
+
+        # Build a random expression tree alongside a Python lambda.
+        def build(depth):
+            if depth == 0 or data.draw(st.booleans()):
+                index = data.draw(st.integers(0, num_vars - 1))
+                return variables[index], (lambda env, i=index: env[i])
+            op = data.draw(st.sampled_from(["and", "or", "xor", "not"]))
+            left_bdd, left_fn = build(depth - 1)
+            if op == "not":
+                return manager.not_(left_bdd), (lambda env, f=left_fn: not f(env))
+            right_bdd, right_fn = build(depth - 1)
+            if op == "and":
+                return manager.and_(left_bdd, right_bdd), (
+                    lambda env, f=left_fn, g=right_fn: f(env) and g(env)
+                )
+            if op == "or":
+                return manager.or_(left_bdd, right_bdd), (
+                    lambda env, f=left_fn, g=right_fn: f(env) or g(env)
+                )
+            return manager.xor(left_bdd, right_bdd), (
+                lambda env, f=left_fn, g=right_fn: f(env) != g(env)
+            )
+
+        bdd, fn = build(3)
+        for bits in itertools.product([False, True], repeat=num_vars):
+            env = dict(enumerate(bits))
+            assert manager.evaluate(bdd, env) == fn(env)
+
+    def test_restrict(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.and_(x, y)
+        assert manager.restrict(f, 0, True) == y
+        assert manager.restrict(f, 0, False) == FALSE
+
+    def test_exists(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        f = manager.and_(x, y)
+        assert manager.exists([0], f) == y
+        assert manager.exists([0, 1], f) == TRUE
+        assert manager.exists([0, 1], FALSE) == FALSE
+
+    def test_support(self, manager):
+        x, z = manager.var(0), manager.var(2)
+        assert manager.support(manager.xor(x, z)) == {0, 2}
+        assert manager.support(TRUE) == set()
+
+    def test_count_sat(self, manager):
+        x, y = manager.var(0), manager.var(1)
+        assert manager.count_sat(manager.and_(x, y), 2) == 1
+        assert manager.count_sat(manager.or_(x, y), 2) == 3
+        assert manager.count_sat(x, 3) == 4  # y, z free
+        assert manager.count_sat(TRUE, 4) == 16
+        assert manager.count_sat(FALSE, 4) == 0
+
+    def test_count_sat_with_gap_levels(self, manager):
+        f = manager.var(2)  # levels 0,1 unused above the root
+        assert manager.count_sat(f, 4) == 8
+
+
+class TestRename:
+    def test_monotone_rename(self, manager):
+        f = manager.and_(manager.var(1), manager.var(3))
+        renamed = manager.rename(f, {1: 0, 3: 2})
+        assert renamed == manager.and_(manager.var(0), manager.var(2))
+
+    def test_non_monotone_rejected(self, manager):
+        f = manager.and_(manager.var(0), manager.var(1))
+        with pytest.raises(ValueError):
+            manager.rename(f, {0: 3, 1: 2})
+
+    def test_collision_rejected(self, manager):
+        f = manager.and_(manager.var(0), manager.var(1))
+        with pytest.raises(ValueError):
+            manager.rename(f, {0: 1})

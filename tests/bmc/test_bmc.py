@@ -1,0 +1,110 @@
+"""BMC substrate: transition systems, unrolling, known reachability facts."""
+
+import pytest
+
+from repro.bmc import TransitionSystem, bmc_cnf, counter_system, lfsr_system, token_ring_system, unroll
+from repro.circuits import Circuit
+from repro.solver import solve_formula
+
+
+class TestTransitionSystemValidation:
+    def _bad_circuit(self, bits):
+        bad = Circuit()
+        ins = bad.add_inputs(bits)
+        bad.mark_output(bad.and_(*ins) if bits > 1 else bad.buf(ins[0]))
+        return bad
+
+    def test_arity_checks(self):
+        transition = Circuit()
+        a, b = transition.add_inputs(2)
+        transition.mark_output(transition.buf(a))
+        transition.mark_output(transition.buf(b))
+        with pytest.raises(ValueError):
+            TransitionSystem(3, 0, [], transition, self._bad_circuit(3))
+        with pytest.raises(ValueError):
+            TransitionSystem(2, 1, [], transition, self._bad_circuit(2))
+
+    def test_init_literal_range(self):
+        transition = Circuit()
+        a = transition.add_input()
+        transition.mark_output(transition.buf(a))
+        with pytest.raises(ValueError):
+            TransitionSystem(1, 0, [[2]], transition, self._bad_circuit(1))
+
+
+class TestCounter:
+    def test_unreachable_within_bound(self):
+        system = counter_system(4, bad_value=10)
+        assert solve_formula(bmc_cnf(system, 9)).is_unsat
+
+    def test_reachable_at_bound(self):
+        system = counter_system(4, bad_value=10)
+        assert solve_formula(bmc_cnf(system, 10)).is_sat
+
+    def test_enabled_counter_same_reachability(self):
+        system = counter_system(4, bad_value=6, with_enable=True)
+        assert solve_formula(bmc_cnf(system, 5)).is_unsat
+        assert solve_formula(bmc_cnf(system, 6)).is_sat
+
+    def test_enabled_counter_requires_search(self):
+        system = counter_system(5, bad_value=12, with_enable=True)
+        result = solve_formula(bmc_cnf(system, 11))
+        assert result.is_unsat
+        assert result.stats.conflicts > 0  # not a pure BCP refutation
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counter_system(0)
+        with pytest.raises(ValueError):
+            counter_system(3, bad_value=0)
+        with pytest.raises(ValueError):
+            counter_system(3, bad_value=8)
+
+
+class TestTokenRing:
+    @pytest.mark.parametrize("size,bound", [(3, 5), (5, 7)])
+    def test_invariant_holds(self, size, bound):
+        assert solve_formula(bmc_cnf(token_ring_system(size), bound)).is_unsat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            token_ring_system(1)
+
+
+class TestLfsr:
+    def test_never_reaches_zero(self):
+        assert solve_formula(bmc_cnf(lfsr_system(5), 10)).is_unsat
+
+    def test_nondeterministic_seed_needs_search(self):
+        result = solve_formula(bmc_cnf(lfsr_system(8), 12))
+        assert result.is_unsat
+        assert result.stats.conflicts > 0
+
+    def test_concrete_seed_variant(self):
+        system = lfsr_system(5, any_nonzero_seed=False)
+        assert solve_formula(bmc_cnf(system, 8)).is_unsat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lfsr_system(1)
+        with pytest.raises(ValueError):
+            lfsr_system(4, taps=(3,))  # tap on the shifted-out bit itself
+
+
+class TestUnroll:
+    def test_state_vars_per_step(self):
+        system = counter_system(3, bad_value=5)
+        formula, state_vars = unroll(system, 4)
+        assert len(state_vars) == 5
+        assert all(len(step) == 3 for step in state_vars)
+        flattened = [v for step in state_vars for v in step]
+        assert len(set(flattened)) == len(flattened)  # all distinct
+
+    def test_zero_steps(self):
+        system = counter_system(3, bad_value=5)
+        formula, state_vars = unroll(system, 0)
+        assert len(state_vars) == 1
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            unroll(counter_system(2, bad_value=1), -1)

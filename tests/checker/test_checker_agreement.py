@@ -1,0 +1,60 @@
+"""Suite-wide checker agreement: all strategies accept the same proofs and
+their resource profiles respect the paper's ordering on every instance."""
+
+import pytest
+
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, HybridChecker
+from repro.experiments.suite import default_suite
+from repro.solver import Solver, SolverConfig
+from repro.trace import InMemoryTraceWriter
+
+
+@pytest.fixture(scope="module")
+def suite_proofs():
+    proofs = []
+    for instance in default_suite("small"):
+        formula = instance.build()
+        writer = InMemoryTraceWriter()
+        result = Solver(formula, SolverConfig(), trace_writer=writer).solve()
+        assert result.is_unsat
+        proofs.append((instance.name, formula, writer.to_trace()))
+    return proofs
+
+
+def test_all_checkers_agree_on_the_whole_suite(suite_proofs):
+    for name, formula, trace in suite_proofs:
+        df = DepthFirstChecker(formula, trace).check()
+        bf = BreadthFirstChecker(formula, trace).check()
+        hy = HybridChecker(formula, trace).check()
+        assert df.verified and bf.verified and hy.verified, name
+
+
+def test_built_count_ordering(suite_proofs):
+    """DF <= hybrid <= BF (= all) on every instance."""
+    for name, formula, trace in suite_proofs:
+        df = DepthFirstChecker(formula, trace).check()
+        bf = BreadthFirstChecker(formula, trace).check()
+        hy = HybridChecker(formula, trace).check()
+        assert df.clauses_built <= hy.clauses_built <= bf.clauses_built, name
+        assert bf.clauses_built == trace.num_learned, name
+
+
+def test_memory_ordering(suite_proofs):
+    """BF peak <= hybrid peak <= DF peak wherever traces are non-trivial."""
+    for name, formula, trace in suite_proofs:
+        if trace.num_learned < 30:
+            continue
+        df = DepthFirstChecker(formula, trace).check()
+        bf = BreadthFirstChecker(formula, trace).check()
+        hy = HybridChecker(formula, trace).check()
+        assert bf.peak_memory_units <= df.peak_memory_units, name
+        assert hy.peak_memory_units <= df.peak_memory_units, name
+
+
+def test_resolution_counts_relate(suite_proofs):
+    """BF replays every recorded resolution; DF a subset of it plus the
+    final derivation (which both perform)."""
+    for name, formula, trace in suite_proofs:
+        df = DepthFirstChecker(formula, trace).check()
+        bf = BreadthFirstChecker(formula, trace).check()
+        assert df.resolutions <= bf.resolutions + len(trace.level_zero), name

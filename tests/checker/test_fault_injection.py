@@ -1,0 +1,152 @@
+"""The checker must catch buggy solvers — the paper's raison d'être."""
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, HybridChecker
+from repro.solver import SolverConfig
+from repro.solver.buggy import BugKind, CorruptingTraceWriter, UnsoundLearningSolver, make_buggy_solver
+from repro.trace import InMemoryTraceWriter
+
+from tests.conftest import pigeonhole, random_3sat
+
+TRACE_BUGS = [
+    BugKind.DROP_SOURCE,
+    BugKind.SWAP_SOURCES,
+    BugKind.WRONG_ANTECEDENT,
+    BugKind.OMIT_LEVEL_ZERO,
+    BugKind.WRONG_FINAL_CONFLICT,
+]
+
+
+def _corrupted_trace(formula, bug, seed=0):
+    """Solve with an injected trace bug; returns the trace iff the bug fired."""
+    inner = InMemoryTraceWriter()
+    solver, wrapper = make_buggy_solver(formula, bug, inner, seed=seed)
+    result = solver.solve()
+    assert result.is_unsat
+    if wrapper is not None and not wrapper.corrupted:
+        return None
+    return inner.to_trace()
+
+
+@pytest.mark.parametrize("bug", TRACE_BUGS)
+def test_depth_first_catches_trace_bugs(bug):
+    caught = 0
+    fired = 0
+    for seed in range(8):
+        formula = pigeonhole(6, 5)
+        trace = _corrupted_trace(formula, bug, seed=seed)
+        if trace is None:
+            continue
+        fired += 1
+        report = DepthFirstChecker(formula, trace).check()
+        if not report.verified:
+            caught += 1
+            assert report.failure is not None
+            assert report.failure.kind is not None
+    assert fired > 0, f"bug {bug} never fired in 8 seeds"
+    assert caught == fired, f"bug {bug}: {fired - caught} corrupted traces passed"
+
+
+@pytest.mark.parametrize("bug", TRACE_BUGS)
+def test_breadth_first_catches_trace_bugs(bug):
+    caught = 0
+    fired = 0
+    for seed in range(8):
+        formula = pigeonhole(6, 5)
+        trace = _corrupted_trace(formula, bug, seed=seed)
+        if trace is None:
+            continue
+        fired += 1
+        report = BreadthFirstChecker(formula, trace).check()
+        if not report.verified:
+            caught += 1
+    assert fired > 0
+    assert caught == fired
+
+
+@pytest.mark.parametrize("bug", TRACE_BUGS)
+def test_hybrid_catches_trace_bugs(bug):
+    caught = 0
+    fired = 0
+    for seed in range(8):
+        formula = pigeonhole(6, 5)
+        trace = _corrupted_trace(formula, bug, seed=seed)
+        if trace is None:
+            continue
+        fired += 1
+        report = HybridChecker(formula, trace).check()
+        if not report.verified:
+            caught += 1
+    assert fired > 0
+    assert caught == fired
+
+
+def test_unsound_learning_never_endorsed_on_sat_formulas():
+    """The reasoning bug: dropped learned literals can make the solver claim
+    UNSAT on satisfiable formulas. The checker's contract (the paper's whole
+    point) is that a *wrong* UNSAT claim never verifies. A buggy solver may
+    still stumble into a valid proof of a *truly* unsatisfiable formula —
+    that is fine: the claim is correct even if the solver is not.
+    """
+    from repro.solver.reference import reference_is_satisfiable
+
+    wrong_claims_caught = 0
+    wrong_claims = 0
+    unsat_claims = 0
+    for seed in range(40):
+        formula = random_3sat(18, 70, seed=seed)
+        writer = InMemoryTraceWriter()
+        solver = UnsoundLearningSolver(
+            formula,
+            config=SolverConfig(seed=seed, max_conflicts=3000),
+            trace_writer=writer,
+            drop_period=2,
+        )
+        result = solver.solve()
+        if not result.is_unsat:
+            continue
+        unsat_claims += 1
+        truly_sat = reference_is_satisfiable(formula)
+        report = DepthFirstChecker(formula, writer.to_trace()).check()
+        if report.verified:
+            # A verified proof is ground truth: the formula must be UNSAT.
+            assert not truly_sat, f"seed {seed}: checker endorsed a wrong claim"
+        if truly_sat:
+            wrong_claims += 1
+            if not report.verified:
+                wrong_claims_caught += 1
+    assert unsat_claims > 0, "unsound solver never claimed UNSAT; grow the instance set"
+    assert wrong_claims > 0, "no wrong claims produced; make the bug more aggressive"
+    assert wrong_claims_caught == wrong_claims
+
+
+def test_diagnostics_identify_the_failure_site():
+    formula = pigeonhole(6, 5)
+    trace = None
+    for seed in range(16):
+        trace = _corrupted_trace(formula, BugKind.DROP_SOURCE, seed=seed)
+        if trace is not None:
+            break
+    assert trace is not None
+    report = DepthFirstChecker(formula, trace).check()
+    assert not report.verified
+    # Structured context: the failing clause IDs are in the exception.
+    assert report.failure.context, "diagnostics should carry context"
+    assert "[" in str(report.failure)
+
+
+def test_corrupting_writer_rejects_reasoning_bug_kind():
+    with pytest.raises(ValueError):
+        CorruptingTraceWriter(InMemoryTraceWriter(), BugKind.DROP_LEARNED_LITERAL)
+
+
+def test_clean_solver_passes_where_buggy_fails():
+    """Sanity: the harness is not simply rejecting everything."""
+    formula = pigeonhole(6, 5)
+    writer = InMemoryTraceWriter()
+    from repro.solver import solve_formula
+
+    solve_formula(formula, trace_writer=writer)
+    assert DepthFirstChecker(formula, writer.to_trace()).check().verified

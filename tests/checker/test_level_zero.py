@@ -1,0 +1,110 @@
+"""Unit tests for the level-0 state and empty-clause derivation."""
+
+import pytest
+
+from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.level_zero import LevelZeroState, derive_empty_clause
+from repro.trace.records import LevelZeroAssignment as V
+
+
+def _state(*entries):
+    return LevelZeroState([V(*entry) for entry in entries])
+
+
+class TestLevelZeroState:
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(CheckFailure) as excinfo:
+            _state((1, True, 5), (1, False, 6))
+        assert excinfo.value.kind == FailureKind.BAD_LEVEL_ZERO
+
+    def test_nonpositive_antecedent_rejected(self):
+        with pytest.raises(CheckFailure):
+            _state((1, True, 0))
+
+    def test_is_false(self):
+        state = _state((1, True, 5), (2, False, 6))
+        assert state.is_false(-1)
+        assert not state.is_false(1)
+        assert state.is_false(2)
+        assert not state.is_false(-2)
+        assert not state.is_false(3)  # unassigned is not false
+
+    def test_info_missing_var(self):
+        state = _state((1, True, 5))
+        with pytest.raises(CheckFailure) as excinfo:
+            state.info(9)
+        assert excinfo.value.kind == FailureKind.BAD_LEVEL_ZERO
+
+    def test_check_all_false(self):
+        state = _state((1, True, 5), (2, False, 6))
+        state.check_all_false(7, frozenset({-1, 2}))
+        with pytest.raises(CheckFailure) as excinfo:
+            state.check_all_false(7, frozenset({1, 2}))
+        assert excinfo.value.kind == FailureKind.BAD_FINAL_CONFLICT
+
+
+class TestAntecedentValidation:
+    def test_valid_antecedent(self):
+        # x1 assigned first (true), then x2 implied by (-1, 2).
+        state = _state((1, True, 5), (2, True, 6))
+        state.check_antecedent(6, frozenset({-1, 2}), var=2)
+
+    def test_missing_implied_literal(self):
+        state = _state((1, True, 5), (2, True, 6))
+        with pytest.raises(CheckFailure) as excinfo:
+            state.check_antecedent(6, frozenset({-1, -2}), var=2)
+        assert excinfo.value.kind == FailureKind.BAD_ANTECEDENT
+
+    def test_other_literal_not_false(self):
+        state = _state((1, True, 5), (2, True, 6))
+        with pytest.raises(CheckFailure):
+            state.check_antecedent(6, frozenset({1, 2}), var=2)  # x1 is true
+
+    def test_other_literal_assigned_later(self):
+        # x2's "antecedent" references x3, assigned after x2: not unit then.
+        state = _state((1, True, 5), (2, True, 6), (3, False, 7))
+        with pytest.raises(CheckFailure) as excinfo:
+            state.check_antecedent(6, frozenset({3, 2}), var=2)
+        assert "later" in str(excinfo.value)
+
+    def test_unassigned_other_literal(self):
+        state = _state((2, True, 6))
+        with pytest.raises(CheckFailure):
+            state.check_antecedent(6, frozenset({-9, 2}), var=2)
+
+
+class TestDeriveEmptyClause:
+    def test_simple_two_step(self):
+        # Clause 1 = (x1), clause 2 = (-x1): assign x1 via 1, conflict on 2.
+        clauses = {1: frozenset({1}), 2: frozenset({-1})}
+        state = _state((1, True, 1))
+        used = []
+        steps = derive_empty_clause(2, clauses[2], state, clauses.__getitem__, used.append)
+        assert steps == 1
+        assert used == [2, 1]
+
+    def test_chain(self):
+        # c1=(1), c2=(-1,2), c3=(-2): x1 then x2 assigned; c3 conflicts.
+        clauses = {1: frozenset({1}), 2: frozenset({-1, 2}), 3: frozenset({-2})}
+        state = _state((1, True, 1), (2, True, 2))
+        steps = derive_empty_clause(3, clauses[3], state, clauses.__getitem__)
+        assert steps == 2
+
+    def test_start_clause_not_falsified(self):
+        clauses = {1: frozenset({1})}
+        state = _state((1, True, 1))
+        with pytest.raises(CheckFailure) as excinfo:
+            derive_empty_clause(1, clauses[1], state, clauses.__getitem__)
+        assert excinfo.value.kind == FailureKind.BAD_FINAL_CONFLICT
+
+    def test_empty_start_is_zero_steps(self):
+        state = _state()
+        assert derive_empty_clause(9, frozenset(), state, lambda cid: frozenset()) == 0
+
+    def test_bad_antecedent_detected_mid_derivation(self):
+        # x1's recorded antecedent does not contain x1 at all.
+        clauses = {1: frozenset({2}), 2: frozenset({-1})}
+        state = _state((1, True, 1))
+        with pytest.raises(CheckFailure) as excinfo:
+            derive_empty_clause(2, clauses[2], state, clauses.__getitem__)
+        assert excinfo.value.kind == FailureKind.BAD_ANTECEDENT

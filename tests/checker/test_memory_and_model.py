@@ -1,0 +1,66 @@
+"""Unit tests for memory accounting and model checking."""
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.checker import MemoryLimitExceeded, MemoryMeter, check_model
+
+
+class TestMemoryMeter:
+    def test_peak_tracks_high_water_mark(self):
+        meter = MemoryMeter()
+        meter.allocate(10)
+        meter.allocate(5)
+        meter.release(12)
+        meter.allocate(1)
+        assert meter.current == 4
+        assert meter.peak == 15
+
+    def test_limit_enforced(self):
+        meter = MemoryMeter(limit=10)
+        meter.allocate(10)
+        with pytest.raises(MemoryLimitExceeded) as excinfo:
+            meter.allocate(1)
+        assert excinfo.value.context["limit_units"] == 10
+
+    def test_negative_current_is_a_bug(self):
+        meter = MemoryMeter()
+        meter.allocate(1)
+        with pytest.raises(AssertionError):
+            meter.release(2)
+
+    def test_unit_helpers(self):
+        meter = MemoryMeter()
+        assert meter.clause_units(3) == 5
+        assert meter.record_units(4) == 6
+
+
+class TestModelCheck:
+    def test_satisfying_model(self):
+        formula = CnfFormula(2, [[1, 2], [-1, 2]])
+        assert check_model(formula, {1: True, 2: True})
+
+    def test_falsified_clause_reported(self):
+        formula = CnfFormula(2, [[1, 2], [-1, -2]])
+        result = check_model(formula, {1: True, 2: True})
+        assert not result
+        assert result.falsified_clause_ids == [2]
+
+    def test_partial_model_that_satisfies(self):
+        formula = CnfFormula(3, [[1, 2]])
+        result = check_model(formula, {1: True})
+        assert result.satisfied
+
+    def test_unassigned_vars_reported_when_clause_fails(self):
+        formula = CnfFormula(2, [[1, 2]])
+        result = check_model(formula, {1: False})
+        assert not result.satisfied
+        assert result.unassigned_vars == [2]
+
+    def test_empty_clause_never_satisfied(self):
+        formula = CnfFormula(1)
+        formula.add_clause([])
+        assert not check_model(formula, {1: True})
+
+    def test_empty_formula_satisfied_by_anything(self):
+        assert check_model(CnfFormula(0), {})

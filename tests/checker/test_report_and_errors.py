@@ -1,0 +1,65 @@
+"""CheckReport and CheckFailure plumbing."""
+
+import pytest
+
+from repro.checker import CheckFailure, CheckReport, FailureKind
+
+
+class TestCheckFailure:
+    def test_message_carries_kind_and_context(self):
+        failure = CheckFailure(FailureKind.BAD_RESOLUTION, "boom", cid=7, literal=-3)
+        text = str(failure)
+        assert "[bad-resolution]" in text
+        assert "cid=7" in text
+        assert failure.context == {"cid": 7, "literal": -3}
+
+    def test_message_without_context(self):
+        failure = CheckFailure(FailureKind.BAD_STATUS, "nothing to check")
+        assert str(failure) == "[bad-status] nothing to check"
+
+    def test_every_kind_has_a_distinct_slug(self):
+        slugs = [kind.value for kind in FailureKind]
+        assert len(set(slugs)) == len(slugs)
+        assert "memory-out" in slugs
+
+
+class TestCheckReport:
+    def _verified(self):
+        return CheckReport(
+            method="depth-first",
+            verified=True,
+            clauses_built=10,
+            total_learned=40,
+            peak_memory_units=123,
+            check_time=0.5,
+        )
+
+    def test_built_pct(self):
+        assert self._verified().built_pct == 25.0
+        empty = CheckReport(method="x", verified=True, total_learned=0)
+        assert empty.built_pct == 0.0
+
+    def test_summary_succeeded(self):
+        text = self._verified().summary()
+        assert "Check Succeeded" in text
+        assert "10/40" in text
+        assert "25.0%" in text
+
+    def test_summary_failed(self):
+        failure = CheckFailure(FailureKind.UNKNOWN_CLAUSE, "missing", cid=5)
+        report = CheckReport(method="bf", verified=False, failure=failure)
+        assert "Check Failed" in report.summary()
+        assert "missing" in report.summary()
+
+    def test_raise_if_failed(self):
+        self._verified().raise_if_failed()  # no-op
+        failure = CheckFailure(FailureKind.CYCLIC_TRACE, "loop", cid=9)
+        report = CheckReport(method="bf", verified=False, failure=failure)
+        with pytest.raises(CheckFailure) as excinfo:
+            report.raise_if_failed()
+        assert excinfo.value.kind == FailureKind.CYCLIC_TRACE
+
+    def test_unverified_without_failure_is_a_bug(self):
+        report = CheckReport(method="bf", verified=False)
+        with pytest.raises(AssertionError):
+            report.raise_if_failed()

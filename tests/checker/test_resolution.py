@@ -1,0 +1,71 @@
+"""Unit tests for the resolution primitive."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.checker import ResolutionError, resolve
+from repro.checker.resolution import resolve_chain
+
+
+def test_basic_resolution():
+    # (x + y)(y' + z) resolves to (x + z) on y.
+    assert resolve(frozenset({1, 2}), frozenset({-2, 3})) == frozenset({1, 3})
+
+
+def test_resolution_to_empty_clause():
+    assert resolve(frozenset({1}), frozenset({-1})) == frozenset()
+
+
+def test_shared_literals_merge():
+    assert resolve(frozenset({1, 2, 3}), frozenset({-1, 2, 3})) == frozenset({2, 3})
+
+
+def test_no_clash_rejected():
+    with pytest.raises(ResolutionError):
+        resolve(frozenset({1, 2}), frozenset({2, 3}))
+
+
+def test_double_clash_rejected():
+    with pytest.raises(ResolutionError) as excinfo:
+        resolve(frozenset({1, 2}), frozenset({-1, -2}), cid_a=10, cid_b=20)
+    assert excinfo.value.context["cid_a"] == 10
+    assert excinfo.value.context["clashing_vars"] == [1, 2]
+
+
+def test_resolve_chain_folds_left():
+    chain = [
+        (1, frozenset({1, 2})),
+        (2, frozenset({-2, 3})),
+        (3, frozenset({-3, 4})),
+    ]
+    assert resolve_chain(chain) == frozenset({1, 4})
+
+
+def test_resolve_chain_empty_rejected():
+    with pytest.raises(ResolutionError):
+        resolve_chain([])
+
+
+def test_resolve_chain_single_is_identity():
+    assert resolve_chain([(5, frozenset({1, -2}))]) == frozenset({1, -2})
+
+
+vars_st = st.integers(min_value=1, max_value=20)
+
+
+@given(
+    pivot=vars_st,
+    left=st.sets(st.integers(min_value=-20, max_value=20).filter(lambda x: x != 0), max_size=8),
+    right=st.sets(st.integers(min_value=-20, max_value=20).filter(lambda x: x != 0), max_size=8),
+)
+def test_resolution_property(pivot, left, right):
+    # Construct tautology-free clauses guaranteed to clash exactly on `pivot`.
+    left = {lit for lit in left if lit > 0} | {pivot}
+    right = {lit for lit in right if lit < 0 and -lit not in left} | {-pivot}
+    right.discard(pivot)
+    resolvent = resolve(frozenset(left), frozenset(right))
+    assert pivot not in resolvent and -pivot not in resolvent
+    assert resolvent == (left | right) - {pivot, -pivot}
+    # Resolvents of clash-free inputs are never tautological.
+    assert not any(-lit in resolvent for lit in resolvent)

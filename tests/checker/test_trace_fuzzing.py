@@ -1,0 +1,154 @@
+"""Adversarial trace fuzzing.
+
+Two properties that make a checker trustworthy:
+
+* **Robustness** — arbitrary mutations of a trace never crash a checker:
+  every outcome is either `verified` or a structured CheckFailure.
+* **Soundness** — if any checker verifies a (possibly mutated) trace for
+  a formula, that formula really is unsatisfiable. Mutations may
+  accidentally produce a different-but-valid proof; they must never
+  produce an accepted proof of a satisfiable formula.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, HybridChecker
+from repro.cnf import CnfFormula
+from repro.solver import SolverConfig, solve_formula
+from repro.solver.reference import reference_is_satisfiable
+from repro.trace import InMemoryTraceWriter, TraceError
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    TraceHeader,
+    TraceResult,
+    assemble_trace,
+)
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def _records_for(formula, seed=0):
+    writer = InMemoryTraceWriter()
+    result = solve_formula(formula, SolverConfig(seed=seed), trace_writer=writer)
+    assert result.is_unsat
+    return list(writer.records)
+
+
+def _mutate(records, rng):
+    """Apply one random structural mutation; returns a new record list."""
+    records = list(records)
+    choice = rng.randrange(8)
+    index = rng.randrange(len(records))
+    record = records[index]
+    if choice == 0 and len(records) > 1:
+        del records[index]
+    elif choice == 1:
+        records.insert(index, records[rng.randrange(len(records))])
+    elif choice == 2 and isinstance(record, LearnedClause):
+        sources = list(record.sources)
+        if sources:
+            sources[rng.randrange(len(sources))] = rng.randrange(1, 500)
+            try:
+                records[index] = LearnedClause(record.cid, tuple(sources))
+            except TraceError:
+                pass
+    elif choice == 3 and isinstance(record, LearnedClause):
+        sources = list(record.sources)
+        rng.shuffle(sources)
+        records[index] = LearnedClause(record.cid, tuple(sources))
+    elif choice == 4 and isinstance(record, LevelZeroAssignment):
+        records[index] = LevelZeroAssignment(
+            record.var, not record.value, record.antecedent
+        )
+    elif choice == 5 and isinstance(record, LevelZeroAssignment):
+        records[index] = LevelZeroAssignment(
+            record.var, record.value, rng.randrange(1, 500)
+        )
+    elif choice == 6 and isinstance(record, FinalConflict):
+        records[index] = FinalConflict(rng.randrange(1, 500))
+    elif choice == 7:
+        two = rng.randrange(len(records))
+        records[index], records[two] = records[two], records[index]
+    return records
+
+
+def _check_all(formula, records):
+    """Run every checker; returns the list of reports (never raises)."""
+    try:
+        trace = assemble_trace(iter(records))
+    except TraceError:
+        return []  # structurally invalid: rejected at parse time, fine
+    reports = []
+    for checker in (
+        DepthFirstChecker(formula, trace),
+        BreadthFirstChecker(formula, trace),
+        HybridChecker(formula, trace),
+    ):
+        report = checker.check()
+        if not report.verified:
+            assert report.failure is not None, f"{checker.method}: silent failure"
+        reports.append(report)
+    return reports
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_mutated_unsat_traces_never_crash(seed):
+    formula = pigeonhole(4, 3)
+    base = _records_for(formula)
+    rng = random.Random(seed)
+    records = base
+    for _ in range(rng.randrange(1, 4)):
+        records = _mutate(records, rng)
+    _check_all(formula, records)  # asserts structured failure internally
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_no_accepted_proof_for_sat_formula(seed):
+    """The soundness crown jewel: graft an UNSAT formula's trace onto a
+    SATISFIABLE formula of the same shape and mutate it; no checker may
+    ever verify."""
+    rng = random.Random(seed)
+    sat_formula = None
+    while sat_formula is None:
+        candidate = random_3sat(12, 40, seed=rng.randrange(10**6))
+        if reference_is_satisfiable(candidate):
+            sat_formula = candidate
+    donor = None
+    while donor is None:
+        candidate = random_3sat(12, 52, seed=rng.randrange(10**6))
+        if not reference_is_satisfiable(candidate):
+            donor = candidate
+    records = _records_for(donor)
+    # Retarget the header at the SAT formula's clause count.
+    records[0] = TraceHeader(sat_formula.num_vars, sat_formula.num_clauses)
+    for _ in range(rng.randrange(0, 3)):
+        records = _mutate(records, rng)
+    for report in _check_all(sat_formula, records):
+        assert not report.verified, (
+            f"{report.method} accepted a proof for a SATISFIABLE formula"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6), mutations=st.integers(1, 5))
+def test_fuzz_property(seed, mutations):
+    formula = pigeonhole(4, 3)
+    rng = random.Random(seed)
+    records = _records_for(formula)
+    for _ in range(mutations):
+        records = _mutate(records, rng)
+    reports = _check_all(formula, records)
+    # If any checker verified, the claim must be true — PHP(4,3) is UNSAT,
+    # so verification is acceptable; agreement is not required (a mutation
+    # can break one strategy's stream while leaving another's path valid).
+    for report in reports:
+        if not report.verified:
+            assert report.failure is not None

@@ -1,0 +1,119 @@
+"""Arithmetic and shifter circuits: functional correctness + miter UNSAT."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import (
+    adder_equivalence_miter,
+    array_multiplier,
+    barrel_shifter,
+    carry_select_adder,
+    miter_to_cnf,
+    multiplier_commutativity_miter,
+    naive_shifter,
+    ripple_carry_adder,
+    shifter_equivalence_miter,
+)
+from repro.solver import solve_formula
+
+
+def _bits(value: int, width: int) -> list[bool]:
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def _value(bits: list[bool]) -> int:
+    return sum(1 << i for i, bit in enumerate(bits) if bit)
+
+
+@pytest.mark.parametrize("width", [1, 3, 4])
+def test_ripple_carry_adder_adds(width):
+    adder = ripple_carry_adder(width)
+    for a in range(1 << width):
+        for b in range(1 << width):
+            out = adder.simulate(_bits(a, width) + _bits(b, width))
+            assert _value(out) == a + b
+
+
+@pytest.mark.parametrize("width,block", [(4, 1), (4, 2), (5, 3), (6, 4)])
+def test_carry_select_adder_matches_ripple(width, block):
+    rca = ripple_carry_adder(width)
+    csa = carry_select_adder(width, block=block)
+    rng = random.Random(0)
+    for _ in range(60):
+        a, b = rng.randrange(1 << width), rng.randrange(1 << width)
+        inputs = _bits(a, width) + _bits(b, width)
+        assert rca.simulate(inputs) == csa.simulate(inputs)
+
+
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_array_multiplier_multiplies(width):
+    mult = array_multiplier(width)
+    for a in range(1 << width):
+        for b in range(1 << width):
+            out = mult.simulate(_bits(a, width) + _bits(b, width))
+            assert _value(out) == a * b
+
+
+def test_multiplier_width_4_spot_checks():
+    mult = array_multiplier(4)
+    rng = random.Random(1)
+    for _ in range(40):
+        a, b = rng.randrange(16), rng.randrange(16)
+        out = mult.simulate(_bits(a, 4) + _bits(b, 4))
+        assert _value(out) == a * b
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_barrel_shifter_rotates(width):
+    shifter = barrel_shifter(width)
+    stages = width.bit_length() - 1
+    rng = random.Random(2)
+    for _ in range(40):
+        word = rng.randrange(1 << width)
+        amount = rng.randrange(width)
+        out = shifter.simulate(_bits(word, width) + _bits(amount, stages))
+        expected = ((word << amount) | (word >> (width - amount))) & ((1 << width) - 1)
+        assert _value(out) == expected
+
+
+def test_naive_shifter_matches_barrel():
+    barrel = barrel_shifter(8)
+    naive = naive_shifter(8)
+    rng = random.Random(3)
+    for _ in range(60):
+        inputs = [rng.random() < 0.5 for _ in range(11)]
+        assert barrel.simulate(inputs) == naive.simulate(inputs)
+
+
+def test_width_validation():
+    with pytest.raises(ValueError):
+        ripple_carry_adder(0)
+    with pytest.raises(ValueError):
+        array_multiplier(0)
+    with pytest.raises(ValueError):
+        barrel_shifter(3)  # not a power of two
+    with pytest.raises(ValueError):
+        naive_shifter(1)
+
+
+@pytest.mark.parametrize(
+    "miter_factory",
+    [
+        lambda: adder_equivalence_miter(6, block=2),
+        lambda: multiplier_commutativity_miter(3),
+        lambda: shifter_equivalence_miter(4),
+    ],
+)
+def test_equivalence_miters_are_unsat(miter_factory):
+    formula = miter_to_cnf(miter_factory())
+    assert solve_formula(formula).is_unsat
+
+
+def test_mult_commutativity_miter_simulates_to_zero():
+    miter = multiplier_commutativity_miter(3)
+    rng = random.Random(4)
+    for _ in range(30):
+        inputs = [rng.random() < 0.5 for _ in range(6)]
+        assert miter.simulate(inputs) == [False]

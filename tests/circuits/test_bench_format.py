@@ -1,0 +1,134 @@
+"""ISCAS .bench format I/O."""
+
+import itertools
+
+import pytest
+
+from repro.circuits import (
+    BenchFormatError,
+    Circuit,
+    SequentialCircuit,
+    parse_bench,
+    parse_bench_file,
+    random_circuit,
+    write_bench,
+    write_bench_file,
+)
+
+C17 = """\
+# ISCAS-85 c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+
+def test_parse_c17():
+    circuit = parse_bench(C17)
+    assert isinstance(circuit, Circuit)
+    assert len(circuit.inputs) == 5
+    assert len(circuit.outputs) == 2
+    assert circuit.num_gates == 6
+    # Spot-check against hand-evaluated c17 behaviour.
+    assert circuit.simulate([True, True, True, True, True]) == [True, False]
+    assert circuit.simulate([False, False, False, False, False]) == [False, False]
+
+
+def test_out_of_order_definitions_accepted():
+    text = """\
+INPUT(A)
+OUTPUT(C)
+C = NOT(B)
+B = BUFF(A)
+"""
+    circuit = parse_bench(text)
+    assert circuit.simulate([True]) == [False]
+
+
+def test_sequential_bench_produces_design():
+    text = """\
+INPUT(EN)
+OUTPUT(Q)
+Q = DFF(D)
+D = XOR(Q, EN)
+"""
+    design = parse_bench(text)
+    assert isinstance(design, SequentialCircuit)
+    assert design.num_registers == 1
+    assert design.num_primary_inputs == 1
+    state = [False]
+    values = []
+    for _ in range(4):
+        values.append(state[0])
+        state, _ = design.simulate_cycle(state, [True])
+    assert values == [False, True, False, True]
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "G1 = FROB(G2)\n",
+        "G1 = DFF(A, B)\nINPUT(A)\nINPUT(B)\n",
+        "OUTPUT(G9)\n",
+        "INPUT(A)\nG2 = AND()\n",
+        "INPUT(A)\nA = NOT(A)\n",
+        "INPUT(A)\nB = NOT(C)\nOUTPUT(B)\n",
+    ],
+)
+def test_malformed_inputs_rejected(bad):
+    with pytest.raises(BenchFormatError):
+        parse_bench(bad)
+
+
+def test_roundtrip_combinational():
+    circuit = random_circuit(6, 30, 3, seed=8)
+    again = parse_bench(write_bench(circuit))
+    for bits in itertools.islice(itertools.product([False, True], repeat=6), 30):
+        assert circuit.simulate(list(bits)) == again.simulate(list(bits))
+
+
+def test_roundtrip_with_mux_and_constants():
+    circuit = Circuit(name="lowering")
+    s, a, b = circuit.add_inputs(3)
+    circuit.mark_output(circuit.mux(s, a, b))
+    circuit.mark_output(circuit.const(True))
+    circuit.mark_output(circuit.const(False))
+    again = parse_bench(write_bench(circuit))
+    for bits in itertools.product([False, True], repeat=3):
+        assert circuit.simulate(list(bits)) == again.simulate(list(bits))
+
+
+def test_file_roundtrip(tmp_path):
+    circuit = random_circuit(5, 20, 2, seed=9)
+    path = tmp_path / "c.bench"
+    write_bench_file(circuit, path)
+    again = parse_bench_file(path)
+    for bits in itertools.product([False, True], repeat=5):
+        assert circuit.simulate(list(bits)) == again.simulate(list(bits))
+
+
+def test_constants_without_inputs_rejected():
+    circuit = Circuit()
+    circuit.mark_output(circuit.const(True))
+    with pytest.raises(ValueError):
+        write_bench(circuit)
+
+
+def test_bench_to_cec_pipeline():
+    """Parse a .bench circuit, rewrite it, and prove equivalence."""
+    from repro.apps import EquivalenceChecker
+    from repro.circuits import rewritten_copy
+
+    circuit = parse_bench(C17)
+    outcome = EquivalenceChecker(circuit, rewritten_copy(circuit, seed=3)).run()
+    assert outcome.equivalent is True

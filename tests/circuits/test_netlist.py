@@ -1,0 +1,81 @@
+"""Unit tests for the netlist substrate."""
+
+import pytest
+
+from repro.circuits import Circuit, GateType
+
+
+def test_nets_are_allocated_sequentially():
+    circuit = Circuit()
+    a = circuit.add_input()
+    b = circuit.add_input()
+    out = circuit.and_(a, b)
+    assert (a, b, out) == (1, 2, 3)
+
+
+def test_gate_arity_enforced():
+    circuit = Circuit()
+    a = circuit.add_input()
+    with pytest.raises(ValueError):
+        circuit.add_gate(GateType.NOT, a, a)
+    with pytest.raises(ValueError):
+        circuit.add_gate(GateType.AND, a)
+    with pytest.raises(ValueError):
+        circuit.add_gate(GateType.MUX, a, a)
+
+
+def test_undefined_net_rejected():
+    circuit = Circuit()
+    a = circuit.add_input()
+    with pytest.raises(ValueError):
+        circuit.and_(a, 99)
+
+
+def test_mark_output_requires_defined_net():
+    circuit = Circuit()
+    with pytest.raises(ValueError):
+        circuit.mark_output(5)
+
+
+@pytest.mark.parametrize(
+    "build,truth",
+    [
+        (lambda c, a, b: c.and_(a, b), [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)]),
+        (lambda c, a, b: c.or_(a, b), [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)]),
+        (lambda c, a, b: c.xor(a, b), [(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 0)]),
+        (lambda c, a, b: c.xnor(a, b), [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 1)]),
+        (lambda c, a, b: c.nand(a, b), [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]),
+        (lambda c, a, b: c.nor(a, b), [(0, 0, 1), (0, 1, 0), (1, 0, 0), (1, 1, 0)]),
+    ],
+)
+def test_binary_gate_truth_tables(build, truth):
+    circuit = Circuit()
+    a, b = circuit.add_inputs(2)
+    circuit.mark_output(build(circuit, a, b))
+    for va, vb, expected in truth:
+        assert circuit.simulate([bool(va), bool(vb)]) == [bool(expected)]
+
+
+def test_not_buf_const():
+    circuit = Circuit()
+    a = circuit.add_input()
+    circuit.mark_output(circuit.not_(a))
+    circuit.mark_output(circuit.buf(a))
+    circuit.mark_output(circuit.const(True))
+    circuit.mark_output(circuit.const(False))
+    assert circuit.simulate([True]) == [False, True, True, False]
+
+
+def test_mux():
+    circuit = Circuit()
+    s, a, b = circuit.add_inputs(3)
+    circuit.mark_output(circuit.mux(s, a, b))
+    assert circuit.simulate([False, True, False]) == [True]  # select=0 -> a
+    assert circuit.simulate([True, True, False]) == [False]  # select=1 -> b
+
+
+def test_simulate_checks_input_count():
+    circuit = Circuit()
+    circuit.add_input()
+    with pytest.raises(ValueError):
+        circuit.simulate([True, False])

@@ -1,0 +1,71 @@
+"""Unit tests for Clause."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cnf import Clause
+
+lit_strategy = st.integers(min_value=-50, max_value=50).filter(lambda x: x != 0)
+
+
+def test_clause_preserves_order_and_dedups():
+    clause = Clause(1, [3, -2, 3, 5, -2])
+    assert clause.literals == (3, -2, 5)
+
+
+def test_clause_rejects_zero_literal():
+    with pytest.raises(ValueError):
+        Clause(1, [1, 0, 2])
+
+
+def test_clause_rejects_non_int():
+    with pytest.raises(ValueError):
+        Clause(1, [1, "2"])  # type: ignore[list-item]
+
+
+def test_empty_clause():
+    clause = Clause(9, [])
+    assert clause.is_empty
+    assert len(clause) == 0
+    assert not clause.is_unit
+
+
+def test_unit_clause():
+    clause = Clause(2, [-4])
+    assert clause.is_unit
+    assert not clause.is_empty
+
+
+def test_tautology_detection():
+    assert Clause(1, [1, -1]).is_tautology
+    assert not Clause(2, [1, 2]).is_tautology
+
+
+def test_membership_and_iteration():
+    clause = Clause(1, [1, -2, 3])
+    assert -2 in clause
+    assert 2 not in clause
+    assert list(clause) == [1, -2, 3]
+
+
+def test_variables():
+    assert Clause(1, [1, -2, 3]).variables() == {1, 2, 3}
+
+
+def test_equality_ignores_literal_order():
+    assert Clause(1, [1, 2]) == Clause(1, [2, 1])
+    assert Clause(1, [1, 2]) != Clause(2, [1, 2])
+    assert hash(Clause(1, [1, 2])) == hash(Clause(1, [2, 1]))
+
+
+def test_repr_marks_learned():
+    assert repr(Clause(7, [1], learned=True)).startswith("Clause(L7")
+    assert repr(Clause(7, [1])).startswith("Clause(O7")
+
+
+@given(st.lists(lit_strategy, max_size=20))
+def test_clause_literals_unique(lits):
+    clause = Clause(1, lits)
+    assert len(set(clause.literals)) == len(clause.literals)
+    assert set(clause.literals) == set(lits)

@@ -1,0 +1,106 @@
+"""Unit tests for DIMACS parsing and writing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cnf import CnfFormula, DimacsError, parse_dimacs, write_dimacs
+from repro.cnf.dimacs import parse_dimacs_file, write_dimacs_file
+
+BASIC = """\
+c a comment
+p cnf 3 2
+1 -2 0
+2 3 -1 0
+"""
+
+
+def test_parse_basic():
+    formula = parse_dimacs(BASIC)
+    assert formula.num_vars == 3
+    assert formula.num_clauses == 2
+    assert formula[1].literals == (1, -2)
+    assert formula[2].literals == (2, 3, -1)
+
+
+def test_parse_multiline_clause():
+    text = "p cnf 3 1\n1 2\n3 0\n"
+    formula = parse_dimacs(text)
+    assert formula[1].literals == (1, 2, 3)
+
+
+def test_parse_multiple_clauses_one_line():
+    text = "p cnf 2 2\n1 0 -2 0\n"
+    formula = parse_dimacs(text)
+    assert formula.num_clauses == 2
+
+
+def test_parse_trailing_percent_section():
+    text = "p cnf 1 1\n1 0\n%\n0\n"
+    formula = parse_dimacs(text)
+    assert formula.num_clauses == 1
+
+
+def test_parse_final_clause_missing_zero():
+    text = "p cnf 2 1\n1 2\n"
+    formula = parse_dimacs(text)
+    assert formula[1].literals == (1, 2)
+
+
+def test_missing_header_rejected():
+    with pytest.raises(DimacsError):
+        parse_dimacs("1 2 0\n")
+
+
+def test_duplicate_header_rejected():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+
+def test_bad_header_rejected():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p dnf 1 1\n1 0\n")
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf one 1\n1 0\n")
+
+
+def test_clause_count_mismatch_rejected():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 1 2\n1 0\n")
+
+
+def test_bad_token_rejected():
+    with pytest.raises(DimacsError):
+        parse_dimacs("p cnf 1 1\n1 x 0\n")
+
+
+def test_roundtrip_with_comment():
+    formula = CnfFormula(3, [[1, -2], [3]])
+    text = write_dimacs(formula, comment="hello\nworld")
+    assert text.startswith("c hello\nc world\np cnf 3 2\n")
+    again = parse_dimacs(text)
+    assert [c.literals for c in again] == [c.literals for c in formula]
+
+
+def test_file_roundtrip(tmp_path):
+    formula = CnfFormula(2, [[1, 2], [-1], [-2, 1]])
+    path = tmp_path / "f.cnf"
+    write_dimacs_file(formula, path)
+    again = parse_dimacs_file(path)
+    assert again.num_vars == 2
+    assert [c.literals for c in again] == [c.literals for c in formula]
+
+
+clause_strategy = st.lists(
+    st.integers(min_value=-8, max_value=8).filter(lambda x: x != 0),
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(st.lists(clause_strategy, min_size=1, max_size=12))
+def test_roundtrip_property(clause_lists):
+    formula = CnfFormula(8, clause_lists)
+    again = parse_dimacs(write_dimacs(formula))
+    assert again.num_vars == formula.num_vars
+    assert [c.literals for c in again] == [c.literals for c in formula]

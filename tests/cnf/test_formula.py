@@ -1,0 +1,58 @@
+"""Unit tests for CnfFormula."""
+
+import pytest
+
+from repro.cnf import CnfFormula
+
+
+def test_clause_ids_follow_order_of_appearance():
+    formula = CnfFormula(3, [[1, 2], [-1, 3], [-2, -3]])
+    assert [c.cid for c in formula] == [1, 2, 3]
+    assert formula[2].literals == (-1, 3)
+
+
+def test_getitem_rejects_bad_ids():
+    formula = CnfFormula(2, [[1, 2]])
+    with pytest.raises(KeyError):
+        formula[0]
+    with pytest.raises(KeyError):
+        formula[2]
+
+
+def test_num_vars_grows_with_clauses():
+    formula = CnfFormula(2)
+    formula.add_clause([1, -5])
+    assert formula.num_vars == 5
+
+
+def test_negative_num_vars_rejected():
+    with pytest.raises(ValueError):
+        CnfFormula(-1)
+
+
+def test_used_variables_vs_declared():
+    formula = CnfFormula(10, [[1, -3]])
+    assert formula.used_variables() == {1, 3}
+    assert formula.num_vars == 10
+
+
+def test_restrict_to_renumbers_clauses():
+    formula = CnfFormula(3, [[1], [2], [3], [-1, -2]])
+    sub = formula.restrict_to([4, 1])
+    assert sub.num_clauses == 2
+    assert sub[1].literals == (1,)
+    assert sub[2].literals == (-1, -2)
+    assert sub.num_vars == 3
+
+
+def test_evaluate_satisfying_model():
+    formula = CnfFormula(2, [[1, 2], [-1, 2]])
+    assert formula.evaluate({1: True, 2: True})
+    assert formula.evaluate({2: True})  # partial model can still satisfy
+    assert not formula.evaluate({1: True, 2: False})
+
+
+def test_evaluate_empty_clause_is_unsat():
+    formula = CnfFormula(1)
+    formula.add_clause([])
+    assert not formula.evaluate({1: True})

@@ -1,0 +1,47 @@
+"""Unit tests for literal helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cnf import literals
+
+
+def test_negate_flips_sign():
+    assert literals.negate(3) == -3
+    assert literals.negate(-7) == 7
+
+
+def test_variable_of_strips_sign():
+    assert literals.variable_of(5) == 5
+    assert literals.variable_of(-5) == 5
+
+
+def test_is_positive():
+    assert literals.is_positive(1)
+    assert not literals.is_positive(-1)
+
+
+def test_literal_builds_both_phases():
+    assert literals.literal(4, True) == 4
+    assert literals.literal(4, False) == -4
+
+
+def test_literal_rejects_nonpositive_var():
+    with pytest.raises(ValueError):
+        literals.literal(0, True)
+    with pytest.raises(ValueError):
+        literals.literal(-2, False)
+
+
+def test_lit_to_str():
+    assert literals.lit_to_str(3) == "x3"
+    assert literals.lit_to_str(-3) == "~x3"
+
+
+@given(st.integers(min_value=1, max_value=10**6), st.booleans())
+def test_literal_roundtrip(var, positive):
+    lit = literals.literal(var, positive)
+    assert literals.variable_of(lit) == var
+    assert literals.is_positive(lit) == positive
+    assert literals.negate(literals.negate(lit)) == lit

@@ -1,0 +1,85 @@
+"""Satisfiability-preserving transformations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CnfFormula
+from repro.cnf.transforms import (
+    flip_polarities,
+    permute_clauses,
+    permute_variables,
+    remove_tautologies,
+    scramble,
+)
+from repro.solver import SolverConfig, solve_formula
+from repro.solver.reference import reference_is_satisfiable
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def test_permute_variables_roundtrip_model():
+    formula = random_3sat(10, 30, seed=1)
+    permuted, renaming = permute_variables(formula, seed=7)
+    result = solve_formula(permuted)
+    if result.is_sat:
+        original_model = renaming.translate_model(result.model)
+        assert formula.evaluate(original_model)
+
+
+def test_permute_variables_is_bijective():
+    formula = random_3sat(12, 30, seed=2)
+    _, renaming = permute_variables(formula, seed=3)
+    image = renaming.new_of[1:]
+    assert sorted(image) == list(range(1, formula.num_vars + 1))
+
+
+def test_permute_clauses_keeps_multiset():
+    formula = random_3sat(8, 25, seed=4)
+    permuted, order = permute_clauses(formula, seed=5)
+    assert sorted(order) == list(range(1, formula.num_clauses + 1))
+    original = sorted(tuple(sorted(c.literals)) for c in formula)
+    shuffled = sorted(tuple(sorted(c.literals)) for c in permuted)
+    assert original == shuffled
+
+
+def test_flip_polarities_preserves_counts():
+    formula = random_3sat(8, 25, seed=6)
+    flipped, variables = flip_polarities(formula, seed=7)
+    assert flipped.num_clauses == formula.num_clauses
+    for old, new in zip(formula, flipped):
+        assert {abs(l) for l in old.literals} == {abs(l) for l in new.literals}
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_scramble_preserves_satisfiability(seed):
+    formula = random_3sat(12, 46, seed=seed)
+    scrambled = scramble(formula, seed=seed + 100)
+    assert reference_is_satisfiable(formula) == reference_is_satisfiable(scrambled)
+
+
+def test_scramble_preserves_unsat_and_proof_checks():
+    from repro.checker import DepthFirstChecker
+    from repro.trace import InMemoryTraceWriter
+
+    formula = scramble(pigeonhole(5, 4), seed=11)
+    writer = InMemoryTraceWriter()
+    result = solve_formula(formula, trace_writer=writer)
+    assert result.is_unsat
+    assert DepthFirstChecker(formula, writer.to_trace()).check().verified
+
+
+def test_remove_tautologies():
+    formula = CnfFormula(3, [[1, -1], [1, 2], [2, 1], [1, 2], [3]])
+    cleaned = remove_tautologies(formula)
+    assert cleaned.num_clauses == 2
+    assert cleaned[1].literals == (1, 2)
+    assert cleaned[2].literals == (3,)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_scramble_property(seed):
+    formula = random_3sat(9, 32, seed=seed % 50)
+    scrambled = scramble(formula, seed=seed)
+    assert reference_is_satisfiable(formula) == reference_is_satisfiable(scrambled)

@@ -1,0 +1,73 @@
+"""Shared fixtures and formula factories for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cnf import CnfFormula
+
+
+def pigeonhole(pigeons: int, holes: int) -> CnfFormula:
+    """PHP(pigeons, holes): unsatisfiable iff pigeons > holes."""
+    clauses: list[list[int]] = []
+
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    for i in range(pigeons):
+        clauses.append([var(i, j) for j in range(holes)])
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append([-var(i1, j), -var(i2, j)])
+    return CnfFormula(pigeons * holes, clauses)
+
+
+def random_3sat(num_vars: int, num_clauses: int, seed: int) -> CnfFormula:
+    """Uniform random 3-SAT."""
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return CnfFormula(num_vars, clauses)
+
+
+def xor_chain(length: int, parity: bool = True) -> CnfFormula:
+    """CNF encoding of x1 ^ x2, x2 ^ x3, ... with contradictory end units.
+
+    Encodes xi != xi+1 along a chain and pins both ends so the instance is
+    unsatisfiable for odd/even mismatches. Resolution proofs of XOR
+    structures are long (the paper's longmult remark).
+    """
+    clauses: list[list[int]] = [[1]]
+    for i in range(1, length):
+        # xi != xi+1  <=>  (xi | xi+1) & (-xi | -xi+1)
+        clauses.append([i, i + 1])
+        clauses.append([-i, -(i + 1)])
+    # Pin the far end to make parity (in)consistent.
+    end = length if (length % 2 == 0) == parity else -length
+    clauses.append([end])
+    return CnfFormula(length, clauses)
+
+
+@pytest.fixture
+def php32() -> CnfFormula:
+    return pigeonhole(3, 2)
+
+
+@pytest.fixture
+def php54() -> CnfFormula:
+    return pigeonhole(5, 4)
+
+
+@pytest.fixture
+def trivially_unsat() -> CnfFormula:
+    return CnfFormula(1, [[1], [-1]])
+
+
+@pytest.fixture
+def small_sat() -> CnfFormula:
+    return CnfFormula(3, [[1, 2], [-1, 3], [-3, -2], [2, 3]])

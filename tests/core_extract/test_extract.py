@@ -1,0 +1,88 @@
+"""Unsat-core extraction tests (the Table 3 machinery)."""
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.core_extract import extract_core, iterate_core
+from repro.solver.reference import reference_is_satisfiable
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def _padded_php(pigeons, holes, padding=10):
+    """PHP plus `padding` satisfiable two-literal clauses on fresh variables."""
+    base = pigeonhole(pigeons, holes)
+    clauses = [list(c.literals) for c in base]
+    next_var = base.num_vars + 1
+    for _ in range(padding):
+        clauses.append([next_var, next_var + 1])
+        next_var += 2
+    return CnfFormula(next_var - 1, clauses), base.num_clauses
+
+
+def test_extract_core_is_unsat():
+    formula = pigeonhole(5, 4)
+    core = extract_core(formula)
+    assert core.num_clauses > 0
+    sub = formula.restrict_to(core.core_clause_ids)
+    assert not reference_is_satisfiable(sub)
+
+
+def test_extract_core_rejects_sat_formula():
+    with pytest.raises(ValueError):
+        extract_core(CnfFormula(2, [[1, 2]]))
+
+
+def test_core_drops_padding():
+    formula, base_clauses = _padded_php(4, 3, padding=12)
+    core = extract_core(formula)
+    assert all(cid <= base_clauses for cid in core.core_clause_ids)
+    assert core.num_clauses <= base_clauses
+
+
+def test_core_variable_count():
+    formula = pigeonhole(3, 2)
+    core = extract_core(formula)
+    assert 0 < core.num_variables <= formula.num_vars
+
+
+def test_iterate_reaches_fixed_point_quickly_on_php():
+    # Pigeonhole proofs need every clause: fixed point at iteration 1 or 2.
+    outcome = iterate_core(pigeonhole(4, 3), max_iterations=30)
+    assert outcome.reached_fixed_point
+    assert outcome.num_iterations <= 5
+    sizes = [clauses for clauses, _ in outcome.iterations]
+    assert sizes == sorted(sizes, reverse=True)  # monotonically non-increasing
+
+
+def test_iterate_shrinks_padded_instance():
+    formula, base_clauses = _padded_php(4, 3, padding=15)
+    outcome = iterate_core(formula, max_iterations=30)
+    first_clauses, _ = outcome.first_iteration
+    assert first_clauses <= base_clauses  # padding gone immediately
+    final_clauses, _ = outcome.final
+    assert final_clauses <= first_clauses
+    # The final core, as input-formula clause IDs, is genuinely UNSAT.
+    sub = formula.restrict_to(outcome.final_core_ids)
+    assert not reference_is_satisfiable(sub)
+
+
+def test_iterate_core_respects_max_iterations():
+    outcome = iterate_core(pigeonhole(4, 3), max_iterations=1)
+    assert outcome.num_iterations == 1
+
+
+def test_iteration_zero_reports_used_variables():
+    # Declared header vars may exceed used vars (the paper's Table 3 note).
+    formula = CnfFormula(10, [[1], [-1]])
+    outcome = iterate_core(formula)
+    assert outcome.iterations[0] == (2, 1)
+
+
+def test_random_unsat_core_iteration():
+    formula = random_3sat(20, 150, seed=4)
+    outcome = iterate_core(formula, max_iterations=10)
+    final_clauses, final_vars = outcome.final
+    assert 0 < final_clauses <= formula.num_clauses
+    sub = formula.restrict_to(outcome.final_core_ids)
+    assert not reference_is_satisfiable(sub)

@@ -1,0 +1,66 @@
+"""Minimal unsatisfiable subformula extraction."""
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.core_extract import minimal_core
+from repro.solver.reference import reference_is_satisfiable
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def _assert_is_mus(formula, core_ids):
+    """The defining property: UNSAT as-is, SAT after removing any clause."""
+    core = formula.restrict_to(core_ids)
+    assert not reference_is_satisfiable(core)
+    ordered = sorted(core_ids)
+    for drop in ordered:
+        weakened = formula.restrict_to([cid for cid in ordered if cid != drop])
+        assert reference_is_satisfiable(weakened), f"clause {drop} is redundant"
+
+
+def test_contradictory_units():
+    formula = CnfFormula(2, [[1], [2], [-1]])
+    core = minimal_core(formula)
+    assert core == {1, 3}
+    _assert_is_mus(formula, core)
+
+
+def test_php_core_is_already_minimal():
+    formula = pigeonhole(3, 2)
+    core = minimal_core(formula)
+    assert core == set(range(1, formula.num_clauses + 1))
+    _assert_is_mus(formula, core)
+
+
+def test_padded_instance_minimizes_to_base():
+    base = pigeonhole(3, 2)
+    clauses = [list(c.literals) for c in base]
+    clauses.append([7, 8])  # satisfiable padding on fresh variables
+    clauses.append([-7, 8])
+    formula = CnfFormula(8, clauses)
+    core = minimal_core(formula)
+    assert core <= set(range(1, base.num_clauses + 1))
+    _assert_is_mus(formula, core)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 4])
+def test_random_unsat_mus(seed):
+    formula = random_3sat(12, 70, seed=seed)
+    if reference_is_satisfiable(formula):
+        pytest.skip("instance happened to be SAT")
+    core = minimal_core(formula)
+    assert core
+    _assert_is_mus(formula, core)
+
+
+def test_start_from_restricts_search():
+    formula = CnfFormula(2, [[1], [2], [-1], [-2]])
+    # Two disjoint MUSes: {1,3} and {2,4}; seeding picks which one.
+    core = minimal_core(formula, start_from={2, 4})
+    assert core == {2, 4}
+
+
+def test_rejects_sat_formula():
+    with pytest.raises(ValueError):
+        minimal_core(CnfFormula(2, [[1, 2]]))

@@ -1,0 +1,19 @@
+"""The ablation table renderer."""
+
+from repro.experiments.ablations import render_ablation_tables
+from repro.experiments.__main__ import main as experiments_main
+
+
+def test_renders_all_four_sections():
+    text = render_ablation_tables(scale="small")
+    assert "decision heuristic" in text
+    assert "minimization" in text
+    assert "restart policy" in text
+    assert "deletion" in text
+    assert "vsids" in text
+    assert "jeroslow-wang" in text
+
+
+def test_cli_subcommand(capsys):
+    assert experiments_main(["ablations", "--scale", "small"]) == 0
+    assert "Ablation" in capsys.readouterr().out

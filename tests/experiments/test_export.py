@@ -1,0 +1,40 @@
+"""Suite export."""
+
+import json
+
+from repro.cnf import parse_dimacs_file
+from repro.experiments.export import export_suite
+from repro.experiments.__main__ import main as experiments_main
+from repro.solver import solve_formula
+
+
+def test_export_writes_files_and_manifest(tmp_path):
+    manifest = export_suite(tmp_path, scale="small")
+    assert (tmp_path / "manifest.json").exists()
+    on_disk = json.loads((tmp_path / "manifest.json").read_text())
+    assert on_disk["scale"] == "small"
+    assert len(on_disk["instances"]) == len(manifest["instances"]) >= 10
+    names = {entry["name"] for entry in on_disk["instances"]}
+    assert len(names) == len(on_disk["instances"])  # unique names
+
+
+def test_exported_files_parse_and_match_manifest(tmp_path):
+    manifest = export_suite(tmp_path, scale="small", include_core_suite=False)
+    for entry in manifest["instances"][:3]:
+        formula = parse_dimacs_file(tmp_path / entry["file"])
+        assert formula.num_clauses == entry["num_clauses"]
+        assert formula.num_vars == entry["num_vars"]
+
+
+def test_exported_instance_still_unsat(tmp_path):
+    manifest = export_suite(tmp_path, scale="small", include_core_suite=False)
+    smallest = min(manifest["instances"], key=lambda e: e["num_clauses"])
+    formula = parse_dimacs_file(tmp_path / smallest["file"])
+    assert solve_formula(formula).is_unsat
+
+
+def test_cli_export_subcommand(tmp_path, capsys):
+    code = experiments_main(["export", "--scale", "small", "--out-dir", str(tmp_path / "x")])
+    assert code == 0
+    assert "exported" in capsys.readouterr().out
+    assert (tmp_path / "x" / "manifest.json").exists()

@@ -1,0 +1,85 @@
+"""Experiment harness: suite integrity, the runner, and table rendering."""
+
+import pytest
+
+from repro.experiments import (
+    core_suite,
+    default_suite,
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_instance,
+)
+from repro.experiments.tables import render_check_vs_solve, render_formats_table, render_hybrid_table
+from repro.solver import solve_formula
+
+
+def test_suites_are_nonempty_and_named_uniquely():
+    for scale in ("small", "medium", "large"):
+        suite = default_suite(scale)
+        assert len(suite) >= 8
+        names = [i.name for i in suite]
+        assert len(set(names)) == len(names)
+    assert len(core_suite("small")) >= 4
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError):
+        default_suite("huge")
+
+
+@pytest.mark.parametrize("instance", default_suite("small"), ids=lambda i: i.name)
+def test_every_small_suite_instance_is_unsat(instance):
+    assert solve_formula(instance.build()).is_unsat
+
+
+@pytest.mark.parametrize("instance", core_suite("small"), ids=lambda i: i.name)
+def test_every_small_core_instance_is_unsat(instance):
+    assert solve_formula(instance.build()).is_unsat
+
+
+def test_run_instance_pipeline(tmp_path):
+    instance = default_suite("small")[1]  # bw_swap: quick, has learned clauses
+    result = run_instance(instance, work_dir=tmp_path)
+    assert result.learned_clauses > 0
+    assert result.ascii_trace_bytes > result.binary_trace_bytes > 0
+    assert result.df is not None and result.df.verified
+    assert result.bf is not None and result.bf.verified
+    assert result.hybrid is not None and result.hybrid.verified
+    assert result.bf.peak_memory_units <= result.df.peak_memory_units
+    assert 1.0 < result.compaction_ratio < 5.0
+    # Trace files were written into the provided directory.
+    assert (tmp_path / f"{instance.name}.trace").exists()
+
+
+def test_run_instance_with_memory_limit(tmp_path):
+    instance = default_suite("small")[-1]  # the hardest small instance
+    unlimited = run_instance(instance, work_dir=tmp_path)
+    cap = max(unlimited.bf.peak_memory_units + 1, unlimited.df.peak_memory_units // 3)
+    limited = run_instance(instance, work_dir=tmp_path, memory_limit=cap)
+    assert not limited.df.verified  # DF memory-outs (Table 2's '*')
+    assert limited.df.failure.kind.value == "memory-out"
+    assert limited.bf.verified  # BF fits
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_renderers_produce_tables(tmp_path):
+    results = [run_instance(i, work_dir=tmp_path) for i in default_suite("small")[:3]]
+    assert "Table 1" in render_table1(results)
+    assert "Table 2" in render_table2(results)
+    assert "Compaction" in render_formats_table(results)
+    assert "Check time" in render_check_vs_solve(results)
+    assert "Hybrid" in render_hybrid_table(results)
+
+
+def test_render_table3_small():
+    text = render_table3(core_suite("small")[:2], max_iterations=3)
+    assert "Table 3" in text
+    assert "Iterations" in text

@@ -1,0 +1,37 @@
+"""Unit tests for InstanceResult arithmetic."""
+
+from repro.experiments.runner import InstanceResult
+
+
+def _result(**overrides):
+    base = dict(
+        name="x",
+        family="f",
+        paper_analog="p",
+        num_vars=10,
+        num_clauses=20,
+        learned_clauses=5,
+        conflicts=5,
+        time_trace_off=2.0,
+        time_trace_on=2.2,
+        ascii_trace_bytes=3000,
+        binary_trace_bytes=1200,
+    )
+    base.update(overrides)
+    return InstanceResult(**base)
+
+
+def test_overhead_pct():
+    assert abs(_result().trace_overhead_pct - 10.0) < 1e-9
+
+
+def test_overhead_pct_zero_division_guard():
+    assert _result(time_trace_off=0.0).trace_overhead_pct == 0.0
+
+
+def test_compaction_ratio():
+    assert abs(_result().compaction_ratio - 2.5) < 1e-9
+
+
+def test_compaction_ratio_zero_division_guard():
+    assert _result(binary_trace_bytes=0).compaction_ratio == 0.0

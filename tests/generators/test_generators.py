@@ -1,0 +1,153 @@
+"""Benchmark generators: known SAT/UNSAT facts and structural properties."""
+
+import pytest
+
+from repro.generators import (
+    RoutingNet,
+    channel_routing,
+    clique_coloring,
+    dense_channel_instance,
+    graph_coloring,
+    grid_planning,
+    parity_chain,
+    path_planning,
+    pigeonhole,
+    random_ksat,
+    random_parity,
+    swap_planning,
+)
+from repro.solver import solve_formula
+from repro.solver.reference import reference_is_satisfiable
+
+
+class TestPigeonhole:
+    def test_unsat_when_too_few_holes(self):
+        assert solve_formula(pigeonhole(4, 3)).is_unsat
+
+    def test_sat_when_holes_suffice(self):
+        assert solve_formula(pigeonhole(3, 3)).is_sat
+        assert solve_formula(pigeonhole(3, 5)).is_sat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pigeonhole(0, 1)
+
+    def test_clause_count(self):
+        formula = pigeonhole(4, 3)
+        assert formula.num_clauses == 4 + 3 * (4 * 3 // 2)
+
+
+class TestRandomKsat:
+    def test_deterministic_by_seed(self):
+        a = random_ksat(20, 80, seed=5)
+        b = random_ksat(20, 80, seed=5)
+        assert [c.literals for c in a] == [c.literals for c in b]
+
+    def test_distinct_variables_per_clause(self):
+        formula = random_ksat(10, 50, k=3, seed=1)
+        for clause in formula:
+            assert len(clause.variables()) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_ksat(2, 5, k=3)
+        with pytest.raises(ValueError):
+            random_ksat(5, 5, k=0)
+
+
+class TestParity:
+    def test_chain_unsat(self):
+        formula = parity_chain(8)
+        assert not reference_is_satisfiable(formula)
+
+    def test_chain_sat_variant(self):
+        assert reference_is_satisfiable(parity_chain(8, satisfiable=True))
+
+    def test_random_parity_overconstrained_unsat(self):
+        formula = random_parity(10, 14, seed=0)
+        assert solve_formula(formula).is_unsat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parity_chain(1)
+        with pytest.raises(ValueError):
+            random_parity(2, 3, arity=1)
+
+
+class TestColoring:
+    def test_triangle_needs_three_colors(self):
+        triangle = [(0, 1), (1, 2), (0, 2)]
+        assert solve_formula(graph_coloring(3, triangle, 2)).is_unsat
+        assert solve_formula(graph_coloring(3, triangle, 3)).is_sat
+
+    def test_clique_coloring_threshold(self):
+        assert solve_formula(clique_coloring(4, 3)).is_unsat
+        assert solve_formula(clique_coloring(4, 4)).is_sat
+
+    def test_pendants_do_not_change_satisfiability(self):
+        assert solve_formula(clique_coloring(4, 3, pendant_vertices=8)).is_unsat
+        assert solve_formula(clique_coloring(4, 4, pendant_vertices=8)).is_sat
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            graph_coloring(0, [], 2)
+        with pytest.raises(ValueError):
+            graph_coloring(2, [(0, 0)], 2)
+        with pytest.raises(ValueError):
+            graph_coloring(2, [(0, 5)], 2)
+
+
+class TestRouting:
+    def test_overlap_semantics(self):
+        assert RoutingNet(0, 5).overlaps(RoutingNet(5, 8))
+        assert not RoutingNet(0, 4).overlaps(RoutingNet(5, 8))
+
+    def test_inverted_span_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingNet(3, 1)
+
+    def test_routable_channel(self):
+        nets = [RoutingNet(0, 2), RoutingNet(1, 3), RoutingNet(4, 6)]
+        assert solve_formula(channel_routing(nets, 2)).is_sat
+
+    def test_congested_channel_unsat(self):
+        nets = [RoutingNet(0, 3)] * 3
+        assert solve_formula(channel_routing(nets, 2)).is_unsat
+
+    def test_dense_instance_unsat_with_filler(self):
+        formula, congested = dense_channel_instance(3, easy_nets=8, seed=1)
+        assert congested == 4
+        assert solve_formula(formula).is_unsat
+
+    def test_dense_instance_validation(self):
+        with pytest.raises(ValueError):
+            dense_channel_instance(4, congested_nets=4)
+
+
+class TestPlanning:
+    def test_path_too_short_horizon(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        assert solve_formula(path_planning(4, edges, 0, 3, horizon=2)).is_unsat
+        assert solve_formula(path_planning(4, edges, 0, 3, horizon=3)).is_sat
+
+    def test_grid_default_horizon_is_unsat(self):
+        assert solve_formula(grid_planning(3, 3)).is_unsat
+
+    def test_grid_with_slack_is_sat(self):
+        assert solve_formula(grid_planning(3, 3, horizon=4)).is_sat
+
+    def test_swap_is_impossible_on_a_path(self):
+        for horizon in (4, 9):
+            assert solve_formula(swap_planning(4, horizon)).is_unsat
+
+    def test_swap_requires_search(self):
+        result = solve_formula(swap_planning(4, 8))
+        assert result.stats.conflicts > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            path_planning(3, [(0, 1)], 0, 5, horizon=2)
+        with pytest.raises(ValueError):
+            path_planning(3, [(0, 3)], 0, 2, horizon=2)
+        with pytest.raises(ValueError):
+            swap_planning(1, 5)

@@ -1,0 +1,142 @@
+"""Craig interpolation: the three interpolant obligations, on many splits."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CnfFormula
+from repro.interp import compute_interpolant, verify_interpolant
+from repro.solver import SolverConfig, solve_formula
+from repro.solver.reference import reference_is_satisfiable
+from repro.trace import InMemoryTraceWriter
+
+from tests.conftest import pigeonhole, random_3sat, xor_chain
+
+
+def _trace_of(formula, **kwargs):
+    writer = InMemoryTraceWriter()
+    result = solve_formula(formula, SolverConfig(**kwargs), trace_writer=writer)
+    assert result.is_unsat
+    return writer.to_trace()
+
+
+def test_textbook_example():
+    # A = (x)(x -> y) [as (¬x ∨ y)], B = (¬y). Interpolant over {y}: y.
+    formula = CnfFormula(2, [[1], [-1, 2], [-2]])
+    interpolant = compute_interpolant(formula, _trace_of(formula), a_clause_ids={1, 2})
+    assert interpolant.shared_vars == {2}
+    assert interpolant.evaluate({2: True}) is True
+    assert interpolant.evaluate({2: False}) is False
+    assert verify_interpolant(formula, {1, 2}, interpolant)
+
+
+def test_vars_condition_by_construction():
+    formula = pigeonhole(4, 3)
+    a_ids = set(range(1, 5))
+    interpolant = compute_interpolant(formula, _trace_of(formula), a_ids)
+    a_vars = {abs(l) for cid in a_ids for l in formula[cid].literals}
+    b_vars = {
+        abs(l)
+        for cid in range(1, formula.num_clauses + 1)
+        if cid not in a_ids
+        for l in formula[cid].literals
+    }
+    assert interpolant.shared_vars == a_vars & b_vars
+    assert set(interpolant.input_vars) <= interpolant.shared_vars
+
+
+def test_all_clauses_in_a_gives_false():
+    formula = CnfFormula(1, [[1], [-1]])
+    interpolant = compute_interpolant(formula, _trace_of(formula), a_clause_ids={1, 2})
+    assert interpolant.evaluate({}) is False
+    assert verify_interpolant(formula, {1, 2}, interpolant)
+
+
+def test_all_clauses_in_b_gives_true():
+    formula = CnfFormula(1, [[1], [-1]])
+    interpolant = compute_interpolant(formula, _trace_of(formula), a_clause_ids=set())
+    assert interpolant.evaluate({}) is True
+    assert verify_interpolant(formula, set(), interpolant)
+
+
+def test_bad_a_partition_rejected():
+    formula = CnfFormula(1, [[1], [-1]])
+    with pytest.raises(ValueError):
+        compute_interpolant(formula, _trace_of(formula), a_clause_ids={99})
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_splits_verify(seed):
+    formula = random_3sat(18, 115, seed=3)
+    trace = _trace_of(formula)
+    rng = random.Random(seed)
+    a_ids = {cid for cid in range(1, formula.num_clauses + 1) if rng.random() < 0.5}
+    interpolant = compute_interpolant(formula, trace, a_ids)
+    assert verify_interpolant(formula, a_ids, interpolant)
+
+
+def test_pigeonhole_split_verifies():
+    formula = pigeonhole(5, 4)
+    a_ids = set(range(1, 6))  # the at-least-one-hole clauses
+    interpolant = compute_interpolant(formula, _trace_of(formula), a_ids)
+    assert verify_interpolant(formula, a_ids, interpolant)
+
+
+def test_xor_chain_split_verifies():
+    formula = xor_chain(9, parity=True)
+    half = formula.num_clauses // 2
+    a_ids = set(range(1, half + 1))
+    interpolant = compute_interpolant(formula, _trace_of(formula), a_ids)
+    assert verify_interpolant(formula, a_ids, interpolant)
+
+
+def test_interpolant_semantic_obligations_by_simulation():
+    """Brute-force semantic check on a small instance: every model of A
+    satisfies I; no model of B satisfies I."""
+    formula = CnfFormula(4, [[1, 2], [-2, 3], [-1, 3], [-3, 4], [-3, -4]])
+    assert not reference_is_satisfiable(formula)
+    a_ids = {1, 2, 3}
+    interpolant = compute_interpolant(formula, _trace_of(formula), a_ids)
+
+    import itertools
+
+    for bits in itertools.product([False, True], repeat=4):
+        model = {var: bits[var - 1] for var in range(1, 5)}
+        value = interpolant.evaluate(
+            {var: model[var] for var in interpolant.input_vars}
+        )
+        a_formula = formula.restrict_to(a_ids)
+        b_formula = formula.restrict_to(
+            set(range(1, formula.num_clauses + 1)) - a_ids
+        )
+        if a_formula.evaluate(model):
+            assert value, f"A-model {model} falsifies the interpolant"
+        if b_formula.evaluate(model):
+            assert not value, f"B-model {model} satisfies the interpolant"
+
+
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_interpolation_property_random(data):
+    num_vars = data.draw(st.integers(min_value=3, max_value=8))
+    lit = st.integers(min_value=-num_vars, max_value=num_vars).filter(lambda x: x != 0)
+    clause_lists = data.draw(
+        st.lists(st.lists(lit, min_size=1, max_size=3), min_size=4, max_size=30)
+    )
+    formula = CnfFormula(num_vars, clause_lists)
+    if reference_is_satisfiable(formula):
+        return  # interpolation needs an UNSAT instance
+    trace = _trace_of(formula)
+    a_ids = set(
+        data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=formula.num_clauses),
+                unique=True,
+                max_size=formula.num_clauses,
+            )
+        )
+    )
+    interpolant = compute_interpolant(formula, trace, a_ids)
+    assert verify_interpolant(formula, a_ids, interpolant)

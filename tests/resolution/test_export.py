@@ -1,0 +1,72 @@
+"""Proof-graph exports: networkx and DOT."""
+
+import networkx as nx
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.resolution import ResolutionGraph, to_dot, to_networkx
+from repro.resolution.graph import EMPTY_CLAUSE_ID
+from repro.solver import solve_formula
+from repro.trace import InMemoryTraceWriter
+
+from tests.conftest import pigeonhole
+
+
+def _graph(formula):
+    writer = InMemoryTraceWriter()
+    result = solve_formula(formula, trace_writer=writer)
+    assert result.is_unsat
+    return ResolutionGraph.from_trace(formula, writer.to_trace())
+
+
+@pytest.fixture(scope="module")
+def php_graph():
+    return _graph(pigeonhole(4, 3))
+
+
+def test_networkx_is_a_dag(php_graph):
+    digraph = to_networkx(php_graph)
+    assert nx.is_directed_acyclic_graph(digraph)
+
+
+def test_networkx_node_attributes(php_graph):
+    digraph = to_networkx(php_graph)
+    assert digraph.nodes[EMPTY_CLAUSE_ID]["kind"] == "empty"
+    assert digraph.nodes[EMPTY_CLAUSE_ID]["num_literals"] == 0
+    kinds = {data["kind"] for _, data in digraph.nodes(data=True)}
+    assert kinds == {"empty", "original", "learned"}
+
+
+def test_networkx_leaves_have_no_in_edges(php_graph):
+    digraph = to_networkx(php_graph)
+    for cid in php_graph.leaves():
+        assert digraph.in_degree(cid) == 0
+
+
+def test_networkx_everything_reaches_the_empty_clause(php_graph):
+    digraph = to_networkx(php_graph)
+    for node in digraph.nodes:
+        if node != EMPTY_CLAUSE_ID:
+            assert nx.has_path(digraph, node, EMPTY_CLAUSE_ID)
+
+
+def test_edge_order_attribute(php_graph):
+    digraph = to_networkx(php_graph)
+    root_orders = sorted(
+        data["order"] for _, _, data in digraph.in_edges(EMPTY_CLAUSE_ID, data=True)
+    )
+    assert root_orders == list(range(len(root_orders)))
+
+
+def test_dot_output_well_formed():
+    graph = _graph(CnfFormula(1, [[1], [-1]]))
+    dot = to_dot(graph)
+    assert dot.startswith("digraph proof {")
+    assert dot.rstrip().endswith("}")
+    assert "doublecircle" in dot  # the empty clause
+    assert "->" in dot
+
+
+def test_dot_size_guard(php_graph):
+    with pytest.raises(ValueError):
+        to_dot(php_graph, max_nodes=2)

@@ -1,0 +1,122 @@
+"""Resolution graphs and the Davis-Putnam baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CnfFormula
+from repro.resolution import ResolutionGraph, davis_putnam
+from repro.resolution.graph import EMPTY_CLAUSE_ID
+from repro.solver import SolverConfig, solve_formula
+from repro.solver.reference import reference_is_satisfiable
+from repro.trace import InMemoryTraceWriter
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def _proof_graph(formula):
+    writer = InMemoryTraceWriter()
+    result = solve_formula(formula, SolverConfig(), trace_writer=writer)
+    assert result.is_unsat
+    return ResolutionGraph.from_trace(formula, writer.to_trace())
+
+
+class TestResolutionGraph:
+    def test_root_is_empty_clause(self):
+        graph = _proof_graph(pigeonhole(4, 3))
+        assert graph.literals[EMPTY_CLAUSE_ID] == frozenset()
+        assert graph.parents[EMPTY_CLAUSE_ID]
+
+    def test_leaves_are_original_clauses(self):
+        formula = pigeonhole(4, 3)
+        graph = _proof_graph(formula)
+        leaves = graph.leaves()
+        assert leaves
+        assert all(1 <= cid <= formula.num_clauses for cid in leaves)
+
+    def test_acyclic(self):
+        graph = _proof_graph(pigeonhole(5, 4))
+        assert graph.check_acyclic()
+
+    def test_stats_consistency(self):
+        graph = _proof_graph(pigeonhole(5, 4))
+        stats = graph.stats()
+        assert stats.num_leaves == stats.core_clauses == len(graph.leaves())
+        assert stats.num_nodes == stats.num_leaves + stats.num_internal + 1
+        assert stats.depth >= 1
+        assert stats.total_resolutions >= stats.num_internal
+        assert 0 < stats.core_variables <= formula_vars(graph)
+
+    def test_every_internal_node_resolves_from_parents(self):
+        from repro.checker.resolution import resolve_chain
+
+        graph = _proof_graph(pigeonhole(4, 3))
+        for cid, sources in graph.parents.items():
+            if cid == EMPTY_CLAUSE_ID:
+                continue
+            chain = [(s, graph.literals[s]) for s in sources]
+            assert resolve_chain(chain) == graph.literals[cid]
+
+    def test_from_trace_rejects_sat_trace(self):
+        formula = CnfFormula(2, [[1, 2]])
+        writer = InMemoryTraceWriter()
+        solve_formula(formula, trace_writer=writer)
+        with pytest.raises(Exception):
+            ResolutionGraph.from_trace(formula, writer.to_trace())
+
+
+def formula_vars(graph):
+    return len({abs(lit) for lits in graph.literals.values() for lit in lits})
+
+
+class TestDavisPutnam:
+    def test_unsat_units(self):
+        result = davis_putnam(CnfFormula(1, [[1], [-1]]))
+        assert result.status == "UNSAT"
+
+    def test_sat_simple(self):
+        result = davis_putnam(CnfFormula(2, [[1, 2], [-1, 2]]))
+        assert result.status == "SAT"
+
+    def test_empty_formula_sat(self):
+        assert davis_putnam(CnfFormula(0)).status == "SAT"
+
+    def test_input_empty_clause_unsat(self):
+        formula = CnfFormula(1, [[1]])
+        formula.add_clause([])
+        assert davis_putnam(formula).status == "UNSAT"
+
+    def test_tautologies_ignored(self):
+        result = davis_putnam(CnfFormula(2, [[1, -1], [2, -2]]))
+        assert result.status == "SAT"
+
+    def test_pigeonhole_unsat(self):
+        assert davis_putnam(pigeonhole(4, 3)).status == "UNSAT"
+
+    def test_clause_limit_gives_unknown(self):
+        result = davis_putnam(pigeonhole(7, 6), clause_limit=30)
+        assert result.status == "UNKNOWN"
+        assert result.peak_clauses > 30
+
+    def test_space_statistics_populated(self):
+        result = davis_putnam(pigeonhole(5, 4))
+        assert result.status == "UNSAT"
+        assert result.peak_clauses >= pigeonhole(5, 4).num_clauses
+        assert result.total_resolvents > 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_reference_on_random(self, seed):
+        formula = random_3sat(10, 42, seed=seed)
+        expected = "SAT" if reference_is_satisfiable(formula) else "UNSAT"
+        assert davis_putnam(formula).status == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data(), num_vars=st.integers(min_value=1, max_value=8))
+    def test_agrees_with_reference_property(self, data, num_vars):
+        lit = st.integers(min_value=-num_vars, max_value=num_vars).filter(lambda x: x != 0)
+        clause_lists = data.draw(
+            st.lists(st.lists(lit, min_size=1, max_size=3), min_size=1, max_size=20)
+        )
+        formula = CnfFormula(num_vars, clause_lists)
+        expected = "SAT" if reference_is_satisfiable(formula) else "UNSAT"
+        assert davis_putnam(formula).status == expected

@@ -1,0 +1,115 @@
+"""Assumption queries and verified failed-assumption cores."""
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.solver import SolverConfig
+from repro.solver.assumptions import solve_with_assumptions
+from repro.solver.reference import reference_is_satisfiable
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def test_sat_under_assumptions():
+    formula = CnfFormula(3, [[1, 2], [-1, 3]])
+    result = solve_with_assumptions(formula, [1])
+    assert result.is_sat
+    assert result.model[1] is True
+    assert result.model[3] is True
+
+
+def test_unsat_under_assumptions_blames_them():
+    formula = CnfFormula(2, [[1, 2]])
+    result = solve_with_assumptions(formula, [-1, -2])
+    assert result.is_unsat
+    assert result.proof_verified
+    assert set(result.failed_assumptions) == {-1, -2}
+    assert result.core_clause_ids == {1}
+
+
+def test_unsat_without_assumptions_blames_none():
+    formula = pigeonhole(4, 3)
+    result = solve_with_assumptions(formula, [])
+    assert result.is_unsat
+    assert result.failed_assumptions == []
+    assert result.core_clause_ids  # the formula core itself
+
+
+def test_formula_unsat_alone_can_ignore_assumptions():
+    formula = pigeonhole(4, 3)
+    extra_var = formula.num_vars + 1
+    result = solve_with_assumptions(formula, [extra_var])
+    assert result.is_unsat
+    # The proof never needs the irrelevant assumption.
+    assert extra_var not in result.failed_assumptions
+
+
+def test_only_relevant_assumptions_blamed():
+    # (a -> x)(b -> y)(~x | ~a'): assuming a, b, a' where only a & a' clash.
+    formula = CnfFormula(4, [[-1, 3], [-2, 4], [-3, -1]])
+    result = solve_with_assumptions(formula, [1, 2])
+    assert result.is_unsat
+    assert result.failed_assumptions == [1]
+    assert 2 not in result.failed_assumptions
+
+
+def test_contradictory_assumptions_short_circuit():
+    formula = CnfFormula(2, [[1, 2]])
+    result = solve_with_assumptions(formula, [1, 2, -1])
+    assert result.is_unsat
+    assert set(result.failed_assumptions) == {1, -1}
+
+
+def test_duplicate_assumptions_tolerated():
+    formula = CnfFormula(2, [[1, 2]])
+    result = solve_with_assumptions(formula, [1, 1])
+    assert result.is_sat
+
+
+def test_zero_assumption_rejected():
+    with pytest.raises(ValueError):
+        solve_with_assumptions(CnfFormula(1, [[1]]), [0])
+
+
+def test_assumption_on_fresh_variable_grows_formula():
+    formula = CnfFormula(2, [[1, 2]])
+    result = solve_with_assumptions(formula, [5])
+    assert result.is_sat
+    assert result.model[5] is True
+
+
+def test_budget_propagates():
+    formula = pigeonhole(7, 6)
+    result = solve_with_assumptions(formula, [], SolverConfig(max_conflicts=2))
+    assert result.status == "UNKNOWN"
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_agrees_with_unit_clause_semantics(seed):
+    formula = random_3sat(12, 40, seed=seed)
+    assumptions = [1, -2]
+    result = solve_with_assumptions(formula, assumptions, SolverConfig(seed=seed))
+    augmented = CnfFormula(formula.num_vars)
+    for clause in formula:
+        augmented.add_clause(list(clause.literals))
+    for lit in assumptions:
+        augmented.add_clause([lit])
+    assert result.is_sat == reference_is_satisfiable(augmented)
+
+
+def test_incremental_style_sweep():
+    """The EDA usage pattern: one formula, many assumption queries."""
+    formula = pigeonhole(4, 4)  # SAT: 4 pigeons fit 4 holes
+
+    def hole_var(pigeon, hole):
+        return pigeon * 4 + hole + 1
+
+    # Pinning each pigeon to hole 0 one at a time stays SAT...
+    for pigeon in range(4):
+        assert solve_with_assumptions(formula, [hole_var(pigeon, 0)]).is_sat
+    # ...but two pigeons in hole 0 is UNSAT, and both pins get the blame.
+    result = solve_with_assumptions(
+        formula, [hole_var(0, 0), hole_var(1, 0)]
+    )
+    assert result.is_unsat
+    assert set(result.failed_assumptions) == {hole_var(0, 0), hole_var(1, 0)}

@@ -1,0 +1,70 @@
+"""Watched-literal BCP invariants.
+
+After every successful propagation pass, no clause in the database may be
+conflicting (all literals false) or unit (one unassigned, rest false) —
+otherwise the watching scheme silently missed work, which is the classic
+two-watched-literal bug class.
+"""
+
+import pytest
+
+from repro.cnf import FALSE, UNASSIGNED
+from repro.solver import Solver, SolverConfig
+from repro.solver.reference import reference_is_satisfiable
+
+from tests.conftest import pigeonhole, random_3sat, xor_chain
+
+
+class InvariantCheckingSolver(Solver):
+    """Checks BCP completeness after every quiescent propagation."""
+
+    checks = 0
+
+    def _propagate(self):
+        conflict = super()._propagate()
+        if conflict is None:
+            self._assert_no_missed_work()
+        return conflict
+
+    def _assert_no_missed_work(self):
+        type(self).checks += 1
+        for cid, literals in self.db.lits.items():
+            statuses = [self.assignment.value_of_lit(lit) for lit in literals]
+            if any(status not in (FALSE, UNASSIGNED) for status in statuses):
+                continue  # clause satisfied
+            unassigned = statuses.count(UNASSIGNED)
+            assert unassigned != 0, f"clause {cid} conflicting but BCP returned quiescent"
+            assert unassigned != 1, f"clause {cid} unit but BCP returned quiescent"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_no_missed_propagation_random(seed):
+    formula = random_3sat(16, 68, seed=seed)
+    InvariantCheckingSolver.checks = 0
+    solver = InvariantCheckingSolver(formula, SolverConfig(seed=seed))
+    result = solver.solve()
+    assert InvariantCheckingSolver.checks > 0
+    assert result.is_sat == reference_is_satisfiable(formula)
+
+
+def test_no_missed_propagation_php():
+    solver = InvariantCheckingSolver(pigeonhole(5, 4), SolverConfig())
+    assert solver.solve().is_unsat
+
+
+def test_no_missed_propagation_with_deletion_and_restarts():
+    config = SolverConfig(min_learned_cap=10, max_learned_factor=0.0, restart_first=3)
+    solver = InvariantCheckingSolver(pigeonhole(5, 4), config)
+    assert solver.solve().is_unsat
+
+
+def test_no_missed_propagation_with_elimination():
+    config = SolverConfig(preprocess_elimination=True)
+    solver = InvariantCheckingSolver(xor_chain(11, parity=True), config)
+    assert solver.solve().is_unsat
+
+
+def test_no_missed_propagation_with_minimization():
+    config = SolverConfig(minimize_learned=True)
+    solver = InvariantCheckingSolver(pigeonhole(5, 4), config)
+    assert solver.solve().is_unsat

@@ -1,0 +1,129 @@
+"""Blocked clause elimination."""
+
+import pytest
+
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, check_model
+from repro.cnf import CnfFormula
+from repro.solver import Solver, SolverConfig, solve_formula
+from repro.solver.blocked import (
+    BlockedClauseRecord,
+    _resolvent_is_tautology,
+    eliminate_blocked_clauses,
+    repair_model,
+)
+from repro.solver.database import ClauseDatabase
+from repro.solver.reference import reference_is_satisfiable
+from repro.trace import InMemoryTraceWriter
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def _bce_config(**kwargs):
+    return SolverConfig(preprocess_blocked_clause=True, **kwargs)
+
+
+class TestBlockedDetection:
+    def test_resolvent_tautology_check(self):
+        assert _resolvent_is_tautology([1, 2], [-1, -2, 3], pivot=1)
+        assert not _resolvent_is_tautology([1, 2], [-1, 3], pivot=1)
+
+    def test_textbook_blocked_clause_removed(self):
+        # C = (x | a) is blocked on x: the only clause with ~x is
+        # (~x | ~a | b) and the resolvent (a | ~a | b) is tautological.
+        formula = CnfFormula(3, [[1, 2], [-1, -2, 3], [2, 3]])
+        db = ClauseDatabase.from_formula(formula)
+        result = eliminate_blocked_clauses(db, is_assigned=lambda v: False)
+        assert result.removed >= 1
+        removed_sets = [set(r.literals) for r in result.records]
+        assert {1, 2} in removed_sets
+
+    def test_pure_literal_clause_is_blocked(self):
+        # No clause contains ~x at all: vacuously blocked on x.
+        formula = CnfFormula(2, [[1, 2]])
+        db = ClauseDatabase.from_formula(formula)
+        result = eliminate_blocked_clauses(db, is_assigned=lambda v: False)
+        assert result.removed == 1
+        assert not db.lits
+
+    def test_unblocked_clause_stays(self):
+        formula = CnfFormula(2, [[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        db = ClauseDatabase.from_formula(formula)
+        result = eliminate_blocked_clauses(db, is_assigned=lambda v: False)
+        assert result.removed == 0
+        assert len(db.lits) == 4
+
+    def test_assigned_variables_skipped(self):
+        formula = CnfFormula(2, [[1, 2]])
+        db = ClauseDatabase.from_formula(formula)
+        result = eliminate_blocked_clauses(db, is_assigned=lambda v: v == 1)
+        assert result.removed == 0
+
+
+class TestModelRepair:
+    def test_flips_blocking_literal_when_falsified(self):
+        records = [BlockedClauseRecord([1, 2], blocking_literal=1)]
+        model = {1: False, 2: False}
+        repair_model(model, records)
+        assert model[1] is True
+
+    def test_leaves_satisfied_clause_alone(self):
+        records = [BlockedClauseRecord([1, 2], blocking_literal=1)]
+        model = {1: False, 2: True}
+        repair_model(model, records)
+        assert model[1] is False
+
+    def test_reverse_order_respects_blockedness(self):
+        # C = (1|2) blocked on 1 against D = (-1|-2|3) (resolvent has the
+        # 2/-2 tautology); D itself removed later, blocked on 3. Repairing
+        # in reverse order flips 1 for C without ever breaking D — the
+        # tautology literal (-2) keeps D satisfied, which is exactly why
+        # blockedness makes the flip safe.
+        records = [
+            BlockedClauseRecord([1, 2], blocking_literal=1),
+            BlockedClauseRecord([-1, -2, 3], blocking_literal=3),
+        ]
+        model = {1: False, 2: False, 3: False}
+        repair_model(model, records)
+        assert model[1] is True  # C was falsified: blocking literal flipped
+        assert model[3] is False  # D was satisfied both times: untouched
+        # Both restored clauses hold under the repaired model.
+        assert model[1] or model[2]
+        assert (not model[1]) or (not model[2]) or model[3]
+
+
+class TestSolverIntegration:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_correctness_preserved(self, seed):
+        formula = random_3sat(14, 56, seed=seed)
+        expected = reference_is_satisfiable(formula)
+        result = solve_formula(formula, _bce_config(seed=seed))
+        assert result.is_sat == expected
+        if result.is_sat:
+            assert check_model(formula, result.model)
+
+    def test_unsat_traces_still_check(self):
+        formula = pigeonhole(5, 4)
+        writer = InMemoryTraceWriter()
+        result = solve_formula(formula, _bce_config(), trace_writer=writer)
+        assert result.is_unsat
+        trace = writer.to_trace()
+        assert DepthFirstChecker(formula, trace).check().verified
+        assert BreadthFirstChecker(formula, trace).check().verified
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bce_and_ve_together(self, seed):
+        formula = random_3sat(14, 56, seed=seed)
+        expected = reference_is_satisfiable(formula)
+        config = _bce_config(preprocess_elimination=True, seed=seed)
+        result = solve_formula(formula, config)
+        assert result.is_sat == expected
+        if result.is_sat:
+            assert check_model(formula, result.model)
+
+    def test_records_exposed(self):
+        formula = CnfFormula(2, [[1, 2]])
+        solver = Solver(formula, _bce_config())
+        result = solver.solve()
+        assert result.is_sat
+        assert solver.blocked_records  # the pure clause was removed
+        assert check_model(formula, result.model)

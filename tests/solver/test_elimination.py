@@ -1,0 +1,168 @@
+"""NiVER-style variable elimination: soundness, traces, model repair."""
+
+import pytest
+
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, check_model
+from repro.cnf import CnfFormula
+from repro.solver import Solver, SolverConfig, solve_formula
+from repro.solver.database import ClauseDatabase
+from repro.solver.elimination import (
+    EliminationRecord,
+    VariableEliminator,
+    reconstruct_model,
+)
+from repro.solver.reference import reference_is_satisfiable
+from repro.trace import InMemoryTraceWriter
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def _ve_config(**kwargs):
+    return SolverConfig(preprocess_elimination=True, **kwargs)
+
+
+class TestEliminatorUnit:
+    def test_pure_literals_cascade_away(self):
+        # Vars 1 and 3 are pure: zero-resolvent eliminations that cascade
+        # until nothing is left (the formula is trivially satisfiable).
+        db = ClauseDatabase.from_formula(CnfFormula(3, [[1, 2], [-2, 3]]))
+        eliminator = VariableEliminator(db)
+        result = eliminator.run(is_assigned=lambda var: False)
+        assert result.stats.eliminated_vars >= 2
+        assert not db.lits  # everything eliminated
+
+    def test_eliminates_a_two_phase_variable(self):
+        # Every variable occurs in both phases; the cheapest elimination
+        # (var 1 or var 3: one resolvent) must produce a real resolvent.
+        formula = CnfFormula(3, [[1, 2], [-1, 2], [-2, 3], [-2, -3]])
+        db = ClauseDatabase.from_formula(formula)
+        result = VariableEliminator(db).run(is_assigned=lambda var: False)
+        assert result.stats.added_resolvents >= 1
+        assert result.stats.eliminated_vars >= 1
+
+    def test_respects_occurrence_cap(self):
+        formula = CnfFormula(5, [[1, v] for v in range(2, 6)] + [[-1, v] for v in range(2, 6)])
+        db = ClauseDatabase.from_formula(formula)
+        eliminator = VariableEliminator(db, max_occurrences=2)
+        result = eliminator.run(is_assigned=lambda var: False)
+        assert all(record.var != 1 for record in result.records)
+
+    def test_never_grows_the_formula(self):
+        formula = random_3sat(15, 60, seed=4)
+        db = ClauseDatabase.from_formula(formula)
+        literals_before = sum(len(lits) for lits in db.lits.values())
+        VariableEliminator(db).run(is_assigned=lambda var: False)
+        literals_after = sum(len(lits) for lits in db.lits.values())
+        assert literals_after <= literals_before
+
+    def test_empty_resolvent_reports_conflict(self):
+        db = ClauseDatabase.from_formula(CnfFormula(1, [[1], [-1]]))
+        result = VariableEliminator(db).run(is_assigned=lambda var: False)
+        assert result.conflict_cid is not None
+
+    def test_trace_records_resolvents_with_two_sources(self):
+        formula = CnfFormula(3, [[1, 2], [-1, 2], [-2, 3], [-2, -3]])
+        db = ClauseDatabase.from_formula(formula)
+        writer = InMemoryTraceWriter()
+        writer.header(3, 4)
+        VariableEliminator(db, trace=writer).run(is_assigned=lambda var: False)
+        trace = writer.to_trace()
+        assert trace.num_learned >= 1
+        assert all(len(r.sources) == 2 for r in trace.learned.values())
+
+    def test_tautological_resolvents_skipped(self):
+        # Resolving on x yields (a | -a): tautology, must not be added.
+        db = ClauseDatabase.from_formula(CnfFormula(2, [[1, 2], [-2, -1]]))
+        result = VariableEliminator(db).run(is_assigned=lambda var: False)
+        assert result.stats.eliminated_vars >= 1
+        assert all(len(lits) > 0 for lits in db.lits.values())
+
+
+class TestModelReconstruction:
+    def test_forced_value(self):
+        # x eliminated from (x | a)(−x | b); model a=False forces x=True.
+        records = [EliminationRecord(var=1, removed_clauses=[[1, 2], [-1, 3]])]
+        model = {2: False, 3: True}
+        reconstruct_model(model, records)
+        assert model[1] is True
+
+    def test_unforced_defaults_false(self):
+        records = [EliminationRecord(var=1, removed_clauses=[[1, 2]])]
+        model = {2: True}
+        reconstruct_model(model, records)
+        assert model[1] is False
+
+    def test_reverse_order_dependencies(self):
+        # y eliminated first, then x; x's value feeds y's reconstruction.
+        records = [
+            EliminationRecord(var=2, removed_clauses=[[2, -1]]),  # y | ~x
+            EliminationRecord(var=1, removed_clauses=[[1, 3]]),  # x | a
+        ]
+        model = {3: False}
+        reconstruct_model(model, records)
+        assert model[1] is True  # forced by (x | a), a False
+        assert model[2] is True  # forced by (y | ~x) once x is True
+
+
+class TestSolverIntegration:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_correctness_preserved(self, seed):
+        formula = random_3sat(14, 58, seed=seed)
+        expected = reference_is_satisfiable(formula)
+        result = solve_formula(formula, _ve_config(seed=seed))
+        assert result.is_sat == expected
+        if result.is_sat:
+            assert check_model(formula, result.model)
+
+    def test_unsat_traces_still_check(self):
+        formula = pigeonhole(5, 4)
+        writer = InMemoryTraceWriter()
+        result = solve_formula(formula, _ve_config(), trace_writer=writer)
+        assert result.is_unsat
+        trace = writer.to_trace()
+        assert DepthFirstChecker(formula, trace).check().verified
+        assert BreadthFirstChecker(formula, trace).check().verified
+
+    def test_ve_only_refutation_checks(self):
+        # A formula VE refutes outright (empty resolvent during preprocess).
+        formula = CnfFormula(2, [[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        writer = InMemoryTraceWriter()
+        result = solve_formula(formula, _ve_config(), trace_writer=writer)
+        assert result.is_unsat
+        assert DepthFirstChecker(formula, writer.to_trace()).check().verified
+
+    def test_eliminated_vars_not_branched(self):
+        formula = CnfFormula(3, [[1, 2], [-2, 3]])
+        solver = Solver(formula, _ve_config())
+        result = solver.solve()
+        assert result.is_sat
+        assert check_model(formula, result.model)
+        assert solver.elimination_records  # something was eliminated
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sound_under_aggressive_clause_deletion(self, seed):
+        # Preprocessing resolvents replace originals; clause deletion must
+        # never evict them (they are marked protected in the database).
+        formula = random_3sat(16, 62, seed=seed)
+        expected = reference_is_satisfiable(formula)
+        config = _ve_config(seed=seed, min_learned_cap=5, max_learned_factor=0.0)
+        result = solve_formula(formula, config)
+        assert result.is_sat == expected
+        if result.is_sat:
+            assert check_model(formula, result.model)
+
+    def test_resolvents_marked_protected(self):
+        formula = CnfFormula(3, [[1, 2], [-1, 2], [-2, 3], [-2, -3]])
+        solver = Solver(formula, _ve_config())
+        solver.solve()
+        if solver.elimination_records:
+            assert solver.db.protected <= solver.db.learned_ids | set()
+
+    def test_elimination_counts_in_stats(self):
+        formula = random_3sat(20, 70, seed=2)
+        solver = Solver(formula, _ve_config(seed=2))
+        solver.solve()
+        if solver.elimination_records:
+            assert solver.vsids.banned == {
+                record.var for record in solver.elimination_records
+            }

@@ -1,0 +1,169 @@
+"""Solver behaviour: SAT/UNSAT answers, models, budgets, determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnf import CnfFormula
+from repro.solver import SAT, UNKNOWN, UNSAT, Solver, SolverConfig, solve_formula
+from repro.solver.reference import reference_is_satisfiable
+from repro.checker import check_model
+
+from tests.conftest import pigeonhole, random_3sat, xor_chain
+
+
+def test_empty_formula_is_sat():
+    result = solve_formula(CnfFormula(0))
+    assert result.status == SAT
+    assert result.model == {}
+
+
+def test_single_unit_clause():
+    result = solve_formula(CnfFormula(1, [[1]]))
+    assert result.status == SAT
+    assert result.model[1] is True
+
+
+def test_contradictory_units(trivially_unsat):
+    result = solve_formula(trivially_unsat)
+    assert result.status == UNSAT
+    assert result.model is None
+
+
+def test_input_empty_clause_is_unsat():
+    formula = CnfFormula(2, [[1, 2]])
+    formula.add_clause([])
+    assert solve_formula(formula).status == UNSAT
+
+
+def test_sat_model_satisfies_formula(small_sat):
+    result = solve_formula(small_sat)
+    assert result.status == SAT
+    assert check_model(small_sat, result.model)
+
+
+def test_model_covers_all_variables():
+    formula = CnfFormula(5, [[1, 2]])  # vars 3..5 unused
+    result = solve_formula(formula)
+    assert set(result.model) == {1, 2, 3, 4, 5}
+
+
+def test_pigeonhole_unsat(php54):
+    result = solve_formula(php54)
+    assert result.status == UNSAT
+    assert result.stats.conflicts > 0
+
+
+def test_pigeonhole_sat_when_holes_suffice():
+    result = solve_formula(pigeonhole(4, 4))
+    assert result.status == SAT
+
+
+def test_xor_chain_unsat():
+    assert solve_formula(xor_chain(9, parity=True)).status == UNSAT
+
+
+def test_xor_chain_sat():
+    result = solve_formula(xor_chain(9, parity=False))
+    assert result.status == SAT
+
+
+def test_solver_is_single_shot(small_sat):
+    solver = Solver(small_sat)
+    solver.solve()
+    with pytest.raises(RuntimeError):
+        solver.solve()
+
+
+def test_conflict_budget_returns_unknown():
+    formula = pigeonhole(7, 6)
+    config = SolverConfig(max_conflicts=3)
+    result = solve_formula(formula, config)
+    assert result.status == UNKNOWN
+    assert result.stats.conflicts == 3
+
+
+def test_decision_budget_returns_unknown():
+    formula = pigeonhole(7, 6)
+    config = SolverConfig(max_decisions=2)
+    result = solve_formula(formula, config)
+    assert result.status == UNKNOWN
+
+
+def test_determinism_same_seed():
+    formula = random_3sat(40, 170, seed=7)
+    first = solve_formula(formula, SolverConfig(seed=3))
+    second = solve_formula(formula, SolverConfig(seed=3))
+    assert first.status == second.status
+    assert first.stats.decisions == second.stats.decisions
+    assert first.stats.conflicts == second.stats.conflicts
+
+
+def test_stats_populated(php54):
+    stats = solve_formula(php54).stats
+    assert stats.decisions > 0
+    assert stats.propagations > 0
+    assert stats.solve_time >= 0.0
+    assert set(stats.as_dict()) >= {"decisions", "conflicts", "learned_clauses"}
+
+
+@pytest.mark.parametrize("policy", ["geometric", "luby", "none"])
+def test_restart_policies_all_complete(policy):
+    formula = pigeonhole(6, 5)
+    config = SolverConfig(restart_policy=policy, restart_first=5, luby_unit=4)
+    assert solve_formula(formula, config).status == UNSAT
+
+
+def test_random_decisions_still_correct():
+    formula = pigeonhole(5, 4)
+    config = SolverConfig(random_decision_freq=0.3, seed=11)
+    assert solve_formula(formula, config).status == UNSAT
+
+
+def test_clause_deletion_exercised():
+    # A small learned-clause cap forces reductions without losing soundness.
+    formula = pigeonhole(7, 6)
+    config = SolverConfig(min_learned_cap=20, max_learned_factor=0.0)
+    result = solve_formula(formula, config)
+    assert result.status == UNSAT
+    assert result.stats.deleted_clauses > 0
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_agrees_with_reference_on_random_3sat(seed):
+    # Around the phase transition ratio 4.3 both answers occur.
+    formula = random_3sat(18, 77, seed=seed)
+    expected = reference_is_satisfiable(formula)
+    result = solve_formula(formula, SolverConfig(seed=seed))
+    assert result.is_sat == expected
+    if result.is_sat:
+        assert check_model(formula, result.model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    num_vars=st.integers(min_value=1, max_value=12),
+)
+def test_agrees_with_reference_property(data, num_vars):
+    lit = st.integers(min_value=-num_vars, max_value=num_vars).filter(lambda x: x != 0)
+    clauses = data.draw(
+        st.lists(st.lists(lit, min_size=1, max_size=4), min_size=1, max_size=40)
+    )
+    formula = CnfFormula(num_vars, clauses)
+    expected = reference_is_satisfiable(formula)
+    result = solve_formula(formula)
+    assert result.is_sat == expected
+    if result.is_sat:
+        assert check_model(formula, result.model)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SolverConfig(var_decay=0.0)
+    with pytest.raises(ValueError):
+        SolverConfig(restart_inc=0.9)
+    with pytest.raises(ValueError):
+        SolverConfig(restart_policy="chaotic")
+    with pytest.raises(ValueError):
+        SolverConfig(random_decision_freq=1.5)

@@ -1,0 +1,118 @@
+"""Trace-generation requirements of §3.1: the three solver modifications."""
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.solver import SolverConfig, solve_formula
+from repro.trace import InMemoryTraceWriter
+from repro.trace.records import LearnedClause, LevelZeroAssignment
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def _solve_traced(formula, **config_kwargs):
+    writer = InMemoryTraceWriter()
+    result = solve_formula(formula, SolverConfig(**config_kwargs), trace_writer=writer)
+    return result, writer.to_trace()
+
+
+def test_header_matches_formula(php54):
+    _, trace = _solve_traced(php54)
+    assert trace.header.num_vars == php54.num_vars
+    assert trace.header.num_original_clauses == php54.num_clauses
+
+
+def test_unsat_trace_has_final_conflict_and_result(php54):
+    result, trace = _solve_traced(php54)
+    assert result.is_unsat
+    assert trace.status == "UNSAT"
+    assert len(trace.final_conflicts) == 1
+
+
+def test_sat_trace_claims_sat(small_sat):
+    result, trace = _solve_traced(small_sat)
+    assert result.is_sat
+    assert trace.status == "SAT"
+    assert not trace.final_conflicts
+
+
+def test_learned_ids_continue_after_originals(php54):
+    _, trace = _solve_traced(php54)
+    assert trace.learned
+    assert min(trace.learned) == php54.num_clauses + 1
+    # IDs strictly increase in generation order.
+    cids = list(trace.learned)
+    assert cids == sorted(cids)
+
+
+def test_resolve_sources_precede_their_clause(php54):
+    _, trace = _solve_traced(php54)
+    for record in trace.learned.values():
+        assert all(source < record.cid for source in record.sources)
+        assert len(record.sources) >= 2  # single-source clauses are not learned
+
+
+def test_level_zero_entries_have_antecedents(php54):
+    _, trace = _solve_traced(php54)
+    assert trace.level_zero
+    seen = set()
+    for entry in trace.level_zero:
+        assert entry.antecedent >= 1
+        assert entry.var not in seen  # chronological trail: no duplicates
+        seen.add(entry.var)
+
+
+def test_final_conflict_clause_exists(php54):
+    _, trace = _solve_traced(php54)
+    final = trace.final_conflicts[0]
+    assert final <= php54.num_clauses or final in trace.learned
+
+
+def test_trivially_unsat_trace(trivially_unsat):
+    result, trace = _solve_traced(trivially_unsat)
+    assert result.is_unsat
+    # x assigned by clause 1, clause 2 conflicts (or vice versa).
+    assert len(trace.level_zero) == 1
+    assert trace.num_learned == 0
+
+
+def test_input_empty_clause_trace():
+    formula = CnfFormula(1, [[1]])
+    empty_cid = formula.add_clause([]).cid
+    result, trace = _solve_traced(formula)
+    assert result.is_unsat
+    assert trace.final_conflicts[0] == empty_cid
+    assert not trace.level_zero
+
+
+def test_trace_unaffected_by_clause_deletion():
+    # Even with aggressive deletion the trace remains checkable-complete:
+    # records are written at learn time.
+    formula = pigeonhole(7, 6)
+    result, trace = _solve_traced(formula, min_learned_cap=20, max_learned_factor=0.0)
+    assert result.is_unsat
+    assert result.stats.deleted_clauses > 0
+    assert trace.num_learned == result.stats.learned_clauses
+
+
+def test_trace_with_restarts():
+    formula = pigeonhole(6, 5)
+    result, trace = _solve_traced(formula, restart_first=2, restart_inc=1.1)
+    assert result.is_unsat
+    assert result.stats.restarts > 0
+    assert trace.status == "UNSAT"
+
+
+def test_learned_count_matches_stats():
+    formula = random_3sat(30, 150, seed=5)
+    result, trace = _solve_traced(formula)
+    if result.is_unsat:
+        assert trace.num_learned == result.stats.learned_clauses
+
+
+def test_tracing_does_not_change_search():
+    formula = pigeonhole(6, 5)
+    with_trace, _ = _solve_traced(formula)
+    without_trace = solve_formula(formula, SolverConfig())
+    assert with_trace.stats.decisions == without_trace.stats.decisions
+    assert with_trace.stats.conflicts == without_trace.stats.conflicts

@@ -1,0 +1,107 @@
+"""CLI entry points, driven in-process."""
+
+import pytest
+
+from repro.cli import check_main, core_main, solve_main, trace_stats_main
+from repro.cnf import write_dimacs_file
+from repro.generators import pigeonhole
+from repro.cnf import CnfFormula
+
+
+@pytest.fixture
+def unsat_cnf(tmp_path):
+    path = tmp_path / "php.cnf"
+    write_dimacs_file(pigeonhole(4, 3), path)
+    return path
+
+
+@pytest.fixture
+def sat_cnf(tmp_path):
+    path = tmp_path / "sat.cnf"
+    write_dimacs_file(CnfFormula(3, [[1, 2], [-1, 3]]), path)
+    return path
+
+
+def test_solve_unsat(unsat_cnf, capsys):
+    assert solve_main([str(unsat_cnf)]) == 0
+    out = capsys.readouterr().out
+    assert "s UNSAT" in out
+    assert "conflicts=" in out
+
+
+def test_solve_sat_prints_model(sat_cnf, capsys):
+    assert solve_main([str(sat_cnf)]) == 0
+    out = capsys.readouterr().out
+    assert "s SAT" in out
+    assert out.splitlines()[1].startswith("v ")
+
+
+def test_solve_budget_unknown(unsat_cnf, capsys):
+    assert solve_main([str(unsat_cnf), "--max-conflicts", "1"]) == 1
+    assert "s UNKNOWN" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("method", ["df", "bf", "hybrid"])
+def test_solve_then_check(unsat_cnf, tmp_path, capsys, method):
+    trace = tmp_path / "p.trace"
+    assert solve_main([str(unsat_cnf), "--trace", str(trace)]) == 0
+    assert check_main([str(unsat_cnf), str(trace), "--method", method]) == 0
+    assert "Check Succeeded" in capsys.readouterr().out
+
+
+def test_binary_trace_roundtrip(unsat_cnf, tmp_path, capsys):
+    trace = tmp_path / "p.rtb"
+    assert solve_main([str(unsat_cnf), "--trace", str(trace), "--trace-format", "binary"]) == 0
+    assert check_main([str(unsat_cnf), str(trace), "--method", "bf"]) == 0
+
+
+def test_check_rejects_mismatched_formula(unsat_cnf, sat_cnf, tmp_path, capsys):
+    trace = tmp_path / "p.trace"
+    solve_main([str(unsat_cnf), "--trace", str(trace)])
+    assert check_main([str(sat_cnf), str(trace)]) == 1
+    assert "Check Failed" in capsys.readouterr().out
+
+
+def test_check_show_core(unsat_cnf, tmp_path, capsys):
+    trace = tmp_path / "p.trace"
+    solve_main([str(unsat_cnf), "--trace", str(trace)])
+    assert check_main([str(unsat_cnf), str(trace), "--show-core"]) == 0
+    assert "core clause ids:" in capsys.readouterr().out
+
+
+def test_drup_and_rup_check(unsat_cnf, tmp_path, capsys):
+    proof = tmp_path / "p.drup"
+    assert solve_main([str(unsat_cnf), "--drup", str(proof)]) == 0
+    assert check_main([str(unsat_cnf), str(proof), "--method", "rup"]) == 0
+    assert "Check Succeeded" in capsys.readouterr().out
+
+
+def test_solve_validate_flag(unsat_cnf, sat_cnf, capsys):
+    assert solve_main([str(unsat_cnf), "--validate"]) == 0
+    assert "proof validated" in capsys.readouterr().out
+    assert solve_main([str(sat_cnf), "--validate"]) == 0
+
+
+def test_trim_cli(unsat_cnf, tmp_path, capsys):
+    from repro.cli import trim_main
+
+    trace = tmp_path / "p.trace"
+    solve_main([str(unsat_cnf), "--trace", str(trace)])
+    trimmed = tmp_path / "trimmed.trace"
+    assert trim_main([str(unsat_cnf), str(trace), str(trimmed)]) == 0
+    assert "kept" in capsys.readouterr().out
+    assert check_main([str(unsat_cnf), str(trimmed), "--method", "hybrid"]) == 0
+
+
+def test_core_cli(unsat_cnf, capsys):
+    assert core_main([str(unsat_cnf), "--iterations", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "input:" in out
+    assert "core clause ids:" in out
+
+
+def test_trace_stats_cli(unsat_cnf, tmp_path, capsys):
+    trace = tmp_path / "p.trace"
+    solve_main([str(unsat_cnf), "--trace", str(trace)])
+    assert trace_stats_main([str(trace)]) == 0
+    assert "learned clauses" in capsys.readouterr().out

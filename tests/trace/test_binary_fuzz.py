@@ -1,0 +1,55 @@
+"""Binary trace format robustness: arbitrary bytes never crash the reader
+with anything but a TraceError."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import TraceError
+from repro.trace.binary_format import MAGIC, iter_binary_records
+
+
+def _consume(path):
+    return list(iter_binary_records(path))
+
+
+@settings(max_examples=80, deadline=None)
+@given(payload=st.binary(max_size=200))
+def test_random_payload_after_magic(payload, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz") / "t.rtb"
+    path.write_bytes(MAGIC + payload)
+    try:
+        _consume(path)
+    except TraceError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=40, deadline=None)
+@given(payload=st.binary(min_size=1, max_size=50).filter(lambda b: not b.startswith(MAGIC)))
+def test_random_bytes_without_magic(payload, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz") / "t.rtb"
+    path.write_bytes(payload)
+    with pytest.raises(TraceError):
+        _consume(path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cut=st.integers(min_value=4, max_value=60), data=st.data())
+def test_truncated_valid_trace(cut, data, tmp_path_factory):
+    """Any prefix of a real trace either parses (clean record boundary) or
+    raises TraceError — never hangs or raises something else."""
+    from repro.generators import pigeonhole
+    from repro.solver import solve_formula
+    from repro.trace import BinaryTraceWriter
+
+    directory = tmp_path_factory.mktemp("fuzz")
+    full = directory / "full.rtb"
+    solve_formula(pigeonhole(4, 3), trace_writer=BinaryTraceWriter(full))
+    blob = full.read_bytes()
+    cut = min(cut, len(blob))
+    truncated = directory / "cut.rtb"
+    truncated.write_bytes(blob[:cut])
+    try:
+        _consume(truncated)
+    except TraceError:
+        pass

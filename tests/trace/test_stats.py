@@ -1,0 +1,63 @@
+"""Trace statistics."""
+
+from repro.solver import SolverConfig, Solver
+from repro.trace import AsciiTraceWriter, BinaryTraceWriter, analyze_trace
+
+from tests.conftest import pigeonhole
+
+
+def _write_trace(path, writer_cls):
+    formula = pigeonhole(5, 4)
+    result = Solver(formula, SolverConfig(), trace_writer=writer_cls(path)).solve()
+    assert result.is_unsat
+    return formula, result
+
+
+def test_stats_match_solver_counters(tmp_path):
+    path = tmp_path / "t.trace"
+    formula, result = _write_trace(path, AsciiTraceWriter)
+    stats = analyze_trace(path)
+    assert stats.num_original_clauses == formula.num_clauses
+    assert stats.num_learned == result.stats.learned_clauses
+    assert stats.status == "UNSAT"
+    assert stats.final_conflicts == 1
+    assert stats.level_zero_entries > 0
+
+
+def test_stats_identical_for_both_formats(tmp_path):
+    ascii_path = tmp_path / "t.trace"
+    binary_path = tmp_path / "t.rtb"
+    _write_trace(ascii_path, AsciiTraceWriter)
+    _write_trace(binary_path, BinaryTraceWriter)
+    a = analyze_trace(ascii_path)
+    b = analyze_trace(binary_path)
+    assert a.num_learned == b.num_learned
+    assert a.total_sources == b.total_sources
+    assert a.chain_length_histogram == b.chain_length_histogram
+
+
+def test_derived_quantities(tmp_path):
+    path = tmp_path / "t.trace"
+    _write_trace(path, AsciiTraceWriter)
+    stats = analyze_trace(path)
+    assert stats.mean_sources >= 2.0  # learned clauses have >= 2 sources
+    assert stats.max_sources >= stats.mean_sources
+    assert stats.total_resolutions == stats.total_sources - stats.num_learned
+    assert sum(stats.chain_length_histogram.values()) == stats.num_learned
+
+
+def test_summary_renders(tmp_path):
+    path = tmp_path / "t.trace"
+    _write_trace(path, AsciiTraceWriter)
+    text = analyze_trace(path).summary()
+    assert "learned clauses" in text
+    assert "chain length histogram" in text
+
+
+def test_empty_stats_summary():
+    from repro.trace.stats import TraceStatistics
+
+    stats = TraceStatistics()
+    assert stats.mean_sources == 0.0
+    assert stats.total_resolutions == 0
+    assert "UNKNOWN" in stats.summary()

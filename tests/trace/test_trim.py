@@ -1,0 +1,115 @@
+"""Trace trimming: smaller proofs that still check everywhere."""
+
+import pytest
+
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, HybridChecker
+from repro.cnf import CnfFormula
+from repro.solver import SolverConfig, solve_formula
+from repro.trace import InMemoryTraceWriter, load_trace
+from repro.trace.trim import trim_trace, write_trimmed
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+def _solve_traced(formula, **kwargs):
+    writer = InMemoryTraceWriter()
+    result = solve_formula(formula, SolverConfig(**kwargs), trace_writer=writer)
+    assert result.is_unsat
+    return writer.to_trace()
+
+
+@pytest.fixture(scope="module")
+def r3sat():
+    # A shifter-equivalence miter: about a third of its learned clauses
+    # are dead weight for the final proof, so trimming has work to do.
+    from repro.circuits import miter_to_cnf, shifter_equivalence_miter
+
+    formula = miter_to_cnf(shifter_equivalence_miter(8))
+    return formula, _solve_traced(formula)
+
+
+def test_trim_drops_unneeded_clauses(r3sat):
+    formula, trace = r3sat
+    result = trim_trace(formula, trace)
+    assert result.kept_learned + result.dropped_learned == trace.num_learned
+    assert result.dropped_learned > 0  # this instance has dead learned clauses
+    assert 0 < result.kept_fraction <= 1.0
+
+
+def test_trimmed_trace_checks_with_every_strategy(r3sat):
+    formula, trace = r3sat
+    trimmed = trim_trace(formula, trace).trace
+    assert DepthFirstChecker(formula, trimmed).check().verified
+    assert BreadthFirstChecker(formula, trimmed).check().verified
+    assert HybridChecker(formula, trimmed).check().verified
+
+
+def test_trimming_is_idempotent(r3sat):
+    formula, trace = r3sat
+    once = trim_trace(formula, trace)
+    twice = trim_trace(formula, once.trace)
+    assert twice.dropped_learned == 0
+    assert twice.kept_learned == once.kept_learned
+
+
+def test_df_builds_everything_in_a_trimmed_trace(r3sat):
+    formula, trace = r3sat
+    trimmed = trim_trace(formula, trace).trace
+    report = DepthFirstChecker(formula, trimmed).check()
+    # Nearly all clauses kept are needed; allow the level-0-antecedent
+    # closure margin (kept for the streaming checkers).
+    assert report.clauses_built >= trimmed.num_learned * 0.9
+
+
+def test_trim_preserves_core(r3sat):
+    formula, trace = r3sat
+    result = trim_trace(formula, trace)
+    report = DepthFirstChecker(formula, result.trace).check()
+    assert report.original_core <= result.original_core | report.original_core
+
+
+def test_trim_rejects_invalid_trace():
+    formula = CnfFormula(2, [[1, 2]])  # SAT: no valid UNSAT trace exists
+    writer = InMemoryTraceWriter()
+    solve_formula(formula, trace_writer=writer)
+    with pytest.raises(Exception):
+        trim_trace(formula, writer.to_trace())
+
+
+@pytest.mark.parametrize("fmt", ["ascii", "binary"])
+def test_write_trimmed_roundtrip(tmp_path, fmt, r3sat):
+    formula, trace = r3sat
+    path = tmp_path / f"trimmed.{fmt}"
+    result = write_trimmed(formula, trace, path, fmt=fmt)
+    again = load_trace(path)
+    assert again.num_learned == result.kept_learned
+    assert BreadthFirstChecker(formula, path).check().verified
+
+
+def test_trimmed_file_is_smaller(tmp_path, r3sat):
+    formula, trace = r3sat
+    from repro.trace import AsciiTraceWriter
+
+    full_path = tmp_path / "full.trace"
+    writer = AsciiTraceWriter(full_path)
+    writer.header(trace.header.num_vars, trace.header.num_original_clauses)
+    for record in trace.learned.values():
+        writer.learned_clause(record.cid, record.sources)
+    for entry in trace.level_zero:
+        writer.level_zero(entry.var, entry.value, entry.antecedent)
+    for cid in trace.final_conflicts:
+        writer.final_conflict(cid)
+    writer.result(trace.status)
+    writer.close()
+
+    trimmed_path = tmp_path / "trimmed.trace"
+    write_trimmed(formula, trace, trimmed_path)
+    assert trimmed_path.stat().st_size < full_path.stat().st_size
+
+
+def test_php_trim_keeps_most(r3sat):
+    # Pigeonhole proofs need nearly everything (the Table 2/3 pattern).
+    formula = pigeonhole(5, 4)
+    trace = _solve_traced(formula)
+    result = trim_trace(formula, trace)
+    assert result.kept_fraction > 0.9
