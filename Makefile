@@ -1,12 +1,18 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test bench tables tables-large ablations export examples clean
+.PHONY: install test lint check bench tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+lint:
+	python tools/lint.py
+
+# What CI runs: static analysis of the codebase, then the tier-1 suite.
+check: lint test
 
 bench:
 	pytest benchmarks/ --benchmark-only

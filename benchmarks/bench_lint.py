@@ -1,0 +1,119 @@
+"""Static lint vs. full resolution checking.
+
+The analyzer's pitch is fast-fail triage: a single streaming pass over the
+antecedent graph with no clause construction and no resolution. These
+benchmarks time ``analyze_trace`` against the depth-first and breadth-first
+checkers on the pigeonhole / random-ksat suite and drop a machine-readable
+summary in ``results/BENCH_lint.json`` alongside the experiment exports.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import bench_suite
+from repro.analysis import analyze_trace
+from repro.checker import BreadthFirstChecker, DepthFirstChecker
+
+NAMES = [instance.name for instance in bench_suite()]
+SUMMARY_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_lint.json"
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_lint_streaming(benchmark, prepared_instances, name):
+    """The analyzer, streaming the binary trace file end to end."""
+    prepared = prepared_instances[name]
+
+    def run():
+        report = analyze_trace(prepared.binary_path)
+        assert report.ok
+        return report
+
+    benchmark.group = f"lint-vs-check:{name}"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_lint_no_reachability(benchmark, prepared_instances, name):
+    """The analyzer with the ID-graph rule off: the pure O(1)-per-record scan."""
+    prepared = prepared_instances[name]
+
+    def run():
+        report = analyze_trace(prepared.binary_path, compute_reachability=False)
+        assert report.ok
+        return report
+
+    benchmark.group = f"lint-vs-check:{name}"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_check_depth_first(benchmark, prepared_instances, name):
+    prepared = prepared_instances[name]
+
+    def run():
+        report = DepthFirstChecker(prepared.formula, prepared.trace).check()
+        assert report.verified
+        return report
+
+    benchmark.group = f"lint-vs-check:{name}"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_check_breadth_first(benchmark, prepared_instances, name):
+    prepared = prepared_instances[name]
+
+    def run():
+        report = BreadthFirstChecker(prepared.formula, prepared.binary_path).check()
+        assert report.verified
+        return report
+
+    benchmark.group = f"lint-vs-check:{name}"
+    benchmark(run)
+
+
+def test_write_summary(prepared_instances):
+    """Manual timing sweep; writes the BENCH_lint.json summary table."""
+    rows = []
+    for prepared in prepared_instances.values():
+        timings = {}
+        lint_report = None
+        for label, run in (
+            ("lint", lambda: analyze_trace(prepared.binary_path)),
+            (
+                "lint_no_reach",
+                lambda: analyze_trace(prepared.binary_path, compute_reachability=False),
+            ),
+            ("df", lambda: DepthFirstChecker(prepared.formula, prepared.trace).check()),
+            (
+                "bf",
+                lambda: BreadthFirstChecker(prepared.formula, prepared.binary_path).check(),
+            ),
+        ):
+            start = time.perf_counter()
+            outcome = run()
+            timings[label] = time.perf_counter() - start
+            if label == "lint":
+                lint_report = outcome
+                assert outcome.ok
+            elif label in ("df", "bf"):
+                assert outcome.verified
+        rows.append(
+            {
+                "instance": prepared.name,
+                "num_learned": lint_report.num_learned,
+                "records": lint_report.records_scanned,
+                "reachability_pct": lint_report.reachability_pct,
+                "seconds": {k: round(v, 6) for k, v in timings.items()},
+                "speedup_vs_df": round(timings["df"] / max(timings["lint"], 1e-9), 2),
+                "speedup_vs_bf": round(timings["bf"] / max(timings["lint"], 1e-9), 2),
+            }
+        )
+    SUMMARY_PATH.parent.mkdir(exist_ok=True)
+    SUMMARY_PATH.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    assert rows, "no prepared instances"

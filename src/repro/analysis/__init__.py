@@ -1,0 +1,36 @@
+"""Static analysis of resolution traces: lint without replaying resolution.
+
+The depth-first and breadth-first checkers (§3) only discover a malformed
+trace *while* replaying resolution — an O(proof-size x clause-width) job
+whose diagnostics point far from the root cause. This package validates the
+trace's *structure* in a single streaming pass over the antecedent graph:
+dangling references, broken DAG order, duplicate IDs, out-of-range
+variables, chains too short to resolve, dead proof weight, and missing
+empty-clause derivations are all caught before (or instead of) the
+expensive semantic replay.
+
+Entry points:
+
+* :func:`analyze_trace` — lint a ``Trace``, a trace file (ASCII or binary,
+  streamed without materializing the ``Trace``), or a record iterable.
+* ``precheck=True`` on any of the three checkers — fast-fail garbage before
+  the replay (see :mod:`repro.checker.precheck`).
+* ``repro lint-trace`` — the CLI face, with text and JSON output.
+"""
+
+from repro.analysis.analyzer import TraceSource, analyze_trace
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analysis.rules import RULE_REGISTRY, Rule, ScanState, default_rules, register_rule
+
+__all__ = [
+    "analyze_trace",
+    "TraceSource",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "RULE_REGISTRY",
+    "Rule",
+    "ScanState",
+    "default_rules",
+    "register_rule",
+]

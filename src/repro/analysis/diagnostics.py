@@ -1,0 +1,132 @@
+"""Structured diagnostics for the static trace analyzer.
+
+A :class:`Diagnostic` is the analysis-side analogue of
+:class:`repro.checker.errors.CheckFailure`: machine-readable first, with a
+rule ID, a severity, the record index in the trace stream, and the clause
+IDs involved — so a failing fault-injection test can assert *exactly* which
+rule fired, and a human can jump straight to the offending record.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    * ``ERROR`` — the trace is structurally broken; no checker can replay it
+      to a valid proof. Errors fail ``repro lint-trace`` and the checkers'
+      ``precheck`` pass.
+    * ``WARNING`` — suspicious but replayable; reported, never fatal unless
+      ``--strict``.
+    * ``INFO`` — observations (e.g. proof reachability percentage).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True, eq=False)
+class Diagnostic:
+    """One finding of one rule at one point in the record stream.
+
+    ``record_index`` is the 0-based position of the offending record in the
+    stream (``None`` for whole-trace findings emitted at finish time).
+    ``cids`` lists the clause IDs involved, most specific first.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    record_index: int | None = None
+    cids: tuple[int, ...] = ()
+    context: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+            "record_index": self.record_index,
+            "cids": list(self.cids),
+            "context": dict(self.context),
+        }
+
+    def __str__(self) -> str:
+        where = f" @record {self.record_index}" if self.record_index is not None else ""
+        ids = f" (cids: {', '.join(map(str, self.cids))})" if self.cids else ""
+        return f"{self.rule_id} {self.severity.value}{where}: {self.message}{ids}"
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one static analysis pass over a trace.
+
+    ``ok`` means no error-severity diagnostics: the trace has a chance of
+    replaying to a valid proof (the expensive checkers have the final word).
+    ``reachable_learned`` / ``reachability_pct`` mirror the paper's Table 2
+    "Built %" — the fraction of learned clauses on some path from the final
+    conflict, computed here over the ID graph without any resolution.
+    """
+
+    source: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    records_scanned: int = 0
+    num_learned: int = 0
+    reachable_learned: int | None = None
+    streaming: bool = False
+    analysis_time: float = 0.0
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was emitted."""
+        return not self.errors
+
+    @property
+    def reachability_pct(self) -> float | None:
+        if self.reachable_learned is None or self.num_learned == 0:
+            return None
+        return 100.0 * self.reachable_learned / self.num_learned
+
+    def rule_ids(self) -> set[str]:
+        """The distinct rule IDs that fired (any severity)."""
+        return {d.rule_id for d in self.diagnostics}
+
+    def summary(self) -> str:
+        verdict = "clean" if self.ok else f"{len(self.errors)} error(s)"
+        parts = [
+            f"[lint] {verdict}, {len(self.warnings)} warning(s) | "
+            f"{self.records_scanned} records, {self.num_learned} learned | "
+            f"{self.analysis_time:.3f}s"
+        ]
+        if self.reachability_pct is not None:
+            parts.append(
+                f"[lint] proof reachability: {self.reachable_learned}/"
+                f"{self.num_learned} learned clauses ({self.reachability_pct:.1f}%)"
+            )
+        return "\n".join(parts)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "ok": self.ok,
+            "records_scanned": self.records_scanned,
+            "num_learned": self.num_learned,
+            "reachable_learned": self.reachable_learned,
+            "reachability_pct": self.reachability_pct,
+            "streaming": self.streaming,
+            "analysis_time": self.analysis_time,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }

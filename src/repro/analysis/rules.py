@@ -1,0 +1,530 @@
+"""The lint rule registry: structural invariants of a resolution trace.
+
+Each rule is a small class with a stable ID (``T001`` …), a severity, and a
+one-line rationale; the catalog is rendered into ``docs/static_analysis.md``.
+Rules observe the record stream through event hooks and emit structured
+:class:`~repro.analysis.diagnostics.Diagnostic` objects — they never build a
+clause and never perform a resolution step, which is what makes the whole
+pass a cheap single scan over the antecedent graph.
+
+Shared bookkeeping (defined-ID set, trail, ID graph) lives in
+:class:`ScanState`, maintained by the engine in ``analyzer.py``; rules only
+read it. A rule that needs the full ID graph (reachability) sets
+``needs_graph`` so the engine can skip graph retention when the rule is
+disabled — that is what keeps streaming mode lean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    TraceHeader,
+    TraceResult,
+)
+
+
+@dataclass
+class ScanState:
+    """What the engine has seen so far; shared read-only by all rules."""
+
+    header: TraceHeader | None = None
+    header_index: int | None = None
+    extra_header_indices: list[int] = field(default_factory=list)
+    records_before_header: int = 0
+    defined: set[int] = field(default_factory=set)
+    last_learned_cid: int | None = None
+    num_learned: int = 0
+    sources_by_cid: dict[int, tuple[int, ...]] | None = None
+    level_zero: list[tuple[int, LevelZeroAssignment]] = field(default_factory=list)
+    final_conflicts: list[tuple[int, int]] = field(default_factory=list)
+    status: str | None = None
+    extra_result_indices: list[int] = field(default_factory=list)
+    reachable_learned: int | None = None
+
+    @property
+    def num_original(self) -> int | None:
+        return None if self.header is None else self.header.num_original_clauses
+
+    @property
+    def num_vars(self) -> int | None:
+        return None if self.header is None else self.header.num_vars
+
+    def is_defined(self, cid: int) -> bool:
+        """Whether ``cid`` names an original clause or an already-seen learned one."""
+        num_original = self.num_original or 0
+        return 1 <= cid <= num_original or cid in self.defined
+
+
+Emit = Callable[[Diagnostic], None]
+
+
+class Rule:
+    """Base class: a single structural invariant over the record stream."""
+
+    rule_id: ClassVar[str]
+    name: ClassVar[str]
+    severity: ClassVar[Severity]
+    rationale: ClassVar[str]
+    needs_graph: ClassVar[bool] = False
+
+    def __init__(self, emit: Emit):
+        self._emit = emit
+
+    def report(
+        self,
+        message: str,
+        index: int | None = None,
+        cids: tuple[int, ...] = (),
+        severity: Severity | None = None,
+        **context: object,
+    ) -> None:
+        self._emit(
+            Diagnostic(
+                rule_id=self.rule_id,
+                severity=severity or self.severity,
+                message=message,
+                record_index=index,
+                cids=cids,
+                context=dict(context),
+            )
+        )
+
+    # Event hooks: the engine calls these BEFORE folding the record into the
+    # shared state, so e.g. the duplicate-ID rule sees "defined before me".
+    def on_header(self, state: ScanState, index: int, record: TraceHeader) -> None: ...
+
+    def on_learned(self, state: ScanState, index: int, record: LearnedClause) -> None: ...
+
+    def on_level_zero(
+        self, state: ScanState, index: int, record: LevelZeroAssignment
+    ) -> None: ...
+
+    def on_final_conflict(
+        self, state: ScanState, index: int, record: FinalConflict
+    ) -> None: ...
+
+    def on_result(self, state: ScanState, index: int, record: TraceResult) -> None: ...
+
+    def finish(self, state: ScanState) -> None: ...
+
+
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    if cls.rule_id in RULE_REGISTRY:  # pragma: no cover - defensive
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def default_rules() -> list[type[Rule]]:
+    """All registered rules, in rule-ID order."""
+    return [RULE_REGISTRY[rule_id] for rule_id in sorted(RULE_REGISTRY)]
+
+
+@register_rule
+class DanglingReferenceRule(Rule):
+    """A record names a clause ID that is never defined: the checker would
+    hit an unknown clause deep into the replay; catch it in the scan."""
+
+    rule_id = "T001"
+    name = "dangling-reference"
+    severity = Severity.ERROR
+    rationale = (
+        "Every resolve source, level-0 antecedent, and final conflict must "
+        "name an original clause or a previously recorded learned clause."
+    )
+
+    def on_learned(self, state: ScanState, index: int, record: LearnedClause) -> None:
+        if state.num_original is None:
+            return  # no header: T008 owns this failure mode
+        for source in record.sources:
+            if source >= record.cid:
+                continue  # forward/self reference: T002's finding
+            if not state.is_defined(source):
+                self.report(
+                    "learned clause resolves from a source ID that is not an "
+                    "original clause and was never recorded before this point",
+                    index=index,
+                    cids=(record.cid, source),
+                    source=source,
+                )
+
+    def finish(self, state: ScanState) -> None:
+        if state.num_original is None:
+            return
+        for index, entry in state.level_zero:
+            if not state.is_defined(entry.antecedent):
+                self.report(
+                    "level-0 assignment cites an antecedent clause ID that "
+                    "is never defined in the trace",
+                    index=index,
+                    cids=(entry.antecedent,),
+                    var=entry.var,
+                )
+        for index, cid in state.final_conflicts:
+            if not state.is_defined(cid):
+                self.report(
+                    "final conflict points at a clause ID that is never "
+                    "defined in the trace",
+                    index=index,
+                    cids=(cid,),
+                )
+
+
+@register_rule
+class ForwardReferenceRule(Rule):
+    """Sources must precede the clause they build: a source ID >= the learned
+    ID breaks the DAG topological order the checkers rely on."""
+
+    rule_id = "T002"
+    name = "forward-reference"
+    severity = Severity.ERROR
+    rationale = (
+        "Resolution proofs are DAGs ordered by clause ID; a self or forward "
+        "reference can never be replayed (the paper's checkers reject it as "
+        "a cyclic trace)."
+    )
+
+    def on_learned(self, state: ScanState, index: int, record: LearnedClause) -> None:
+        for source in record.sources:
+            if source >= record.cid:
+                kind = "itself" if source == record.cid else "a later clause"
+                self.report(
+                    f"learned clause resolves from {kind}: source ID is not "
+                    "smaller than its own ID",
+                    index=index,
+                    cids=(record.cid, source),
+                    source=source,
+                )
+
+
+@register_rule
+class DuplicateIdRule(Rule):
+    """Each clause ID must be defined exactly once; redefinition makes every
+    later reference ambiguous."""
+
+    rule_id = "T003"
+    name = "duplicate-id"
+    severity = Severity.ERROR
+    rationale = (
+        "Clause IDs are the only link between trace records; a duplicated "
+        "definition silently rebinds every subsequent reference."
+    )
+
+    def on_learned(self, state: ScanState, index: int, record: LearnedClause) -> None:
+        num_original = state.num_original
+        if num_original is not None and record.cid <= num_original:
+            self.report(
+                "learned clause ID collides with the original clause range",
+                index=index,
+                cids=(record.cid,),
+                num_original=num_original,
+            )
+        elif record.cid in state.defined:
+            self.report(
+                "learned clause ID was already defined earlier in the trace",
+                index=index,
+                cids=(record.cid,),
+            )
+
+
+@register_rule
+class VariableRangeRule(Rule):
+    """Level-0 variables must fit the header's declared variable count."""
+
+    rule_id = "T004"
+    name = "variable-out-of-range"
+    severity = Severity.ERROR
+    rationale = (
+        "The header fixes the instance dimensions the solver and checker "
+        "agreed on; a trail variable outside [1, num_vars] cannot belong to "
+        "the formula."
+    )
+
+    def on_level_zero(
+        self, state: ScanState, index: int, record: LevelZeroAssignment
+    ) -> None:
+        if record.var < 1:
+            self.report(
+                "level-0 assignment names a non-positive variable",
+                index=index,
+                var=record.var,
+            )
+        elif state.num_vars is not None and record.var > state.num_vars:
+            self.report(
+                "level-0 assignment names a variable beyond the header's "
+                "variable count",
+                index=index,
+                var=record.var,
+                num_vars=state.num_vars,
+            )
+
+
+@register_rule
+class ShortChainRule(Rule):
+    """A resolve chain with fewer than two sources performs no resolution."""
+
+    rule_id = "T005"
+    name = "short-chain"
+    severity = Severity.ERROR
+    rationale = (
+        "A learned clause is the result of >= 1 resolution, which consumes "
+        ">= 2 sources; a shorter chain is a copy, not a derivation (the "
+        "solver never records those)."
+    )
+
+    def on_learned(self, state: ScanState, index: int, record: LearnedClause) -> None:
+        if len(record.sources) < 2:
+            self.report(
+                "resolve chain is too short to resolve (fewer than 2 sources)",
+                index=index,
+                cids=(record.cid,),
+                num_sources=len(record.sources),
+            )
+
+
+@register_rule
+class UnreachableClauseRule(Rule):
+    """Learned clauses unreachable from the empty-clause derivation are dead
+    proof weight — the paper's Table 2 shows only 19-90 % are ever needed."""
+
+    rule_id = "T006"
+    name = "unreachable-learned"
+    severity = Severity.INFO
+    rationale = (
+        "Clauses off every path from the final conflict and the level-0 "
+        "antecedents cost trace size and checker parsing time for nothing; "
+        "repro-trim can drop them."
+    )
+    needs_graph = True
+
+    def finish(self, state: ScanState) -> None:
+        if (
+            state.sources_by_cid is None
+            or state.status != "UNSAT"
+            or not state.final_conflicts
+            or state.num_original is None
+        ):
+            return
+        num_original = state.num_original
+        roots = [cid for _, cid in state.final_conflicts]
+        roots += [entry.antecedent for _, entry in state.level_zero]
+        stack = [cid for cid in roots if cid > num_original]
+        visited: set[int] = set()
+        while stack:
+            cid = stack.pop()
+            if cid in visited:
+                continue
+            visited.add(cid)
+            for source in state.sources_by_cid.get(cid, ()):
+                if source > num_original and source not in visited:
+                    stack.append(source)
+        reachable = len(visited & state.defined)
+        state.reachable_learned = reachable
+        unreachable = state.num_learned - reachable
+        if unreachable > 0 and state.num_learned > 0:
+            pct = 100.0 * reachable / state.num_learned
+            self.report(
+                f"{unreachable} of {state.num_learned} learned clauses are "
+                f"unreachable from the final conflict "
+                f"(proof reachability {pct:.1f}%)",
+                reachable=reachable,
+                unreachable=unreachable,
+                reachability_pct=round(pct, 1),
+            )
+
+
+@register_rule
+class EmptyDerivationRule(Rule):
+    """An UNSAT claim needs the raw material for an empty-clause derivation:
+    at least one final conflicting clause."""
+
+    rule_id = "T007"
+    name = "missing-empty-derivation"
+    severity = Severity.ERROR
+    rationale = (
+        "The checkers derive the empty clause starting from the final "
+        "conflicting clause; an UNSAT trace without one (or with several) "
+        "is missing its proof obligation."
+    )
+
+    def finish(self, state: ScanState) -> None:
+        if state.status == "UNSAT":
+            if not state.final_conflicts:
+                self.report(
+                    "trace claims UNSAT but records no final conflicting clause"
+                )
+            elif len(state.final_conflicts) > 1:
+                self.report(
+                    "trace records multiple final conflicting clauses; "
+                    "checkers use only the first",
+                    index=state.final_conflicts[1][0],
+                    cids=tuple(cid for _, cid in state.final_conflicts),
+                    severity=Severity.WARNING,
+                )
+        elif state.status == "SAT" and state.final_conflicts:
+            self.report(
+                "trace claims SAT yet records a final conflicting clause",
+                index=state.final_conflicts[0][0],
+                cids=(state.final_conflicts[0][1],),
+                severity=Severity.WARNING,
+            )
+
+
+@register_rule
+class HeaderRule(Rule):
+    """Exactly one header, first, with sane dimensions."""
+
+    rule_id = "T008"
+    name = "bad-header"
+    severity = Severity.ERROR
+    rationale = (
+        "Every downstream check is relative to the header's dimensions; "
+        "without it (or with two of them) no record can be classified."
+    )
+
+    def on_header(self, state: ScanState, index: int, record: TraceHeader) -> None:
+        if record.num_vars < 0 or record.num_original_clauses < 0:
+            self.report(
+                "header declares negative instance dimensions",
+                index=index,
+                num_vars=record.num_vars,
+                num_original_clauses=record.num_original_clauses,
+            )
+
+    def finish(self, state: ScanState) -> None:
+        if state.header is None:
+            self.report("trace has no header record")
+        if state.extra_header_indices:
+            for index in state.extra_header_indices:
+                self.report("duplicate trace header", index=index)
+        if state.records_before_header:
+            self.report(
+                f"{state.records_before_header} record(s) appear before the header",
+                index=0,
+            )
+
+
+@register_rule
+class ResultRule(Rule):
+    """The trace must end with the solver's claim — that claim is the thing
+    being validated."""
+
+    rule_id = "T009"
+    name = "missing-result"
+    severity = Severity.ERROR
+    rationale = (
+        "Without an R record there is no claim to check; an UNKNOWN claim "
+        "is legal (budget exhausted) but leaves nothing for a checker to do."
+    )
+
+    def finish(self, state: ScanState) -> None:
+        if state.status is None:
+            self.report("trace has no result record")
+        elif state.status not in ("SAT", "UNSAT", "UNKNOWN"):
+            self.report(
+                f"trace result {state.status!r} is not SAT, UNSAT, or UNKNOWN"
+            )
+        elif state.status == "UNKNOWN":
+            self.report(
+                "trace result is UNKNOWN: nothing for a checker to validate",
+                severity=Severity.WARNING,
+            )
+        if state.extra_result_indices:
+            self.report(
+                "trace has multiple result records",
+                index=state.extra_result_indices[0],
+                severity=Severity.WARNING,
+            )
+
+
+@register_rule
+class MonotonicIdRule(Rule):
+    """Learned clause IDs must be recorded in strictly increasing order."""
+
+    rule_id = "T010"
+    name = "non-monotonic-id"
+    severity = Severity.ERROR
+    rationale = (
+        "The breadth-first checker streams the trace in generation order and "
+        "requires strictly increasing learned IDs; out-of-order definitions "
+        "also defeat the binary format's delta encoding."
+    )
+
+    def on_learned(self, state: ScanState, index: int, record: LearnedClause) -> None:
+        if (
+            state.last_learned_cid is not None
+            and record.cid <= state.last_learned_cid
+            and record.cid not in state.defined  # exact duplicates are T003's
+        ):
+            self.report(
+                "learned clause ID is not greater than the previously "
+                "recorded one",
+                index=index,
+                cids=(record.cid,),
+                previous=state.last_learned_cid,
+            )
+
+
+@register_rule
+class TrailConsistencyRule(Rule):
+    """The level-0 trail must assign each variable at most once."""
+
+    rule_id = "T011"
+    name = "inconsistent-trail"
+    severity = Severity.ERROR
+    rationale = (
+        "A variable assigned both values at level 0 encodes a contradiction "
+        "outside the resolution proof; a repeated identical assignment is "
+        "redundant but harmless."
+    )
+
+    def finish(self, state: ScanState) -> None:
+        seen: dict[int, tuple[int, bool]] = {}
+        for index, entry in state.level_zero:
+            previous = seen.get(entry.var)
+            if previous is None:
+                seen[entry.var] = (index, entry.value)
+            elif previous[1] != entry.value:
+                self.report(
+                    "variable is assigned both values on the level-0 trail",
+                    index=index,
+                    var=entry.var,
+                    first_record=previous[0],
+                )
+            else:
+                self.report(
+                    "variable is assigned twice (same value) on the level-0 trail",
+                    index=index,
+                    var=entry.var,
+                    first_record=previous[0],
+                    severity=Severity.WARNING,
+                )
+
+
+@register_rule
+class MalformedRecordRule(Rule):
+    """The trace file itself must parse; a torn or garbled record ends the
+    analysis with a precise position instead of a stack trace."""
+
+    rule_id = "T012"
+    name = "malformed-record"
+    severity = Severity.ERROR
+    rationale = (
+        "Truncated files and corrupted records are the cheapest faults to "
+        "catch; the analyzer reports them as diagnostics rather than "
+        "crashing the way a checker's parser would."
+    )
+
+    # No stream hooks: the engine emits through this rule when the record
+    # iterator itself raises a TraceError.
+    def parse_error(self, index: int, error: Exception) -> None:
+        self.report(f"trace stream is malformed: {error}", index=index)

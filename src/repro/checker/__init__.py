@@ -25,6 +25,7 @@ from repro.checker.report import CheckReport
 from repro.checker.resolution import resolve, ResolutionError
 from repro.checker.memory import MemoryMeter, MemoryLimitExceeded
 from repro.checker.model import check_model
+from repro.checker.precheck import run_precheck
 from repro.checker.depth_first import DepthFirstChecker
 from repro.checker.breadth_first import BreadthFirstChecker
 from repro.checker.hybrid import HybridChecker
@@ -39,6 +40,7 @@ __all__ = [
     "MemoryMeter",
     "MemoryLimitExceeded",
     "check_model",
+    "run_precheck",
     "DepthFirstChecker",
     "BreadthFirstChecker",
     "HybridChecker",

@@ -57,9 +57,12 @@ class BreadthFirstChecker:
         memory_limit: int | None = None,
         count_chunk_size: int | None = None,
         tmp_dir: str | Path | None = None,
+        precheck: bool = False,
     ):
         self.formula = formula
         self._source = trace_source
+        self._precheck = precheck
+        self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
         self._chunk_size = count_chunk_size
         self._tmp_dir = str(tmp_dir) if tmp_dir is not None else None
@@ -79,6 +82,10 @@ class BreadthFirstChecker:
         verified = False
         counts_path: str | None = None
         try:
+            if self._precheck:
+                from repro.checker.precheck import run_precheck
+
+                self.precheck_report = run_precheck(self._source)
             max_cid = self._scan_extent()
             counts_path = self._counting_pass(max_cid)
             with open(counts_path, "rb") as counts_file:

@@ -34,9 +34,12 @@ class DepthFirstChecker:
         formula: CnfFormula,
         trace: Trace,
         memory_limit: int | None = None,
+        precheck: bool = False,
     ):
         self.formula = formula
         self.trace = trace
+        self._precheck = precheck
+        self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
         self._built: dict[int, FrozenSet[int]] = {}
         self._num_original = trace.header.num_original_clauses
@@ -52,6 +55,10 @@ class DepthFirstChecker:
         failure: CheckFailure | None = None
         verified = False
         try:
+            if self._precheck:
+                from repro.checker.precheck import run_precheck
+
+                self.precheck_report = run_precheck(self.trace)
             self._check_preamble()
             self._charge_trace_memory()
             final_cid = self.trace.final_conflicts[0]

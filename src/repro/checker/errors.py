@@ -24,6 +24,7 @@ class FailureKind(enum.Enum):
     MEMORY_OUT = "memory-out"  # checker exceeded its memory budget
     BAD_STATUS = "bad-status"  # trace does not claim UNSAT
     CYCLIC_TRACE = "cyclic-trace"  # clause (transitively) resolves from itself
+    STATIC_PRECHECK = "static-precheck"  # the lint pre-pass rejected the trace
 
 
 class CheckFailure(Exception):

@@ -56,9 +56,12 @@ class HybridChecker:
         formula: CnfFormula,
         trace_source: str | Path | Trace,
         memory_limit: int | None = None,
+        precheck: bool = False,
     ):
         self.formula = formula
         self._source = trace_source
+        self._precheck = precheck
+        self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
         self._num_original: int | None = None
         self._resident: dict[int, FrozenSet[int]] = {}
@@ -75,6 +78,10 @@ class HybridChecker:
         failure: CheckFailure | None = None
         verified = False
         try:
+            if self._precheck:
+                from repro.checker.precheck import run_precheck
+
+                self.precheck_report = run_precheck(self._source)
             needed_counts, level_zero_entries, final_cid, status = self._marking_pass()
             if status != "UNSAT":
                 raise CheckFailure(

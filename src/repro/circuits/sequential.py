@@ -120,7 +120,6 @@ def to_transition_system(design: SequentialCircuit, name: str | None = None) -> 
     # Bad circuit: the cone of the bad output, over register outputs only.
     bad_net = design.core.outputs[design.bad_output]
     cone = _transitive_fanin(design.core, bad_net)
-    register_nets = {r.output for r in design.registers}
     primary_nets = set(design.core.inputs[design.num_registers :])
     if cone & primary_nets:
         raise ValueError(

@@ -1,12 +1,16 @@
-"""Command-line entry points: repro-solve, repro-check, repro-core.
+"""Command-line entry points: repro-solve, repro-check, repro-core, …
 
 A minimal DIMACS-in, verdict-out interface so the solver/checker pipeline
-can be driven from shell scripts the way zchaff and its checker were.
+can be driven from shell scripts the way zchaff and its checker were. The
+``repro`` umbrella command exposes every tool as a subcommand
+(``repro lint-trace``, ``repro check``, …); the ``repro-*`` entry points
+remain for script compatibility.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.checker import (
@@ -99,15 +103,30 @@ def check_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--method", default="df", choices=sorted(_CHECKERS))
     parser.add_argument("--mem-limit", type=int, default=None, help="logical units")
     parser.add_argument("--show-core", action="store_true", help="print the unsat core (df/hybrid)")
+    parser.add_argument(
+        "--precheck",
+        action="store_true",
+        help="run the static trace linter first and fail fast on structural "
+        "errors (df/bf/hybrid; a DRUP proof has no trace to lint)",
+    )
     args = parser.parse_args(argv)
+
+    if args.precheck and args.method == "rup":
+        parser.error("--precheck lints resolution traces; not applicable to --method rup")
 
     formula = parse_dimacs_file(args.cnf)
     if args.method == "df":
-        checker = DepthFirstChecker(formula, load_trace(args.proof), memory_limit=args.mem_limit)
+        checker = DepthFirstChecker(
+            formula, load_trace(args.proof), memory_limit=args.mem_limit, precheck=args.precheck
+        )
     elif args.method == "bf":
-        checker = BreadthFirstChecker(formula, args.proof, memory_limit=args.mem_limit)
+        checker = BreadthFirstChecker(
+            formula, args.proof, memory_limit=args.mem_limit, precheck=args.precheck
+        )
     elif args.method == "hybrid":
-        checker = HybridChecker(formula, args.proof, memory_limit=args.mem_limit)
+        checker = HybridChecker(
+            formula, args.proof, memory_limit=args.mem_limit, precheck=args.precheck
+        )
     else:
         checker = RupChecker(formula, args.proof)
 
@@ -149,6 +168,99 @@ def trim_main(argv: list[str] | None = None) -> int:
         f"original core: {len(result.original_core)} clauses"
     )
     return 0
+
+
+def lint_trace_main(argv: list[str] | None = None) -> int:
+    """repro lint-trace: static structural analysis of a resolution trace.
+
+    Streams the trace (ASCII or binary) through the rule registry without
+    performing any resolution and without materializing the trace in
+    memory. Exit status 0 means no error-severity finding (add ``--strict``
+    to also fail on warnings); 1 means the trace is structurally broken and
+    no checker could replay it.
+    """
+    parser = argparse.ArgumentParser(prog="repro-lint-trace")
+    parser.add_argument("trace", help="ASCII or binary trace file")
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule IDs to run (default: all), e.g. T001,T005",
+    )
+    parser.add_argument(
+        "--no-reachability",
+        action="store_true",
+        help="skip the reachability rule (T006); the pass then retains no "
+        "ID graph at all",
+    )
+    parser.add_argument(
+        "--strict", action="store_true", help="treat warnings as errors"
+    )
+    parser.add_argument(
+        "--max-diagnostics",
+        type=int,
+        default=50,
+        metavar="N",
+        help="print at most N diagnostics in text mode (default 50)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis import analyze_trace
+
+    rules = args.rules.split(",") if args.rules else None
+    try:
+        report = analyze_trace(
+            args.trace, rules=rules, compute_reachability=not args.no_reachability
+        )
+    except OSError as exc:
+        parser.error(f"cannot read trace: {exc}")
+    except ValueError as exc:  # unknown rule ID
+        parser.error(str(exc))
+
+    failed = bool(report.errors) or (args.strict and bool(report.warnings))
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        shown = report.diagnostics[: args.max_diagnostics]
+        for diagnostic in shown:
+            print(str(diagnostic))
+        hidden = len(report.diagnostics) - len(shown)
+        if hidden > 0:
+            print(f"... {hidden} more diagnostic(s) suppressed (--max-diagnostics)")
+        print(report.summary())
+    return 1 if failed else 0
+
+
+_SUBCOMMANDS: dict[str, tuple[str, str]] = {
+    "solve": ("solve_main", "solve a DIMACS file, optionally logging proofs"),
+    "check": ("check_main", "validate an UNSAT claim from its trace/proof"),
+    "lint-trace": ("lint_trace_main", "static structural analysis of a trace"),
+    "trace-stats": ("trace_stats_main", "analytics for a trace file"),
+    "trim": ("trim_main", "drop trace records the proof does not need"),
+    "core": ("core_main", "iterated unsat-core extraction"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """repro: umbrella entry point dispatching to the tool subcommands."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    usage_lines = ["usage: repro <command> [options]", "", "commands:"] + [
+        f"  {name:<12} {help_text}" for name, (_, help_text) in _SUBCOMMANDS.items()
+    ]
+    if not argv or argv[0] in ("-h", "--help"):
+        print("\n".join(usage_lines))
+        return 0 if argv else 2
+    command = argv[0]
+    entry = _SUBCOMMANDS.get(command)
+    if entry is None:
+        print("\n".join([f"repro: unknown command {command!r}", ""] + usage_lines), file=sys.stderr)
+        return 2
+    return globals()[entry[0]](argv[1:])
 
 
 def core_main(argv: list[str] | None = None) -> int:

@@ -15,6 +15,16 @@ Two kinds of faults are modeled:
   literal from learned clauses, which is unsound and can make it claim
   UNSAT for satisfiable formulas; the recorded sources then no longer
   reproduce the clauses the solver actually used.
+
+The trace-generation bugs split further by how they are caught. The
+*semantic* ones (dropped source, swapped order, wrong-but-defined
+antecedent, omitted trail entry, misdirected final conflict) leave a
+structurally well-formed trace and genuinely need resolution replay. The
+*structural* ones (truncated chain, forward reference, duplicated ID,
+missing final conflict, dangling antecedent) break the trace DAG itself and
+are caught by the :mod:`repro.analysis` linter without building a single
+clause — `tests/analysis/test_fault_matrix.py` pins down which bug lands on
+which side, with exact rule IDs.
 """
 
 from __future__ import annotations
@@ -36,6 +46,12 @@ class BugKind(enum.Enum):
     OMIT_LEVEL_ZERO = "omit_level_zero"  # drop a level-0 trail entry
     WRONG_FINAL_CONFLICT = "wrong_final_conflict"  # CONF points at a non-conflict
     DROP_LEARNED_LITERAL = "drop_learned_literal"  # unsound learning
+    # Structural bugs: break the trace DAG itself (statically detectable).
+    TRUNCATE_SOURCES = "truncate_sources"  # keep only the first resolve source
+    FORWARD_SOURCE = "forward_source"  # source ID >= the learned clause's own
+    DUPLICATE_CID = "duplicate_cid"  # reuse an already-defined clause ID
+    OMIT_FINAL_CONFLICT = "omit_final_conflict"  # never record the CONF line
+    DANGLING_ANTECEDENT = "dangling_antecedent"  # trail cites an undefined clause
 
 
 class CorruptingTraceWriter:
@@ -53,6 +69,7 @@ class CorruptingTraceWriter:
         self._rng = random.Random(seed)
         self._corrupted = False
         self._level_zero_seen = 0
+        self._last_cid: int | None = None
 
     @property
     def corrupted(self) -> bool:
@@ -73,6 +90,16 @@ class CorruptingTraceWriter:
                 # breaks the reverse-chronological resolution order.
                 sources[0], sources[-1] = sources[-1], sources[0]
                 self._corrupted = True
+            elif self._bug == BugKind.TRUNCATE_SOURCES:
+                sources = sources[:1]
+                self._corrupted = True
+            elif self._bug == BugKind.FORWARD_SOURCE:
+                sources[-1] = cid + self._rng.randrange(1, 8)
+                self._corrupted = True
+            elif self._bug == BugKind.DUPLICATE_CID and self._last_cid is not None:
+                cid = self._last_cid
+                self._corrupted = True
+        self._last_cid = cid
         self._inner.learned_clause(cid, sources)
 
     def level_zero(self, var: int, value: bool, antecedent: int) -> None:
@@ -85,12 +112,19 @@ class CorruptingTraceWriter:
                 self._corrupted = True
                 self._inner.level_zero(var, value, max(1, antecedent - 1))
                 return
+            if self._bug == BugKind.DANGLING_ANTECEDENT and self._rng.random() < 0.5:
+                self._corrupted = True
+                self._inner.level_zero(var, value, antecedent + 10_000_000)
+                return
         self._inner.level_zero(var, value, antecedent)
 
     def final_conflict(self, cid: int) -> None:
         if self._bug == BugKind.WRONG_FINAL_CONFLICT:
             self._corrupted = True
             cid = 1 if cid != 1 else 2
+        elif self._bug == BugKind.OMIT_FINAL_CONFLICT:
+            self._corrupted = True
+            return
         self._inner.final_conflict(cid)
 
     def result(self, status: str) -> None:

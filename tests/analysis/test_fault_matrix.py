@@ -1,0 +1,126 @@
+"""The fault matrix: which buggy-solver variants are caught statically.
+
+This pins the division of labour between the linter and the checkers:
+
+* **Structural bugs** break the trace DAG itself — the static analyzer must
+  flag them with an *exact* rule ID, before any resolution happens.
+* **Semantic bugs** leave a structurally well-formed trace — the linter
+  must stay silent (no false positives) and the resolution-replaying
+  checkers genuinely are the only line of defence.
+"""
+
+import pytest
+
+from repro.analysis import analyze_trace
+from repro.checker import DepthFirstChecker
+from repro.solver.buggy import BugKind, make_buggy_solver
+from repro.trace import InMemoryTraceWriter
+
+from tests.conftest import pigeonhole
+
+# bug kind -> the one rule ID that must catch it statically
+STATICALLY_CAUGHT = {
+    BugKind.TRUNCATE_SOURCES: "T005",
+    BugKind.FORWARD_SOURCE: "T002",
+    BugKind.DUPLICATE_CID: "T003",
+    BugKind.OMIT_FINAL_CONFLICT: "T007",
+    BugKind.DANGLING_ANTECEDENT: "T001",
+}
+
+# Bug kinds whose traces are structurally perfect: only replay catches them.
+NEEDS_REPLAY = [
+    BugKind.DROP_SOURCE,
+    BugKind.SWAP_SOURCES,
+    BugKind.WRONG_ANTECEDENT,
+    BugKind.OMIT_LEVEL_ZERO,
+    BugKind.WRONG_FINAL_CONFLICT,
+]
+
+SEEDS = range(8)
+
+
+def corrupted_records(formula, bug, seed):
+    """Solve with an injected bug; the raw record list iff the bug fired.
+
+    Record list rather than ``Trace``: assembly itself rejects duplicate
+    IDs, and the linter must see the stream exactly as a file would hold it.
+    """
+    inner = InMemoryTraceWriter()
+    solver, wrapper = make_buggy_solver(formula, bug, inner, seed=seed)
+    result = solver.solve()
+    assert result.is_unsat
+    if wrapper is not None and not wrapper.corrupted:
+        return None
+    return inner.records
+
+
+@pytest.mark.parametrize("bug", sorted(STATICALLY_CAUGHT, key=lambda b: b.value))
+def test_structural_bugs_are_caught_statically_with_exact_rule(bug):
+    expected_rule = STATICALLY_CAUGHT[bug]
+    fired = caught = 0
+    for seed in SEEDS:
+        records = corrupted_records(pigeonhole(6, 5), bug, seed)
+        if records is None:
+            continue
+        fired += 1
+        report = analyze_trace(records)
+        assert not report.ok, f"{bug}: linter accepted a corrupted trace (seed {seed})"
+        if expected_rule in {d.rule_id for d in report.errors}:
+            caught += 1
+    assert fired > 0, f"bug {bug} never fired in {len(SEEDS)} seeds"
+    assert caught == fired, f"{bug}: {fired - caught} traces missed rule {expected_rule}"
+
+
+@pytest.mark.parametrize("bug", sorted(NEEDS_REPLAY, key=lambda b: b.value))
+def test_semantic_bugs_are_invisible_statically_but_caught_by_replay(bug):
+    fired = lint_clean = replay_caught = 0
+    for seed in SEEDS:
+        formula = pigeonhole(6, 5)
+        records = corrupted_records(formula, bug, seed)
+        if records is None:
+            continue
+        fired += 1
+        report = analyze_trace(records)
+        if report.ok:
+            lint_clean += 1
+        trace = InMemoryTraceWriter()
+        trace.records = list(records)
+        if not DepthFirstChecker(formula, trace.to_trace()).check().verified:
+            replay_caught += 1
+    assert fired > 0, f"bug {bug} never fired in {len(SEEDS)} seeds"
+    assert lint_clean == fired, (
+        f"{bug}: the linter false-positived on a structurally valid trace"
+    )
+    assert replay_caught == fired, f"{bug}: the DF checker missed a corrupted trace"
+
+
+def test_unsound_learning_is_invisible_statically():
+    """The reasoning bug writes a perfectly-shaped trace; only replay can
+    tell that the recorded sources do not reproduce the solver's clauses."""
+    from repro.solver import SolverConfig
+    from repro.solver.buggy import UnsoundLearningSolver
+
+    from tests.conftest import random_3sat
+
+    analyzed = 0
+    for seed in range(20):
+        formula = random_3sat(18, 70, seed=seed)
+        writer = InMemoryTraceWriter()
+        solver = UnsoundLearningSolver(
+            formula,
+            config=SolverConfig(seed=seed, max_conflicts=3000),
+            trace_writer=writer,
+            drop_period=2,
+        )
+        if not solver.solve().is_unsat:
+            continue
+        analyzed += 1
+        report = analyze_trace(writer.records)
+        assert report.ok, [str(d) for d in report.errors]
+    assert analyzed > 0
+
+
+def test_matrix_is_exhaustive_over_bug_kinds():
+    """Every BugKind is classified; a new kind must pick a side."""
+    classified = set(STATICALLY_CAUGHT) | set(NEEDS_REPLAY) | {BugKind.DROP_LEARNED_LITERAL}
+    assert classified == set(BugKind)

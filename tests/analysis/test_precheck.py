@@ -1,0 +1,92 @@
+"""precheck=True: the linter as a fast-fail gate in front of all checkers."""
+
+import pytest
+
+from repro.checker import (
+    BreadthFirstChecker,
+    DepthFirstChecker,
+    FailureKind,
+    HybridChecker,
+    run_precheck,
+)
+from repro.checker.errors import CheckFailure
+from repro.solver import Solver, SolverConfig
+from repro.solver.buggy import BugKind, make_buggy_solver
+from repro.trace import AsciiTraceWriter, InMemoryTraceWriter, load_trace
+
+from tests.conftest import pigeonhole
+
+
+@pytest.fixture(scope="module")
+def clean(tmp_path_factory):
+    formula = pigeonhole(6, 5)
+    path = tmp_path_factory.mktemp("precheck") / "clean.trace"
+    result = Solver(formula, SolverConfig(), trace_writer=AsciiTraceWriter(path)).solve()
+    assert result.is_unsat
+    return formula, path
+
+
+def corrupt_structurally(formula, bug=BugKind.TRUNCATE_SOURCES):
+    for seed in range(16):
+        inner = InMemoryTraceWriter()
+        solver, wrapper = make_buggy_solver(formula, bug, inner, seed=seed)
+        assert solver.solve().is_unsat
+        if wrapper.corrupted:
+            return inner.to_trace()
+    raise AssertionError("bug never fired")
+
+
+@pytest.mark.parametrize("method", ["df", "bf", "hybrid"])
+def test_precheck_passes_clean_traces_and_still_verifies(clean, method):
+    formula, path = clean
+    if method == "df":
+        checker = DepthFirstChecker(formula, load_trace(path), precheck=True)
+    elif method == "bf":
+        checker = BreadthFirstChecker(formula, path, precheck=True)
+    else:
+        checker = HybridChecker(formula, path, precheck=True)
+    report = checker.check()
+    assert report.verified
+    assert checker.precheck_report is not None and checker.precheck_report.ok
+
+
+@pytest.mark.parametrize("method", ["df", "bf", "hybrid"])
+def test_precheck_rejects_structural_garbage_before_replay(clean, method):
+    formula, _ = clean
+    trace = corrupt_structurally(formula)
+    if method == "df":
+        checker = DepthFirstChecker(formula, trace, precheck=True)
+    elif method == "bf":
+        checker = BreadthFirstChecker(formula, trace, precheck=True)
+    else:
+        checker = HybridChecker(formula, trace, precheck=True)
+    report = checker.check()
+    assert not report.verified
+    assert report.failure.kind is FailureKind.STATIC_PRECHECK
+    assert "T005" in report.failure.context["rules"]
+    # Fast-fail means *no replay work at all*.
+    assert report.resolutions == 0
+    assert report.clauses_built == 0
+
+
+def test_precheck_off_reaches_the_replay_stage(clean):
+    formula, _ = clean
+    trace = corrupt_structurally(formula)
+    report = DepthFirstChecker(formula, trace).check()
+    assert not report.verified
+    assert report.failure.kind is not FailureKind.STATIC_PRECHECK
+
+
+def test_run_precheck_returns_report_on_clean_input(clean):
+    formula, path = clean
+    report = run_precheck(str(path))
+    assert report.ok and report.num_learned > 0
+
+
+def test_run_precheck_raises_with_rule_context(clean):
+    formula, _ = clean
+    trace = corrupt_structurally(formula, BugKind.OMIT_FINAL_CONFLICT)
+    with pytest.raises(CheckFailure) as excinfo:
+        run_precheck(trace)
+    assert excinfo.value.kind is FailureKind.STATIC_PRECHECK
+    assert excinfo.value.context["rules"] == ["T007"]

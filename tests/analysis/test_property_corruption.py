@@ -1,0 +1,146 @@
+"""Property-based corruption testing (hypothesis).
+
+Property: take any structurally valid trace and apply one structure-breaking
+corruption — drop a referenced record, swap two definition IDs, truncate a
+source list, point a source past the DAG frontier, or strip a mandatory
+record — and the analyzer must emit at least one error-severity diagnostic.
+
+The generator builds arbitrary well-formed trace DAGs directly (not via the
+solver), so shrinking produces minimal counterexamples.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis import analyze_trace
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    TraceHeader,
+    TraceResult,
+)
+
+
+@st.composite
+def valid_traces(draw):
+    """A structurally valid UNSAT trace over a random DAG."""
+    num_vars = draw(st.integers(min_value=2, max_value=8))
+    num_original = draw(st.integers(min_value=2, max_value=10))
+    num_learned = draw(st.integers(min_value=2, max_value=12))
+
+    records = [TraceHeader(num_vars, num_original)]
+    defined = list(range(1, num_original + 1))
+    learned_cids = []
+    for offset in range(num_learned):
+        cid = num_original + 1 + offset
+        chain_len = draw(st.integers(min_value=2, max_value=min(4, len(defined))))
+        sources = tuple(
+            draw(st.permutations(defined))[:chain_len]
+        )
+        records.append(LearnedClause(cid, sources))
+        defined.append(cid)
+        learned_cids.append(cid)
+
+    trail_vars = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=num_vars),
+            unique=True,
+            min_size=0,
+            max_size=num_vars,
+        )
+    )
+    for var in trail_vars:
+        records.append(
+            LevelZeroAssignment(var, draw(st.booleans()), draw(st.sampled_from(defined)))
+        )
+    records.append(FinalConflict(learned_cids[-1]))
+    records.append(TraceResult("UNSAT"))
+    return records
+
+
+def referenced_learned_cids(records):
+    """Learned IDs that some later record actually points at."""
+    num_original = records[0].num_original_clauses
+    used = set()
+    for record in records:
+        if isinstance(record, LearnedClause):
+            used.update(s for s in record.sources if s > num_original)
+        elif isinstance(record, LevelZeroAssignment):
+            if record.antecedent > num_original:
+                used.add(record.antecedent)
+        elif isinstance(record, FinalConflict):
+            if record.cid > num_original:
+                used.add(record.cid)
+    return sorted(used)
+
+
+@st.composite
+def corrupted_traces(draw):
+    """(valid trace, corrupted trace, corruption name)."""
+    records = draw(valid_traces())
+    learned_indices = [
+        i for i, r in enumerate(records) if isinstance(r, LearnedClause)
+    ]
+    corruption = draw(
+        st.sampled_from(
+            [
+                "drop_referenced_record",
+                "swap_two_ids",
+                "truncate_sources",
+                "dangling_source",
+                "drop_header",
+                "drop_final_conflict",
+                "drop_result",
+            ]
+        )
+    )
+    mutated = list(records)
+    if corruption == "drop_referenced_record":
+        target = draw(st.sampled_from(referenced_learned_cids(records)))
+        mutated = [
+            r
+            for r in mutated
+            if not (isinstance(r, LearnedClause) and r.cid == target)
+        ]
+    elif corruption == "swap_two_ids":
+        i, j = sorted(draw(st.permutations(learned_indices))[:2])
+        a, b = mutated[i], mutated[j]
+        mutated[i] = LearnedClause(b.cid, a.sources)
+        mutated[j] = LearnedClause(a.cid, b.sources)
+    elif corruption == "truncate_sources":
+        index = draw(st.sampled_from(learned_indices))
+        record = mutated[index]
+        mutated[index] = LearnedClause(record.cid, record.sources[:1])
+    elif corruption == "dangling_source":
+        index = draw(st.sampled_from(learned_indices))
+        record = mutated[index]
+        max_cid = max(r.cid for r in records if isinstance(r, LearnedClause))
+        bad = max_cid + draw(st.integers(min_value=1, max_value=50))
+        mutated[index] = LearnedClause(record.cid, record.sources[:-1] + (bad,))
+    elif corruption == "drop_header":
+        mutated = [r for r in mutated if not isinstance(r, TraceHeader)]
+    elif corruption == "drop_final_conflict":
+        mutated = [r for r in mutated if not isinstance(r, FinalConflict)]
+    elif corruption == "drop_result":
+        mutated = [r for r in mutated if not isinstance(r, TraceResult)]
+    return records, mutated, corruption
+
+
+@given(valid_traces())
+@settings(max_examples=60, deadline=None)
+def test_generated_traces_are_clean(records):
+    report = analyze_trace(records)
+    assert report.ok, [str(d) for d in report.errors]
+
+
+@given(corrupted_traces())
+@settings(max_examples=150, deadline=None)
+def test_any_single_corruption_trips_at_least_one_rule(case):
+    original, mutated, corruption = case
+    assert analyze_trace(original).ok
+    report = analyze_trace(mutated)
+    assert not report.ok, (
+        f"corruption {corruption!r} went undetected; "
+        f"diagnostics: {[str(d) for d in report.diagnostics]}"
+    )

@@ -1,0 +1,147 @@
+"""Streaming-mode guarantees: no Trace materialization, zero resolution.
+
+The acceptance bar for the analyzer is behavioural, not aspirational, so
+both claims are enforced with spies: ``assemble_trace`` (the only way to
+build a ``Trace`` from a record stream) is poisoned during file analysis,
+and ``repro.checker.resolution.resolve`` is poisoned during every pass.
+"""
+
+import pytest
+
+from repro.analysis import analyze_trace
+from repro.solver import Solver, SolverConfig
+from repro.trace import AsciiTraceWriter, BinaryTraceWriter, load_trace
+
+from tests.conftest import pigeonhole, random_3sat
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("lint-traces")
+    formula = pigeonhole(6, 5)
+    ascii_path = directory / "php.trace"
+    binary_path = directory / "php.rtb"
+    result = Solver(formula, SolverConfig(), trace_writer=AsciiTraceWriter(ascii_path)).solve()
+    assert result.is_unsat
+    Solver(formula, SolverConfig(), trace_writer=BinaryTraceWriter(binary_path)).solve()
+    return ascii_path, binary_path
+
+
+def test_ascii_and_binary_streams_agree(trace_files):
+    ascii_path, binary_path = trace_files
+    ascii_report = analyze_trace(ascii_path)
+    binary_report = analyze_trace(binary_path)
+    assert ascii_report.ok and binary_report.ok
+    assert ascii_report.streaming and binary_report.streaming
+    assert ascii_report.num_learned == binary_report.num_learned
+    assert ascii_report.reachable_learned == binary_report.reachable_learned
+    assert ascii_report.records_scanned == binary_report.records_scanned
+
+
+def test_binary_streaming_never_materializes_a_trace(trace_files, monkeypatch):
+    """Acceptance: streaming mode must not build the full in-memory Trace."""
+    _, binary_path = trace_files
+
+    def poisoned(*args, **kwargs):
+        raise AssertionError("analyzer materialized a Trace during streaming")
+
+    import repro.trace.io
+    import repro.trace.records
+
+    monkeypatch.setattr(repro.trace.records, "assemble_trace", poisoned)
+    monkeypatch.setattr(repro.trace.io, "load_trace", poisoned)
+    report = analyze_trace(binary_path)
+    assert report.ok and report.streaming and report.num_learned > 0
+
+
+def test_analyzer_performs_zero_resolutions(trace_files, monkeypatch):
+    """Acceptance: the linter never resolves — poison the only resolve()."""
+    ascii_path, _ = trace_files
+    calls = []
+
+    import repro.checker.resolution
+
+    def spy(*args, **kwargs):
+        calls.append(args)
+        raise AssertionError("static analysis performed a resolution step")
+
+    monkeypatch.setattr(repro.checker.resolution, "resolve", spy)
+    report = analyze_trace(ascii_path)
+    assert report.ok
+    assert calls == []
+    # Same guarantee for the in-memory path.
+    report = analyze_trace(load_trace(ascii_path))
+    assert report.ok
+    assert calls == []
+
+
+def test_analysis_package_never_imports_the_checker():
+    """Independence by construction: the linter must not lean on replay code.
+
+    (``import repro`` itself pulls in the checker package, so this is a
+    static check over the analysis package's own source.)
+    """
+    import ast
+    from pathlib import Path
+
+    import repro.analysis
+
+    package_dir = Path(repro.analysis.__file__).parent
+    for path in sorted(package_dir.glob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                names = [node.module or ""]
+            else:
+                continue
+            for name in names:
+                assert not name.startswith("repro.checker"), (
+                    f"{path.name} imports {name}: the analyzer must stay "
+                    "independent of the replay machinery"
+                )
+                assert not name.startswith("repro.solver"), path.name
+
+
+def test_malformed_ascii_file_is_a_diagnostic_not_a_crash(tmp_path):
+    path = tmp_path / "garbled.trace"
+    path.write_text("T 3 3\nCL 4 1 2\nCL not-a-number\n")
+    report = analyze_trace(path)
+    assert not report.ok
+    t012 = [d for d in report.errors if d.rule_id == "T012"]
+    assert len(t012) == 1
+    assert t012[0].record_index == 2  # the third record is the torn one
+
+
+def test_truncated_binary_file_is_a_diagnostic_not_a_crash(trace_files, tmp_path):
+    _, binary_path = trace_files
+    blob = binary_path.read_bytes()
+    torn = tmp_path / "torn.rtb"
+    torn.write_bytes(blob[: len(blob) - 3])
+    report = analyze_trace(torn)
+    assert "T012" in {d.rule_id for d in report.errors} or not report.ok
+
+
+def test_reference_generator_suite_lints_clean(tmp_path):
+    """Acceptance: every reference-solver trace from the generator suite
+    passes with zero errors (and zero warnings)."""
+    from repro.generators import pigeonhole as php_gen, random_ksat
+
+    instances = [
+        php_gen(5, 4),
+        php_gen(6, 5),
+        random_3sat(16, 90, seed=3),  # over-constrained: very likely UNSAT
+        random_ksat(14, 80, k=3, seed=7),
+    ]
+    checked = 0
+    for i, formula in enumerate(instances):
+        path = tmp_path / f"ref{i}.trace"
+        result = Solver(formula, SolverConfig(seed=i), trace_writer=AsciiTraceWriter(path)).solve()
+        if not result.is_unsat:
+            continue
+        checked += 1
+        report = analyze_trace(path)
+        assert report.ok, [str(d) for d in report.errors]
+        assert not report.warnings, [str(d) for d in report.warnings]
+    assert checked >= 2

@@ -1,8 +1,10 @@
 """CLI entry points, driven in-process."""
 
+import json
+
 import pytest
 
-from repro.cli import check_main, core_main, solve_main, trace_stats_main
+from repro.cli import check_main, core_main, lint_trace_main, main, solve_main, trace_stats_main
 from repro.cnf import write_dimacs_file
 from repro.generators import pigeonhole
 from repro.cnf import CnfFormula
@@ -105,3 +107,63 @@ def test_trace_stats_cli(unsat_cnf, tmp_path, capsys):
     solve_main([str(unsat_cnf), "--trace", str(trace)])
     assert trace_stats_main([str(trace)]) == 0
     assert "learned clauses" in capsys.readouterr().out
+
+
+@pytest.fixture
+def clean_trace(unsat_cnf, tmp_path):
+    trace = tmp_path / "p.trace"
+    solve_main([str(unsat_cnf), "--trace", str(trace)])
+    return trace
+
+
+def test_lint_trace_accepts_clean_trace(clean_trace, capsys):
+    assert lint_trace_main([str(clean_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "[lint] clean" in out
+    assert "reachability" in out
+
+
+def test_lint_trace_flags_corrupted_trace(clean_trace, tmp_path, capsys):
+    lines = clean_trace.read_text().splitlines()
+    broken = tmp_path / "broken.trace"
+    broken.write_text("\n".join(line for line in lines if not line.startswith("CONF")) + "\n")
+    assert lint_trace_main([str(broken)]) == 1
+    out = capsys.readouterr().out
+    assert "T007" in out and "error" in out
+
+
+def test_lint_trace_json_output(clean_trace, capsys):
+    assert lint_trace_main([str(clean_trace), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["streaming"] is True
+    assert payload["num_learned"] > 0
+
+
+def test_lint_trace_rule_filter_and_no_reachability(clean_trace, capsys):
+    assert lint_trace_main([str(clean_trace), "--rules", "T001,T005", "--no-reachability"]) == 0
+    assert "reachability" not in capsys.readouterr().out
+
+
+def test_lint_trace_binary_format(unsat_cnf, tmp_path):
+    trace = tmp_path / "p.rtb"
+    solve_main([str(unsat_cnf), "--trace", str(trace), "--trace-format", "binary"])
+    assert lint_trace_main([str(trace)]) == 0
+
+
+def test_repro_umbrella_dispatch(clean_trace, unsat_cnf, capsys):
+    assert main(["lint-trace", str(clean_trace)]) == 0
+    assert main(["check", str(unsat_cnf), str(clean_trace), "--precheck"]) == 0
+    assert "Check Succeeded" in capsys.readouterr().out
+    assert main(["no-such-command"]) == 2
+    assert main([]) == 2
+    assert main(["--help"]) == 0
+
+
+def test_check_precheck_fails_fast_on_garbage(unsat_cnf, clean_trace, tmp_path, capsys):
+    lines = clean_trace.read_text().splitlines()
+    broken = tmp_path / "broken.trace"
+    broken.write_text("\n".join(line for line in lines if not line.startswith("CONF")) + "\n")
+    assert check_main([str(unsat_cnf), str(broken), "--method", "bf", "--precheck"]) == 1
+    out = capsys.readouterr().out
+    assert "static-precheck" in out

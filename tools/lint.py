@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""`make lint`: ruff + mypy when installed, a self-contained fallback otherwise.
+
+Offline environments (including the CI container this repo grew up in) may
+not ship ruff or mypy. Rather than letting `make lint` rot into a no-op, the
+fallback implements the subset of checks the ruff config selects that can be
+done reliably with the stdlib `ast` module:
+
+* syntax errors (E9, via compile)
+* F401  unused imports (module and function scope)
+* F841  unused local variables (simple single-target assignments only)
+* E711  comparisons to None with ==/!=
+* E722  bare except
+* E741  ambiguous single-letter names (l, O, I)
+
+When ruff/mypy ARE installed (e.g. in GitHub Actions), they run with the
+configuration in pyproject.toml and the fallback stays out of the way.
+"""
+
+from __future__ import annotations
+
+import ast
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TARGET = REPO_ROOT / "src" / "repro"
+
+
+def run_external(tool: str, *args: str) -> int:
+    print(f"[lint] running {tool} {' '.join(args)}")
+    return subprocess.run([tool, *args], cwd=REPO_ROOT).returncode
+
+
+class FallbackChecker(ast.NodeVisitor):
+    """Single-file pyflakes-lite; collects (lineno, code, message)."""
+
+    def __init__(self, tree: ast.AST):
+        self.tree = tree
+        self.problems: list[tuple[int, str, str]] = []
+
+    def check(self) -> list[tuple[int, str, str]]:
+        self._check_unused_imports()
+        self._check_functions()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Compare):
+                for op, comparator in zip(node.ops, node.comparators):
+                    if (
+                        isinstance(op, (ast.Eq, ast.NotEq))
+                        and isinstance(comparator, ast.Constant)
+                        and comparator.value is None
+                    ):
+                        self.problems.append(
+                            (node.lineno, "E711", "comparison to None (use `is`)")
+                        )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                self.problems.append((node.lineno, "E722", "bare except"))
+            elif (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Store)
+                and node.id in ("l", "O", "I")
+            ):
+                self.problems.append(
+                    (node.lineno, "E741", f"ambiguous variable name {node.id!r}")
+                )
+        return sorted(self.problems)
+
+    def _loaded_names(self, root: ast.AST) -> set[str]:
+        loaded: set[str] = set()
+        for node in ast.walk(root):
+            if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store):
+                loaded.add(node.id)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                loaded.add(node.target.id)  # `x += 1` reads x
+            elif isinstance(node, (ast.Global, ast.Nonlocal)):
+                loaded.update(node.names)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                loaded.add(node.value)  # string annotations, __all__ entries
+        return loaded
+
+    def _check_unused_imports(self) -> None:
+        loaded = self._loaded_names(self.tree)
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                aliases = [(a, (a.asname or a.name).split(".")[0]) for a in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module != "__future__":
+                aliases = [(a, a.asname or a.name) for a in node.names]
+            else:
+                continue
+            for alias, bound in aliases:
+                if bound != "*" and bound not in loaded:
+                    self.problems.append(
+                        (node.lineno, "F401", f"unused import {alias.name!r}")
+                    )
+
+    def _check_functions(self) -> None:
+        for fn in ast.walk(self.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            loaded = self._loaded_names(fn)
+            loop_targets = {
+                n.id
+                for loop in ast.walk(fn)
+                if isinstance(loop, (ast.For, ast.AsyncFor, ast.comprehension))
+                for n in ast.walk(loop.target)
+                if isinstance(n, ast.Name)
+            }
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and not target.id.startswith("_")
+                    and target.id not in loaded
+                    and target.id not in loop_targets
+                ):
+                    self.problems.append(
+                        (
+                            node.lineno,
+                            "F841",
+                            f"local variable {target.id!r} assigned but never used",
+                        )
+                    )
+
+
+def fallback_lint() -> int:
+    print("[lint] ruff not installed; using the stdlib fallback linter")
+    failures = 0
+    for path in sorted(TARGET.rglob("*.py")):
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            print(f"{path}:{exc.lineno}: E999 syntax error: {exc.msg}")
+            failures += 1
+            continue
+        problems = FallbackChecker(tree).check()
+        if path.name == "__init__.py":  # mirror the ruff per-file-ignores
+            problems = [p for p in problems if p[1] != "F401"]
+        for lineno, code, message in problems:
+            print(f"{path.relative_to(REPO_ROOT)}:{lineno}: {code} {message}")
+            failures += 1
+    if failures:
+        print(f"[lint] fallback linter: {failures} problem(s)")
+        return 1
+    print("[lint] fallback linter: clean")
+    return 0
+
+
+def main() -> int:
+    status = 0
+    if shutil.which("ruff"):
+        status |= run_external("ruff", "check", "src/repro")
+    else:
+        status |= fallback_lint()
+    if shutil.which("mypy"):
+        status |= run_external("mypy", "--config-file", "pyproject.toml")
+    else:
+        print("[lint] mypy not installed; skipping type check")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
