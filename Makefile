@@ -1,6 +1,6 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test lint check bench tables tables-large ablations export examples clean
+.PHONY: install test lint check bench bench-parallel tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
@@ -16,6 +16,11 @@ check: lint test
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Parallel windowed checker vs. DF/BF; writes results/BENCH_parallel.json.
+# Use REPRO_BENCH_SCALE=large for the multi-second instances.
+bench-parallel:
+	pytest benchmarks/bench_parallel.py
 
 tables:
 	python -m repro.experiments all --scale medium

@@ -1,0 +1,113 @@
+"""Parallel windowed checking vs. the sequential checkers.
+
+Times the :class:`~repro.checker.parallel.ParallelWindowedChecker` at 1, 2
+and 4 workers against the depth-first and breadth-first baselines on the
+pigeonhole / random-ksat suite, and drops a machine-readable summary in
+``results/BENCH_parallel.json``. One worker isolates the windowing overhead
+(pre-pass + interface re-derivation, no processes); 2/4 workers measure the
+actual fan-out. Speedups only materialize on multi-second traces — run with
+``REPRO_BENCH_SCALE=medium`` for the EXPERIMENTS.md-grade numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import bench_suite
+from repro.checker import (
+    BreadthFirstChecker,
+    DepthFirstChecker,
+    ParallelWindowedChecker,
+)
+
+NAMES = [instance.name for instance in bench_suite()]
+WORKER_COUNTS = (1, 2, 4)
+SUMMARY_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_parallel.json"
+
+
+@pytest.mark.parametrize("name", NAMES)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_check_parallel(benchmark, prepared_instances, name, workers):
+    prepared = prepared_instances[name]
+
+    def run():
+        report = ParallelWindowedChecker(
+            prepared.formula, prepared.binary_path, num_workers=workers
+        ).check()
+        assert report.verified
+        return report
+
+    benchmark.group = f"parallel-vs-sequential:{name}"
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_check_breadth_first_baseline(benchmark, prepared_instances, name):
+    prepared = prepared_instances[name]
+
+    def run():
+        report = BreadthFirstChecker(prepared.formula, prepared.binary_path).check()
+        assert report.verified
+        return report
+
+    benchmark.group = f"parallel-vs-sequential:{name}"
+    benchmark(run)
+
+
+def test_write_summary(prepared_instances):
+    """Manual timing sweep; writes the BENCH_parallel.json summary table."""
+    rows = []
+    for prepared in prepared_instances.values():
+        timings: dict[str, float] = {}
+        parallel_reports = {}
+        start = time.perf_counter()
+        df = DepthFirstChecker(prepared.formula, prepared.trace).check()
+        timings["df"] = time.perf_counter() - start
+        assert df.verified
+        start = time.perf_counter()
+        bf = BreadthFirstChecker(prepared.formula, prepared.binary_path).check()
+        timings["bf"] = time.perf_counter() - start
+        assert bf.verified
+        for workers in WORKER_COUNTS:
+            start = time.perf_counter()
+            report = ParallelWindowedChecker(
+                prepared.formula, prepared.binary_path, num_workers=workers
+            ).check()
+            timings[f"parallel_{workers}"] = time.perf_counter() - start
+            assert report.verified
+            parallel_reports[workers] = report
+        four = parallel_reports[4]
+        rows.append(
+            {
+                "instance": prepared.name,
+                "num_learned": four.total_learned,
+                "num_windows": len(four.window_stats or []),
+                "interface_imports": sum(
+                    s["num_imports"] for s in four.window_stats or []
+                ),
+                "peak_units": {
+                    "bf": bf.peak_memory_units,
+                    "parallel_4": four.peak_memory_units,
+                },
+                "seconds": {k: round(v, 6) for k, v in timings.items()},
+                "speedup_1w_vs_bf": round(
+                    timings["bf"] / max(timings["parallel_1"], 1e-9), 2
+                ),
+                "speedup_2w_vs_bf": round(
+                    timings["bf"] / max(timings["parallel_2"], 1e-9), 2
+                ),
+                "speedup_4w_vs_bf": round(
+                    timings["bf"] / max(timings["parallel_4"], 1e-9), 2
+                ),
+                "speedup_4w_vs_1w": round(
+                    timings["parallel_1"] / max(timings["parallel_4"], 1e-9), 2
+                ),
+            }
+        )
+    SUMMARY_PATH.parent.mkdir(exist_ok=True)
+    SUMMARY_PATH.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+    assert rows, "no prepared instances"

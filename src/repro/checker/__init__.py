@@ -14,6 +14,9 @@ structured diagnostic.
 * :class:`HybridChecker` — the paper's future-work design: DF-style marking
   over the clause-ID graph plus BF-style streaming of only the needed
   clauses.
+* :class:`ParallelWindowedChecker` — partitions the trace into clause-ID
+  windows and verifies them concurrently across worker processes, with a
+  byte-identical cross-check on the interface clauses windows share.
 * :func:`check_model` — the easy direction: linear-time validation of a
   satisfying assignment.
 * :class:`RupChecker` — modern extension: validates DRUP-style proofs by
@@ -29,6 +32,7 @@ from repro.checker.precheck import run_precheck
 from repro.checker.depth_first import DepthFirstChecker
 from repro.checker.breadth_first import BreadthFirstChecker
 from repro.checker.hybrid import HybridChecker
+from repro.checker.parallel import ParallelWindowedChecker, WindowManifest, run_window
 from repro.checker.rup import RupChecker, DrupWriter
 
 __all__ = [
@@ -44,6 +48,9 @@ __all__ = [
     "DepthFirstChecker",
     "BreadthFirstChecker",
     "HybridChecker",
+    "ParallelWindowedChecker",
+    "WindowManifest",
+    "run_window",
     "RupChecker",
     "DrupWriter",
 ]

@@ -36,6 +36,7 @@ from repro.trace.records import (
     LearnedClause,
     LevelZeroAssignment,
     Trace,
+    TraceError,
     TraceHeader,
     TraceRecord,
     TraceResult,
@@ -92,6 +93,11 @@ class BreadthFirstChecker:
                 verified = self._checking_pass(counts_file)
         except CheckFailure as exc:
             failure = exc
+        except TraceError as exc:
+            # A record stream can turn out to be malformed mid-pass (torn
+            # file, zero-source record, bad varint). The public contract is
+            # "never raises", so convert instead of letting it escape.
+            failure = CheckFailure(FailureKind.MALFORMED_TRACE, str(exc))
         finally:
             if counts_path is not None:
                 os.unlink(counts_path)
@@ -136,7 +142,7 @@ class BreadthFirstChecker:
                 self._total_learned += 1
                 max_cid = max(max_cid, record.cid)
         if not saw_header:
-            raise CheckFailure(FailureKind.BAD_LEVEL_ZERO, "trace has no header")
+            raise CheckFailure(FailureKind.BAD_HEADER, "trace has no header")
         return max_cid
 
     # -- pass 1: counting ---------------------------------------------------------
@@ -228,6 +234,14 @@ class BreadthFirstChecker:
             self._remaining[cid] = remaining - 1
 
     def _build_learned(self, record: LearnedClause, counts_file) -> None:
+        if not record.sources:
+            # Normal parsing rejects zero-source records, but a hand-built
+            # Trace can smuggle one in; fail the report, don't IndexError.
+            raise CheckFailure(
+                FailureKind.MALFORMED_TRACE,
+                "learned clause record has no resolve sources",
+                cid=record.cid,
+            )
         for source in record.sources:
             if source >= record.cid:
                 raise CheckFailure(
@@ -292,6 +306,12 @@ class BreadthFirstChecker:
                 "trace has no final conflicting clause",
             )
         final_cid = final_conflicts[0]
+        # The counting pass charged one use per FinalConflict record, but
+        # only the first conflict seeds the derivation below. Release the
+        # unused conflicts' counts so clauses referenced only by them don't
+        # stay resident forever (inflating peak_memory_units).
+        for unused_cid in final_conflicts[1:]:
+            self._consume_use(unused_cid)
         level_zero = LevelZeroState(level_zero_entries)
         steps = derive_empty_clause(
             final_cid,

@@ -21,7 +21,7 @@ from repro.checker.memory import MemoryMeter
 from repro.checker.report import CheckReport
 from repro.checker.resolution import resolve
 from repro.cnf import CnfFormula
-from repro.trace.records import Trace
+from repro.trace.records import Trace, TraceError
 
 
 class DepthFirstChecker:
@@ -75,6 +75,10 @@ class DepthFirstChecker:
             verified = True
         except CheckFailure as exc:
             failure = exc
+        except TraceError as exc:
+            # A hand-built Trace can hold records normal parsing rejects;
+            # the contract is "never raises", so convert instead.
+            failure = CheckFailure(FailureKind.MALFORMED_TRACE, str(exc))
         return CheckReport(
             method=self.method,
             verified=verified,
@@ -180,6 +184,12 @@ class DepthFirstChecker:
         return literals
 
     def _resolve_record(self, cid: int, sources: tuple[int, ...]) -> None:
+        if not sources:
+            raise CheckFailure(
+                FailureKind.MALFORMED_TRACE,
+                "learned clause record has no resolve sources",
+                cid=cid,
+            )
         clause = self._built[sources[0]]
         self._note_use(sources[0])
         previous = sources[0]

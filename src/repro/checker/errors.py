@@ -25,6 +25,9 @@ class FailureKind(enum.Enum):
     BAD_STATUS = "bad-status"  # trace does not claim UNSAT
     CYCLIC_TRACE = "cyclic-trace"  # clause (transitively) resolves from itself
     STATIC_PRECHECK = "static-precheck"  # the lint pre-pass rejected the trace
+    BAD_HEADER = "bad-header"  # trace has no (usable) header record
+    MALFORMED_TRACE = "malformed-trace"  # record stream unparseable mid-check
+    INTERFACE_MISMATCH = "interface-mismatch"  # windows disagree on a shared clause
 
 
 class CheckFailure(Exception):
@@ -37,6 +40,7 @@ class CheckFailure(Exception):
 
     def __init__(self, kind: FailureKind, message: str, **context: Any):
         self.kind = kind
+        self.message = message
         self.context = context
         detail = ", ".join(f"{key}={value!r}" for key, value in context.items())
         super().__init__(f"[{kind.value}] {message}" + (f" ({detail})" if detail else ""))

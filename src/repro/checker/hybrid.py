@@ -40,6 +40,7 @@ from repro.trace.records import (
     LearnedClause,
     LevelZeroAssignment,
     Trace,
+    TraceError,
     TraceHeader,
     TraceRecord,
     TraceResult,
@@ -92,6 +93,10 @@ class HybridChecker:
             verified = self._streaming_pass(needed_counts, level_zero_entries, final_cid)
         except CheckFailure as exc:
             failure = exc
+        except TraceError as exc:
+            # Malformed record streams surface mid-pass; the contract is
+            # "never raises", so convert to a reported failure.
+            failure = CheckFailure(FailureKind.MALFORMED_TRACE, str(exc))
         return CheckReport(
             method=self.method,
             verified=verified,
@@ -146,7 +151,7 @@ class HybridChecker:
             elif isinstance(record, TraceResult):
                 status = record.status
         if self._num_original is None:
-            raise CheckFailure(FailureKind.BAD_LEVEL_ZERO, "trace has no header")
+            raise CheckFailure(FailureKind.BAD_HEADER, "trace has no header")
         if not final_conflicts and status == "UNSAT":
             raise CheckFailure(
                 FailureKind.BAD_FINAL_CONFLICT,
@@ -242,6 +247,12 @@ class HybridChecker:
             uses = needed_counts.get(record.cid)
             if uses is None:
                 continue  # not on any path to the empty clause: skip
+            if not record.sources:
+                raise CheckFailure(
+                    FailureKind.MALFORMED_TRACE,
+                    "learned clause record has no resolve sources",
+                    cid=record.cid,
+                )
             clause = self._get_clause(record.sources[0])
             previous = record.sources[0]
             self._note_use(record.sources[0])

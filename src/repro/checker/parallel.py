@@ -1,0 +1,580 @@
+"""The parallel windowed checker: verify clause-ID windows concurrently.
+
+Motivated by window-shifting proof verification (Chen) and by splitting
+certified checking into independent, separately-validated pieces
+(Cruz-Filipe et al.): a resolution trace ordered by clause ID partitions
+into contiguous windows whose resolutions only ever look backwards.
+
+Pipeline:
+
+1. **Pre-pass** (coordinator, one stream over the trace, reusing the BF
+   checker's counting idea): collect the integer ID graph, the level-0
+   trail and the final conflicts; enforce the stream-order invariants the
+   BF checker enforces (header first, strictly increasing learned IDs).
+2. **Window planning**: partition the learned records into windows of
+   equal record count (:mod:`repro.trace.windows`); compute, per window,
+   the *interface clauses* — learned clauses referenced across a window
+   boundary — and write a per-window **manifest** (in-window records,
+   interface-closure records, use counts) to a temp directory.
+3. **Workers** (``multiprocessing``): each worker replays only its
+   window's resolutions against the formula plus the interface clauses it
+   imports. Imported clauses are *independently re-derived* from their
+   recorded chains (the closure in the manifest), so no worker ever waits
+   on another — the redundancy is then cross-checked in step 4.
+4. **Merge** (coordinator): every interface clause exported by the window
+   that owns it must be byte-identical to what each importing window
+   derived; then the empty-clause derivation runs over the exported
+   interface, and per-window reports merge into one
+   :class:`~repro.checker.report.CheckReport` (peak logical memory =
+   max across workers + the coordinator's interface overhead).
+
+``check()`` never raises — failures land in the report, exactly like the
+sequential checkers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import FrozenSet, Iterator
+
+from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.level_zero import LevelZeroState, derive_empty_clause
+from repro.checker.memory import MemoryMeter
+from repro.checker.report import CheckReport
+from repro.checker.resolution import resolve
+from repro.cnf import CnfFormula
+from repro.trace.io import iter_trace_records
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    Trace,
+    TraceError,
+    TraceHeader,
+    TraceRecord,
+    TraceResult,
+)
+from repro.trace.windows import WindowPlan, plan_windows
+
+
+@dataclass
+class WindowManifest:
+    """Everything one worker needs to verify one window in isolation."""
+
+    index: int
+    lo: int
+    hi: int
+    num_original: int
+    records: list[tuple[int, tuple[int, ...]]]  # in-window (cid, sources), stream order
+    closure: list[tuple[int, tuple[int, ...]]]  # interface scaffolding, ascending cid
+    imports: tuple[int, ...]  # direct cross-window imports (subset of closure)
+    exports: tuple[int, ...]  # in-window cids later windows / the final stage need
+    counts: dict[int, int]  # in-window use counts (BF-style reference counting)
+    memory_limit: int | None
+
+
+def _interface_bytes(literals: FrozenSet[int] | tuple[int, ...]) -> bytes:
+    """Canonical byte encoding of a clause for interface comparison."""
+    return b",".join(b"%d" % lit for lit in sorted(literals))
+
+
+def _failure_payload(exc: CheckFailure) -> tuple[str, str, dict]:
+    """A picklable (kind, message, context) triple for cross-process return."""
+    context = {
+        key: value if isinstance(value, (int, float, str, bool, type(None))) else repr(value)
+        for key, value in exc.context.items()
+    }
+    return exc.kind.value, exc.message, context
+
+
+def _revive_failure(payload: tuple[str, str, dict]) -> CheckFailure:
+    kind_value, message, context = payload
+    return CheckFailure(FailureKind(kind_value), message, **context)
+
+
+def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
+    """Verify one window; returns a picklable outcome dict (never raises)."""
+    meter = MemoryMeter(limit=manifest.memory_limit)
+    built: dict[int, FrozenSet[int]] = {}
+    stats = {"resolutions": 0, "import_resolutions": 0, "clauses_built": 0, "import_builds": 0}
+    exports = frozenset(manifest.exports)
+
+    def get_clause(cid: int) -> FrozenSet[int]:
+        if cid <= manifest.num_original:
+            try:
+                return frozenset(formula[cid].literals)
+            except KeyError:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "trace references an original clause absent from the formula",
+                    cid=cid,
+                ) from None
+        clause = built.get(cid)
+        if clause is None:
+            raise CheckFailure(
+                FailureKind.UNKNOWN_CLAUSE,
+                "clause is not resident: never defined, defined later, or "
+                "already fully consumed",
+                cid=cid,
+                window=manifest.index,
+            )
+        return clause
+
+    def build_chain(cid: int, sources: tuple[int, ...], counter: str) -> FrozenSet[int]:
+        if not sources:
+            raise CheckFailure(
+                FailureKind.MALFORMED_TRACE,
+                "learned clause record has no resolve sources",
+                cid=cid,
+            )
+        for source in sources:
+            if source >= cid:
+                raise CheckFailure(
+                    FailureKind.CYCLIC_TRACE,
+                    "learned clause resolves from a clause with an ID not "
+                    "smaller than its own",
+                    cid=cid,
+                    source=source,
+                )
+        clause = get_clause(sources[0])
+        previous = sources[0]
+        for source in sources[1:]:
+            clause = resolve(clause, get_clause(source), cid_a=previous, cid_b=source)
+            stats[counter] += 1
+            previous = source
+        return clause
+
+    try:
+        # Phase 1: independently re-derive the imported interface clauses.
+        # Scaffolding stays resident for the whole window (interface overhead).
+        for cid, sources in manifest.closure:
+            built[cid] = build_chain(cid, sources, "import_resolutions")
+            stats["import_builds"] += 1
+            meter.allocate(meter.clause_units(len(built[cid])))
+
+        # Phase 2: BF-style replay of the window's own records, freeing each
+        # clause the moment its last in-window use completes (exports and
+        # interface scaffolding are retained).
+        remaining = dict(manifest.counts)
+        for cid, sources in manifest.records:
+            clause = build_chain(cid, sources, "resolutions")
+            stats["clauses_built"] += 1
+            for source in sources:
+                if manifest.lo <= source < cid and source not in exports:
+                    left = remaining.get(source)
+                    if left is None:
+                        continue
+                    if left <= 1:
+                        del remaining[source]
+                        freed = built.pop(source, None)
+                        if freed is not None:
+                            meter.release(meter.clause_units(len(freed)))
+                    else:
+                        remaining[source] = left - 1
+            if remaining.get(cid, 0) > 0 or cid in exports:
+                built[cid] = clause
+                meter.allocate(meter.clause_units(len(clause)))
+
+        export_lits = {}
+        for cid in manifest.exports:
+            clause = built.get(cid)
+            if clause is None:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "a clause needed by a later window is never defined in "
+                    "its own window",
+                    cid=cid,
+                    window=manifest.index,
+                )
+            export_lits[cid] = tuple(sorted(clause))
+        import_lits = {cid: tuple(sorted(built[cid])) for cid in manifest.imports}
+    except CheckFailure as exc:
+        return {"window": manifest.index, "failure": _failure_payload(exc)}
+    except TraceError as exc:
+        return {
+            "window": manifest.index,
+            "failure": (FailureKind.MALFORMED_TRACE.value, str(exc), {}),
+        }
+
+    return {
+        "window": manifest.index,
+        "failure": None,
+        "peak_units": meter.peak,
+        "exports": export_lits,
+        "imports": import_lits,
+        **stats,
+    }
+
+
+# -- multiprocessing plumbing (top-level for spawn-safety) -----------------------
+
+_WORKER_FORMULA: CnfFormula | None = None
+
+
+def _worker_init(formula: CnfFormula) -> None:
+    global _WORKER_FORMULA
+    _WORKER_FORMULA = formula
+
+
+def _check_window_task(manifest_path: str) -> dict:
+    assert _WORKER_FORMULA is not None, "worker pool initializer did not run"
+    with open(manifest_path, "rb") as handle:
+        manifest = pickle.load(handle)
+    return run_window(_WORKER_FORMULA, manifest)
+
+
+class ParallelWindowedChecker:
+    """Validates an UNSAT claim by checking clause-ID windows concurrently."""
+
+    method = "parallel-windowed"
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        trace_source: str | Path | Trace,
+        num_workers: int = 2,
+        window_size: int | None = None,
+        memory_limit: int | None = None,
+        tmp_dir: str | Path | None = None,
+        precheck: bool = False,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        self.formula = formula
+        self._source = trace_source
+        self._num_workers = num_workers
+        self._window_size = window_size
+        self._memory_limit = memory_limit
+        self._tmp_dir = str(tmp_dir) if tmp_dir is not None else None
+        self._precheck = precheck
+        self.precheck_report = None
+        self.meter = MemoryMeter()  # the coordinator's interface accounting
+        self._total_learned = 0
+        self.plan: WindowPlan | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self) -> CheckReport:
+        """Run the check; never raises — failures land in the report."""
+        start = time.perf_counter()
+        failure: CheckFailure | None = None
+        verified = False
+        window_stats: list[dict] = []
+        resolutions = 0
+        clauses_built = 0
+        peak = 0
+        try:
+            if self._precheck:
+                from repro.checker.precheck import run_precheck
+
+                self.precheck_report = run_precheck(self._source)
+            graph, level_zero, final_conflicts, status = self._pre_pass()
+            if status != "UNSAT":
+                raise CheckFailure(
+                    FailureKind.BAD_STATUS,
+                    "trace does not claim UNSAT; nothing to check",
+                    status=status,
+                )
+            if not final_conflicts:
+                raise CheckFailure(
+                    FailureKind.BAD_FINAL_CONFLICT,
+                    "trace has no final conflicting clause",
+                )
+            manifests = self._build_manifests(graph, level_zero, final_conflicts)
+            outcomes = self._run_windows(manifests)
+            interface = self._merge_interfaces(outcomes)
+            for outcome in outcomes:
+                window_stats.append(
+                    {
+                        "window": outcome["window"],
+                        "clauses_built": outcome["clauses_built"],
+                        "import_builds": outcome["import_builds"],
+                        "resolutions": outcome["resolutions"],
+                        "import_resolutions": outcome["import_resolutions"],
+                        "peak_units": outcome["peak_units"],
+                        "num_imports": len(outcome["imports"]),
+                        "num_exports": len(outcome["exports"]),
+                    }
+                )
+                resolutions += outcome["resolutions"] + outcome["import_resolutions"]
+                clauses_built += outcome["clauses_built"]
+                peak = max(peak, outcome["peak_units"])
+            resolutions += self._final_stage(interface, level_zero, final_conflicts[0])
+            verified = True
+        except CheckFailure as exc:
+            failure = exc
+        except TraceError as exc:
+            failure = CheckFailure(FailureKind.MALFORMED_TRACE, str(exc))
+        return CheckReport(
+            method=self.method,
+            verified=verified,
+            failure=failure,
+            clauses_built=clauses_built,
+            total_learned=self._total_learned,
+            peak_memory_units=peak + self.meter.peak,
+            check_time=time.perf_counter() - start,
+            resolutions=resolutions,
+            window_stats=window_stats or None,
+        )
+
+    # -- pre-pass ------------------------------------------------------------
+
+    def _records(self) -> Iterator[TraceRecord]:
+        if isinstance(self._source, Trace):
+            return self._source.records()
+        return iter_trace_records(self._source)
+
+    def _pre_pass(self):
+        """One stream over the trace: ID graph + trail + conflicts + claim."""
+        graph: dict[int, tuple[int, ...]] = {}
+        level_zero: list[LevelZeroAssignment] = []
+        final_conflicts: list[int] = []
+        status = "UNKNOWN"
+        num_original: int | None = None
+        last_cid: int | None = None
+        for record in self._records():
+            if isinstance(record, TraceHeader):
+                if num_original is None:
+                    num_original = record.num_original_clauses
+                    last_cid = num_original
+                if self.formula.num_clauses != record.num_original_clauses:
+                    raise CheckFailure(
+                        FailureKind.UNKNOWN_CLAUSE,
+                        "formula / trace disagree on the number of original clauses",
+                        formula_clauses=self.formula.num_clauses,
+                        trace_clauses=record.num_original_clauses,
+                    )
+            elif isinstance(record, LearnedClause):
+                if num_original is None:
+                    raise CheckFailure(
+                        FailureKind.BAD_HEADER, "trace has no header before its records"
+                    )
+                if last_cid is not None and record.cid <= last_cid:
+                    raise CheckFailure(
+                        FailureKind.CYCLIC_TRACE,
+                        "learned clause IDs must be strictly increasing",
+                        cid=record.cid,
+                        previous=last_cid,
+                    )
+                last_cid = record.cid
+                graph[record.cid] = record.sources
+            elif isinstance(record, LevelZeroAssignment):
+                level_zero.append(record)
+            elif isinstance(record, FinalConflict):
+                final_conflicts.append(record.cid)
+            elif isinstance(record, TraceResult):
+                status = record.status
+        if num_original is None:
+            raise CheckFailure(FailureKind.BAD_HEADER, "trace has no header")
+        self._num_original = num_original
+        self._total_learned = len(graph)
+        return graph, level_zero, final_conflicts, status
+
+    # -- planning ------------------------------------------------------------
+
+    def _build_manifests(
+        self,
+        graph: dict[int, tuple[int, ...]],
+        level_zero: list[LevelZeroAssignment],
+        final_conflicts: list[int],
+    ) -> list[WindowManifest]:
+        num_original = self._num_original
+        if self._window_size is not None:
+            plan = plan_windows(graph, num_original, window_size=self._window_size)
+        else:
+            plan = plan_windows(graph, num_original, num_windows=self._num_workers)
+        self.plan = plan
+
+        imports: list[set[int]] = [set() for _ in plan.windows]
+        exports: list[set[int]] = [set() for _ in plan.windows]
+        counts: list[dict[int, int]] = [{} for _ in plan.windows]
+        records: list[list[tuple[int, tuple[int, ...]]]] = [[] for _ in plan.windows]
+
+        for cid, sources in graph.items():
+            window = plan.window_of(cid)
+            records[window.index].append((cid, sources))
+            for source in sources:
+                if source <= num_original or source >= cid:
+                    continue  # originals need no interface; cycles fail in-window
+                if source >= window.lo:
+                    counts[window.index][source] = counts[window.index].get(source, 0) + 1
+                else:
+                    imports[window.index].add(source)
+
+        # The final derivation (run by the coordinator) imports the first
+        # final conflict and every learned level-0 antecedent.
+        final_roots = {cid for cid in final_conflicts[:1] if cid > num_original}
+        final_roots.update(
+            entry.antecedent for entry in level_zero if entry.antecedent > num_original
+        )
+        for root in final_roots:
+            if root not in graph:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "trace references a clause ID that was never defined",
+                    cid=root,
+                )
+            exports[plan.window_of(root).index].add(root)
+        for index, imported in enumerate(imports):
+            for cid in imported:
+                if cid not in graph:
+                    raise CheckFailure(
+                        FailureKind.UNKNOWN_CLAUSE,
+                        "trace references a clause ID that was never defined",
+                        cid=cid,
+                    )
+                exports[plan.window_of(cid).index].add(cid)
+
+        manifests = []
+        for window in plan.windows:
+            closure = self._import_closure(graph, imports[window.index])
+            manifests.append(
+                WindowManifest(
+                    index=window.index,
+                    lo=window.lo,
+                    hi=window.hi,
+                    num_original=num_original,
+                    records=records[window.index],
+                    closure=closure,
+                    imports=tuple(sorted(imports[window.index])),
+                    exports=tuple(sorted(exports[window.index])),
+                    counts=counts[window.index],
+                    memory_limit=self._memory_limit,
+                )
+            )
+        return manifests
+
+    def _import_closure(
+        self, graph: dict[int, tuple[int, ...]], imports: set[int]
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        """Transitive derivation closure of a window's imported clauses."""
+        num_original = self._num_original
+        closure: set[int] = set()
+        stack = list(imports)
+        while stack:
+            cid = stack.pop()
+            if cid in closure:
+                continue
+            closure.add(cid)
+            sources = graph.get(cid)
+            if sources is None:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "trace references a clause ID that was never defined",
+                    cid=cid,
+                )
+            for source in sources:
+                if source >= cid:
+                    raise CheckFailure(
+                        FailureKind.CYCLIC_TRACE,
+                        "learned clause resolves from a clause with an ID not "
+                        "smaller than its own",
+                        cid=cid,
+                        source=source,
+                    )
+                if source > num_original and source not in closure:
+                    stack.append(source)
+        return sorted((cid, graph[cid]) for cid in closure)
+
+    # -- execution -----------------------------------------------------------
+
+    def _run_windows(self, manifests: list[WindowManifest]) -> list[dict]:
+        if not manifests:
+            return []
+        workers = min(self._num_workers, len(manifests))
+        if workers <= 1:
+            outcomes = [run_window(self.formula, manifest) for manifest in manifests]
+        else:
+            tmp_root = tempfile.mkdtemp(prefix="parcheck-", dir=self._tmp_dir)
+            try:
+                paths = []
+                for manifest in manifests:
+                    path = os.path.join(tmp_root, f"window-{manifest.index:05d}.manifest")
+                    with open(path, "wb") as handle:
+                        pickle.dump(manifest, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    paths.append(path)
+                ctx = multiprocessing.get_context()
+                with ctx.Pool(
+                    processes=workers, initializer=_worker_init, initargs=(self.formula,)
+                ) as pool:
+                    outcomes = pool.map(_check_window_task, paths, chunksize=1)
+            finally:
+                shutil.rmtree(tmp_root, ignore_errors=True)
+        outcomes.sort(key=lambda outcome: outcome["window"])
+        for outcome in outcomes:
+            if outcome["failure"] is not None:
+                raise _revive_failure(outcome["failure"])
+        return outcomes
+
+    # -- merging -------------------------------------------------------------
+
+    def _merge_interfaces(self, outcomes: list[dict]) -> dict[int, FrozenSet[int]]:
+        """Cross-check every import against its exporting window, byte for byte."""
+        interface: dict[int, FrozenSet[int]] = {}
+        canonical: dict[int, bytes] = {}
+        for outcome in outcomes:
+            for cid, literals in outcome["exports"].items():
+                interface[cid] = frozenset(literals)
+                canonical[cid] = _interface_bytes(literals)
+        for outcome in outcomes:
+            for cid, literals in outcome["imports"].items():
+                expected = canonical.get(cid)
+                if expected is None:
+                    raise CheckFailure(
+                        FailureKind.INTERFACE_MISMATCH,
+                        "window imported a clause its owning window never exported",
+                        cid=cid,
+                        importing_window=outcome["window"],
+                    )
+                if _interface_bytes(literals) != expected:
+                    raise CheckFailure(
+                        FailureKind.INTERFACE_MISMATCH,
+                        "windows disagree on an interface clause's literals",
+                        cid=cid,
+                        importing_window=outcome["window"],
+                    )
+        # The interface lives in the coordinator for the final derivation:
+        # account for it (the parallel checker's memory overhead vs. BF).
+        for clause in interface.values():
+            self.meter.allocate(self.meter.clause_units(len(clause)))
+        return interface
+
+    # -- the final derivation --------------------------------------------------
+
+    def _final_stage(
+        self,
+        interface: dict[int, FrozenSet[int]],
+        level_zero: list[LevelZeroAssignment],
+        final_cid: int,
+    ) -> int:
+        self.meter.allocate(self.meter.record_units(3) * len(level_zero))
+
+        def get_clause(cid: int) -> FrozenSet[int]:
+            if cid <= self._num_original:
+                try:
+                    return frozenset(self.formula[cid].literals)
+                except KeyError:
+                    raise CheckFailure(
+                        FailureKind.UNKNOWN_CLAUSE,
+                        "trace references an original clause absent from the formula",
+                        cid=cid,
+                    ) from None
+            clause = interface.get(cid)
+            if clause is None:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "final derivation references a clause outside the exported "
+                    "interface",
+                    cid=cid,
+                )
+            return clause
+
+        state = LevelZeroState(level_zero)
+        return derive_empty_clause(final_cid, get_clause(final_cid), state, get_clause)

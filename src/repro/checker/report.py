@@ -19,6 +19,11 @@ class CheckReport:
     ``original_core`` (depth-first and hybrid only) is the set of original
     clause IDs the proof touched — an unsatisfiable core (§4, Table 3).
     ``learned_used`` is the analogous set of learned clause IDs.
+
+    ``window_stats`` (parallel checker only) holds one summary dict per
+    verified window: per-window builds, resolutions, interface sizes and
+    peak memory. ``peak_memory_units`` is then the max across workers plus
+    the coordinator's interface overhead, not a sum.
     """
 
     method: str
@@ -31,6 +36,7 @@ class CheckReport:
     resolutions: int = 0
     original_core: set[int] | None = None
     learned_used: set[int] | None = None
+    window_stats: list[dict] | None = None
 
     @property
     def built_pct(self) -> float:

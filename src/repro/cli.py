@@ -17,6 +17,7 @@ from repro.checker import (
     BreadthFirstChecker,
     DepthFirstChecker,
     HybridChecker,
+    ParallelWindowedChecker,
     RupChecker,
     DrupWriter,
     check_model,
@@ -104,6 +105,22 @@ def check_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--mem-limit", type=int, default=None, help="logical units")
     parser.add_argument("--show-core", action="store_true", help="print the unsat core (df/hybrid)")
     parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="verify clause-ID windows across N worker processes "
+        "(overrides --method; 1 runs the windowed checker in-process)",
+    )
+    parser.add_argument(
+        "--window-size",
+        type=int,
+        default=None,
+        metavar="W",
+        help="learned records per window for --parallel "
+        "(default: one window per worker)",
+    )
+    parser.add_argument(
         "--precheck",
         action="store_true",
         help="run the static trace linter first and fail fast on structural "
@@ -113,9 +130,24 @@ def check_main(argv: list[str] | None = None) -> int:
 
     if args.precheck and args.method == "rup":
         parser.error("--precheck lints resolution traces; not applicable to --method rup")
+    if args.parallel is not None and args.parallel < 1:
+        parser.error("--parallel needs at least one worker")
+    if args.window_size is not None and args.parallel is None:
+        parser.error("--window-size only applies with --parallel")
 
     formula = parse_dimacs_file(args.cnf)
-    if args.method == "df":
+    if args.parallel is not None:
+        if args.method == "rup":
+            parser.error("--parallel verifies resolution traces; not --method rup")
+        checker = ParallelWindowedChecker(
+            formula,
+            args.proof,
+            num_workers=args.parallel,
+            window_size=args.window_size,
+            memory_limit=args.mem_limit,
+            precheck=args.precheck,
+        )
+    elif args.method == "df":
         checker = DepthFirstChecker(
             formula, load_trace(args.proof), memory_limit=args.mem_limit, precheck=args.precheck
         )
@@ -132,6 +164,14 @@ def check_main(argv: list[str] | None = None) -> int:
 
     report = checker.check()
     print(report.summary())
+    if report.window_stats:
+        for stat in report.window_stats:
+            print(
+                f"c window {stat['window']}: built {stat['clauses_built']} "
+                f"(+{stat['import_builds']} interface) | "
+                f"imports {stat['num_imports']} exports {stat['num_exports']} | "
+                f"peak {stat['peak_units']} units"
+            )
     if report.verified and args.show_core and report.original_core is not None:
         print("c core clause ids: " + " ".join(map(str, sorted(report.original_core))))
     return 0 if report.verified else 1

@@ -52,6 +52,7 @@ class BugKind(enum.Enum):
     DUPLICATE_CID = "duplicate_cid"  # reuse an already-defined clause ID
     OMIT_FINAL_CONFLICT = "omit_final_conflict"  # never record the CONF line
     DANGLING_ANTECEDENT = "dangling_antecedent"  # trail cites an undefined clause
+    EMPTY_SOURCES = "empty_sources"  # learned clause with zero resolve sources
 
 
 class CorruptingTraceWriter:
@@ -98,6 +99,12 @@ class CorruptingTraceWriter:
                 self._corrupted = True
             elif self._bug == BugKind.DUPLICATE_CID and self._last_cid is not None:
                 cid = self._last_cid
+                self._corrupted = True
+            elif self._bug == BugKind.EMPTY_SOURCES:
+                # A CL record with no sources at all: the record type itself
+                # rejects this shape, so the fault only survives through
+                # file-backed writers (an in-memory writer raises at once).
+                sources = []
                 self._corrupted = True
         self._last_cid = cid
         self._inner.learned_clause(cid, sources)

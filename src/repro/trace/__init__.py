@@ -33,6 +33,12 @@ from repro.trace.io import (
 )
 from repro.trace.stats import TraceStatistics, analyze_trace
 from repro.trace.trim import TrimResult, trim_trace, write_trimmed
+from repro.trace.windows import (
+    WindowSpec,
+    WindowPlan,
+    plan_windows,
+    iter_window_records,
+)
 
 __all__ = [
     "TraceHeader",
@@ -57,4 +63,8 @@ __all__ = [
     "TrimResult",
     "trim_trace",
     "write_trimmed",
+    "WindowSpec",
+    "WindowPlan",
+    "plan_windows",
+    "iter_window_records",
 ]

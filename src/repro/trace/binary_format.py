@@ -36,6 +36,13 @@ _TAG_LEVEL_ZERO = 0x03
 _TAG_FINAL_CONFLICT = 0x04
 _TAG_RESULT_SAT = 0x05
 _TAG_RESULT_UNSAT = 0x06
+_TAG_RESULT_UNKNOWN = 0x07  # added after v1; old readers never see it from old files
+
+_RESULT_TAGS = {
+    "SAT": _TAG_RESULT_SAT,
+    "UNSAT": _TAG_RESULT_UNSAT,
+    "UNKNOWN": _TAG_RESULT_UNKNOWN,
+}
 
 
 def encode_varint(value: int) -> bytes:
@@ -133,7 +140,12 @@ class BinaryTraceWriter:
         self._handle.write(bytes([_TAG_FINAL_CONFLICT]) + encode_varint(cid))
 
     def result(self, status: str) -> None:
-        tag = _TAG_RESULT_SAT if status == "SAT" else _TAG_RESULT_UNSAT
+        tag = _RESULT_TAGS.get(status)
+        if tag is None:
+            raise TraceError(
+                f"cannot encode result status {status!r}; "
+                f"expected one of {sorted(_RESULT_TAGS)}"
+            )
         self._handle.write(bytes([tag]))
 
     def close(self) -> None:
@@ -172,6 +184,8 @@ def iter_binary_records(path: str | Path) -> Iterator[TraceRecord]:
                 yield TraceResult("SAT")
             elif tag == _TAG_RESULT_UNSAT:
                 yield TraceResult("UNSAT")
+            elif tag == _TAG_RESULT_UNKNOWN:
+                yield TraceResult("UNKNOWN")
             else:
                 raise TraceError(f"unknown binary record tag {tag:#x}")
 

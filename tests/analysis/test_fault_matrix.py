@@ -120,7 +120,38 @@ def test_unsound_learning_is_invisible_statically():
     assert analyzed > 0
 
 
+def test_empty_sources_is_caught_statically_as_malformed(tmp_path):
+    """A zero-source CL record is rejected by the record type itself, so it
+    only survives through file-backed writers; the linter reports the torn
+    stream as T012 (malformed record) rather than crashing."""
+    from repro.solver.buggy import make_buggy_solver
+    from repro.trace import AsciiTraceWriter
+
+    fired = 0
+    for seed in SEEDS:
+        formula = pigeonhole(6, 5)
+        path = tmp_path / f"empty_sources_{seed}.trace"
+        writer = AsciiTraceWriter(path)
+        solver, wrapper = make_buggy_solver(
+            formula, BugKind.EMPTY_SOURCES, writer, seed=seed
+        )
+        result = solver.solve()
+        writer.close()
+        assert result.is_unsat
+        if wrapper is None or not wrapper.corrupted:
+            continue
+        fired += 1
+        report = analyze_trace(str(path))
+        assert not report.ok
+        assert "T012" in {d.rule_id for d in report.errors}
+    assert fired > 0
+
+
 def test_matrix_is_exhaustive_over_bug_kinds():
     """Every BugKind is classified; a new kind must pick a side."""
-    classified = set(STATICALLY_CAUGHT) | set(NEEDS_REPLAY) | {BugKind.DROP_LEARNED_LITERAL}
+    classified = (
+        set(STATICALLY_CAUGHT)
+        | set(NEEDS_REPLAY)
+        | {BugKind.DROP_LEARNED_LITERAL, BugKind.EMPTY_SOURCES}
+    )
     assert classified == set(BugKind)

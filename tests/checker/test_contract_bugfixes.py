@@ -1,0 +1,176 @@
+"""Regression tests for checker-contract and trace round-trip bugs.
+
+Each test pins one historical bug:
+
+* ``BinaryTraceWriter.result`` encoded every non-SAT status — including
+  UNKNOWN — as the UNSAT tag, so an inconclusive trace round-tripped as a
+  false UNSAT claim.
+* a zero-source learned record crashed ``check()`` (IndexError /
+  TraceError) even though ``check()`` documents "never raises".
+* a trace with no header was misreported as ``BAD_LEVEL_ZERO``.
+* with multiple FinalConflict records the BF checker verified only the
+  first but the counting pass charged every conflict reference, leaving
+  clauses resident forever and inflating ``peak_memory_units``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import BreadthFirstChecker, DepthFirstChecker, FailureKind, HybridChecker
+from repro.cnf import CnfFormula
+from repro.trace import (
+    BinaryTraceWriter,
+    LearnedClause,
+    Trace,
+    TraceError,
+    TraceHeader,
+    read_binary_trace,
+)
+from repro.trace.binary_format import MAGIC
+from repro.trace.records import LevelZeroAssignment
+
+
+# -- bug 1: binary result round-trip --------------------------------------------
+
+
+class TestBinaryResultRoundTrip:
+    def _roundtrip_status(self, tmp_path, status: str) -> str:
+        path = tmp_path / "status.rtb"
+        with BinaryTraceWriter(path) as writer:
+            writer.header(3, 2)
+            writer.result(status)
+        return read_binary_trace(path).status
+
+    @pytest.mark.parametrize("status", ["SAT", "UNSAT", "UNKNOWN"])
+    def test_every_status_roundtrips(self, tmp_path, status):
+        # Before the fix UNKNOWN came back as "UNSAT": a solver that gave
+        # up was silently rewritten into claiming unsatisfiability.
+        assert self._roundtrip_status(tmp_path, status) == status
+
+    def test_unrecognized_status_is_rejected_at_write_time(self, tmp_path):
+        with BinaryTraceWriter(tmp_path / "bogus.rtb") as writer:
+            writer.header(3, 2)
+            with pytest.raises(TraceError):
+                writer.result("MAYBE")
+
+    def test_reader_stays_backward_compatible_with_two_tag_files(self, tmp_path):
+        # A file produced by the old writer: header tag + old UNSAT tag only.
+        path = tmp_path / "old.rtb"
+        path.write_bytes(MAGIC + bytes([0x01, 3, 2]) + bytes([0x06]))
+        assert read_binary_trace(path).status == "UNSAT"
+        path.write_bytes(MAGIC + bytes([0x01, 3, 2]) + bytes([0x05]))
+        assert read_binary_trace(path).status == "SAT"
+
+
+# -- bug 2: zero-source learned records must not escape check() ------------------
+
+
+def _trivially_unsat_formula() -> CnfFormula:
+    return CnfFormula(1, [[1], [-1]])
+
+
+def _empty_sources_record(cid: int) -> LearnedClause:
+    # The record type rejects zero sources at construction, exactly like a
+    # buggy solver's file does at parse time — bypass it the way a corrupted
+    # in-memory pipeline would.
+    record = LearnedClause.__new__(LearnedClause)
+    object.__setattr__(record, "cid", cid)
+    object.__setattr__(record, "sources", ())
+    return record
+
+
+def _trace_with_empty_sources() -> Trace:
+    trace = Trace(TraceHeader(1, 2))
+    trace.learned[3] = _empty_sources_record(3)
+    trace.level_zero.append(LevelZeroAssignment(1, True, 1))
+    trace.final_conflicts.append(3)
+    trace.status = "UNSAT"
+    return trace
+
+
+@pytest.mark.parametrize("checker_cls", [BreadthFirstChecker, DepthFirstChecker, HybridChecker])
+def test_empty_sources_record_lands_in_the_report(checker_cls):
+    formula = _trivially_unsat_formula()
+    report = checker_cls(formula, _trace_with_empty_sources()).check()  # must not raise
+    assert not report.verified
+    assert report.failure is not None
+    assert report.failure.kind is FailureKind.MALFORMED_TRACE
+
+
+@pytest.mark.parametrize("checker_cls", [BreadthFirstChecker, HybridChecker])
+def test_empty_sources_file_lands_in_the_report(tmp_path, checker_cls):
+    """The file-level shape of the same fault: 'CL 3' with no sources raises
+    TraceError mid-stream; check() must convert it, not propagate it."""
+    path = tmp_path / "empty.trace"
+    path.write_text("T 1 2\nCL 3\nV 1 1 1\nCONF 3\nR UNSAT\n")
+    formula = _trivially_unsat_formula()
+    report = checker_cls(formula, path).check()
+    assert not report.verified
+    assert report.failure is not None
+    assert report.failure.kind is FailureKind.MALFORMED_TRACE
+
+
+# -- bug 3: missing header must be reported as BAD_HEADER ------------------------
+
+
+@pytest.mark.parametrize("checker_cls", [BreadthFirstChecker, HybridChecker])
+def test_headerless_trace_reports_bad_header(tmp_path, checker_cls):
+    path = tmp_path / "headerless.trace"
+    path.write_text("R UNSAT\n")
+    report = checker_cls(_trivially_unsat_formula(), path).check()
+    assert not report.verified
+    assert report.failure.kind is FailureKind.BAD_HEADER
+    assert report.failure.kind is not FailureKind.BAD_LEVEL_ZERO
+
+
+# -- bug 4: unused final conflicts must not pin clauses resident -----------------
+
+
+def _conflict_trace(extra_conflict: bool) -> Trace:
+    """c1=[1], c2=[-1]; CONF 2 proves UNSAT. Learned clause 3 (the empty
+    resolvent of c1,c2) is referenced only by a redundant second CONF."""
+    trace = Trace(TraceHeader(1, 2))
+    trace.level_zero.append(LevelZeroAssignment(1, True, 1))
+    trace.final_conflicts.append(2)
+    if extra_conflict:
+        trace.learned[3] = LearnedClause(3, (1, 2))
+        trace.final_conflicts.append(3)
+    trace.status = "UNSAT"
+    return trace
+
+
+def test_unused_final_conflicts_are_released():
+    formula = _trivially_unsat_formula()
+
+    baseline = BreadthFirstChecker(formula, _conflict_trace(extra_conflict=False))
+    assert baseline.check().verified
+    extra = BreadthFirstChecker(formula, _conflict_trace(extra_conflict=True))
+    assert extra.check().verified
+
+    # Before the fix, learned clause 3 (referenced only by the unused second
+    # CONF) stayed resident forever; its units showed up in meter.current.
+    assert extra.meter.current == baseline.meter.current
+
+
+def test_multi_conflict_accounting_drains_on_real_traces():
+    """Appending a duplicate CONF for the real final conflict must not leave
+    the final clause resident after the check."""
+    from repro.solver import Solver, SolverConfig
+    from repro.trace import InMemoryTraceWriter
+
+    from tests.conftest import pigeonhole
+
+    formula = pigeonhole(5, 4)
+    writer = InMemoryTraceWriter()
+    assert Solver(formula, SolverConfig(), trace_writer=writer).solve().is_unsat
+
+    baseline = BreadthFirstChecker(formula, writer.to_trace())
+    assert baseline.check().verified
+
+    final_cid = writer.to_trace().final_conflicts[0]
+    duplicated = writer.to_trace()
+    duplicated.final_conflicts.append(final_cid)
+    dup_checker = BreadthFirstChecker(formula, duplicated)
+    assert dup_checker.check().verified
+    assert dup_checker.meter.current == baseline.meter.current

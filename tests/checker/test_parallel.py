@@ -1,0 +1,335 @@
+"""The parallel windowed checker: parity with BF, rejection of every
+injected fault, the interface cross-check, and the windowing helpers."""
+
+import pickle
+
+import pytest
+
+from repro.checker import (
+    BreadthFirstChecker,
+    ParallelWindowedChecker,
+    FailureKind,
+    WindowManifest,
+    run_window,
+)
+from repro.cnf import CnfFormula
+from repro.experiments.suite import default_suite
+from repro.solver import Solver, SolverConfig
+from repro.solver.buggy import BugKind, make_buggy_solver
+from repro.trace import (
+    AsciiTraceWriter,
+    InMemoryTraceWriter,
+    iter_window_records,
+    load_trace,
+    plan_windows,
+)
+
+from tests.conftest import pigeonhole
+
+
+@pytest.fixture(scope="module")
+def suite_proofs():
+    proofs = []
+    for instance in default_suite("small"):
+        formula = instance.build()
+        writer = InMemoryTraceWriter()
+        result = Solver(formula, SolverConfig(), trace_writer=writer).solve()
+        assert result.is_unsat
+        proofs.append((instance.name, formula, writer.to_trace()))
+    return proofs
+
+
+# -- parity with the breadth-first checker -----------------------------------
+
+
+def test_parallel_accepts_everything_bf_accepts(suite_proofs):
+    for name, formula, trace in suite_proofs:
+        bf = BreadthFirstChecker(formula, trace).check()
+        par = ParallelWindowedChecker(formula, trace, num_workers=4).check()
+        assert bf.verified and par.verified, name
+        # Same convention as BF: every learned clause gets built in its window.
+        assert par.clauses_built == trace.num_learned == bf.clauses_built, name
+        assert par.total_learned == bf.total_learned, name
+
+
+def test_parallel_parity_across_window_sizes(suite_proofs):
+    name, formula, trace = max(suite_proofs, key=lambda p: p[2].num_learned)
+    for window_size in (1, 7, trace.num_learned, 10 * trace.num_learned):
+        report = ParallelWindowedChecker(
+            formula, trace, num_workers=2, window_size=window_size
+        ).check()
+        assert report.verified, (name, window_size)
+        assert report.clauses_built == trace.num_learned
+
+
+def test_window_stats_cover_the_whole_trace(suite_proofs):
+    name, formula, trace = max(suite_proofs, key=lambda p: p[2].num_learned)
+    report = ParallelWindowedChecker(formula, trace, num_workers=4).check()
+    assert report.verified
+    assert report.window_stats is not None and len(report.window_stats) == 4
+    assert sum(s["clauses_built"] for s in report.window_stats) == trace.num_learned
+    # The merged peak is max-across-workers plus the interface overhead.
+    assert report.peak_memory_units >= max(s["peak_units"] for s in report.window_stats)
+
+
+def test_multiprocess_path_from_a_trace_file(tmp_path):
+    formula = pigeonhole(6, 5)
+    path = tmp_path / "proof.trace"
+    writer = AsciiTraceWriter(path)
+    result = Solver(formula, SolverConfig(seed=3), trace_writer=writer).solve()
+    writer.close()
+    assert result.is_unsat
+    bf = BreadthFirstChecker(formula, str(path)).check()
+    par = ParallelWindowedChecker(formula, str(path), num_workers=2).check()
+    assert bf.verified and par.verified
+    assert par.method == "parallel-windowed"
+    assert par.resolutions >= bf.resolutions  # interface re-derivation is extra work
+
+
+# -- rejection parity: every injected fault must still be caught --------------
+
+INJECTED_BUGS = [
+    BugKind.DROP_SOURCE,
+    BugKind.SWAP_SOURCES,
+    BugKind.WRONG_ANTECEDENT,
+    BugKind.OMIT_LEVEL_ZERO,
+    BugKind.WRONG_FINAL_CONFLICT,
+    BugKind.EMPTY_SOURCES,
+]
+
+
+def _corrupted_trace_file(formula, bug, path, seed=0):
+    """Solve with an injected trace bug, writing to a file.
+
+    File-based because some structural faults (EMPTY_SOURCES) cannot even be
+    represented as in-memory records — the corruption only exists on disk.
+    """
+    inner = AsciiTraceWriter(path)
+    solver, wrapper = make_buggy_solver(formula, bug, inner, seed=seed)
+    result = solver.solve()
+    inner.close()
+    assert result.is_unsat
+    if wrapper is not None and not wrapper.corrupted:
+        return None
+    return str(path)
+
+
+@pytest.mark.parametrize("bug", INJECTED_BUGS)
+@pytest.mark.parametrize("workers", [1, 3])
+def test_parallel_catches_injected_bugs(bug, workers, tmp_path):
+    caught = 0
+    fired = 0
+    for seed in range(8):
+        formula = pigeonhole(6, 5)
+        trace = _corrupted_trace_file(formula, bug, tmp_path / f"s{seed}.trace", seed=seed)
+        if trace is None:
+            continue
+        fired += 1
+        report = ParallelWindowedChecker(formula, trace, num_workers=workers).check()
+        if not report.verified:
+            caught += 1
+            assert report.failure is not None
+            assert isinstance(report.failure.kind, FailureKind)
+    assert fired > 0, f"bug {bug} never fired in 8 seeds"
+    assert caught == fired, f"bug {bug}: {fired - caught} corrupted traces passed"
+
+
+# -- structural failures land in the report with the right kind ---------------
+
+
+def _write(tmp_path, text):
+    path = tmp_path / "trace.txt"
+    path.write_text(text)
+    return str(path)
+
+
+def test_headerless_trace_is_bad_header(tmp_path):
+    formula = CnfFormula(1, [[1], [-1]])
+    path = _write(tmp_path, "R UNSAT\n")
+    report = ParallelWindowedChecker(formula, path, num_workers=2).check()
+    assert not report.verified
+    assert report.failure.kind is FailureKind.BAD_HEADER
+
+
+def test_sat_claim_is_bad_status(tmp_path):
+    formula = CnfFormula(1, [[1], [-1]])
+    path = _write(tmp_path, "T 1 2\nR SAT\n")
+    report = ParallelWindowedChecker(formula, path, num_workers=2).check()
+    assert not report.verified
+    assert report.failure.kind is FailureKind.BAD_STATUS
+
+
+def test_missing_final_conflict(tmp_path):
+    formula = CnfFormula(1, [[1], [-1]])
+    path = _write(tmp_path, "T 1 2\nCL 3 2 1\nR UNSAT\n")
+    report = ParallelWindowedChecker(formula, path, num_workers=2).check()
+    assert not report.verified
+    assert report.failure.kind is FailureKind.BAD_FINAL_CONFLICT
+
+
+def test_non_monotone_clause_ids_are_cyclic(tmp_path):
+    formula = CnfFormula(1, [[1], [-1]])
+    path = _write(tmp_path, "T 1 2\nCL 4 2 1\nCL 3 2 1\nCONF 4\nR UNSAT\n")
+    report = ParallelWindowedChecker(formula, path, num_workers=2).check()
+    assert not report.verified
+    assert report.failure.kind is FailureKind.CYCLIC_TRACE
+
+
+def test_undefined_final_conflict_is_unknown_clause(tmp_path):
+    formula = CnfFormula(1, [[1], [-1]])
+    path = _write(tmp_path, "T 1 2\nCL 3 2 1\nCONF 99\nR UNSAT\n")
+    report = ParallelWindowedChecker(formula, path, num_workers=2).check()
+    assert not report.verified
+    assert report.failure.kind is FailureKind.UNKNOWN_CLAUSE
+
+
+def test_truncated_stream_is_malformed(tmp_path):
+    formula = CnfFormula(1, [[1], [-1]])
+    path = _write(tmp_path, "T 1 2\nCL 3 2\nCONF 3\nR UNSAT\n")  # one-source CL
+    report = ParallelWindowedChecker(formula, path, num_workers=2).check()
+    assert not report.verified
+    # Whatever layer trips first, it must land in the report, not raise.
+    assert report.failure is not None
+
+
+def test_memory_limit_lands_in_the_report():
+    formula = pigeonhole(5, 4)
+    writer = InMemoryTraceWriter()
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    report = ParallelWindowedChecker(
+        formula, writer.to_trace(), num_workers=2, memory_limit=3
+    ).check()
+    assert not report.verified
+    assert report.failure.kind is FailureKind.MEMORY_OUT
+
+
+# -- the interface cross-check ------------------------------------------------
+
+
+def test_interface_mismatch_is_detected():
+    """If a worker's derived import disagrees with the exporter, merging fails."""
+    formula = pigeonhole(5, 4)
+    writer = InMemoryTraceWriter()
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    checker = ParallelWindowedChecker(formula, writer.to_trace(), num_workers=2)
+    report = checker.check()
+    assert report.verified and checker.plan is not None and len(checker.plan) == 2
+
+    good = [
+        {"window": 0, "exports": {997: (1, -2)}, "imports": {}},
+        {"window": 1, "exports": {}, "imports": {997: (1, -2)}},
+    ]
+    checker._merge_interfaces(good)  # agrees: no failure
+
+    flipped = [
+        {"window": 0, "exports": {997: (1, -2)}, "imports": {}},
+        {"window": 1, "exports": {}, "imports": {997: (1, 2)}},
+    ]
+    with pytest.raises(Exception) as excinfo:
+        checker._merge_interfaces(flipped)
+    assert excinfo.value.kind is FailureKind.INTERFACE_MISMATCH
+
+    orphan = [{"window": 1, "exports": {}, "imports": {998: (4,)}}]
+    with pytest.raises(Exception) as excinfo:
+        checker._merge_interfaces(orphan)
+    assert excinfo.value.kind is FailureKind.INTERFACE_MISMATCH
+
+
+def test_run_window_reports_missing_export():
+    formula = CnfFormula(1, [[1], [-1]])
+    manifest = WindowManifest(
+        index=0,
+        lo=3,
+        hi=4,
+        num_original=2,
+        records=[(3, (1, 2))],
+        closure=[],
+        imports=(),
+        exports=(3, 99),  # 99 is never defined in this window
+        counts={},
+        memory_limit=None,
+    )
+    outcome = run_window(formula, manifest)
+    assert outcome["failure"] is not None
+    kind_value, message, context = outcome["failure"]
+    assert kind_value == FailureKind.UNKNOWN_CLAUSE.value
+    assert context["cid"] == 99
+    assert pickle.loads(pickle.dumps(outcome)) == outcome  # cross-process safe
+
+
+# -- windowing helpers --------------------------------------------------------
+
+
+def test_plan_windows_by_size():
+    plan = plan_windows([11, 12, 15, 20, 21], num_original=10, window_size=2)
+    assert [w.num_records for w in plan.windows] == [2, 2, 1]
+    assert plan.windows[0].lo == 11  # extended down to the first learned ID
+    assert plan.windows[0].hi == plan.windows[1].lo  # contiguous, gap-free
+    assert plan.windows[-1].hi == 22
+    assert plan.window_of(12).index == 0
+    assert plan.window_of(13).index == 1  # ID gaps belong to the following window
+    assert plan.window_of(20).index == 1
+    assert plan.window_of(21).index == 2
+
+
+def test_plan_windows_by_count():
+    plan = plan_windows(range(101, 201), num_original=100, num_windows=4)
+    assert len(plan) == 4
+    assert sum(w.num_records for w in plan.windows) == 100
+    assert plan.windows[0].lo == 101
+
+
+def test_plan_windows_rejects_both_options():
+    with pytest.raises(ValueError):
+        plan_windows([11], num_original=10, window_size=2, num_windows=2)
+
+
+def test_plan_windows_empty_trace():
+    plan = plan_windows([], num_original=10, num_windows=4)
+    assert len(plan) == 0
+    with pytest.raises(ValueError):
+        plan.window_of(11)
+
+
+def test_window_of_rejects_original_clauses():
+    plan = plan_windows([11, 12], num_original=10)
+    with pytest.raises(ValueError):
+        plan.window_of(10)
+
+
+def test_iter_window_records_filters(tmp_path):
+    path = _write(tmp_path, "T 2 2\nCL 3 2 1\nCL 4 3 1\nCL 5 4 2\nCONF 5\nR UNSAT\n")
+    cids = [r.cid for r in iter_window_records(path, 4, 6)]
+    assert cids == [4, 5]
+    trace = load_trace(path)
+    assert [r.cid for r in iter_window_records(trace, 3, 4)] == [3]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_check_parallel(tmp_path, capsys):
+    from repro.cli import check_main
+
+    formula = pigeonhole(6, 5)
+    cnf = tmp_path / "php.cnf"
+    lines = [f"p cnf {formula.num_vars} {formula.num_clauses}"]
+    lines += [" ".join(map(str, clause.literals)) + " 0" for clause in formula]
+    cnf.write_text("\n".join(lines) + "\n")
+    trace = tmp_path / "php.trace"
+    writer = AsciiTraceWriter(trace)
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    writer.close()
+
+    rc = check_main([str(cnf), str(trace), "--parallel", "2"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "parallel-windowed" in out
+    assert "c window 0:" in out
+
+
+def test_cli_rejects_window_size_without_parallel(tmp_path):
+    from repro.cli import check_main
+
+    with pytest.raises(SystemExit):
+        check_main(["x.cnf", "x.trace", "--window-size", "5"])
