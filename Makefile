@@ -1,6 +1,6 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test lint check bench bench-parallel tables tables-large ablations export examples clean
+.PHONY: install test lint check bench bench-parallel bench-kernel tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
@@ -21,6 +21,12 @@ bench:
 # Use REPRO_BENCH_SCALE=large for the multi-second instances.
 bench-parallel:
 	pytest benchmarks/bench_parallel.py
+
+# Resolution kernel vs. frozenset oracle (decode, chain resolve, end-to-end
+# per checker); writes results/BENCH_kernel.json and fails if the
+# breadth-first end-to-end speedup drops below 2x. `--quick` for CI smoke.
+bench-kernel:
+	python benchmarks/bench_kernel.py
 
 tables:
 	python -m repro.experiments all --scale medium

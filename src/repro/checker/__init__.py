@@ -25,8 +25,16 @@ structured diagnostic.
 
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.report import CheckReport
-from repro.checker.resolution import resolve, ResolutionError
+from repro.checker.resolution import resolve, resolve_chain, ResolutionError
 from repro.checker.memory import MemoryMeter, MemoryLimitExceeded
+from repro.checker.kernel import (
+    KernelEngine,
+    ReferenceEngine,
+    ResolutionKernel,
+    SignedCounters,
+    make_engine,
+)
+from repro.checker.store import ClauseStore
 from repro.checker.model import check_model
 from repro.checker.precheck import run_precheck
 from repro.checker.depth_first import DepthFirstChecker
@@ -40,9 +48,16 @@ __all__ = [
     "FailureKind",
     "CheckReport",
     "resolve",
+    "resolve_chain",
     "ResolutionError",
     "MemoryMeter",
     "MemoryLimitExceeded",
+    "ResolutionKernel",
+    "ClauseStore",
+    "KernelEngine",
+    "ReferenceEngine",
+    "make_engine",
+    "SignedCounters",
     "check_model",
     "run_precheck",
     "DepthFirstChecker",

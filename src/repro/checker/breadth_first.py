@@ -22,14 +22,21 @@ import tempfile
 import time
 from array import array
 from pathlib import Path
-from typing import FrozenSet, Iterator
+from typing import Iterator, Sequence
 
 from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
 from repro.checker.memory import MemoryMeter
 from repro.checker.report import CheckReport
-from repro.checker.resolution import resolve
+from repro.checker.resolution import ResolutionError
 from repro.cnf import CnfFormula
+from repro.trace.binary_format import (
+    MAGIC,
+    active_decoder_mode,
+    iter_binary_records_raw,
+    scan_binary_learned,
+)
 from repro.trace.io import iter_trace_records
 from repro.trace.records import (
     FinalConflict,
@@ -44,6 +51,7 @@ from repro.trace.records import (
 
 _COUNT_FORMAT = "<Q"
 _COUNT_SIZE = struct.calcsize(_COUNT_FORMAT)
+_COUNT_BLOCK = 1024  # count entries per cached read block
 
 
 class BreadthFirstChecker:
@@ -59,20 +67,25 @@ class BreadthFirstChecker:
         count_chunk_size: int | None = None,
         tmp_dir: str | Path | None = None,
         precheck: bool = False,
+        use_kernel: bool = True,
     ):
         self.formula = formula
         self._source = trace_source
         self._precheck = precheck
         self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
+        self._engine = make_engine(use_kernel, formula)
         self._chunk_size = count_chunk_size
         self._tmp_dir = str(tmp_dir) if tmp_dir is not None else None
         self._num_original: int | None = None
-        self._resident: dict[int, FrozenSet[int]] = {}
+        self._resident: dict[int, ClauseLits] = {}
         self._remaining: dict[int, int] = {}
         self._clauses_built = 0
         self._total_learned = 0
         self._resolutions = 0
+        self._count_block: Sequence[int] = ()
+        self._count_block_index = -1
+        self._binary_fast = False
 
     # -- public API ----------------------------------------------------------
 
@@ -87,8 +100,7 @@ class BreadthFirstChecker:
                 from repro.checker.precheck import run_precheck
 
                 self.precheck_report = run_precheck(self._source)
-            max_cid = self._scan_extent()
-            counts_path = self._counting_pass(max_cid)
+            max_cid, counts_path = self._extent_and_counts()
             with open(counts_path, "rb") as counts_file:
                 verified = self._checking_pass(counts_file)
         except CheckFailure as exc:
@@ -118,6 +130,60 @@ class BreadthFirstChecker:
         if isinstance(self._source, Trace):
             return self._source.records()
         return iter_trace_records(self._source)
+
+    # -- passes 0+1: extent and counting ----------------------------------------
+
+    def _extent_and_counts(self) -> tuple[int, str]:
+        """Run the extent and counting passes; returns (max_cid, counts path).
+
+        When the source is a binary trace file (and neither the legacy
+        decoder nor chunked counting was requested), both passes fuse into
+        one :func:`scan_binary_learned` sweep that decodes the varints in
+        place without constructing record objects — the same arithmetic at
+        a fraction of the cost. Everything else takes the generic
+        record-streaming passes.
+        """
+        if (
+            self._chunk_size is None
+            and isinstance(self._source, (str, Path))
+            and active_decoder_mode() == "batched"
+        ):
+            with open(self._source, "rb") as handle:
+                is_binary = handle.read(len(MAGIC)) == MAGIC
+            if is_binary:
+                self._binary_fast = True
+                return self._fused_scan()
+        max_cid = self._scan_extent()
+        return max_cid, self._counting_pass(max_cid)
+
+    def _fused_scan(self) -> tuple[int, str]:
+        headers, max_cid, num_learned, counts = scan_binary_learned(self._source)
+        if not headers:
+            raise CheckFailure(FailureKind.BAD_HEADER, "trace has no header")
+        for _num_vars, num_original in headers:
+            self._num_original = num_original
+            if num_original > max_cid:
+                max_cid = num_original
+            if self.formula.num_clauses != num_original:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "formula / trace disagree on the number of original clauses",
+                    formula_clauses=self.formula.num_clauses,
+                    trace_clauses=num_original,
+                )
+        self._total_learned = num_learned
+        first_learned = self._num_original + 1
+        fd, path = tempfile.mkstemp(prefix="bfcheck-counts-", dir=self._tmp_dir)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                get = counts.get
+                array(
+                    "Q", (get(cid, 0) for cid in range(first_learned, max_cid + 1))
+                ).tofile(handle)
+        except BaseException:
+            os.unlink(path)
+            raise
+        return max_cid, path
 
     # -- pass 0: extent ----------------------------------------------------------
 
@@ -183,40 +249,50 @@ class BreadthFirstChecker:
         return path
 
     def _read_count(self, counts_file, cid: int) -> int:
+        """Fetch one use count, through a single-block read cache.
+
+        The checking pass looks counts up in ascending clause-ID order, so
+        buffering one ``_COUNT_BLOCK``-entry block turns the per-clause
+        seek+read+unpack into one file read per block.
+        """
         assert self._num_original is not None
-        offset = (cid - self._num_original - 1) * _COUNT_SIZE
-        counts_file.seek(offset)
-        blob = counts_file.read(_COUNT_SIZE)
-        if len(blob) != _COUNT_SIZE:
+        entry = cid - self._num_original - 1
+        block, index = divmod(entry, _COUNT_BLOCK)
+        if block != self._count_block_index:
+            counts_file.seek(block * _COUNT_BLOCK * _COUNT_SIZE)
+            blob = counts_file.read(_COUNT_BLOCK * _COUNT_SIZE)
+            blob = blob[: len(blob) - len(blob) % _COUNT_SIZE]
+            self._count_block = array("Q", blob)
+            self._count_block_index = block
+        cached = self._count_block
+        if index >= len(cached):
             raise CheckFailure(
                 FailureKind.UNKNOWN_CLAUSE,
                 "clause ID outside the counted range",
                 cid=cid,
             )
-        return struct.unpack(_COUNT_FORMAT, blob)[0]
+        return cached[index]
 
     # -- pass 2: checking -----------------------------------------------------------
 
-    def _get_clause(self, cid: int) -> FrozenSet[int]:
+    def _get_clause(self, cid: int) -> ClauseLits:
         assert self._num_original is not None
-        if cid <= self._num_original:
-            try:
-                return frozenset(self.formula[cid].literals)
-            except KeyError:
-                raise CheckFailure(
-                    FailureKind.UNKNOWN_CLAUSE,
-                    "trace references an original clause absent from the formula",
-                    cid=cid,
-                ) from None
+        # One dict probe covers both kinds of clause on the hot path:
+        # originals are cached here after their first materialization
+        # (they are never reference-counted, so they simply stay).
         clause = self._resident.get(cid)
-        if clause is None:
-            raise CheckFailure(
-                FailureKind.UNKNOWN_CLAUSE,
-                "clause is not resident: never defined, defined later, or "
-                "already fully consumed",
-                cid=cid,
-            )
-        return clause
+        if clause is not None:
+            return clause
+        if cid <= self._num_original:
+            clause = self._engine.original(cid)
+            self._resident[cid] = clause
+            return clause
+        raise CheckFailure(
+            FailureKind.UNKNOWN_CLAUSE,
+            "clause is not resident: never defined, defined later, or "
+            "already fully consumed",
+            cid=cid,
+        )
 
     def _consume_use(self, cid: int) -> None:
         """Decrement a resident clause's remaining-use counter; free at zero."""
@@ -230,43 +306,60 @@ class BreadthFirstChecker:
             clause = self._resident.pop(cid)
             del self._remaining[cid]
             self.meter.release(self.meter.clause_units(len(clause)))
+            self._engine.release(clause)
         else:
             self._remaining[cid] = remaining - 1
 
-    def _build_learned(self, record: LearnedClause, counts_file) -> None:
-        if not record.sources:
+    def _build_learned(self, cid: int, sources: Sequence[int], counts_file) -> None:
+        if not sources:
             # Normal parsing rejects zero-source records, but a hand-built
             # Trace can smuggle one in; fail the report, don't IndexError.
             raise CheckFailure(
                 FailureKind.MALFORMED_TRACE,
                 "learned clause record has no resolve sources",
-                cid=record.cid,
+                cid=cid,
             )
-        for source in record.sources:
-            if source >= record.cid:
-                raise CheckFailure(
-                    FailureKind.CYCLIC_TRACE,
-                    "learned clause resolves from a clause with an ID not "
-                    "smaller than its own",
-                    cid=record.cid,
-                    source=source,
-                )
-        clause = self._get_clause(record.sources[0])
-        previous = record.sources[0]
-        for source in record.sources[1:]:
-            clause = resolve(clause, self._get_clause(source), cid_a=previous, cid_b=source)
-            self._resolutions += 1
-            previous = source
+        if max(sources) >= cid:
+            for source in sources:
+                if source >= cid:
+                    raise CheckFailure(
+                        FailureKind.CYCLIC_TRACE,
+                        "learned clause resolves from a clause with an ID not "
+                        "smaller than its own",
+                        cid=cid,
+                        source=source,
+                    )
+        try:
+            clause = self._engine.chain(cid, sources, self._get_clause)
+        except ResolutionError as exc:
+            self._resolutions += max(0, (exc.context.get("chain_position") or 1) - 1)
+            raise
+        self._resolutions += len(sources) - 1
         self._clauses_built += 1
         # Decrement sources only after the build succeeded, so diagnostics
-        # for a failed build still see the inputs.
-        for source in record.sources:
-            self._consume_use(source)
-        total_uses = self._read_count(counts_file, record.cid)
+        # for a failed build still see the inputs. (Inline _consume_use:
+        # this loop runs once per resolve source across the whole trace.)
+        num_original = self._num_original
+        remaining_map = self._remaining
+        for source in sources:
+            if source <= num_original:
+                continue
+            remaining = remaining_map.get(source)
+            if remaining is None:
+                continue
+            if remaining <= 1:
+                freed = self._resident.pop(source)
+                del remaining_map[source]
+                self.meter.release(self.meter.clause_units(len(freed)))
+                self._engine.release(freed)
+            else:
+                remaining_map[source] = remaining - 1
+        total_uses = self._read_count(counts_file, cid)
         if total_uses == 0:
+            self._engine.release(clause)
             return  # validated, never used again: drop immediately
-        self._resident[record.cid] = clause
-        self._remaining[record.cid] = total_uses
+        self._resident[cid] = clause
+        self._remaining[cid] = total_uses
         self.meter.allocate(self.meter.clause_units(len(clause)))
 
     def _checking_pass(self, counts_file) -> bool:
@@ -275,24 +368,40 @@ class BreadthFirstChecker:
         final_conflicts: list[int] = []
         status = "UNKNOWN"
         last_cid = self._num_original
-        for record in self._records():
-            if isinstance(record, LearnedClause):
-                if record.cid <= last_cid:
-                    raise CheckFailure(
-                        FailureKind.CYCLIC_TRACE,
-                        "learned clause IDs must be strictly increasing",
-                        cid=record.cid,
-                        previous=last_cid,
-                    )
-                last_cid = record.cid
-                self._build_learned(record, counts_file)
+        if self._binary_fast:
+            # Binary source with the batched decoder: learned records come
+            # through as bare (cid, sources) tuples, skipping record
+            # construction on the dominant record type.
+            stream = iter_binary_records_raw(self._source)
+        else:
+            stream = self._records()
+        for record in stream:
+            if type(record) is tuple:
+                cid, sources = record
+            elif isinstance(record, LearnedClause):
+                cid = record.cid
+                sources = record.sources
             elif isinstance(record, LevelZeroAssignment):
                 level_zero_entries.append(record)
                 self.meter.allocate(self.meter.record_units(3))
+                continue
             elif isinstance(record, FinalConflict):
                 final_conflicts.append(record.cid)
+                continue
             elif isinstance(record, TraceResult):
                 status = record.status
+                continue
+            else:
+                continue  # TraceHeader and anything future: not checked here
+            if cid <= last_cid:
+                raise CheckFailure(
+                    FailureKind.CYCLIC_TRACE,
+                    "learned clause IDs must be strictly increasing",
+                    cid=cid,
+                    previous=last_cid,
+                )
+            last_cid = cid
+            self._build_learned(cid, sources, counts_file)
 
         if status != "UNSAT":
             raise CheckFailure(
@@ -319,6 +428,7 @@ class BreadthFirstChecker:
             level_zero,
             get_clause=self._get_clause,
             on_use=self._consume_use,
+            resolve_fn=self._engine.resolve,
         )
         self._resolutions += steps
         return True

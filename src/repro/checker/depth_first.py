@@ -13,13 +13,13 @@ core of the input formula.
 from __future__ import annotations
 
 import time
-from typing import FrozenSet
 
 from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
 from repro.checker.memory import MemoryMeter
 from repro.checker.report import CheckReport
-from repro.checker.resolution import resolve
+from repro.checker.resolution import ResolutionError
 from repro.cnf import CnfFormula
 from repro.trace.records import Trace, TraceError
 
@@ -35,13 +35,15 @@ class DepthFirstChecker:
         trace: Trace,
         memory_limit: int | None = None,
         precheck: bool = False,
+        use_kernel: bool = True,
     ):
         self.formula = formula
         self.trace = trace
         self._precheck = precheck
         self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
-        self._built: dict[int, FrozenSet[int]] = {}
+        self._engine = make_engine(use_kernel, formula)
+        self._built: dict[int, ClauseLits] = {}
         self._num_original = trace.header.num_original_clauses
         self._original_core: set[int] = set()
         self._learned_used: set[int] = set()
@@ -70,6 +72,7 @@ class DepthFirstChecker:
                 level_zero,
                 get_clause=self._build,
                 on_use=self._note_use,
+                resolve_fn=self._engine.resolve,
             )
             self._resolutions += steps
             verified = True
@@ -128,7 +131,7 @@ class DepthFirstChecker:
         else:
             self._learned_used.add(cid)
 
-    def _build(self, cid: int) -> FrozenSet[int]:
+    def _build(self, cid: int) -> ClauseLits:
         """recursive_build of Fig. 3, iteratively (traces run deep)."""
         cached = self._built.get(cid)
         if cached is not None:
@@ -171,17 +174,10 @@ class DepthFirstChecker:
             self._resolve_record(top, record.sources)
         return self._built[cid]
 
-    def _materialize_original(self, cid: int) -> FrozenSet[int]:
-        try:
-            literals = frozenset(self.formula[cid].literals)
-        except KeyError:
-            raise CheckFailure(
-                FailureKind.UNKNOWN_CLAUSE,
-                "trace references an original clause absent from the formula",
-                cid=cid,
-            ) from None
-        self._built[cid] = literals
-        return literals
+    def _materialize_original(self, cid: int) -> ClauseLits:
+        clause = self._engine.original(cid)
+        self._built[cid] = clause
+        return clause
 
     def _resolve_record(self, cid: int, sources: tuple[int, ...]) -> None:
         if not sources:
@@ -190,13 +186,15 @@ class DepthFirstChecker:
                 "learned clause record has no resolve sources",
                 cid=cid,
             )
-        clause = self._built[sources[0]]
-        self._note_use(sources[0])
-        previous = sources[0]
-        for source in sources[1:]:
-            clause = resolve(clause, self._built[source], cid_a=previous, cid_b=source)
+        try:
+            clause = self._engine.chain(cid, sources, self._built.__getitem__)
+        except ResolutionError as exc:
+            # Count the steps that succeeded before the chain broke, so
+            # failure reports match the old fold's bookkeeping.
+            self._resolutions += max(0, (exc.context.get("chain_position") or 1) - 1)
+            raise
+        for source in sources:
             self._note_use(source)
-            self._resolutions += 1
-            previous = source
+        self._resolutions += len(sources) - 1
         self._built[cid] = clause
         self.meter.allocate(self.meter.clause_units(len(clause)))

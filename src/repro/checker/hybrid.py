@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import FrozenSet, Iterator
+from typing import Iterator
 
 from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
 from repro.checker.memory import MemoryMeter
 from repro.checker.report import CheckReport
-from repro.checker.resolution import resolve
+from repro.checker.resolution import ResolutionError
 from repro.cnf import CnfFormula
 from repro.trace.io import iter_trace_records
 from repro.trace.records import (
@@ -58,14 +59,16 @@ class HybridChecker:
         trace_source: str | Path | Trace,
         memory_limit: int | None = None,
         precheck: bool = False,
+        use_kernel: bool = True,
     ):
         self.formula = formula
         self._source = trace_source
         self._precheck = precheck
         self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
+        self._engine = make_engine(use_kernel, formula)
         self._num_original: int | None = None
-        self._resident: dict[int, FrozenSet[int]] = {}
+        self._resident: dict[int, ClauseLits] = {}
         self._remaining: dict[int, int] = {}
         self._clauses_built = 0
         self._total_learned = 0
@@ -202,17 +205,10 @@ class HybridChecker:
 
     # -- pass 2: stream and build only the needed clauses -------------------------
 
-    def _get_clause(self, cid: int) -> FrozenSet[int]:
+    def _get_clause(self, cid: int) -> ClauseLits:
         assert self._num_original is not None
         if cid <= self._num_original:
-            try:
-                return frozenset(self.formula[cid].literals)
-            except KeyError:
-                raise CheckFailure(
-                    FailureKind.UNKNOWN_CLAUSE,
-                    "trace references an original clause absent from the formula",
-                    cid=cid,
-                ) from None
+            return self._engine.original(cid)
         clause = self._resident.get(cid)
         if clause is None:
             raise CheckFailure(
@@ -236,6 +232,7 @@ class HybridChecker:
             clause = self._resident.pop(cid)
             del self._remaining[cid]
             self.meter.release(self.meter.clause_units(len(clause)))
+            self._engine.release(clause)
         else:
             self._remaining[cid] = remaining - 1
 
@@ -253,15 +250,14 @@ class HybridChecker:
                     "learned clause record has no resolve sources",
                     cid=record.cid,
                 )
-            clause = self._get_clause(record.sources[0])
-            previous = record.sources[0]
-            self._note_use(record.sources[0])
-            for source in record.sources[1:]:
-                next_clause = self._get_clause(source)
-                clause = resolve(clause, next_clause, cid_a=previous, cid_b=source)
+            try:
+                clause = self._engine.chain(record.cid, record.sources, self._get_clause)
+            except ResolutionError as exc:
+                self._resolutions += max(0, (exc.context.get("chain_position") or 1) - 1)
+                raise
+            for source in record.sources:
                 self._note_use(source)
-                self._resolutions += 1
-                previous = source
+            self._resolutions += len(record.sources) - 1
             self._clauses_built += 1
             self._resident[record.cid] = clause
             self._remaining[record.cid] = uses
@@ -275,6 +271,7 @@ class HybridChecker:
             level_zero,
             get_clause=self._get_clause,
             on_use=self._note_use,
+            resolve_fn=self._engine.resolve,
         )
         self._resolutions += steps
         return True

@@ -128,14 +128,22 @@ def derive_empty_clause(
     level_zero: LevelZeroState,
     get_clause: Callable[[int], FrozenSet[int]],
     on_use: Callable[[int], None] | None = None,
+    resolve_fn: Callable[..., FrozenSet[int]] | None = None,
 ) -> int:
     """Derive the empty clause from the final conflicting clause.
 
     ``get_clause`` materializes a clause by ID (each strategy supplies its
     own); ``on_use`` is notified for every clause ID consumed (the BF
     checker uses it for reference-count decrements, DF/hybrid for core
-    collection). Returns the number of resolution steps performed.
+    collection). ``resolve_fn`` performs one resolution step — checkers
+    running on the marking kernel pass their engine's
+    :meth:`~repro.checker.kernel.KernelEngine.resolve` so clauses stay
+    interned arrays; the default is the frozenset reference
+    :func:`~repro.checker.resolution.resolve`. Returns the number of
+    resolution steps performed.
     """
+    if resolve_fn is None:
+        resolve_fn = resolve
     level_zero.check_all_false(start_cid, start_literals)
     if on_use is not None:
         on_use(start_cid)
@@ -157,7 +165,7 @@ def derive_empty_clause(
         antecedent_cid = level_zero.info(pivot_var).antecedent
         antecedent = get_clause(antecedent_cid)
         level_zero.check_antecedent(antecedent_cid, antecedent, pivot_var)
-        clause = resolve(clause, antecedent, cid_a=start_cid, cid_b=antecedent_cid)
+        clause = resolve_fn(clause, antecedent, cid_a=start_cid, cid_b=antecedent_cid)
         resolutions += 1
         if on_use is not None:
             on_use(antecedent_cid)

@@ -11,10 +11,23 @@ lets a configurable limit reproduce the memory-out behaviour.
 
 from __future__ import annotations
 
+import sys
+
 from repro.checker.errors import CheckFailure, FailureKind
 
 CLAUSE_OVERHEAD = 2  # per resident clause: id + length field
 RECORD_OVERHEAD = 2  # per resident trace record
+
+
+def real_bytes(obj: object) -> int:
+    """Measured size of a resident object in bytes (``sys.getsizeof``).
+
+    Complements the logical units above: the clause-interning store
+    (:mod:`repro.checker.store`) sums this over its shared ``array('i')``
+    buffers to report what the deduplicated clause database *actually*
+    occupies, while the meters keep the platform-independent accounting.
+    """
+    return sys.getsizeof(obj)
 
 
 class MemoryLimitExceeded(CheckFailure):

@@ -45,10 +45,11 @@ from pathlib import Path
 from typing import FrozenSet, Iterator
 
 from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
 from repro.checker.memory import MemoryMeter
 from repro.checker.report import CheckReport
-from repro.checker.resolution import resolve
+from repro.checker.resolution import ResolutionError
 from repro.cnf import CnfFormula
 from repro.trace.io import iter_trace_records
 from repro.trace.records import (
@@ -78,6 +79,7 @@ class WindowManifest:
     exports: tuple[int, ...]  # in-window cids later windows / the final stage need
     counts: dict[int, int]  # in-window use counts (BF-style reference counting)
     memory_limit: int | None
+    use_kernel: bool = True  # marking kernel (default) or the frozenset oracle
 
 
 def _interface_bytes(literals: FrozenSet[int] | tuple[int, ...]) -> bytes:
@@ -102,20 +104,14 @@ def _revive_failure(payload: tuple[str, str, dict]) -> CheckFailure:
 def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
     """Verify one window; returns a picklable outcome dict (never raises)."""
     meter = MemoryMeter(limit=manifest.memory_limit)
-    built: dict[int, FrozenSet[int]] = {}
+    engine = make_engine(manifest.use_kernel, formula)
+    built: dict[int, ClauseLits] = {}
     stats = {"resolutions": 0, "import_resolutions": 0, "clauses_built": 0, "import_builds": 0}
     exports = frozenset(manifest.exports)
 
-    def get_clause(cid: int) -> FrozenSet[int]:
+    def get_clause(cid: int) -> ClauseLits:
         if cid <= manifest.num_original:
-            try:
-                return frozenset(formula[cid].literals)
-            except KeyError:
-                raise CheckFailure(
-                    FailureKind.UNKNOWN_CLAUSE,
-                    "trace references an original clause absent from the formula",
-                    cid=cid,
-                ) from None
+            return engine.original(cid)
         clause = built.get(cid)
         if clause is None:
             raise CheckFailure(
@@ -127,7 +123,7 @@ def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
             )
         return clause
 
-    def build_chain(cid: int, sources: tuple[int, ...], counter: str) -> FrozenSet[int]:
+    def build_chain(cid: int, sources: tuple[int, ...], counter: str) -> ClauseLits:
         if not sources:
             raise CheckFailure(
                 FailureKind.MALFORMED_TRACE,
@@ -143,12 +139,12 @@ def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
                     cid=cid,
                     source=source,
                 )
-        clause = get_clause(sources[0])
-        previous = sources[0]
-        for source in sources[1:]:
-            clause = resolve(clause, get_clause(source), cid_a=previous, cid_b=source)
-            stats[counter] += 1
-            previous = source
+        try:
+            clause = engine.chain(cid, sources, get_clause)
+        except ResolutionError as exc:
+            stats[counter] += max(0, (exc.context.get("chain_position") or 1) - 1)
+            raise
+        stats[counter] += len(sources) - 1
         return clause
 
     try:
@@ -176,11 +172,14 @@ def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
                         freed = built.pop(source, None)
                         if freed is not None:
                             meter.release(meter.clause_units(len(freed)))
+                            engine.release(freed)
                     else:
                         remaining[source] = left - 1
             if remaining.get(cid, 0) > 0 or cid in exports:
                 built[cid] = clause
                 meter.allocate(meter.clause_units(len(clause)))
+            else:
+                engine.release(clause)
 
         export_lits = {}
         for cid in manifest.exports:
@@ -244,6 +243,7 @@ class ParallelWindowedChecker:
         memory_limit: int | None = None,
         tmp_dir: str | Path | None = None,
         precheck: bool = False,
+        use_kernel: bool = True,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
@@ -252,6 +252,7 @@ class ParallelWindowedChecker:
         self._num_workers = num_workers
         self._window_size = window_size
         self._memory_limit = memory_limit
+        self._use_kernel = use_kernel
         self._tmp_dir = str(tmp_dir) if tmp_dir is not None else None
         self._precheck = precheck
         self.precheck_report = None
@@ -447,6 +448,7 @@ class ParallelWindowedChecker:
                     exports=tuple(sorted(exports[window.index])),
                     counts=counts[window.index],
                     memory_limit=self._memory_limit,
+                    use_kernel=self._use_kernel,
                 )
             )
         return manifests
@@ -555,17 +557,11 @@ class ParallelWindowedChecker:
         final_cid: int,
     ) -> int:
         self.meter.allocate(self.meter.record_units(3) * len(level_zero))
+        engine = make_engine(self._use_kernel, self.formula)
 
-        def get_clause(cid: int) -> FrozenSet[int]:
+        def get_clause(cid: int) -> ClauseLits:
             if cid <= self._num_original:
-                try:
-                    return frozenset(self.formula[cid].literals)
-                except KeyError:
-                    raise CheckFailure(
-                        FailureKind.UNKNOWN_CLAUSE,
-                        "trace references an original clause absent from the formula",
-                        cid=cid,
-                    ) from None
+                return engine.original(cid)
             clause = interface.get(cid)
             if clause is None:
                 raise CheckFailure(
@@ -577,4 +573,6 @@ class ParallelWindowedChecker:
             return clause
 
         state = LevelZeroState(level_zero)
-        return derive_empty_clause(final_cid, get_clause(final_cid), state, get_clause)
+        return derive_empty_clause(
+            final_cid, get_clause(final_cid), state, get_clause, resolve_fn=engine.resolve
+        )

@@ -45,13 +45,30 @@ def resolve(
 
 def resolve_chain(
     clauses: list[tuple[int, FrozenSet[int]]],
+    learned_cid: int | None = None,
 ) -> FrozenSet[int]:
     """Left-fold resolution over (cid, literals) pairs — a learned clause's
-    derivation from its resolve sources."""
+    derivation from its resolve sources.
+
+    On failure the error names the derivation, not a trace clause that
+    isn't involved: after the first fold step the accumulator is an
+    *intermediate resolvent*, so attributing it to the previous source's
+    cid (as ``cid_a``) would misattribute the failure. The context instead
+    carries the originating learned clause (``learned_cid``), the 1-based
+    ``chain_position`` of the offending source, and that source's ``cid_b``.
+    """
     if not clauses:
-        raise ResolutionError("empty resolution chain")
-    cid_acc, acc = clauses[0]
-    for cid, lits in clauses[1:]:
-        acc = resolve(acc, lits, cid_a=cid_acc, cid_b=cid)
-        cid_acc = cid
+        raise ResolutionError("empty resolution chain", learned_cid=learned_cid)
+    _, acc = clauses[0]
+    for position, (cid, lits) in enumerate(clauses[1:], start=1):
+        try:
+            acc = resolve(acc, lits)
+        except ResolutionError as exc:
+            raise ResolutionError(
+                exc.message,
+                learned_cid=learned_cid,
+                chain_position=position,
+                cid_b=cid,
+                clashing_vars=exc.context.get("clashing_vars"),
+            ) from None
     return acc

@@ -22,6 +22,7 @@ from typing import IO, Iterator, Sequence
 
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.report import CheckReport
+from repro.checker.store import ClauseStore
 from repro.checker.unitprop import UnitPropagator
 from repro.cnf import CnfFormula
 
@@ -118,16 +119,17 @@ class RupChecker:
         )
 
     def _run(self) -> tuple[bool, int]:
-        engine = UnitPropagator(self.formula.num_vars)
-        index_of: dict[frozenset, list[int]] = {}
+        engine = UnitPropagator(self.formula.num_vars, store=ClauseStore())
+        index_of: dict[tuple[int, ...], list[int]] = {}
         for clause in self.formula:
             index = engine.add_clause(clause.literals)
-            index_of.setdefault(frozenset(clause.literals), []).append(index)
+            key = tuple(sorted(set(clause.literals)))
+            index_of.setdefault(key, []).append(index)
 
         steps = 0
         for kind, literals in iter_drup(self.proof_path):
             if kind == "delete":
-                key = frozenset(literals)
+                key = tuple(sorted(set(literals)))
                 indices = index_of.get(key)
                 if indices:
                     engine.remove_clause(indices.pop())
@@ -145,7 +147,7 @@ class RupChecker:
             if not literals:
                 return True, steps  # the empty clause: proof complete
             index = engine.add_clause(literals)
-            index_of.setdefault(frozenset(literals), []).append(index)
+            index_of.setdefault(tuple(sorted(set(literals))), []).append(index)
 
         raise CheckFailure(
             FailureKind.NOT_EMPTY,

@@ -3,12 +3,20 @@
 Deliberately independent from the solver's BCP: a checker that shares the
 propagation code with the solver it validates would inherit its bugs. This
 one trades speed for simplicity — counter-based propagation over clause
-lists, no watched literals.
+lists, no watched literals — but borrows the resolution kernel's reusable
+buffers for its hot state: the per-call assignment lives in a
+:class:`~repro.checker.kernel.SignedCounters` generation buffer (no dict
+allocation per ``propagate``), and clause literals can be interned in a
+shared :class:`~repro.checker.store.ClauseStore` so duplicated proof
+clauses cost one buffer.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+from repro.checker.kernel import SignedCounters
+from repro.checker.store import ClauseStore
 
 
 class UnitPropagator:
@@ -19,9 +27,11 @@ class UnitPropagator:
     conflict (some clause with all literals false) was reached.
     """
 
-    def __init__(self, num_vars: int):
+    def __init__(self, num_vars: int, store: ClauseStore | None = None):
         self.num_vars = num_vars
-        self.clauses: list[list[int]] = []
+        self.clauses: list[Sequence[int]] = []
+        self._store = store
+        self._assign = SignedCounters(num_vars)
         self._occurrences: dict[int, list[int]] = {}
         self._unit_indices: set[int] = set()
         self._has_empty = False
@@ -33,7 +43,10 @@ class UnitPropagator:
     def add_clause(self, literals: Sequence[int]) -> int:
         """Add a clause; returns its index."""
         index = len(self.clauses)
-        clause = list(dict.fromkeys(literals))
+        if self._store is not None:
+            clause: Sequence[int] = self._store.intern(literals)
+        else:
+            clause = list(dict.fromkeys(literals))
         self.clauses.append(clause)
         if not clause:
             self._has_empty = True
@@ -54,27 +67,38 @@ class UnitPropagator:
         for lit in clause:
             self._occurrences[lit].remove(index)
         self._unit_indices.discard(index)
+        if self._store is not None:
+            self._store.release(clause)
         self.clauses[index] = None  # type: ignore[call-overload]
 
     def propagate(self, assumptions: Iterable[int]) -> bool:
         """Unit-propagate from ``assumptions``; True iff a conflict arises.
 
         Conflicting assumptions (both phases of a variable) count as an
-        immediate conflict.
+        immediate conflict. Assignment state is a ±generation stamp per
+        variable — ``+gen`` true, ``-gen`` false — reset in O(1) by
+        bumping the generation.
         """
         if self._has_empty:
             return True
-        value: dict[int, bool] = {}
+        counters = self._assign
+        counters.ensure(self.num_vars)
+        marks = counters.marks
+        gen = counters.new_generation()
+        neg_gen = -gen
         queue: list[int] = []
         unit_literals = [self.clauses[index][0] for index in self._unit_indices]
         for lit in list(assumptions) + unit_literals:
             var = abs(lit)
-            phase = lit > 0
-            existing = value.get(var)
-            if existing is None:
-                value[var] = phase
+            if var >= len(marks):
+                counters.ensure(var)
+                marks = counters.marks
+            desired = gen if lit > 0 else neg_gen
+            mark = marks[var]
+            if mark != gen and mark != neg_gen:
+                marks[var] = desired
                 queue.append(lit)
-            elif existing != phase:
+            elif mark != desired:
                 return True
 
         head = 0
@@ -89,19 +113,19 @@ class UnitPropagator:
                 unit_lit = 0
                 satisfied = False
                 for clause_lit in clause:
-                    existing = value.get(abs(clause_lit))
-                    if existing is None:
+                    mark = marks[abs(clause_lit)]
+                    if mark != gen and mark != neg_gen:
                         if unit_lit:
                             unit_lit = None  # two free literals: not unit
                             break
                         unit_lit = clause_lit
-                    elif existing == (clause_lit > 0):
+                    elif (mark == gen) == (clause_lit > 0):
                         satisfied = True
                         break
                 if satisfied or unit_lit is None:
                     continue
                 if unit_lit == 0:
                     return True  # all literals false: conflict
-                value[abs(unit_lit)] = unit_lit > 0
+                marks[abs(unit_lit)] = gen if unit_lit > 0 else neg_gen
                 queue.append(unit_lit)
         return False

@@ -126,6 +126,19 @@ def check_main(argv: list[str] | None = None) -> int:
         help="run the static trace linter first and fail fast on structural "
         "errors (df/bf/hybrid; a DRUP proof has no trace to lint)",
     )
+    parser.add_argument(
+        "--engine",
+        default="kernel",
+        choices=["kernel", "reference"],
+        help="resolution engine: the marking-array kernel (default) or the "
+        "frozenset reference oracle (df/bf/hybrid/parallel)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the check under cProfile and print the top 20 entries "
+        "by cumulative time",
+    )
     args = parser.parse_args(argv)
 
     if args.precheck and args.method == "rup":
@@ -136,6 +149,7 @@ def check_main(argv: list[str] | None = None) -> int:
         parser.error("--window-size only applies with --parallel")
 
     formula = parse_dimacs_file(args.cnf)
+    use_kernel = args.engine == "kernel"
     if args.parallel is not None:
         if args.method == "rup":
             parser.error("--parallel verifies resolution traces; not --method rup")
@@ -146,23 +160,47 @@ def check_main(argv: list[str] | None = None) -> int:
             window_size=args.window_size,
             memory_limit=args.mem_limit,
             precheck=args.precheck,
+            use_kernel=use_kernel,
         )
     elif args.method == "df":
         checker = DepthFirstChecker(
-            formula, load_trace(args.proof), memory_limit=args.mem_limit, precheck=args.precheck
+            formula,
+            load_trace(args.proof),
+            memory_limit=args.mem_limit,
+            precheck=args.precheck,
+            use_kernel=use_kernel,
         )
     elif args.method == "bf":
         checker = BreadthFirstChecker(
-            formula, args.proof, memory_limit=args.mem_limit, precheck=args.precheck
+            formula,
+            args.proof,
+            memory_limit=args.mem_limit,
+            precheck=args.precheck,
+            use_kernel=use_kernel,
         )
     elif args.method == "hybrid":
         checker = HybridChecker(
-            formula, args.proof, memory_limit=args.mem_limit, precheck=args.precheck
+            formula,
+            args.proof,
+            memory_limit=args.mem_limit,
+            precheck=args.precheck,
+            use_kernel=use_kernel,
         )
     else:
         checker = RupChecker(formula, args.proof)
 
-    report = checker.check()
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        report = checker.check()
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+    else:
+        report = checker.check()
     print(report.summary())
     if report.window_stats:
         for stat in report.window_stats:

@@ -42,12 +42,15 @@ class Clause:
         return lit in self.literals
 
     def __eq__(self, other: object) -> bool:
+        # The trace/checker contract is order-insensitive but duplicate-free:
+        # ``literals`` is already deduplicated at construction, so the sorted
+        # tuple is the canonical form (and what __hash__ must agree with).
         if not isinstance(other, Clause):
             return NotImplemented
-        return self.cid == other.cid and set(self.literals) == set(other.literals)
+        return self.cid == other.cid and sorted(self.literals) == sorted(other.literals)
 
     def __hash__(self) -> int:
-        return hash((self.cid, frozenset(self.literals)))
+        return hash((self.cid, tuple(sorted(self.literals))))
 
     def __repr__(self) -> str:
         kind = "L" if self.learned else "O"

@@ -65,9 +65,12 @@ class ResolutionGraph:
         report.raise_if_failed()
 
         graph = cls(num_original=trace.header.num_original_clauses)
-        # Nodes: everything the checker built (originals it touched included).
+        # Nodes: everything the checker built (originals it touched
+        # included). The kernel engine stores clauses as interned int
+        # arrays; the graph's node payload is declared as frozensets, so
+        # coerce at this boundary.
         for cid, lits in checker._built.items():
-            graph.literals[cid] = lits
+            graph.literals[cid] = frozenset(lits)
         for cid in list(graph.literals):
             if cid > graph.num_original:
                 graph.parents[cid] = trace.learned[cid].sources

@@ -13,6 +13,7 @@ keeps most varints short on real traces.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator
 
@@ -160,8 +161,13 @@ class BinaryTraceWriter:
         self.close()
 
 
-def iter_binary_records(path: str | Path) -> Iterator[TraceRecord]:
-    """Stream records from a binary trace file (constant memory)."""
+def iter_binary_records_unbatched(path: str | Path) -> Iterator[TraceRecord]:
+    """Stream records from a binary trace file, one byte call at a time.
+
+    The original decoder: every byte goes through a ``next_byte()`` method
+    call. Kept as the reference implementation (and for the benchmark's
+    before/after comparison); :func:`iter_binary_records` batches instead.
+    """
     with open(path, "rb") as handle:
         if handle.read(len(MAGIC)) != MAGIC:
             raise TraceError(f"{path}: not a binary trace (bad magic)")
@@ -188,6 +194,347 @@ def iter_binary_records(path: str | Path) -> Iterator[TraceRecord]:
                 yield TraceResult("UNKNOWN")
             else:
                 raise TraceError(f"unknown binary record tag {tag:#x}")
+
+
+DEFAULT_CHUNK_SIZE = 1 << 18
+
+# Module-level decoder selector so benchmarks can compare the legacy and
+# batched paths through the exact same call sites (checkers only ever call
+# iter_binary_records / iter_trace_records).
+_DECODER_MODE = "batched"
+
+
+@contextmanager
+def decoder_mode(mode: str) -> Iterator[None]:
+    """Temporarily force the binary decoder ("batched" or "legacy")."""
+    global _DECODER_MODE
+    if mode not in ("batched", "legacy"):
+        raise ValueError(f"unknown decoder mode {mode!r}")
+    previous = _DECODER_MODE
+    _DECODER_MODE = mode
+    try:
+        yield
+    finally:
+        _DECODER_MODE = previous
+
+
+def _decode_batched(
+    path: str | Path,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    raw_learned: bool = False,
+) -> Iterator[TraceRecord | tuple[int, list[int]]]:
+    """Batched decoder: inline varint parsing over large buffered chunks.
+
+    Reads the file in ``chunk_size`` blocks and decodes records with
+    direct ``buffer[pos]`` indexing — no per-byte method calls. Records
+    may straddle a chunk boundary; decoding past the end of the buffer
+    raises ``IndexError``, at which point we rewind to the start of the
+    torn record, splice in the next chunk, and retry. A record therefore
+    decodes at most twice, and the common case is a single pass over each
+    chunk.
+
+    With ``raw_learned`` the dominant record type is yielded as a plain
+    ``(cid, sources)`` tuple instead of a :class:`LearnedClause` — frozen
+    dataclass construction costs more than decoding the record does, and
+    a checker hot loop needs only the two fields.
+    """
+    with open(path, "rb") as handle:
+        if handle.read(len(MAGIC)) != MAGIC:
+            raise TraceError(f"{path}: not a binary trace (bad magic)")
+        buffer = handle.read(chunk_size)
+        pos = 0
+        exhausted = not buffer
+        while True:
+            if pos >= len(buffer):
+                if exhausted:
+                    return
+                buffer = handle.read(chunk_size)
+                pos = 0
+                if not buffer:
+                    return
+                exhausted = len(buffer) < chunk_size
+            record_start = pos
+            try:
+                tag = buffer[pos]
+                pos += 1
+                if tag == _TAG_LEARNED:
+                    # Inline fast path for the dominant record type: the
+                    # varint loops are unrolled in place — no function
+                    # calls per byte or per varint.
+                    cid = buffer[pos]
+                    pos += 1
+                    if cid & 0x80:
+                        cid &= 0x7F
+                        shift = 7
+                        while True:
+                            byte = buffer[pos]
+                            pos += 1
+                            cid |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 63:
+                                raise TraceError("varint too long")
+                    count = buffer[pos]
+                    pos += 1
+                    if count & 0x80:
+                        count &= 0x7F
+                        shift = 7
+                        while True:
+                            byte = buffer[pos]
+                            pos += 1
+                            count |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 63:
+                                raise TraceError("varint too long")
+                    sources = []
+                    append = sources.append
+                    for _ in range(count):
+                        delta = buffer[pos]
+                        pos += 1
+                        if delta & 0x80:
+                            delta &= 0x7F
+                            shift = 7
+                            while True:
+                                byte = buffer[pos]
+                                pos += 1
+                                delta |= (byte & 0x7F) << shift
+                                if not byte & 0x80:
+                                    break
+                                shift += 7
+                                if shift > 63:
+                                    raise TraceError("varint too long")
+                        append(cid - delta)
+                    if raw_learned:
+                        yield cid, sources
+                    else:
+                        yield LearnedClause(cid, tuple(sources))
+                elif tag == _TAG_HEADER:
+                    num_vars, pos = _varint_at(buffer, pos)
+                    num_clauses, pos = _varint_at(buffer, pos)
+                    yield TraceHeader(num_vars, num_clauses)
+                elif tag == _TAG_LEVEL_ZERO:
+                    packed, pos = _varint_at(buffer, pos)
+                    antecedent, pos = _varint_at(buffer, pos)
+                    yield LevelZeroAssignment(packed >> 1, bool(packed & 1), antecedent)
+                elif tag == _TAG_FINAL_CONFLICT:
+                    cid, pos = _varint_at(buffer, pos)
+                    yield FinalConflict(cid)
+                elif tag == _TAG_RESULT_SAT:
+                    yield TraceResult("SAT")
+                elif tag == _TAG_RESULT_UNSAT:
+                    yield TraceResult("UNSAT")
+                elif tag == _TAG_RESULT_UNKNOWN:
+                    yield TraceResult("UNKNOWN")
+                else:
+                    raise TraceError(f"unknown binary record tag {tag:#x}")
+            except IndexError:
+                # Torn record at the chunk boundary: keep its prefix,
+                # append the next chunk, decode it again from the top.
+                if exhausted:
+                    raise TraceError("unexpected end of binary trace") from None
+                tail = handle.read(chunk_size)
+                if not tail:
+                    raise TraceError("unexpected end of binary trace") from None
+                exhausted = len(tail) < chunk_size
+                buffer = buffer[record_start:] + tail
+                pos = 0
+
+
+def scan_binary_learned(
+    path: str | Path, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> tuple[list[tuple[int, int]], int, int, dict[int, int]]:
+    """One low-level pass over a binary trace: extent plus source-use counts.
+
+    The breadth-first checker's first two passes (find the clause-ID
+    extent; count how often each clause is used as a resolve source) need
+    only this arithmetic, not the record objects — so this scan decodes
+    the varints in place and never constructs a record. Returns
+    ``(headers, max_learned_cid, num_learned, counts)`` where ``headers``
+    is every header's ``(num_vars, num_original_clauses)`` in stream
+    order and ``counts`` maps a clause ID to the number of times it is
+    referenced (learned-clause sources, level-zero antecedents and final
+    conflicts — the same references the checker's counting pass charges).
+
+    Raises :class:`TraceError` on a malformed or torn trace, exactly like
+    the record decoders.
+    """
+    headers: list[tuple[int, int]] = []
+    max_cid = 0
+    num_learned = 0
+    counts: dict[int, int] = {}
+    counts_get = counts.get
+    with open(path, "rb") as handle:
+        if handle.read(len(MAGIC)) != MAGIC:
+            raise TraceError(f"{path}: not a binary trace (bad magic)")
+        buffer = handle.read(chunk_size)
+        pos = 0
+        exhausted = not buffer
+        while True:
+            if pos >= len(buffer):
+                if exhausted:
+                    return headers, max_cid, num_learned, counts
+                buffer = handle.read(chunk_size)
+                pos = 0
+                if not buffer:
+                    return headers, max_cid, num_learned, counts
+                exhausted = len(buffer) < chunk_size
+            record_start = pos
+            try:
+                tag = buffer[pos]
+                pos += 1
+                if tag == _TAG_LEARNED:
+                    cid = buffer[pos]
+                    pos += 1
+                    if cid & 0x80:
+                        cid &= 0x7F
+                        shift = 7
+                        while True:
+                            byte = buffer[pos]
+                            pos += 1
+                            cid |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 63:
+                                raise TraceError("varint too long")
+                    count = buffer[pos]
+                    pos += 1
+                    if count & 0x80:
+                        count &= 0x7F
+                        shift = 7
+                        while True:
+                            byte = buffer[pos]
+                            pos += 1
+                            count |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 63:
+                                raise TraceError("varint too long")
+                    for _ in range(count):
+                        delta = buffer[pos]
+                        pos += 1
+                        if delta & 0x80:
+                            delta &= 0x7F
+                            shift = 7
+                            while True:
+                                byte = buffer[pos]
+                                pos += 1
+                                delta |= (byte & 0x7F) << shift
+                                if not byte & 0x80:
+                                    break
+                                shift += 7
+                                if shift > 63:
+                                    raise TraceError("varint too long")
+                        src = cid - delta
+                        counts[src] = counts_get(src, 0) + 1
+                    num_learned += 1
+                    if cid > max_cid:
+                        max_cid = cid
+                elif tag == _TAG_HEADER:
+                    num_vars, pos = _varint_at(buffer, pos)
+                    num_clauses, pos = _varint_at(buffer, pos)
+                    headers.append((num_vars, num_clauses))
+                elif tag == _TAG_LEVEL_ZERO:
+                    _, pos = _varint_at(buffer, pos)
+                    antecedent, pos = _varint_at(buffer, pos)
+                    counts[antecedent] = counts_get(antecedent, 0) + 1
+                elif tag == _TAG_FINAL_CONFLICT:
+                    cid, pos = _varint_at(buffer, pos)
+                    counts[cid] = counts_get(cid, 0) + 1
+                elif tag in (_TAG_RESULT_SAT, _TAG_RESULT_UNSAT, _TAG_RESULT_UNKNOWN):
+                    pass
+                else:
+                    raise TraceError(f"unknown binary record tag {tag:#x}")
+            except IndexError:
+                if exhausted:
+                    raise TraceError("unexpected end of binary trace") from None
+                tail = handle.read(chunk_size)
+                if not tail:
+                    raise TraceError("unexpected end of binary trace") from None
+                # The torn record is about to be re-parsed from scratch, so
+                # any sources the learned-clause branch already counted
+                # must be rolled back first. Mirroring the forward parse
+                # over the same (truncated) bytes decrements exactly the
+                # deltas that decoded completely before the tear. Tears
+                # happen at most once per chunk, so this stays off the
+                # hot path; only the learned branch has mid-record side
+                # effects (the other branches commit after a full parse).
+                if buffer[record_start] == _TAG_LEARNED:
+                    try:
+                        rpos = record_start + 1
+                        rcid, rpos = _varint_at(buffer, rpos)
+                        rcount, rpos = _varint_at(buffer, rpos)
+                        for _ in range(rcount):
+                            delta, rpos = _varint_at(buffer, rpos)
+                            torn_src = rcid - delta
+                            remaining = counts[torn_src] - 1
+                            if remaining:
+                                counts[torn_src] = remaining
+                            else:
+                                del counts[torn_src]
+                    except IndexError:
+                        pass
+                exhausted = len(tail) < chunk_size
+                buffer = buffer[record_start:] + tail
+                pos = 0
+
+
+def iter_binary_records_raw(
+    path: str | Path, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[TraceRecord | tuple[int, list[int]]]:
+    """Batched record stream with learned clauses as ``(cid, sources)``.
+
+    The breadth-first checking pass runs on this: learned-clause records —
+    the overwhelming majority — arrive as bare tuples, every other record
+    as its normal record object.
+    """
+    return _decode_batched(path, chunk_size, raw_learned=True)
+
+
+def active_decoder_mode() -> str:
+    """The currently selected binary decoder ("batched" or "legacy")."""
+    return _DECODER_MODE
+
+
+def _varint_at(buffer: bytes, pos: int) -> tuple[int, int]:
+    """Decode one LEB128 varint at ``buffer[pos]``; returns (value, pos)."""
+    byte = buffer[pos]
+    pos += 1
+    if not byte & 0x80:
+        return byte, pos
+    return _varint_tail(buffer, pos, byte)
+
+
+def _varint_tail(buffer: bytes, pos: int, first: int) -> tuple[int, int]:
+    """Finish a multi-byte varint whose first byte was ``first``."""
+    result = first & 0x7F
+    shift = 7
+    while True:
+        byte = buffer[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise TraceError("varint too long")
+
+
+def iter_binary_records(
+    path: str | Path, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> Iterator[TraceRecord]:
+    """Stream records from a binary trace file (constant memory).
+
+    Decodes in buffered batches by default; :func:`decoder_mode` can force
+    the byte-at-a-time legacy path for comparison.
+    """
+    if _DECODER_MODE == "legacy":
+        return iter_binary_records_unbatched(path)
+    return _decode_batched(path, chunk_size)
 
 
 def read_binary_trace(path: str | Path) -> Trace:

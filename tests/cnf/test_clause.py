@@ -59,6 +59,23 @@ def test_equality_ignores_literal_order():
     assert hash(Clause(1, [1, 2])) == hash(Clause(1, [2, 1]))
 
 
+def test_equality_and_hash_ignore_duplicate_literals():
+    # Literals are deduplicated at construction, so a clause built with
+    # repeats must be equal to (and hash with) its deduplicated twin —
+    # the interning store and dict-keyed checker state rely on this.
+    assert Clause(1, [1, 2, 2]) == Clause(1, [2, 1])
+    assert hash(Clause(1, [1, 2, 2])) == hash(Clause(1, [2, 1]))
+    assert Clause(3, [5, 5, -7, 5]) == Clause(3, [-7, 5])
+    assert hash(Clause(3, [5, 5, -7, 5])) == hash(Clause(3, [-7, 5]))
+
+
+@given(st.lists(lit_strategy, min_size=1, max_size=8))
+def test_duplicated_literals_never_split_equality(lits):
+    doubled = Clause(1, lits + lits)
+    assert doubled == Clause(1, lits)
+    assert hash(doubled) == hash(Clause(1, lits))
+
+
 def test_repr_marks_learned():
     assert repr(Clause(7, [1], learned=True)).startswith("Clause(L7")
     assert repr(Clause(7, [1])).startswith("Clause(O7")

@@ -64,6 +64,24 @@ def test_check_rejects_mismatched_formula(unsat_cnf, sat_cnf, tmp_path, capsys):
     assert "Check Failed" in capsys.readouterr().out
 
 
+@pytest.mark.parametrize("engine", ["kernel", "reference"])
+def test_check_engine_selection(unsat_cnf, tmp_path, capsys, engine):
+    trace = tmp_path / "trace.txt"
+    assert solve_main([str(unsat_cnf), "--trace", str(trace)]) == 0
+    assert check_main([str(unsat_cnf), str(trace), "--engine", engine]) == 0
+    assert "Check Succeeded" in capsys.readouterr().out
+
+
+def test_check_profile_emits_hot_functions(unsat_cnf, tmp_path, capsys):
+    trace = tmp_path / "trace.txt"
+    assert solve_main([str(unsat_cnf), "--trace", str(trace)]) == 0
+    assert check_main([str(unsat_cnf), str(trace), "--profile"]) == 0
+    captured = capsys.readouterr()
+    assert "Check Succeeded" in captured.out
+    # The cProfile table goes to stderr so the report stays parseable.
+    assert "cumtime" in captured.err
+
+
 def test_check_show_core(unsat_cnf, tmp_path, capsys):
     trace = tmp_path / "p.trace"
     solve_main([str(unsat_cnf), "--trace", str(trace)])

@@ -1,0 +1,146 @@
+"""Batched decoder, fused scan and raw iterator vs the legacy byte-at-a-time path.
+
+The batched decoder is a pure performance change: for any trace file —
+including ones whose records straddle chunk boundaries — it must produce
+byte-identical record streams, the fused :func:`scan_binary_learned` must
+agree with those records on every derived quantity, and the raw learned
+iterator must carry the same payloads without the dataclass wrappers.
+"""
+
+import pytest
+
+from repro.cnf import CnfFormula
+from repro.checker import BreadthFirstChecker
+from repro.solver import solve_formula
+from repro.trace import InMemoryTraceWriter, TraceError
+from repro.trace.binary_format import (
+    DEFAULT_CHUNK_SIZE,
+    _decode_batched,
+    active_decoder_mode,
+    decoder_mode,
+    iter_binary_records,
+    iter_binary_records_raw,
+    iter_binary_records_unbatched,
+    scan_binary_learned,
+)
+from repro.trace.io import open_trace_writer
+from repro.trace.records import LearnedClause, LevelZeroAssignment
+
+from tests.conftest import pigeonhole
+
+
+@pytest.fixture(scope="module")
+def sample_trace_path(tmp_path_factory):
+    """A real solver trace, written in binary: headers, chains, level-zero
+    assignments, final conflicts and a result record."""
+    formula = pigeonhole(5, 4)
+    inner = InMemoryTraceWriter()
+    result = solve_formula(formula, trace_writer=inner)
+    assert result.is_unsat
+    trace = inner.to_trace()
+    path = tmp_path_factory.mktemp("decoder") / "sample.rtb"
+    with open_trace_writer(path, fmt="binary") as writer:
+        writer.header(trace.header.num_vars, trace.header.num_original_clauses)
+        for record in trace.learned.values():
+            writer.learned_clause(record.cid, record.sources)
+        for entry in trace.level_zero:
+            writer.level_zero(entry.var, entry.value, entry.antecedent)
+        for cid in trace.final_conflicts:
+            writer.final_conflict(cid)
+        writer.result(trace.status)
+    return path
+
+
+def test_batched_matches_unbatched_record_stream(sample_trace_path):
+    batched = list(iter_binary_records(sample_trace_path))
+    legacy = list(iter_binary_records_unbatched(sample_trace_path))
+    assert batched == legacy
+    assert any(isinstance(rec, LearnedClause) for rec in batched)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 64, DEFAULT_CHUNK_SIZE])
+def test_batched_is_chunk_size_invariant(sample_trace_path, chunk_size):
+    # Tiny chunks force every record shape to straddle a buffer boundary.
+    sliced = list(_decode_batched(sample_trace_path, chunk_size=chunk_size))
+    assert sliced == list(iter_binary_records_unbatched(sample_trace_path))
+
+
+def test_decoder_mode_switches_and_restores(sample_trace_path):
+    assert active_decoder_mode() == "batched"
+    with decoder_mode("legacy"):
+        assert active_decoder_mode() == "legacy"
+        legacy = list(iter_binary_records(sample_trace_path))
+    assert active_decoder_mode() == "batched"
+    assert legacy == list(iter_binary_records(sample_trace_path))
+
+
+def test_raw_iterator_matches_learned_records(sample_trace_path):
+    records = list(iter_binary_records(sample_trace_path))
+    raw = list(iter_binary_records_raw(sample_trace_path))
+    assert len(raw) == len(records)
+    for rec, raw_rec in zip(records, raw):
+        if isinstance(rec, LearnedClause):
+            assert type(raw_rec) is tuple
+            cid, sources = raw_rec
+            assert cid == rec.cid
+            assert tuple(sources) == rec.sources
+        else:
+            assert raw_rec == rec
+
+
+@pytest.mark.parametrize("chunk_size", [3, DEFAULT_CHUNK_SIZE])
+def test_fused_scan_agrees_with_record_stream(sample_trace_path, chunk_size):
+    headers, max_cid, num_learned, counts = scan_binary_learned(
+        sample_trace_path, chunk_size=chunk_size
+    )
+    records = list(iter_binary_records_unbatched(sample_trace_path))
+    learned = [rec for rec in records if isinstance(rec, LearnedClause)]
+
+    assert headers == [
+        (rec.num_vars, rec.num_original_clauses)
+        for rec in records
+        if hasattr(rec, "num_original_clauses")
+    ]
+    assert num_learned == len(learned)
+    assert max_cid == max(rec.cid for rec in learned)
+
+    expected: dict[int, int] = {}
+    for rec in learned:
+        for src in rec.sources:
+            expected[src] = expected.get(src, 0) + 1
+    for rec in records:
+        if isinstance(rec, LevelZeroAssignment):
+            expected[rec.antecedent] = expected.get(rec.antecedent, 0) + 1
+    for rec in records:
+        if hasattr(rec, "cid") and not isinstance(rec, LearnedClause):
+            expected[rec.cid] = expected.get(rec.cid, 0) + 1
+    assert counts == expected
+
+
+def test_fused_scan_rejects_truncated_trace(sample_trace_path, tmp_path):
+    blob = sample_trace_path.read_bytes()
+    torn = tmp_path / "torn.rtb"
+    # Cut inside the very first record (the header's varints) so the tear
+    # cannot land on a record boundary.
+    torn.write_bytes(blob[:5])
+    with pytest.raises(TraceError):
+        scan_binary_learned(torn)
+    with pytest.raises(TraceError):
+        scan_binary_learned(torn, chunk_size=2)
+
+
+def test_bf_report_identical_across_decoder_paths(sample_trace_path):
+    formula = pigeonhole(5, 4)
+    from repro.trace.binary_format import read_binary_trace
+
+    fast = BreadthFirstChecker(formula, sample_trace_path).check()
+    as_object = BreadthFirstChecker(formula, read_binary_trace(sample_trace_path)).check()
+    with decoder_mode("legacy"):
+        legacy = BreadthFirstChecker(formula, sample_trace_path).check()
+
+    for report in (as_object, legacy):
+        assert report.verified == fast.verified
+        assert report.clauses_built == fast.clauses_built
+        assert report.total_learned == fast.total_learned
+        assert report.resolutions == fast.resolutions
+    assert fast.verified
