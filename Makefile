@@ -1,6 +1,6 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test lint check bench bench-parallel bench-kernel tables tables-large ablations export examples clean
+.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
@@ -27,6 +27,12 @@ bench-parallel:
 # breadth-first end-to-end speedup drops below 2x. `--quick` for CI smoke.
 bench-kernel:
 	python benchmarks/bench_kernel.py
+
+# Fault-free overhead of the checking supervisor (deadline polling +
+# wrapper) vs a bare breadth-first check; writes
+# results/BENCH_supervisor.json and fails if overhead exceeds 5%.
+bench-supervisor:
+	python benchmarks/bench_supervisor.py
 
 tables:
 	python -m repro.experiments all --scale medium

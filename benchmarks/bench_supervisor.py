@@ -1,0 +1,157 @@
+"""Fault-free overhead benchmark for the checking supervisor.
+
+The resilience layer (deadline polling in every streaming loop, the
+supervisor wrapper, per-attempt accounting) must be close to free when
+nothing goes wrong. This benchmark times, interleaved best-of:
+
+* **bare** — ``BreadthFirstChecker`` exactly as before this layer existed:
+  no deadline, no checkpointing, called directly;
+* **supervised** — the same check routed through ``CheckSupervisor`` with a
+  generous wall-clock budget (so the deadline polling is armed and paying
+  its cost on every tick, but never fires).
+
+The gate: supervised overhead must stay **below 5%** of the bare time on
+the largest instance. Exits non-zero when the gate fails.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_supervisor.py          # full, writes JSON
+    PYTHONPATH=src python benchmarks/bench_supervisor.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.checker import BreadthFirstChecker, CheckSupervisor  # noqa: E402
+from repro.cnf import CnfFormula  # noqa: E402
+from repro.generators.pigeonhole import pigeonhole  # noqa: E402
+from repro.solver import solve_formula  # noqa: E402
+from repro.trace.io import open_trace_writer  # noqa: E402
+
+#: Fault-free supervisor overhead ceiling, as a fraction of the bare time.
+OVERHEAD_GATE = 0.05
+
+
+def prepare(pigeons: int, holes: int, tmp_dir: str) -> tuple[CnfFormula, str, int]:
+    formula = pigeonhole(pigeons, holes)
+    path = os.path.join(tmp_dir, f"php_{pigeons}_{holes}.rtb")
+    writer = open_trace_writer(path, fmt="binary")
+    result = solve_formula(formula, trace_writer=writer)
+    writer.close()
+    if result.status != "UNSAT":
+        raise SystemExit(f"php({pigeons},{holes}) did not come back UNSAT")
+    return formula, path, os.path.getsize(path)
+
+
+def bench_pair(formula: CnfFormula, path: str, repeats: int) -> dict:
+    def run_bare():
+        return BreadthFirstChecker(formula, path).check()
+
+    def run_supervised():
+        # timeout armed (polling active on every tick) but far from firing.
+        return CheckSupervisor(
+            formula, path, method="bf", policy="fallback", timeout=3600.0
+        ).check()
+
+    # Interleave so machine noise lands on both sides alike.
+    bare_s = supervised_s = float("inf")
+    bare_report = supervised_report = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        bare_report = run_bare()
+        bare_s = min(bare_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        supervised_report = run_supervised()
+        supervised_s = min(supervised_s, time.perf_counter() - start)
+
+    for label, report in (("bare", bare_report), ("supervised", supervised_report)):
+        if not report.verified:
+            raise SystemExit(f"{label} run failed to verify: {report.failure}")
+    if bare_report.clauses_built != supervised_report.clauses_built:
+        raise SystemExit(
+            f"bare built {bare_report.clauses_built} clauses, supervised "
+            f"built {supervised_report.clauses_built}"
+        )
+    if len(supervised_report.degradation or ()) != 1:
+        raise SystemExit("fault-free supervised run should be a one-rung ladder")
+    return {
+        "bare_s": round(bare_s, 6),
+        "supervised_s": round(supervised_s, 6),
+        "overhead_pct": round(100.0 * (supervised_s - bare_s) / bare_s, 2),
+        "clauses_built": bare_report.clauses_built,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke: small instance, no JSON")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    parser.add_argument("--out", default="results/BENCH_supervisor.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        instances = [(6, 5)]
+        repeats = args.repeats or 2
+    else:
+        instances = [(8, 7), (9, 8)]
+        # Best-of keeps the ratio stable; the absolute times are small
+        # enough that noise dominates single runs.
+        repeats = args.repeats or 9
+
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-supervisor-") as tmp_dir:
+        for pigeons, holes in instances:
+            formula, path, trace_bytes = prepare(pigeons, holes, tmp_dir)
+            pair = bench_pair(formula, path, repeats)
+            row = {
+                "instance": f"php({pigeons},{holes})",
+                "num_vars": formula.num_vars,
+                "num_clauses": formula.num_clauses,
+                "trace_bytes": trace_bytes,
+                **pair,
+            }
+            rows.append(row)
+            print(
+                f"== {row['instance']}: bare {pair['bare_s']:.4f}s  "
+                f"supervised {pair['supervised_s']:.4f}s  "
+                f"overhead {pair['overhead_pct']:+.2f}%"
+            )
+
+    # Gate on the largest instance: small ones are all noise, and the
+    # per-tick polling cost only shows at scale anyway.
+    gated = rows[-1]["overhead_pct"]
+    if not args.quick:
+        payload = {
+            "benchmark": "supervisor fault-free overhead",
+            "quick": False,
+            "repeats": repeats,
+            "gate_pct": 100.0 * OVERHEAD_GATE,
+            "gated_overhead_pct": gated,
+            "rows": rows,
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out} (gated overhead: {gated:+.2f}%)")
+    if gated > 100.0 * OVERHEAD_GATE:
+        print(
+            f"FAIL: supervisor overhead {gated:+.2f}% exceeds the "
+            f"{100.0 * OVERHEAD_GATE:.0f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"gate passed: overhead {gated:+.2f}% < {100.0 * OVERHEAD_GATE:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

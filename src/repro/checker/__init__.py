@@ -21,12 +21,20 @@ structured diagnostic.
   satisfying assignment.
 * :class:`RupChecker` — modern extension: validates DRUP-style proofs by
   reverse unit propagation (the lineage that leads to drat-trim).
+* :class:`CheckSupervisor` — the resilience layer: wall-clock/memory
+  budgets, the DF → hybrid → BF degradation ladder, worker-crash recovery
+  and BF checkpoint/resume (see :mod:`repro.checker.supervisor`).
 """
 
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.report import CheckReport
 from repro.checker.resolution import resolve, resolve_chain, ResolutionError
-from repro.checker.memory import MemoryMeter, MemoryLimitExceeded
+from repro.checker.memory import (
+    CheckTimeout,
+    Deadline,
+    MemoryLimitExceeded,
+    MemoryMeter,
+)
 from repro.checker.kernel import (
     KernelEngine,
     ReferenceEngine,
@@ -38,10 +46,22 @@ from repro.checker.store import ClauseStore
 from repro.checker.model import check_model
 from repro.checker.precheck import run_precheck
 from repro.checker.depth_first import DepthFirstChecker
-from repro.checker.breadth_first import BreadthFirstChecker
+from repro.checker.breadth_first import (
+    BfCheckpoint,
+    BreadthFirstChecker,
+    CheckpointError,
+    load_checkpoint,
+    write_checkpoint,
+)
 from repro.checker.hybrid import HybridChecker
 from repro.checker.parallel import ParallelWindowedChecker, WindowManifest, run_window
 from repro.checker.rup import RupChecker, DrupWriter
+from repro.checker.supervisor import (
+    CheckPolicy,
+    CheckSupervisor,
+    SupervisorConfig,
+    supervised_check,
+)
 
 __all__ = [
     "CheckFailure",
@@ -52,6 +72,8 @@ __all__ = [
     "ResolutionError",
     "MemoryMeter",
     "MemoryLimitExceeded",
+    "CheckTimeout",
+    "Deadline",
     "ResolutionKernel",
     "ClauseStore",
     "KernelEngine",
@@ -68,4 +90,12 @@ __all__ = [
     "run_window",
     "RupChecker",
     "DrupWriter",
+    "CheckPolicy",
+    "CheckSupervisor",
+    "SupervisorConfig",
+    "supervised_check",
+    "BfCheckpoint",
+    "CheckpointError",
+    "load_checkpoint",
+    "write_checkpoint",
 ]

@@ -17,17 +17,20 @@ clauses in one range at a time."
 from __future__ import annotations
 
 import os
+import pickle
 import struct
 import tempfile
 import time
 from array import array
+from dataclasses import dataclass, field
+from itertools import islice
 from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
-from repro.checker.memory import MemoryMeter
+from repro.checker.memory import Deadline, MemoryMeter
 from repro.checker.report import CheckReport
 from repro.checker.resolution import ResolutionError
 from repro.cnf import CnfFormula
@@ -53,6 +56,67 @@ _COUNT_FORMAT = "<Q"
 _COUNT_SIZE = struct.calcsize(_COUNT_FORMAT)
 _COUNT_BLOCK = 1024  # count entries per cached read block
 
+_CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is unreadable or belongs to a different check."""
+
+
+@dataclass
+class BfCheckpoint:
+    """A resumable snapshot of the BF checking pass.
+
+    Everything the streaming pass holds between two records, in plain
+    picklable types: the stream position (``records_consumed``, an index
+    into the record stream — format-agnostic, so ASCII and binary traces
+    checkpoint identically), the resident clause literals and their
+    remaining-use counts, the trail/conflict/status records seen so far,
+    and the progress counters. ``fingerprint`` ties the snapshot to one
+    specific check (clause extent + stream flavour); resuming against a
+    different trace falls back to a fresh full run.
+    """
+
+    version: int
+    fingerprint: tuple[int, int, bool]  # (num_original, total_learned, binary_fast)
+    records_consumed: int
+    last_cid: int
+    resident: dict[int, tuple[int, ...]]
+    remaining: dict[int, int]
+    level_zero: list[tuple[int, bool, int]]  # (var, value, antecedent)
+    final_conflicts: list[int]
+    status: str
+    clauses_built: int
+    resolutions: int
+    meter_current: int
+    meter_peak: int
+    context: dict = field(default_factory=dict)  # free-form (trace path, time)
+
+
+def write_checkpoint(checkpoint: BfCheckpoint, path: str | Path) -> None:
+    """Atomically persist a snapshot (write-to-temp + rename)."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as handle:
+        pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | Path) -> BfCheckpoint:
+    """Load a snapshot; raises :class:`CheckpointError` on anything unusable."""
+    try:
+        with open(path, "rb") as handle:
+            checkpoint = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError) as exc:
+        raise CheckpointError(f"cannot load checkpoint {path}: {exc}") from exc
+    if not isinstance(checkpoint, BfCheckpoint):
+        raise CheckpointError(f"{path} does not hold a BF checkpoint")
+    if checkpoint.version != _CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {checkpoint.version} unsupported "
+            f"(expected {_CHECKPOINT_VERSION})"
+        )
+    return checkpoint
+
 
 class BreadthFirstChecker:
     """Validates an UNSAT claim by streaming the trace with bounded memory."""
@@ -68,6 +132,10 @@ class BreadthFirstChecker:
         tmp_dir: str | Path | None = None,
         precheck: bool = False,
         use_kernel: bool = True,
+        deadline: Deadline | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 0,
+        resume_from: str | Path | None = None,
     ):
         self.formula = formula
         self._source = trace_source
@@ -86,6 +154,17 @@ class BreadthFirstChecker:
         self._count_block: Sequence[int] = ()
         self._count_block_index = -1
         self._binary_fast = False
+        self._deadline = deadline
+        # Checkpoint/resume: snapshot every `checkpoint_every` learned
+        # builds to `checkpoint_path`; `resume_from` restarts from a prior
+        # snapshot (falling back to a full run if it doesn't match).
+        self._checkpoint_path = str(checkpoint_path) if checkpoint_path else None
+        self._checkpoint_every = max(0, checkpoint_every)
+        self._resume_from = str(resume_from) if resume_from else None
+        self.resumed = False  # did this run actually start from a snapshot?
+        self.resume_error: str | None = None
+        if self._checkpoint_every and not self._checkpoint_path:
+            raise ValueError("checkpoint_every needs a checkpoint_path to write to")
 
     # -- public API ----------------------------------------------------------
 
@@ -96,6 +175,8 @@ class BreadthFirstChecker:
         verified = False
         counts_path: str | None = None
         try:
+            if self._deadline is not None:
+                self._deadline.check()
             if self._precheck:
                 from repro.checker.precheck import run_precheck
 
@@ -192,7 +273,13 @@ class BreadthFirstChecker:
         max_cid = 0
         self._total_learned = 0
         saw_header = False
+        deadline = self._deadline
+        ticks = 0
         for record in self._records():
+            if deadline is not None:
+                ticks += 1
+                if not ticks & 0x3FF:
+                    deadline.check()
             if isinstance(record, TraceHeader):
                 saw_header = True
                 self._num_original = record.num_original_clauses
@@ -217,7 +304,13 @@ class BreadthFirstChecker:
         """Accumulate uses of clause IDs in [low, high) into ``counts``."""
         assert self._num_original is not None
         num_original = self._num_original
+        deadline = self._deadline
+        ticks = 0
         for record in self._records():
+            if deadline is not None:
+                ticks += 1
+                if not ticks & 0x3FF:
+                    deadline.check()
             if isinstance(record, LearnedClause):
                 for source in record.sources:
                     if low <= source < high and source > num_original:
@@ -362,6 +455,72 @@ class BreadthFirstChecker:
         self._remaining[cid] = total_uses
         self.meter.allocate(self.meter.clause_units(len(clause)))
 
+    def _load_resume_checkpoint(self) -> BfCheckpoint | None:
+        """Load and validate the resume snapshot; ``None`` = run from scratch.
+
+        An unreadable or mismatched checkpoint is never fatal — the whole
+        point of the resilience layer is that the check still completes —
+        but the reason is kept on ``resume_error`` for the caller.
+        """
+        assert self._resume_from is not None
+        try:
+            checkpoint = load_checkpoint(self._resume_from)
+        except CheckpointError as exc:
+            self.resume_error = str(exc)
+            return None
+        expected = (self._num_original, self._total_learned, self._binary_fast)
+        if checkpoint.fingerprint != expected:
+            self.resume_error = (
+                f"checkpoint fingerprint {checkpoint.fingerprint} does not "
+                f"match this check {expected}; running from scratch"
+            )
+            return None
+        return checkpoint
+
+    def _restore_checkpoint(self, checkpoint: BfCheckpoint):
+        """Re-seat the streaming pass's state from a snapshot."""
+        self._resident = {
+            cid: self._engine.materialize(lits)
+            for cid, lits in checkpoint.resident.items()
+        }
+        self._remaining = dict(checkpoint.remaining)
+        self._clauses_built = checkpoint.clauses_built
+        self._resolutions = checkpoint.resolutions
+        self.meter.current = checkpoint.meter_current
+        self.meter.peak = checkpoint.meter_peak
+        level_zero_entries = [
+            LevelZeroAssignment(var, value, antecedent)
+            for var, value, antecedent in checkpoint.level_zero
+        ]
+        return level_zero_entries, list(checkpoint.final_conflicts)
+
+    def _snapshot(
+        self,
+        records_consumed: int,
+        last_cid: int,
+        level_zero_entries: list[LevelZeroAssignment],
+        final_conflicts: list[int],
+        status: str,
+    ) -> None:
+        assert self._num_original is not None and self._checkpoint_path is not None
+        checkpoint = BfCheckpoint(
+            version=_CHECKPOINT_VERSION,
+            fingerprint=(self._num_original, self._total_learned, self._binary_fast),
+            records_consumed=records_consumed,
+            last_cid=last_cid,
+            resident={cid: tuple(lits) for cid, lits in self._resident.items()},
+            remaining=dict(self._remaining),
+            level_zero=[(e.var, e.value, e.antecedent) for e in level_zero_entries],
+            final_conflicts=list(final_conflicts),
+            status=status,
+            clauses_built=self._clauses_built,
+            resolutions=self._resolutions,
+            meter_current=self.meter.current,
+            meter_peak=self.meter.peak,
+            context={"source": str(self._source) if not isinstance(self._source, Trace) else "<in-memory>"},
+        )
+        write_checkpoint(checkpoint, self._checkpoint_path)
+
     def _checking_pass(self, counts_file) -> bool:
         assert self._num_original is not None
         level_zero_entries: list[LevelZeroAssignment] = []
@@ -375,7 +534,23 @@ class BreadthFirstChecker:
             stream = iter_binary_records_raw(self._source)
         else:
             stream = self._records()
+        records_consumed = 0
+        if self._resume_from is not None:
+            checkpoint = self._load_resume_checkpoint()
+            if checkpoint is not None:
+                level_zero_entries, final_conflicts = self._restore_checkpoint(checkpoint)
+                status = checkpoint.status
+                last_cid = checkpoint.last_cid
+                records_consumed = checkpoint.records_consumed
+                stream = islice(stream, records_consumed, None)
+                self.resumed = True
+        deadline = self._deadline
+        checkpoint_every = self._checkpoint_every
+        builds_since_snapshot = 0
         for record in stream:
+            records_consumed += 1
+            if deadline is not None and not records_consumed & 0xFF:
+                deadline.check()
             if type(record) is tuple:
                 cid, sources = record
             elif isinstance(record, LearnedClause):
@@ -402,6 +577,14 @@ class BreadthFirstChecker:
                 )
             last_cid = cid
             self._build_learned(cid, sources, counts_file)
+            if checkpoint_every:
+                builds_since_snapshot += 1
+                if builds_since_snapshot >= checkpoint_every:
+                    builds_since_snapshot = 0
+                    self._snapshot(
+                        records_consumed, last_cid, level_zero_entries,
+                        final_conflicts, status,
+                    )
 
         if status != "UNSAT":
             raise CheckFailure(
@@ -429,6 +612,7 @@ class BreadthFirstChecker:
             get_clause=self._get_clause,
             on_use=self._consume_use,
             resolve_fn=self._engine.resolve,
+            deadline=self._deadline,
         )
         self._resolutions += steps
         return True

@@ -17,7 +17,7 @@ import time
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
-from repro.checker.memory import MemoryMeter
+from repro.checker.memory import Deadline, MemoryMeter
 from repro.checker.report import CheckReport
 from repro.checker.resolution import ResolutionError
 from repro.cnf import CnfFormula
@@ -36,12 +36,14 @@ class DepthFirstChecker:
         memory_limit: int | None = None,
         precheck: bool = False,
         use_kernel: bool = True,
+        deadline: Deadline | None = None,
     ):
         self.formula = formula
         self.trace = trace
         self._precheck = precheck
         self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
+        self._deadline = deadline
         self._engine = make_engine(use_kernel, formula)
         self._built: dict[int, ClauseLits] = {}
         self._num_original = trace.header.num_original_clauses
@@ -61,6 +63,8 @@ class DepthFirstChecker:
                 from repro.checker.precheck import run_precheck
 
                 self.precheck_report = run_precheck(self.trace)
+            if self._deadline is not None:
+                self._deadline.check()
             self._check_preamble()
             self._charge_trace_memory()
             final_cid = self.trace.final_conflicts[0]
@@ -73,6 +77,7 @@ class DepthFirstChecker:
                 get_clause=self._build,
                 on_use=self._note_use,
                 resolve_fn=self._engine.resolve,
+                deadline=self._deadline,
             )
             self._resolutions += steps
             verified = True
@@ -140,7 +145,15 @@ class DepthFirstChecker:
             return self._materialize_original(cid)
 
         stack = [cid]
+        deadline = self._deadline
+        ticks = 0
         while stack:
+            # The recursion-turned-loop is the DF checker's streaming loop:
+            # poll the wall-clock budget every few hundred build steps.
+            if deadline is not None:
+                ticks += 1
+                if not ticks & 0xFF:
+                    deadline.check()
             top = stack[-1]
             if top in self._built:
                 stack.pop()

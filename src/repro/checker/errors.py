@@ -28,6 +28,22 @@ class FailureKind(enum.Enum):
     BAD_HEADER = "bad-header"  # trace has no (usable) header record
     MALFORMED_TRACE = "malformed-trace"  # record stream unparseable mid-check
     INTERFACE_MISMATCH = "interface-mismatch"  # windows disagree on a shared clause
+    TIMEOUT = "timeout"  # checker exceeded its wall-clock deadline
+    WORKER_CRASH = "worker-crash"  # a worker process died and retries ran out
+
+
+def _rebuild_failure(cls: type, kind: FailureKind, message: str, context: dict) -> "CheckFailure":
+    """Reconstruct a (subclass of) CheckFailure from its pickled state.
+
+    Subclasses such as ``MemoryLimitExceeded(used, limit)`` have
+    constructor signatures that differ from the state actually stored, so
+    unpickling must bypass ``cls.__init__`` and restore the shared
+    ``CheckFailure`` state directly — this keeps every failure type safe to
+    ship across a ``multiprocessing`` boundary.
+    """
+    exc = CheckFailure.__new__(cls)
+    CheckFailure.__init__(exc, kind, message, **context)
+    return exc
 
 
 class CheckFailure(Exception):
@@ -44,3 +60,6 @@ class CheckFailure(Exception):
         self.context = context
         detail = ", ".join(f"{key}={value!r}" for key, value in context.items())
         super().__init__(f"[{kind.value}] {message}" + (f" ({detail})" if detail else ""))
+
+    def __reduce__(self):
+        return (_rebuild_failure, (type(self), self.kind, self.message, self.context))

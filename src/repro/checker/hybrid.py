@@ -31,7 +31,7 @@ from typing import Iterator
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
-from repro.checker.memory import MemoryMeter
+from repro.checker.memory import Deadline, MemoryMeter
 from repro.checker.report import CheckReport
 from repro.checker.resolution import ResolutionError
 from repro.cnf import CnfFormula
@@ -60,12 +60,14 @@ class HybridChecker:
         memory_limit: int | None = None,
         precheck: bool = False,
         use_kernel: bool = True,
+        deadline: Deadline | None = None,
     ):
         self.formula = formula
         self._source = trace_source
         self._precheck = precheck
         self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
+        self._deadline = deadline
         self._engine = make_engine(use_kernel, formula)
         self._num_original: int | None = None
         self._resident: dict[int, ClauseLits] = {}
@@ -128,7 +130,15 @@ class HybridChecker:
         final_conflicts: list[int] = []
         status = "UNKNOWN"
         graph_units = 0
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check()
+        ticks = 0
         for record in self._records():
+            if deadline is not None:
+                ticks += 1
+                if not ticks & 0xFF:
+                    deadline.check()
             if isinstance(record, TraceHeader):
                 self._num_original = record.num_original_clauses
                 if self.formula.num_clauses != record.num_original_clauses:
@@ -238,7 +248,13 @@ class HybridChecker:
 
     def _streaming_pass(self, needed_counts, level_zero_entries, final_cid) -> bool:
         assert self._num_original is not None
+        deadline = self._deadline
+        ticks = 0
         for record in self._records():
+            if deadline is not None:
+                ticks += 1
+                if not ticks & 0xFF:
+                    deadline.check()
             if not isinstance(record, LearnedClause):
                 continue
             uses = needed_counts.get(record.cid)
@@ -272,6 +288,7 @@ class HybridChecker:
             get_clause=self._get_clause,
             on_use=self._note_use,
             resolve_fn=self._engine.resolve,
+            deadline=self._deadline,
         )
         self._resolutions += steps
         return True

@@ -129,6 +129,7 @@ def derive_empty_clause(
     get_clause: Callable[[int], FrozenSet[int]],
     on_use: Callable[[int], None] | None = None,
     resolve_fn: Callable[..., FrozenSet[int]] | None = None,
+    deadline=None,
 ) -> int:
     """Derive the empty clause from the final conflicting clause.
 
@@ -140,7 +141,9 @@ def derive_empty_clause(
     :meth:`~repro.checker.kernel.KernelEngine.resolve` so clauses stay
     interned arrays; the default is the frozenset reference
     :func:`~repro.checker.resolution.resolve`. Returns the number of
-    resolution steps performed.
+    resolution steps performed. ``deadline`` (a
+    :class:`~repro.checker.memory.Deadline`) is polled once per step so a
+    long final derivation honours the caller's wall-clock budget.
     """
     if resolve_fn is None:
         resolve_fn = resolve
@@ -152,6 +155,8 @@ def derive_empty_clause(
     resolutions = 0
     budget = len(level_zero) + 1
     while clause:
+        if deadline is not None:
+            deadline.check()
         if resolutions > budget:
             raise CheckFailure(
                 FailureKind.NOT_EMPTY,

@@ -29,17 +29,29 @@ Pipeline:
    max across workers + the coordinator's interface overhead).
 
 ``check()`` never raises — failures land in the report, exactly like the
-sequential checkers.
+sequential checkers. That contract extends to process-level faults: a
+worker killed mid-window (SIGKILL, OOM killer) or a broken pool is
+detected, the affected windows are retried against a fresh pool up to
+``max_retries`` times, still-failing windows are re-assigned to in-process
+sequential checking, and only when every recovery layer is exhausted does
+the run report ``FailureKind.WORKER_CRASH`` — with the window IDs involved.
+Hung windows are bounded by ``window_timeout`` (parent-side watchdog) and
+by the deadline carried inside each manifest (worker-side polling).
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
 import pickle
 import shutil
+import signal
 import tempfile
 import time
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import FrozenSet, Iterator
@@ -47,7 +59,7 @@ from typing import FrozenSet, Iterator
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
-from repro.checker.memory import MemoryMeter
+from repro.checker.memory import Deadline, MemoryMeter
 from repro.checker.report import CheckReport
 from repro.checker.resolution import ResolutionError
 from repro.cnf import CnfFormula
@@ -80,6 +92,7 @@ class WindowManifest:
     counts: dict[int, int]  # in-window use counts (BF-style reference counting)
     memory_limit: int | None
     use_kernel: bool = True  # marking kernel (default) or the frozenset oracle
+    timeout_s: float | None = None  # worker-side wall-clock budget for this window
 
 
 def _interface_bytes(literals: FrozenSet[int] | tuple[int, ...]) -> bytes:
@@ -104,6 +117,7 @@ def _revive_failure(payload: tuple[str, str, dict]) -> CheckFailure:
 def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
     """Verify one window; returns a picklable outcome dict (never raises)."""
     meter = MemoryMeter(limit=manifest.memory_limit)
+    deadline = Deadline(getattr(manifest, "timeout_s", None))
     engine = make_engine(manifest.use_kernel, formula)
     built: dict[int, ClauseLits] = {}
     stats = {"resolutions": 0, "import_resolutions": 0, "clauses_built": 0, "import_builds": 0}
@@ -147,10 +161,15 @@ def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
         stats[counter] += len(sources) - 1
         return clause
 
+    ticks = 0
     try:
+        deadline.check()
         # Phase 1: independently re-derive the imported interface clauses.
         # Scaffolding stays resident for the whole window (interface overhead).
         for cid, sources in manifest.closure:
+            ticks += 1
+            if not ticks & 0xFF:
+                deadline.check()
             built[cid] = build_chain(cid, sources, "import_resolutions")
             stats["import_builds"] += 1
             meter.allocate(meter.clause_units(len(built[cid])))
@@ -160,6 +179,9 @@ def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
         # interface scaffolding are retained).
         remaining = dict(manifest.counts)
         for cid, sources in manifest.records:
+            ticks += 1
+            if not ticks & 0xFF:
+                deadline.check()
             clause = build_chain(cid, sources, "resolutions")
             stats["clauses_built"] += 1
             for source in sources:
@@ -216,6 +238,32 @@ def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
 
 _WORKER_FORMULA: CnfFormula | None = None
 
+# Process-level fault injection for the recovery tests — the worker-side
+# analogue of repro.solver.buggy. Format: "<mode>:<window>:<token_path>"
+# plus an optional ":<seconds>" for hangs. The token file makes the fault
+# one-shot across processes: the first worker to unlink it wins, so a
+# retried window runs clean — exactly the transient fault (OOM kill,
+# preemption) the recovery machinery exists for.
+FAULT_ENV = "REPRO_CHECK_FAULT"
+
+
+def _maybe_inject_fault(window_index: int) -> None:
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    parts = spec.split(":")
+    mode, target, token = parts[0], int(parts[1]), parts[2]
+    if window_index != target:
+        return
+    try:
+        os.unlink(token)
+    except FileNotFoundError:
+        return  # one-shot: this fault already fired
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "hang":
+        time.sleep(float(parts[3]) if len(parts) > 3 else 3600.0)
+
 
 def _worker_init(formula: CnfFormula) -> None:
     global _WORKER_FORMULA
@@ -226,6 +274,7 @@ def _check_window_task(manifest_path: str) -> dict:
     assert _WORKER_FORMULA is not None, "worker pool initializer did not run"
     with open(manifest_path, "rb") as handle:
         manifest = pickle.load(handle)
+    _maybe_inject_fault(manifest.index)
     return run_window(_WORKER_FORMULA, manifest)
 
 
@@ -244,9 +293,15 @@ class ParallelWindowedChecker:
         tmp_dir: str | Path | None = None,
         precheck: bool = False,
         use_kernel: bool = True,
+        deadline: Deadline | None = None,
+        window_timeout: float | None = None,
+        max_retries: int = 1,
+        inprocess_fallback: bool = True,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {max_retries}")
         self.formula = formula
         self._source = trace_source
         self._num_workers = num_workers
@@ -259,6 +314,13 @@ class ParallelWindowedChecker:
         self.meter = MemoryMeter()  # the coordinator's interface accounting
         self._total_learned = 0
         self.plan: WindowPlan | None = None
+        self._deadline = deadline
+        self._window_timeout = window_timeout
+        self._max_retries = max_retries
+        self._inprocess_fallback = inprocess_fallback
+        # One dict per fault-handling event (crash, hang, retry, inline
+        # re-assignment), in order; surfaced as ``CheckReport.recovery``.
+        self.recovery_events: list[dict] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -272,6 +334,8 @@ class ParallelWindowedChecker:
         clauses_built = 0
         peak = 0
         try:
+            if self._deadline is not None:
+                self._deadline.check()
             if self._precheck:
                 from repro.checker.precheck import run_precheck
 
@@ -323,6 +387,7 @@ class ParallelWindowedChecker:
             check_time=time.perf_counter() - start,
             resolutions=resolutions,
             window_stats=window_stats or None,
+            recovery=self.recovery_events or None,
         )
 
     # -- pre-pass ------------------------------------------------------------
@@ -340,7 +405,13 @@ class ParallelWindowedChecker:
         status = "UNKNOWN"
         num_original: int | None = None
         last_cid: int | None = None
+        deadline = self._deadline
+        ticks = 0
         for record in self._records():
+            if deadline is not None:
+                ticks += 1
+                if not ticks & 0xFF:
+                    deadline.check()
             if isinstance(record, TraceHeader):
                 if num_original is None:
                     num_original = record.num_original_clauses
@@ -487,33 +558,171 @@ class ParallelWindowedChecker:
 
     # -- execution -----------------------------------------------------------
 
+    def _worker_budget(self) -> float | None:
+        """Wall-clock seconds granted to one window (worker-side polling)."""
+        budget = self._window_timeout
+        if self._deadline is not None:
+            remaining = self._deadline.remaining()
+            if remaining is not None:
+                budget = remaining if budget is None else min(budget, remaining)
+        return budget
+
+    def _round_budget(self, num_pending: int, workers: int) -> float | None:
+        """Parent-side watchdog budget for one pool round.
+
+        ``window_timeout`` is a per-window grant, but queued windows only
+        start once a worker frees up — so one round of N windows over W
+        workers gets ceil(N / W) grants, capped by the global deadline.
+        A hung worker therefore never stalls the coordinator for longer
+        than the windows it displaced were entitled to run.
+        """
+        budget: float | None = None
+        if self._window_timeout is not None:
+            budget = self._window_timeout * math.ceil(num_pending / workers)
+        if self._deadline is not None:
+            remaining = self._deadline.remaining()
+            if remaining is not None:
+                budget = remaining if budget is None else min(budget, remaining)
+        return budget
+
     def _run_windows(self, manifests: list[WindowManifest]) -> list[dict]:
         if not manifests:
             return []
+        budget = self._worker_budget()
+        for manifest in manifests:
+            manifest.timeout_s = budget
         workers = min(self._num_workers, len(manifests))
         if workers <= 1:
             outcomes = [run_window(self.formula, manifest) for manifest in manifests]
         else:
-            tmp_root = tempfile.mkdtemp(prefix="parcheck-", dir=self._tmp_dir)
-            try:
-                paths = []
-                for manifest in manifests:
-                    path = os.path.join(tmp_root, f"window-{manifest.index:05d}.manifest")
-                    with open(path, "wb") as handle:
-                        pickle.dump(manifest, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                    paths.append(path)
-                ctx = multiprocessing.get_context()
-                with ctx.Pool(
-                    processes=workers, initializer=_worker_init, initargs=(self.formula,)
-                ) as pool:
-                    outcomes = pool.map(_check_window_task, paths, chunksize=1)
-            finally:
-                shutil.rmtree(tmp_root, ignore_errors=True)
+            outcomes = self._run_windows_pooled(manifests, workers)
         outcomes.sort(key=lambda outcome: outcome["window"])
         for outcome in outcomes:
             if outcome["failure"] is not None:
                 raise _revive_failure(outcome["failure"])
         return outcomes
+
+    def _run_windows_pooled(
+        self, manifests: list[WindowManifest], workers: int
+    ) -> list[dict]:
+        """Fan windows out to worker processes, surviving crashes and hangs.
+
+        Each round submits the still-unverified windows to a fresh pool. A
+        dead worker (SIGKILL, OOM) breaks the pool — every window without a
+        result is retried next round; a round that exceeds its watchdog
+        budget has its workers killed and its unfinished windows retried
+        likewise. After ``max_retries`` retry rounds, surviving windows are
+        re-assigned to in-process sequential checking, so a transient fault
+        can never fail the run on its own; ``FailureKind.WORKER_CRASH``
+        surfaces only when in-process fallback is disabled.
+        """
+        tmp_root = tempfile.mkdtemp(prefix="parcheck-", dir=self._tmp_dir)
+        try:
+            paths: dict[int, str] = {}
+            for manifest in manifests:
+                path = os.path.join(tmp_root, f"window-{manifest.index:05d}.manifest")
+                with open(path, "wb") as handle:
+                    pickle.dump(manifest, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                paths[manifest.index] = path
+            outcomes: dict[int, dict] = {}
+            pending = dict(paths)
+            for round_index in range(self._max_retries + 1):
+                if not pending:
+                    break
+                if round_index and self._deadline is not None:
+                    self._deadline.check()
+                failed = self._run_pool_round(round_index, pending, outcomes, workers)
+                retrying = round_index < self._max_retries
+                for index in sorted(failed):
+                    self.recovery_events.append(
+                        {
+                            "event": "retry" if retrying else "retries-exhausted",
+                            "window": index,
+                            "round": round_index,
+                            "reason": failed[index],
+                        }
+                    )
+                pending = {index: paths[index] for index in sorted(failed)}
+            if pending:
+                if self._deadline is not None:
+                    self._deadline.check()
+                if not self._inprocess_fallback:
+                    raise CheckFailure(
+                        FailureKind.WORKER_CRASH,
+                        "worker process died or hung and the retry budget is "
+                        "exhausted",
+                        windows=sorted(pending),
+                        retries=self._max_retries,
+                    )
+                # Last line of defence: verify the survivors in-process, the
+                # paper's plain sequential checking (no pool to crash).
+                for index in sorted(pending):
+                    self.recovery_events.append({"event": "inline", "window": index})
+                    with open(paths[index], "rb") as handle:
+                        manifest = pickle.load(handle)
+                    outcomes[index] = run_window(self.formula, manifest)
+            return [outcomes[index] for index in sorted(outcomes)]
+        finally:
+            shutil.rmtree(tmp_root, ignore_errors=True)
+
+    def _run_pool_round(
+        self,
+        round_index: int,
+        pending: dict[int, str],
+        outcomes: dict[int, dict],
+        workers: int,
+    ) -> dict[int, str]:
+        """One fresh-pool attempt over ``pending``; returns {window: reason}."""
+        failed: dict[int, str] = {}
+        pool_size = min(workers, len(pending))
+        budget = self._round_budget(len(pending), pool_size)
+        executor = ProcessPoolExecutor(
+            max_workers=pool_size,
+            mp_context=multiprocessing.get_context(),
+            initializer=_worker_init,
+            initargs=(self.formula,),
+        )
+        futures = {
+            executor.submit(_check_window_task, path): index
+            for index, path in sorted(pending.items())
+        }
+        hung = False
+        try:
+            for future in as_completed(futures, timeout=budget):
+                index = futures[future]
+                try:
+                    outcomes[index] = future.result()
+                except BrokenProcessPool:
+                    failed[index] = "worker-crash"
+                except Exception as exc:  # unexpected worker-side error
+                    failed[index] = f"worker-error: {exc}"
+        except FuturesTimeoutError:
+            hung = True
+        except BrokenProcessPool:
+            pass  # the pool died while waiting; unfinished futures below
+        for future, index in futures.items():
+            if index in outcomes or index in failed:
+                continue
+            if future.done() and not future.cancelled():
+                try:
+                    outcomes[index] = future.result()
+                except BrokenProcessPool:
+                    failed[index] = "worker-crash"
+                except Exception as exc:
+                    failed[index] = f"worker-error: {exc}"
+            else:
+                failed[index] = "window-hang" if hung else "worker-crash"
+        if hung:
+            # A worker blew its watchdog budget: kill the whole pool (the
+            # executor has no public per-process handle, so reach in) and
+            # let the retry round re-run whatever didn't finish.
+            for process in list(getattr(executor, "_processes", {}).values()):
+                try:
+                    process.kill()
+                except OSError:
+                    pass
+        executor.shutdown(wait=False, cancel_futures=True)
+        return failed
 
     # -- merging -------------------------------------------------------------
 

@@ -24,6 +24,14 @@ class CheckReport:
     verified window: per-window builds, resolutions, interface sizes and
     peak memory. ``peak_memory_units`` is then the max across workers plus
     the coordinator's interface overhead, not a sum.
+
+    ``degradation`` (supervisor only) records the attempt ladder that led
+    to this verdict: one dict per attempt with the checker method, its
+    outcome (``"verified"`` / a :class:`~repro.checker.errors.FailureKind`
+    value) and elapsed seconds, in the order tried. A verdict reached via
+    fallback therefore states *how* it was reached. ``recovery`` (parallel
+    checker only) logs worker-level fault handling: crashes, hangs,
+    retries and in-process re-assignments, one dict per event.
     """
 
     method: str
@@ -37,6 +45,8 @@ class CheckReport:
     original_core: set[int] | None = None
     learned_used: set[int] | None = None
     window_stats: list[dict] | None = None
+    degradation: list[dict] | None = None
+    recovery: list[dict] | None = None
 
     @property
     def built_pct(self) -> float:
@@ -54,8 +64,14 @@ class CheckReport:
 
     def summary(self) -> str:
         status = "Check Succeeded" if self.verified else f"Check Failed: {self.failure}"
-        return (
+        line = (
             f"[{self.method}] {status} | built {self.clauses_built}/"
             f"{self.total_learned} learned ({self.built_pct:.1f}%) | "
             f"peak {self.peak_memory_units} units | {self.check_time:.3f}s"
         )
+        if self.degradation and len(self.degradation) > 1:
+            ladder = " -> ".join(
+                f"{attempt['method']}:{attempt['outcome']}" for attempt in self.degradation
+            )
+            line += f" | ladder {ladder}"
+        return line

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import IO, Iterator, Sequence
 
 from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.memory import Deadline
 from repro.checker.report import CheckReport
 from repro.checker.store import ClauseStore
 from repro.checker.unitprop import UnitPropagator
@@ -94,9 +95,15 @@ class RupChecker:
 
     method = "rup"
 
-    def __init__(self, formula: CnfFormula, proof_path: str | Path):
+    def __init__(
+        self,
+        formula: CnfFormula,
+        proof_path: str | Path,
+        deadline: Deadline | None = None,
+    ):
         self.formula = formula
         self.proof_path = proof_path
+        self._deadline = deadline
 
     def check(self) -> CheckReport:
         """Run the check; never raises — failures land in the report."""
@@ -127,7 +134,15 @@ class RupChecker:
             index_of.setdefault(key, []).append(index)
 
         steps = 0
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check()
+        ticks = 0
         for kind, literals in iter_drup(self.proof_path):
+            if deadline is not None:
+                ticks += 1
+                if not ticks & 0x3F:
+                    deadline.check()
             if kind == "delete":
                 key = tuple(sorted(set(literals)))
                 indices = index_of.get(key)

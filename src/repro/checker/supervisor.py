@@ -1,0 +1,297 @@
+"""The resilient checking supervisor: budgets, fallback, recovery (§3 + §5).
+
+The paper's operational story is a robustness one: the depth-first checker
+is fastest but memory-outs on the two hardest Table 2 instances, while the
+breadth-first checker never exceeds the solver's own footprint. A checking
+*service* has to turn that trade-off into policy: enforce wall-clock and
+memory budgets, and when the fast strategy exhausts one, degrade to the
+frugal one instead of crashing — recording every attempt so the final
+verdict states how it was reached.
+
+:class:`CheckSupervisor` wraps every checker behind one entry point:
+
+* **Budgets** — each attempt runs under a fresh
+  :class:`~repro.checker.memory.Deadline` (``FailureKind.TIMEOUT``) and the
+  checkers' existing logical memory limit (``FailureKind.MEMORY_OUT``).
+  A raw ``MemoryError`` from the Python allocator is converted to the same
+  structured memory-out, so even a genuine heap exhaustion degrades
+  predictably.
+* **The degradation ladder** — under the ``fallback`` policy a resource
+  failure moves down the paper-faithful ladder DF → hybrid → BF (the
+  parallel checker falls back to BF; RUP proofs have no resolution trace
+  to re-check, so they get budgets only). ``strict`` runs exactly one
+  attempt. The ladder is recorded in ``CheckReport.degradation``.
+* **Worker-crash recovery** — delegated to
+  :class:`~repro.checker.parallel.ParallelWindowedChecker`: per-window
+  timeouts, fresh-pool retries and in-process re-assignment, with
+  ``FailureKind.WORKER_CRASH`` only after every layer is exhausted.
+* **Checkpoint/resume** — BF attempts can snapshot their streaming state
+  every N learned clauses and restart from the last snapshot
+  (``repro check --resume``), so an interrupted multi-hour check does not
+  start over.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checker.breadth_first import BreadthFirstChecker
+from repro.checker.depth_first import DepthFirstChecker
+from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.hybrid import HybridChecker
+from repro.checker.memory import Deadline
+from repro.checker.parallel import ParallelWindowedChecker
+from repro.checker.report import CheckReport
+from repro.checker.rup import RupChecker
+from repro.cnf import CnfFormula
+from repro.trace.records import Trace, TraceError
+
+#: Failure kinds the fallback policy is allowed to degrade on. Anything
+#: else (a bad resolution, a cyclic trace, …) is a verdict about the
+#: *proof*, not about the checker's resources — retrying a different
+#: strategy on those would only re-discover the same bug more slowly.
+DEGRADABLE_KINDS = frozenset(
+    {FailureKind.TIMEOUT, FailureKind.MEMORY_OUT, FailureKind.WORKER_CRASH}
+)
+
+#: The paper-faithful degradation ladder, per starting method: fastest
+#: first, most memory-frugal last (Table 2's DF memory-outs are exactly
+#: what the BF tail exists for).
+LADDERS: dict[str, tuple[str, ...]] = {
+    "df": ("df", "hybrid", "bf"),
+    "hybrid": ("hybrid", "bf"),
+    "bf": ("bf",),
+    "parallel": ("parallel", "bf"),
+    "rup": ("rup",),
+}
+
+
+@dataclass(frozen=True)
+class CheckPolicy:
+    """How the supervisor reacts when an attempt exhausts its budget.
+
+    ``strict`` runs the requested checker once and reports whatever
+    happened; ``fallback`` walks the degradation ladder until an attempt
+    verifies, fails for a non-resource reason, or the ladder runs dry.
+    """
+
+    name: str
+
+    def ladder(self, method: str) -> tuple[str, ...]:
+        try:
+            full = LADDERS[method]
+        except KeyError:
+            raise ValueError(f"unknown checker method {method!r}") from None
+        return full if self.name == "fallback" else full[:1]
+
+    @classmethod
+    def parse(cls, name: str) -> "CheckPolicy":
+        if name not in ("strict", "fallback"):
+            raise ValueError(f"unknown policy {name!r} (want 'strict' or 'fallback')")
+        return cls(name)
+
+
+STRICT = CheckPolicy("strict")
+FALLBACK = CheckPolicy("fallback")
+
+
+@dataclass
+class Attempt:
+    """One rung of the ladder: what ran, how it ended, what it cost."""
+
+    method: str
+    outcome: str  # "verified" | a FailureKind value
+    elapsed: float
+    detail: str = ""
+    recovery_events: int = 0
+
+    def to_dict(self) -> dict:
+        entry = {
+            "method": self.method,
+            "outcome": self.outcome,
+            "elapsed_s": round(self.elapsed, 4),
+        }
+        if self.detail:
+            entry["detail"] = self.detail
+        if self.recovery_events:
+            entry["recovery_events"] = self.recovery_events
+        return entry
+
+
+@dataclass
+class SupervisorConfig:
+    """Everything the resilience layer needs beyond the formula and trace."""
+
+    method: str = "df"
+    policy: CheckPolicy = field(default_factory=lambda: FALLBACK)
+    timeout: float | None = None  # wall-clock seconds, per attempt
+    memory_limit: int | None = None  # logical units (see repro.checker.memory)
+    max_retries: int = 1  # parallel: fresh-pool retry rounds per window
+    window_timeout: float | None = None  # parallel: per-window watchdog
+    num_workers: int = 2  # parallel only
+    window_size: int | None = None  # parallel only
+    use_kernel: bool = True
+    precheck: bool = False
+    count_chunk_size: int | None = None  # bf only
+    checkpoint_path: str | None = None  # bf only
+    checkpoint_every: int = 0  # bf only: learned builds between snapshots
+    resume_from: str | None = None  # bf only
+    tmp_dir: str | None = None
+    inprocess_fallback: bool = True  # parallel: re-assign crashed windows
+
+
+class CheckSupervisor:
+    """Runs a check under budgets with policy-driven degradation.
+
+    ``check()`` never raises — exactly the checkers' own contract — and
+    the returned report always carries the full attempt ladder in
+    ``degradation``, even when it is one rung long.
+    """
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        trace_source: str | Path | Trace,
+        config: SupervisorConfig | None = None,
+        **overrides,
+    ):
+        self.formula = formula
+        self._source = trace_source
+        config = config or SupervisorConfig()
+        for key, value in overrides.items():
+            if not hasattr(config, key):
+                raise TypeError(f"unknown supervisor option {key!r}")
+            setattr(config, key, value)
+        if isinstance(config.policy, str):
+            config.policy = CheckPolicy.parse(config.policy)
+        self.config = config
+        self.attempts: list[Attempt] = []
+        self._loaded_trace: Trace | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self) -> CheckReport:
+        config = self.config
+        ladder = config.policy.ladder(config.method)
+        report: CheckReport | None = None
+        start = time.perf_counter()
+        for rung, method in enumerate(ladder):
+            report = self._attempt(method)
+            failure = report.failure
+            degradable = (
+                failure is not None
+                and failure.kind in DEGRADABLE_KINDS
+                and rung < len(ladder) - 1
+            )
+            if report.verified or not degradable:
+                break
+        assert report is not None
+        report.degradation = [attempt.to_dict() for attempt in self.attempts]
+        report.check_time = time.perf_counter() - start
+        return report
+
+    # -- one rung ------------------------------------------------------------
+
+    def _attempt(self, method: str) -> CheckReport:
+        started = time.perf_counter()
+        try:
+            checker = self._build_checker(method)
+            report = checker.check()
+        except MemoryError:
+            # The allocator itself gave out (e.g. while materializing a DF
+            # trace). Same degradation semantics as the logical budget.
+            failure = CheckFailure(
+                FailureKind.MEMORY_OUT,
+                "the Python allocator raised MemoryError during checking",
+                method=method,
+            )
+            report = CheckReport(
+                method=method,
+                verified=False,
+                failure=failure,
+                check_time=time.perf_counter() - started,
+            )
+        except TraceError as exc:
+            # Loading a malformed trace (DF materializes it up front) must
+            # honour the checkers' "never raises" contract too.
+            failure = CheckFailure(FailureKind.MALFORMED_TRACE, str(exc))
+            report = CheckReport(
+                method=method,
+                verified=False,
+                failure=failure,
+                check_time=time.perf_counter() - started,
+            )
+        outcome = "verified" if report.verified else report.failure.kind.value
+        detail = "" if report.verified else report.failure.message
+        self.attempts.append(
+            Attempt(
+                method=report.method,
+                outcome=outcome,
+                elapsed=time.perf_counter() - started,
+                detail=detail,
+                recovery_events=len(report.recovery or ()),
+            )
+        )
+        return report
+
+    def _trace_for_df(self) -> Trace:
+        """DF needs the fully materialized trace; load it once, lazily."""
+        if self._loaded_trace is None:
+            if isinstance(self._source, Trace):
+                self._loaded_trace = self._source
+            else:
+                from repro.trace.io import load_trace
+
+                self._loaded_trace = load_trace(self._source)
+        return self._loaded_trace
+
+    def _build_checker(self, method: str):
+        config = self.config
+        deadline = Deadline(config.timeout)
+        common = dict(
+            memory_limit=config.memory_limit,
+            precheck=config.precheck,
+            use_kernel=config.use_kernel,
+            deadline=deadline,
+        )
+        if method == "df":
+            return DepthFirstChecker(self.formula, self._trace_for_df(), **common)
+        if method == "hybrid":
+            return HybridChecker(self.formula, self._source, **common)
+        if method == "bf":
+            return BreadthFirstChecker(
+                self.formula,
+                self._source,
+                count_chunk_size=config.count_chunk_size,
+                tmp_dir=config.tmp_dir,
+                checkpoint_path=config.checkpoint_path,
+                checkpoint_every=config.checkpoint_every,
+                resume_from=config.resume_from,
+                **common,
+            )
+        if method == "parallel":
+            return ParallelWindowedChecker(
+                self.formula,
+                self._source,
+                num_workers=config.num_workers,
+                window_size=config.window_size,
+                tmp_dir=config.tmp_dir,
+                window_timeout=config.window_timeout,
+                max_retries=config.max_retries,
+                inprocess_fallback=config.inprocess_fallback,
+                **common,
+            )
+        if method == "rup":
+            return RupChecker(self.formula, self._source, deadline=deadline)
+        raise ValueError(f"unknown checker method {method!r}")
+
+
+def supervised_check(
+    formula: CnfFormula,
+    trace_source: str | Path | Trace,
+    **options,
+) -> CheckReport:
+    """One-call convenience wrapper: ``supervised_check(f, t, method="df")``."""
+    return CheckSupervisor(formula, trace_source, **options).check()

@@ -102,7 +102,15 @@ def check_main(argv: list[str] | None = None) -> int:
     parser.add_argument("cnf", help="DIMACS CNF file")
     parser.add_argument("proof", help="trace file (df/bf/hybrid) or DRUP file (rup)")
     parser.add_argument("--method", default="df", choices=sorted(_CHECKERS))
-    parser.add_argument("--mem-limit", type=int, default=None, help="logical units")
+    parser.add_argument(
+        "--mem-limit",
+        "--memory-limit",
+        dest="mem_limit",
+        type=int,
+        default=None,
+        help="logical memory budget in units; exceeding it is a structured "
+        "memory-out, not a crash",
+    )
     parser.add_argument("--show-core", action="store_true", help="print the unsat core (df/hybrid)")
     parser.add_argument(
         "--parallel",
@@ -139,6 +147,65 @@ def check_main(argv: list[str] | None = None) -> int:
         help="run the check under cProfile and print the top 20 entries "
         "by cumulative time",
     )
+    resilience = parser.add_argument_group(
+        "resilience (repro.checker.supervisor)",
+        "budgets, the degradation ladder and checkpoint/resume; any of "
+        "these flags routes the check through the supervisor",
+    )
+    resilience.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget per checking attempt, in seconds "
+        "(exceeding it is a structured timeout, not a hang)",
+    )
+    resilience.add_argument(
+        "--policy",
+        default=None,
+        choices=["strict", "fallback"],
+        help="strict: run the requested checker once; fallback: degrade "
+        "df -> hybrid -> bf (parallel -> bf) on memory-out / timeout / "
+        "worker-crash, recording the ladder in the report",
+    )
+    resilience.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fresh-pool retry rounds for crashed or hung parallel "
+        "windows before in-process re-assignment (default 1)",
+    )
+    resilience.add_argument(
+        "--window-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-window watchdog for --parallel: a window past its "
+        "budget has its pool killed and is retried",
+    )
+    resilience.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="breadth-first: write resumable snapshots here",
+    )
+    resilience.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="breadth-first: snapshot every N learned clauses "
+        "(requires --checkpoint)",
+    )
+    resilience.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="breadth-first: restart from the snapshot at PATH "
+        "(implies --method bf; falls back to a full run if the "
+        "snapshot does not match)",
+    )
     args = parser.parse_args(argv)
 
     if args.precheck and args.method == "rup":
@@ -147,12 +214,52 @@ def check_main(argv: list[str] | None = None) -> int:
         parser.error("--parallel needs at least one worker")
     if args.window_size is not None and args.parallel is None:
         parser.error("--window-size only applies with --parallel")
+    if args.checkpoint_every is not None and not args.checkpoint:
+        parser.error("--checkpoint-every needs --checkpoint PATH")
+    if args.window_timeout is not None and args.parallel is None:
+        parser.error("--window-timeout only applies with --parallel")
+    if args.parallel is not None and args.method == "rup":
+        parser.error("--parallel verifies resolution traces; not --method rup")
+    supervised = any(
+        value is not None
+        for value in (
+            args.timeout,
+            args.policy,
+            args.max_retries,
+            args.window_timeout,
+            args.checkpoint,
+            args.resume,
+        )
+    )
+    if supervised and args.resume and (args.method != "bf" or args.parallel is not None):
+        if args.parallel is not None:
+            parser.error("--resume restarts a breadth-first check; not --parallel")
+        args.method = "bf"
 
     formula = parse_dimacs_file(args.cnf)
     use_kernel = args.engine == "kernel"
-    if args.parallel is not None:
-        if args.method == "rup":
-            parser.error("--parallel verifies resolution traces; not --method rup")
+    if supervised:
+        from repro.checker import CheckSupervisor
+
+        method = "parallel" if args.parallel is not None else args.method
+        checker = CheckSupervisor(
+            formula,
+            args.proof,
+            method=method,
+            policy=args.policy or "strict",
+            timeout=args.timeout,
+            memory_limit=args.mem_limit,
+            max_retries=args.max_retries if args.max_retries is not None else 1,
+            window_timeout=args.window_timeout,
+            num_workers=args.parallel or 2,
+            window_size=args.window_size,
+            use_kernel=use_kernel,
+            precheck=args.precheck,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every or 0,
+            resume_from=args.resume,
+        )
+    elif args.parallel is not None:
         checker = ParallelWindowedChecker(
             formula,
             args.proof,
@@ -202,6 +309,23 @@ def check_main(argv: list[str] | None = None) -> int:
     else:
         report = checker.check()
     print(report.summary())
+    if report.degradation and len(report.degradation) > 1:
+        for number, attempt in enumerate(report.degradation, start=1):
+            line = (
+                f"c attempt {number}: {attempt['method']} -> "
+                f"{attempt['outcome']} ({attempt['elapsed_s']}s)"
+            )
+            if attempt.get("detail"):
+                line += f" [{attempt['detail']}]"
+            print(line)
+    if report.recovery:
+        for event in report.recovery:
+            parts = [f"c recovery: {event['event']} window {event['window']}"]
+            if "round" in event:
+                parts.append(f"round {event['round']}")
+            if "reason" in event:
+                parts.append(event["reason"])
+            print(" | ".join(parts))
     if report.window_stats:
         for stat in report.window_stats:
             print(

@@ -1,8 +1,10 @@
 """CheckReport and CheckFailure plumbing."""
 
+import pickle
+
 import pytest
 
-from repro.checker import CheckFailure, CheckReport, FailureKind
+from repro.checker import CheckFailure, CheckReport, FailureKind, MemoryLimitExceeded
 
 
 class TestCheckFailure:
@@ -21,6 +23,18 @@ class TestCheckFailure:
         slugs = [kind.value for kind in FailureKind]
         assert len(set(slugs)) == len(slugs)
         assert "memory-out" in slugs
+        assert "timeout" in slugs
+        assert "worker-crash" in slugs
+
+    def test_subclass_survives_pickling(self):
+        """Regression: subclasses with non-standard __init__ signatures
+        (e.g. ``MemoryLimitExceeded(used, limit)``) used to blow up on
+        unpickle when crossing the worker-process boundary."""
+        failure = MemoryLimitExceeded(100, 64)
+        clone = pickle.loads(pickle.dumps(failure))
+        assert type(clone) is MemoryLimitExceeded
+        assert clone.kind is FailureKind.MEMORY_OUT
+        assert clone.context == failure.context
 
 
 class TestCheckReport:

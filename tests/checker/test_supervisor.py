@@ -1,0 +1,396 @@
+"""The resilient checking supervisor: budgets, the degradation ladder,
+worker-crash recovery and BF checkpoint/resume.
+
+The fault matrix lives here: a worker SIGKILLed mid-window, a window hung
+past its watchdog, and a forced DF memory-out must all end in a structured
+report — never an escaped exception — and degrade (or not) per policy.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.checker import (
+    BreadthFirstChecker,
+    CheckFailure,
+    CheckPolicy,
+    CheckSupervisor,
+    CheckTimeout,
+    CheckpointError,
+    Deadline,
+    DepthFirstChecker,
+    FailureKind,
+    MemoryLimitExceeded,
+    ParallelWindowedChecker,
+    load_checkpoint,
+    supervised_check,
+)
+from repro.checker.parallel import FAULT_ENV
+from repro.checker.resolution import ResolutionError
+from repro.solver import Solver, SolverConfig
+from repro.trace import AsciiTraceWriter, InMemoryTraceWriter
+
+from tests.conftest import pigeonhole
+
+
+@pytest.fixture(scope="module")
+def proof(tmp_path_factory):
+    """One UNSAT pigeonhole instance with its trace on disk."""
+    formula = pigeonhole(6, 5)
+    path = tmp_path_factory.mktemp("supervisor") / "php.trace"
+    writer = AsciiTraceWriter(path)
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    writer.close()
+    return formula, str(path)
+
+
+# -- deadlines ----------------------------------------------------------------
+
+
+def test_deadline_none_never_expires():
+    deadline = Deadline(None)
+    assert not deadline.expired()
+    assert deadline.remaining() is None
+    deadline.check()  # no-op
+
+
+def test_deadline_zero_trips_immediately():
+    deadline = Deadline(0.0)
+    assert deadline.expired()
+    with pytest.raises(CheckTimeout) as excinfo:
+        deadline.check()
+    assert excinfo.value.kind is FailureKind.TIMEOUT
+    assert excinfo.value.context["timeout_s"] == 0.0
+
+
+def test_deadline_rejects_negative_timeout():
+    with pytest.raises(ValueError):
+        Deadline(-1.0)
+
+
+def test_every_checker_honours_a_zero_deadline(proof):
+    formula, path = proof
+    from repro.checker import HybridChecker
+    from repro.trace import load_trace
+
+    checkers = [
+        DepthFirstChecker(formula, load_trace(path), deadline=Deadline(0.0)),
+        BreadthFirstChecker(formula, path, deadline=Deadline(0.0)),
+        HybridChecker(formula, path, deadline=Deadline(0.0)),
+        ParallelWindowedChecker(formula, path, num_workers=1, deadline=Deadline(0.0)),
+    ]
+    for checker in checkers:
+        report = checker.check()
+        assert not report.verified, checker
+        assert report.failure.kind is FailureKind.TIMEOUT, checker
+
+
+# -- the degradation ladder ---------------------------------------------------
+
+
+def test_fallback_recovers_from_df_memory_out(proof):
+    """The acceptance scenario: a DF memory-out completes via fallback."""
+    formula, path = proof
+    from repro.trace import load_trace
+
+    df_peak = DepthFirstChecker(formula, load_trace(path)).check().peak_memory_units
+    bf_peak = BreadthFirstChecker(formula, path).check().peak_memory_units
+    assert bf_peak < df_peak  # the trade-off the ladder exists for
+    limit = (bf_peak + df_peak) // 2
+
+    supervisor = CheckSupervisor(
+        formula, path, method="df", policy="fallback", memory_limit=limit
+    )
+    report = supervisor.check()
+    assert report.verified
+    assert report.degradation is not None and len(report.degradation) >= 2
+    first = report.degradation[0]
+    assert first["method"] == "depth-first"
+    assert first["outcome"] == "memory-out"
+    assert report.degradation[-1]["outcome"] == "verified"
+    assert "ladder" in report.summary()
+
+
+def test_strict_policy_runs_exactly_one_attempt(proof):
+    formula, path = proof
+    report = supervised_check(
+        formula, path, method="df", policy="strict", memory_limit=1
+    )
+    assert not report.verified
+    assert report.failure.kind is FailureKind.MEMORY_OUT
+    assert len(report.degradation) == 1
+
+
+def test_fallback_walks_the_whole_ladder_on_timeout(proof):
+    formula, path = proof
+    report = supervised_check(formula, path, method="df", policy="fallback", timeout=0.0)
+    assert not report.verified
+    assert report.failure.kind is FailureKind.TIMEOUT
+    assert [a["method"] for a in report.degradation] == [
+        "depth-first",
+        "hybrid",
+        "breadth-first",
+    ]
+    assert all(a["outcome"] == "timeout" for a in report.degradation)
+
+
+def test_proof_bugs_do_not_degrade(proof, tmp_path):
+    """A bad resolution is a verdict, not a resource failure: one attempt."""
+    formula, _ = proof
+    path = tmp_path / "bad.trace"
+    path.write_text("T 1 2\nR UNSAT\n")  # structurally broken
+    report = supervised_check(formula, str(path), method="df", policy="fallback")
+    assert not report.verified
+    assert report.failure.kind not in (FailureKind.TIMEOUT, FailureKind.MEMORY_OUT)
+    assert len(report.degradation) == 1
+
+
+def test_policy_parse_and_config_validation(proof):
+    formula, path = proof
+    assert CheckPolicy.parse("strict").ladder("df") == ("df",)
+    assert CheckPolicy.parse("fallback").ladder("parallel") == ("parallel", "bf")
+    with pytest.raises(ValueError):
+        CheckPolicy.parse("yolo")
+    with pytest.raises(ValueError):
+        CheckPolicy("fallback").ladder("quantum")
+    with pytest.raises(TypeError):
+        CheckSupervisor(formula, path, not_an_option=1)
+
+
+def test_supervisor_accepts_in_memory_traces():
+    formula = pigeonhole(5, 4)
+    writer = InMemoryTraceWriter()
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    report = supervised_check(formula, writer.to_trace(), method="df")
+    assert report.verified
+
+
+# -- worker-crash recovery ----------------------------------------------------
+
+
+def _arm_fault(monkeypatch, tmp_path, mode, window, extra=""):
+    token = tmp_path / "fault.token"
+    token.write_text("armed")
+    spec = f"{mode}:{window}:{token}{extra}"
+    monkeypatch.setenv(FAULT_ENV, spec)
+    return token
+
+
+def test_sigkilled_worker_is_retried_and_verifies(proof, monkeypatch, tmp_path):
+    """The acceptance scenario: SIGKILL one worker; the run still verifies."""
+    formula, path = proof
+    _arm_fault(monkeypatch, tmp_path, "kill", 1)
+    checker = ParallelWindowedChecker(formula, path, num_workers=2, max_retries=2)
+    report = checker.check()
+    assert report.verified
+    assert report.recovery, "the crash must be on the record"
+    retries = [e for e in report.recovery if e["event"] == "retry"]
+    # A SIGKILL breaks the whole pool, so every in-flight window of that
+    # round is retried — the faulted one must be among them.
+    assert 1 in {e["window"] for e in retries}
+    assert all("crash" in e["reason"] or "hang" in e["reason"] for e in retries)
+
+
+def test_hung_window_is_killed_by_the_watchdog(proof, monkeypatch, tmp_path):
+    formula, path = proof
+    _arm_fault(monkeypatch, tmp_path, "hang", 0, extra=":30")
+    checker = ParallelWindowedChecker(
+        formula, path, num_workers=2, window_timeout=1.5, max_retries=1
+    )
+    report = checker.check()
+    assert report.verified  # the retry runs clean (the fault is one-shot)
+    assert any(e["event"] == "retry" for e in report.recovery)
+
+
+def test_worker_crash_surfaces_after_retry_budget(proof, monkeypatch, tmp_path):
+    """With no retries and no in-process fallback, the kind is WORKER_CRASH."""
+    formula, path = proof
+    _arm_fault(monkeypatch, tmp_path, "kill", 0)
+    checker = ParallelWindowedChecker(
+        formula, path, num_workers=2, max_retries=0, inprocess_fallback=False
+    )
+    report = checker.check()  # must not raise (satellite bugfix)
+    assert not report.verified
+    assert report.failure.kind is FailureKind.WORKER_CRASH
+    assert 0 in report.failure.context["windows"]
+    assert any(e["event"] == "retries-exhausted" for e in report.recovery)
+
+
+def test_inprocess_fallback_rescues_exhausted_retries(proof, monkeypatch, tmp_path):
+    formula, path = proof
+    token = _arm_fault(monkeypatch, tmp_path, "kill", 0)
+    checker = ParallelWindowedChecker(formula, path, num_workers=2, max_retries=0)
+    report = checker.check()
+    assert report.verified
+    assert any(e["event"] == "inline" for e in report.recovery)
+    assert not token.exists()  # the fault really fired
+
+
+def test_supervisor_degrades_parallel_to_bf(proof, monkeypatch, tmp_path):
+    """A persistent crash exhausts parallel's layers; the ladder lands on BF."""
+    formula, path = proof
+    _arm_fault(monkeypatch, tmp_path, "kill", 0)
+    report = supervised_check(
+        formula,
+        path,
+        method="parallel",
+        policy="fallback",
+        num_workers=2,
+        max_retries=0,
+        inprocess_fallback=False,
+    )
+    assert report.verified
+    assert [a["method"] for a in report.degradation] == [
+        "parallel-windowed",
+        "breadth-first",
+    ]
+    assert report.degradation[0]["outcome"] == "worker-crash"
+    assert report.degradation[0]["recovery_events"] >= 1
+
+
+# -- checkpoint / resume ------------------------------------------------------
+
+
+def test_bf_checkpoint_and_resume_round_trip(proof, tmp_path):
+    formula, path = proof
+    ckpt = tmp_path / "bf.ckpt"
+    full = BreadthFirstChecker(
+        formula, path, checkpoint_path=str(ckpt), checkpoint_every=25
+    ).check()
+    assert full.verified and ckpt.exists()
+
+    snapshot = load_checkpoint(str(ckpt))
+    assert snapshot.records_consumed > 0
+
+    resumed = BreadthFirstChecker(formula, path, resume_from=str(ckpt))
+    report = resumed.check()
+    assert report.verified
+    assert resumed.resumed and resumed.resume_error is None
+    # Counters are cumulative across the interrupted + resumed halves.
+    assert report.clauses_built == full.clauses_built
+    assert report.peak_memory_units == full.peak_memory_units
+
+
+def test_interrupted_check_resumes_past_the_interruption(proof, tmp_path):
+    """Timeout mid-stream, then resume from the snapshot and finish."""
+    formula, path = proof
+    ckpt = tmp_path / "bf.ckpt"
+    interrupted = BreadthFirstChecker(
+        formula,
+        path,
+        checkpoint_path=str(ckpt),
+        checkpoint_every=10,
+        deadline=Deadline(0.0),
+    ).check()
+    assert not interrupted.verified
+    assert interrupted.failure.kind is FailureKind.TIMEOUT
+
+    if ckpt.exists():  # a zero deadline may trip before the first snapshot
+        resumed = BreadthFirstChecker(formula, path, resume_from=str(ckpt))
+        assert resumed.check().verified
+
+
+def test_mismatched_checkpoint_falls_back_to_a_full_run(proof, tmp_path):
+    formula, path = proof
+    ckpt = tmp_path / "bf.ckpt"
+    assert BreadthFirstChecker(
+        formula, path, checkpoint_path=str(ckpt), checkpoint_every=25
+    ).check().verified
+
+    other = pigeonhole(5, 4)
+    writer = AsciiTraceWriter(tmp_path / "other.trace")
+    assert Solver(other, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    writer.close()
+
+    checker = BreadthFirstChecker(
+        other, str(tmp_path / "other.trace"), resume_from=str(ckpt)
+    )
+    report = checker.check()  # wrong trace for this snapshot: never fatal
+    assert report.verified
+    assert not checker.resumed and checker.resume_error is not None
+
+
+def test_corrupt_checkpoint_is_a_checkpoint_error(tmp_path):
+    garbage = tmp_path / "bad.ckpt"
+    garbage.write_bytes(b"not a pickle")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(garbage))
+
+
+def test_checkpoint_every_requires_a_path(proof):
+    formula, path = proof
+    with pytest.raises(ValueError):
+        BreadthFirstChecker(formula, path, checkpoint_every=10)
+
+
+# -- failure pickling (satellite bugfix) --------------------------------------
+
+
+@pytest.mark.parametrize(
+    "failure",
+    [
+        MemoryLimitExceeded(10, 5),
+        CheckTimeout(2.5, 1.0),
+        ResolutionError("no complementary pair", cid=42),
+        CheckFailure(FailureKind.WORKER_CRASH, "boom", windows=[1, 2]),
+    ],
+    ids=lambda f: type(f).__name__,
+)
+def test_check_failures_survive_pickling(failure):
+    clone = pickle.loads(pickle.dumps(failure))
+    assert type(clone) is type(failure)
+    assert clone.kind is failure.kind
+    assert clone.message == failure.message
+    assert clone.context == failure.context
+    assert str(clone) == str(failure)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _cnf_file(formula, tmp_path):
+    path = tmp_path / "f.cnf"
+    lines = [f"p cnf {formula.num_vars} {formula.num_clauses}"]
+    lines += [" ".join(map(str, clause.literals)) + " 0" for clause in formula]
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+def test_cli_fallback_prints_the_ladder(proof, tmp_path, capsys):
+    from repro.cli import check_main
+
+    formula, trace = proof
+    cnf = _cnf_file(formula, tmp_path)
+    rc = check_main([cnf, trace, "--method", "df", "--policy", "fallback",
+                     "--timeout", "0"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "c attempt 1: depth-first -> timeout" in out
+    assert "c attempt 3: breadth-first -> timeout" in out
+
+
+def test_cli_checkpoint_then_resume(proof, tmp_path, capsys):
+    from repro.cli import check_main
+
+    formula, trace = proof
+    cnf = _cnf_file(formula, tmp_path)
+    ckpt = str(tmp_path / "cli.ckpt")
+    assert check_main([cnf, trace, "--method", "bf", "--checkpoint", ckpt,
+                       "--checkpoint-every", "50"]) == 0
+    assert os.path.exists(ckpt)
+    assert check_main([cnf, trace, "--resume", ckpt]) == 0
+    assert "Check Succeeded" in capsys.readouterr().out
+
+
+def test_cli_flag_validation(tmp_path):
+    from repro.cli import check_main
+
+    with pytest.raises(SystemExit):
+        check_main(["x.cnf", "x.trace", "--checkpoint-every", "5"])
+    with pytest.raises(SystemExit):
+        check_main(["x.cnf", "x.trace", "--window-timeout", "1"])
+    with pytest.raises(SystemExit):
+        check_main(["x.cnf", "x.trace", "--resume", "c.ckpt", "--parallel", "2"])
+    with pytest.raises(SystemExit):
+        check_main(["x.cnf", "x.trace", "--parallel", "2", "--method", "rup"])
