@@ -1,6 +1,6 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor tables tables-large ablations export examples clean
+.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
@@ -33,6 +33,12 @@ bench-kernel:
 # results/BENCH_supervisor.json and fails if overhead exceeds 5%.
 bench-supervisor:
 	python benchmarks/bench_supervisor.py
+
+# Checking service: cold vs warm verdict-cache check and queue throughput
+# at 1/2/4 workers; writes results/BENCH_service.json and fails if the
+# warm-cache speedup drops below 10x. `--quick` for CI smoke.
+bench-service:
+	python benchmarks/bench_service.py
 
 tables:
 	python -m repro.experiments all --scale medium

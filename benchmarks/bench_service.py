@@ -1,0 +1,176 @@
+"""Checking-service benchmark: verdict-cache speedup and queue throughput.
+
+Two measurements, written to ``results/BENCH_service.json``:
+
+* **cold vs warm cache** — the same ``ServiceClient.check`` call twice
+  against a fresh verdict cache. The first run replays resolution; the
+  second is a fingerprint plus one file read. The gate: the warm check
+  must be at least **10x** faster than the cold one on the largest
+  instance. Exits non-zero when the gate fails.
+* **queue throughput** — a spool of distinct jobs drained by the
+  scheduler at 1, 2 and 4 workers (cache disabled, so every job pays for
+  a real check). Workers are threads sharing the interpreter, so this
+  charts dispatch overhead and fairness, not parallel speedup.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full, writes JSON
+    PYTHONPATH=src python benchmarks/bench_service.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cnf import CnfFormula  # noqa: E402
+from repro.generators.pigeonhole import pigeonhole  # noqa: E402
+from repro.service import CheckDaemon, ServiceClient, VerdictCache, submit_job  # noqa: E402
+from repro.cnf.dimacs import write_dimacs_file  # noqa: E402
+from repro.solver import solve_formula  # noqa: E402
+from repro.trace.io import open_trace_writer  # noqa: E402
+
+#: The warm-cache check must be at least this many times faster than cold.
+SPEEDUP_GATE = 10.0
+
+
+def prepare(pigeons: int, holes: int, tmp_dir: str) -> tuple[CnfFormula, str, str]:
+    formula = pigeonhole(pigeons, holes)
+    cnf = os.path.join(tmp_dir, f"php_{pigeons}_{holes}.cnf")
+    write_dimacs_file(formula, cnf)
+    path = os.path.join(tmp_dir, f"php_{pigeons}_{holes}.rtb")
+    writer = open_trace_writer(path, fmt="binary")
+    result = solve_formula(formula, trace_writer=writer)
+    writer.close()
+    if result.status != "UNSAT":
+        raise SystemExit(f"php({pigeons},{holes}) did not come back UNSAT")
+    return formula, cnf, path
+
+
+def bench_cache(formula: CnfFormula, trace: str, tmp_dir: str, repeats: int) -> dict:
+    """Best-of cold and warm times for one instance, one cache each round."""
+    cold_s = warm_s = float("inf")
+    for round_index in range(repeats):
+        cache_dir = os.path.join(tmp_dir, f"cache-{round_index}")
+        client = ServiceClient(cache=VerdictCache(cache_dir))
+        start = time.perf_counter()
+        cold = client.check(formula, trace, method="bf")
+        cold_s = min(cold_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        warm = client.check(formula, trace, method="bf")
+        warm_s = min(warm_s, time.perf_counter() - start)
+        if not (cold.verified and warm.verified and warm.from_cache):
+            raise SystemExit("cache benchmark run did not verify or did not hit")
+    return {
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 1) if warm_s > 0 else float("inf"),
+    }
+
+
+def bench_throughput(
+    cnf: str, trace: str, tmp_dir: str, num_jobs: int, worker_counts: tuple[int, ...]
+) -> list[dict]:
+    """Drain ``num_jobs`` distinct jobs at each worker count; jobs/second."""
+    rows = []
+    for workers in worker_counts:
+        spool = os.path.join(tmp_dir, f"spool-w{workers}")
+        for job_index in range(num_jobs):
+            # Distinct timeouts make distinct content keys: no dedup, no
+            # cache sharing between jobs.
+            submit_job(spool, cnf, trace, {"method": "bf", "timeout": 3600.0 + job_index})
+        daemon = CheckDaemon(spool, num_workers=workers, use_cache=False)
+        start = time.perf_counter()
+        daemon.run_once()
+        elapsed = time.perf_counter() - start
+        counts = daemon.store.counts()
+        if counts["DONE"] != num_jobs:
+            raise SystemExit(f"throughput run left jobs undone: {counts}")
+        rows.append(
+            {
+                "workers": workers,
+                "jobs": num_jobs,
+                "elapsed_s": round(elapsed, 6),
+                "jobs_per_s": round(num_jobs / elapsed, 2),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke: small instance, no JSON")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    parser.add_argument("--out", default="results/BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        cache_instances = [(6, 5)]
+        repeats = args.repeats or 2
+        num_jobs, worker_counts = 4, (1, 2)
+    else:
+        cache_instances = [(8, 7), (9, 8)]
+        repeats = args.repeats or 5
+        num_jobs, worker_counts = 8, (1, 2, 4)
+
+    cache_rows = []
+    throughput_rows = []
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp_dir:
+        for pigeons, holes in cache_instances:
+            formula, cnf, trace = prepare(pigeons, holes, tmp_dir)
+            row = {
+                "instance": f"php({pigeons},{holes})",
+                "num_vars": formula.num_vars,
+                "num_clauses": formula.num_clauses,
+                **bench_cache(formula, trace, tmp_dir, repeats),
+            }
+            cache_rows.append(row)
+            print(
+                f"== {row['instance']}: cold {row['cold_s']:.4f}s  "
+                f"warm {row['warm_s']:.6f}s  speedup {row['speedup']:.0f}x"
+            )
+        # Throughput over the largest prepared instance.
+        throughput_rows = bench_throughput(cnf, trace, tmp_dir, num_jobs, worker_counts)
+        for row in throughput_rows:
+            print(
+                f"== queue: {row['jobs']} jobs @ {row['workers']} worker(s): "
+                f"{row['elapsed_s']:.3f}s  ({row['jobs_per_s']:.1f} jobs/s)"
+            )
+
+    # Gate on the largest instance: the cache's value proposition is that
+    # re-checks are near-free precisely when checks are expensive.
+    gated = cache_rows[-1]["speedup"]
+    if not args.quick:
+        payload = {
+            "benchmark": "checking service: verdict cache and queue throughput",
+            "quick": False,
+            "repeats": repeats,
+            "gate_speedup": SPEEDUP_GATE,
+            "gated_speedup": gated,
+            "cache": cache_rows,
+            "throughput": throughput_rows,
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out} (warm-cache speedup: {gated:.0f}x)")
+    if gated < SPEEDUP_GATE:
+        print(
+            f"FAIL: warm-cache speedup {gated:.1f}x is below the "
+            f"{SPEEDUP_GATE:.0f}x gate",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"gate passed: warm-cache speedup {gated:.0f}x >= {SPEEDUP_GATE:.0f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

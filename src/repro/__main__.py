@@ -1,0 +1,6 @@
+"""``python -m repro`` — the umbrella CLI without an installed entry point."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,7 +56,13 @@ _COUNT_FORMAT = "<Q"
 _COUNT_SIZE = struct.calcsize(_COUNT_FORMAT)
 _COUNT_BLOCK = 1024  # count entries per cached read block
 
-_CHECKPOINT_VERSION = 1
+# Version 2 replaced the shape-only fingerprint (num_original,
+# total_learned, binary_fast) with one that also carries the streaming
+# SHA-256 of the trace content: two different traces with the same shape
+# must never validate against each other's checkpoints. Version-1 files
+# are rejected by load_checkpoint — the resume path treats that as a
+# mismatch and falls back to a full run (never fatal).
+_CHECKPOINT_VERSION = 2
 
 
 class CheckpointError(ValueError):
@@ -73,12 +79,16 @@ class BfCheckpoint:
     checkpoint identically), the resident clause literals and their
     remaining-use counts, the trail/conflict/status records seen so far,
     and the progress counters. ``fingerprint`` ties the snapshot to one
-    specific check (clause extent + stream flavour); resuming against a
-    different trace falls back to a fresh full run.
+    specific check: the clause extent, the stream flavour, and the
+    streaming SHA-256 of the trace *content* (see
+    :func:`repro.trace.fingerprint.trace_content_hash`); resuming against
+    a different trace — even one with the same shape — falls back to a
+    fresh full run.
     """
 
     version: int
-    fingerprint: tuple[int, int, bool]  # (num_original, total_learned, binary_fast)
+    # (num_original, total_learned, binary_fast, trace_sha256)
+    fingerprint: tuple[int, int, bool, str]
     records_consumed: int
     last_cid: int
     resident: dict[int, tuple[int, ...]]
@@ -163,6 +173,7 @@ class BreadthFirstChecker:
         self._resume_from = str(resume_from) if resume_from else None
         self.resumed = False  # did this run actually start from a snapshot?
         self.resume_error: str | None = None
+        self._trace_hash: str | None = None  # computed lazily, checkpoint paths only
         if self._checkpoint_every and not self._checkpoint_path:
             raise ValueError("checkpoint_every needs a checkpoint_path to write to")
 
@@ -455,6 +466,18 @@ class BreadthFirstChecker:
         self._remaining[cid] = total_uses
         self.meter.allocate(self.meter.clause_units(len(clause)))
 
+    def _trace_fingerprint(self) -> str:
+        """Streaming content hash of the trace source, computed at most once.
+
+        Only the checkpoint/resume paths pay for this — a plain check
+        never hashes anything.
+        """
+        if self._trace_hash is None:
+            from repro.trace.fingerprint import trace_content_hash
+
+            self._trace_hash = trace_content_hash(self._source)
+        return self._trace_hash
+
     def _load_resume_checkpoint(self) -> BfCheckpoint | None:
         """Load and validate the resume snapshot; ``None`` = run from scratch.
 
@@ -468,7 +491,14 @@ class BreadthFirstChecker:
         except CheckpointError as exc:
             self.resume_error = str(exc)
             return None
-        expected = (self._num_original, self._total_learned, self._binary_fast)
+        expected = (
+            self._num_original,
+            self._total_learned,
+            self._binary_fast,
+            self._trace_fingerprint(),
+        )
+        # Tuple comparison also rejects any old-format fingerprint that
+        # slipped past the version gate (a 3-tuple never equals a 4-tuple).
         if checkpoint.fingerprint != expected:
             self.resume_error = (
                 f"checkpoint fingerprint {checkpoint.fingerprint} does not "
@@ -505,7 +535,12 @@ class BreadthFirstChecker:
         assert self._num_original is not None and self._checkpoint_path is not None
         checkpoint = BfCheckpoint(
             version=_CHECKPOINT_VERSION,
-            fingerprint=(self._num_original, self._total_learned, self._binary_fast),
+            fingerprint=(
+                self._num_original,
+                self._total_learned,
+                self._binary_fast,
+                self._trace_fingerprint(),
+            ),
             records_consumed=records_consumed,
             last_cid=last_cid,
             resident={cid: tuple(lits) for cid, lits in self._resident.items()},

@@ -4,7 +4,49 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.checker.errors import CheckFailure
+from repro.checker.errors import CheckFailure, FailureKind
+
+#: Version of the persisted ``CheckReport`` JSON payload. Bump whenever a
+#: field changes meaning or shape: the verdict cache and the service
+#: journal refuse to replay entries written under a different version, so
+#: a stale on-disk verdict can never masquerade as a current one.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _jsonable(value):
+    """Coerce a failure-context value into something JSON can round-trip.
+
+    Context values are debugging payloads (clause IDs, literal tuples,
+    occasionally a set of variables); anything exotic degrades to ``repr``
+    rather than poisoning the whole report serialization.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(item) for item in value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(val) for key, val in value.items()}
+    return repr(value)
+
+
+def failure_to_json(failure: CheckFailure) -> dict:
+    """Serialize a :class:`CheckFailure` into the stable report schema."""
+    return {
+        "kind": failure.kind.value,
+        "message": failure.message,
+        "context": {key: _jsonable(val) for key, val in failure.context.items()},
+    }
+
+
+def failure_from_json(payload: dict) -> CheckFailure:
+    """Rebuild a :class:`CheckFailure` from its JSON form."""
+    return CheckFailure(
+        FailureKind(payload["kind"]),
+        payload["message"],
+        **payload.get("context", {}),
+    )
 
 
 @dataclass
@@ -32,6 +74,14 @@ class CheckReport:
     fallback therefore states *how* it was reached. ``recovery`` (parallel
     checker only) logs worker-level fault handling: crashes, hangs,
     retries and in-process re-assignments, one dict per event.
+
+    ``fingerprint`` (service layer) names the exact artifacts this verdict
+    is about: SHA-256 hex digests of the formula, the trace, and the
+    checking options, as computed by :mod:`repro.service.fingerprint`. A
+    persisted report (verdict cache, job results) always carries it, so a
+    verdict can be audited against — and never returned for — different
+    inputs. ``from_cache`` is a runtime-only flag set by the service when
+    a report was served from the verdict cache; it is not serialized.
     """
 
     method: str
@@ -47,6 +97,8 @@ class CheckReport:
     window_stats: list[dict] | None = None
     degradation: list[dict] | None = None
     recovery: list[dict] | None = None
+    fingerprint: dict | None = None
+    from_cache: bool = False
 
     @property
     def built_pct(self) -> float:
@@ -62,6 +114,76 @@ class CheckReport:
         if not self.verified:
             raise AssertionError("check unverified but no failure recorded")
 
+    def to_json(self) -> dict:
+        """The stable, documented JSON form of this report.
+
+        The payload always carries ``schema_version`` =
+        :data:`REPORT_SCHEMA_VERSION`; consumers (the verdict cache, the
+        service journal, ``repro check --format json`` scrapers) must
+        reject any other version rather than guess at field meanings.
+        Optional fields are present only when set, and set-valued fields
+        are emitted as sorted lists so the payload is deterministic.
+        """
+        payload: dict = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "method": self.method,
+            "verified": self.verified,
+            "clauses_built": self.clauses_built,
+            "total_learned": self.total_learned,
+            "peak_memory_units": self.peak_memory_units,
+            "check_time_s": round(self.check_time, 6),
+            "resolutions": self.resolutions,
+        }
+        if self.failure is not None:
+            payload["failure"] = failure_to_json(self.failure)
+        if self.original_core is not None:
+            payload["original_core"] = sorted(self.original_core)
+        if self.learned_used is not None:
+            payload["learned_used"] = sorted(self.learned_used)
+        if self.window_stats is not None:
+            payload["window_stats"] = self.window_stats
+        if self.degradation is not None:
+            payload["degradation"] = self.degradation
+        if self.recovery is not None:
+            payload["recovery"] = self.recovery
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CheckReport":
+        """Rebuild a report from :meth:`to_json` output.
+
+        Raises ``ValueError`` on a missing or different ``schema_version``
+        — deserializing across schema versions is exactly the bug the
+        version field exists to prevent.
+        """
+        version = payload.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"report schema version {version!r} is not the supported "
+                f"version {REPORT_SCHEMA_VERSION}"
+            )
+        failure = payload.get("failure")
+        core = payload.get("original_core")
+        learned_used = payload.get("learned_used")
+        return cls(
+            method=payload["method"],
+            verified=payload["verified"],
+            failure=failure_from_json(failure) if failure is not None else None,
+            clauses_built=payload.get("clauses_built", 0),
+            total_learned=payload.get("total_learned", 0),
+            peak_memory_units=payload.get("peak_memory_units", 0),
+            check_time=payload.get("check_time_s", 0.0),
+            resolutions=payload.get("resolutions", 0),
+            original_core=set(core) if core is not None else None,
+            learned_used=set(learned_used) if learned_used is not None else None,
+            window_stats=payload.get("window_stats"),
+            degradation=payload.get("degradation"),
+            recovery=payload.get("recovery"),
+            fingerprint=payload.get("fingerprint"),
+        )
+
     def summary(self) -> str:
         status = "Check Succeeded" if self.verified else f"Check Failed: {self.failure}"
         line = (
@@ -69,6 +191,8 @@ class CheckReport:
             f"{self.total_learned} learned ({self.built_pct:.1f}%) | "
             f"peak {self.peak_memory_units} units | {self.check_time:.3f}s"
         )
+        if self.from_cache:
+            line += " | cached"
         if self.degradation and len(self.degradation) > 1:
             ladder = " -> ".join(
                 f"{attempt['method']}:{attempt['outcome']}" for attempt in self.degradation

@@ -140,6 +140,11 @@ class SupervisorConfig:
     resume_from: str | None = None  # bf only
     tmp_dir: str | None = None
     inprocess_fallback: bool = True  # parallel: re-assign crashed windows
+    # Content digests of (formula, trace, options), as computed by
+    # repro.service.fingerprint. Purely declarative: the supervisor stamps
+    # them onto the final report so a persisted verdict (verdict cache,
+    # job results) names the exact inputs it is about.
+    fingerprint: dict | None = None
 
 
 class CheckSupervisor:
@@ -190,6 +195,8 @@ class CheckSupervisor:
         assert report is not None
         report.degradation = [attempt.to_dict() for attempt in self.attempts]
         report.check_time = time.perf_counter() - start
+        if config.fingerprint is not None:
+            report.fingerprint = dict(config.fingerprint)
         return report
 
     # -- one rung ------------------------------------------------------------

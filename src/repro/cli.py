@@ -147,6 +147,31 @@ def check_main(argv: list[str] | None = None) -> int:
         help="run the check under cProfile and print the top 20 entries "
         "by cumulative time",
     )
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format; json emits the stable CheckReport schema "
+        "(schema_version included) documented in docs/service.md",
+    )
+    service = parser.add_argument_group(
+        "verdict cache (repro.service)",
+        "content-addressed caching of verdicts keyed on SHA-256 of "
+        "(formula, trace, options); see docs/service.md",
+    )
+    service.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="consult/populate the verdict cache at DIR; a warm hit "
+        "answers without replaying resolution",
+    )
+    service.add_argument(
+        "--refresh",
+        action="store_true",
+        help="with --cache: skip the lookup but overwrite the entry "
+        "(force one honest recomputation)",
+    )
     resilience = parser.add_argument_group(
         "resilience (repro.checker.supervisor)",
         "budgets, the degradation ladder and checkpoint/resume; any of "
@@ -235,10 +260,40 @@ def check_main(argv: list[str] | None = None) -> int:
         if args.parallel is not None:
             parser.error("--resume restarts a breadth-first check; not --parallel")
         args.method = "bf"
+    if args.refresh and not args.cache:
+        parser.error("--refresh only applies with --cache DIR")
+    if args.cache and (args.checkpoint or args.resume):
+        parser.error("--cache does not combine with --checkpoint/--resume")
 
     formula = parse_dimacs_file(args.cnf)
     use_kernel = args.engine == "kernel"
-    if supervised:
+    if args.cache:
+        from repro.service import ServiceClient, VerdictCache
+
+        client = ServiceClient(cache=VerdictCache(args.cache), refresh=args.refresh)
+        method = "parallel" if args.parallel is not None else args.method
+        options = dict(
+            method=method,
+            policy=args.policy or "strict",
+            timeout=args.timeout,
+            memory_limit=args.mem_limit,
+            use_kernel=use_kernel,
+            precheck=args.precheck,
+        )
+        if args.parallel is not None:
+            options.update(num_workers=args.parallel, window_size=args.window_size)
+        if args.max_retries is not None:
+            options["max_retries"] = args.max_retries
+        if args.window_timeout is not None:
+            options["window_timeout"] = args.window_timeout
+
+        class _ClientChecker:
+            @staticmethod
+            def check():
+                return client.check(formula, args.proof, **options)
+
+        checker = _ClientChecker()
+    elif supervised:
         from repro.checker import CheckSupervisor
 
         method = "parallel" if args.parallel is not None else args.method
@@ -308,6 +363,11 @@ def check_main(argv: list[str] | None = None) -> int:
         stats.sort_stats("cumulative").print_stats(20)
     else:
         report = checker.check()
+    if args.format == "json":
+        payload = report.to_json()
+        payload["from_cache"] = report.from_cache
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.verified else 1
     print(report.summary())
     if report.degradation and len(report.degradation) > 1:
         for number, attempt in enumerate(report.degradation, start=1):
@@ -438,9 +498,173 @@ def lint_trace_main(argv: list[str] | None = None) -> int:
     return 1 if failed else 0
 
 
+def serve_main(argv: list[str] | None = None) -> int:
+    """repro serve: run the checking service over a spool directory.
+
+    Jobs arrive as files under ``<spool>/incoming`` (see ``repro submit``);
+    verdicts land under ``<spool>/results`` and the journal survives any
+    crash — restarting resumes exactly where the dead daemon stopped.
+    """
+    parser = argparse.ArgumentParser(prog="repro-serve")
+    parser.add_argument("spool", help="spool directory (created if missing)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="concurrent checking workers (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="ingest what is waiting, drain the queue, exit")
+    parser.add_argument("--poll-interval", type=float, default=0.2, metavar="S",
+                        help="spool poll period in seconds (default 0.2)")
+    parser.add_argument("--max-idle", type=float, default=None, metavar="S",
+                        help="exit after S seconds with no work (default: run forever)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the verdict cache entirely")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute every verdict, overwriting cache entries")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="verdict cache location (default: <spool>/cache)")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync the journal on every append (power-loss safety)")
+    args = parser.parse_args(argv)
+    if args.workers < 1:
+        parser.error("--workers needs at least one worker")
+
+    from repro.service import CheckDaemon
+
+    daemon = CheckDaemon(
+        args.spool,
+        num_workers=args.workers,
+        use_cache=not args.no_cache,
+        refresh=args.refresh,
+        cache_dir=args.cache_dir,
+        poll_interval=args.poll_interval,
+        fsync=args.fsync,
+    )
+    if daemon.store.requeued_on_replay:
+        print(f"c recovered {daemon.store.requeued_on_replay} orphaned job(s) from the journal")
+    if args.once:
+        code = daemon.run_once()
+    else:
+        print(f"c serving {args.spool} with {args.workers} worker(s); Ctrl-C to stop")
+        code = daemon.run_forever(max_idle_s=args.max_idle)
+    counts = daemon.store.counts()
+    print(
+        f"c drained: {counts['DONE']} done, {counts['FAILED']} failed, "
+        f"{counts['PENDING']} pending"
+    )
+    return code
+
+
+def submit_main(argv: list[str] | None = None) -> int:
+    """repro submit: queue one check into a spool directory."""
+    parser = argparse.ArgumentParser(prog="repro-submit")
+    parser.add_argument("spool", help="spool directory (created if missing)")
+    parser.add_argument("cnf", help="DIMACS CNF file")
+    parser.add_argument("proof", help="trace file (df/bf/hybrid) or DRUP file (rup)")
+    parser.add_argument("--method", default="df", choices=sorted(_CHECKERS))
+    parser.add_argument("--policy", default=None, choices=["strict", "fallback"])
+    parser.add_argument("--timeout", type=float, default=None, metavar="S")
+    parser.add_argument("--mem-limit", type=int, default=None, metavar="UNITS")
+    parser.add_argument("--precheck", action="store_true")
+    parser.add_argument("--engine", default="kernel", choices=["kernel", "reference"])
+    args = parser.parse_args(argv)
+
+    from repro.service import submit_job
+
+    options: dict = {"method": args.method}
+    if args.policy is not None:
+        options["policy"] = args.policy
+    if args.timeout is not None:
+        options["timeout"] = args.timeout
+    if args.mem_limit is not None:
+        options["memory_limit"] = args.mem_limit
+    if args.precheck:
+        options["precheck"] = True
+    if args.engine != "kernel":
+        options["use_kernel"] = False
+    try:
+        path = submit_job(args.spool, args.cnf, args.proof, options)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    print(f"submitted {path.name}")
+    return 0
+
+
+def status_main(argv: list[str] | None = None) -> int:
+    """repro status: queue depth and per-state counts for a spool."""
+    parser = argparse.ArgumentParser(prog="repro-status")
+    parser.add_argument("spool", help="spool directory")
+    parser.add_argument("--metrics", action="store_true",
+                        help="also render the service metrics snapshot")
+    args = parser.parse_args(argv)
+
+    from repro.service import read_queue_status, render_snapshot, spool_layout
+    from repro.service.metrics import load_snapshot
+
+    status = read_queue_status(args.spool)
+    counts = status.get("counts", {})
+    print(
+        f"jobs {status['jobs']} | queue depth {status['queue_depth']} | "
+        f"incoming {status['incoming']}"
+    )
+    if counts:
+        print(" ".join(f"{state}={count}" for state, count in counts.items()))
+    if status.get("torn_lines"):
+        print(f"c journal: {status['torn_lines']} torn line(s) skipped")
+    if args.metrics:
+        metrics_path = spool_layout(args.spool).metrics_path
+        if metrics_path.is_file():
+            print(render_snapshot(load_snapshot(str(metrics_path))))
+        else:
+            print("(no metrics snapshot yet)")
+    return 0
+
+
+def results_main(argv: list[str] | None = None) -> int:
+    """repro results: verdicts for terminal jobs in a spool."""
+    parser = argparse.ArgumentParser(prog="repro-results")
+    parser.add_argument("spool", help="spool directory")
+    parser.add_argument("job_id", nargs="?", default=None,
+                        help="show one job only (default: all terminal jobs)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full stored report payloads as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.service import iter_results
+
+    shown = 0
+    payloads = []
+    for job, payload in iter_results(args.spool, job_id=args.job_id):
+        shown += 1
+        if args.json:
+            payloads.append(payload if payload is not None else {"job_id": job.job_id,
+                                                                 "result": job.result})
+            continue
+        result = job.result or {}
+        if job.state.value == "FAILED":
+            print(f"{job.job_id} FAILED: {result.get('error', 'unknown error')}")
+            continue
+        verdict = "verified" if result.get("verified") else (
+            f"REFUTED ({result.get('failure_kind', 'unverified')})"
+        )
+        cached = " [cached]" if result.get("from_cache") else ""
+        print(
+            f"{job.job_id} {verdict} | {result.get('method', '?')} | "
+            f"{result.get('check_time_s', 0.0)}s{cached}"
+        )
+    if args.json:
+        print(json.dumps(payloads, indent=2, sort_keys=True))
+    if shown == 0 and args.job_id is not None:
+        print(f"no terminal job {args.job_id!r}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _SUBCOMMANDS: dict[str, tuple[str, str]] = {
     "solve": ("solve_main", "solve a DIMACS file, optionally logging proofs"),
     "check": ("check_main", "validate an UNSAT claim from its trace/proof"),
+    "serve": ("serve_main", "run the checking service over a spool directory"),
+    "submit": ("submit_main", "queue one check into a spool directory"),
+    "status": ("status_main", "queue depth and state counts for a spool"),
+    "results": ("results_main", "verdicts for terminal jobs in a spool"),
     "lint-trace": ("lint_trace_main", "static structural analysis of a trace"),
     "trace-stats": ("trace_stats_main", "analytics for a trace file"),
     "trim": ("trim_main", "drop trace records the proof does not need"),
@@ -494,3 +718,7 @@ def core_main(argv: list[str] | None = None) -> int:
         print(f"minimal core (MUS): {len(core_ids)} clauses")
     print("core clause ids: " + " ".join(map(str, sorted(core_ids))))
     return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -25,12 +25,12 @@ from repro.experiments.tables import (
 )
 
 
-def _run_suite(scale: str, memory_limit: int | None = None, verbose: bool = True):
+def _run_suite(scale: str, memory_limit: int | None = None, verbose: bool = True, client=None):
     results = []
     for instance in default_suite(scale):
         if verbose:
             print(f"  running {instance.name} ...", file=sys.stderr, flush=True)
-        results.append(run_instance(instance, memory_limit=memory_limit))
+        results.append(run_instance(instance, memory_limit=memory_limit, client=client))
     return results
 
 
@@ -62,7 +62,20 @@ def main(argv: list[str] | None = None) -> int:
         "depth-first memory-outs)",
     )
     parser.add_argument("--iterations", type=int, default=30, help="Table 3 iteration cap")
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="route checking runs through the service verdict cache at DIR "
+        "(repeat runs and ablation sweeps then skip redundant re-checks)",
+    )
     args = parser.parse_args(argv)
+
+    client = None
+    if args.cache:
+        from repro.service import ServiceClient, VerdictCache
+
+        client = ServiceClient(cache=VerdictCache(args.cache))
 
     if args.what == "export":
         from repro.experiments.export import export_suite
@@ -75,7 +88,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     needs_suite = args.what in ("table1", "table2", "formats", "check-vs-solve", "hybrid", "all")
-    results = _run_suite(args.scale, memory_limit=args.mem_limit) if needs_suite else []
+    results = (
+        _run_suite(args.scale, memory_limit=args.mem_limit, client=client)
+        if needs_suite
+        else []
+    )
 
     sections = []
     if args.what in ("table1", "all"):

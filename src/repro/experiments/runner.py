@@ -4,6 +4,13 @@ For one benchmark instance: solve with tracing off, solve with tracing on
 (ASCII and binary trace files), then run the depth-first, breadth-first
 and hybrid checkers over the trace. Everything the table renderers need
 comes back in one ``InstanceResult``.
+
+Pass a :class:`~repro.service.client.ServiceClient` to route the checks
+through the verdict cache: identical (formula, trace, options) triples —
+re-rendered tables, repeated ablation sweeps — then cost a hash and a
+file read instead of a resolution replay. Checks run under the *strict*
+policy so a memory-capped depth-first run still reports its Table 2
+memory-out instead of silently degrading.
 """
 
 from __future__ import annotations
@@ -11,12 +18,16 @@ from __future__ import annotations
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.checker import BreadthFirstChecker, DepthFirstChecker, HybridChecker
 from repro.checker.report import CheckReport
 from repro.experiments.suite import BenchmarkInstance
 from repro.solver import Solver, SolverConfig
 from repro.trace import AsciiTraceWriter, BinaryTraceWriter, load_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.service.client import ServiceClient
 
 
 @dataclass
@@ -59,12 +70,14 @@ def run_instance(
     memory_limit: int | None = None,
     run_checkers: bool = True,
     keep_traces: bool = False,
+    client: ServiceClient | None = None,
 ) -> InstanceResult:
     """Run the full pipeline on one instance.
 
     ``memory_limit`` (logical units, see :mod:`repro.checker.memory`)
     applies to both checkers and reproduces Table 2's depth-first
-    memory-outs when set.
+    memory-outs when set. ``client`` routes the checking runs through the
+    service's verdict cache (``python -m repro.experiments … --cache``).
     """
     formula = instance.build()
     config = config or SolverConfig()
@@ -110,16 +123,30 @@ def run_instance(
         )
 
         if run_checkers:
-            trace = load_trace(binary_path)
-            outcome.df = DepthFirstChecker(
-                formula, trace, memory_limit=memory_limit
-            ).check()
-            outcome.bf = BreadthFirstChecker(
-                formula, binary_path, memory_limit=memory_limit
-            ).check()
-            outcome.hybrid = HybridChecker(
-                formula, binary_path, memory_limit=memory_limit
-            ).check()
+            if client is not None:
+                outcome.df = client.check(
+                    formula, binary_path, method="df",
+                    policy="strict", memory_limit=memory_limit,
+                )
+                outcome.bf = client.check(
+                    formula, binary_path, method="bf",
+                    policy="strict", memory_limit=memory_limit,
+                )
+                outcome.hybrid = client.check(
+                    formula, binary_path, method="hybrid",
+                    policy="strict", memory_limit=memory_limit,
+                )
+            else:
+                trace = load_trace(binary_path)
+                outcome.df = DepthFirstChecker(
+                    formula, trace, memory_limit=memory_limit
+                ).check()
+                outcome.bf = BreadthFirstChecker(
+                    formula, binary_path, memory_limit=memory_limit
+                ).check()
+                outcome.hybrid = HybridChecker(
+                    formula, binary_path, memory_limit=memory_limit
+                ).check()
         return outcome
     finally:
         if own_dir is not None:

@@ -1,0 +1,165 @@
+"""The content-addressed verdict cache.
+
+Re-checking an already-validated trace should be a hash plus a file read,
+not a resolution replay — the service's answer to Cruz-Filipe et al.'s
+"preprocess once, reuse forever" economics. Entries are ``CheckReport``
+JSON payloads keyed by the :func:`~repro.service.fingerprint.job_key`
+over (formula, trace, options) digests.
+
+Safety over speed, in order:
+
+* an entry is only returned when its **stored component digests** match
+  the requested ones — the key already encodes them, so this is a
+  defense-in-depth re-check against truncated/tampered files;
+* an entry whose ``schema_version`` differs from the running code's
+  :data:`~repro.checker.report.REPORT_SCHEMA_VERSION` is rejected (and
+  counted), never reinterpreted;
+* writes are atomic (temp file + ``os.replace``), so a crashed writer
+  leaves either the old entry or the new one, never a torn file;
+* the store is LRU-bounded by entry count: hits refresh the entry's
+  mtime, and inserts beyond ``max_entries`` evict the stalest files.
+
+Unreadable or corrupt entries degrade to a miss. The cache never makes a
+check fail; at worst it makes one redundant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.checker.report import REPORT_SCHEMA_VERSION, CheckReport
+
+from repro.service.metrics import MetricsRegistry
+
+#: Default LRU bound. Verdict entries are small (a few KiB); 4096 of them
+#: is megabytes, not a disk hazard.
+DEFAULT_MAX_ENTRIES = 4096
+
+
+class VerdictCache:
+    """On-disk, content-addressed store of check verdicts."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.metrics = metrics or MetricsRegistry()
+
+    # -- paths ---------------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, fingerprint: dict) -> CheckReport | None:
+        """Return the cached verdict for ``fingerprint``, or ``None``.
+
+        ``fingerprint`` is the dict from
+        :func:`repro.service.fingerprint.fingerprint_check` (the ``key``
+        plus the three component digests). Every mismatch — absent file,
+        unparseable JSON, wrong schema version, component digest
+        disagreement — is a counted miss.
+        """
+        path = self._entry_path(fingerprint["key"])
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.metrics.inc("cache.misses")
+            return None
+        except (OSError, json.JSONDecodeError):
+            self.metrics.inc("cache.misses")
+            self.metrics.inc("cache.corrupt_entries")
+            return None
+        if entry.get("schema_version") != REPORT_SCHEMA_VERSION:
+            self.metrics.inc("cache.misses")
+            self.metrics.inc("cache.schema_rejects")
+            return None
+        for component in ("formula_sha256", "trace_sha256", "options_sha256"):
+            if entry.get(component) != fingerprint[component]:
+                self.metrics.inc("cache.misses")
+                self.metrics.inc("cache.fingerprint_rejects")
+                return None
+        try:
+            report = CheckReport.from_json(entry["report"])
+        except (KeyError, ValueError, TypeError):
+            self.metrics.inc("cache.misses")
+            self.metrics.inc("cache.corrupt_entries")
+            return None
+        # LRU bookkeeping: a hit makes the entry the freshest.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self.metrics.inc("cache.hits")
+        report.from_cache = True
+        return report
+
+    # -- insert --------------------------------------------------------------
+
+    def put(self, fingerprint: dict, report: CheckReport) -> None:
+        """Store ``report`` under ``fingerprint``, atomically, evicting LRU.
+
+        The report's own ``fingerprint`` field is stamped before
+        serialization so the persisted verdict names its inputs even when
+        read outside the cache.
+        """
+        if report.fingerprint is None:
+            report.fingerprint = {
+                key: fingerprint[key]
+                for key in ("formula_sha256", "trace_sha256", "options_sha256", "key")
+            }
+        entry = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "key": fingerprint["key"],
+            "formula_sha256": fingerprint["formula_sha256"],
+            "trace_sha256": fingerprint["trace_sha256"],
+            "options_sha256": fingerprint["options_sha256"],
+            "report": report.to_json(),
+        }
+        path = self._entry_path(fingerprint["key"])
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        self.metrics.inc("cache.stores")
+        self._evict_over_bound()
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (``--refresh`` uses this); True if it existed."""
+        try:
+            os.unlink(self._entry_path(key))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def _evict_over_bound(self) -> None:
+        entries = list(self.cache_dir.glob("*.json"))
+        excess = len(entries) - self.max_entries
+        if excess <= 0:
+            return
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+        for stale in sorted(entries, key=mtime)[:excess]:
+            try:
+                os.unlink(stale)
+                self.metrics.inc("cache.evictions")
+            except OSError:
+                pass

@@ -1,0 +1,122 @@
+"""The library front door: cache-aware checking for embedders.
+
+``ServiceClient.check`` is :func:`repro.checker.supervised_check` with a
+memory: fingerprint the inputs, consult the verdict cache, replay
+resolution only on a miss, and persist the fresh verdict for next time.
+The experiments harness routes through this, so re-running an ablation
+suite re-checks nothing that already has a verdict.
+
+What gets cached: verified reports, and failures that are *verdicts
+about the proof* (a bad resolution is a bad resolution forever). Resource
+failures — timeout, memory-out, worker-crash — depend on the machine and
+the budgets of the moment, not on the content, so they are never cached;
+DEGRADABLE_KINDS (the supervisor's own notion of "resource problem, not
+proof problem") is exactly that set.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.checker.report import CheckReport
+from repro.checker.supervisor import DEGRADABLE_KINDS, supervised_check
+from repro.cnf import CnfFormula, parse_dimacs_file
+from repro.trace.records import Trace
+
+from repro.service.cache import VerdictCache
+from repro.service.fingerprint import (
+    fingerprint_formula,
+    fingerprint_options,
+    fingerprint_trace,
+    job_key,
+)
+from repro.service.metrics import MetricsRegistry
+
+
+class ServiceClient:
+    """Checks with a verdict cache in front of the supervisor.
+
+    ``use_cache=False`` (the ``--no-cache`` escape hatch) skips both
+    lookup and store; ``refresh=True`` (``--refresh``) skips the lookup
+    but overwrites the entry, forcing one honest recomputation.
+    """
+
+    def __init__(
+        self,
+        cache: VerdictCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        use_cache: bool = True,
+        refresh: bool = False,
+    ) -> None:
+        if metrics is None:
+            metrics = cache.metrics if cache is not None else MetricsRegistry()
+        self.cache = cache
+        self.metrics = metrics
+        self.use_cache = use_cache and cache is not None
+        self.refresh = refresh
+
+    def check(
+        self,
+        formula: CnfFormula | str | Path,
+        trace_source: str | Path | Trace,
+        **options,
+    ) -> CheckReport:
+        """Supervised check with cache lookup/store around it.
+
+        The formula is always fingerprinted from its parsed, canonical
+        form — the same formula hits the same cache line whether it
+        arrived as a DIMACS path or an in-memory object.
+        """
+        if not isinstance(formula, CnfFormula):
+            formula = parse_dimacs_file(formula)
+
+        started = time.perf_counter()
+        fingerprint = {
+            "formula_sha256": fingerprint_formula(formula),
+            "trace_sha256": fingerprint_trace(trace_source),
+            "options_sha256": fingerprint_options(options),
+        }
+        fingerprint["key"] = job_key(
+            fingerprint["formula_sha256"],
+            fingerprint["trace_sha256"],
+            fingerprint["options_sha256"],
+        )
+        self.metrics.observe("fingerprint.latency_s", time.perf_counter() - started)
+
+        if self.use_cache and not self.refresh:
+            assert self.cache is not None
+            cached = self.cache.get(fingerprint)
+            if cached is not None:
+                self.metrics.observe("check.latency_s", time.perf_counter() - started)
+                return cached
+
+        report = supervised_check(
+            formula, trace_source, fingerprint=fingerprint, **options
+        )
+        self.metrics.observe("check.latency_s", time.perf_counter() - started)
+        self._account(report)
+
+        if self.use_cache and self._cacheable(report):
+            assert self.cache is not None
+            self.cache.put(fingerprint, report)
+        return report
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _cacheable(report: CheckReport) -> bool:
+        if report.verified:
+            return True
+        return report.failure is not None and report.failure.kind not in DEGRADABLE_KINDS
+
+    def _account(self, report: CheckReport) -> None:
+        """Fleet-level counters out of one report's self-description."""
+        attempts = report.degradation or ()
+        if len(attempts) > 1:
+            self.metrics.inc("supervisor.degradations")
+            self.metrics.inc("supervisor.ladder_rungs", len(attempts) - 1)
+        for event in report.recovery or ():
+            self.metrics.inc("worker.recovery_events")
+            if event.get("event") in ("retry", "retries-exhausted"):
+                self.metrics.inc("worker.crashes")

@@ -1,0 +1,266 @@
+"""The spool-directory daemon behind ``repro serve`` / ``submit`` / ``status``.
+
+A spool directory is the whole wire protocol — no sockets, no broker,
+nothing the offline environment lacks:
+
+.. code-block:: text
+
+    spool/
+      incoming/              job files dropped by `repro submit` (atomic rename in)
+      accepted/              job files after pickup (atomic rename out of incoming)
+      journal.jsonl          the JobStore journal (the source of truth)
+      results/               per-job full CheckReport JSON + SERVICE_metrics.json
+      cache/                 the verdict cache (shared across restarts)
+
+``repro submit`` writes a job file into ``incoming/``; the daemon's poll
+loop renames it into ``accepted/`` (rename is the commit point — two
+daemons can share a spool without double-ingesting), journals it as
+PENDING, and the scheduler's workers take it from there. Restarting
+after a crash re-opens the journal, requeues orphaned RUNNING jobs, and
+keeps going; completed work is never repeated because it is journaled
+DONE, and identical *pending* work is deduplicated by content key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.service.cache import VerdictCache
+from repro.service.client import ServiceClient
+from repro.service.fingerprint import fingerprint_options, job_key
+from repro.service.jobs import JobStore
+from repro.service.metrics import MetricsRegistry
+from repro.service.scheduler import Scheduler
+from repro.trace.fingerprint import sha256_file
+
+#: Snapshot of the daemon's metrics, inside the spool's results dir.
+METRICS_BASENAME = "SERVICE_metrics.json"
+
+
+@dataclass
+class SpoolLayout:
+    """Where everything lives inside one spool directory."""
+
+    root: Path
+
+    @property
+    def incoming(self) -> Path:
+        return self.root / "incoming"
+
+    @property
+    def accepted(self) -> Path:
+        return self.root / "accepted"
+
+    @property
+    def journal(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    @property
+    def results(self) -> Path:
+        return self.root / "results"
+
+    @property
+    def cache(self) -> Path:
+        return self.root / "cache"
+
+    @property
+    def metrics_path(self) -> Path:
+        return self.results / METRICS_BASENAME
+
+    def ensure(self) -> "SpoolLayout":
+        for directory in (self.root, self.incoming, self.accepted, self.results):
+            directory.mkdir(parents=True, exist_ok=True)
+        return self
+
+
+def spool_layout(spool: str | Path) -> SpoolLayout:
+    return SpoolLayout(Path(spool))
+
+
+def submit_job(
+    spool: str | Path,
+    formula: str | Path,
+    trace: str | Path,
+    options: dict | None = None,
+) -> Path:
+    """Drop one job file into the spool's incoming directory, atomically.
+
+    Paths are stored absolute so the daemon's working directory is
+    irrelevant. Returns the job file's path (its basename is unique per
+    content+time, so concurrent submitters never collide).
+    """
+    layout = spool_layout(spool).ensure()
+    formula = Path(formula).resolve()
+    trace = Path(trace).resolve()
+    for artifact in (formula, trace):
+        if not artifact.is_file():
+            raise FileNotFoundError(f"no such artifact: {artifact}")
+    payload = {
+        "formula": str(formula),
+        "trace": str(trace),
+        "options": dict(options or {}),
+    }
+    body = json.dumps(payload, indent=2, sort_keys=True)
+    stamp = f"{time.time_ns():x}-{os.getpid()}"
+    path = layout.incoming / f"job-{stamp}.json"
+    tmp = layout.incoming / f".job-{stamp}.tmp"
+    tmp.write_text(body + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def _dedup_key(payload: dict) -> str:
+    """Content key for submit-time dedup: artifact bytes + keyed options."""
+    return job_key(
+        sha256_file(payload["formula"]),
+        sha256_file(payload["trace"]),
+        fingerprint_options(payload.get("options", {})),
+    )
+
+
+class CheckDaemon:
+    """Polls a spool directory and drains its queue through the scheduler."""
+
+    def __init__(
+        self,
+        spool: str | Path,
+        num_workers: int = 2,
+        use_cache: bool = True,
+        refresh: bool = False,
+        cache_dir: str | Path | None = None,
+        poll_interval: float = 0.2,
+        fsync: bool = False,
+    ) -> None:
+        self.layout = spool_layout(spool).ensure()
+        self.metrics = MetricsRegistry()
+        cache = None
+        if use_cache:
+            cache = VerdictCache(cache_dir or self.layout.cache, metrics=self.metrics)
+        self.client = ServiceClient(
+            cache=cache, metrics=self.metrics, use_cache=use_cache, refresh=refresh
+        )
+        self.store = JobStore(self.layout.journal, fsync=fsync)
+        self.scheduler = Scheduler(
+            self.store, self.client, num_workers=num_workers,
+            results_dir=self.layout.results,
+        )
+        self.poll_interval = poll_interval
+        if self.store.requeued_on_replay:
+            self.metrics.inc("jobs.requeued_on_replay", self.store.requeued_on_replay)
+
+    # -- spool ingestion -----------------------------------------------------
+
+    def ingest(self) -> int:
+        """Move every waiting job file into the journal; returns how many."""
+        ingested = 0
+        for path in sorted(self.layout.incoming.glob("*.json")):
+            accepted = self.layout.accepted / path.name
+            try:
+                os.replace(path, accepted)  # the commit point
+            except OSError:
+                continue  # another daemon won the rename
+            try:
+                payload = json.loads(accepted.read_text(encoding="utf-8"))
+                formula, trace = payload["formula"], payload["trace"]
+                options = payload.get("options", {})
+                if not isinstance(options, dict):
+                    raise ValueError("job options must be an object")
+                dedup = _dedup_key(payload)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                accepted.rename(accepted.with_suffix(".rejected"))
+                self.metrics.inc("spool.rejected")
+                print(f"service: rejected {path.name}: {exc}", file=sys.stderr)
+                continue
+            self.store.submit(formula, trace, options, dedup_key=dedup)
+            self.metrics.inc("spool.ingested")
+            ingested += 1
+        self.metrics.set_gauge("queue.depth", self.store.queue_depth)
+        return ingested
+
+    def snapshot_metrics(self) -> None:
+        self.metrics.write(str(self.layout.metrics_path))
+
+    # -- run modes -----------------------------------------------------------
+
+    def run_once(self) -> int:
+        """Ingest what is waiting, drain the queue, snapshot, exit.
+
+        This is the crash-recovery entry point too: reopening the journal
+        already requeued any orphaned RUNNING jobs, so a ``--once`` run
+        after a SIGKILL finishes whatever the dead daemon left behind.
+        """
+        self.ingest()
+        self.scheduler.drain()
+        self.snapshot_metrics()
+        self.store.close()
+        return 0
+
+    def run_forever(self, max_idle_s: float | None = None) -> int:
+        """Poll the spool until interrupted (or idle past ``max_idle_s``)."""
+        self.scheduler.start()
+        last_activity = time.monotonic()
+        try:
+            while True:
+                ingested = self.ingest()
+                busy = self.store.queue_depth > 0 or not self.store.all_terminal
+                if ingested or busy:
+                    last_activity = time.monotonic()
+                elif max_idle_s is not None and time.monotonic() - last_activity > max_idle_s:
+                    return 0
+                self.snapshot_metrics()
+                time.sleep(self.poll_interval)
+        except KeyboardInterrupt:
+            return 0
+        finally:
+            self.scheduler.stop()
+            self.snapshot_metrics()
+            self.store.close()
+
+
+# -- read-side helpers (repro status / repro results) -------------------------
+
+
+def read_queue_status(spool: str | Path) -> dict:
+    """State counts and queue depth from the journal, without mutating it."""
+    layout = spool_layout(spool)
+    incoming = (
+        sum(1 for _ in layout.incoming.glob("*.json"))
+        if layout.incoming.is_dir()
+        else 0
+    )
+    if not layout.journal.exists():
+        return {"jobs": 0, "counts": {}, "queue_depth": 0, "incoming": incoming}
+    store = JobStore(layout.journal, readonly=True)
+    return {
+        "jobs": len(store.jobs()),
+        "counts": store.counts(),
+        "queue_depth": store.queue_depth,
+        "incoming": incoming,
+        "torn_lines": store.torn_lines,
+    }
+
+
+def iter_results(spool: str | Path, job_id: str | None = None):
+    """Yield (job, result-payload-or-None) for terminal jobs, oldest first."""
+    layout = spool_layout(spool)
+    if not layout.journal.exists():
+        return
+    store = JobStore(layout.journal, readonly=True)
+    for job in store.jobs():
+        if job_id is not None and job.job_id != job_id:
+            continue
+        if job.state.value not in ("DONE", "FAILED"):
+            continue
+        payload = None
+        result_path = (job.result or {}).get("result_path")
+        if result_path and Path(result_path).is_file():
+            try:
+                payload = json.loads(Path(result_path).read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                payload = None
+        yield job, payload

@@ -1,0 +1,280 @@
+"""The durable job store: a JSONL journal with crash-safe replay.
+
+Every queue mutation is one appended JSON line — a ``submit`` carrying
+the whole job, or a ``state`` transition (PENDING → RUNNING → DONE /
+FAILED). The journal is the *only* source of truth: reopening it replays
+every line in order and reconstructs the queue exactly, so a SIGKILLed
+daemon loses nothing but its in-flight attempt. Jobs found RUNNING at
+replay time are the crashed daemon's orphans; they are requeued to
+PENDING (with the requeue journaled too), which is what makes
+"every submitted job reaches a terminal state" survive any number of
+crash/restart cycles without duplicating completed work.
+
+A torn final line (the crash happened mid-append) is skipped, not fatal:
+losing the very last transition is indistinguishable from crashing just
+before it.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+class JobState(enum.Enum):
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+
+
+#: States no further transition can leave.
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED})
+
+
+@dataclass
+class Job:
+    """One unit of checking work: artifact paths plus supervisor options."""
+
+    job_id: str
+    formula: str
+    trace: str
+    options: dict = field(default_factory=dict)
+    state: JobState = JobState.PENDING
+    dedup_key: str | None = None
+    submitted_at: float = 0.0
+    attempts: int = 0  # times this job entered RUNNING
+    worker: str | None = None
+    result: dict | None = None  # DONE/FAILED summary (verdict, timing, …)
+
+    def to_json(self) -> dict:
+        payload = {
+            "job_id": self.job_id,
+            "formula": self.formula,
+            "trace": self.trace,
+            "options": self.options,
+            "submitted_at": self.submitted_at,
+        }
+        if self.dedup_key:
+            payload["dedup_key"] = self.dedup_key
+        return payload
+
+
+class JobStore:
+    """Journal-backed queue; every method is safe to call from any thread."""
+
+    def __init__(
+        self,
+        journal_path: str | Path,
+        fsync: bool = False,
+        readonly: bool = False,
+    ) -> None:
+        """``readonly=True`` replays the journal without touching it — what
+        ``repro status`` / ``repro results`` use, so observing the queue
+        never requeues a live daemon's RUNNING jobs."""
+        self.journal_path = Path(journal_path)
+        self.readonly = readonly
+        if not readonly:
+            self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._next_serial = 1
+        self.requeued_on_replay = 0
+        self.torn_lines = 0
+        self._handle = None
+        self._replay()
+        if readonly:
+            return
+        self._handle = open(self.journal_path, "a", encoding="utf-8")
+        # Orphans of a crashed run: a RUNNING job has no owner anymore.
+        # Requeue them — and journal the requeue, so a second replay agrees.
+        for job in self._jobs.values():
+            if job.state is JobState.RUNNING:
+                job.state = JobState.PENDING
+                job.worker = None
+                self.requeued_on_replay += 1
+                self._append({"event": "requeue", "job_id": job.job_id, "t": time.time()})
+
+    # -- journal plumbing ----------------------------------------------------
+
+    def _append(self, payload: dict) -> None:
+        if self._handle is None:
+            raise RuntimeError("job store opened readonly")
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def _replay(self) -> None:
+        if not self.journal_path.exists():
+            return
+        with open(self.journal_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    self.torn_lines += 1
+                    continue
+                self._apply(payload)
+
+    def _apply(self, payload: dict) -> None:
+        event = payload.get("event")
+        if event == "submit":
+            data = payload.get("job", {})
+            job = Job(
+                job_id=data["job_id"],
+                formula=data["formula"],
+                trace=data["trace"],
+                options=data.get("options", {}),
+                dedup_key=data.get("dedup_key"),
+                submitted_at=data.get("submitted_at", 0.0),
+            )
+            self._jobs[job.job_id] = job
+            serial = _serial_of(job.job_id)
+            if serial is not None and serial >= self._next_serial:
+                self._next_serial = serial + 1
+        elif event == "state":
+            job = self._jobs.get(payload.get("job_id", ""))
+            if job is None:
+                return
+            try:
+                job.state = JobState(payload["state"])
+            except (KeyError, ValueError):
+                return
+            if job.state is JobState.RUNNING:
+                job.attempts += 1
+                job.worker = payload.get("worker")
+            else:
+                job.worker = None
+            if "result" in payload:
+                job.result = payload["result"]
+        elif event == "requeue":
+            job = self._jobs.get(payload.get("job_id", ""))
+            if job is not None and job.state is JobState.RUNNING:
+                job.state = JobState.PENDING
+                job.worker = None
+
+    # -- queue API -----------------------------------------------------------
+
+    def submit(
+        self,
+        formula: str | Path,
+        trace: str | Path,
+        options: dict | None = None,
+        dedup_key: str | None = None,
+    ) -> Job:
+        """Append a new PENDING job; returns the existing live job instead
+        when ``dedup_key`` matches one that is not FAILED (identical work
+        submitted twice runs once)."""
+        with self._lock:
+            if dedup_key is not None:
+                for existing in self._jobs.values():
+                    if existing.dedup_key == dedup_key and existing.state is not JobState.FAILED:
+                        return existing
+            job = Job(
+                job_id=f"job-{self._next_serial:06d}",
+                formula=str(formula),
+                trace=str(trace),
+                options=dict(options or {}),
+                dedup_key=dedup_key,
+                submitted_at=time.time(),
+            )
+            self._next_serial += 1
+            self._jobs[job.job_id] = job
+            self._append({"event": "submit", "job": job.to_json(), "t": job.submitted_at})
+            return job
+
+    def claim(self, worker: str) -> Job | None:
+        """Move the oldest PENDING job to RUNNING for ``worker``."""
+        with self._lock:
+            for job in self._jobs.values():  # dict preserves submit order
+                if job.state is JobState.PENDING:
+                    job.state = JobState.RUNNING
+                    job.worker = worker
+                    job.attempts += 1
+                    self._append(
+                        {
+                            "event": "state",
+                            "job_id": job.job_id,
+                            "state": "RUNNING",
+                            "worker": worker,
+                            "t": time.time(),
+                        }
+                    )
+                    return job
+            return None
+
+    def finish(self, job: Job, result: dict | None = None) -> None:
+        self._transition(job, JobState.DONE, result)
+
+    def fail(self, job: Job, result: dict | None = None) -> None:
+        self._transition(job, JobState.FAILED, result)
+
+    def _transition(self, job: Job, state: JobState, result: dict | None) -> None:
+        with self._lock:
+            if job.state in TERMINAL_STATES:
+                raise ValueError(f"{job.job_id} is already {job.state.value}")
+            job.state = state
+            job.worker = None
+            job.result = result
+            payload = {
+                "event": "state",
+                "job_id": job.job_id,
+                "state": state.value,
+                "t": time.time(),
+            }
+            if result is not None:
+                payload["result"] = result
+            self._append(payload)
+
+    # -- introspection -------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        tally = {state.value: 0 for state in JobState}
+        for job in self._jobs.values():
+            tally[job.state.value] += 1
+        return tally
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(
+            1 for job in self._jobs.values() if job.state is JobState.PENDING
+        )
+
+    @property
+    def all_terminal(self) -> bool:
+        return all(job.state in TERMINAL_STATES for job in self._jobs.values())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _serial_of(job_id: str) -> int | None:
+    """Extract N from ``job-N`` IDs so replay resumes the serial counter."""
+    prefix, _, digits = job_id.partition("-")
+    if prefix == "job" and digits.isdigit():
+        return int(digits)
+    return None

@@ -1,0 +1,179 @@
+"""Service metrics: counters, gauges and bucketed histograms, no deps.
+
+A long-lived checking service needs to say what its fleet is doing —
+cache hit rates, queue depth, per-stage latency, how often the
+degradation ladder fired — without pulling in a metrics client the
+offline environment doesn't have. This is the minimal, thread-safe core
+of one: three instrument types behind a registry, snapshotted to plain
+JSON (``SERVICE_metrics.json``) that ``repro status --metrics`` renders.
+
+Conventions: metric names are dotted paths (``cache.hits``,
+``check.latency_s``); histograms carry fixed upper-bound buckets plus a
+``+Inf`` overflow, cumulative style, so rates and quantile estimates can
+be derived offline from any snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from bisect import bisect_left
+
+#: Default latency buckets (seconds): sub-millisecond cache hits through
+#: multi-minute checks.
+LATENCY_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0, 300.0)
+
+
+class Counter:
+    """A monotonically increasing count (scheduler workers share these,
+    so every update is taken under the instrument's own lock)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go both ways (queue depth, workers busy)."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self.value += delta
+
+
+class Histogram:
+    """Observations binned into fixed upper-bound buckets.
+
+    ``counts[i]`` is the number of observations ``<= bounds[i]``
+    (non-cumulative per bin; the final bin is the ``+Inf`` overflow).
+    ``sum`` and ``count`` make means and rates derivable from snapshots.
+    """
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.sum += value
+            self.count += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": {
+                **{str(bound): count for bound, count in zip(self.bounds, self.counts)},
+                "+Inf": self.counts[-1],
+            },
+            "sum": round(self.sum, 6),
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Owns every instrument; the single lock makes updates thread-safe.
+
+    Instruments are created on first use (``registry.counter("cache.hits")``)
+    so call sites never need registration boilerplate, and a snapshot
+    always reflects whatever the service actually touched.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = LATENCY_BUCKETS) -> Histogram:
+        with self._lock:
+            return self._histograms.setdefault(name, Histogram(bounds))
+
+    # -- convenience shorthands (the hot call sites) -------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A point-in-time JSON-ready view of every instrument."""
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: h.to_dict() for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def write(self, path: str) -> None:
+        """Atomically persist a snapshot (write-to-temp + rename)."""
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-oriented rendering of a snapshot (``repro status --metrics``)."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        lines += [f"  {name:<32} {value}" for name, value in counters.items()]
+    if gauges:
+        lines.append("gauges:")
+        lines += [f"  {name:<32} {value:g}" for name, value in gauges.items()]
+    if histograms:
+        lines.append("histograms:")
+        for name, data in histograms.items():
+            count = data["count"]
+            mean = data["sum"] / count if count else 0.0
+            lines.append(f"  {name:<32} count={count} mean={mean:.4f}s")
+            for bound, bucket_count in data["buckets"].items():
+                if bucket_count:
+                    lines.append(f"    <= {bound:<8} {bucket_count}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def load_snapshot(path: str) -> dict:
+    """Read a snapshot written by :meth:`MetricsRegistry.write`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

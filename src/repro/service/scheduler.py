@@ -1,0 +1,184 @@
+"""The multi-worker dispatcher: jobs out of the store, verdicts back in.
+
+Worker threads claim PENDING jobs from the :class:`JobStore` (the claim
+itself is journaled, so a crash mid-check leaves a requeueable RUNNING
+entry) and run each through the cache-aware :class:`ServiceClient` —
+i.e. through PR 4's ``supervised_check`` with per-job options, budgets
+and the degradation ladder intact.
+
+Terminal-state semantics: **DONE means the service produced a verdict**,
+including "this proof is bad" — a checker finding a bug is the service
+working, not failing. FAILED is reserved for jobs the service could not
+execute at all: missing artifacts, unparseable formulas, unknown
+options. This is what lets "every job reaches a terminal state" be a
+meaningful invariant across crash/restart cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.checker.report import REPORT_SCHEMA_VERSION, CheckReport
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobStore
+
+#: Job options a journal entry may carry; anything else fails the job
+#: rather than TypeError-ing inside a worker. Mirrors SupervisorConfig
+#: minus the service-managed fields (fingerprints, checkpoints).
+ALLOWED_JOB_OPTIONS = frozenset(
+    {
+        "method",
+        "policy",
+        "timeout",
+        "memory_limit",
+        "max_retries",
+        "window_timeout",
+        "num_workers",
+        "window_size",
+        "use_kernel",
+        "precheck",
+        "count_chunk_size",
+    }
+)
+
+#: How long an idle worker sleeps before re-polling the queue.
+_IDLE_POLL_S = 0.02
+
+
+class Scheduler:
+    """Owns the worker threads that drain a job store."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        client: ServiceClient,
+        num_workers: int = 2,
+        results_dir: str | Path | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.store = store
+        self.client = client
+        self.metrics = client.metrics
+        self.num_workers = num_workers
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        if self.results_dir is not None:
+            self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("scheduler already started")
+        self._stop.clear()
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"check-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+
+    def drain(self) -> None:
+        """Process until the queue is empty and every worker is idle."""
+        own_workers = not self._threads
+        if own_workers:
+            self.start()
+        try:
+            while True:
+                with self._busy_lock:
+                    busy = self._busy
+                if self.store.queue_depth == 0 and busy == 0:
+                    return
+                time.sleep(_IDLE_POLL_S)
+        finally:
+            if own_workers:
+                self.stop()
+
+    # -- the worker loop -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        name = threading.current_thread().name
+        while not self._stop.is_set():
+            job = self.store.claim(name)
+            if job is None:
+                time.sleep(_IDLE_POLL_S)
+                continue
+            with self._busy_lock:
+                self._busy += 1
+            self.metrics.set_gauge("queue.depth", self.store.queue_depth)
+            try:
+                self._execute(job)
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1
+                self.metrics.set_gauge("queue.depth", self.store.queue_depth)
+
+    def _execute(self, job: Job) -> None:
+        started = time.perf_counter()
+        try:
+            options = self._validate_options(job.options)
+            report = self.client.check(job.formula, job.trace, **options)
+        except Exception as exc:  # noqa: BLE001 - a worker must survive any job
+            self.store.fail(job, {"error": f"{type(exc).__name__}: {exc}"})
+            self.metrics.inc("jobs.failed")
+            self.metrics.observe("job.latency_s", time.perf_counter() - started)
+            return
+        summary = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "verified": report.verified,
+            "method": report.method,
+            "from_cache": report.from_cache,
+            "check_time_s": round(report.check_time, 6),
+        }
+        if report.failure is not None:
+            summary["failure_kind"] = report.failure.kind.value
+        result_path = self._write_result(job, report)
+        if result_path is not None:
+            summary["result_path"] = result_path
+        self.store.finish(job, summary)
+        self.metrics.inc("jobs.done")
+        if report.from_cache:
+            self.metrics.inc("jobs.served_from_cache")
+        self.metrics.observe("job.latency_s", time.perf_counter() - started)
+
+    @staticmethod
+    def _validate_options(options: dict) -> dict:
+        unknown = sorted(set(options) - ALLOWED_JOB_OPTIONS)
+        if unknown:
+            raise ValueError(f"unknown job option(s): {', '.join(unknown)}")
+        return options
+
+    def _write_result(self, job: Job, report: CheckReport) -> str | None:
+        """Persist the full report JSON next to the journal, atomically."""
+        if self.results_dir is None:
+            return None
+        payload = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "job_id": job.job_id,
+            "formula": job.formula,
+            "trace": job.trace,
+            "options": job.options,
+            "report": report.to_json(),
+        }
+        path = self.results_dir / f"{job.job_id}.json"
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return str(path)

@@ -31,6 +31,7 @@ from repro.trace.io import (
     iter_trace_records,
     InMemoryTraceWriter,
 )
+from repro.trace.fingerprint import sha256_file, sha256_text, trace_content_hash
 from repro.trace.stats import TraceStatistics, analyze_trace
 from repro.trace.trim import TrimResult, trim_trace, write_trimmed
 from repro.trace.windows import (
@@ -58,6 +59,9 @@ __all__ = [
     "load_trace",
     "iter_trace_records",
     "InMemoryTraceWriter",
+    "sha256_file",
+    "sha256_text",
+    "trace_content_hash",
     "TraceStatistics",
     "analyze_trace",
     "TrimResult",

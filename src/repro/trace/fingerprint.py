@@ -1,0 +1,77 @@
+"""Streaming content fingerprints for traces (and arbitrary files).
+
+The verdict cache (:mod:`repro.service.cache`) and the breadth-first
+checkpoint format both need to tie an artifact to one specific byte
+content, not merely to its shape: two traces with the same clause counts
+must never validate against each other's cached verdicts or checkpoints.
+
+Everything here streams — a multi-gigabyte trace is hashed in fixed-size
+chunks, never materialized. Trace *files* are hashed over their raw bytes
+(the cheapest possible identity, and the one a service sees); in-memory
+:class:`~repro.trace.records.Trace` objects are hashed over a canonical
+record serialization, so the same logical trace hashes identically no
+matter how it was assembled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.trace.records import Trace
+
+#: Read granularity for file hashing; large enough that syscall overhead
+#: vanishes, small enough to stay cache-friendly.
+_CHUNK_SIZE = 1 << 20
+
+
+def sha256_file(path: str | Path, chunk_size: int = _CHUNK_SIZE) -> str:
+    """Hex SHA-256 of a file's bytes, read in streaming chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def sha256_text(text: str) -> str:
+    """Hex SHA-256 of a UTF-8 string (canonical serializations, options)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _hash_trace_object(trace: Trace) -> str:
+    """Canonical-record hash of an in-memory trace.
+
+    One tagged line per record, learned clauses in ascending clause-ID
+    order: the hash depends only on the trace's logical content, not on
+    insertion order or container identity.
+    """
+    digest = hashlib.sha256()
+    feed = digest.update
+    header = trace.header
+    feed(f"H {header.num_vars} {header.num_original_clauses}\n".encode())
+    for cid in sorted(trace.learned):
+        sources = " ".join(map(str, trace.learned[cid].sources))
+        feed(f"L {cid} {sources}\n".encode())
+    for entry in trace.level_zero:
+        feed(f"Z {entry.var} {int(entry.value)} {entry.antecedent}\n".encode())
+    for cid in trace.final_conflicts:
+        feed(f"F {cid}\n".encode())
+    feed(f"R {trace.status}\n".encode())
+    return digest.hexdigest()
+
+
+def trace_content_hash(source: str | Path | Trace) -> str:
+    """Content fingerprint of a trace source.
+
+    A path hashes the file's raw bytes (so an ASCII and a binary encoding
+    of the same proof are — deliberately — different artifacts); a
+    :class:`Trace` hashes its canonical record stream. Matching hashes
+    mean "checking this source replays the exact same work".
+    """
+    if isinstance(source, Trace):
+        return _hash_trace_object(source)
+    return sha256_file(source)

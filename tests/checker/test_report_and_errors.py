@@ -77,3 +77,77 @@ class TestCheckReport:
         report = CheckReport(method="bf", verified=False)
         with pytest.raises(AssertionError):
             report.raise_if_failed()
+
+
+class TestReportJson:
+    """The stable JSON schema behind the verdict cache and --format json."""
+
+    def _full(self):
+        return CheckReport(
+            method="depth-first",
+            verified=False,
+            failure=CheckFailure(FailureKind.BAD_RESOLUTION, "no pivot", cid=9),
+            clauses_built=3,
+            total_learned=12,
+            peak_memory_units=77,
+            check_time=0.123456789,
+            resolutions=42,
+            original_core={5, 1, 3},
+            learned_used={20, 15},
+            degradation=[{"method": "df", "outcome": "memory-out", "elapsed_s": 0.1}],
+            fingerprint={"formula_sha256": "f", "trace_sha256": "t",
+                         "options_sha256": "o", "key": "k"},
+        )
+
+    def test_round_trip_preserves_everything(self):
+        from repro.checker.report import REPORT_SCHEMA_VERSION
+
+        payload = self._full().to_json()
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+        clone = CheckReport.from_json(payload)
+        assert clone.method == "depth-first" and clone.verified is False
+        assert clone.failure.kind is FailureKind.BAD_RESOLUTION
+        assert clone.failure.context == {"cid": 9}
+        assert clone.original_core == {1, 3, 5}
+        assert clone.learned_used == {15, 20}
+        assert clone.check_time == 0.123457  # rounded at serialization
+        assert clone.degradation[0]["outcome"] == "memory-out"
+        assert clone.fingerprint["key"] == "k"
+        assert clone.from_cache is False
+
+    def test_sets_serialize_sorted_and_deterministic(self):
+        import json
+
+        first = json.dumps(self._full().to_json(), sort_keys=True)
+        second = json.dumps(self._full().to_json(), sort_keys=True)
+        assert first == second
+        assert json.loads(first)["original_core"] == [1, 3, 5]
+
+    def test_optional_fields_absent_when_unset(self):
+        payload = CheckReport(method="breadth-first", verified=True).to_json()
+        for absent in ("failure", "original_core", "learned_used",
+                       "window_stats", "degradation", "recovery", "fingerprint"):
+            assert absent not in payload
+        assert "from_cache" not in payload  # runtime-only flag
+
+    def test_from_json_rejects_other_schema_versions(self):
+        from repro.checker.report import REPORT_SCHEMA_VERSION
+
+        payload = self._full().to_json()
+        payload["schema_version"] = REPORT_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            CheckReport.from_json(payload)
+        del payload["schema_version"]
+        with pytest.raises(ValueError, match="schema version"):
+            CheckReport.from_json(payload)
+
+    def test_exotic_failure_context_degrades_to_repr(self):
+        from repro.checker.report import failure_to_json
+
+        failure = CheckFailure(
+            FailureKind.MALFORMED_TRACE, "weird", literals=(1, -2), vars={3, 1}, blob=object()
+        )
+        context = failure_to_json(failure)["context"]
+        assert context["literals"] == [1, -2]
+        assert context["vars"] == [1, 3]
+        assert context["blob"].startswith("<object object")

@@ -318,6 +318,157 @@ def test_corrupt_checkpoint_is_a_checkpoint_error(tmp_path):
         load_checkpoint(str(garbage))
 
 
+def test_same_shape_different_content_never_cross_resumes(proof, tmp_path):
+    """The strengthened fingerprint (content hash, not just shape): a trace
+    with identical record counts but different bytes must not resume from
+    the other's checkpoint."""
+    formula, path = proof
+    ckpt = tmp_path / "bf.ckpt"
+    assert BreadthFirstChecker(
+        formula, path, checkpoint_path=str(ckpt), checkpoint_every=25
+    ).check().verified
+
+    # Same parsed records — ASCII readers skip comments — so the shape
+    # triple (num_original, total_learned, binary_fast) is identical; only
+    # the content hash can tell the two apart.
+    twin = tmp_path / "twin.trace"
+    twin.write_text(open(path).read() + "# same shape, different bytes\n")
+
+    checker = BreadthFirstChecker(formula, str(twin), resume_from=str(ckpt))
+    report = checker.check()
+    assert report.verified  # falls back to a full run, never fatal
+    assert not checker.resumed
+    assert "fingerprint" in checker.resume_error
+
+
+def test_old_format_checkpoint_is_mismatch_not_crash(proof, tmp_path):
+    """A version-1 (shape-only fingerprint) checkpoint from an older build
+    is rejected by the version gate and treated as a mismatch."""
+    from repro.checker.breadth_first import BfCheckpoint, write_checkpoint
+
+    formula, path = proof
+    legacy = BfCheckpoint(
+        version=1,
+        fingerprint=(formula.num_clauses, 120, False),  # the old 3-tuple
+        records_consumed=10,
+        last_cid=formula.num_clauses + 10,
+        resident={},
+        remaining={},
+        level_zero=[],
+        final_conflicts=[],
+        status="",
+        clauses_built=10,
+        resolutions=50,
+        meter_current=0,
+        meter_peak=0,
+    )
+    ckpt = tmp_path / "legacy.ckpt"
+    write_checkpoint(legacy, ckpt)
+
+    with pytest.raises(CheckpointError, match="version 1 unsupported"):
+        load_checkpoint(str(ckpt))
+
+    checker = BreadthFirstChecker(formula, path, resume_from=str(ckpt))
+    assert checker.check().verified  # full run, never fatal
+    assert not checker.resumed and "version 1" in checker.resume_error
+
+
+# -- checkpoint/resume x kernel engine x the ladder (satellite coverage) ------
+
+
+def test_kernel_checkpoint_resume_round_trip(proof, tmp_path):
+    """Resume has only been tested on the reference engine; the kernel
+    engine must checkpoint and resume to the same counters."""
+    formula, path = proof
+    ckpt = tmp_path / "bf.ckpt"
+    full = BreadthFirstChecker(
+        formula, path, use_kernel=True,
+        checkpoint_path=str(ckpt), checkpoint_every=25,
+    ).check()
+    assert full.verified and ckpt.exists()
+
+    resumed = BreadthFirstChecker(formula, path, use_kernel=True, resume_from=str(ckpt))
+    report = resumed.check()
+    assert report.verified and resumed.resumed
+    assert report.clauses_built == full.clauses_built
+    assert report.peak_memory_units == full.peak_memory_units
+
+
+def test_checkpoints_cross_engines(proof, tmp_path):
+    """Snapshots store plain literal tuples, so a checkpoint written under
+    one engine resumes under the other."""
+    formula, path = proof
+    ckpt = tmp_path / "bf.ckpt"
+    assert BreadthFirstChecker(
+        formula, path, use_kernel=True,
+        checkpoint_path=str(ckpt), checkpoint_every=25,
+    ).check().verified
+
+    resumed = BreadthFirstChecker(formula, path, use_kernel=False, resume_from=str(ckpt))
+    assert resumed.check().verified and resumed.resumed
+
+
+def test_kernel_timeout_checkpoint_resumes_under_supervisor(proof, tmp_path):
+    """Interrupt a kernel-engine BF check mid-stream, then finish it via
+    ``supervised_check(..., resume_from=...)`` with the kernel engine."""
+    formula, path = proof
+    ckpt = tmp_path / "bf.ckpt"
+    interrupted = supervised_check(
+        formula, path, method="bf", policy="strict", use_kernel=True,
+        timeout=0.0, checkpoint_path=str(ckpt), checkpoint_every=10,
+    )
+    assert not interrupted.verified
+    assert interrupted.failure.kind is FailureKind.TIMEOUT
+
+    if ckpt.exists():  # a zero deadline may trip before the first snapshot
+        report = supervised_check(
+            formula, path, method="bf", policy="strict",
+            use_kernel=True, resume_from=str(ckpt),
+        )
+        assert report.verified
+
+
+def test_ladder_fallback_writes_and_resumes_kernel_checkpoints(proof, tmp_path):
+    """The combined scenario: DF memory-outs, the fallback ladder lands on
+    BF with the kernel engine, and that BF rung both honours ``resume_from``
+    and writes fresh checkpoints."""
+    from repro.checker import HybridChecker
+
+    formula, path = proof
+    hybrid_peak = HybridChecker(formula, path).check().peak_memory_units
+    bf_peak = BreadthFirstChecker(formula, path).check().peak_memory_units
+    assert bf_peak < hybrid_peak  # a budget only the last rung fits in
+    limit = (bf_peak + hybrid_peak) // 2
+
+    # First pass: seed a checkpoint from a plain kernel BF run.
+    seed_ckpt = tmp_path / "seed.ckpt"
+    assert BreadthFirstChecker(
+        formula, path, use_kernel=True,
+        checkpoint_path=str(seed_ckpt), checkpoint_every=25,
+    ).check().verified
+
+    fresh_ckpt = tmp_path / "fresh.ckpt"
+    report = supervised_check(
+        formula, path, method="df", policy="fallback", use_kernel=True,
+        memory_limit=limit, resume_from=str(seed_ckpt),
+        # Small interval: the resumed tail still spans several snapshots.
+        checkpoint_path=str(fresh_ckpt), checkpoint_every=5,
+    )
+    assert report.verified
+    ladder = [attempt["method"] for attempt in report.degradation]
+    assert ladder[0] == "depth-first"
+    assert report.degradation[0]["outcome"] == "memory-out"
+    assert ladder[-1] == "breadth-first"
+    assert all(a["outcome"] == "memory-out" for a in report.degradation[:-1])
+    assert fresh_ckpt.exists()  # the BF rung checkpointed its own pass
+
+    # The checkpoint the ladder's BF rung wrote is itself resumable.
+    resumed = BreadthFirstChecker(
+        formula, path, use_kernel=True, resume_from=str(fresh_ckpt)
+    )
+    assert resumed.check().verified and resumed.resumed
+
+
 def test_checkpoint_every_requires_a_path(proof):
     formula, path = proof
     with pytest.raises(ValueError):

@@ -83,3 +83,21 @@ def test_render_table3_small():
     text = render_table3(core_suite("small")[:2], max_iterations=3)
     assert "Table 3" in text
     assert "Iterations" in text
+
+
+def test_run_instance_through_service_client(tmp_path):
+    """`--cache` routing: same verdicts, and a repeat run hits the cache."""
+    from repro.service import ServiceClient, VerdictCache
+
+    instance = default_suite("small")[1]
+    client = ServiceClient(cache=VerdictCache(tmp_path / "cache"))
+    (tmp_path / "w1").mkdir()
+    (tmp_path / "w2").mkdir()
+    first = run_instance(instance, work_dir=tmp_path / "w1", client=client)
+    assert first.df.verified and first.bf.verified and first.hybrid.verified
+    assert not first.df.from_cache
+    assert client.metrics.counter("cache.stores").value == 3
+
+    again = run_instance(instance, work_dir=tmp_path / "w2", client=client)
+    assert again.df.from_cache and again.bf.from_cache and again.hybrid.from_cache
+    assert client.metrics.counter("cache.hits").value == 3

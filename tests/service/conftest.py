@@ -1,0 +1,43 @@
+"""Shared artifacts for the service tests: one solved instance on disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnf.dimacs import write_dimacs_file
+from repro.solver import Solver, SolverConfig
+from repro.trace import AsciiTraceWriter, BinaryTraceWriter
+
+from tests.conftest import pigeonhole
+
+
+@pytest.fixture(scope="session")
+def artifacts(tmp_path_factory):
+    """(formula, cnf path, ascii trace path, binary trace path) for php(6,5)."""
+    formula = pigeonhole(6, 5)
+    root = tmp_path_factory.mktemp("service-artifacts")
+    cnf = root / "php.cnf"
+    write_dimacs_file(formula, cnf)
+    ascii_path = root / "php.trace"
+    writer = AsciiTraceWriter(ascii_path)
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    writer.close()
+    binary_path = root / "php.rtb"
+    writer = BinaryTraceWriter(binary_path)
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    writer.close()
+    return formula, str(cnf), str(ascii_path), str(binary_path)
+
+
+@pytest.fixture(scope="session")
+def second_artifacts(tmp_path_factory):
+    """A *different* UNSAT instance whose trace must never cross-validate."""
+    formula = pigeonhole(7, 6)
+    root = tmp_path_factory.mktemp("service-artifacts-2")
+    cnf = root / "php76.cnf"
+    write_dimacs_file(formula, cnf)
+    trace = root / "php76.trace"
+    writer = AsciiTraceWriter(trace)
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    writer.close()
+    return formula, str(cnf), str(trace)

@@ -1,0 +1,98 @@
+"""ServiceClient: the cache-aware wrapper over supervised_check."""
+
+from repro.cnf import parse_dimacs_file
+from repro.service.cache import VerdictCache
+from repro.service.client import ServiceClient
+
+
+def make_client(tmp_path, **kwargs) -> ServiceClient:
+    return ServiceClient(cache=VerdictCache(tmp_path / "cache"), **kwargs)
+
+
+def test_miss_then_hit(artifacts, tmp_path):
+    formula, _, ascii_path, _ = artifacts
+    client = make_client(tmp_path)
+    first = client.check(formula, ascii_path, method="bf")
+    assert first.verified and not first.from_cache
+    second = client.check(formula, ascii_path, method="bf")
+    assert second.verified and second.from_cache
+    assert client.metrics.counter("cache.hits").value == 1
+    assert client.metrics.counter("cache.stores").value == 1
+
+
+def test_path_and_object_formula_share_cache_lines(artifacts, tmp_path):
+    formula, cnf_path, ascii_path, _ = artifacts
+    client = make_client(tmp_path)
+    client.check(cnf_path, ascii_path, method="bf")
+    via_object = client.check(formula, ascii_path, method="bf")
+    assert via_object.from_cache
+
+
+def test_different_options_are_different_cache_lines(artifacts, tmp_path):
+    formula, _, ascii_path, _ = artifacts
+    client = make_client(tmp_path)
+    client.check(formula, ascii_path, method="bf")
+    other = client.check(formula, ascii_path, method="df")
+    assert not other.from_cache
+
+
+def test_use_cache_false_never_touches_cache(artifacts, tmp_path):
+    formula, _, ascii_path, _ = artifacts
+    client = make_client(tmp_path, use_cache=False)
+    client.check(formula, ascii_path, method="bf")
+    report = client.check(formula, ascii_path, method="bf")
+    assert not report.from_cache
+    assert len(client.cache) == 0
+
+
+def test_refresh_overwrites_instead_of_reading(artifacts, tmp_path):
+    formula, _, ascii_path, _ = artifacts
+    client = make_client(tmp_path)
+    client.check(formula, ascii_path, method="bf")
+    refresher = ServiceClient(cache=client.cache, refresh=True)
+    report = refresher.check(formula, ascii_path, method="bf")
+    assert not report.from_cache  # recomputed despite the warm entry
+    assert refresher.metrics.counter("cache.stores").value >= 2
+
+
+def test_resource_failures_are_never_cached(artifacts, tmp_path):
+    """A memory-out depends on the budget of the moment, not the proof."""
+    formula, _, ascii_path, _ = artifacts
+    client = make_client(tmp_path)
+    report = client.check(
+        formula, ascii_path, method="df", policy="strict", memory_limit=1
+    )
+    assert not report.verified
+    assert len(client.cache) == 0
+    again = client.check(
+        formula, ascii_path, method="df", policy="strict", memory_limit=1
+    )
+    assert not again.from_cache
+
+
+def test_proof_verdicts_about_bad_traces_are_cached(second_artifacts, artifacts, tmp_path):
+    """Cross-validating the wrong trace is a verdict, and verdicts cache."""
+    formula, _, _, _ = artifacts
+    _, _, wrong_trace = second_artifacts
+    client = make_client(tmp_path)
+    report = client.check(formula, wrong_trace, method="bf", policy="strict")
+    assert not report.verified
+    assert len(client.cache) == 1
+    again = client.check(formula, wrong_trace, method="bf", policy="strict")
+    assert again.from_cache and not again.verified
+
+
+def test_cached_report_carries_fingerprint(artifacts, tmp_path):
+    formula, _, ascii_path, _ = artifacts
+    client = make_client(tmp_path)
+    fresh = client.check(formula, ascii_path, method="bf")
+    assert fresh.fingerprint is not None and "key" in fresh.fingerprint
+    warm = client.check(formula, ascii_path, method="bf")
+    assert warm.fingerprint["key"] == fresh.fingerprint["key"]
+
+
+def test_clientless_cache_still_checks(artifacts):
+    formula, _, ascii_path, _ = artifacts
+    client = ServiceClient(cache=None)
+    report = client.check(formula, ascii_path, method="bf")
+    assert report.verified and not report.from_cache

@@ -1,0 +1,205 @@
+"""The spool daemon: ingest protocol, run modes, crash-restart replay."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.daemon import (
+    CheckDaemon,
+    iter_results,
+    read_queue_status,
+    spool_layout,
+    submit_job,
+)
+from repro.service.jobs import JobState, JobStore
+from repro.service.metrics import load_snapshot
+
+
+def test_submit_job_writes_into_incoming(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    spool = tmp_path / "spool"
+    path = submit_job(spool, cnf, ascii_path, {"method": "bf"})
+    assert path.parent == spool_layout(spool).incoming
+    payload = json.loads(path.read_text())
+    assert Path(payload["formula"]).is_absolute()
+    assert payload["options"] == {"method": "bf"}
+
+
+def test_submit_job_refuses_missing_artifacts(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        submit_job(tmp_path / "spool", "/nonexistent.cnf", "/nonexistent.trace")
+
+
+def test_run_once_drains_and_snapshots(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    spool = tmp_path / "spool"
+    submit_job(spool, cnf, ascii_path, {"method": "bf"})
+    submit_job(spool, cnf, ascii_path, {"method": "df"})
+    assert CheckDaemon(spool, num_workers=2).run_once() == 0
+
+    layout = spool_layout(spool)
+    assert not list(layout.incoming.glob("*.json"))  # all picked up
+    status = read_queue_status(spool)
+    assert status["counts"]["DONE"] == 2 and status["queue_depth"] == 0
+    snapshot = load_snapshot(str(layout.metrics_path))
+    assert snapshot["counters"]["jobs.done"] == 2
+    results = list(iter_results(spool))
+    assert len(results) == 2
+    for job, payload in results:
+        assert job.state is JobState.DONE
+        assert payload["report"]["verified"] is True
+
+
+def test_ingest_dedups_identical_submissions(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    spool = tmp_path / "spool"
+    for _ in range(3):
+        submit_job(spool, cnf, ascii_path, {"method": "bf"})
+    submit_job(spool, cnf, ascii_path, {"method": "df"})
+    daemon = CheckDaemon(spool)
+    assert daemon.ingest() == 4  # four files picked up ...
+    assert len(daemon.store.jobs()) == 2  # ... but identical work queued once
+    daemon.scheduler.drain()
+    daemon.store.close()
+
+
+def test_ingest_rejects_malformed_job_files(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    spool = tmp_path / "spool"
+    layout = spool_layout(spool).ensure()
+    (layout.incoming / "job-torn.json").write_text("{not json")
+    (layout.incoming / "job-incomplete.json").write_text('{"formula": "/x.cnf"}')
+    submit_job(spool, cnf, ascii_path, {"method": "bf"})
+    daemon = CheckDaemon(spool)
+    assert daemon.ingest() == 1
+    assert daemon.metrics.counter("spool.rejected").value == 2
+    rejected = sorted(p.name for p in layout.accepted.glob("*.rejected"))
+    assert rejected == ["job-incomplete.rejected", "job-torn.rejected"]
+    daemon.scheduler.drain()
+    daemon.store.close()
+
+
+def test_run_forever_exits_when_idle(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    spool = tmp_path / "spool"
+    submit_job(spool, cnf, ascii_path, {"method": "bf"})
+    daemon = CheckDaemon(spool, poll_interval=0.02)
+    assert daemon.run_forever(max_idle_s=0.2) == 0
+    assert read_queue_status(spool)["counts"]["DONE"] == 1
+
+
+def test_read_queue_status_on_empty_spool(tmp_path):
+    status = read_queue_status(tmp_path / "never-created")
+    assert status == {"jobs": 0, "counts": {}, "queue_depth": 0, "incoming": 0}
+
+
+@pytest.fixture(scope="module")
+def slow_artifacts(tmp_path_factory):
+    """php(8,7): checks take long enough to SIGKILL a daemon mid-batch."""
+    from repro.cnf.dimacs import write_dimacs_file
+    from repro.solver import Solver, SolverConfig
+    from repro.trace import AsciiTraceWriter
+
+    from tests.conftest import pigeonhole
+
+    formula = pigeonhole(8, 7)
+    root = tmp_path_factory.mktemp("crash-artifacts")
+    cnf = root / "php87.cnf"
+    write_dimacs_file(formula, cnf)
+    trace = root / "php87.trace"
+    writer = AsciiTraceWriter(trace)
+    assert Solver(formula, SolverConfig(seed=0), trace_writer=writer).solve().is_unsat
+    writer.close()
+    return str(cnf), str(trace)
+
+
+def _journal_terminal_events(journal: Path) -> dict[str, int]:
+    """How many DONE/FAILED transitions each job has in the raw journal."""
+    terminal: dict[str, int] = {}
+    for line in journal.read_text().splitlines():
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if event.get("event") == "state" and event.get("state") in ("DONE", "FAILED"):
+            terminal[event["job_id"]] = terminal.get(event["job_id"], 0) + 1
+    return terminal
+
+
+def test_sigkill_restart_reaches_all_terminal_without_duplicated_work(
+    slow_artifacts, tmp_path
+):
+    """The acceptance-criteria crash drill: SIGKILL a serving daemon
+    mid-batch, restart with --once, and every submitted job must reach a
+    terminal state with no completed work re-run (exactly one terminal
+    journal event per job)."""
+    cnf, trace = slow_artifacts
+    spool = tmp_path / "spool"
+    # Distinct timeouts make distinct content keys: a real batch, no dedup.
+    for timeout in (100.0, 200.0, 300.0, 400.0, 500.0, 600.0):
+        submit_job(spool, cnf, trace, {"method": "df", "timeout": timeout})
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", str(spool),
+            "--workers", "2", "--no-cache", "--poll-interval", "0.02",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    journal = spool_layout(spool).journal
+    try:
+        # Wait for the daemon to have work in flight, then kill it cold.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if journal.exists() and '"state":"RUNNING"' in journal.read_text():
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("daemon never started running a job")
+    finally:
+        daemon.kill()  # SIGKILL: no cleanup, no journal flush
+        daemon.wait(timeout=10)
+
+    before = _journal_terminal_events(journal)
+    assert all(count == 1 for count in before.values())
+
+    # Restart: replay must requeue the orphans and finish the batch.
+    restarted = CheckDaemon(spool, num_workers=2, use_cache=False)
+    assert restarted.run_once() == 0
+
+    store = JobStore(journal, readonly=True)
+    jobs = store.jobs()
+    assert len(jobs) == 6
+    assert all(job.state is JobState.DONE for job in jobs)
+    after = _journal_terminal_events(journal)
+    assert len(after) == 6
+    # No duplicated work: nothing DONE before the crash was re-finished.
+    assert all(count == 1 for count in after.values())
+    for job_id, count in before.items():
+        assert after[job_id] == count
+
+
+def test_sigkill_restart_with_interrupted_checkpointless_job(artifacts, tmp_path):
+    """Even a spool whose daemon died before claiming anything recovers:
+    --once after the crash drains every pending job."""
+    _, cnf, ascii_path, _ = artifacts
+    spool = tmp_path / "spool"
+    submit_job(spool, cnf, ascii_path, {"method": "bf"})
+    # Simulate "daemon died between ingest and claim": journal has the
+    # submit but no transitions.
+    daemon = CheckDaemon(spool)
+    daemon.ingest()
+    daemon.store.close()  # no drain — the "crash"
+
+    restarted = CheckDaemon(spool)
+    assert restarted.run_once() == 0
+    assert read_queue_status(spool)["counts"]["DONE"] == 1

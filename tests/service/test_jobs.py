@@ -1,0 +1,172 @@
+"""The durable job store: journal replay, crash tolerance, dedup."""
+
+import pytest
+
+from repro.service.jobs import Job, JobState, JobStore
+
+
+def submit(store: JobStore, tag: str = "a", dedup: str | None = None) -> Job:
+    return store.submit(
+        formula=f"/spool/{tag}.cnf",
+        trace=f"/spool/{tag}.trace",
+        options={"method": "bf"},
+        dedup_key=dedup,
+    )
+
+
+def test_submit_claim_finish_lifecycle(tmp_path):
+    store = JobStore(tmp_path / "journal.jsonl")
+    job = submit(store)
+    assert job.state is JobState.PENDING and job.job_id == "job-000001"
+    claimed = store.claim(worker="w0")
+    assert claimed.job_id == job.job_id and claimed.state is JobState.RUNNING
+    assert store.claim(worker="w1") is None
+    store.finish(job, {"verified": True})
+    assert store.get(job.job_id).state is JobState.DONE
+    assert store.get(job.job_id).result == {"verified": True}
+    store.close()
+
+
+def test_replay_restores_state(tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    store = JobStore(journal)
+    done = submit(store, "a")
+    store.claim(worker="w0")
+    store.finish(done, {"verified": True})
+    failed = submit(store, "b")
+    store.claim(worker="w0")
+    store.fail(failed, {"error": "boom"})
+    pending = submit(store, "c")
+    store.close()
+
+    reopened = JobStore(journal)
+    assert reopened.get(done.job_id).state is JobState.DONE
+    assert reopened.get(failed.job_id).state is JobState.FAILED
+    assert reopened.get(failed.job_id).result == {"error": "boom"}
+    assert reopened.get(pending.job_id).state is JobState.PENDING
+    reopened.close()
+
+
+def test_running_orphans_are_requeued_on_reopen(tmp_path):
+    """A crash mid-check leaves RUNNING jobs; reopening must requeue them."""
+    journal = tmp_path / "journal.jsonl"
+    store = JobStore(journal)
+    submit(store, "a")
+    orphan = store.claim(worker="w0")
+    assert orphan.state is JobState.RUNNING
+    store.close()  # "crash": RUNNING state persisted, never finished
+
+    reopened = JobStore(journal)
+    job = reopened.get(orphan.job_id)
+    assert job.state is JobState.PENDING
+    assert job.attempts == 1  # the lost attempt is remembered
+    reclaimed = reopened.claim(worker="w1")
+    assert reclaimed.job_id == orphan.job_id
+    reopened.close()
+
+    # The requeue itself was journaled: a third replay agrees.
+    third = JobStore(journal, readonly=True)
+    assert third.get(orphan.job_id).state is JobState.RUNNING
+
+
+def test_done_jobs_are_not_requeued(tmp_path):
+    """Completed work must never be re-run after a restart."""
+    journal = tmp_path / "journal.jsonl"
+    store = JobStore(journal)
+    job = submit(store, "a")
+    store.claim(worker="w0")
+    store.finish(job, {"verified": True})
+    store.close()
+
+    reopened = JobStore(journal)
+    assert reopened.get(job.job_id).state is JobState.DONE
+    assert reopened.claim(worker="w0") is None
+    reopened.close()
+
+
+def test_torn_final_line_is_tolerated(tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    store = JobStore(journal)
+    job = submit(store, "a")
+    store.close()
+    with open(journal, "a") as handle:
+        handle.write('{"event": "state", "job_id": "job-000001", "sta')  # torn
+
+    reopened = JobStore(journal)
+    assert reopened.get(job.job_id).state is JobState.PENDING
+    assert reopened.torn_lines == 1
+    reopened.close()
+
+
+def test_readonly_mode_does_not_mutate(tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    store = JobStore(journal)
+    submit(store, "a")
+    store.claim(worker="w0")
+    store.close()
+    before = journal.read_bytes()
+
+    viewer = JobStore(journal, readonly=True)
+    # Readonly replay must NOT requeue the RUNNING orphan (a live daemon
+    # may still own it) and must not append anything.
+    assert viewer.get("job-000001").state is JobState.RUNNING
+    with pytest.raises(RuntimeError):
+        viewer.submit(formula="x", trace="y", options={})
+    assert journal.read_bytes() == before
+
+
+def test_dedup_key_returns_existing_job(tmp_path):
+    store = JobStore(tmp_path / "journal.jsonl")
+    first = submit(store, "a", dedup="k1")
+    again = submit(store, "a", dedup="k1")
+    assert again.job_id == first.job_id
+    other = submit(store, "b", dedup="k2")
+    assert other.job_id != first.job_id
+    store.close()
+
+
+def test_dedup_does_not_resurrect_failed_jobs(tmp_path):
+    store = JobStore(tmp_path / "journal.jsonl")
+    first = submit(store, "a", dedup="k1")
+    store.claim(worker="w0")
+    store.fail(first, {"error": "missing file"})
+    retry = submit(store, "a", dedup="k1")
+    assert retry.job_id != first.job_id  # FAILED jobs may be resubmitted
+    store.close()
+
+
+def test_serial_resumes_after_replay(tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    store = JobStore(journal)
+    submit(store, "a")
+    submit(store, "b")
+    store.close()
+    reopened = JobStore(journal)
+    assert submit(reopened, "c").job_id == "job-000003"
+    reopened.close()
+
+
+def test_terminal_transitions_are_final(tmp_path):
+    store = JobStore(tmp_path / "journal.jsonl")
+    job = submit(store, "a")
+    store.claim(worker="w0")
+    store.finish(job, {"verified": True})
+    with pytest.raises(ValueError):
+        store.fail(job, {"error": "late"})
+    store.close()
+
+
+def test_counts_and_depth(tmp_path):
+    store = JobStore(tmp_path / "journal.jsonl")
+    a = submit(store, "a")
+    submit(store, "b")
+    store.claim(worker="w0")
+    assert store.queue_depth == 1
+    counts = store.counts()
+    assert counts["RUNNING"] == 1 and counts["PENDING"] == 1
+    assert not store.all_terminal
+    store.finish(a, {"verified": True})
+    b = store.claim(worker="w0")
+    store.fail(b, {"error": "x"})
+    assert store.all_terminal
+    store.close()

@@ -1,0 +1,93 @@
+"""The dependency-free metrics layer."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import (
+    Histogram,
+    MetricsRegistry,
+    load_snapshot,
+    render_snapshot,
+)
+
+
+def test_counter_monotonic():
+    registry = MetricsRegistry()
+    registry.inc("cache.hits")
+    registry.inc("cache.hits", 3)
+    assert registry.counter("cache.hits").value == 4
+    with pytest.raises(ValueError):
+        registry.counter("cache.hits").inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    registry.set_gauge("queue.depth", 5)
+    registry.gauge("queue.depth").add(-2)
+    assert registry.gauge("queue.depth").value == 3
+
+
+def test_histogram_bucketing():
+    histogram = Histogram(bounds=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.5, 5.0):
+        histogram.observe(value)
+    data = histogram.to_dict()
+    assert data["count"] == 4
+    assert data["buckets"] == {"0.01": 1, "0.1": 1, "1.0": 1, "+Inf": 1}
+    assert data["sum"] == pytest.approx(5.555)
+
+
+def test_histogram_boundary_value_lands_in_its_bucket():
+    histogram = Histogram(bounds=(0.1, 1.0))
+    histogram.observe(0.1)  # exactly on a bound: counts as <= bound
+    assert histogram.to_dict()["buckets"]["0.1"] == 1
+
+
+def test_instruments_are_singletons_by_name():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_snapshot_write_and_load(tmp_path):
+    registry = MetricsRegistry()
+    registry.inc("cache.hits", 2)
+    registry.set_gauge("queue.depth", 1)
+    registry.observe("check.latency_s", 0.25)
+    path = tmp_path / "SERVICE_metrics.json"
+    registry.write(str(path))
+    snapshot = load_snapshot(str(path))
+    assert snapshot["counters"] == {"cache.hits": 2}
+    assert snapshot["gauges"] == {"queue.depth": 1}
+    assert snapshot["histograms"]["check.latency_s"]["count"] == 1
+    assert not path.with_suffix(".json.tmp").exists()  # atomic write cleaned up
+
+
+def test_render_snapshot_mentions_everything():
+    registry = MetricsRegistry()
+    registry.inc("cache.hits", 7)
+    registry.set_gauge("queue.depth", 2)
+    registry.observe("check.latency_s", 0.3)
+    text = render_snapshot(registry.snapshot())
+    assert "cache.hits" in text and "7" in text
+    assert "queue.depth" in text
+    assert "check.latency_s" in text and "count=1" in text
+    assert render_snapshot({}) == "(no metrics recorded)"
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    registry = MetricsRegistry()
+
+    def hammer():
+        for _ in range(1000):
+            registry.inc("n")
+            registry.observe("h", 0.01)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.counter("n").value == 8000
+    assert registry.histogram("h").count == 8000

@@ -1,0 +1,124 @@
+"""The dispatcher: drain semantics, DONE/FAILED, result persistence."""
+
+import json
+
+import pytest
+
+from repro.service.cache import VerdictCache
+from repro.service.client import ServiceClient
+from repro.service.jobs import JobState, JobStore
+from repro.service.scheduler import Scheduler
+
+
+def make_scheduler(tmp_path, num_workers=2, results=False) -> Scheduler:
+    store = JobStore(tmp_path / "journal.jsonl")
+    client = ServiceClient(cache=VerdictCache(tmp_path / "cache"))
+    return Scheduler(
+        store,
+        client,
+        num_workers=num_workers,
+        results_dir=(tmp_path / "results") if results else None,
+    )
+
+
+def test_drain_completes_every_job(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    scheduler = make_scheduler(tmp_path)
+    for method in ("df", "bf", "hybrid"):
+        scheduler.store.submit(cnf, ascii_path, {"method": method})
+    scheduler.drain()
+    assert scheduler.store.all_terminal
+    for job in scheduler.store.jobs():
+        assert job.state is JobState.DONE
+        assert job.result["verified"] is True
+    assert scheduler.metrics.counter("jobs.done").value == 3
+    scheduler.store.close()
+
+
+def test_refuted_proof_is_done_not_failed(artifacts, second_artifacts, tmp_path):
+    """A checker catching a bad proof is the service *working*."""
+    _, cnf, _, _ = artifacts
+    _, _, wrong_trace = second_artifacts
+    scheduler = make_scheduler(tmp_path)
+    job = scheduler.store.submit(cnf, wrong_trace, {"method": "bf", "policy": "strict"})
+    scheduler.drain()
+    assert job.state is JobState.DONE
+    assert job.result["verified"] is False
+    assert "failure_kind" in job.result
+    scheduler.store.close()
+
+
+def test_missing_artifact_fails_the_job(tmp_path):
+    scheduler = make_scheduler(tmp_path)
+    job = scheduler.store.submit("/nonexistent.cnf", "/nonexistent.trace", {"method": "bf"})
+    scheduler.drain()
+    assert job.state is JobState.FAILED
+    assert "error" in job.result
+    assert scheduler.metrics.counter("jobs.failed").value == 1
+    scheduler.store.close()
+
+
+def test_unknown_job_option_fails_fast(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    scheduler = make_scheduler(tmp_path)
+    job = scheduler.store.submit(cnf, ascii_path, {"method": "bf", "bogus_knob": 1})
+    scheduler.drain()
+    assert job.state is JobState.FAILED
+    assert "bogus_knob" in job.result["error"]
+    scheduler.store.close()
+
+
+def test_one_bad_job_does_not_poison_the_batch(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    scheduler = make_scheduler(tmp_path)
+    bad = scheduler.store.submit("/nonexistent.cnf", ascii_path, {"method": "bf"})
+    good = scheduler.store.submit(cnf, ascii_path, {"method": "bf"})
+    scheduler.drain()
+    assert bad.state is JobState.FAILED
+    assert good.state is JobState.DONE
+    scheduler.store.close()
+
+
+def test_result_files_are_full_reports(artifacts, tmp_path):
+    from repro.checker.report import REPORT_SCHEMA_VERSION
+
+    _, cnf, ascii_path, _ = artifacts
+    scheduler = make_scheduler(tmp_path, results=True)
+    job = scheduler.store.submit(cnf, ascii_path, {"method": "bf"})
+    scheduler.drain()
+    path = job.result["result_path"]
+    payload = json.loads(open(path).read())
+    assert payload["job_id"] == job.job_id
+    assert payload["schema_version"] == REPORT_SCHEMA_VERSION
+    assert payload["report"]["verified"] is True
+    assert payload["report"]["schema_version"] == REPORT_SCHEMA_VERSION
+    scheduler.store.close()
+
+
+def test_second_batch_is_served_from_cache(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    scheduler = make_scheduler(tmp_path)
+    scheduler.store.submit(cnf, ascii_path, {"method": "bf"})
+    scheduler.drain()
+    scheduler.store.submit(cnf, ascii_path, {"method": "bf", "timeout": None})
+    scheduler.drain()
+    assert scheduler.metrics.counter("jobs.served_from_cache").value == 1
+    scheduler.store.close()
+
+
+def test_multiple_workers_share_one_queue(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    scheduler = make_scheduler(tmp_path, num_workers=4)
+    for timeout in (10.0, 20.0, 30.0, 40.0, 50.0, 60.0):
+        scheduler.store.submit(cnf, ascii_path, {"method": "bf", "timeout": timeout})
+    scheduler.drain()
+    assert scheduler.store.all_terminal
+    assert scheduler.metrics.counter("jobs.done").value == 6
+    scheduler.store.close()
+
+
+def test_scheduler_rejects_zero_workers(tmp_path):
+    store = JobStore(tmp_path / "journal.jsonl")
+    with pytest.raises(ValueError):
+        Scheduler(store, ServiceClient(), num_workers=0)
+    store.close()
