@@ -1,6 +1,6 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service tables tables-large ablations export examples clean
+.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service bench-analysis tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
@@ -39,6 +39,13 @@ bench-supervisor:
 # warm-cache speedup drops below 10x. `--quick` for CI smoke.
 bench-service:
 	python benchmarks/bench_service.py
+
+# Graph analyzer cost + core-first pruning payoff on a dead-lemma-heavy
+# trace; writes results/BENCH_analysis.json and fails if the pruned BF
+# speedup drops below 1.3x or the analyzer pass costs >= 10% of the
+# unpruned check. `--quick` for CI smoke.
+bench-analysis:
+	python benchmarks/bench_analysis.py
 
 tables:
 	python -m repro.experiments all --scale medium

@@ -1,0 +1,259 @@
+"""Graph analyzer + core-first pruning: cost and payoff.
+
+Measures, in one run:
+
+* **analyze** — the derivation-graph pass (``build_graph`` + prune plan)
+  over the binary trace: records/second, and its cost as a fraction of an
+  unpruned breadth-first check (the pass must stay well under the check
+  it is meant to shrink);
+* **pruned vs unpruned** — the breadth-first checker end-to-end with and
+  without the analyzer's ``PrunePlan``, on a dead-lemma-heavy trace.
+
+The fixture is a disjoint union of two UNSAT random 7-SAT instances whose
+traces are merged so that only the first proof reaches the final
+conflict: the entire second proof is dead weight a solver emitted but the
+refutation never uses (the paper's Table 2 reports 19–90 % of learned
+clauses are ever needed — this sits mid-range at ~50 %). The analyzer
+must find exactly that dead half, and the pruned check must skip it.
+Wide clauses (k=7) keep the comparison honest: the unpruned check's cost
+is dominated by actual resolution work, not by trace decoding the
+analyzer pays identically.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py            # full, writes JSON
+    PYTHONPATH=src python benchmarks/bench_analysis.py --quick    # CI smoke
+
+Writes ``results/BENCH_analysis.json``. Exits non-zero if the pruned and
+unpruned verdicts disagree, or (full mode only) if the timing gates fail:
+pruned BF must beat unpruned BF by >= 1.3x and the analyzer must cost
+< 10 % of the unpruned check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import analyze_trace, compute_prune_plan  # noqa: E402
+from repro.checker import BreadthFirstChecker, DepthFirstChecker  # noqa: E402
+from repro.cnf import CnfFormula  # noqa: E402
+from repro.generators.random_ksat import random_ksat  # noqa: E402
+from repro.solver import SolverConfig, solve_formula  # noqa: E402
+from repro.trace.io import load_trace, open_trace_writer  # noqa: E402
+from repro.trace.records import (  # noqa: E402
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    Trace,
+    TraceHeader,
+)
+
+SUMMARY_PATH = Path(__file__).resolve().parent.parent / "results" / "BENCH_analysis.json"
+
+SPEEDUP_GATE = 1.3  # pruned BF must beat unpruned BF by this factor
+ANALYZER_FRACTION_GATE = 0.10  # analyzer cost / unpruned BF check cost
+
+
+def best_of(repeats: int, fn, *args):
+    """Run ``fn`` ``repeats`` times; return (best_seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def merged_dead_lemma_instance(num_vars: int) -> tuple[CnfFormula, Trace]:
+    """Union of two disjoint UNSAT instances; only proof A is live.
+
+    Formula: a random 7-SAT instance well above the UNSAT threshold,
+    twice, the second copy on fresh variables. Trace: both solver proofs
+    (different seeds), remapped into the combined ID space — but the
+    level-0 trail and final conflict come from proof A alone, so proof
+    B's learned clauses (~half the trace) are dead: valid resolutions an
+    unpruned checker replays and a pruned one provably never needs.
+    """
+    formula = random_ksat(num_vars, 130 * num_vars, k=7, seed=9)
+    traces = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for seed in (0, 1):
+            path = Path(tmp) / f"proof-{seed}.rtb"
+            writer = open_trace_writer(path, fmt="binary")
+            result = solve_formula(
+                formula, config=SolverConfig(seed=seed), trace_writer=writer
+            )
+            writer.close()
+            assert result.status == "UNSAT"
+            traces.append(load_trace(path))
+    trace_a, trace_b = traces
+
+    num_vars = formula.num_vars
+    num_orig = len(formula.clauses)
+    combined_formula = CnfFormula(
+        2 * num_vars,
+        list(formula.clauses)
+        + [[lit + num_vars if lit > 0 else lit - num_vars for lit in clause]
+           for clause in formula.clauses],
+    )
+
+    # Combined ID space: originals 1..2*num_orig, then A's learned clauses,
+    # then B's. Monotonic IDs and sources-precede-clause are preserved.
+    def remap_a(cid: int) -> int:
+        return cid if cid <= num_orig else cid + num_orig
+
+    len_a = trace_a.num_learned
+
+    def remap_b(cid: int) -> int:
+        return cid + num_orig if cid <= num_orig else cid + num_orig + len_a
+
+    merged = Trace(header=TraceHeader(2 * num_vars, 2 * num_orig), status="UNSAT")
+    for trace, remap in ((trace_a, remap_a), (trace_b, remap_b)):
+        for record in trace.learned.values():
+            cid = remap(record.cid)
+            merged.learned[cid] = LearnedClause(
+                cid, tuple(remap(s) for s in record.sources)
+            )
+    # Proof A's trail and conflict only: level-0 antecedents are proof
+    # roots, so including B's trail would pull its cone back to life.
+    merged.level_zero = [
+        LevelZeroAssignment(e.var, e.value, remap_a(e.antecedent))
+        for e in trace_a.level_zero
+    ]
+    merged.final_conflicts = [remap_a(trace_a.final_conflicts[0])]
+    return combined_formula, merged
+
+
+def write_binary(trace: Trace, path: Path) -> None:
+    writer = open_trace_writer(path, fmt="binary")
+    for record in trace.records():
+        if isinstance(record, TraceHeader):
+            writer.header(record.num_vars, record.num_original_clauses)
+        elif isinstance(record, LearnedClause):
+            writer.learned_clause(record.cid, record.sources)
+        elif isinstance(record, LevelZeroAssignment):
+            writer.level_zero(record.var, record.value, record.antecedent)
+        elif isinstance(record, FinalConflict):
+            writer.final_conflict(record.cid)
+        else:
+            writer.result(record.status)
+    writer.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke: small instance, no JSON, no timing gates"
+    )
+    args = parser.parse_args(argv)
+
+    num_vars = 12 if args.quick else 15
+    repeats = 1 if args.quick else 3
+    formula, trace = merged_dead_lemma_instance(num_vars)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "merged.rtb"
+        write_binary(trace, trace_path)
+
+        analyze_s, report = best_of(repeats, analyze_trace, trace_path, None, True, True)
+        assert report.ok, [str(d) for d in report.errors]
+        graph = report.graph
+        dead = graph["num_learned"] - graph["core_learned"]
+        dead_pct = 100.0 * dead / graph["num_learned"]
+        print(
+            f"[analyze] {report.records_scanned} records in {analyze_s:.3f}s "
+            f"({report.records_scanned / max(analyze_s, 1e-9):,.0f} rec/s) | "
+            f"dead {dead}/{graph['num_learned']} learned ({dead_pct:.1f}%)"
+        )
+        assert dead_pct > 30.0, f"fixture is not dead-lemma-heavy: {dead_pct:.1f}%"
+
+        plan_s, plan = best_of(repeats, compute_prune_plan, trace_path)
+        assert plan is not None
+
+        unpruned_s, unpruned = best_of(
+            repeats, lambda: BreadthFirstChecker(formula, trace_path).check()
+        )
+        pruned_s, pruned = best_of(
+            repeats,
+            lambda: BreadthFirstChecker(formula, trace_path, prune_plan=plan).check(),
+        )
+        assert unpruned.verified and pruned.verified, "verdicts must agree"
+        assert pruned.prune is not None and pruned.prune["skipped"] == dead
+
+        # DF builds lazily, so pruning mostly saves it parsing bookkeeping —
+        # reported for the record, gated only on BF where the win is real.
+        df_unpruned_s, df_unpruned = best_of(
+            repeats, lambda: DepthFirstChecker(formula, trace).check()
+        )
+        df_pruned_s, df_pruned = best_of(
+            repeats,
+            lambda: DepthFirstChecker(formula, trace, prune_plan=plan).check(),
+        )
+        assert df_unpruned.verified and df_pruned.verified, "verdicts must agree"
+
+        speedup = unpruned_s / max(pruned_s, 1e-9)
+        fraction = plan_s / max(unpruned_s, 1e-9)
+        print(
+            f"[bf] unpruned {unpruned_s:.3f}s | pruned {pruned_s:.3f}s "
+            f"(skipped {pruned.prune['skipped']}) | speedup {speedup:.2f}x"
+        )
+        print(
+            f"[df] unpruned {df_unpruned_s:.3f}s | pruned {df_pruned_s:.3f}s "
+            f"| speedup {df_unpruned_s / max(df_pruned_s, 1e-9):.2f}x"
+        )
+        print(
+            f"[gates] pruned speedup {speedup:.2f}x (need >= {SPEEDUP_GATE}x) | "
+            f"analyzer/unpruned-check {fraction:.1%} (need < {ANALYZER_FRACTION_GATE:.0%})"
+        )
+
+        if not args.quick:
+            SUMMARY_PATH.parent.mkdir(exist_ok=True)
+            SUMMARY_PATH.write_text(
+                json.dumps(
+                    {
+                        "instance": (
+                            f"random 7-SAT {num_vars}v/{130 * num_vars}c "
+                            "x2 disjoint, proof B dead"
+                        ),
+                        "records": report.records_scanned,
+                        "num_learned": graph["num_learned"],
+                        "core_learned": graph["core_learned"],
+                        "dead_pct": round(dead_pct, 1),
+                        "seconds": {
+                            "analyze_graph": round(analyze_s, 6),
+                            "prune_plan": round(plan_s, 6),
+                            "bf_unpruned": round(unpruned_s, 6),
+                            "bf_pruned": round(pruned_s, 6),
+                            "df_unpruned": round(df_unpruned_s, 6),
+                            "df_pruned": round(df_pruned_s, 6),
+                        },
+                        "records_per_second": round(
+                            report.records_scanned / max(analyze_s, 1e-9)
+                        ),
+                        "pruned_speedup": round(speedup, 2),
+                        "analyzer_fraction_of_check": round(fraction, 4),
+                        "gates": {
+                            "speedup_min": SPEEDUP_GATE,
+                            "analyzer_fraction_max": ANALYZER_FRACTION_GATE,
+                        },
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            print(f"[bench] wrote {SUMMARY_PATH}")
+            if speedup < SPEEDUP_GATE or fraction >= ANALYZER_FRACTION_GATE:
+                print("[bench] FAILED timing gates", file=sys.stderr)
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,21 @@ Entry points:
 
 from repro.analysis.analyzer import TraceSource, analyze_trace
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Severity
-from repro.analysis.rules import RULE_REGISTRY, Rule, ScanState, default_rules, register_rule
+from repro.analysis.graph import (
+    DerivationGraph,
+    GraphStats,
+    PrunePlan,
+    build_graph,
+    compute_prune_plan,
+)
+from repro.analysis.rules import (
+    RULE_REGISTRY,
+    Rule,
+    ScanState,
+    default_rules,
+    graph_rules,
+    register_rule,
+)
 
 __all__ = [
     "analyze_trace",
@@ -28,9 +42,15 @@ __all__ = [
     "AnalysisReport",
     "Diagnostic",
     "Severity",
+    "DerivationGraph",
+    "GraphStats",
+    "PrunePlan",
+    "build_graph",
+    "compute_prune_plan",
     "RULE_REGISTRY",
     "Rule",
     "ScanState",
     "default_rules",
+    "graph_rules",
     "register_rule",
 ]

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic
 from repro.analysis.rules import (
@@ -23,8 +23,10 @@ from repro.analysis.rules import (
     Rule,
     ScanState,
     default_rules,
+    graph_rules,
 )
 from repro.trace.records import (
+    ClauseDeletion,
     FinalConflict,
     LearnedClause,
     LevelZeroAssignment,
@@ -41,7 +43,7 @@ TraceSource = Trace | str | Path | Iterable[TraceRecord]
 def _resolve_rules(rules: Sequence[str] | None) -> list[type[Rule]]:
     if rules is None:
         return default_rules()
-    selected = []
+    selected: list[type[Rule]] = []
     for rule_id in rules:
         try:
             selected.append(RULE_REGISTRY[rule_id])
@@ -67,26 +69,36 @@ def analyze_trace(
     source: TraceSource,
     rules: Sequence[str] | None = None,
     compute_reachability: bool = True,
+    graph: bool = False,
 ) -> AnalysisReport:
     """Lint a resolution trace in a single streaming pass.
 
-    ``rules`` restricts the pass to the given rule IDs (default: all).
-    ``compute_reachability=False`` drops the one rule that needs the ID
-    graph, making the pass strictly O(#learned) memory for the defined-ID
-    set and O(1) per record otherwise.
+    ``rules`` restricts the pass to the given rule IDs (default: all
+    stream-tier rules). ``compute_reachability=False`` drops rules that
+    need the ID graph, making the pass strictly O(#learned) memory for the
+    defined-ID set and O(1) per record otherwise. ``graph=True`` enables
+    the graph tier: the derivation DAG is assembled from the scan, the
+    global rules (T013+) run over it, and the report carries its stats —
+    this implies reachability.
     """
     start = time.perf_counter()
     rule_classes = _resolve_rules(rules)
-    if not compute_reachability:
+    if graph and rules is None:
+        rule_classes = rule_classes + graph_rules()
+    if not compute_reachability and not graph:
         rule_classes = [cls for cls in rule_classes if not cls.needs_graph]
 
     diagnostics: list[Diagnostic] = []
     active = [cls(diagnostics.append) for cls in rule_classes]
-    keep_graph = any(cls.needs_graph for cls in rule_classes)
+    build_graph = graph or any(cls.graph_only for cls in rule_classes)
+    keep_graph = build_graph or any(cls.needs_graph for cls in rule_classes)
 
     state = ScanState()
     if keep_graph:
         state.sources_by_cid = {}
+    if build_graph:
+        state.learned_index = {}
+        state.last_use_index = {}
 
     records, label, streaming = _open_source(source)
     index = 0
@@ -115,22 +127,33 @@ def analyze_trace(
                 rule.on_learned(state, index, record)
             if record.cid not in state.defined:
                 state.num_learned += 1
+            else:
+                state.duplicate_learned = True
             state.defined.add(record.cid)
             state.last_learned_cid = record.cid
             if state.sources_by_cid is not None:
                 state.sources_by_cid[record.cid] = record.sources
+            if state.learned_index is not None:
+                state.learned_index.setdefault(record.cid, index)
+            if state.last_use_index is not None:
+                for source in record.sources:
+                    state.last_use_index[source] = index
         elif isinstance(record, LevelZeroAssignment):
             if state.header is None:
                 state.records_before_header += 1
             for rule in active:
                 rule.on_level_zero(state, index, record)
             state.level_zero.append((index, record))
+            if state.last_use_index is not None:
+                state.last_use_index[record.antecedent] = index
         elif isinstance(record, FinalConflict):
             if state.header is None:
                 state.records_before_header += 1
             for rule in active:
                 rule.on_final_conflict(state, index, record)
             state.final_conflicts.append((index, record.cid))
+            if state.last_use_index is not None:
+                state.last_use_index[record.cid] = index
         elif isinstance(record, TraceResult):
             if state.header is None:
                 state.records_before_header += 1
@@ -140,11 +163,23 @@ def analyze_trace(
                 state.status = record.status
             else:
                 state.extra_result_indices.append(index)
+        elif isinstance(record, ClauseDeletion):
+            if state.header is None:
+                state.records_before_header += 1
+            for rule in active:
+                rule.on_deletion(state, index, record)
+            state.deletions.append((index, record.cid))
         else:  # pragma: no cover - defensive
             MalformedRecordRule(diagnostics.append).parse_error(
                 index, TraceError(f"unknown record type {type(record).__name__}")
             )
         index += 1
+
+    state.num_records = index
+    if build_graph:
+        from repro.analysis.graph import DerivationGraph
+
+        state.graph = DerivationGraph.from_scan(state)
 
     for rule in active:
         rule.finish(state)
@@ -152,6 +187,11 @@ def analyze_trace(
     diagnostics.sort(
         key=lambda d: (d.record_index is None, d.record_index or 0, d.rule_id)
     )
+    graph_info: dict[str, Any] | None = None
+    if state.graph is not None:
+        graph_info = state.graph.stats().to_dict()
+        graph_info["status"] = state.graph.status
+        graph_info["prunable"] = state.graph.prune_plan() is not None
     return AnalysisReport(
         source=label,
         diagnostics=diagnostics,
@@ -160,4 +200,5 @@ def analyze_trace(
         reachable_learned=state.reachable_learned,
         streaming=streaming,
         analysis_time=time.perf_counter() - start,
+        graph=graph_info,
     )

@@ -80,6 +80,9 @@ class AnalysisReport:
     reachable_learned: int | None = None
     streaming: bool = False
     analysis_time: float = 0.0
+    #: Graph-tier stats (``GraphStats.to_dict()`` + status/prunable flags)
+    #: when the pass ran with ``graph=True``; ``None`` for stream-only runs.
+    graph: dict[str, Any] | None = None
 
     @property
     def errors(self) -> list[Diagnostic]:
@@ -116,10 +119,19 @@ class AnalysisReport:
                 f"[lint] proof reachability: {self.reachable_learned}/"
                 f"{self.num_learned} learned clauses ({self.reachability_pct:.1f}%)"
             )
+        if self.graph is not None:
+            parts.append(
+                f"[lint] graph: core {self.graph.get('core_learned')}"
+                f"/{self.graph.get('num_learned')} learned, "
+                f"depth {self.graph.get('depth')}, "
+                f"width {self.graph.get('width')}, "
+                f"prunable={self.graph.get('prunable')}"
+            )
         return "\n".join(parts)
 
     def to_json(self) -> dict[str, Any]:
         return {
+            "schema_version": 1,
             "source": self.source,
             "ok": self.ok,
             "records_scanned": self.records_scanned,
@@ -128,5 +140,6 @@ class AnalysisReport:
             "reachability_pct": self.reachability_pct,
             "streaming": self.streaming,
             "analysis_time": self.analysis_time,
+            "graph": self.graph,
             "diagnostics": [d.to_dict() for d in self.diagnostics],
         }

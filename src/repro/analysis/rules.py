@@ -17,16 +17,20 @@ disabled — that is what keeps streaming mode lean.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar
+from typing import TYPE_CHECKING, Callable, ClassVar
 
 from repro.analysis.diagnostics import Diagnostic, Severity
 from repro.trace.records import (
+    ClauseDeletion,
     FinalConflict,
     LearnedClause,
     LevelZeroAssignment,
     TraceHeader,
     TraceResult,
 )
+
+if TYPE_CHECKING:
+    from repro.analysis.graph import DerivationGraph
 
 
 @dataclass
@@ -46,6 +50,14 @@ class ScanState:
     status: str | None = None
     extra_result_indices: list[int] = field(default_factory=list)
     reachable_learned: int | None = None
+    duplicate_learned: bool = False
+    num_records: int = 0
+    deletions: list[tuple[int, int]] = field(default_factory=list)
+    # Detail maps, maintained only in graph mode (``None`` otherwise):
+    learned_index: dict[int, int] | None = None
+    last_use_index: dict[int, int] | None = None
+    # The assembled DAG, attached by the engine before finish() in graph mode.
+    graph: DerivationGraph | None = None
 
     @property
     def num_original(self) -> int | None:
@@ -72,8 +84,12 @@ class Rule:
     severity: ClassVar[Severity]
     rationale: ClassVar[str]
     needs_graph: ClassVar[bool] = False
+    # Graph-tier rules (T013+) read the assembled DerivationGraph and only
+    # run when the caller opts in (``analyze_trace(graph=True)`` / explicit
+    # selection) — keeping the default pass and its verdicts unchanged.
+    graph_only: ClassVar[bool] = False
 
-    def __init__(self, emit: Emit):
+    def __init__(self, emit: Emit) -> None:
         self._emit = emit
 
     def report(
@@ -111,6 +127,10 @@ class Rule:
 
     def on_result(self, state: ScanState, index: int, record: TraceResult) -> None: ...
 
+    def on_deletion(
+        self, state: ScanState, index: int, record: ClauseDeletion
+    ) -> None: ...
+
     def finish(self, state: ScanState) -> None: ...
 
 
@@ -125,8 +145,21 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
 
 
 def default_rules() -> list[type[Rule]]:
-    """All registered rules, in rule-ID order."""
-    return [RULE_REGISTRY[rule_id] for rule_id in sorted(RULE_REGISTRY)]
+    """All stream-tier rules (graph-tier excluded), in rule-ID order."""
+    return [
+        RULE_REGISTRY[rule_id]
+        for rule_id in sorted(RULE_REGISTRY)
+        if not RULE_REGISTRY[rule_id].graph_only
+    ]
+
+
+def graph_rules() -> list[type[Rule]]:
+    """The graph-tier rules (T013+), in rule-ID order."""
+    return [
+        RULE_REGISTRY[rule_id]
+        for rule_id in sorted(RULE_REGISTRY)
+        if RULE_REGISTRY[rule_id].graph_only
+    ]
 
 
 @register_rule
@@ -528,3 +561,205 @@ class MalformedRecordRule(Rule):
     # iterator itself raises a TraceError.
     def parse_error(self, index: int, error: Exception) -> None:
         self.report(f"trace stream is malformed: {error}", index=index)
+
+
+# -- graph-tier rules (T013+): run only with ``analyze_trace(graph=True)`` --
+
+
+@register_rule
+class DeadLemmaRule(Rule):
+    """Per-lemma version of T006: name the learned clauses the proof never
+    uses, so a trim (or a prune plan) can be sanity-checked by eye."""
+
+    rule_id = "T013"
+    name = "dead-lemma"
+    severity = Severity.INFO
+    rationale = (
+        "A learned clause outside the backward-reachable cone of the final "
+        "conflict is pure trace weight: every checker can skip it without "
+        "affecting the verdict, and repro-trim drops it."
+    )
+    needs_graph = True
+    graph_only = True
+
+    #: Individual findings are capped; the remainder is summarized.
+    max_individual: ClassVar[int] = 25
+
+    def finish(self, state: ScanState) -> None:
+        graph = state.graph
+        if graph is None or state.status != "UNSAT" or not graph.final_conflicts:
+            return
+        cone = graph.cone()
+        dead = [cid for cid in graph.sources_by_cid if cid not in cone]
+        for cid in dead[: self.max_individual]:
+            self.report(
+                "learned clause is dead: no path from the final conflict or "
+                "the level-0 trail reaches it",
+                index=graph.learned_index.get(cid),
+                cids=(cid,),
+            )
+        if len(dead) > self.max_individual:
+            self.report(
+                f"{len(dead) - self.max_individual} more dead lemmas "
+                f"(first {self.max_individual} reported individually)",
+                dead_total=len(dead),
+            )
+
+
+@register_rule
+class DependencyCycleRule(Rule):
+    """An explicit cycle in the derivation DAG: stronger than T002's local
+    forward-reference finding, because it proves no replay order exists."""
+
+    rule_id = "T014"
+    name = "dependency-cycle"
+    severity = Severity.ERROR
+    rationale = (
+        "A resolution derivation is a DAG; clauses that (transitively) "
+        "resolve from themselves can never be built in any order, so the "
+        "trace encodes no proof at all."
+    )
+    needs_graph = True
+    graph_only = True
+
+    def finish(self, state: ScanState) -> None:
+        graph = state.graph
+        if graph is None:
+            return
+        cycle = graph.find_cycle()
+        if cycle:
+            self.report(
+                f"learned clauses form a dependency cycle of length {len(cycle)}",
+                index=graph.learned_index.get(cycle[0]),
+                cids=tuple(cycle),
+                cycle_length=len(cycle),
+            )
+
+
+@register_rule
+class UseAfterDeletionRule(Rule):
+    """A clause referenced after its deletion record: the trace contradicts
+    its own clause-lifetime claims."""
+
+    rule_id = "T015"
+    name = "use-after-deletion"
+    severity = Severity.ERROR
+    rationale = (
+        "Deletion records are advisory, but a solver that resolves with a "
+        "clause it claims to have deleted has a clause-database bug (the "
+        "paper: antecedents of assigned variables must always be kept)."
+    )
+    needs_graph = True
+    graph_only = True
+
+    def finish(self, state: ScanState) -> None:
+        graph = state.graph
+        if graph is None:
+            return
+        first_deleted: dict[int, int] = {}
+        for del_index, cid in graph.deletions:
+            previous = first_deleted.get(cid)
+            if previous is not None:
+                self.report(
+                    "clause is deleted twice",
+                    index=del_index,
+                    cids=(cid,),
+                    first_deletion=previous,
+                    severity=Severity.WARNING,
+                )
+                continue
+            first_deleted[cid] = del_index
+            if 1 <= cid <= graph.num_original:
+                self.report(
+                    "deletion record targets an original clause",
+                    index=del_index,
+                    cids=(cid,),
+                    severity=Severity.WARNING,
+                )
+            elif cid not in graph.sources_by_cid:
+                self.report(
+                    "deletion record targets a clause ID that is never defined",
+                    index=del_index,
+                    cids=(cid,),
+                    severity=Severity.WARNING,
+                )
+            elif graph.learned_index.get(cid, -1) > del_index:
+                self.report(
+                    "clause is deleted before it is defined",
+                    index=del_index,
+                    cids=(cid,),
+                    severity=Severity.WARNING,
+                )
+            last_use = graph.last_use_index.get(cid)
+            if last_use is not None and last_use > del_index:
+                self.report(
+                    "clause is used after its deletion record",
+                    index=last_use,
+                    cids=(cid,),
+                    deleted_at=del_index,
+                )
+
+
+@register_rule
+class RedundantDerivationRule(Rule):
+    """Two learned clauses with identical resolve chains: the second
+    derivation re-does work the checker already paid for."""
+
+    rule_id = "T016"
+    name = "redundant-derivation"
+    severity = Severity.WARNING
+    rationale = (
+        "Identical source chains resolve to identical clauses; re-deriving "
+        "one doubles the checker's resolution work for zero proof content."
+    )
+    needs_graph = True
+    graph_only = True
+
+    max_individual: ClassVar[int] = 25
+
+    def finish(self, state: ScanState) -> None:
+        graph = state.graph
+        if graph is None:
+            return
+        duplicates = graph.redundant_derivations()
+        for cid, earlier in duplicates[: self.max_individual]:
+            self.report(
+                "learned clause re-derives an identical resolve chain",
+                index=graph.learned_index.get(cid),
+                cids=(cid, earlier),
+                first_derivation=earlier,
+            )
+        if len(duplicates) > self.max_individual:
+            self.report(
+                f"{len(duplicates) - self.max_individual} more redundant "
+                f"derivations (first {self.max_individual} reported)",
+                duplicate_total=len(duplicates),
+            )
+
+
+@register_rule
+class SuspiciousCoreRule(Rule):
+    """An UNSAT proof whose cone touches zero original clauses refutes
+    nothing about the input formula."""
+
+    rule_id = "T017"
+    name = "suspicious-core-shape"
+    severity = Severity.WARNING
+    rationale = (
+        "A refutation must ultimately rest on the input clauses; a cone "
+        "that never reaches the original range means the trace was built "
+        "against a different formula (or fabricated from thin air)."
+    )
+    needs_graph = True
+    graph_only = True
+
+    def finish(self, state: ScanState) -> None:
+        graph = state.graph
+        if graph is None or state.status != "UNSAT" or not graph.final_conflicts:
+            return
+        if not graph.original_core():
+            self.report(
+                "proof cone touches zero original clauses: the refutation "
+                "does not depend on the input formula",
+                cids=tuple(cid for _, cid in graph.final_conflicts[:1]),
+            )

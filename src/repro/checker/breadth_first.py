@@ -146,9 +146,14 @@ class BreadthFirstChecker:
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 0,
         resume_from: str | Path | None = None,
+        prune_plan=None,
     ):
         self.formula = formula
         self._source = trace_source
+        # Core-first pruning (repro.analysis.graph.PrunePlan): skip learned
+        # clauses outside the proof cone and take the use counts from the
+        # plan, eliminating the extent and counting passes entirely.
+        self._plan = prune_plan
         self._precheck = precheck
         self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
@@ -214,6 +219,7 @@ class BreadthFirstChecker:
             peak_memory_units=self.meter.peak,
             check_time=time.perf_counter() - start,
             resolutions=self._resolutions,
+            prune=self._plan.to_dict() if self._plan is not None else None,
         )
 
     # -- record streaming -------------------------------------------------------
@@ -234,19 +240,51 @@ class BreadthFirstChecker:
         place without constructing record objects — the same arithmetic at
         a fraction of the cost. Everything else takes the generic
         record-streaming passes.
+
+        With a prune plan, both passes vanish: the plan already carries the
+        extent and the exact use counts restricted to the proof cone.
         """
-        if (
+        fast_eligible = (
             self._chunk_size is None
             and isinstance(self._source, (str, Path))
             and active_decoder_mode() == "batched"
-        ):
+        )
+        if fast_eligible:
             with open(self._source, "rb") as handle:
-                is_binary = handle.read(len(MAGIC)) == MAGIC
-            if is_binary:
-                self._binary_fast = True
-                return self._fused_scan()
+                self._binary_fast = handle.read(len(MAGIC)) == MAGIC
+        if self._plan is not None:
+            return self._plan_counts()
+        if self._binary_fast:
+            return self._fused_scan()
         max_cid = self._scan_extent()
         return max_cid, self._counting_pass(max_cid)
+
+    def _plan_counts(self) -> tuple[int, str]:
+        """Materialize the prune plan's use counts as the counts file."""
+        plan = self._plan
+        assert plan is not None
+        if self.formula.num_clauses != plan.num_original:
+            raise CheckFailure(
+                FailureKind.UNKNOWN_CLAUSE,
+                "formula / trace disagree on the number of original clauses",
+                formula_clauses=self.formula.num_clauses,
+                trace_clauses=plan.num_original,
+            )
+        self._num_original = plan.num_original
+        self._total_learned = plan.total_learned
+        first_learned = plan.num_original + 1
+        fd, path = tempfile.mkstemp(prefix="bfcheck-counts-", dir=self._tmp_dir)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                get = plan.needed_counts.get
+                array(
+                    "Q",
+                    (get(cid, 0) for cid in range(first_learned, plan.max_cid + 1)),
+                ).tofile(handle)
+        except BaseException:
+            os.unlink(path)
+            raise
+        return plan.max_cid, path
 
     def _fused_scan(self) -> tuple[int, str]:
         headers, max_cid, num_learned, counts = scan_binary_learned(self._source)
@@ -475,7 +513,12 @@ class BreadthFirstChecker:
         if self._trace_hash is None:
             from repro.trace.fingerprint import trace_content_hash
 
-            self._trace_hash = trace_content_hash(self._source)
+            content = trace_content_hash(self._source)
+            if self._plan is not None:
+                # A pruned run's stream position skips dead clauses, so its
+                # snapshots are only resumable under the same skip set.
+                content = f"{content}+prune:{self._plan.digest()}"
+            self._trace_hash = content
         return self._trace_hash
 
     def _load_resume_checkpoint(self) -> BfCheckpoint | None:
@@ -582,6 +625,7 @@ class BreadthFirstChecker:
         deadline = self._deadline
         checkpoint_every = self._checkpoint_every
         builds_since_snapshot = 0
+        skip = self._plan.skip if self._plan is not None else None
         for record in stream:
             records_consumed += 1
             if deadline is not None and not records_consumed & 0xFF:
@@ -611,6 +655,8 @@ class BreadthFirstChecker:
                     previous=last_cid,
                 )
             last_cid = cid
+            if skip is not None and cid in skip:
+                continue  # statically dead: no path to the empty clause
             self._build_learned(cid, sources, counts_file)
             if checkpoint_every:
                 builds_since_snapshot += 1

@@ -37,9 +37,14 @@ class DepthFirstChecker:
         precheck: bool = False,
         use_kernel: bool = True,
         deadline: Deadline | None = None,
+        prune_plan=None,
     ):
         self.formula = formula
         self.trace = trace
+        # DF already builds lazily (only the cone), so a prune plan cannot
+        # change what is built — but it does shrink the charged trace
+        # memory: statically dead records need not be held for the replay.
+        self._plan = prune_plan
         self._precheck = precheck
         self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
@@ -98,6 +103,7 @@ class DepthFirstChecker:
             resolutions=self._resolutions,
             original_core=self._original_core if verified else None,
             learned_used=self._learned_used if verified else None,
+            prune=self._plan.to_dict() if self._plan is not None else None,
         )
 
     # -- internals -------------------------------------------------------------
@@ -123,9 +129,16 @@ class DepthFirstChecker:
             )
 
     def _charge_trace_memory(self) -> None:
-        """The DF checker reads the entire trace into main memory (§3.2)."""
+        """The DF checker reads the entire trace into main memory (§3.2).
+
+        Under a prune plan, statically dead records are not needed for the
+        replay and are not charged (a disk-backed DF would not load them).
+        """
+        skip = self._plan.skip if self._plan is not None else frozenset()
         units = 0
-        for record in self.trace.learned.values():
+        for cid, record in self.trace.learned.items():
+            if cid in skip:
+                continue
             units += self.meter.record_units(1 + len(record.sources))
         units += self.meter.record_units(3) * len(self.trace.level_zero)
         self.meter.allocate(units)

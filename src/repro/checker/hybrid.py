@@ -61,9 +61,14 @@ class HybridChecker:
         precheck: bool = False,
         use_kernel: bool = True,
         deadline: Deadline | None = None,
+        prune_plan=None,
     ):
         self.formula = formula
         self._source = trace_source
+        # With a precomputed prune plan the marking pass degenerates to a
+        # lean stream (no ID-graph retention): the plan already carries the
+        # needed set and its use counts.
+        self._plan = prune_plan
         self._precheck = precheck
         self.precheck_report = None
         self.meter = MemoryMeter(limit=memory_limit)
@@ -88,7 +93,10 @@ class HybridChecker:
                 from repro.checker.precheck import run_precheck
 
                 self.precheck_report = run_precheck(self._source)
-            needed_counts, level_zero_entries, final_cid, status = self._marking_pass()
+            if self._plan is not None:
+                needed_counts, level_zero_entries, final_cid, status = self._plan_pass()
+            else:
+                needed_counts, level_zero_entries, final_cid, status = self._marking_pass()
             if status != "UNSAT":
                 raise CheckFailure(
                     FailureKind.BAD_STATUS,
@@ -113,6 +121,7 @@ class HybridChecker:
             resolutions=self._resolutions,
             original_core=self._original_core if verified else None,
             learned_used=self._learned_used if verified else None,
+            prune=self._plan.to_dict() if self._plan is not None else None,
         )
 
     # -- shared helpers -------------------------------------------------------
@@ -212,6 +221,65 @@ class HybridChecker:
 
         final_cid = final_conflicts[0] if final_conflicts else -1
         return needed_counts, level_zero_entries, final_cid, status
+
+    # -- pass 1 (pruned): lean stream, counts come from the plan ------------------
+
+    def _plan_pass(self):
+        """Marking-pass replacement under a prune plan.
+
+        The plan already identified the needed sub-DAG and its use counts,
+        so this pass never retains the ID graph — it only validates the
+        header and collects the trail/conflict/status records the second
+        pass needs.
+        """
+        plan = self._plan
+        assert plan is not None
+        if self.formula.num_clauses != plan.num_original:
+            raise CheckFailure(
+                FailureKind.UNKNOWN_CLAUSE,
+                "formula / trace disagree on the number of original clauses",
+                formula_clauses=self.formula.num_clauses,
+                trace_clauses=plan.num_original,
+            )
+        level_zero_entries: list[LevelZeroAssignment] = []
+        final_conflicts: list[int] = []
+        status = "UNKNOWN"
+        saw_header = False
+        deadline = self._deadline
+        if deadline is not None:
+            deadline.check()
+        ticks = 0
+        for record in self._records():
+            if deadline is not None:
+                ticks += 1
+                if not ticks & 0xFF:
+                    deadline.check()
+            if isinstance(record, TraceHeader):
+                saw_header = True
+                self._num_original = record.num_original_clauses
+                if self.formula.num_clauses != record.num_original_clauses:
+                    raise CheckFailure(
+                        FailureKind.UNKNOWN_CLAUSE,
+                        "formula / trace disagree on the number of original clauses",
+                        formula_clauses=self.formula.num_clauses,
+                        trace_clauses=record.num_original_clauses,
+                    )
+            elif isinstance(record, LevelZeroAssignment):
+                level_zero_entries.append(record)
+            elif isinstance(record, FinalConflict):
+                final_conflicts.append(record.cid)
+            elif isinstance(record, TraceResult):
+                status = record.status
+        if not saw_header:
+            raise CheckFailure(FailureKind.BAD_HEADER, "trace has no header")
+        if not final_conflicts and status == "UNSAT":
+            raise CheckFailure(
+                FailureKind.BAD_FINAL_CONFLICT,
+                "trace has no final conflicting clause",
+            )
+        self._total_learned = plan.total_learned
+        final_cid = final_conflicts[0] if final_conflicts else -1
+        return dict(plan.needed_counts), level_zero_entries, final_cid, status
 
     # -- pass 2: stream and build only the needed clauses -------------------------
 

@@ -297,6 +297,7 @@ class ParallelWindowedChecker:
         window_timeout: float | None = None,
         max_retries: int = 1,
         inprocess_fallback: bool = True,
+        prune_plan=None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be positive, got {num_workers}")
@@ -318,6 +319,11 @@ class ParallelWindowedChecker:
         self._window_timeout = window_timeout
         self._max_retries = max_retries
         self._inprocess_fallback = inprocess_fallback
+        # Core-first pruning: dead clauses are dropped from the pre-pass ID
+        # graph, so windows replay (and ship interfaces for) only the cone.
+        # The cone is closed under resolve sources, so every import still
+        # resolves within the pruned graph.
+        self._plan = prune_plan
         # One dict per fault-handling event (crash, hang, retry, inline
         # re-assignment), in order; surfaced as ``CheckReport.recovery``.
         self.recovery_events: list[dict] = []
@@ -388,6 +394,7 @@ class ParallelWindowedChecker:
             resolutions=resolutions,
             window_stats=window_stats or None,
             recovery=self.recovery_events or None,
+            prune=self._plan.to_dict() if self._plan is not None else None,
         )
 
     # -- pre-pass ------------------------------------------------------------
@@ -405,6 +412,8 @@ class ParallelWindowedChecker:
         status = "UNKNOWN"
         num_original: int | None = None
         last_cid: int | None = None
+        total_learned = 0
+        skip = self._plan.skip if self._plan is not None else None
         deadline = self._deadline
         ticks = 0
         for record in self._records():
@@ -436,6 +445,9 @@ class ParallelWindowedChecker:
                         previous=last_cid,
                     )
                 last_cid = record.cid
+                total_learned += 1
+                if skip is not None and record.cid in skip:
+                    continue  # statically dead: never windowed, never shipped
                 graph[record.cid] = record.sources
             elif isinstance(record, LevelZeroAssignment):
                 level_zero.append(record)
@@ -446,7 +458,7 @@ class ParallelWindowedChecker:
         if num_original is None:
             raise CheckFailure(FailureKind.BAD_HEADER, "trace has no header")
         self._num_original = num_original
-        self._total_learned = len(graph)
+        self._total_learned = total_learned
         return graph, level_zero, final_conflicts, status
 
     # -- planning ------------------------------------------------------------

@@ -99,6 +99,10 @@ class CheckReport:
     recovery: list[dict] | None = None
     fingerprint: dict | None = None
     from_cache: bool = False
+    # Core-first pruning summary (``PrunePlan.to_dict()``) when the check
+    # ran under a prune plan; ``None`` for unpruned runs. Additive and
+    # optional, so the report schema version is unchanged.
+    prune: dict | None = None
 
     @property
     def built_pct(self) -> float:
@@ -148,6 +152,8 @@ class CheckReport:
             payload["recovery"] = self.recovery
         if self.fingerprint is not None:
             payload["fingerprint"] = self.fingerprint
+        if self.prune is not None:
+            payload["prune"] = self.prune
         return payload
 
     @classmethod
@@ -182,6 +188,7 @@ class CheckReport:
             degradation=payload.get("degradation"),
             recovery=payload.get("recovery"),
             fingerprint=payload.get("fingerprint"),
+            prune=payload.get("prune"),
         )
 
     def summary(self) -> str:
@@ -193,6 +200,11 @@ class CheckReport:
         )
         if self.from_cache:
             line += " | cached"
+        if self.prune is not None:
+            line += (
+                f" | pruned {self.prune.get('skipped', 0)} dead "
+                f"({100.0 * self.prune.get('dead_fraction', 0.0):.1f}%)"
+            )
         if self.degradation and len(self.degradation) > 1:
             ladder = " -> ".join(
                 f"{attempt['method']}:{attempt['outcome']}" for attempt in self.degradation

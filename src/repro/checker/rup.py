@@ -100,10 +100,21 @@ class RupChecker:
         formula: CnfFormula,
         proof_path: str | Path,
         deadline: Deadline | None = None,
+        prune_plan=None,
     ):
         self.formula = formula
         self.proof_path = proof_path
         self._deadline = deadline
+        # Core-first pruning. DRUP identifies lemmas by position, not ID,
+        # so the plan's ``skip_ordinals`` only apply when the proof's add
+        # steps align 1:1 with the trace's learned records (preprocessing
+        # resolvents are traced but not DRUP-logged, breaking alignment);
+        # otherwise the check silently runs unpruned. Skipping a dead lemma
+        # preserves RUP-ness of every kept one: a kept clause's trivial
+        # resolution chain lies entirely inside the kept cone.
+        self._plan = prune_plan
+        self._prune_applied = False
+        self._pruned_steps = 0
 
     def check(self) -> CheckReport:
         """Run the check; never raises — failures land in the report."""
@@ -115,15 +126,34 @@ class RupChecker:
             verified, steps = self._run()
         except CheckFailure as exc:
             failure = exc
+        prune_info = None
+        if self._plan is not None:
+            prune_info = self._plan.to_dict()
+            prune_info["applied"] = self._prune_applied
+            prune_info["steps_skipped"] = self._pruned_steps
         return CheckReport(
             method=self.method,
             verified=verified,
             failure=failure,
             clauses_built=steps,
-            total_learned=steps,
+            total_learned=steps + self._pruned_steps,
             check_time=time.perf_counter() - start,
             resolutions=steps,
+            prune=prune_info,
         )
+
+    def _skip_ordinals(self) -> frozenset[int]:
+        """The add-step ordinals to skip, after the alignment guard."""
+        if self._plan is None or not self._plan.skip_ordinals:
+            return frozenset()
+        adds = sum(
+            1 for kind, literals in iter_drup(self.proof_path)
+            if kind == "add" and literals
+        )
+        if adds != self._plan.total_learned:
+            return frozenset()  # proof and trace are not 1:1: run unpruned
+        self._prune_applied = True
+        return self._plan.skip_ordinals
 
     def _run(self) -> tuple[bool, int]:
         engine = UnitPropagator(self.formula.num_vars, store=ClauseStore())
@@ -133,6 +163,11 @@ class RupChecker:
             key = tuple(sorted(set(clause.literals)))
             index_of.setdefault(key, []).append(index)
 
+        skip_ordinals = self._skip_ordinals()
+        # Deletions of skipped clauses must consume a skip credit instead of
+        # removing an identical *kept* clause from the database.
+        skipped_pool: dict[tuple[int, ...], int] = {}
+        ordinal = 0
         steps = 0
         deadline = self._deadline
         if deadline is not None:
@@ -145,11 +180,23 @@ class RupChecker:
                     deadline.check()
             if kind == "delete":
                 key = tuple(sorted(set(literals)))
+                credit = skipped_pool.get(key, 0)
+                if credit:
+                    skipped_pool[key] = credit - 1
+                    continue
                 indices = index_of.get(key)
                 if indices:
                     engine.remove_clause(indices.pop())
                 # Deleting an unknown clause is tolerated (drat-trim does too).
                 continue
+            if literals:
+                this_ordinal = ordinal
+                ordinal += 1
+                if this_ordinal in skip_ordinals:
+                    self._pruned_steps += 1
+                    key = tuple(sorted(set(literals)))
+                    skipped_pool[key] = skipped_pool.get(key, 0) + 1
+                    continue  # statically dead: neither checked nor added
             steps += 1
             if not engine.propagate([-lit for lit in literals]):
                 raise CheckFailure(

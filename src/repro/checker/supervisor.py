@@ -106,6 +106,7 @@ class Attempt:
     elapsed: float
     detail: str = ""
     recovery_events: int = 0
+    pruned: bool = False  # did this attempt run under a prune plan?
 
     def to_dict(self) -> dict:
         entry = {
@@ -117,6 +118,8 @@ class Attempt:
             entry["detail"] = self.detail
         if self.recovery_events:
             entry["recovery_events"] = self.recovery_events
+        if self.pruned:
+            entry["pruned"] = True
         return entry
 
 
@@ -140,6 +143,11 @@ class SupervisorConfig:
     resume_from: str | None = None  # bf only
     tmp_dir: str | None = None
     inprocess_fallback: bool = True  # parallel: re-assign crashed windows
+    # Core-first pruning: compute a static PrunePlan from the trace once
+    # and hand it to every rung of the ladder. A trace the analyzer finds
+    # structurally suspect yields no plan — the check runs unpruned, so
+    # pruning can never change a verdict the analyzer wouldn't vouch for.
+    prune: bool = False
     # Content digests of (formula, trace, options), as computed by
     # repro.service.fingerprint. Purely declarative: the supervisor stamps
     # them onto the final report so a persisted verdict (verdict cache,
@@ -174,6 +182,8 @@ class CheckSupervisor:
         self.config = config
         self.attempts: list[Attempt] = []
         self._loaded_trace: Trace | None = None
+        self._plan = None
+        self._plan_computed = False
 
     # -- public API ----------------------------------------------------------
 
@@ -239,9 +249,24 @@ class CheckSupervisor:
                 elapsed=time.perf_counter() - started,
                 detail=detail,
                 recovery_events=len(report.recovery or ()),
+                pruned=report.prune is not None,
             )
         )
         return report
+
+    def _prune_plan(self):
+        """The shared PrunePlan, computed at most once across all rungs.
+
+        ``None`` whenever pruning is off, the source is not a resolution
+        trace (RUP proofs), or the static analyzer vetoed the trace.
+        """
+        if not self._plan_computed:
+            self._plan_computed = True
+            if self.config.prune:
+                from repro.analysis.graph import compute_prune_plan
+
+                self._plan = compute_prune_plan(self._source)
+        return self._plan
 
     def _trace_for_df(self) -> Trace:
         """DF needs the fully materialized trace; load it once, lazily."""
@@ -262,6 +287,7 @@ class CheckSupervisor:
             precheck=config.precheck,
             use_kernel=config.use_kernel,
             deadline=deadline,
+            prune_plan=self._prune_plan(),
         )
         if method == "df":
             return DepthFirstChecker(self.formula, self._trace_for_df(), **common)
@@ -291,7 +317,12 @@ class CheckSupervisor:
                 **common,
             )
         if method == "rup":
-            return RupChecker(self.formula, self._source, deadline=deadline)
+            # The supervisor's source *is* the DRUP proof here; there is no
+            # resolution trace to analyze, so the plan is always None.
+            return RupChecker(
+                self.formula, self._source, deadline=deadline,
+                prune_plan=self._prune_plan(),
+            )
         raise ValueError(f"unknown checker method {method!r}")
 
 

@@ -135,6 +135,13 @@ def check_main(argv: list[str] | None = None) -> int:
         "errors (df/bf/hybrid; a DRUP proof has no trace to lint)",
     )
     parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="core-first pruning: compute the static backward-reachable "
+        "cone and skip statically dead lemmas during the check "
+        "(df/bf/hybrid/parallel; the verdict is guaranteed unchanged)",
+    )
+    parser.add_argument(
         "--engine",
         default="kernel",
         choices=["kernel", "reference"],
@@ -235,6 +242,10 @@ def check_main(argv: list[str] | None = None) -> int:
 
     if args.precheck and args.method == "rup":
         parser.error("--precheck lints resolution traces; not applicable to --method rup")
+    if args.prune and args.method == "rup" and args.parallel is None:
+        parser.error(
+            "--prune needs a resolution trace to analyze; not --method rup"
+        )
     if args.parallel is not None and args.parallel < 1:
         parser.error("--parallel needs at least one worker")
     if args.window_size is not None and args.parallel is None:
@@ -280,6 +291,8 @@ def check_main(argv: list[str] | None = None) -> int:
             use_kernel=use_kernel,
             precheck=args.precheck,
         )
+        if args.prune:
+            options["prune"] = True
         if args.parallel is not None:
             options.update(num_workers=args.parallel, window_size=args.window_size)
         if args.max_retries is not None:
@@ -313,43 +326,60 @@ def check_main(argv: list[str] | None = None) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every or 0,
             resume_from=args.resume,
-        )
-    elif args.parallel is not None:
-        checker = ParallelWindowedChecker(
-            formula,
-            args.proof,
-            num_workers=args.parallel,
-            window_size=args.window_size,
-            memory_limit=args.mem_limit,
-            precheck=args.precheck,
-            use_kernel=use_kernel,
-        )
-    elif args.method == "df":
-        checker = DepthFirstChecker(
-            formula,
-            load_trace(args.proof),
-            memory_limit=args.mem_limit,
-            precheck=args.precheck,
-            use_kernel=use_kernel,
-        )
-    elif args.method == "bf":
-        checker = BreadthFirstChecker(
-            formula,
-            args.proof,
-            memory_limit=args.mem_limit,
-            precheck=args.precheck,
-            use_kernel=use_kernel,
-        )
-    elif args.method == "hybrid":
-        checker = HybridChecker(
-            formula,
-            args.proof,
-            memory_limit=args.mem_limit,
-            precheck=args.precheck,
-            use_kernel=use_kernel,
+            prune=args.prune,
         )
     else:
-        checker = RupChecker(formula, args.proof)
+        prune_plan = None
+        if args.prune:
+            from repro.analysis import compute_prune_plan
+
+            prune_plan = compute_prune_plan(args.proof)
+            if prune_plan is None:
+                print(
+                    "c prune: static analysis found no usable plan; "
+                    "checking unpruned",
+                    file=sys.stderr,
+                )
+        if args.parallel is not None:
+            checker = ParallelWindowedChecker(
+                formula,
+                args.proof,
+                num_workers=args.parallel,
+                window_size=args.window_size,
+                memory_limit=args.mem_limit,
+                precheck=args.precheck,
+                use_kernel=use_kernel,
+                prune_plan=prune_plan,
+            )
+        elif args.method == "df":
+            checker = DepthFirstChecker(
+                formula,
+                load_trace(args.proof),
+                memory_limit=args.mem_limit,
+                precheck=args.precheck,
+                use_kernel=use_kernel,
+                prune_plan=prune_plan,
+            )
+        elif args.method == "bf":
+            checker = BreadthFirstChecker(
+                formula,
+                args.proof,
+                memory_limit=args.mem_limit,
+                precheck=args.precheck,
+                use_kernel=use_kernel,
+                prune_plan=prune_plan,
+            )
+        elif args.method == "hybrid":
+            checker = HybridChecker(
+                formula,
+                args.proof,
+                memory_limit=args.mem_limit,
+                precheck=args.precheck,
+                use_kernel=use_kernel,
+                prune_plan=prune_plan,
+            )
+        else:
+            checker = RupChecker(formula, args.proof)
 
     if args.profile:
         import cProfile
@@ -418,15 +448,26 @@ def trim_main(argv: list[str] | None = None) -> int:
     parser.add_argument("trace", help="trace file to trim")
     parser.add_argument("output", help="where to write the trimmed trace")
     parser.add_argument("--format", default="ascii", choices=["ascii", "binary"])
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="replay the proof with the depth-first checker before trimming "
+        "(default: trust the static cone analysis)",
+    )
     args = parser.parse_args(argv)
 
     from repro.trace import load_trace, write_trimmed
 
     formula = parse_dimacs_file(args.cnf)
-    result = write_trimmed(formula, load_trace(args.trace), args.output, fmt=args.format)
+    result = write_trimmed(
+        formula, load_trace(args.trace), args.output, fmt=args.format,
+        verify=args.verify,
+    )
     print(
         f"kept {result.kept_learned} learned clauses, dropped "
         f"{result.dropped_learned} ({result.kept_fraction:.0%} kept); "
+        f"deletions kept {result.kept_deletions}, dropped "
+        f"{result.dropped_deletions}; "
         f"original core: {len(result.original_core)} clauses"
     )
     return 0
@@ -437,9 +478,10 @@ def lint_trace_main(argv: list[str] | None = None) -> int:
 
     Streams the trace (ASCII or binary) through the rule registry without
     performing any resolution and without materializing the trace in
-    memory. Exit status 0 means no error-severity finding (add ``--strict``
-    to also fail on warnings); 1 means the trace is structurally broken and
-    no checker could replay it.
+    memory. ``--format json`` emits the stable machine-readable report
+    (schema_version included). Exit status 0 means no error-severity
+    finding (add ``--strict`` to also fail on warnings); 1 means the trace
+    is structurally broken and no checker could replay it.
     """
     parser = argparse.ArgumentParser(prog="repro-lint-trace")
     parser.add_argument("trace", help="ASCII or binary trace file")
@@ -447,7 +489,8 @@ def lint_trace_main(argv: list[str] | None = None) -> int:
         "--format",
         default="text",
         choices=["text", "json"],
-        help="diagnostic output format",
+        help="diagnostic output format; json is the stable machine-readable "
+        "schema (exit code stays 1 on error-severity findings)",
     )
     parser.add_argument(
         "--rules",
@@ -459,6 +502,13 @@ def lint_trace_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the reachability rule (T006); the pass then retains no "
         "ID graph at all",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="also run the derivation-graph rules (T013-T017: dead lemmas, "
+        "cycles, use-after-deletion, redundant re-derivations, suspicious "
+        "core shape) and report DAG statistics",
     )
     parser.add_argument(
         "--strict", action="store_true", help="treat warnings as errors"
@@ -477,7 +527,10 @@ def lint_trace_main(argv: list[str] | None = None) -> int:
     rules = args.rules.split(",") if args.rules else None
     try:
         report = analyze_trace(
-            args.trace, rules=rules, compute_reachability=not args.no_reachability
+            args.trace,
+            rules=rules,
+            compute_reachability=not args.no_reachability,
+            graph=args.graph,
         )
     except OSError as exc:
         parser.error(f"cannot read trace: {exc}")
@@ -496,6 +549,77 @@ def lint_trace_main(argv: list[str] | None = None) -> int:
             print(f"... {hidden} more diagnostic(s) suppressed (--max-diagnostics)")
         print(report.summary())
     return 1 if failed else 0
+
+
+def analyze_main(argv: list[str] | None = None) -> int:
+    """repro analyze: static derivation-graph analysis of a trace.
+
+    Builds the derivation DAG in one streaming pass, computes the
+    backward-reachable proof cone, and runs every lint rule including the
+    graph tier (T013-T017). Exit status 0 means the trace is structurally
+    sound (no error-severity finding); 1 otherwise.
+    """
+    parser = argparse.ArgumentParser(prog="repro-analyze")
+    parser.add_argument("trace", help="ASCII or binary trace file")
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format; json emits the full analysis report "
+        "(schema_version included)",
+    )
+    parser.add_argument(
+        "--max-diagnostics",
+        type=int,
+        default=25,
+        metavar="N",
+        help="print at most N diagnostics in text mode (default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis import analyze_trace
+
+    try:
+        report = analyze_trace(args.trace, graph=True)
+    except OSError as exc:
+        parser.error(f"cannot read trace: {exc}")
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0 if not report.errors else 1
+
+    graph = report.graph or {}
+    print(
+        f"records {graph.get('num_records', 0)} | "
+        f"learned {graph.get('num_learned', 0)} | "
+        f"deletions {graph.get('num_deletions', 0)} | "
+        f"status {graph.get('status', 'UNKNOWN')}"
+    )
+    print(
+        f"core: {graph.get('core_learned', 0)}/{graph.get('num_learned', 0)} "
+        f"learned needed | dead {graph.get('dead_learned', 0)} "
+        f"({100.0 * graph.get('dead_fraction', 0.0):.1f}%) | "
+        f"original core {graph.get('core_original', 0)} clauses"
+    )
+    print(
+        f"dag: depth {graph.get('depth', 0)} | width {graph.get('width', 0)} | "
+        f"prunable={'yes' if graph.get('prunable') else 'no'}"
+    )
+    by_rule: dict[str, int] = {}
+    for diagnostic in report.diagnostics:
+        by_rule[diagnostic.rule_id] = by_rule.get(diagnostic.rule_id, 0) + 1
+    if by_rule:
+        print(
+            "findings: "
+            + ", ".join(f"{rule} x{count}" for rule, count in sorted(by_rule.items()))
+        )
+        for diagnostic in report.diagnostics[: args.max_diagnostics]:
+            print(str(diagnostic))
+        hidden = len(report.diagnostics) - args.max_diagnostics
+        if hidden > 0:
+            print(f"... {hidden} more diagnostic(s) suppressed (--max-diagnostics)")
+    print(report.summary())
+    return 0 if not report.errors else 1
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -564,6 +688,12 @@ def submit_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeout", type=float, default=None, metavar="S")
     parser.add_argument("--mem-limit", type=int, default=None, metavar="UNITS")
     parser.add_argument("--precheck", action="store_true")
+    parser.add_argument(
+        "--prune",
+        action="store_true",
+        help="core-first pruning: skip statically dead lemmas (the cached "
+        "verdict records that it was computed under a prune plan)",
+    )
     parser.add_argument("--engine", default="kernel", choices=["kernel", "reference"])
     args = parser.parse_args(argv)
 
@@ -578,6 +708,8 @@ def submit_main(argv: list[str] | None = None) -> int:
         options["memory_limit"] = args.mem_limit
     if args.precheck:
         options["precheck"] = True
+    if args.prune:
+        options["prune"] = True
     if args.engine != "kernel":
         options["use_kernel"] = False
     try:
@@ -666,6 +798,7 @@ _SUBCOMMANDS: dict[str, tuple[str, str]] = {
     "status": ("status_main", "queue depth and state counts for a spool"),
     "results": ("results_main", "verdicts for terminal jobs in a spool"),
     "lint-trace": ("lint_trace_main", "static structural analysis of a trace"),
+    "analyze": ("analyze_main", "derivation-graph analysis: proof cone, DAG stats"),
     "trace-stats": ("trace_stats_main", "analytics for a trace file"),
     "trim": ("trim_main", "drop trace records the proof does not need"),
     "core": ("core_main", "iterated unsat-core extraction"),

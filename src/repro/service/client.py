@@ -112,6 +112,9 @@ class ServiceClient:
 
     def _account(self, report: CheckReport) -> None:
         """Fleet-level counters out of one report's self-description."""
+        if report.prune is not None:
+            self.metrics.inc("check.pruned")
+            self.metrics.inc("check.pruned_lemmas", report.prune.get("skipped", 0))
         attempts = report.degradation or ()
         if len(attempts) > 1:
             self.metrics.inc("supervisor.degradations")

@@ -38,6 +38,10 @@ KEYED_OPTIONS = (
     "precheck",
     "num_workers",
     "window_size",
+    # Pruning changes the report's content (prune stats, clauses_built), so
+    # pruned and unpruned verdicts must occupy distinct cache lines even
+    # though the verdict itself is guaranteed identical.
+    "prune",
 )
 
 

@@ -43,6 +43,7 @@ ALLOWED_JOB_OPTIONS = frozenset(
         "use_kernel",
         "precheck",
         "count_chunk_size",
+        "prune",
     }
 )
 
@@ -147,6 +148,8 @@ class Scheduler:
         }
         if report.failure is not None:
             summary["failure_kind"] = report.failure.kind.value
+        if report.prune is not None:
+            summary["pruned"] = True
         result_path = self._write_result(job, report)
         if result_path is not None:
             summary["result_path"] = result_path

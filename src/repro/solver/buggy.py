@@ -109,6 +109,9 @@ class CorruptingTraceWriter:
         self._last_cid = cid
         self._inner.learned_clause(cid, sources)
 
+    def clause_deletion(self, cid: int) -> None:
+        self._inner.clause_deletion(cid)
+
     def level_zero(self, var: int, value: bool, antecedent: int) -> None:
         self._level_zero_seen += 1
         if not self._corrupted:

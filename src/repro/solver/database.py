@@ -133,11 +133,12 @@ class ClauseDatabase:
             self.activity[cid] *= 1e-100
         self.cla_inc *= 1e-100
 
-    def reduce_learned(self, locked: Iterable[int]) -> list[list[int]]:
+    def reduce_learned(self, locked: Iterable[int]) -> list[tuple[int, list[int]]]:
         """Delete roughly the lower-activity half of unlocked learned clauses.
 
         Binary learned clauses are kept (cheap and valuable). Returns the
-        literal lists of the deleted clauses (for DRUP deletion logging).
+        deleted clauses as ``(cid, literals)`` pairs — the literals feed
+        DRUP deletion logging, the IDs feed the trace's deletion records.
         """
         locked_set = set(locked)
         candidates = [
@@ -151,10 +152,10 @@ class ClauseDatabase:
             return []
         candidates.sort(key=lambda cid: self.activity[cid])
         victims = candidates[: max(1, len(candidates) // 2)]
-        deleted: list[list[int]] = []
+        deleted: list[tuple[int, list[int]]] = []
         for cid in victims:
             self._detach(cid)
-            deleted.append(self.lits.pop(cid))
+            deleted.append((cid, self.lits.pop(cid)))
             del self.activity[cid]
             self.learned_ids.remove(cid)
         return deleted

@@ -312,9 +312,11 @@ class Solver:
         }
         deleted = self.db.reduce_learned(locked)
         self.stats.deleted_clauses += len(deleted)
-        if self.drup is not None:
-            for literals in deleted:
+        for cid, literals in deleted:
+            if self.drup is not None:
                 self.drup.delete_clause(literals)
+            if self.trace is not None:
+                self.trace.clause_deletion(cid)
         self._max_learned = int(self._max_learned * self.config.max_learned_growth)
 
     def _emit_unsat(self, conflict_cid: int) -> None:

@@ -20,6 +20,7 @@ from repro.trace.records import (
     LevelZeroAssignment,
     FinalConflict,
     TraceResult,
+    ClauseDeletion,
     Trace,
     TraceError,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "LevelZeroAssignment",
     "FinalConflict",
     "TraceResult",
+    "ClauseDeletion",
     "Trace",
     "TraceError",
     "AsciiTraceWriter",

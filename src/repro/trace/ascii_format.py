@@ -4,6 +4,7 @@ Line-oriented, one record per line:
 
     T <num_vars> <num_original_clauses>     header
     CL <cid> <src1> <src2> ...              learned clause + resolve sources
+    D <cid>                                 advisory clause deletion
     V <var> <0|1> <antecedent_cid>          level-0 trail entry
     CONF <cid>                              final conflicting clause
     R SAT|UNSAT                             solver claim
@@ -18,6 +19,7 @@ from pathlib import Path
 from typing import IO, Iterator
 
 from repro.trace.records import (
+    ClauseDeletion,
     FinalConflict,
     LearnedClause,
     LevelZeroAssignment,
@@ -43,6 +45,9 @@ class AsciiTraceWriter:
 
     def learned_clause(self, cid: int, sources: list[int] | tuple[int, ...]) -> None:
         self._handle.write(f"CL {cid} " + " ".join(map(str, sources)) + "\n")
+
+    def clause_deletion(self, cid: int) -> None:
+        self._handle.write(f"D {cid}\n")
 
     def level_zero(self, var: int, value: bool, antecedent: int) -> None:
         self._handle.write(f"V {var} {1 if value else 0} {antecedent}\n")
@@ -79,6 +84,8 @@ def iter_ascii_records(path: str | Path) -> Iterator[TraceRecord]:
                     yield TraceHeader(int(fields[1]), int(fields[2]))
                 elif tag == "CL":
                     yield LearnedClause(int(fields[1]), tuple(map(int, fields[2:])))
+                elif tag == "D":
+                    yield ClauseDeletion(int(fields[1]))
                 elif tag == "V":
                     yield LevelZeroAssignment(
                         int(fields[1]), fields[2] == "1", int(fields[3])

@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import IO, Iterator
 
 from repro.trace.records import (
+    ClauseDeletion,
     FinalConflict,
     LearnedClause,
     LevelZeroAssignment,
@@ -38,6 +39,7 @@ _TAG_FINAL_CONFLICT = 0x04
 _TAG_RESULT_SAT = 0x05
 _TAG_RESULT_UNSAT = 0x06
 _TAG_RESULT_UNKNOWN = 0x07  # added after v1; old readers never see it from old files
+_TAG_DELETION = 0x08  # advisory clause deletion; added with the graph analyzer
 
 _RESULT_TAGS = {
     "SAT": _TAG_RESULT_SAT,
@@ -130,6 +132,9 @@ class BinaryTraceWriter:
             parts.append(encode_varint(delta))
         self._handle.write(b"".join(parts))
 
+    def clause_deletion(self, cid: int) -> None:
+        self._handle.write(bytes([_TAG_DELETION]) + encode_varint(cid))
+
     def level_zero(self, var: int, value: bool, antecedent: int) -> None:
         self._handle.write(
             bytes([_TAG_LEVEL_ZERO])
@@ -186,6 +191,8 @@ def iter_binary_records_unbatched(path: str | Path) -> Iterator[TraceRecord]:
                 yield LevelZeroAssignment(packed >> 1, bool(packed & 1), decode_varint(reader))
             elif tag == _TAG_FINAL_CONFLICT:
                 yield FinalConflict(decode_varint(reader))
+            elif tag == _TAG_DELETION:
+                yield ClauseDeletion(decode_varint(reader))
             elif tag == _TAG_RESULT_SAT:
                 yield TraceResult("SAT")
             elif tag == _TAG_RESULT_UNSAT:
@@ -322,6 +329,9 @@ def _decode_batched(
                 elif tag == _TAG_FINAL_CONFLICT:
                     cid, pos = _varint_at(buffer, pos)
                     yield FinalConflict(cid)
+                elif tag == _TAG_DELETION:
+                    cid, pos = _varint_at(buffer, pos)
+                    yield ClauseDeletion(cid)
                 elif tag == _TAG_RESULT_SAT:
                     yield TraceResult("SAT")
                 elif tag == _TAG_RESULT_UNSAT:
@@ -445,6 +455,9 @@ def scan_binary_learned(
                 elif tag == _TAG_FINAL_CONFLICT:
                     cid, pos = _varint_at(buffer, pos)
                     counts[cid] = counts_get(cid, 0) + 1
+                elif tag == _TAG_DELETION:
+                    # Advisory only: deletions never contribute use counts.
+                    _, pos = _varint_at(buffer, pos)
                 elif tag in (_TAG_RESULT_SAT, _TAG_RESULT_UNSAT, _TAG_RESULT_UNKNOWN):
                     pass
                 else:

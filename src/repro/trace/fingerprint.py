@@ -56,6 +56,11 @@ def _hash_trace_object(trace: Trace) -> str:
     for cid in sorted(trace.learned):
         sources = " ".join(map(str, trace.learned[cid].sources))
         feed(f"L {cid} {sources}\n".encode())
+    # Deletions are advisory but still content: a trace that records them
+    # is a different artifact from one that does not.
+    for anchor in sorted(trace.deletions):
+        for dcid in trace.deletions[anchor]:
+            feed(f"D {anchor} {dcid}\n".encode())
     for entry in trace.level_zero:
         feed(f"Z {entry.var} {int(entry.value)} {entry.antecedent}\n".encode())
     for cid in trace.final_conflicts:

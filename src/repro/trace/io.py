@@ -17,6 +17,8 @@ class TraceWriter(Protocol):
 
     def learned_clause(self, cid: int, sources: list[int] | tuple[int, ...]) -> None: ...
 
+    def clause_deletion(self, cid: int) -> None: ...
+
     def level_zero(self, var: int, value: bool, antecedent: int) -> None: ...
 
     def final_conflict(self, cid: int) -> None: ...
@@ -72,6 +74,11 @@ class InMemoryTraceWriter:
         from repro.trace.records import LearnedClause
 
         self.records.append(LearnedClause(cid, tuple(sources)))
+
+    def clause_deletion(self, cid: int) -> None:
+        from repro.trace.records import ClauseDeletion
+
+        self.records.append(ClauseDeletion(cid))
 
     def level_zero(self, var: int, value: bool, antecedent: int) -> None:
         from repro.trace.records import LevelZeroAssignment

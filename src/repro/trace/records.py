@@ -59,7 +59,28 @@ class TraceResult:
     status: str  # "SAT" | "UNSAT"
 
 
-TraceRecord = Union[TraceHeader, LearnedClause, LevelZeroAssignment, FinalConflict, TraceResult]
+@dataclass(frozen=True)
+class ClauseDeletion:
+    """Advisory record: the solver discarded clause ``cid`` at this point.
+
+    Deletions never change what a resolution checker must replay (a source
+    reference keeps a clause derivable regardless), so every checker treats
+    them as no-ops. They exist for the static analyzer: rule T015 flags a
+    clause referenced *after* its recorded deletion, which betrays a solver
+    whose clause database and trace disagree.
+    """
+
+    cid: int
+
+
+TraceRecord = Union[
+    TraceHeader,
+    LearnedClause,
+    LevelZeroAssignment,
+    FinalConflict,
+    TraceResult,
+    ClauseDeletion,
+]
 
 
 @dataclass
@@ -71,10 +92,19 @@ class Trace:
     level_zero: list[LevelZeroAssignment] = field(default_factory=list)
     final_conflicts: list[int] = field(default_factory=list)
     status: str = "UNKNOWN"
+    # Deletions keyed by the cid of the last learned clause recorded before
+    # the deletion (0 when it precedes every learned clause). Learned IDs are
+    # monotonic in valid traces, so this preserves the stream interleaving
+    # through a records() round-trip.
+    deletions: dict[int, list[int]] = field(default_factory=dict)
 
     @property
     def num_learned(self) -> int:
         return len(self.learned)
+
+    @property
+    def num_deletions(self) -> int:
+        return sum(len(cids) for cids in self.deletions.values())
 
     def antecedent_of(self, var: int) -> int | None:
         for entry in self.level_zero:
@@ -85,8 +115,12 @@ class Trace:
     def records(self) -> Iterator[TraceRecord]:
         """Replay the trace as a stream of records (canonical order)."""
         yield self.header
+        for dcid in self.deletions.get(0, ()):
+            yield ClauseDeletion(dcid)
         for rec in self.learned.values():
             yield rec
+            for dcid in self.deletions.get(rec.cid, ()):
+                yield ClauseDeletion(dcid)
         for entry in self.level_zero:
             yield entry
         for cid in self.final_conflicts:
@@ -98,6 +132,7 @@ def assemble_trace(records: Iterator[TraceRecord] | list[TraceRecord]) -> Trace:
     """Build an in-memory Trace from a record stream, validating structure."""
     header: TraceHeader | None = None
     trace: Trace | None = None
+    last_learned = 0
     for rec in records:
         if isinstance(rec, TraceHeader):
             if header is not None:
@@ -114,6 +149,9 @@ def assemble_trace(records: Iterator[TraceRecord] | list[TraceRecord]) -> Trace:
                     f"learned clause id {rec.cid} collides with original clauses"
                 )
             trace.learned[rec.cid] = rec
+            last_learned = rec.cid
+        elif isinstance(rec, ClauseDeletion):
+            trace.deletions.setdefault(last_learned, []).append(rec.cid)
         elif isinstance(rec, LevelZeroAssignment):
             trace.level_zero.append(rec)
         elif isinstance(rec, FinalConflict):

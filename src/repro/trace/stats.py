@@ -12,6 +12,7 @@ from pathlib import Path
 
 from repro.trace.io import iter_trace_records
 from repro.trace.records import (
+    ClauseDeletion,
     FinalConflict,
     LearnedClause,
     LevelZeroAssignment,
@@ -32,6 +33,7 @@ class TraceStatistics:
     chain_length_histogram: dict[int, int] = field(default_factory=dict)
     level_zero_entries: int = 0
     final_conflicts: int = 0
+    deletions: int = 0
     status: str = "UNKNOWN"
 
     @property
@@ -55,6 +57,7 @@ class TraceStatistics:
             f"resolutions to replay: {self.total_resolutions}",
             f"level-0 trail      : {self.level_zero_entries} entries",
             f"final conflicts    : {self.final_conflicts}",
+            f"deletions          : {self.deletions}",
             f"claimed result     : {self.status}",
         ]
         if self.chain_length_histogram:
@@ -81,6 +84,8 @@ def analyze_trace(path: str | Path) -> TraceStatistics:
             stats.chain_length_histogram[count] = (
                 stats.chain_length_histogram.get(count, 0) + 1
             )
+        elif isinstance(record, ClauseDeletion):
+            stats.deletions += 1
         elif isinstance(record, LevelZeroAssignment):
             stats.level_zero_entries += 1
         elif isinstance(record, FinalConflict):

@@ -1,19 +1,33 @@
 """Trace trimming: keep only the clauses a proof actually needs.
 
 The depth-first checker "can tell what clauses are needed for this proof
-of unsatisfiability" (§3.2). Trimming materializes that: it drops every
-learned-clause record the empty-clause derivation never touches, yielding
+of unsatisfiability" (§3.2). Trimming materializes that — but the *set* of
+needed clauses is a purely structural fact, so it is computed by the
+static derivation-graph analyzer (:mod:`repro.analysis.graph`) without
+replaying a single resolution. The result drops every learned-clause
+record outside the backward-reachable cone of the final conflict, yielding
 a smaller trace that still checks with every strategy (clause IDs are
 preserved, so resolve-source references stay valid). This is the ancestor
 of drat-trim's core extraction.
+
+Pass ``verify=True`` to additionally run the depth-first checker over the
+input first — then a trace that is structurally sound but semantically
+wrong (a broken resolution chain) is rejected before trimming, exactly as
+the pre-analyzer implementation behaved.
+
+Deletion records ride along: a ``ClauseDeletion`` survives trimming iff
+its target clause does, and its stream position (anchored to the last
+preceding learned record) is re-keyed to the nearest kept anchor so the
+interleaving stays faithful.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 from repro.cnf import CnfFormula
-from repro.trace.records import Trace
+from repro.trace.records import Trace, TraceError
 
 
 @dataclass
@@ -24,6 +38,8 @@ class TrimResult:
     kept_learned: int
     dropped_learned: int
     original_core: set[int]
+    kept_deletions: int = 0
+    dropped_deletions: int = 0
 
     @property
     def kept_fraction(self) -> float:
@@ -31,37 +47,51 @@ class TrimResult:
         return self.kept_learned / total if total else 1.0
 
 
-def trim_trace(formula: CnfFormula, trace: Trace) -> TrimResult:
-    """Verify ``trace`` and return a copy containing only needed clauses.
+def trim_trace(formula: CnfFormula, trace: Trace, verify: bool = False) -> TrimResult:
+    """Return a copy of ``trace`` containing only the needed clauses.
 
-    Raises the checker's failure if the input trace does not constitute a
-    valid proof — a trimmed invalid proof would be meaningless.
+    The needed set is the static backward-reachable cone over ALL proof
+    roots (first final conflict plus every level-0 antecedent) — a
+    superset of what a depth-first derivation touches, and exactly what
+    keeps the trimmed trace valid for every checker: the level-0 trail is
+    preserved verbatim, so each of its antecedent references must stay
+    resolvable.
+
+    Raises :class:`TraceError` if the trace is structurally broken or does
+    not claim UNSAT — a trimmed invalid proof would be meaningless. With
+    ``verify=True`` the depth-first checker replays the proof first, so a
+    semantically wrong trace raises its :class:`CheckFailure` too.
     """
-    # Imported here: repro.checker depends on repro.trace at import time.
-    from repro.checker.depth_first import DepthFirstChecker
+    # Imported here: repro.checker / repro.analysis depend on repro.trace
+    # at import time.
+    from repro.analysis.graph import build_graph
 
-    checker = DepthFirstChecker(formula, trace)
-    report = checker.check()
-    report.raise_if_failed()
-    assert report.learned_used is not None and report.original_core is not None
+    report = None
+    if verify:
+        from repro.checker.depth_first import DepthFirstChecker
 
-    # Keep the transitive closure over ALL proof roots (final conflict plus
-    # every level-0 antecedent). This is a superset of what the DF
-    # derivation touched, and it is exactly what keeps the trimmed trace
-    # valid for every checker: the level-0 trail is preserved verbatim, so
-    # each of its antecedent references must stay resolvable.
+        checker = DepthFirstChecker(formula, trace)
+        report = checker.check()
+        report.raise_if_failed()
+        assert report.original_core is not None
+
+    graph = build_graph(trace)
+    if graph.violations:
+        raise TraceError(
+            f"cannot trim a structurally broken trace: {graph.violations[0]}"
+        )
+    if graph.status != "UNSAT":
+        raise TraceError(f"trace does not claim UNSAT (status {graph.status!r})")
+    if not graph.final_conflicts:
+        raise TraceError("trace has no final conflicting clause")
+    if formula.num_clauses != trace.header.num_original_clauses:
+        raise TraceError(
+            "formula / trace disagree on the number of original clauses"
+        )
+
     num_original = trace.header.num_original_clauses
-    roots = [trace.final_conflicts[0]] + [e.antecedent for e in trace.level_zero]
-    needed: set[int] = set()
-    stack = [cid for cid in roots if cid > num_original]
-    while stack:
-        cid = stack.pop()
-        if cid in needed:
-            continue
-        needed.add(cid)
-        for source in trace.learned[cid].sources:
-            if source > num_original and source not in needed:
-                stack.append(source)
+    cone = graph.cone()
+    needed = {cid for cid in cone if cid > num_original}
 
     trimmed = Trace(trace.header)
     for cid, record in trace.learned.items():
@@ -70,27 +100,62 @@ def trim_trace(formula: CnfFormula, trace: Trace) -> TrimResult:
     trimmed.level_zero = list(trace.level_zero)
     trimmed.final_conflicts = [trace.final_conflicts[0]]
     trimmed.status = trace.status
+
+    # Re-anchor surviving deletions. A deletion is kept iff the clause it
+    # deletes is kept; its anchor (last learned cid recorded before it)
+    # moves to the greatest *kept* learned cid not exceeding the original
+    # anchor, or 0 when every earlier learned record was dropped.
+    kept_sorted = sorted(trimmed.learned)
+    kept_deletions = dropped_deletions = 0
+    for anchor, cids in trace.deletions.items():
+        if anchor and anchor not in trimmed.learned:
+            index = bisect.bisect_right(kept_sorted, anchor)
+            anchor = kept_sorted[index - 1] if index else 0
+        for cid in cids:
+            if cid in trimmed.learned:
+                trimmed.deletions.setdefault(anchor, []).append(cid)
+                kept_deletions += 1
+            else:
+                dropped_deletions += 1
+
+    if report is not None:
+        original_core = set(report.original_core)
+    else:
+        original_core = set(graph.original_core())
     return TrimResult(
         trace=trimmed,
         kept_learned=len(trimmed.learned),
         dropped_learned=trace.num_learned - len(trimmed.learned),
-        original_core=set(report.original_core),
+        original_core=original_core,
+        kept_deletions=kept_deletions,
+        dropped_deletions=dropped_deletions,
     )
 
 
-def write_trimmed(formula: CnfFormula, trace: Trace, path, fmt: str = "ascii") -> TrimResult:
+def write_trimmed(
+    formula: CnfFormula,
+    trace: Trace,
+    path,
+    fmt: str = "ascii",
+    verify: bool = False,
+) -> TrimResult:
     """Trim and write the result to ``path`` in the requested format."""
     from repro.trace.io import open_trace_writer
 
-    result = trim_trace(formula, trace)
+    result = trim_trace(formula, trace, verify=verify)
     writer = open_trace_writer(path, fmt)
-    writer.header(result.trace.header.num_vars, result.trace.header.num_original_clauses)
-    for record in result.trace.learned.values():
+    trimmed = result.trace
+    writer.header(trimmed.header.num_vars, trimmed.header.num_original_clauses)
+    for dcid in trimmed.deletions.get(0, ()):
+        writer.clause_deletion(dcid)
+    for record in trimmed.learned.values():
         writer.learned_clause(record.cid, record.sources)
-    for entry in result.trace.level_zero:
+        for dcid in trimmed.deletions.get(record.cid, ()):
+            writer.clause_deletion(dcid)
+    for entry in trimmed.level_zero:
         writer.level_zero(entry.var, entry.value, entry.antecedent)
-    for cid in result.trace.final_conflicts:
+    for cid in trimmed.final_conflicts:
         writer.final_conflict(cid)
-    writer.result(result.trace.status)
+    writer.result(trimmed.status)
     writer.close()
     return result

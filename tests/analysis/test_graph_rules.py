@@ -1,0 +1,225 @@
+"""The graph-tier lint rules T013–T017, one rule at a time.
+
+These rules need the whole derivation DAG, so they only run under
+``analyze_trace(..., graph=True)`` (the ``repro lint-trace --graph`` /
+``repro analyze`` surface). The default pass must never fire them — their
+absence from ``default_rules()`` is what keeps existing verdicts stable.
+"""
+
+import pytest
+
+from repro.analysis import analyze_trace, default_rules, graph_rules
+from repro.trace.records import (
+    ClauseDeletion,
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    TraceHeader,
+    TraceResult,
+)
+
+
+def valid_records():
+    return [
+        TraceHeader(num_vars=3, num_original_clauses=3),
+        LearnedClause(4, (1, 2)),
+        LearnedClause(5, (4, 3)),
+        LevelZeroAssignment(1, True, 4),
+        LevelZeroAssignment(2, False, 5),
+        FinalConflict(5),
+        TraceResult("UNSAT"),
+    ]
+
+
+def rule_ids(records, graph=True):
+    report = analyze_trace(records, graph=graph)
+    return {d.rule_id for d in report.diagnostics}
+
+
+def diagnostics_for(records, rule_id):
+    report = analyze_trace(records, graph=True)
+    return [d for d in report.diagnostics if d.rule_id == rule_id]
+
+
+def test_graph_rules_are_not_in_the_default_registry():
+    default_ids = {cls.rule_id for cls in default_rules()}
+    graph_ids = {cls.rule_id for cls in graph_rules()}
+    assert graph_ids == {"T013", "T014", "T015", "T016", "T017"}
+    assert not (default_ids & graph_ids)
+    for cls in graph_rules():
+        assert cls.graph_only and cls.needs_graph
+        assert cls.rationale and cls.name
+
+
+def test_clean_trace_fires_no_graph_rules():
+    assert not (rule_ids(valid_records()) & {"T013", "T014", "T015", "T016", "T017"})
+
+
+# -- T013: dead lemma ---------------------------------------------------------
+
+
+def test_t013_fires_per_dead_lemma():
+    records = valid_records()
+    records.insert(3, LearnedClause(6, (5, 1)))  # nothing reaches cid 6
+    found = diagnostics_for(records, "T013")
+    assert len(found) == 1
+    assert found[0].cids == (6,)
+
+
+def test_t013_silent_without_graph_flag():
+    records = valid_records()
+    records.insert(3, LearnedClause(6, (5, 1)))
+    assert "T013" not in rule_ids(records, graph=False)
+
+
+def test_t013_silent_on_sat_trace():
+    records = [
+        TraceHeader(num_vars=2, num_original_clauses=2),
+        LearnedClause(3, (1, 2)),
+        TraceResult("SAT"),
+    ]
+    assert "T013" not in rule_ids(records)
+
+
+def test_t013_overflow_is_summarized():
+    records = [TraceHeader(num_vars=64, num_original_clauses=3)]
+    for offset in range(30):
+        records.append(LearnedClause(4 + offset, (1, 2)))
+    records += [
+        LearnedClause(40, (1, 3)),
+        FinalConflict(40),
+        LevelZeroAssignment(1, True, 40),
+        TraceResult("UNSAT"),
+    ]
+    found = diagnostics_for(records, "T013")
+    assert 0 < len(found) <= 26  # capped + one summary line
+
+
+# -- T014: dependency cycle ---------------------------------------------------
+
+
+def test_t014_fires_on_mutual_dependency():
+    records = [
+        TraceHeader(num_vars=3, num_original_clauses=3),
+        LearnedClause(4, (1, 5)),
+        LearnedClause(5, (4, 2)),
+        FinalConflict(5),
+        TraceResult("UNSAT"),
+    ]
+    found = diagnostics_for(records, "T014")
+    assert found and found[0].severity.value == "error"
+
+
+def test_t014_silent_on_acyclic_forward_reference():
+    # Forward but acyclic: T002 fires, T014 must not cry wolf.
+    records = [
+        TraceHeader(num_vars=3, num_original_clauses=3),
+        LearnedClause(4, (1, 5)),
+        LearnedClause(5, (1, 2)),
+        FinalConflict(5),
+        TraceResult("UNSAT"),
+    ]
+    ids = rule_ids(records)
+    assert "T002" in ids
+    assert "T014" not in ids
+
+
+# -- T015: use after deletion -------------------------------------------------
+
+
+def test_t015_fires_on_use_after_deletion():
+    records = [
+        TraceHeader(num_vars=3, num_original_clauses=3),
+        LearnedClause(4, (1, 2)),
+        ClauseDeletion(4),
+        LearnedClause(5, (4, 3)),  # resolves from the deleted clause
+        LevelZeroAssignment(1, True, 5),
+        FinalConflict(5),
+        TraceResult("UNSAT"),
+    ]
+    found = diagnostics_for(records, "T015")
+    assert any(d.severity.value == "error" for d in found)
+
+
+def test_t015_silent_when_deletion_follows_last_use():
+    records = valid_records()
+    records.insert(6, ClauseDeletion(4))  # after every use of cid 4
+    errors = [d for d in diagnostics_for(records, "T015")
+              if d.severity.value == "error"]
+    assert not errors
+
+
+def test_t015_warns_on_double_delete():
+    records = valid_records()
+    records.insert(6, ClauseDeletion(5))
+    records.insert(7, ClauseDeletion(5))
+    found = diagnostics_for(records, "T015")
+    assert any("delet" in d.message for d in found)
+
+
+def test_t015_warns_on_deleting_undefined_clause():
+    records = valid_records()
+    records.insert(6, ClauseDeletion(99))
+    assert diagnostics_for(records, "T015")
+
+
+# -- T016: redundant re-derivation --------------------------------------------
+
+
+def test_t016_fires_on_identical_resolve_chain():
+    records = valid_records()
+    records.insert(3, LearnedClause(6, (1, 2)))  # same chain as cid 4
+    found = diagnostics_for(records, "T016")
+    assert len(found) == 1
+    assert found[0].cids == (6, 4)
+
+
+def test_t016_silent_on_distinct_chains():
+    assert not diagnostics_for(valid_records(), "T016")
+
+
+# -- T017: suspicious core shape ----------------------------------------------
+
+
+def test_t017_fires_when_no_original_clause_is_touched():
+    # The cone exists but bottoms out nowhere: the final conflict's chain
+    # references an undefined id, so no original clause is ever reached.
+    records = [
+        TraceHeader(num_vars=3, num_original_clauses=3),
+        LearnedClause(4, (77, 88)),
+        LevelZeroAssignment(1, True, 4),
+        FinalConflict(4),
+        TraceResult("UNSAT"),
+    ]
+    assert diagnostics_for(records, "T017")
+
+
+def test_t017_silent_on_grounded_proof():
+    assert not diagnostics_for(valid_records(), "T017")
+
+
+# -- interaction with the fault matrix ---------------------------------------
+
+
+def test_graph_pass_adds_no_false_positives_on_replay_only_bugs():
+    """Semantically corrupt but structurally clean traces must stay clean
+    under the graph tier: T014/T015/T017 are error rules and a false error
+    here would flip a lint verdict the checkers own."""
+    from repro.solver.buggy import BugKind, make_buggy_solver
+    from repro.trace import InMemoryTraceWriter
+
+    from tests.conftest import pigeonhole
+    from tests.analysis.test_fault_matrix import NEEDS_REPLAY
+
+    checked = 0
+    for bug in NEEDS_REPLAY:
+        for seed in range(4):
+            inner = InMemoryTraceWriter()
+            solver, wrapper = make_buggy_solver(pigeonhole(6, 5), bug, inner, seed=seed)
+            assert solver.solve().is_unsat
+            if wrapper is not None and not wrapper.corrupted:
+                continue
+            checked += 1
+            report = analyze_trace(inner.records, graph=True)
+            assert report.ok, (bug, seed, [str(d) for d in report.errors])
+    assert checked > 0

@@ -1,0 +1,146 @@
+"""Property: window interfaces are exactly the cone edges that cross windows.
+
+The parallel checker's manifests and the static analyzer's prune plan are
+computed by different code paths over the same derivation DAG. This
+property pins their agreement on randomly generated (structurally valid)
+traces: for every window, the manifest's imported interface clauses are
+precisely the resolve-source edges that start at a live in-window clause
+and land strictly before the window — and under pruning, "live" means the
+backward-reachable cone.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import compute_prune_plan
+from repro.checker.parallel import ParallelWindowedChecker
+from repro.cnf import CnfFormula
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    TraceHeader,
+    TraceResult,
+    assemble_trace,
+)
+from repro.trace.windows import plan_windows
+
+
+@st.composite
+def synthetic_traces(draw):
+    """A structurally valid UNSAT trace: backward sources, monotone IDs."""
+    num_original = draw(st.integers(min_value=1, max_value=6))
+    num_learned = draw(st.integers(min_value=1, max_value=40))
+    records = [TraceHeader(num_vars=num_original + 3, num_original_clauses=num_original)]
+    learned_cids = []
+    for offset in range(num_learned):
+        cid = num_original + 1 + offset
+        # Resolution chains shorter than two sources are a structural
+        # violation (no plan), so draw at least two (repeats allowed).
+        sources = tuple(
+            draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=cid - 1),
+                    min_size=2,
+                    max_size=4,
+                )
+            )
+        )
+        records.append(LearnedClause(cid, sources))
+        learned_cids.append(cid)
+    max_cid = learned_cids[-1]
+    trail_vars = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=num_original + 3),
+            max_size=3,
+            unique=True,
+        )
+    )
+    for var in trail_vars:
+        antecedent = draw(st.integers(min_value=1, max_value=max_cid))
+        records.append(LevelZeroAssignment(var, draw(st.booleans()), antecedent))
+    records.append(FinalConflict(draw(st.sampled_from(learned_cids))))
+    records.append(TraceResult("UNSAT"))
+    return assemble_trace(records)
+
+
+def crossing_imports(trace, live, window):
+    """Resolve-source edges from live in-window clauses to earlier windows."""
+    num_original = trace.header.num_original_clauses
+    imports = set()
+    for cid in live:
+        if not window.contains(cid):
+            continue
+        for source in trace.learned[cid].sources:
+            if num_original < source < window.lo:
+                imports.add(source)
+    return imports
+
+
+def manifests_for(trace, window_size, prune_plan):
+    formula = CnfFormula(trace.header.num_vars, [[1]] * trace.header.num_original_clauses)
+    checker = ParallelWindowedChecker(
+        formula, trace, window_size=window_size, prune_plan=prune_plan
+    )
+    graph, level_zero, final_conflicts, status = checker._pre_pass()
+    assert status == "UNSAT"
+    return checker, checker._build_manifests(graph, level_zero, final_conflicts)
+
+
+@given(trace=synthetic_traces(), window_size=st.integers(min_value=1, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_window_imports_are_exactly_the_crossing_cone_edges(trace, window_size):
+    plan = compute_prune_plan(trace)
+    assert plan is not None  # valid-by-construction UNSAT trace
+
+    for prune_plan, live in ((None, set(trace.learned)), (plan, set(plan.keep))):
+        checker, manifests = manifests_for(trace, window_size, prune_plan)
+        num_original = trace.header.num_original_clauses
+
+        # Every window's imports match an independent recomputation from the
+        # raw trace, and close under resolve sources within the live set.
+        expected_exports = [set() for _ in checker.plan.windows]
+        for manifest, window in zip(manifests, checker.plan.windows):
+            expected = crossing_imports(trace, live, window)
+            assert manifest.imports == tuple(sorted(expected)), (
+                prune_plan is not None,
+                window.index,
+            )
+            for cid in expected:
+                expected_exports[checker.plan.window_of(cid).index].add(cid)
+            closure_cids = {cid for cid, _ in manifest.closure}
+            assert expected <= closure_cids
+            assert closure_cids <= live
+            for cid, sources in manifest.closure:
+                for source in sources:
+                    if source > num_original:
+                        assert source in closure_cids
+
+        # Exports are the flip side of the same edges, plus the proof roots
+        # (first final conflict and learned level-0 antecedents).
+        roots = {cid for cid in trace.final_conflicts[:1] if cid > num_original}
+        roots.update(
+            entry.antecedent
+            for entry in trace.level_zero
+            if entry.antecedent > num_original
+        )
+        for root in roots:
+            expected_exports[checker.plan.window_of(root).index].add(root)
+        for manifest, expected in zip(manifests, expected_exports):
+            assert manifest.exports == tuple(sorted(expected))
+
+
+@given(trace=synthetic_traces(), window_size=st.integers(min_value=1, max_value=10))
+@settings(max_examples=60, deadline=None)
+def test_window_counts_partition_each_window(trace, window_size):
+    plan = compute_prune_plan(trace)
+    assert plan is not None
+    window_plan = plan_windows(
+        sorted(trace.learned), trace.header.num_original_clauses, window_size=window_size
+    )
+    counts = plan.window_counts(window_plan)
+    assert sum(entry["kept"] for entry in counts) == len(plan.keep)
+    assert sum(entry["skipped"] for entry in counts) == len(plan.skip)
+    for entry, spec in zip(counts, window_plan.windows):
+        assert entry["window"] == spec.index
+        assert entry["kept"] + entry["skipped"] == spec.num_records

@@ -95,6 +95,19 @@ def test_submit_serve_status_results_round_trip(artifacts, tmp_path, capsys):
     assert payloads[0]["report"]["schema_version"] == REPORT_SCHEMA_VERSION
 
 
+def test_submit_prune_rides_through_the_spool(artifacts, tmp_path, capsys):
+    _, cnf, ascii_path, _ = artifacts
+    spool = str(tmp_path / "spool")
+    assert submit_main([spool, cnf, ascii_path, "--method", "bf", "--prune"]) == 0
+    capsys.readouterr()
+    assert serve_main([spool, "--once", "--workers", "1"]) == 0
+    capsys.readouterr()
+    assert results_main([spool, "job-000001", "--json"]) == 0
+    payloads = json.loads(capsys.readouterr().out)
+    assert payloads[0]["report"]["verified"] is True
+    assert payloads[0]["report"]["prune"]["total_learned"] > 0
+
+
 def test_results_unknown_job_id(tmp_path, capsys):
     spool = str(tmp_path / "spool")
     assert serve_main([spool, "--once"]) == 0

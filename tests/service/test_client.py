@@ -91,6 +91,30 @@ def test_cached_report_carries_fingerprint(artifacts, tmp_path):
     assert warm.fingerprint["key"] == fresh.fingerprint["key"]
 
 
+def test_prune_is_a_distinct_cache_line_and_is_metered(artifacts, tmp_path):
+    formula, _, ascii_path, _ = artifacts
+    client = make_client(tmp_path)
+    plain = client.check(formula, ascii_path, method="bf")
+    assert plain.prune is None
+    pruned = client.check(formula, ascii_path, method="bf", prune=True)
+    assert not pruned.from_cache  # prune=True must not alias the plain line
+    assert pruned.verified and pruned.prune is not None
+    assert client.metrics.counter("check.pruned").value == 1
+    assert (
+        client.metrics.counter("check.pruned_lemmas").value
+        == pruned.prune["skipped"]
+    )
+
+
+def test_cached_verdict_remembers_it_was_pruned(artifacts, tmp_path):
+    formula, _, ascii_path, _ = artifacts
+    client = make_client(tmp_path)
+    fresh = client.check(formula, ascii_path, method="bf", prune=True)
+    warm = client.check(formula, ascii_path, method="bf", prune=True)
+    assert warm.from_cache
+    assert warm.prune == fresh.prune
+
+
 def test_clientless_cache_still_checks(artifacts):
     formula, _, ascii_path, _ = artifacts
     client = ServiceClient(cache=None)

@@ -70,6 +70,11 @@ def test_options_fingerprint_ignores_non_verdict_options():
     assert fingerprint_options({"method": "bf", "memory_limit": 100}) != base
 
 
+def test_options_fingerprint_separates_pruned_from_unpruned():
+    base = fingerprint_options({"method": "bf"})
+    assert fingerprint_options({"method": "bf", "prune": True}) != base
+
+
 def test_job_key_depends_on_every_component():
     key = job_key("a", "b", "c")
     assert job_key("x", "b", "c") != key

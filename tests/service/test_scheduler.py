@@ -117,6 +117,19 @@ def test_multiple_workers_share_one_queue(artifacts, tmp_path):
     scheduler.store.close()
 
 
+def test_prune_option_is_accepted_and_reported(artifacts, tmp_path):
+    _, cnf, ascii_path, _ = artifacts
+    scheduler = make_scheduler(tmp_path)
+    plain = scheduler.store.submit(cnf, ascii_path, {"method": "bf"})
+    pruned = scheduler.store.submit(cnf, ascii_path, {"method": "bf", "prune": True})
+    scheduler.drain()
+    assert plain.state is JobState.DONE and "pruned" not in plain.result
+    assert pruned.state is JobState.DONE
+    assert pruned.result["verified"] is True
+    assert pruned.result["pruned"] is True
+    scheduler.store.close()
+
+
 def test_scheduler_rejects_zero_workers(tmp_path):
     store = JobStore(tmp_path / "journal.jsonl")
     with pytest.raises(ValueError):

@@ -52,7 +52,7 @@ class TestClauseDatabase:
         binary = db.add_learned([5, 6])
         db.bump_clause(locked)
         deleted = db.reduce_learned(locked={locked})
-        assert deleted == [[-2, 3, 4]]
+        assert deleted == [(low_activity, [-2, 3, 4])]
         assert locked in db
         assert binary in db
         assert low_activity not in db

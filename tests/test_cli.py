@@ -185,3 +185,90 @@ def test_check_precheck_fails_fast_on_garbage(unsat_cnf, clean_trace, tmp_path, 
     assert check_main([str(unsat_cnf), str(broken), "--method", "bf", "--precheck"]) == 1
     out = capsys.readouterr().out
     assert "static-precheck" in out
+
+
+# -- the derivation-graph surface ---------------------------------------------
+
+
+def test_analyze_text_output(clean_trace, capsys):
+    from repro.cli import analyze_main
+
+    assert analyze_main([str(clean_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "core:" in out
+    assert "dag:" in out
+    assert "status UNSAT" in out
+
+
+def test_analyze_json_output(clean_trace, capsys):
+    from repro.cli import analyze_main
+
+    assert analyze_main([str(clean_trace), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["schema_version"] == 1
+    assert payload["graph"]["core_learned"] > 0
+    assert payload["graph"]["prunable"] is True
+
+
+def test_analyze_flags_broken_trace(clean_trace, tmp_path, capsys):
+    lines = clean_trace.read_text().splitlines()
+    broken = tmp_path / "broken.trace"
+    broken.write_text(
+        "\n".join(line for line in lines if not line.startswith("CONF")) + "\n"
+    )
+    from repro.cli import analyze_main
+
+    assert analyze_main([str(broken)]) == 1
+    assert "T007" in capsys.readouterr().out
+
+
+def test_lint_trace_graph_flag_reports_dead_lemmas(tmp_path, capsys):
+    trace = tmp_path / "dead.trace"
+    trace.write_text(
+        "T 3 3\n"
+        "CL 4 1 2\n"
+        "CL 5 4 3\n"
+        "CL 6 5 1\n"  # never reaches the final conflict: a dead lemma
+        "V 1 1 4\n"
+        "CONF 5\n"
+        "R UNSAT\n"
+    )
+    assert lint_trace_main([str(trace)]) == 0
+    assert "T013" not in capsys.readouterr().out
+    assert lint_trace_main([str(trace), "--graph"]) == 0  # info severity
+    out = capsys.readouterr().out
+    assert "T013" in out
+    assert "graph:" in out  # the DAG summary line rides along
+
+
+def test_check_prune_flag(unsat_cnf, clean_trace, capsys):
+    for method in ("df", "bf", "hybrid"):
+        assert (
+            check_main(
+                [str(unsat_cnf), str(clean_trace), "--method", method, "--prune"]
+            )
+            == 0
+        )
+        assert "Check Succeeded" in capsys.readouterr().out
+
+
+def test_check_prune_rejects_plain_rup(unsat_cnf, clean_trace):
+    with pytest.raises(SystemExit):
+        check_main(
+            [str(unsat_cnf), str(clean_trace), "--method", "rup", "--prune"]
+        )
+
+
+def test_trim_verify_cli(unsat_cnf, clean_trace, tmp_path, capsys):
+    from repro.cli import trim_main
+
+    trimmed = tmp_path / "trimmed.trace"
+    assert trim_main([str(unsat_cnf), str(clean_trace), str(trimmed), "--verify"]) == 0
+    assert "deletions kept" in capsys.readouterr().out
+    assert check_main([str(unsat_cnf), str(trimmed), "--method", "bf"]) == 0
+
+
+def test_umbrella_knows_analyze(clean_trace, capsys):
+    assert main(["analyze", str(clean_trace)]) == 0
+    assert "core:" in capsys.readouterr().out

@@ -28,6 +28,7 @@ def _write_sample(writer):
     writer.header(4, 3)
     writer.learned_clause(4, [3, 1])
     writer.learned_clause(5, [4, 2, 1])
+    writer.clause_deletion(4)
     writer.level_zero(1, True, 4)
     writer.level_zero(2, False, 5)
     writer.final_conflict(3)
@@ -39,6 +40,7 @@ def _check_sample(trace):
     assert trace.header == TraceHeader(4, 3)
     assert trace.learned[4].sources == (3, 1)
     assert trace.learned[5].sources == (4, 2, 1)
+    assert trace.deletions == {5: [4]}  # anchored to the last learned cid
     assert trace.level_zero == [
         LevelZeroAssignment(1, True, 4),
         LevelZeroAssignment(2, False, 5),
@@ -161,6 +163,33 @@ def test_assemble_rejects_empty():
 def test_learned_clause_requires_sources():
     with pytest.raises(TraceError):
         LearnedClause(10, ())
+
+
+@pytest.mark.parametrize("fmt", ["ascii", "binary"])
+def test_deletion_positions_roundtrip(tmp_path, fmt):
+    """Deletions keep their stream position: before any learned record
+    (anchor 0), mid-stream, and several under one anchor."""
+    path = tmp_path / f"d.{fmt}"
+    writer = open_trace_writer(path, fmt)
+    writer.header(4, 3)
+    writer.clause_deletion(2)  # deleting an original clause, pre-learning
+    writer.learned_clause(4, [3, 1])
+    writer.clause_deletion(4)
+    writer.learned_clause(5, [4, 2, 1])
+    writer.clause_deletion(4)
+    writer.clause_deletion(5)
+    writer.final_conflict(5)
+    writer.result("UNSAT")
+    writer.close()
+    trace = load_trace(path)
+    assert trace.deletions == {0: [2], 4: [4], 5: [4, 5]}
+    # The record stream replays deletions in their original interleaving.
+    from repro.trace.records import ClauseDeletion
+
+    kinds = [
+        record.cid for record in trace.records() if isinstance(record, ClauseDeletion)
+    ]
+    assert kinds == [2, 4, 4, 5]
 
 
 def test_trace_records_replay():

@@ -158,6 +158,14 @@ def main() -> int:
         status |= fallback_lint()
     if shutil.which("mypy"):
         status |= run_external("mypy", "--config-file", "pyproject.toml")
+        # The analysis package is held to a higher bar: fully annotated,
+        # strict-clean (it is the youngest subsystem — keep it that way).
+        # --follow-imports=silent keeps the strictness scoped to the package:
+        # imported repro.trace/repro.checker modules are still analyzed for
+        # their annotations but not reported against.
+        status |= run_external(
+            "mypy", "--strict", "--follow-imports=silent", "src/repro/analysis"
+        )
     else:
         print("[lint] mypy not installed; skipping type check")
     return status
