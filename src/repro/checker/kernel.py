@@ -336,6 +336,23 @@ class ReferenceEngine(_EngineBase):
         return None
 
 
+# Optional warm-store provider: a callable mapping a formula to a ClauseStore
+# to seed the kernel with, or None. Long-lived checking workers install one so
+# repeat checks of the same formula reuse already-interned clause buffers
+# (interning is content-addressed, so sharing a store across checks of the
+# same formula is verdict-neutral — it only skips re-interning work).
+_WARM_STORE_PROVIDER = None
+
+
+def set_warm_store_provider(provider) -> None:
+    """Install (or clear, with ``None``) the process-wide warm-store hook."""
+    global _WARM_STORE_PROVIDER
+    _WARM_STORE_PROVIDER = provider
+
+
 def make_engine(use_kernel: bool, formula) -> KernelEngine | ReferenceEngine:
     """The engine every checker constructs from its ``use_kernel`` flag."""
-    return KernelEngine(formula) if use_kernel else ReferenceEngine(formula)
+    if not use_kernel:
+        return ReferenceEngine(formula)
+    store = _WARM_STORE_PROVIDER(formula) if _WARM_STORE_PROVIDER is not None else None
+    return KernelEngine(formula, store=store)

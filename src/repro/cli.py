@@ -647,9 +647,28 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="verdict cache location (default: <spool>/cache)")
     parser.add_argument("--fsync", action="store_true",
                         help="fsync the journal on every append (power-loss safety)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="split the job journal into N content-routed shards (default 1)")
+    parser.add_argument("--own", default=None, metavar="LIST",
+                        help="comma-separated shard indices this instance serves "
+                             "(default: all shards)")
+    parser.add_argument("--metrics-interval", type=float, default=2.0, metavar="S",
+                        help="minimum seconds between metrics snapshots (default 2)")
+    parser.add_argument("--exec-mode", choices=("process", "thread"), default="process",
+                        help="worker execution layer (default: pre-forked processes)")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers needs at least one worker")
+    if args.shards < 1:
+        parser.error("--shards needs at least one shard")
+    owned = None
+    if args.own is not None:
+        try:
+            owned = [int(piece) for piece in args.own.split(",") if piece.strip()]
+        except ValueError:
+            parser.error("--own wants comma-separated shard indices, e.g. 0,2")
+        if any(not 0 <= shard < args.shards for shard in owned):
+            parser.error(f"--own indices must be in [0, {args.shards})")
 
     from repro.service import CheckDaemon
 
@@ -661,6 +680,10 @@ def serve_main(argv: list[str] | None = None) -> int:
         cache_dir=args.cache_dir,
         poll_interval=args.poll_interval,
         fsync=args.fsync,
+        num_shards=args.shards,
+        owned_shards=owned,
+        metrics_interval=args.metrics_interval,
+        exec_mode=args.exec_mode,
     )
     if daemon.store.requeued_on_replay:
         print(f"c recovered {daemon.store.requeued_on_replay} orphaned job(s) from the journal")
@@ -733,10 +756,13 @@ def status_main(argv: list[str] | None = None) -> int:
 
     status = read_queue_status(args.spool)
     counts = status.get("counts", {})
-    print(
+    line = (
         f"jobs {status['jobs']} | queue depth {status['queue_depth']} | "
         f"incoming {status['incoming']}"
     )
+    if status.get("shards", 1) > 1:
+        line += f" | shards {status['shards']}"
+    print(line)
     if counts:
         print(" ".join(f"{state}={count}" for state, count in counts.items()))
     if status.get("torn_lines"):

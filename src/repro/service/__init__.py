@@ -14,8 +14,11 @@ those one-shot checks into a long-lived service, per the ROADMAP's
 * :mod:`repro.service.jobs` — :class:`JobStore`, the durable queue: a
   JSONL journal with PENDING → RUNNING → DONE/FAILED transitions and
   crash-safe replay.
-* :mod:`repro.service.scheduler` — :class:`Scheduler`, the multi-worker
-  dispatcher routing each job through PR 4's ``supervised_check``.
+* :mod:`repro.service.pool` — :class:`WorkerPool`, the pre-forked
+  process execution layer: long-lived workers with warm formula/trace/
+  clause-store caches, crash replacement and bounded task retry.
+* :mod:`repro.service.scheduler` — :class:`Scheduler`, the event-driven
+  dispatcher feeding the pool and serving cache hits itself.
 * :mod:`repro.service.client` — :class:`ServiceClient`, the library
   front door for embedders (the experiments harness runs through it).
 * :mod:`repro.service.daemon` — :class:`CheckDaemon` and the spool
@@ -43,8 +46,16 @@ from repro.service.fingerprint import (
     fingerprint_trace,
     job_key,
 )
-from repro.service.jobs import Job, JobState, JobStore
+from repro.service.jobs import (
+    Job,
+    JobState,
+    JobStore,
+    ShardedJobStore,
+    discover_shard_journals,
+    shard_of,
+)
 from repro.service.metrics import MetricsRegistry, load_snapshot, render_snapshot
+from repro.service.pool import ThreadWorkerPool, WorkerPool
 from repro.service.scheduler import Scheduler
 
 __all__ = [
@@ -64,8 +75,13 @@ __all__ = [
     "Job",
     "JobState",
     "JobStore",
+    "ShardedJobStore",
+    "shard_of",
+    "discover_shard_journals",
     "MetricsRegistry",
     "load_snapshot",
     "render_snapshot",
+    "WorkerPool",
+    "ThreadWorkerPool",
     "Scheduler",
 ]

@@ -19,14 +19,27 @@ Safety over speed, in order:
 * the store is LRU-bounded by entry count: hits refresh the entry's
   mtime, and inserts beyond ``max_entries`` evict the stalest files.
 
-Unreadable or corrupt entries degrade to a miss. The cache never makes a
-check fail; at worst it makes one redundant.
+Two write disciplines share one on-disk layout:
+
+* ``batch_size=1`` (the default) writes one ``<key>.json`` file per
+  verdict, exactly as before;
+* ``batch_size>1`` buffers verdicts in memory and flushes them as one
+  multi-entry **segment** (``seg-<stamp>.jsonl``, one entry per line)
+  with a *single* atomic ``os.replace`` per flush — what the checking
+  service uses so a busy queue does not pay one rename per job. Pending
+  entries are served from memory; segments are indexed at open time,
+  newest-wins. A crash loses at most the unflushed buffer — never a
+  previously flushed verdict, and the cache never makes a check fail.
+
+Unreadable or corrupt entries degrade to a miss.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+import time
 from pathlib import Path
 
 from repro.checker.report import REPORT_SCHEMA_VERSION, CheckReport
@@ -37,6 +50,10 @@ from repro.service.metrics import MetricsRegistry
 #: is megabytes, not a disk hazard.
 DEFAULT_MAX_ENTRIES = 4096
 
+#: How long (seconds) a buffered entry may wait before a put forces a
+#: flush even when the batch is not full.
+DEFAULT_FLUSH_AGE_S = 2.0
+
 
 class VerdictCache:
     """On-disk, content-addressed store of check verdicts."""
@@ -46,21 +63,61 @@ class VerdictCache:
         cache_dir: str | Path,
         max_entries: int = DEFAULT_MAX_ENTRIES,
         metrics: MetricsRegistry | None = None,
+        batch_size: int = 1,
+        flush_age_s: float = DEFAULT_FLUSH_AGE_S,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.metrics = metrics or MetricsRegistry()
+        self.batch_size = batch_size
+        self.flush_age_s = flush_age_s
+        self._lock = threading.Lock()
+        self._pending: dict[str, dict] = {}
+        self._pending_since: float | None = None
+        # key -> segment path, built once at open; later flushes update it.
+        self._segment_index: dict[str, Path] = {}
+        self._segment_entries: dict[Path, int] = {}
+        self._load_segments()
 
     # -- paths ---------------------------------------------------------------
 
     def _entry_path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.json"
 
+    def _load_segments(self) -> None:
+        """Index every segment's keys; lexicographic name order is
+        chronological (names embed a zero-padded nanosecond stamp), so a
+        later segment's entry wins over an earlier one for the same key."""
+        for segment in sorted(self.cache_dir.glob("seg-*.jsonl")):
+            count = 0
+            try:
+                with open(segment, encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            key = json.loads(line).get("key")
+                        except json.JSONDecodeError:
+                            continue
+                        if key:
+                            self._segment_index[key] = segment
+                            count += 1
+            except OSError:
+                continue
+            self._segment_entries[segment] = count
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        with self._lock:
+            buffered = len(self._pending)
+            segmented = sum(self._segment_entries.values())
+        singles = sum(1 for _ in self.cache_dir.glob("*.json"))
+        return singles + segmented + buffered
 
     # -- lookup --------------------------------------------------------------
 
@@ -69,11 +126,25 @@ class VerdictCache:
 
         ``fingerprint`` is the dict from
         :func:`repro.service.fingerprint.fingerprint_check` (the ``key``
-        plus the three component digests). Every mismatch — absent file,
+        plus the three component digests). Every mismatch — absent entry,
         unparseable JSON, wrong schema version, component digest
-        disagreement — is a counted miss.
+        disagreement — is a counted miss. Lookup order: the in-memory
+        batch buffer, then segments, then per-entry files.
         """
-        path = self._entry_path(fingerprint["key"])
+        key = fingerprint["key"]
+        with self._lock:
+            entry = self._pending.get(key)
+            segment = self._segment_index.get(key)
+        if entry is None and segment is not None:
+            entry = self._read_segment_entry(segment, key)
+        if entry is None:
+            entry = self._read_entry_file(key)
+            if entry is None:
+                return None
+        return self._validate(entry, fingerprint)
+
+    def _read_entry_file(self, key: str) -> dict | None:
+        path = self._entry_path(key)
         try:
             with open(path, encoding="utf-8") as handle:
                 entry = json.load(handle)
@@ -84,6 +155,37 @@ class VerdictCache:
             self.metrics.inc("cache.misses")
             self.metrics.inc("cache.corrupt_entries")
             return None
+        # LRU bookkeeping: a hit makes the entry the freshest.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return entry
+
+    def _read_segment_entry(self, segment: Path, key: str) -> dict | None:
+        try:
+            with open(segment, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if entry.get("key") == key:
+                        try:
+                            os.utime(segment)
+                        except OSError:
+                            pass
+                        return entry
+        except OSError:
+            pass
+        with self._lock:
+            self._segment_index.pop(key, None)
+        return None
+
+    def _validate(self, entry: dict, fingerprint: dict) -> CheckReport | None:
         if entry.get("schema_version") != REPORT_SCHEMA_VERSION:
             self.metrics.inc("cache.misses")
             self.metrics.inc("cache.schema_rejects")
@@ -99,11 +201,6 @@ class VerdictCache:
             self.metrics.inc("cache.misses")
             self.metrics.inc("cache.corrupt_entries")
             return None
-        # LRU bookkeeping: a hit makes the entry the freshest.
-        try:
-            os.utime(path)
-        except OSError:
-            pass
         self.metrics.inc("cache.hits")
         report.from_cache = True
         return report
@@ -111,11 +208,14 @@ class VerdictCache:
     # -- insert --------------------------------------------------------------
 
     def put(self, fingerprint: dict, report: CheckReport) -> None:
-        """Store ``report`` under ``fingerprint``, atomically, evicting LRU.
+        """Store ``report`` under ``fingerprint``, evicting LRU.
 
-        The report's own ``fingerprint`` field is stamped before
-        serialization so the persisted verdict names its inputs even when
-        read outside the cache.
+        Single-entry mode writes the entry file atomically right away;
+        batch mode buffers and flushes when the batch fills or the oldest
+        buffered entry exceeds ``flush_age_s``. The report's own
+        ``fingerprint`` field is stamped before serialization so the
+        persisted verdict names its inputs even when read outside the
+        cache.
         """
         if report.fingerprint is None:
             report.fingerprint = {
@@ -130,26 +230,84 @@ class VerdictCache:
             "options_sha256": fingerprint["options_sha256"],
             "report": report.to_json(),
         }
-        path = self._entry_path(fingerprint["key"])
+        if self.batch_size <= 1:
+            self._write_entry_file(entry)
+            self.metrics.inc("cache.stores")
+            self._evict_over_bound()
+            return
+        flush_now = False
+        with self._lock:
+            self._pending[entry["key"]] = entry
+            if self._pending_since is None:
+                self._pending_since = time.monotonic()
+            self.metrics.inc("cache.batched_stores")
+            if (
+                len(self._pending) >= self.batch_size
+                or time.monotonic() - self._pending_since >= self.flush_age_s
+            ):
+                flush_now = True
+        if flush_now:
+            self.flush()
+
+    def _write_entry_file(self, entry: dict) -> None:
+        path = self._entry_path(entry["key"])
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(entry, handle, indent=2, sort_keys=True)
             handle.write("\n")
         os.replace(tmp, path)
-        self.metrics.inc("cache.stores")
+
+    def flush(self) -> None:
+        """Write every buffered entry as one segment — a single atomic
+        ``os.replace`` regardless of how many verdicts are pending."""
+        with self._lock:
+            if not self._pending:
+                return
+            pending, self._pending = self._pending, {}
+            self._pending_since = None
+        segment = self.cache_dir / f"seg-{time.time_ns():020d}-{os.getpid()}.jsonl"
+        tmp = f"{segment}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for entry in pending.values():
+                handle.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
+                handle.write("\n")
+        os.replace(tmp, segment)
+        with self._lock:
+            for key in pending:
+                self._segment_index[key] = segment
+            self._segment_entries[segment] = len(pending)
+        self.metrics.inc("cache.flushes")
+        self.metrics.inc("cache.stores", len(pending))
         self._evict_over_bound()
 
     def invalidate(self, key: str) -> bool:
-        """Drop one entry (``--refresh`` uses this); True if it existed."""
+        """Drop one entry (``--refresh`` uses this); True if it existed.
+
+        A key living in a flushed segment is only dropped from the index
+        (the segment file is shared); it resurfaces on reopen unless a
+        newer entry overwrites it — which is exactly what ``--refresh``
+        does next.
+        """
+        existed = False
+        with self._lock:
+            existed |= self._pending.pop(key, None) is not None
+            existed |= self._segment_index.pop(key, None) is not None
         try:
             os.unlink(self._entry_path(key))
-            return True
+            existed = True
         except FileNotFoundError:
-            return False
+            pass
+        return existed
 
     def _evict_over_bound(self) -> None:
-        entries = list(self.cache_dir.glob("*.json"))
-        excess = len(entries) - self.max_entries
+        with self._lock:
+            weights = {
+                segment: max(1, count)
+                for segment, count in self._segment_entries.items()
+            }
+        for path in self.cache_dir.glob("*.json"):
+            weights[path] = 1
+        excess = sum(weights.values()) - self.max_entries
         if excess <= 0:
             return
         def mtime(path: Path) -> float:
@@ -157,9 +315,22 @@ class VerdictCache:
                 return path.stat().st_mtime
             except OSError:
                 return 0.0
-        for stale in sorted(entries, key=mtime)[:excess]:
+        for stale in sorted(weights, key=mtime):
+            if excess <= 0:
+                return
             try:
                 os.unlink(stale)
-                self.metrics.inc("cache.evictions")
             except OSError:
-                pass
+                continue
+            excess -= weights[stale]
+            self.metrics.inc("cache.evictions", weights[stale])
+            if stale.suffix == ".jsonl":
+                with self._lock:
+                    self._segment_entries.pop(stale, None)
+                    dropped = [
+                        key
+                        for key, segment in self._segment_index.items()
+                        if segment == stale
+                    ]
+                    for key in dropped:
+                        del self._segment_index[key]

@@ -31,6 +31,7 @@ from repro.service.fingerprint import (
     fingerprint_trace,
     job_key,
 )
+from repro.trace.fingerprint import sha256_file
 from repro.service.metrics import MetricsRegistry
 
 
@@ -72,8 +73,41 @@ class ServiceClient:
             formula = parse_dimacs_file(formula)
 
         started = time.perf_counter()
+        fingerprint = self.fingerprint(formula, trace_source, options)
+
+        cached = self.cache_lookup(fingerprint)
+        if cached is not None:
+            self.metrics.observe("check.latency_s", time.perf_counter() - started)
+            return cached
+
+        report = supervised_check(
+            formula, trace_source, fingerprint=fingerprint, **options
+        )
+        self.metrics.observe("check.latency_s", time.perf_counter() - started)
+        self.account(report)
+        self.cache_store(fingerprint, report)
+        return report
+
+    # -- the pieces the scheduler composes itself ----------------------------
+
+    def fingerprint(
+        self,
+        formula: CnfFormula | str | Path,
+        trace_source: str | Path | Trace,
+        options: dict,
+    ) -> dict:
+        """All four content digests for one prospective check.
+
+        A parsed formula hashes canonically; a path hashes the file bytes
+        (cheaper, and just as binding — the parse is deterministic).
+        """
+        started = time.perf_counter()
+        if isinstance(formula, CnfFormula):
+            formula_sha = fingerprint_formula(formula)
+        else:
+            formula_sha = sha256_file(formula)
         fingerprint = {
-            "formula_sha256": fingerprint_formula(formula),
+            "formula_sha256": formula_sha,
             "trace_sha256": fingerprint_trace(trace_source),
             "options_sha256": fingerprint_options(options),
         }
@@ -83,24 +117,25 @@ class ServiceClient:
             fingerprint["options_sha256"],
         )
         self.metrics.observe("fingerprint.latency_s", time.perf_counter() - started)
+        return fingerprint
 
-        if self.use_cache and not self.refresh:
-            assert self.cache is not None
-            cached = self.cache.get(fingerprint)
-            if cached is not None:
-                self.metrics.observe("check.latency_s", time.perf_counter() - started)
-                return cached
+    def cache_lookup(self, fingerprint: dict) -> CheckReport | None:
+        """Cached verdict for ``fingerprint`` — honoring use_cache/refresh."""
+        if not self.use_cache or self.refresh:
+            return None
+        assert self.cache is not None
+        return self.cache.get(fingerprint)
 
-        report = supervised_check(
-            formula, trace_source, fingerprint=fingerprint, **options
-        )
-        self.metrics.observe("check.latency_s", time.perf_counter() - started)
-        self._account(report)
-
+    def cache_store(self, fingerprint: dict, report: CheckReport) -> None:
+        """Persist a fresh verdict when it is content (not a resource blip)."""
         if self.use_cache and self._cacheable(report):
             assert self.cache is not None
             self.cache.put(fingerprint, report)
-        return report
+
+    def flush_cache(self) -> None:
+        """Force any batched cache writes to disk (drain/shutdown path)."""
+        if self.cache is not None:
+            self.cache.flush()
 
     # -- internals -----------------------------------------------------------
 
@@ -110,7 +145,7 @@ class ServiceClient:
             return True
         return report.failure is not None and report.failure.kind not in DEGRADABLE_KINDS
 
-    def _account(self, report: CheckReport) -> None:
+    def account(self, report: CheckReport) -> None:
         """Fleet-level counters out of one report's self-description."""
         if report.prune is not None:
             self.metrics.inc("check.pruned")

@@ -1,30 +1,42 @@
 """The spool-directory daemon behind ``repro serve`` / ``submit`` / ``status``.
 
-A spool directory is the whole wire protocol — no sockets, no broker,
-nothing the offline environment lacks:
+A spool directory is the whole wire protocol — no broker, nothing the
+offline environment lacks:
 
 .. code-block:: text
 
     spool/
       incoming/              job files dropped by `repro submit` (atomic rename in)
       accepted/              job files after pickup (atomic rename out of incoming)
-      journal.jsonl          the JobStore journal (the source of truth)
+      journal.jsonl          the JobStore journal (single-shard source of truth)
+      journal-KK-of-NN.jsonl sharded journals (multi-instance deployments)
+      control-<pid>.sock     unix datagram wakeup socket, one per live daemon
       results/               per-job full CheckReport JSON + SERVICE_metrics.json
       cache/                 the verdict cache (shared across restarts)
 
-``repro submit`` writes a job file into ``incoming/``; the daemon's poll
-loop renames it into ``accepted/`` (rename is the commit point — two
-daemons can share a spool without double-ingesting), journals it as
-PENDING, and the scheduler's workers take it from there. Restarting
-after a crash re-opens the journal, requeues orphaned RUNNING jobs, and
-keeps going; completed work is never repeated because it is journaled
-DONE, and identical *pending* work is deduplicated by content key.
+``repro submit`` writes a job file into ``incoming/`` and then pings every
+``control-*.sock`` it can see — a serving daemon wakes *immediately*
+instead of on its next poll tick, so submit→verdict latency is bounded by
+the check, not by ``poll_interval`` (which survives purely as the fallback
+for submitters that cannot reach a socket). The daemon's ingest renames
+the file into ``accepted/`` (rename is the commit point — two daemons can
+share a spool without double-ingesting), journals it as PENDING, and the
+scheduler's pre-forked pool takes it from there.
+
+Sharded deployments give each daemon instance disjoint ``--own`` shards:
+jobs route to ``shard_of(content key)``, an instance only ingests and
+drains what it owns, and every journal file keeps exactly one writer.
+Restarting after a crash re-opens the owned journals, requeues orphaned
+RUNNING jobs, and keeps going; completed work is never repeated because
+it is journaled DONE, and identical *pending* work is deduplicated by
+content key.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import sys
 import time
 from dataclasses import dataclass
@@ -33,13 +45,19 @@ from pathlib import Path
 from repro.service.cache import VerdictCache
 from repro.service.client import ServiceClient
 from repro.service.fingerprint import fingerprint_options, job_key
-from repro.service.jobs import JobStore
+from repro.service.jobs import ShardedJobStore, discover_shard_journals, shard_of
 from repro.service.metrics import MetricsRegistry
 from repro.service.scheduler import Scheduler
 from repro.trace.fingerprint import sha256_file
 
 #: Snapshot of the daemon's metrics, inside the spool's results dir.
 METRICS_BASENAME = "SERVICE_metrics.json"
+
+#: Default floor between metrics snapshots while the daemon is serving.
+DEFAULT_METRICS_INTERVAL_S = 2.0
+
+#: Default size of one batched verdict-cache flush.
+DEFAULT_CACHE_BATCH = 16
 
 
 @dataclass
@@ -72,6 +90,9 @@ class SpoolLayout:
     def metrics_path(self) -> Path:
         return self.results / METRICS_BASENAME
 
+    def control_sockets(self) -> list[Path]:
+        return sorted(self.root.glob("control-*.sock"))
+
     def ensure(self) -> "SpoolLayout":
         for directory in (self.root, self.incoming, self.accepted, self.results):
             directory.mkdir(parents=True, exist_ok=True)
@@ -82,13 +103,31 @@ def spool_layout(spool: str | Path) -> SpoolLayout:
     return SpoolLayout(Path(spool))
 
 
+def _ping_daemons(layout: SpoolLayout) -> int:
+    """Poke every serving daemon's wakeup socket; stale sockets of dead
+    daemons are cleaned up on the way. Returns how many pings landed."""
+    delivered = 0
+    for sock_path in layout.control_sockets():
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_DGRAM) as sock:
+                sock.sendto(b"!", str(sock_path))
+            delivered += 1
+        except OSError:
+            try:
+                sock_path.unlink()
+            except OSError:
+                pass
+    return delivered
+
+
 def submit_job(
     spool: str | Path,
     formula: str | Path,
     trace: str | Path,
     options: dict | None = None,
 ) -> Path:
-    """Drop one job file into the spool's incoming directory, atomically.
+    """Drop one job file into the spool's incoming directory, atomically,
+    then wake any serving daemon over its control socket.
 
     Paths are stored absolute so the daemon's working directory is
     irrelevant. Returns the job file's path (its basename is unique per
@@ -111,6 +150,7 @@ def submit_job(
     tmp = layout.incoming / f".job-{stamp}.tmp"
     tmp.write_text(body + "\n", encoding="utf-8")
     os.replace(tmp, path)
+    _ping_daemons(layout)
     return path
 
 
@@ -124,7 +164,7 @@ def _dedup_key(payload: dict) -> str:
 
 
 class CheckDaemon:
-    """Polls a spool directory and drains its queue through the scheduler."""
+    """Serves a spool directory: event-driven ingest feeding the pool."""
 
     def __init__(
         self,
@@ -135,47 +175,86 @@ class CheckDaemon:
         cache_dir: str | Path | None = None,
         poll_interval: float = 0.2,
         fsync: bool = False,
+        num_shards: int = 1,
+        owned_shards: list[int] | None = None,
+        metrics_interval: float = DEFAULT_METRICS_INTERVAL_S,
+        cache_batch: int = DEFAULT_CACHE_BATCH,
+        exec_mode: str = "process",
     ) -> None:
         self.layout = spool_layout(spool).ensure()
         self.metrics = MetricsRegistry()
         cache = None
         if use_cache:
-            cache = VerdictCache(cache_dir or self.layout.cache, metrics=self.metrics)
+            cache = VerdictCache(
+                cache_dir or self.layout.cache,
+                metrics=self.metrics,
+                batch_size=max(1, cache_batch),
+            )
         self.client = ServiceClient(
             cache=cache, metrics=self.metrics, use_cache=use_cache, refresh=refresh
         )
-        self.store = JobStore(self.layout.journal, fsync=fsync)
+        self.store = ShardedJobStore(
+            self.layout.root,
+            num_shards=num_shards,
+            owned=owned_shards,
+            fsync=fsync,
+        )
         self.scheduler = Scheduler(
             self.store, self.client, num_workers=num_workers,
-            results_dir=self.layout.results,
+            results_dir=self.layout.results, mode=exec_mode,
         )
         self.poll_interval = poll_interval
+        self.metrics_interval = metrics_interval
+        self._wakeup_sock: socket.socket | None = None
+        self._wakeup_path: Path | None = None
         if self.store.requeued_on_replay:
             self.metrics.inc("jobs.requeued_on_replay", self.store.requeued_on_replay)
 
     # -- spool ingestion -----------------------------------------------------
 
+    @property
+    def _rejects_malformed(self) -> bool:
+        # Exactly one instance per spool must own rejection of files whose
+        # shard cannot be computed; by convention it is shard 0's owner.
+        return 0 in self.store._shards
+
     def ingest(self) -> int:
-        """Move every waiting job file into the journal; returns how many."""
+        """Journal every waiting job file this instance owns; returns how
+        many. Files routing to shards owned by *other* instances are left
+        in ``incoming/`` for their owners."""
         ingested = 0
         for path in sorted(self.layout.incoming.glob("*.json")):
-            accepted = self.layout.accepted / path.name
             try:
-                os.replace(path, accepted)  # the commit point
+                text = path.read_text(encoding="utf-8")
             except OSError:
-                continue  # another daemon won the rename
+                continue  # another instance renamed it first
             try:
-                payload = json.loads(accepted.read_text(encoding="utf-8"))
+                payload = json.loads(text)
                 formula, trace = payload["formula"], payload["trace"]
                 options = payload.get("options", {})
                 if not isinstance(options, dict):
                     raise ValueError("job options must be an object")
                 dedup = _dedup_key(payload)
             except (OSError, ValueError, KeyError, TypeError) as exc:
+                if not self._rejects_malformed:
+                    continue
+                accepted = self.layout.accepted / path.name
+                try:
+                    os.replace(path, accepted)  # the commit point
+                except OSError:
+                    continue
                 accepted.rename(accepted.with_suffix(".rejected"))
                 self.metrics.inc("spool.rejected")
                 print(f"service: rejected {path.name}: {exc}", file=sys.stderr)
                 continue
+            if shard_of(dedup, self.store.num_shards) not in self.store._shards:
+                self.metrics.inc("spool.other_shard")
+                continue
+            accepted = self.layout.accepted / path.name
+            try:
+                os.replace(path, accepted)  # the commit point
+            except OSError:
+                continue  # a same-shard replica won the rename
             self.store.submit(formula, trace, options, dedup_key=dedup)
             self.metrics.inc("spool.ingested")
             ingested += 1
@@ -184,6 +263,59 @@ class CheckDaemon:
 
     def snapshot_metrics(self) -> None:
         self.metrics.write(str(self.layout.metrics_path))
+
+    # -- wakeup socket -------------------------------------------------------
+
+    def _open_wakeup_socket(self) -> None:
+        path = self.layout.root / f"control-{os.getpid()}.sock"
+        try:
+            if path.exists():
+                path.unlink()
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_DGRAM)
+            sock.bind(str(path))
+        except OSError:
+            # Socket path too long / AF_UNIX unavailable: poll-only mode.
+            self._wakeup_sock = None
+            self._wakeup_path = None
+            return
+        self._wakeup_sock = sock
+        self._wakeup_path = path
+
+    def _close_wakeup_socket(self) -> None:
+        if self._wakeup_sock is not None:
+            try:
+                self._wakeup_sock.close()
+            except OSError:
+                pass
+            self._wakeup_sock = None
+        if self._wakeup_path is not None:
+            try:
+                self._wakeup_path.unlink()
+            except OSError:
+                pass
+            self._wakeup_path = None
+
+    def _wait_for_wakeup(self, timeout: float) -> bool:
+        """Block until a submitter pings us or ``timeout`` elapses."""
+        if self._wakeup_sock is None:
+            time.sleep(timeout)
+            return False
+        self._wakeup_sock.settimeout(timeout)
+        try:
+            self._wakeup_sock.recv(16)
+        except (TimeoutError, socket.timeout):
+            return False
+        except OSError:
+            return False
+        # Coalesce any burst of pings into this one ingest pass.
+        self._wakeup_sock.settimeout(0.0)
+        while True:
+            try:
+                self._wakeup_sock.recv(16)
+            except (BlockingIOError, TimeoutError, socket.timeout, OSError):
+                break
+        self.metrics.inc("daemon.wakeups")
+        return True
 
     # -- run modes -----------------------------------------------------------
 
@@ -201,9 +333,18 @@ class CheckDaemon:
         return 0
 
     def run_forever(self, max_idle_s: float | None = None) -> int:
-        """Poll the spool until interrupted (or idle past ``max_idle_s``)."""
+        """Serve the spool until interrupted (or idle past ``max_idle_s``).
+
+        Metrics snapshots are throttled: one write only when the service
+        state changed since the last write *and* at least
+        ``metrics_interval`` seconds have passed — an idle daemon performs
+        zero renames per poll instead of one.
+        """
         self.scheduler.start()
+        self._open_wakeup_socket()
         last_activity = time.monotonic()
+        last_snapshot = 0.0
+        last_signature: object = None
         try:
             while True:
                 ingested = self.ingest()
@@ -212,11 +353,20 @@ class CheckDaemon:
                     last_activity = time.monotonic()
                 elif max_idle_s is not None and time.monotonic() - last_activity > max_idle_s:
                     return 0
-                self.snapshot_metrics()
-                time.sleep(self.poll_interval)
+                signature = (
+                    self.metrics.counter("spool.ingested").value,
+                    tuple(sorted(self.store.counts().items())),
+                )
+                now = time.monotonic()
+                if signature != last_signature and now - last_snapshot >= self.metrics_interval:
+                    self.snapshot_metrics()
+                    last_snapshot = now
+                    last_signature = signature
+                self._wait_for_wakeup(self.poll_interval)
         except KeyboardInterrupt:
             return 0
         finally:
+            self._close_wakeup_socket()
             self.scheduler.stop()
             self.snapshot_metrics()
             self.store.close()
@@ -225,33 +375,54 @@ class CheckDaemon:
 # -- read-side helpers (repro status / repro results) -------------------------
 
 
+def _readonly_stores(layout: SpoolLayout):
+    from repro.service.jobs import JobStore
+
+    for journal in discover_shard_journals(layout.root):
+        yield JobStore(journal, readonly=True)
+
+
 def read_queue_status(spool: str | Path) -> dict:
-    """State counts and queue depth from the journal, without mutating it."""
+    """State counts and queue depth from every shard journal, without
+    mutating any of them."""
     layout = spool_layout(spool)
     incoming = (
         sum(1 for _ in layout.incoming.glob("*.json"))
         if layout.incoming.is_dir()
         else 0
     )
-    if not layout.journal.exists():
+    journals = discover_shard_journals(layout.root)
+    if not journals:
         return {"jobs": 0, "counts": {}, "queue_depth": 0, "incoming": incoming}
-    store = JobStore(layout.journal, readonly=True)
+    jobs = 0
+    queue_depth = 0
+    torn = 0
+    counts: dict[str, int] = {}
+    for store in _readonly_stores(layout):
+        jobs += len(store.jobs())
+        queue_depth += store.queue_depth
+        torn += store.torn_lines
+        for state, count in store.counts().items():
+            counts[state] = counts.get(state, 0) + count
     return {
-        "jobs": len(store.jobs()),
-        "counts": store.counts(),
-        "queue_depth": store.queue_depth,
+        "jobs": jobs,
+        "counts": counts,
+        "queue_depth": queue_depth,
         "incoming": incoming,
-        "torn_lines": store.torn_lines,
+        "torn_lines": torn,
+        "shards": len(journals),
     }
 
 
 def iter_results(spool: str | Path, job_id: str | None = None):
-    """Yield (job, result-payload-or-None) for terminal jobs, oldest first."""
+    """Yield (job, result-payload-or-None) for terminal jobs, oldest first,
+    across every shard journal."""
     layout = spool_layout(spool)
-    if not layout.journal.exists():
-        return
-    store = JobStore(layout.journal, readonly=True)
-    for job in store.jobs():
+    jobs = []
+    for store in _readonly_stores(layout):
+        jobs.extend(store.jobs())
+    jobs.sort(key=lambda job: (job.submitted_at, job.job_id))
+    for job in jobs:
         if job_id is not None and job.job_id != job_id:
             continue
         if job.state.value not in ("DONE", "FAILED"):

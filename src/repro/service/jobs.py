@@ -13,15 +13,22 @@ crash/restart cycles without duplicating completed work.
 A torn final line (the crash happened mid-append) is skipped, not fatal:
 losing the very last transition is indistinguishable from crashing just
 before it.
+
+For scale-out, :class:`ShardedJobStore` splits the journal into
+``num_shards`` independent JSONL files keyed by content fingerprint, so
+two scheduler instances owning disjoint shards drain one logical queue
+with no shared file and no cross-process locking.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import json
 import os
 import threading
 import time
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -73,10 +80,12 @@ class JobStore:
         journal_path: str | Path,
         fsync: bool = False,
         readonly: bool = False,
+        id_prefix: str = "",
     ) -> None:
         """``readonly=True`` replays the journal without touching it — what
         ``repro status`` / ``repro results`` use, so observing the queue
-        never requeues a live daemon's RUNNING jobs."""
+        never requeues a live daemon's RUNNING jobs. ``id_prefix`` namespaces
+        job IDs (``job-s1-000001``) so shards never mint colliding IDs."""
         self.journal_path = Path(journal_path)
         self.readonly = readonly
         if not readonly:
@@ -85,6 +94,8 @@ class JobStore:
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._next_serial = 1
+        self._id_prefix = id_prefix
+        self._listeners: list[Callable[[], None]] = []
         self.requeued_on_replay = 0
         self.torn_lines = 0
         self._handle = None
@@ -166,6 +177,15 @@ class JobStore:
 
     # -- queue API -----------------------------------------------------------
 
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        """Register a wakeup hook fired (outside the store lock) after every
+        submit — the event-driven scheduler's alternative to queue polling."""
+        self._listeners.append(callback)
+
+    def _notify(self) -> None:
+        for callback in self._listeners:
+            callback()
+
     def submit(
         self,
         formula: str | Path,
@@ -182,7 +202,7 @@ class JobStore:
                     if existing.dedup_key == dedup_key and existing.state is not JobState.FAILED:
                         return existing
             job = Job(
-                job_id=f"job-{self._next_serial:06d}",
+                job_id=f"job-{self._id_prefix}{self._next_serial:06d}",
                 formula=str(formula),
                 trace=str(trace),
                 options=dict(options or {}),
@@ -192,7 +212,8 @@ class JobStore:
             self._next_serial += 1
             self._jobs[job.job_id] = job
             self._append({"event": "submit", "job": job.to_json(), "t": job.submitted_at})
-            return job
+        self._notify()
+        return job
 
     def claim(self, worker: str) -> Job | None:
         """Move the oldest PENDING job to RUNNING for ``worker``."""
@@ -273,8 +294,201 @@ class JobStore:
 
 
 def _serial_of(job_id: str) -> int | None:
-    """Extract N from ``job-N`` IDs so replay resumes the serial counter."""
-    prefix, _, digits = job_id.partition("-")
-    if prefix == "job" and digits.isdigit():
+    """Extract N from ``job-N`` / ``job-sK-N`` IDs so replay resumes the
+    serial counter (the shard prefix, when present, is ignored)."""
+    if not job_id.startswith("job-"):
+        return None
+    digits = job_id.rsplit("-", 1)[-1]
+    if digits.isdigit():
         return int(digits)
     return None
+
+
+# -- sharding ------------------------------------------------------------------
+
+
+def shard_of(key: str, num_shards: int) -> int:
+    """Deterministically map a content key to a shard index.
+
+    ``key`` is normally the hex ``job_key`` fingerprint; arbitrary strings
+    are hashed first so routing never depends on key format.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if num_shards == 1:
+        return 0
+    try:
+        bucket = int(key[:16], 16)
+    except ValueError:
+        bucket = int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big")
+    return bucket % num_shards
+
+
+def shard_journal_name(shard: int, num_shards: int, basename: str = "journal") -> str:
+    """Journal filename for one shard; the single-shard layout keeps the
+    historical ``journal.jsonl`` name so existing spools stay readable."""
+    if num_shards == 1:
+        return f"{basename}.jsonl"
+    return f"{basename}-{shard:02d}-of-{num_shards:02d}.jsonl"
+
+
+def discover_shard_journals(root: str | Path, basename: str = "journal") -> list[Path]:
+    """Every shard journal present under ``root``, single-file layout included."""
+    root = Path(root)
+    found = []
+    single = root / f"{basename}.jsonl"
+    if single.is_file():
+        found.append(single)
+    found.extend(sorted(root.glob(f"{basename}-??-of-??.jsonl")))
+    return found
+
+
+class ShardedJobStore:
+    """N independent JSONL journals presenting one JobStore-shaped queue.
+
+    Jobs are routed to ``shard_of(dedup_key)``; a store instance only opens
+    the shards it *owns*, so two scheduler processes with disjoint ``owned``
+    sets share a spool with zero write contention — each journal file has
+    exactly one writer. ``num_shards=1`` degenerates to the classic single
+    ``journal.jsonl`` (same file, same semantics).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        num_shards: int = 1,
+        owned: Iterable[int] | None = None,
+        fsync: bool = False,
+        readonly: bool = False,
+        basename: str = "journal",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.root = Path(root)
+        self.num_shards = num_shards
+        self.owned = tuple(sorted(set(owned))) if owned is not None else tuple(range(num_shards))
+        if not self.owned:
+            raise ValueError("a store must own at least one shard")
+        bad = [shard for shard in self.owned if not 0 <= shard < num_shards]
+        if bad:
+            raise ValueError(f"shard index out of range: {bad} (num_shards={num_shards})")
+        self.readonly = readonly
+        self._shards: dict[int, JobStore] = {}
+        for shard in self.owned:
+            prefix = f"s{shard}-" if num_shards > 1 else ""
+            self._shards[shard] = JobStore(
+                self.root / shard_journal_name(shard, num_shards, basename),
+                fsync=fsync,
+                readonly=readonly,
+                id_prefix=prefix,
+            )
+        self._claim_rr = 0
+        self._claim_lock = threading.Lock()
+
+    # -- routing -------------------------------------------------------------
+
+    def owns(self, key: str) -> bool:
+        return shard_of(key, self.num_shards) in self._shards
+
+    def shard_for(self, key: str) -> int:
+        return shard_of(key, self.num_shards)
+
+    @staticmethod
+    def _fallback_key(formula: str | Path, trace: str | Path, options: dict | None) -> str:
+        canonical = json.dumps(
+            {"formula": str(formula), "trace": str(trace), "options": options or {}},
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- JobStore API --------------------------------------------------------
+
+    def add_listener(self, callback: Callable[[], None]) -> None:
+        for store in self._shards.values():
+            store.add_listener(callback)
+
+    def submit(
+        self,
+        formula: str | Path,
+        trace: str | Path,
+        options: dict | None = None,
+        dedup_key: str | None = None,
+    ) -> Job:
+        key = dedup_key if dedup_key is not None else self._fallback_key(formula, trace, options)
+        shard = shard_of(key, self.num_shards)
+        store = self._shards.get(shard)
+        if store is None:
+            raise ValueError(
+                f"job routes to shard {shard} which this store does not own "
+                f"(owned: {list(self._shards)})"
+            )
+        return store.submit(formula, trace, options, dedup_key=dedup_key)
+
+    def claim(self, worker: str) -> Job | None:
+        """Claim from owned shards, rotating the starting shard for fairness."""
+        with self._claim_lock:
+            order = list(self._shards.values())
+            start = self._claim_rr % len(order)
+            self._claim_rr += 1
+        for offset in range(len(order)):
+            job = order[(start + offset) % len(order)].claim(worker)
+            if job is not None:
+                return job
+        return None
+
+    def finish(self, job: Job, result: dict | None = None) -> None:
+        self._store_of(job).finish(job, result)
+
+    def fail(self, job: Job, result: dict | None = None) -> None:
+        self._store_of(job).fail(job, result)
+
+    def _store_of(self, job: Job) -> JobStore:
+        for store in self._shards.values():
+            if job.job_id in store._jobs:
+                return store
+        raise ValueError(f"{job.job_id} belongs to no owned shard")
+
+    def get(self, job_id: str) -> Job | None:
+        for store in self._shards.values():
+            job = store.get(job_id)
+            if job is not None:
+                return job
+        return None
+
+    def jobs(self) -> list[Job]:
+        merged = [job for store in self._shards.values() for job in store.jobs()]
+        merged.sort(key=lambda job: (job.submitted_at, job.job_id))
+        return merged
+
+    def counts(self) -> dict[str, int]:
+        tally = {state.value: 0 for state in JobState}
+        for store in self._shards.values():
+            for state, count in store.counts().items():
+                tally[state] += count
+        return tally
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(store.queue_depth for store in self._shards.values())
+
+    @property
+    def all_terminal(self) -> bool:
+        return all(store.all_terminal for store in self._shards.values())
+
+    @property
+    def requeued_on_replay(self) -> int:
+        return sum(store.requeued_on_replay for store in self._shards.values())
+
+    @property
+    def torn_lines(self) -> int:
+        return sum(store.torn_lines for store in self._shards.values())
+
+    def close(self) -> None:
+        for store in self._shards.values():
+            store.close()
+
+    def __enter__(self) -> "ShardedJobStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

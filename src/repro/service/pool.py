@@ -1,0 +1,544 @@
+"""The persistent pre-forked checking worker pool.
+
+The PR 5 scheduler ran CPU-bound resolution checks on ``threading.Thread``
+workers — serialized by the GIL, so adding workers made the service
+*slower*. This module is the replacement execution layer: long-lived
+worker **processes**, forked once at pool start, that receive tasks over
+pipes and stream results back. The parent never computes a verdict; it
+only routes.
+
+Three properties the thread layer could not offer:
+
+* **real parallelism** — each worker is its own interpreter, so N workers
+  use N cores (jobs/s scales with cores instead of degrading);
+* **warm state** — a worker keeps decoded formulas, materialized traces
+  and interned :class:`~repro.checker.store.ClauseStore`\\ s cached across
+  jobs, keyed by content fingerprint. Checking ten proofs against one
+  formula parses the DIMACS once and re-interns nothing (interning is
+  content-addressed, so store reuse is verdict-neutral);
+* **crash survival** — the parent waits on each worker's process sentinel
+  alongside its pipe, so a SIGKILLed worker is detected immediately, its
+  in-flight task is retried on a freshly forked replacement (bounded by
+  ``max_task_retries``), and only exhaustion surfaces as a failure —
+  the same supervision discipline PR 4's watchdog gave the parallel
+  checker, applied to the service fleet.
+
+:class:`ThreadWorkerPool` keeps the same interface on threads for
+platforms without ``fork`` and for apples-to-apples GIL benchmarks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import OrderedDict
+from multiprocessing import connection
+
+from repro.checker.kernel import set_warm_store_provider
+from repro.checker.store import ClauseStore
+from repro.checker.supervisor import supervised_check
+from repro.cnf import parse_dimacs_file
+from repro.service.metrics import MetricsRegistry
+from repro.trace.io import load_trace
+
+#: How many distinct formulas / traces a worker keeps warm. Formulas are
+#: small; traces can be large, so their bound is tighter.
+DEFAULT_WARM_FORMULAS = 8
+DEFAULT_WARM_TRACES = 4
+
+#: A warm ClauseStore accumulating more interned clauses than this is
+#: dropped and re-seeded — store reuse must never become a slow leak.
+DEFAULT_STORE_ENTRY_BOUND = 500_000
+
+#: Test hook: a path in this env var makes the *next* worker that starts a
+#: task unlink the file and SIGKILL itself — a deterministic one-shot
+#: mid-job crash for the pool-replacement drills.
+FAULT_FILE_ENV = "REPRO_POOL_FAULT_FILE"
+
+# Process-wide registry behind the kernel's warm-store provider. Keyed by
+# formula object identity: warm caches hold the formula objects alive, so
+# an id in here always names a live, known formula. Entries are removed
+# when the owning warm cache evicts the formula.
+_STORE_REGISTRY: dict[int, ClauseStore] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _registry_provider(formula):
+    with _REGISTRY_LOCK:
+        return _STORE_REGISTRY.get(id(formula))
+
+
+class _WarmCache:
+    """Per-worker LRU of decoded artifacts, keyed by content fingerprint."""
+
+    def __init__(
+        self,
+        max_formulas: int = DEFAULT_WARM_FORMULAS,
+        max_traces: int = DEFAULT_WARM_TRACES,
+        store_entry_bound: int = DEFAULT_STORE_ENTRY_BOUND,
+    ) -> None:
+        self.max_formulas = max_formulas
+        self.max_traces = max_traces
+        self.store_entry_bound = store_entry_bound
+        self._formulas: OrderedDict[str, object] = OrderedDict()
+        self._stores: dict[str, ClauseStore] = {}
+        self._traces: OrderedDict[str, object] = OrderedDict()
+
+    def formula(self, sha: str | None, path: str, stats: dict) -> object:
+        if sha is not None and sha in self._formulas:
+            self._formulas.move_to_end(sha)
+            stats["formula_hits"] = stats.get("formula_hits", 0) + 1
+            return self._formulas[sha]
+        parsed = parse_dimacs_file(path)
+        stats["formula_misses"] = stats.get("formula_misses", 0) + 1
+        if sha is not None:
+            self._formulas[sha] = parsed
+            while len(self._formulas) > self.max_formulas:
+                _, evicted = self._formulas.popitem(last=False)
+                self._drop_store(evicted)
+            for key in list(self._stores):
+                if key not in self._formulas:
+                    del self._stores[key]
+        return parsed
+
+    def trace(self, sha: str | None, path: str, stats: dict) -> object:
+        if sha is not None and sha in self._traces:
+            self._traces.move_to_end(sha)
+            stats["trace_hits"] = stats.get("trace_hits", 0) + 1
+            return self._traces[sha]
+        # Fall back to the path itself when the trace cannot be decoded —
+        # the checker will then report the malformation as the verdict.
+        try:
+            decoded = load_trace(path)
+        except Exception:
+            stats["trace_misses"] = stats.get("trace_misses", 0) + 1
+            return path
+        stats["trace_misses"] = stats.get("trace_misses", 0) + 1
+        if sha is not None:
+            self._traces[sha] = decoded
+            while len(self._traces) > self.max_traces:
+                self._traces.popitem(last=False)
+        return decoded
+
+    def prime_store(self, formula, sha: str | None, options: dict, stats: dict) -> None:
+        """Attach (or reuse) the warm ClauseStore for ``formula``.
+
+        Registered by formula object identity so the kernel's
+        ``make_engine`` hook finds it without API plumbing through every
+        checker. Reference-engine runs (``use_kernel=False``) skip this.
+        """
+        if sha is None or options.get("use_kernel") is False:
+            return
+        store = self._stores.get(sha)
+        if store is not None and len(store) > self.store_entry_bound:
+            self._drop_store(self._formulas.get(sha))
+            store = None
+        if store is None:
+            store = ClauseStore()
+            self._stores[sha] = store
+        else:
+            stats["store_reuses"] = stats.get("store_reuses", 0) + 1
+        with _REGISTRY_LOCK:
+            _STORE_REGISTRY[id(formula)] = store
+
+    @staticmethod
+    def _drop_store(formula) -> None:
+        if formula is None:
+            return
+        with _REGISTRY_LOCK:
+            _STORE_REGISTRY.pop(id(formula), None)
+
+
+def _maybe_inject_fault() -> None:
+    path = os.environ.get(FAULT_FILE_ENV)
+    if not path:
+        return
+    try:
+        os.unlink(path)  # atomic one-shot: only one worker wins the unlink
+    except OSError:
+        return
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _execute_task(task: dict, warm: _WarmCache) -> dict:
+    """Run one check task; never raises — errors become a failure result."""
+    stats: dict[str, int] = {}
+    started = time.perf_counter()
+    try:
+        fingerprint = task.get("fingerprint") or None
+        shas = fingerprint or {}
+        formula = warm.formula(shas.get("formula_sha256"), task["formula"], stats)
+        trace = warm.trace(shas.get("trace_sha256"), task["trace"], stats)
+        warm.prime_store(formula, shas.get("formula_sha256"), task["options"], stats)
+        report = supervised_check(
+            formula, trace, fingerprint=fingerprint, **task["options"]
+        )
+        return {
+            "job_id": task["job_id"],
+            "ok": True,
+            "report": report.to_json(),
+            "stats": stats,
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except Exception as exc:  # noqa: BLE001 - a worker must survive any job
+        return {
+            "job_id": task["job_id"],
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "stats": stats,
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+
+def _worker_main(name: str, conn, warm_config: tuple) -> None:
+    """The long-lived worker loop: recv task, check, send result, repeat."""
+    warm = _WarmCache(*warm_config)
+    set_warm_store_provider(_registry_provider)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if task is None:
+            break
+        _maybe_inject_fault()
+        result = _execute_task(task, warm)
+        try:
+            conn.send(result)
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker: its process, pipe and current task."""
+
+    __slots__ = ("name", "process", "conn", "task")
+
+    def __init__(self, name, process, conn):
+        self.name = name
+        self.process = process
+        self.conn = conn
+        self.task = None
+
+
+class WorkerPool:
+    """Pre-forked process pool with crash replacement and task retry.
+
+    The owner supplies ``result_handler``, invoked from the pool's
+    collector thread with each result dict (``ok``/``report``/``error``
+    plus per-task warm-cache ``stats``). ``submit`` assigns a task to an
+    idle worker (returns ``False`` when all are busy — the caller is the
+    backpressure); results, crashes and replacements are fully async.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        result_handler,
+        metrics: MetricsRegistry | None = None,
+        max_task_retries: int = 1,
+        warm_formulas: int = DEFAULT_WARM_FORMULAS,
+        warm_traces: int = DEFAULT_WARM_TRACES,
+        store_entry_bound: int = DEFAULT_STORE_ENTRY_BOUND,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.result_handler = result_handler
+        self.metrics = metrics or MetricsRegistry()
+        self.max_task_retries = max_task_retries
+        self._warm_config = (warm_formulas, warm_traces, store_entry_bound)
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._ctx = multiprocessing.get_context()
+        self._lock = threading.Lock()
+        self._workers: list[_WorkerHandle] = []
+        self._collector: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self._spawned = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._collector is not None:
+            raise RuntimeError("pool already started")
+        self._stop_event.clear()
+        # Fork every worker *before* the collector thread exists: a fork
+        # taken from a single-threaded parent can never inherit a held lock.
+        with self._lock:
+            for _ in range(self.num_workers):
+                self._workers.append(self._spawn_worker())
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    def stop(self, grace_s: float = 5.0) -> None:
+        if self._collector is None:
+            return
+        self._stop_event.set()
+        self._collector.join(timeout=grace_s)
+        with self._lock:
+            workers, self._workers = self._workers, []
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except OSError:
+                pass
+        for worker in workers:
+            worker.process.join(timeout=grace_s)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=grace_s)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._collector = None
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        name = f"pool-worker-{self._spawned}"
+        self._spawned += 1
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(name, child_conn, self._warm_config),
+            name=name,
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _WorkerHandle(name, process, parent_conn)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, task: dict) -> bool:
+        """Hand ``task`` to an idle worker; ``False`` when all are busy."""
+        with self._lock:
+            for worker in self._workers:
+                if worker.task is None and worker.process.is_alive():
+                    worker.task = task
+                    try:
+                        worker.conn.send(task)
+                    except OSError:
+                        # Worker died between is_alive and send; the
+                        # sentinel path will retry the task elsewhere.
+                        pass
+                    return True
+        return False
+
+    @property
+    def idle_workers(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for worker in self._workers
+                if worker.task is None and worker.process.is_alive()
+            )
+
+    def has_idle(self) -> bool:
+        return self.idle_workers > 0
+
+    def worker_pids(self) -> list[int]:
+        with self._lock:
+            return [worker.process.pid for worker in self._workers]
+
+    def busy_worker_pids(self) -> list[int]:
+        with self._lock:
+            return [
+                worker.process.pid for worker in self._workers if worker.task is not None
+            ]
+
+    # -- the collector -------------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while not self._stop_event.is_set():
+            with self._lock:
+                by_conn = {worker.conn: worker for worker in self._workers}
+                by_sentinel = {
+                    worker.process.sentinel: worker for worker in self._workers
+                }
+            if not by_conn:
+                time.sleep(0.01)
+                continue
+            ready = connection.wait(
+                list(by_conn) + list(by_sentinel), timeout=0.2
+            )
+            for item in ready:
+                worker = by_conn.get(item)
+                if worker is not None:
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        self._handle_crash(worker)
+                        continue
+                    with self._lock:
+                        worker.task = None
+                    self._deliver(message)
+                else:
+                    worker = by_sentinel.get(item)
+                    if worker is not None and not worker.process.is_alive():
+                        # Drain any result the worker managed to send before
+                        # dying, then treat the remainder as a crash.
+                        drained = False
+                        try:
+                            if worker.conn.poll(0):
+                                message = worker.conn.recv()
+                                with self._lock:
+                                    worker.task = None
+                                self._deliver(message)
+                                drained = True
+                        except (EOFError, OSError):
+                            pass
+                        self._handle_crash(worker, quiet=drained)
+
+    def _handle_crash(self, worker: _WorkerHandle, quiet: bool = False) -> None:
+        retried = False
+        with self._lock:
+            if worker not in self._workers:
+                return
+            self._workers.remove(worker)
+            task, worker.task = worker.task, None
+            replacement = None
+            if not self._stop_event.is_set():
+                replacement = self._spawn_worker()
+                self._workers.append(replacement)
+            if task is not None:
+                task["_retries"] = task.get("_retries", 0) + 1
+                if task["_retries"] <= self.max_task_retries and replacement is not None:
+                    # Pin the retry to the replacement *inside* the lock —
+                    # otherwise the dispatcher can race a fresh job into the
+                    # new worker's slot and the retry finds no idle worker.
+                    replacement.task = task
+                    try:
+                        replacement.conn.send(task)
+                    except OSError:
+                        pass  # replacement died instantly; sentinel retries
+                    retried = True
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        exitcode = worker.process.exitcode
+        if not quiet or task is not None:
+            self.metrics.inc("pool.worker_crashes")
+        if replacement is not None:
+            self.metrics.inc("pool.workers_replaced")
+        if task is None:
+            return
+        if retried:
+            self.metrics.inc("pool.task_retries")
+            return
+        self._deliver(
+            {
+                "job_id": task["job_id"],
+                "ok": False,
+                "error": (
+                    f"worker crashed (exit code {exitcode}) and retries are "
+                    f"exhausted after {task['_retries']} attempt(s)"
+                ),
+                "crashed": True,
+                "stats": {},
+            }
+        )
+
+    def _deliver(self, result: dict) -> None:
+        try:
+            self.result_handler(result)
+        except Exception:  # noqa: BLE001 - the collector must survive handlers
+            self.metrics.inc("pool.result_handler_errors")
+
+
+class ThreadWorkerPool:
+    """The same pool interface on threads (GIL-bound; comparison/fallback).
+
+    Each thread owns a private :class:`_WarmCache`, so warm stores are
+    never shared across concurrently running checks.
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        result_handler,
+        metrics: MetricsRegistry | None = None,
+        warm_formulas: int = DEFAULT_WARM_FORMULAS,
+        warm_traces: int = DEFAULT_WARM_TRACES,
+        store_entry_bound: int = DEFAULT_STORE_ENTRY_BOUND,
+        **_: object,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+        self.result_handler = result_handler
+        self.metrics = metrics or MetricsRegistry()
+        self._warm_config = (warm_formulas, warm_traces, store_entry_bound)
+        self._lock = threading.Lock()
+        self._idle = 0
+        self._threads: list[threading.Thread] = []
+        self._queue: list[dict] = []
+        self._queue_cond = threading.Condition(self._lock)
+        self._stopping = False
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("pool already started")
+        set_warm_store_provider(_registry_provider)
+        self._stopping = False
+        self._idle = self.num_workers
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"pool-thread-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, grace_s: float = 5.0) -> None:
+        with self._queue_cond:
+            self._stopping = True
+            self._queue_cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=grace_s)
+        self._threads = []
+
+    def submit(self, task: dict) -> bool:
+        with self._queue_cond:
+            if self._idle - len(self._queue) <= 0:
+                return False
+            self._queue.append(task)
+            self._queue_cond.notify()
+            return True
+
+    @property
+    def idle_workers(self) -> int:
+        with self._lock:
+            return max(0, self._idle - len(self._queue))
+
+    def has_idle(self) -> bool:
+        return self.idle_workers > 0
+
+    def worker_pids(self) -> list[int]:
+        return []
+
+    def _worker_loop(self) -> None:
+        warm = _WarmCache(*self._warm_config)
+        while True:
+            with self._queue_cond:
+                while not self._queue and not self._stopping:
+                    self._queue_cond.wait(timeout=0.2)
+                if self._stopping and not self._queue:
+                    return
+                task = self._queue.pop(0)
+                self._idle -= 1
+            try:
+                result = _execute_task(task, warm)
+            finally:
+                with self._lock:
+                    self._idle += 1
+            try:
+                self.result_handler(result)
+            except Exception:  # noqa: BLE001
+                self.metrics.inc("pool.result_handler_errors")

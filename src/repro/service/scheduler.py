@@ -1,17 +1,25 @@
-"""The multi-worker dispatcher: jobs out of the store, verdicts back in.
+"""The event-driven dispatcher: jobs out of the store, verdicts back in.
 
-Worker threads claim PENDING jobs from the :class:`JobStore` (the claim
-itself is journaled, so a crash mid-check leaves a requeueable RUNNING
-entry) and run each through the cache-aware :class:`ServiceClient` —
-i.e. through PR 4's ``supervised_check`` with per-job options, budgets
-and the degradation ladder intact.
+The execution layer is a persistent pre-forked process pool
+(:mod:`repro.service.pool`); this module is the control plane around it.
+One dispatcher thread claims PENDING jobs the moment a condition-variable
+wakeup says there is work *and* an idle worker — no idle polling, no GIL
+contention on the checks themselves. The dispatcher also owns everything
+content-addressed: it fingerprints each job, serves verdict-cache hits
+without ever waking a worker, and (via the pool's collector) persists
+fresh verdicts through the batched cache writer.
+
+The claim itself is journaled, so a crash mid-check leaves a requeueable
+RUNNING entry, and the in-flight count is incremented *inside* the claim
+critical section — ``drain()`` can therefore never observe "queue empty,
+nobody busy" while a claimed job has not reached a terminal state (the
+PR 5 thread scheduler had exactly that race).
 
 Terminal-state semantics: **DONE means the service produced a verdict**,
 including "this proof is bad" — a checker finding a bug is the service
 working, not failing. FAILED is reserved for jobs the service could not
 execute at all: missing artifacts, unparseable formulas, unknown
-options. This is what lets "every job reaches a terminal state" be a
-meaningful invariant across crash/restart cycles.
+options, a worker crashing past its retry budget.
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ from pathlib import Path
 from repro.checker.report import REPORT_SCHEMA_VERSION, CheckReport
 
 from repro.service.client import ServiceClient
-from repro.service.jobs import Job, JobStore
+from repro.service.jobs import Job
+from repro.service.pool import ThreadWorkerPool, WorkerPool
 
 #: Job options a journal entry may carry; anything else fails the job
 #: rather than TypeError-ing inside a worker. Mirrors SupervisorConfig
@@ -47,98 +56,188 @@ ALLOWED_JOB_OPTIONS = frozenset(
     }
 )
 
-#: How long an idle worker sleeps before re-polling the queue.
-_IDLE_POLL_S = 0.02
+#: Fallback wakeup period for the dispatcher/drain condition waits. Purely
+#: a safety net against a lost notification — every state change notifies
+#: the condition, so the service does not *rely* on this tick.
+_FALLBACK_WAIT_S = 0.5
 
 
 class Scheduler:
-    """Owns the worker threads that drain a job store."""
+    """Owns the worker pool and the dispatcher thread that feed it."""
 
     def __init__(
         self,
-        store: JobStore,
+        store,
         client: ServiceClient,
         num_workers: int = 2,
         results_dir: str | Path | None = None,
+        mode: str = "process",
+        max_task_retries: int = 1,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
+        if mode not in ("process", "thread"):
+            raise ValueError(f"unknown scheduler mode: {mode!r}")
         self.store = store
         self.client = client
         self.metrics = client.metrics
         self.num_workers = num_workers
+        self.mode = mode
+        self.max_task_retries = max_task_retries
         self.results_dir = Path(results_dir) if results_dir is not None else None
         if self.results_dir is not None:
             self.results_dir.mkdir(parents=True, exist_ok=True)
+        self._cond = threading.Condition()
+        self._inflight: dict[str, tuple[Job, dict | None, float]] = {}
         self._stop = threading.Event()
-        self._threads: list[threading.Thread] = []
-        self._busy = 0
-        self._busy_lock = threading.Lock()
+        self._dispatcher: threading.Thread | None = None
+        self.pool: WorkerPool | ThreadWorkerPool | None = None
+        if hasattr(store, "add_listener"):
+            store.add_listener(self.notify)
+
+    # -- wakeups -------------------------------------------------------------
+
+    def notify(self) -> None:
+        """Wake the dispatcher (new job, freed worker, external nudge)."""
+        with self._cond:
+            self._cond.notify_all()
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        if self._threads:
+        if self._dispatcher is not None:
             raise RuntimeError("scheduler already started")
         self._stop.clear()
-        for index in range(self.num_workers):
-            thread = threading.Thread(
-                target=self._worker_loop, name=f"check-worker-{index}", daemon=True
-            )
-            thread.start()
-            self._threads.append(thread)
+        pool_cls = WorkerPool if self.mode == "process" else ThreadWorkerPool
+        # Fork the pool before the dispatcher thread exists (fork safety).
+        self.pool = pool_cls(
+            self.num_workers,
+            self._handle_result,
+            metrics=self.metrics,
+            max_task_retries=self.max_task_retries,
+        )
+        self.pool.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="check-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
 
     def stop(self) -> None:
+        """Stop dispatching, let in-flight work finish, shut the pool down."""
+        if self._dispatcher is None:
+            return
         self._stop.set()
-        for thread in self._threads:
-            thread.join()
-        self._threads = []
+        self.notify()
+        self._dispatcher.join()
+        with self._cond:
+            while self._inflight:
+                self._cond.wait(timeout=_FALLBACK_WAIT_S)
+        self._dispatcher = None
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.stop()
+        self.client.flush_cache()
 
     def drain(self) -> None:
-        """Process until the queue is empty and every worker is idle."""
-        own_workers = not self._threads
+        """Process until the queue is empty and every claimed job is terminal."""
+        own_workers = self._dispatcher is None
         if own_workers:
             self.start()
         try:
-            while True:
-                with self._busy_lock:
-                    busy = self._busy
-                if self.store.queue_depth == 0 and busy == 0:
-                    return
-                time.sleep(_IDLE_POLL_S)
+            with self._cond:
+                while self.store.queue_depth > 0 or self._inflight:
+                    self._cond.wait(timeout=_FALLBACK_WAIT_S)
         finally:
             if own_workers:
                 self.stop()
+            else:
+                self.client.flush_cache()
 
-    # -- the worker loop -----------------------------------------------------
+    # -- dispatch ------------------------------------------------------------
 
-    def _worker_loop(self) -> None:
-        name = threading.current_thread().name
+    def _dispatch_loop(self) -> None:
         while not self._stop.is_set():
-            job = self.store.claim(name)
-            if job is None:
-                time.sleep(_IDLE_POLL_S)
-                continue
-            with self._busy_lock:
-                self._busy += 1
-            self.metrics.set_gauge("queue.depth", self.store.queue_depth)
-            try:
-                self._execute(job)
-            finally:
-                with self._busy_lock:
-                    self._busy -= 1
-                self.metrics.set_gauge("queue.depth", self.store.queue_depth)
+            job = None
+            with self._cond:
+                if self.pool is not None and self.pool.has_idle():
+                    # The claim and the in-flight accounting are one atomic
+                    # step under the condition lock: drain() checks both
+                    # under the same lock, so a claimed-but-uncounted job
+                    # can never exist.
+                    job = self.store.claim("dispatcher")
+                    if job is not None:
+                        self._inflight[job.job_id] = (job, None, time.perf_counter())
+                if job is None:
+                    self._cond.wait(timeout=_FALLBACK_WAIT_S)
+            if job is not None:
+                self._dispatch(job)
 
-    def _execute(self, job: Job) -> None:
+    def _dispatch(self, job: Job) -> None:
+        self.metrics.set_gauge("queue.depth", self.store.queue_depth)
         started = time.perf_counter()
         try:
             options = self._validate_options(job.options)
-            report = self.client.check(job.formula, job.trace, **options)
-        except Exception as exc:  # noqa: BLE001 - a worker must survive any job
-            self.store.fail(job, {"error": f"{type(exc).__name__}: {exc}"})
-            self.metrics.inc("jobs.failed")
-            self.metrics.observe("job.latency_s", time.perf_counter() - started)
+            fingerprint = self.client.fingerprint(job.formula, job.trace, options)
+        except Exception as exc:  # noqa: BLE001 - bad jobs fail, never wedge
+            self._finalize_failure(job, f"{type(exc).__name__}: {exc}")
             return
+        with self._cond:
+            self._inflight[job.job_id] = (job, fingerprint, started)
+        cached = self.client.cache_lookup(fingerprint)
+        if cached is not None:
+            self._finalize_success(job, cached, started)
+            return
+        task = {
+            "job_id": job.job_id,
+            "formula": job.formula,
+            "trace": job.trace,
+            "options": options,
+            "fingerprint": fingerprint,
+        }
+        assert self.pool is not None
+        # The dispatcher only claims against an idle worker, so a refused
+        # submit is a worker dying in the claim window; the pool's crash
+        # handling owns retries once submitted, but an unsubmittable task
+        # simply waits for the next idle slot.
+        submitted = self.pool.submit(task)
+        while not submitted and not self._stop.is_set():
+            with self._cond:
+                self._cond.wait(timeout=_FALLBACK_WAIT_S)
+            submitted = self.pool.submit(task)
+        if not submitted:
+            # Shutting down with the task never handed to a worker: drop it
+            # from in-flight so stop() can finish; the journal replay will
+            # requeue the still-RUNNING job on the next open.
+            self._release(job)
+
+    # -- results -------------------------------------------------------------
+
+    def _handle_result(self, result: dict) -> None:
+        """Pool collector callback: one finished (or failed) task."""
+        job_id = result.get("job_id", "")
+        with self._cond:
+            entry = self._inflight.get(job_id)
+        if entry is None:
+            self.metrics.inc("scheduler.orphan_results")
+            return
+        job, fingerprint, started = entry
+        for stat, count in (result.get("stats") or {}).items():
+            self.metrics.inc(f"pool.{stat}", count)
+        try:
+            if not result.get("ok"):
+                if result.get("crashed"):
+                    self.metrics.inc("jobs.worker_crash_failures")
+                self._finalize_failure(job, result.get("error", "unknown worker error"))
+                return
+            report = CheckReport.from_json(result["report"])
+            self.client.account(report)
+            if fingerprint is not None:
+                self.client.cache_store(fingerprint, report)
+            self._finalize_success(job, report, started)
+        except Exception as exc:  # noqa: BLE001 - the collector must survive
+            self._finalize_failure(job, f"{type(exc).__name__}: {exc}")
+
+    def _finalize_success(self, job: Job, report: CheckReport, started: float) -> None:
         summary = {
             "schema_version": REPORT_SCHEMA_VERSION,
             "verified": report.verified,
@@ -158,6 +257,20 @@ class Scheduler:
         if report.from_cache:
             self.metrics.inc("jobs.served_from_cache")
         self.metrics.observe("job.latency_s", time.perf_counter() - started)
+        self._release(job)
+
+    def _finalize_failure(self, job: Job, error: str) -> None:
+        self.store.fail(job, {"error": error})
+        self.metrics.inc("jobs.failed")
+        self._release(job)
+
+    def _release(self, job: Job) -> None:
+        self.metrics.set_gauge("queue.depth", self.store.queue_depth)
+        with self._cond:
+            self._inflight.pop(job.job_id, None)
+            self._cond.notify_all()
+
+    # -- helpers -------------------------------------------------------------
 
     @staticmethod
     def _validate_options(options: dict) -> dict:

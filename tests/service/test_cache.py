@@ -132,3 +132,91 @@ def test_shared_metrics_registry(tmp_path):
     cache = VerdictCache(tmp_path / "cache", metrics=metrics)
     cache.get(make_fingerprint("a"))
     assert metrics.counter("cache.misses").value == 1
+
+
+# -- batched writes ------------------------------------------------------------
+
+
+def test_batch_mode_serves_pending_before_flush(tmp_path):
+    cache = VerdictCache(tmp_path / "cache", batch_size=3)
+    first, second = make_fingerprint("a"), make_fingerprint("b")
+    cache.put(first, make_report())
+    cache.put(second, make_report())
+    assert not list((tmp_path / "cache").glob("seg-*.jsonl"))  # still buffered
+    assert cache.get(first).verified is True
+    assert cache.get(second).from_cache is True
+    assert cache.metrics.counter("cache.batched_stores").value == 2
+    assert cache.metrics.counter("cache.flushes").value == 0
+
+
+def test_batch_flushes_one_segment_when_full(tmp_path):
+    cache = VerdictCache(tmp_path / "cache", batch_size=2)
+    cache.put(make_fingerprint("a"), make_report())
+    cache.put(make_fingerprint("b"), make_report())  # batch full -> flush
+    segments = list((tmp_path / "cache").glob("seg-*.jsonl"))
+    assert len(segments) == 1
+    assert len(segments[0].read_text().splitlines()) == 2
+    assert cache.metrics.counter("cache.flushes").value == 1
+    assert cache.metrics.counter("cache.stores").value == 2
+
+
+def test_flushed_segments_survive_reopen(tmp_path):
+    cache = VerdictCache(tmp_path / "cache", batch_size=8)
+    for seed in ("a", "b", "c"):
+        cache.put(make_fingerprint(seed), make_report())
+    cache.flush()
+    reopened = VerdictCache(tmp_path / "cache", batch_size=8)
+    assert len(reopened) == 3
+    for seed in ("a", "b", "c"):
+        assert reopened.get(make_fingerprint(seed)).from_cache is True
+
+
+def test_newest_segment_wins_for_rewritten_key(tmp_path):
+    cache = VerdictCache(tmp_path / "cache", batch_size=4)
+    fingerprint = make_fingerprint("a")
+    cache.put(fingerprint, make_report(verified=True))
+    cache.flush()
+    cache.put(fingerprint, make_report(verified=False))
+    cache.flush()
+    assert len(list((tmp_path / "cache").glob("seg-*.jsonl"))) == 2
+    reopened = VerdictCache(tmp_path / "cache", batch_size=4)
+    assert reopened.get(fingerprint).verified is False
+
+
+def test_unflushed_entries_are_lost_never_corrupt(tmp_path):
+    cache = VerdictCache(tmp_path / "cache", batch_size=100)
+    cache.put(make_fingerprint("a"), make_report())
+    # A crash before flush: reopening sees a clean, empty cache.
+    reopened = VerdictCache(tmp_path / "cache", batch_size=100)
+    assert len(reopened) == 0
+    assert reopened.get(make_fingerprint("a")) is None
+
+
+def test_eviction_weighs_segments_by_entry_count(tmp_path):
+    import os
+
+    cache = VerdictCache(tmp_path / "cache", max_entries=4, batch_size=3)
+    for seed in ("a", "b", "c"):
+        cache.put(make_fingerprint(seed), make_report())  # one 3-entry segment
+    segment = next((tmp_path / "cache").glob("seg-*.jsonl"))
+    os.utime(segment, (1, 1))  # make the segment the stalest file
+    for seed in ("d", "e"):
+        cache.put(make_fingerprint(seed), make_report())
+    cache.flush()
+    # 3 + 2 = 5 entries > 4: the stale 3-entry segment goes as one unit.
+    assert not segment.exists()
+    assert cache.metrics.counter("cache.evictions").value == 3
+    assert cache.get(make_fingerprint("a")) is None
+    assert cache.get(make_fingerprint("d")) is not None
+
+
+def test_invalidate_covers_pending_and_segments(tmp_path):
+    cache = VerdictCache(tmp_path / "cache", batch_size=4)
+    buffered, flushed = make_fingerprint("a"), make_fingerprint("b")
+    cache.put(flushed, make_report())
+    cache.flush()
+    cache.put(buffered, make_report())
+    assert cache.invalidate(buffered["key"]) is True
+    assert cache.invalidate(flushed["key"]) is True
+    assert cache.get(buffered) is None
+    assert cache.get(flushed) is None

