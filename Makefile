@@ -1,6 +1,6 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service bench-analysis tables tables-large ablations export examples clean
+.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service bench-analysis bench-streaming tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
@@ -46,6 +46,13 @@ bench-service:
 # unpruned check. `--quick` for CI smoke.
 bench-analysis:
 	python benchmarks/bench_analysis.py
+
+# Constant-memory gate for the streaming shifting-window checker: flat
+# peak residency across 1x/3x/10x generated traces, time within 1.5x of
+# BF, and the supervisor ladder landing on the streaming tier; writes
+# results/BENCH_streaming.json. `--quick` for CI smoke.
+bench-streaming:
+	python benchmarks/bench_streaming.py
 
 tables:
 	python -m repro.experiments all --scale medium

@@ -17,6 +17,10 @@ structured diagnostic.
 * :class:`ParallelWindowedChecker` — partitions the trace into clause-ID
   windows and verifies them concurrently across worker processes, with a
   byte-identical cross-check on the interface clauses windows share.
+* :class:`StreamingWindowChecker` — the constant-memory tier: decodes an
+  mmap'd trace in batches behind a shifting window whose resident clauses
+  are bounded by a budget; overflow spills to disk, so it never
+  memory-outs regardless of trace size.
 * :func:`check_model` — the easy direction: linear-time validation of a
   satisfying assignment.
 * :class:`RupChecker` — modern extension: validates DRUP-style proofs by
@@ -55,6 +59,7 @@ from repro.checker.breadth_first import (
 )
 from repro.checker.hybrid import HybridChecker
 from repro.checker.parallel import ParallelWindowedChecker, WindowManifest, run_window
+from repro.checker.streaming import StreamingWindowChecker
 from repro.checker.rup import RupChecker, DrupWriter
 from repro.checker.supervisor import (
     CheckPolicy,
@@ -86,6 +91,7 @@ __all__ = [
     "BreadthFirstChecker",
     "HybridChecker",
     "ParallelWindowedChecker",
+    "StreamingWindowChecker",
     "WindowManifest",
     "run_window",
     "RupChecker",

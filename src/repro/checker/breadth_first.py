@@ -18,8 +18,6 @@ from __future__ import annotations
 
 import os
 import pickle
-import struct
-import tempfile
 import time
 from array import array
 from dataclasses import dataclass, field
@@ -27,8 +25,14 @@ from itertools import islice
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro.checker.counts import (
+    COUNT_SIZE as _COUNT_SIZE,
+    CountsReader,
+    new_counts_file,
+    write_count_range,
+)
 from repro.checker.errors import CheckFailure, FailureKind
-from repro.checker.kernel import ClauseLits, make_engine
+from repro.checker.kernel import ClauseLits, engine_memory_stats, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
 from repro.checker.memory import Deadline, MemoryMeter
 from repro.checker.report import CheckReport
@@ -51,10 +55,6 @@ from repro.trace.records import (
     TraceRecord,
     TraceResult,
 )
-
-_COUNT_FORMAT = "<Q"
-_COUNT_SIZE = struct.calcsize(_COUNT_FORMAT)
-_COUNT_BLOCK = 1024  # count entries per cached read block
 
 # Version 2 replaced the shape-only fingerprint (num_original,
 # total_learned, binary_fast) with one that also carries the streaming
@@ -166,8 +166,6 @@ class BreadthFirstChecker:
         self._clauses_built = 0
         self._total_learned = 0
         self._resolutions = 0
-        self._count_block: Sequence[int] = ()
-        self._count_block_index = -1
         self._binary_fast = False
         self._deadline = deadline
         # Checkpoint/resume: snapshot every `checkpoint_every` learned
@@ -199,7 +197,9 @@ class BreadthFirstChecker:
                 self.precheck_report = run_precheck(self._source)
             max_cid, counts_path = self._extent_and_counts()
             with open(counts_path, "rb") as counts_file:
-                verified = self._checking_pass(counts_file)
+                assert self._num_original is not None
+                counts = CountsReader(counts_file, self._num_original + 1)
+                verified = self._checking_pass(counts)
         except CheckFailure as exc:
             failure = exc
         except TraceError as exc:
@@ -220,6 +220,7 @@ class BreadthFirstChecker:
             check_time=time.perf_counter() - start,
             resolutions=self._resolutions,
             prune=self._plan.to_dict() if self._plan is not None else None,
+            memory=engine_memory_stats(self._engine, self.meter),
         )
 
     # -- record streaming -------------------------------------------------------
@@ -273,17 +274,10 @@ class BreadthFirstChecker:
         self._num_original = plan.num_original
         self._total_learned = plan.total_learned
         first_learned = plan.num_original + 1
-        fd, path = tempfile.mkstemp(prefix="bfcheck-counts-", dir=self._tmp_dir)
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                get = plan.needed_counts.get
-                array(
-                    "Q",
-                    (get(cid, 0) for cid in range(first_learned, plan.max_cid + 1)),
-                ).tofile(handle)
-        except BaseException:
-            os.unlink(path)
-            raise
+        with new_counts_file(self._tmp_dir) as (path, handle):
+            write_count_range(
+                handle, first_learned, plan.max_cid + 1, plan.needed_counts.get
+            )
         return plan.max_cid, path
 
     def _fused_scan(self) -> tuple[int, str]:
@@ -303,16 +297,8 @@ class BreadthFirstChecker:
                 )
         self._total_learned = num_learned
         first_learned = self._num_original + 1
-        fd, path = tempfile.mkstemp(prefix="bfcheck-counts-", dir=self._tmp_dir)
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                get = counts.get
-                array(
-                    "Q", (get(cid, 0) for cid in range(first_learned, max_cid + 1))
-                ).tofile(handle)
-        except BaseException:
-            os.unlink(path)
-            raise
+        with new_counts_file(self._tmp_dir) as (path, handle):
+            write_count_range(handle, first_learned, max_cid + 1, counts.get)
         return max_cid, path
 
     # -- pass 0: extent ----------------------------------------------------------
@@ -377,43 +363,13 @@ class BreadthFirstChecker:
         first_learned = self._num_original + 1
         span = max(0, max_cid - self._num_original)
         chunk = self._chunk_size or max(span, 1)
-        fd, path = tempfile.mkstemp(prefix="bfcheck-counts-", dir=self._tmp_dir)
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                for low in range(first_learned, max_cid + 1, chunk):
-                    high = min(low + chunk, max_cid + 1)
-                    counts = array("Q", bytes(_COUNT_SIZE * (high - low)))
-                    self._count_references(low, high, counts)
-                    counts.tofile(handle)
-        except BaseException:
-            os.unlink(path)
-            raise
+        with new_counts_file(self._tmp_dir) as (path, handle):
+            for low in range(first_learned, max_cid + 1, chunk):
+                high = min(low + chunk, max_cid + 1)
+                counts = array("Q", bytes(_COUNT_SIZE * (high - low)))
+                self._count_references(low, high, counts)
+                counts.tofile(handle)
         return path
-
-    def _read_count(self, counts_file, cid: int) -> int:
-        """Fetch one use count, through a single-block read cache.
-
-        The checking pass looks counts up in ascending clause-ID order, so
-        buffering one ``_COUNT_BLOCK``-entry block turns the per-clause
-        seek+read+unpack into one file read per block.
-        """
-        assert self._num_original is not None
-        entry = cid - self._num_original - 1
-        block, index = divmod(entry, _COUNT_BLOCK)
-        if block != self._count_block_index:
-            counts_file.seek(block * _COUNT_BLOCK * _COUNT_SIZE)
-            blob = counts_file.read(_COUNT_BLOCK * _COUNT_SIZE)
-            blob = blob[: len(blob) - len(blob) % _COUNT_SIZE]
-            self._count_block = array("Q", blob)
-            self._count_block_index = block
-        cached = self._count_block
-        if index >= len(cached):
-            raise CheckFailure(
-                FailureKind.UNKNOWN_CLAUSE,
-                "clause ID outside the counted range",
-                cid=cid,
-            )
-        return cached[index]
 
     # -- pass 2: checking -----------------------------------------------------------
 
@@ -452,7 +408,7 @@ class BreadthFirstChecker:
         else:
             self._remaining[cid] = remaining - 1
 
-    def _build_learned(self, cid: int, sources: Sequence[int], counts_file) -> None:
+    def _build_learned(self, cid: int, sources: Sequence[int], counts: CountsReader) -> None:
         if not sources:
             # Normal parsing rejects zero-source records, but a hand-built
             # Trace can smuggle one in; fail the report, don't IndexError.
@@ -496,7 +452,7 @@ class BreadthFirstChecker:
                 self._engine.release(freed)
             else:
                 remaining_map[source] = remaining - 1
-        total_uses = self._read_count(counts_file, cid)
+        total_uses = counts.read(cid)
         if total_uses == 0:
             self._engine.release(clause)
             return  # validated, never used again: drop immediately
@@ -599,7 +555,7 @@ class BreadthFirstChecker:
         )
         write_checkpoint(checkpoint, self._checkpoint_path)
 
-    def _checking_pass(self, counts_file) -> bool:
+    def _checking_pass(self, counts: CountsReader) -> bool:
         assert self._num_original is not None
         level_zero_entries: list[LevelZeroAssignment] = []
         final_conflicts: list[int] = []
@@ -657,7 +613,7 @@ class BreadthFirstChecker:
             last_cid = cid
             if skip is not None and cid in skip:
                 continue  # statically dead: no path to the empty clause
-            self._build_learned(cid, sources, counts_file)
+            self._build_learned(cid, sources, counts)
             if checkpoint_every:
                 builds_since_snapshot += 1
                 if builds_since_snapshot >= checkpoint_every:

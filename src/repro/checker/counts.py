@@ -1,0 +1,97 @@
+"""On-disk per-clause use counts, shared by the BF and streaming checkers.
+
+The paper's counting pre-pass (§3.3) records, for every learned clause,
+how many times it is used as a resolve source — written to a temporary
+file because "even one in-memory counter per learned clause may not
+fit". Both :class:`~repro.checker.breadth_first.BreadthFirstChecker` and
+:class:`~repro.checker.streaming.StreamingWindowChecker` consume that
+file through the block-cached :class:`CountsReader` here; the writers
+share :func:`new_counts_file` / :func:`write_count_range`.
+
+Layout: one little-endian ``uint64`` per learned clause ID, densely
+packed from ``first_learned`` (= num_original + 1) upward.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+from array import array
+from contextlib import contextmanager
+from typing import BinaryIO, Callable, Iterator, Sequence
+
+from repro.checker.errors import CheckFailure, FailureKind
+
+COUNT_FORMAT = "<Q"
+COUNT_SIZE = struct.calcsize(COUNT_FORMAT)
+COUNT_BLOCK = 1024  # count entries per cached read block
+
+
+@contextmanager
+def new_counts_file(
+    tmp_dir: str | None = None, prefix: str = "bfcheck-counts-"
+) -> Iterator[tuple[str, BinaryIO]]:
+    """Yield ``(path, writable handle)`` for a fresh counts temp file.
+
+    The file is unlinked if the body raises — the caller owns (and must
+    eventually unlink) the path only on success.
+    """
+    fd, path = tempfile.mkstemp(prefix=prefix, dir=tmp_dir)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            yield path, handle
+    except BaseException:
+        os.unlink(path)
+        raise
+
+
+def write_count_range(
+    handle: BinaryIO,
+    low: int,
+    high: int,
+    get_count: Callable[[int, int], int],
+) -> None:
+    """Append the dense counts for clause IDs ``[low, high)`` to ``handle``.
+
+    ``get_count`` is typically ``dict.get``; missing IDs are written as 0.
+    """
+    array(COUNT_FORMAT[1], (get_count(cid, 0) for cid in range(low, high))).tofile(
+        handle
+    )
+
+
+class CountsReader:
+    """Block-cached random access into a counts file.
+
+    Checking passes look counts up in ascending clause-ID order, so
+    buffering one ``COUNT_BLOCK``-entry block turns the per-clause
+    seek+read+unpack into one file read per block.
+    """
+
+    __slots__ = ("_file", "_first_learned", "_block", "_block_index")
+
+    def __init__(self, counts_file: BinaryIO, first_learned: int):
+        self._file = counts_file
+        self._first_learned = first_learned
+        self._block: Sequence[int] = ()
+        self._block_index = -1
+
+    def read(self, cid: int) -> int:
+        """Fetch one use count; fails the check for IDs past the counted range."""
+        entry = cid - self._first_learned
+        block, index = divmod(entry, COUNT_BLOCK)
+        if block != self._block_index:
+            self._file.seek(block * COUNT_BLOCK * COUNT_SIZE)
+            blob = self._file.read(COUNT_BLOCK * COUNT_SIZE)
+            blob = blob[: len(blob) - len(blob) % COUNT_SIZE]
+            self._block = array(COUNT_FORMAT[1], blob)
+            self._block_index = block
+        cached = self._block
+        if index >= len(cached):
+            raise CheckFailure(
+                FailureKind.UNKNOWN_CLAUSE,
+                "clause ID outside the counted range",
+                cid=cid,
+            )
+        return cached[index]

@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 
 from repro.checker.errors import CheckFailure, FailureKind
-from repro.checker.kernel import ClauseLits, make_engine
+from repro.checker.kernel import ClauseLits, engine_memory_stats, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
 from repro.checker.memory import Deadline, MemoryMeter
 from repro.checker.report import CheckReport
@@ -104,6 +104,7 @@ class DepthFirstChecker:
             original_core=self._original_core if verified else None,
             learned_used=self._learned_used if verified else None,
             prune=self._plan.to_dict() if self._plan is not None else None,
+            memory=engine_memory_stats(self._engine, self.meter),
         )
 
     # -- internals -------------------------------------------------------------

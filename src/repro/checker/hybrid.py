@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.checker.errors import CheckFailure, FailureKind
-from repro.checker.kernel import ClauseLits, make_engine
+from repro.checker.kernel import ClauseLits, engine_memory_stats, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
 from repro.checker.memory import Deadline, MemoryMeter
 from repro.checker.report import CheckReport
@@ -122,6 +122,7 @@ class HybridChecker:
             original_core=self._original_core if verified else None,
             learned_used=self._learned_used if verified else None,
             prune=self._plan.to_dict() if self._plan is not None else None,
+            memory=engine_memory_stats(self._engine, self.meter),
         )
 
     # -- shared helpers -------------------------------------------------------

@@ -336,6 +336,27 @@ class ReferenceEngine(_EngineBase):
         return None
 
 
+def engine_memory_stats(engine, meter=None) -> dict:
+    """Resident-memory high-water marks for a checker's final report.
+
+    Always carries the logical-unit peak (when a meter is given); engines
+    backed by a :class:`~repro.checker.store.ClauseStore` add the store's
+    O(1)-maintained peaks — peak unique interned clauses and peak measured
+    bytes — which is what makes a constant-memory claim observable from
+    the outside. The reference engine (plain frozensets, nothing interned)
+    reports units only.
+    """
+    stats: dict = {}
+    if meter is not None:
+        stats["peak_units"] = meter.peak
+    store = getattr(engine, "store", None)
+    if store is not None:
+        stats["peak_unique_clauses"] = store.peak_unique_clauses
+        stats["peak_store_bytes"] = store.peak_bytes
+        stats["resident_store_bytes"] = store.resident_bytes
+    return stats
+
+
 # Optional warm-store provider: a callable mapping a formula to a ClauseStore
 # to seed the kernel with, or None. Long-lived checking workers install one so
 # repeat checks of the same formula reuse already-interned clause buffers

@@ -395,6 +395,9 @@ class ParallelWindowedChecker:
             window_stats=window_stats or None,
             recovery=self.recovery_events or None,
             prune=self._plan.to_dict() if self._plan is not None else None,
+            # Workers ran in their own processes; their stores are gone by
+            # now, so the cross-worker unit peak is the best we can report.
+            memory={"peak_units": peak + self.meter.peak},
         )
 
     # -- pre-pass ------------------------------------------------------------

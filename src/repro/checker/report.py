@@ -103,6 +103,12 @@ class CheckReport:
     # ran under a prune plan; ``None`` for unpruned runs. Additive and
     # optional, so the report schema version is unchanged.
     prune: dict | None = None
+    # Resident-memory high-water marks
+    # (:func:`repro.checker.kernel.engine_memory_stats`): peak logical
+    # units, peak unique interned clauses and peak measured store bytes;
+    # the streaming checker adds its budget/spill counters. Additive and
+    # optional — schema version unchanged.
+    memory: dict | None = None
 
     @property
     def built_pct(self) -> float:
@@ -154,6 +160,8 @@ class CheckReport:
             payload["fingerprint"] = self.fingerprint
         if self.prune is not None:
             payload["prune"] = self.prune
+        if self.memory is not None:
+            payload["memory"] = self.memory
         return payload
 
     @classmethod
@@ -189,6 +197,7 @@ class CheckReport:
             recovery=payload.get("recovery"),
             fingerprint=payload.get("fingerprint"),
             prune=payload.get("prune"),
+            memory=payload.get("memory"),
         )
 
     def summary(self) -> str:

@@ -46,16 +46,39 @@ def _attach_marksets(clause: InternedClause, litset: frozenset | None = None) ->
     clause.negset = frozenset(map(_neg, clause.litset))
 
 
+def _entry_bytes(key: bytes, clause: InternedClause) -> int:
+    """Measured bytes one interned entry pins: buffer, mark sets, index key."""
+    return (
+        real_bytes(clause)
+        + real_bytes(clause.litset)
+        + real_bytes(clause.negset)
+        + len(key)
+    )
+
+
 class ClauseStore:
     """Deduplicating, reference-counted store of sorted ``array('i')`` clauses."""
 
-    __slots__ = ("_entries", "_refs", "hits", "misses")
+    __slots__ = (
+        "_entries",
+        "_refs",
+        "hits",
+        "misses",
+        "resident_bytes",
+        "peak_bytes",
+        "peak_unique_clauses",
+    )
 
     def __init__(self) -> None:
         self._entries: dict[bytes, InternedClause] = {}
         self._refs: dict[bytes, int] = {}
         self.hits = 0
         self.misses = 0
+        # High-water marks, maintained O(1) at intern/evict time so any
+        # checker can report its peak residency without a store sweep.
+        self.resident_bytes = 0
+        self.peak_bytes = 0
+        self.peak_unique_clauses = 0
 
     def intern(self, literals: Iterable[int]) -> array:
         """Intern an arbitrary iterable of literals (deduplicated, sorted)."""
@@ -81,6 +104,11 @@ class ClauseStore:
         _attach_marksets(clause, litset)
         self._entries[key] = clause
         self._refs[key] = 1
+        self.resident_bytes += _entry_bytes(key, clause)
+        if self.resident_bytes > self.peak_bytes:
+            self.peak_bytes = self.resident_bytes
+        if len(self._entries) > self.peak_unique_clauses:
+            self.peak_unique_clauses = len(self._entries)
         return clause
 
     def release(self, clause: array | Iterable[int]) -> None:
@@ -98,7 +126,8 @@ class ClauseStore:
             return
         if refs <= 1:
             del self._refs[key]
-            del self._entries[key]
+            evicted = self._entries.pop(key)
+            self.resident_bytes -= _entry_bytes(key, evicted)
         else:
             self._refs[key] = refs - 1
 
@@ -117,11 +146,7 @@ class ClauseStore:
         """Measured bytes held by the interned buffers, their cached mark
         sets, and the index keys."""
         return sum(
-            real_bytes(clause)
-            + real_bytes(clause.litset)
-            + real_bytes(clause.negset)
-            + len(key)
-            for key, clause in self._entries.items()
+            _entry_bytes(key, clause) for key, clause in self._entries.items()
         )
 
     def stats(self) -> dict:
@@ -132,4 +157,6 @@ class ClauseStore:
             "hits": self.hits,
             "misses": self.misses,
             "memory_bytes": self.memory_bytes(),
+            "peak_unique_clauses": self.peak_unique_clauses,
+            "peak_memory_bytes": self.peak_bytes,
         }

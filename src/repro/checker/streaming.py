@@ -1,0 +1,657 @@
+"""The constant-memory shifting-window checker.
+
+"Fast Verifying Proofs of Propositional Unsatisfiability via Window
+Shifting" observes that a resolution proof ordered by clause ID can be
+verified inside a bounded window that slides over the proof: at any
+moment only the clauses the remaining proof still references need to be
+resident. This checker is that idea on top of the repo's BF machinery:
+
+* **Zero-copy decoding.** A binary trace is ``mmap``'d
+  (:class:`~repro.trace.binary_format.MappedBinaryTrace`) and decoded in
+  ``window_records``-sized batches straight off the mapping
+  (:func:`~repro.trace.binary_format.decode_mapped_batch`) — the full
+  :class:`~repro.trace.records.Trace` is never materialized, so decoding
+  memory is one batch, regardless of trace size. ASCII traces and
+  in-memory ``Trace`` objects stream through the generic record path in
+  the same batches.
+* **Counting pre-pass.** Like BF, a first streaming pass writes each
+  learned clause's total use count to a temp file
+  (:mod:`repro.checker.counts`). The mmap pass
+  (:func:`~repro.trace.binary_format.scan_mapped_learned`) additionally
+  records each clause's *last use* — the stream position of its final
+  reference — which orders the window's retirement decisions.
+* **Bounded residency, never memory-out.** Resident clauses are bounded
+  by ``memory_budget`` (logical units, the ``--memory-window`` budget).
+  When the window overflows, cached original clauses are dropped first
+  (re-materializable from the formula); then learned clauses are
+  *spilled* to a temp file — farthest last use first, so the clauses the
+  proof needs soonest stay hot — and transparently reloaded on demand.
+  Unlike every other checker, exceeding the budget is therefore never a
+  failure: this is the supervisor's last-resort tier that trades disk
+  traffic for a hard memory ceiling.
+
+Verdicts are byte-identical to BF/DF: the same build, consume and
+level-zero derivation code paths run, only residency management differs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from array import array
+from heapq import heappop, heappush
+from itertools import islice
+from pathlib import Path
+from typing import IO, Iterator, Sequence
+
+from repro.checker.counts import CountsReader, new_counts_file, write_count_range
+from repro.checker.errors import CheckFailure, FailureKind
+from repro.checker.kernel import ClauseLits, engine_memory_stats, make_engine
+from repro.checker.level_zero import LevelZeroState, derive_empty_clause
+from repro.checker.memory import Deadline, MemoryMeter
+from repro.checker.report import CheckReport
+from repro.checker.resolution import ResolutionError
+from repro.cnf import CnfFormula
+from repro.trace.binary_format import (
+    MAGIC,
+    MappedBinaryTrace,
+    decode_mapped_batch,
+    scan_mapped_learned,
+)
+from repro.trace.io import iter_trace_records
+from repro.trace.records import (
+    FinalConflict,
+    LearnedClause,
+    LevelZeroAssignment,
+    Trace,
+    TraceError,
+    TraceHeader,
+    TraceRecord,
+    TraceResult,
+)
+from repro.trace.windows import ShiftingWindow
+
+
+class StreamingWindowChecker:
+    """Validates an UNSAT claim in bounded memory over an mmap'd trace."""
+
+    method = "streaming"
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        trace_source: str | Path | Trace,
+        memory_budget: int | None = None,
+        window_records: int | None = None,
+        count_chunk_size: int | None = None,
+        tmp_dir: str | Path | None = None,
+        precheck: bool = False,
+        use_kernel: bool = True,
+        deadline: Deadline | None = None,
+        prune_plan=None,
+    ):
+        self.formula = formula
+        self._source = trace_source
+        self._plan = prune_plan
+        self._precheck = precheck
+        self.precheck_report = None
+        # No limit= here, by design: the streaming checker converts memory
+        # pressure into spills, so the meter only observes, never raises.
+        self.meter = MemoryMeter()
+        self._engine = make_engine(use_kernel, formula)
+        self._budget = memory_budget
+        self._window = ShiftingWindow(window_records)
+        self._chunk_size = count_chunk_size
+        self._tmp_dir = str(tmp_dir) if tmp_dir is not None else None
+        self._deadline = deadline
+        self._num_original: int | None = None
+        self._total_learned = 0
+        self._clauses_built = 0
+        self._resolutions = 0
+        # Residency state. ``_resident`` holds learned clauses, keyed by
+        # cid; ``_orig_cache`` caches materialized originals separately so
+        # the budget can reclaim them without spilling (they rebuild from
+        # the formula). ``_resident_units`` is what ``memory_budget``
+        # bounds — learned + cached-original clause units, excluding the
+        # O(num_vars) level-zero trail.
+        self._resident: dict[int, ClauseLits] = {}
+        self._remaining: dict[int, int] = {}
+        self._orig_cache: dict[int, ClauseLits] = {}
+        self._resident_units = 0
+        self._peak_resident_units = 0
+        # Retirement order: a lazy-deletion heap of (-key, cid). With last
+        # uses known (unchunked mmap pass), key is the clause's last-use
+        # stream position, so the clause needed *farthest* in the future
+        # is spilled first (Belady on exact future knowledge — last uses
+        # are read from the trace, not predicted). Without them (prune
+        # plan or chunked counting), key is -cid: oldest clause first.
+        self._last_use: dict[int, int] = {}
+        self._evict_heap: list[tuple[int, int]] = []
+        # Spill file: append-only raw literal arrays, cid -> (offset, nbytes).
+        self._spill_handle: IO[bytes] | None = None
+        self._spill_path: str | None = None
+        self._spill_index: dict[int, tuple[int, int]] = {}
+        self.spills = 0
+        self.reloads = 0
+        self._orig_evictions = 0
+        self._mapped: MappedBinaryTrace | None = None
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self) -> CheckReport:
+        """Run the check; never raises — failures land in the report."""
+        start = time.perf_counter()
+        failure: CheckFailure | None = None
+        verified = False
+        counts_path: str | None = None
+        try:
+            if self._deadline is not None:
+                self._deadline.check()
+            if self._precheck:
+                from repro.checker.precheck import run_precheck
+
+                self.precheck_report = run_precheck(self._source)
+            self._open_mapping()
+            max_cid, counts_path = self._counting_pass()
+            with open(counts_path, "rb") as counts_file:
+                assert self._num_original is not None
+                counts = CountsReader(counts_file, self._num_original + 1)
+                verified = self._checking_pass(counts)
+        except CheckFailure as exc:
+            failure = exc
+        except TraceError as exc:
+            failure = CheckFailure(FailureKind.MALFORMED_TRACE, str(exc))
+        finally:
+            if counts_path is not None:
+                os.unlink(counts_path)
+            self._close_spill()
+            if self._mapped is not None:
+                self._mapped.close()
+                self._mapped = None
+        return CheckReport(
+            method=self.method,
+            verified=verified,
+            failure=failure,
+            clauses_built=self._clauses_built,
+            total_learned=self._total_learned,
+            peak_memory_units=self.meter.peak,
+            check_time=time.perf_counter() - start,
+            resolutions=self._resolutions,
+            window_stats=self._window.entries or None,
+            prune=self._plan.to_dict() if self._plan is not None else None,
+            memory=self._memory_stats(),
+        )
+
+    # -- source plumbing ------------------------------------------------------
+
+    def _open_mapping(self) -> None:
+        """Map the source when it is a binary trace file; else stay generic."""
+        if not isinstance(self._source, (str, Path)):
+            return
+        try:
+            with open(self._source, "rb") as handle:
+                is_binary = handle.read(len(MAGIC)) == MAGIC
+        except OSError as exc:
+            raise TraceError(f"{self._source}: {exc}") from None
+        if is_binary:
+            self._mapped = MappedBinaryTrace(self._source)
+
+    def _records(self) -> Iterator[TraceRecord]:
+        if isinstance(self._source, Trace):
+            return self._source.records()
+        return iter_trace_records(self._source)
+
+    def _batches(self) -> Iterator[list]:
+        """The trace as ``window_records``-sized batches — one decode pass.
+
+        Mapped sources decode straight off the mmap view (learned records
+        as bare ``(cid, sources)`` tuples); everything else batches the
+        generic record stream. Either way only one batch is ever held.
+        """
+        size = self._window.window_records
+        if self._mapped is not None:
+            view = self._mapped.view
+            pos = self._mapped.payload_start
+            while True:
+                items, pos = decode_mapped_batch(view, pos, size)
+                if not items:
+                    return
+                yield items
+        else:
+            records = self._records()
+            while True:
+                batch = list(islice(records, size))
+                if not batch:
+                    return
+                yield batch
+
+    # -- pass 1: extent + counts (+ last uses) --------------------------------
+
+    def _counting_pass(self) -> tuple[int, str]:
+        """Write the use-count file; returns ``(max_cid, counts_path)``.
+
+        Sets ``_num_original``/``_total_learned`` and, on the unchunked
+        mmap path, fills ``_last_use`` with each clause's final-reference
+        stream position.
+        """
+        if self._plan is not None:
+            return self._plan_counts()
+        if self._mapped is not None:
+            return self._mapped_counts()
+        return self._generic_counts()
+
+    def _plan_counts(self) -> tuple[int, str]:
+        plan = self._plan
+        assert plan is not None
+        if self.formula.num_clauses != plan.num_original:
+            raise CheckFailure(
+                FailureKind.UNKNOWN_CLAUSE,
+                "formula / trace disagree on the number of original clauses",
+                formula_clauses=self.formula.num_clauses,
+                trace_clauses=plan.num_original,
+            )
+        self._num_original = plan.num_original
+        self._total_learned = plan.total_learned
+        with new_counts_file(self._tmp_dir, prefix="stream-counts-") as (path, handle):
+            write_count_range(
+                handle, plan.num_original + 1, plan.max_cid + 1, plan.needed_counts.get
+            )
+        return plan.max_cid, path
+
+    def _validate_headers(self, headers: Sequence[tuple[int, int]], max_cid: int) -> int:
+        if not headers:
+            raise CheckFailure(FailureKind.BAD_HEADER, "trace has no header")
+        for _num_vars, num_original in headers:
+            self._num_original = num_original
+            if num_original > max_cid:
+                max_cid = num_original
+            if self.formula.num_clauses != num_original:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "formula / trace disagree on the number of original clauses",
+                    formula_clauses=self.formula.num_clauses,
+                    trace_clauses=num_original,
+                )
+        return max_cid
+
+    def _mapped_counts(self) -> tuple[int, str]:
+        assert self._mapped is not None
+        view = self._mapped.view
+        if self._chunk_size is None:
+            headers, max_cid, num_learned, counts, last_use = scan_mapped_learned(
+                view, track_last_use=True
+            )
+            max_cid = self._validate_headers(headers, max_cid)
+            self._total_learned = num_learned
+            self._last_use = last_use
+            with new_counts_file(self._tmp_dir, prefix="stream-counts-") as (
+                path,
+                handle,
+            ):
+                write_count_range(
+                    handle, self._num_original + 1, max_cid + 1, counts.get
+                )
+            return max_cid, path
+        # Chunked counting (the paper's multi-pass mode): an extent pass
+        # with an empty count range, then one pass per clause-ID chunk.
+        # Last uses are not collected — they would need the full range in
+        # one pass — so eviction falls back to oldest-first.
+        headers, max_cid, num_learned, _counts, _ = scan_mapped_learned(
+            view, count_range=(0, 0)
+        )
+        max_cid = self._validate_headers(headers, max_cid)
+        self._total_learned = num_learned
+        first_learned = self._num_original + 1
+        with new_counts_file(self._tmp_dir, prefix="stream-counts-") as (path, handle):
+            for low in range(first_learned, max_cid + 1, self._chunk_size):
+                high = min(low + self._chunk_size, max_cid + 1)
+                _, _, _, counts, _ = scan_mapped_learned(view, count_range=(low, high))
+                write_count_range(handle, low, high, counts.get)
+        return max_cid, path
+
+    def _generic_counts(self) -> tuple[int, str]:
+        """One record-stream pass for ASCII files and in-memory traces."""
+        counts: dict[int, int] = {}
+        counts_get = counts.get
+        last_use: dict[int, int] = {}
+        max_cid = 0
+        saw_header = False
+        position = 0
+        deadline = self._deadline
+        for record in self._records():
+            position += 1
+            if deadline is not None and not position & 0x3FF:
+                deadline.check()
+            if isinstance(record, LearnedClause):
+                self._total_learned += 1
+                if record.cid > max_cid:
+                    max_cid = record.cid
+                for src in record.sources:
+                    counts[src] = counts_get(src, 0) + 1
+                    last_use[src] = position
+            elif isinstance(record, TraceHeader):
+                saw_header = True
+                self._num_original = record.num_original_clauses
+                if record.num_original_clauses > max_cid:
+                    max_cid = record.num_original_clauses
+                if self.formula.num_clauses != record.num_original_clauses:
+                    raise CheckFailure(
+                        FailureKind.UNKNOWN_CLAUSE,
+                        "formula / trace disagree on the number of original clauses",
+                        formula_clauses=self.formula.num_clauses,
+                        trace_clauses=record.num_original_clauses,
+                    )
+            elif isinstance(record, LevelZeroAssignment):
+                counts[record.antecedent] = counts_get(record.antecedent, 0) + 1
+                last_use[record.antecedent] = position
+            elif isinstance(record, FinalConflict):
+                counts[record.cid] = counts_get(record.cid, 0) + 1
+                last_use[record.cid] = position
+        if not saw_header:
+            raise CheckFailure(FailureKind.BAD_HEADER, "trace has no header")
+        self._last_use = last_use
+        with new_counts_file(self._tmp_dir, prefix="stream-counts-") as (path, handle):
+            write_count_range(handle, self._num_original + 1, max_cid + 1, counts.get)
+        return max_cid, path
+
+    # -- residency management -------------------------------------------------
+
+    def _clause_units(self, clause: ClauseLits) -> int:
+        return self.meter.clause_units(len(clause))  # type: ignore[arg-type]
+
+    def _spill_file(self) -> IO[bytes]:
+        if self._spill_handle is None:
+            import tempfile
+
+            fd, self._spill_path = tempfile.mkstemp(
+                prefix="stream-spill-", dir=self._tmp_dir
+            )
+            self._spill_handle = os.fdopen(fd, "wb+")
+        return self._spill_handle
+
+    def _close_spill(self) -> None:
+        if self._spill_handle is not None:
+            self._spill_handle.close()
+            self._spill_handle = None
+        if self._spill_path is not None:
+            os.unlink(self._spill_path)
+            self._spill_path = None
+
+    def _spill(self, cid: int, clause: ClauseLits) -> None:
+        """Move a still-needed learned clause from the window to disk."""
+        data = clause if isinstance(clause, array) else array("i", sorted(clause))
+        blob = data.tobytes()
+        handle = self._spill_file()
+        handle.seek(0, os.SEEK_END)
+        offset = handle.tell()
+        handle.write(blob)
+        self._spill_index[cid] = (offset, len(blob))
+        del self._resident[cid]
+        units = self._clause_units(clause)
+        self._resident_units -= units
+        self.meter.release(units)
+        self._engine.release(clause)
+        self.spills += 1
+
+    def _reload(self, cid: int) -> ClauseLits:
+        """Bring a spilled clause back into the window."""
+        offset, nbytes = self._spill_index.pop(cid)
+        handle = self._spill_handle
+        assert handle is not None
+        handle.seek(offset)
+        blob = handle.read(nbytes)
+        literals = array("i")
+        literals.frombytes(blob)
+        clause = self._engine.materialize(literals)
+        self._resident[cid] = clause
+        units = self._clause_units(clause)
+        self._resident_units += units
+        if self._resident_units > self._peak_resident_units:
+            self._peak_resident_units = self._resident_units
+        self.meter.allocate(units)
+        heappush(self._evict_heap, (-self._last_use.get(cid, -cid), cid))
+        self.reloads += 1
+        return clause
+
+    def _enforce_budget(self) -> None:
+        """Shrink the window back under ``memory_budget``.
+
+        Cached originals go first (free to rebuild); then learned clauses
+        spill in retirement order. Runs only between builds, so everything
+        a resolution chain currently references stays alive through plain
+        Python references even if its store entry is evicted.
+        """
+        budget = self._budget
+        if budget is None:
+            return
+        while self._resident_units > budget and self._orig_cache:
+            cid, clause = self._orig_cache.popitem()
+            self._resident_units -= self._clause_units(clause)
+            self._engine.release(clause)
+            self._orig_evictions += 1
+        heap = self._evict_heap
+        while self._resident_units > budget and heap:
+            _, cid = heappop(heap)
+            clause = self._resident.get(cid)
+            if clause is None:
+                continue  # stale heap entry (consumed or already spilled)
+            self._spill(cid, clause)
+        # If the heap drains with the budget still exceeded (budget smaller
+        # than one window batch's live clauses), residency is best-effort —
+        # by contract this checker degrades, it never fails.
+
+    def _trim_originals(self, keep: int) -> None:
+        """Evict oldest cached originals until back under budget.
+
+        Called from the hot lookup path (including the final trail walk,
+        which touches O(num_vars) antecedents), so unlike
+        :meth:`_enforce_budget` it never touches the spill heap — it only
+        sheds re-materializable originals, oldest first, keeping the entry
+        just handed out.
+        """
+        budget = self._budget
+        if budget is None:
+            return
+        cache = self._orig_cache
+        while self._resident_units > budget and len(cache) > 1:
+            old_cid = next(iter(cache))
+            if old_cid == keep:
+                break
+            old = cache.pop(old_cid)
+            self._resident_units -= self._clause_units(old)
+            self._engine.release(old)
+            self._orig_evictions += 1
+
+    def _get_clause(self, cid: int) -> ClauseLits:
+        assert self._num_original is not None
+        clause = self._resident.get(cid)
+        if clause is not None:
+            return clause
+        if cid <= self._num_original:
+            clause = self._orig_cache.get(cid)
+            if clause is not None:
+                return clause
+            # Materialized on demand and *cached with eviction*, unlike the
+            # other checkers' engine.original() path, whose cache pins
+            # every original for the run's lifetime.
+            try:
+                literals = self.formula[cid].literals
+            except KeyError:
+                raise CheckFailure(
+                    FailureKind.UNKNOWN_CLAUSE,
+                    "trace references an original clause absent from the formula",
+                    cid=cid,
+                ) from None
+            clause = self._engine.materialize(literals)
+            self._orig_cache[cid] = clause
+            self._resident_units += self._clause_units(clause)
+            if self._resident_units > self._peak_resident_units:
+                self._peak_resident_units = self._resident_units
+            self._trim_originals(keep=cid)
+            return clause
+        if cid in self._spill_index:
+            return self._reload(cid)
+        raise CheckFailure(
+            FailureKind.UNKNOWN_CLAUSE,
+            "clause is not resident: never defined, defined later, or "
+            "already fully consumed",
+            cid=cid,
+        )
+
+    def _consume_use(self, cid: int) -> None:
+        """Decrement a clause's remaining-use counter; free/forget at zero."""
+        assert self._num_original is not None
+        if cid <= self._num_original:
+            return
+        remaining = self._remaining.get(cid)
+        if remaining is None:
+            return
+        if remaining > 1:
+            self._remaining[cid] = remaining - 1
+            return
+        del self._remaining[cid]
+        clause = self._resident.pop(cid, None)
+        if clause is not None:
+            units = self._clause_units(clause)
+            self._resident_units -= units
+            self.meter.release(units)
+            self._engine.release(clause)
+        else:
+            # Fully consumed while spilled: its bytes just become dead
+            # space in the spill file (reclaimed when the file is deleted).
+            self._spill_index.pop(cid, None)
+
+    # -- pass 2: windowed checking --------------------------------------------
+
+    def _build_learned(self, cid: int, sources: Sequence[int], counts: CountsReader) -> None:
+        if not sources:
+            raise CheckFailure(
+                FailureKind.MALFORMED_TRACE,
+                "learned clause record has no resolve sources",
+                cid=cid,
+            )
+        if max(sources) >= cid:
+            for source in sources:
+                if source >= cid:
+                    raise CheckFailure(
+                        FailureKind.CYCLIC_TRACE,
+                        "learned clause resolves from a clause with an ID not "
+                        "smaller than its own",
+                        cid=cid,
+                        source=source,
+                    )
+        try:
+            clause = self._engine.chain(cid, sources, self._get_clause)
+        except ResolutionError as exc:
+            self._resolutions += max(0, (exc.context.get("chain_position") or 1) - 1)
+            raise
+        self._resolutions += len(sources) - 1
+        self._clauses_built += 1
+        for source in sources:
+            self._consume_use(source)
+        total_uses = counts.read(cid)
+        if total_uses == 0:
+            self._engine.release(clause)
+            return
+        self._resident[cid] = clause
+        self._remaining[cid] = total_uses
+        units = self._clause_units(clause)
+        self._resident_units += units
+        if self._resident_units > self._peak_resident_units:
+            self._peak_resident_units = self._resident_units
+        self.meter.allocate(units)
+        heappush(self._evict_heap, (-self._last_use.get(cid, -cid), cid))
+        self._enforce_budget()
+
+    def _checking_pass(self, counts: CountsReader) -> bool:
+        assert self._num_original is not None
+        level_zero_entries: list[LevelZeroAssignment] = []
+        final_conflicts: list[int] = []
+        status = "UNKNOWN"
+        last_cid = self._num_original
+        deadline = self._deadline
+        skip = self._plan.skip if self._plan is not None else None
+        window = self._window
+        for batch in self._batches():
+            if deadline is not None:
+                deadline.check()
+            built_before = self._clauses_built
+            for record in batch:
+                if type(record) is tuple:
+                    cid, sources = record
+                elif isinstance(record, LearnedClause):
+                    cid = record.cid
+                    sources = record.sources
+                elif isinstance(record, LevelZeroAssignment):
+                    level_zero_entries.append(record)
+                    self.meter.allocate(self.meter.record_units(3))
+                    continue
+                elif isinstance(record, FinalConflict):
+                    final_conflicts.append(record.cid)
+                    continue
+                elif isinstance(record, TraceResult):
+                    status = record.status
+                    continue
+                else:
+                    continue  # headers, deletions, anything future
+                if cid <= last_cid:
+                    raise CheckFailure(
+                        FailureKind.CYCLIC_TRACE,
+                        "learned clause IDs must be strictly increasing",
+                        cid=cid,
+                        previous=last_cid,
+                    )
+                last_cid = cid
+                if skip is not None and cid in skip:
+                    continue
+                self._build_learned(cid, sources, counts)
+            window.advance(
+                len(batch),
+                built=self._clauses_built - built_before,
+                resident_units=self._resident_units,
+                resident_clauses=len(self._resident),
+                spilled=len(self._spill_index),
+            )
+
+        if status != "UNSAT":
+            raise CheckFailure(
+                FailureKind.BAD_STATUS,
+                "trace does not claim UNSAT; nothing to check",
+                status=status,
+            )
+        if not final_conflicts:
+            raise CheckFailure(
+                FailureKind.BAD_FINAL_CONFLICT,
+                "trace has no final conflicting clause",
+            )
+        final_cid = final_conflicts[0]
+        for unused_cid in final_conflicts[1:]:
+            self._consume_use(unused_cid)
+        level_zero = LevelZeroState(level_zero_entries)
+        steps = derive_empty_clause(
+            final_cid,
+            self._get_clause(final_cid),
+            level_zero,
+            get_clause=self._get_clause,
+            on_use=self._consume_use,
+            resolve_fn=self._engine.resolve,
+            deadline=self._deadline,
+        )
+        self._resolutions += steps
+        return True
+
+    # -- reporting ------------------------------------------------------------
+
+    def _memory_stats(self) -> dict:
+        stats = engine_memory_stats(self._engine, self.meter)
+        stats.update(
+            {
+                "budget_units": self._budget,
+                "peak_resident_units": self._peak_resident_units,
+                "spilled_clauses": self.spills,
+                "reloaded_clauses": self.reloads,
+                "evicted_originals": self._orig_evictions,
+                "windows": self._window.index,
+            }
+        )
+        return stats

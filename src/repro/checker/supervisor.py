@@ -19,8 +19,13 @@ verdict states how it was reached.
 * **The degradation ladder** — under the ``fallback`` policy a resource
   failure moves down the paper-faithful ladder DF → hybrid → BF (the
   parallel checker falls back to BF; RUP proofs have no resolution trace
-  to re-check, so they get budgets only). ``strict`` runs exactly one
-  attempt. The ladder is recorded in ``CheckReport.degradation``.
+  to re-check, so they get budgets only). For trace files at or above
+  ``streaming_threshold_bytes`` the final BF rung is replaced by the
+  shifting-window streaming checker
+  (:class:`~repro.checker.streaming.StreamingWindowChecker`), whose
+  bounded window spills to disk instead of memory-outing — the ladder's
+  never-memory-out floor. ``strict`` runs exactly one attempt. The
+  ladder is recorded in ``CheckReport.degradation``.
 * **Worker-crash recovery** — delegated to
   :class:`~repro.checker.parallel.ParallelWindowedChecker`: per-window
   timeouts, fresh-pool retries and in-process re-assignment, with
@@ -33,6 +38,7 @@ verdict states how it was reached.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -45,6 +51,7 @@ from repro.checker.memory import Deadline
 from repro.checker.parallel import ParallelWindowedChecker
 from repro.checker.report import CheckReport
 from repro.checker.rup import RupChecker
+from repro.checker.streaming import StreamingWindowChecker
 from repro.cnf import CnfFormula
 from repro.trace.records import Trace, TraceError
 
@@ -65,7 +72,15 @@ LADDERS: dict[str, tuple[str, ...]] = {
     "bf": ("bf",),
     "parallel": ("parallel", "bf"),
     "rup": ("rup",),
+    "streaming": ("streaming",),
 }
+
+#: File sizes at or above this make the streaming checker the ladder's
+#: last rung instead of BF: for traces this big, BF's resident window can
+#: still memory-out, while the streaming tier spills to disk and never
+#: does. Overridable per run via ``streaming_threshold_bytes`` (0 forces
+#: streaming eligibility for any file, ``None`` disables the rewrite).
+DEFAULT_STREAMING_THRESHOLD = 64 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -107,6 +122,7 @@ class Attempt:
     detail: str = ""
     recovery_events: int = 0
     pruned: bool = False  # did this attempt run under a prune plan?
+    memory: dict | None = None  # the rung's resident-memory high-water marks
 
     def to_dict(self) -> dict:
         entry = {
@@ -120,6 +136,8 @@ class Attempt:
             entry["recovery_events"] = self.recovery_events
         if self.pruned:
             entry["pruned"] = True
+        if self.memory is not None:
+            entry["memory"] = self.memory
         return entry
 
 
@@ -137,7 +155,14 @@ class SupervisorConfig:
     window_size: int | None = None  # parallel only
     use_kernel: bool = True
     precheck: bool = False
-    count_chunk_size: int | None = None  # bf only
+    count_chunk_size: int | None = None  # bf + streaming
+    # Streaming tier: the resident-clause budget in logical units (the CLI's
+    # --memory-window; defaults to memory_limit when unset), the decode
+    # batch size, and the file-size threshold that swaps the streaming
+    # checker in for BF as the fallback ladder's last rung.
+    memory_window: int | None = None
+    window_records: int | None = None
+    streaming_threshold_bytes: int | None = DEFAULT_STREAMING_THRESHOLD
     checkpoint_path: str | None = None  # bf only
     checkpoint_every: int = 0  # bf only: learned builds between snapshots
     resume_from: str | None = None  # bf only
@@ -189,7 +214,7 @@ class CheckSupervisor:
 
     def check(self) -> CheckReport:
         config = self.config
-        ladder = config.policy.ladder(config.method)
+        ladder = self._resolve_ladder(config.policy.ladder(config.method))
         report: CheckReport | None = None
         start = time.perf_counter()
         for rung, method in enumerate(ladder):
@@ -208,6 +233,37 @@ class CheckSupervisor:
         if config.fingerprint is not None:
             report.fingerprint = dict(config.fingerprint)
         return report
+
+    # -- ladder shaping -------------------------------------------------------
+
+    def _streaming_eligible(self) -> bool:
+        """Is the source a trace file big enough for the streaming tier?"""
+        threshold = self.config.streaming_threshold_bytes
+        if threshold is None or not isinstance(self._source, (str, Path)):
+            return False
+        try:
+            return os.path.getsize(self._source) >= threshold
+        except OSError:
+            return False
+
+    def _resolve_ladder(self, ladder: tuple[str, ...]) -> tuple[str, ...]:
+        """Swap the streaming tier in as the last resort for huge traces.
+
+        BF's delete-on-last-use residency matches the solver's own peak —
+        which for a multi-GB trace can itself be a memory-out. When the
+        trace file crosses ``streaming_threshold_bytes``, the fallback
+        ladder's final BF rung becomes the streaming checker (BF-identical
+        verdicts, but overflow spills to disk instead of failing); a
+        ladder that *starts* at BF keeps its BF rung and gains streaming
+        after it.
+        """
+        if self.config.policy.name != "fallback":
+            return ladder  # strict runs exactly the requested rung
+        if ladder[-1] != "bf" or not self._streaming_eligible():
+            return ladder
+        if len(ladder) == 1:
+            return ("bf", "streaming")
+        return ladder[:-1] + ("streaming",)
 
     # -- one rung ------------------------------------------------------------
 
@@ -250,6 +306,7 @@ class CheckSupervisor:
                 detail=detail,
                 recovery_events=len(report.recovery or ()),
                 pruned=report.prune is not None,
+                memory=report.memory,
             )
         )
         return report
@@ -315,6 +372,27 @@ class CheckSupervisor:
                 max_retries=config.max_retries,
                 inprocess_fallback=config.inprocess_fallback,
                 **common,
+            )
+        if method == "streaming":
+            # No memory_limit: the streaming tier's whole contract is that
+            # memory pressure becomes disk traffic, never a MEMORY_OUT.
+            # The budget defaults to the run's memory limit, so "fall back
+            # when X units is exceeded" and "stay under X units" agree.
+            return StreamingWindowChecker(
+                self.formula,
+                self._source,
+                memory_budget=(
+                    config.memory_window
+                    if config.memory_window is not None
+                    else config.memory_limit
+                ),
+                window_records=config.window_records,
+                count_chunk_size=config.count_chunk_size,
+                tmp_dir=config.tmp_dir,
+                precheck=config.precheck,
+                use_kernel=config.use_kernel,
+                deadline=deadline,
+                prune_plan=self._prune_plan(),
             )
         if method == "rup":
             # The supervisor's source *is* the DRUP proof here; there is no

@@ -93,6 +93,7 @@ _CHECKERS = {
     "bf": "breadth-first",
     "hybrid": "hybrid",
     "rup": "rup",
+    "streaming": "streaming",
 }
 
 
@@ -133,6 +134,30 @@ def check_main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the static trace linter first and fail fast on structural "
         "errors (df/bf/hybrid; a DRUP proof has no trace to lint)",
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="shorthand for --method streaming: the constant-memory "
+        "shifting-window checker over an mmap'd trace; resident clauses "
+        "bounded by --memory-window, overflow spills to disk",
+    )
+    parser.add_argument(
+        "--memory-window",
+        type=int,
+        default=None,
+        metavar="UNITS",
+        help="streaming: resident-clause budget in logical units "
+        "(default: --mem-limit if given, else unbounded); unlike "
+        "--mem-limit, exceeding it spills instead of failing",
+    )
+    parser.add_argument(
+        "--window-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="streaming: trace records decoded per window batch "
+        "(default 4096)",
     )
     parser.add_argument(
         "--prune",
@@ -217,6 +242,15 @@ def check_main(argv: list[str] | None = None) -> int:
         "budget has its pool killed and is retried",
     )
     resilience.add_argument(
+        "--streaming-threshold",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="fallback policy: trace files at least this large swap the "
+        "constant-memory streaming checker in for bf as the ladder's "
+        "last rung (default 64MiB; 0 forces it regardless of size)",
+    )
+    resilience.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -256,6 +290,30 @@ def check_main(argv: list[str] | None = None) -> int:
         parser.error("--window-timeout only applies with --parallel")
     if args.parallel is not None and args.method == "rup":
         parser.error("--parallel verifies resolution traces; not --method rup")
+    if args.stream:
+        if args.parallel is not None:
+            parser.error("--stream and --parallel are different checkers; pick one")
+        if args.method not in ("df", "streaming"):
+            parser.error(f"--stream conflicts with --method {args.method}")
+        args.method = "streaming"
+    if (
+        args.memory_window is not None or args.window_records is not None
+    ) and args.method != "streaming":
+        # The supervisor's fallback ladder can still land on the streaming
+        # tier for big traces, so these stay meaningful with --policy.
+        if args.policy != "fallback":
+            parser.error(
+                "--memory-window/--window-records apply to the streaming "
+                "checker (--stream, or --policy fallback whose ladder can "
+                "reach it)"
+            )
+    if args.method == "streaming" and (args.checkpoint or args.resume):
+        parser.error("--checkpoint/--resume snapshot breadth-first checks only")
+    if args.streaming_threshold is not None and args.policy != "fallback":
+        parser.error(
+            "--streaming-threshold shapes the fallback ladder; "
+            "it needs --policy fallback"
+        )
     supervised = any(
         value is not None
         for value in (
@@ -275,6 +333,10 @@ def check_main(argv: list[str] | None = None) -> int:
         parser.error("--refresh only applies with --cache DIR")
     if args.cache and (args.checkpoint or args.resume):
         parser.error("--cache does not combine with --checkpoint/--resume")
+    if args.cache and args.streaming_threshold is not None:
+        # Which rung produced a verdict is not part of the cache key, so a
+        # nonstandard threshold must not populate shared cache lines.
+        parser.error("--cache does not combine with --streaming-threshold")
 
     formula = parse_dimacs_file(args.cnf)
     use_kernel = args.engine == "kernel"
@@ -299,6 +361,10 @@ def check_main(argv: list[str] | None = None) -> int:
             options["max_retries"] = args.max_retries
         if args.window_timeout is not None:
             options["window_timeout"] = args.window_timeout
+        if args.memory_window is not None:
+            options["memory_window"] = args.memory_window
+        if args.window_records is not None:
+            options["window_records"] = args.window_records
 
         class _ClientChecker:
             @staticmethod
@@ -327,6 +393,13 @@ def check_main(argv: list[str] | None = None) -> int:
             checkpoint_every=args.checkpoint_every or 0,
             resume_from=args.resume,
             prune=args.prune,
+            memory_window=args.memory_window,
+            window_records=args.window_records,
+            **(
+                {"streaming_threshold_bytes": args.streaming_threshold}
+                if args.streaming_threshold is not None
+                else {}
+            ),
         )
     else:
         prune_plan = None
@@ -378,6 +451,22 @@ def check_main(argv: list[str] | None = None) -> int:
                 use_kernel=use_kernel,
                 prune_plan=prune_plan,
             )
+        elif args.method == "streaming":
+            from repro.checker import StreamingWindowChecker
+
+            checker = StreamingWindowChecker(
+                formula,
+                args.proof,
+                memory_budget=(
+                    args.memory_window
+                    if args.memory_window is not None
+                    else args.mem_limit
+                ),
+                window_records=args.window_records,
+                precheck=args.precheck,
+                use_kernel=use_kernel,
+                prune_plan=prune_plan,
+            )
         else:
             checker = RupChecker(formula, args.proof)
 
@@ -418,12 +507,21 @@ def check_main(argv: list[str] | None = None) -> int:
             print(" | ".join(parts))
     if report.window_stats:
         for stat in report.window_stats:
-            print(
-                f"c window {stat['window']}: built {stat['clauses_built']} "
-                f"(+{stat['import_builds']} interface) | "
-                f"imports {stat['num_imports']} exports {stat['num_exports']} | "
-                f"peak {stat['peak_units']} units"
-            )
+            if "resident_units" in stat:
+                # Streaming checker: one shifting-window position per entry.
+                print(
+                    f"c window {stat['window']}: {stat['records']} records, "
+                    f"built {stat['built']} | resident {stat['resident_units']} "
+                    f"units / {stat['resident_clauses']} clauses | "
+                    f"spilled {stat['spilled']}"
+                )
+            else:
+                print(
+                    f"c window {stat['window']}: built {stat['clauses_built']} "
+                    f"(+{stat['import_builds']} interface) | "
+                    f"imports {stat['num_imports']} exports {stat['num_exports']} | "
+                    f"peak {stat['peak_units']} units"
+                )
     if report.verified and args.show_core and report.original_core is not None:
         print("c core clause ids: " + " ".join(map(str, sorted(report.original_core))))
     return 0 if report.verified else 1
@@ -718,6 +816,20 @@ def submit_main(argv: list[str] | None = None) -> int:
         "verdict records that it was computed under a prune plan)",
     )
     parser.add_argument("--engine", default="kernel", choices=["kernel", "reference"])
+    parser.add_argument(
+        "--memory-window",
+        type=int,
+        default=None,
+        metavar="UNITS",
+        help="streaming: resident-clause budget (spills, never fails)",
+    )
+    parser.add_argument(
+        "--window-records",
+        type=int,
+        default=None,
+        metavar="N",
+        help="streaming: records decoded per window batch",
+    )
     args = parser.parse_args(argv)
 
     from repro.service import submit_job
@@ -729,6 +841,10 @@ def submit_main(argv: list[str] | None = None) -> int:
         options["timeout"] = args.timeout
     if args.mem_limit is not None:
         options["memory_limit"] = args.mem_limit
+    if args.memory_window is not None:
+        options["memory_window"] = args.memory_window
+    if args.window_records is not None:
+        options["window_records"] = args.window_records
     if args.precheck:
         options["precheck"] = True
     if args.prune:

@@ -42,6 +42,10 @@ KEYED_OPTIONS = (
     # pruned and unpruned verdicts must occupy distinct cache lines even
     # though the verdict itself is guaranteed identical.
     "prune",
+    # The streaming checker's window_stats and memory payloads depend on
+    # both of these, same rationale as num_workers/window_size above.
+    "memory_window",
+    "window_records",
 )
 
 

@@ -53,6 +53,8 @@ ALLOWED_JOB_OPTIONS = frozenset(
         "precheck",
         "count_chunk_size",
         "prune",
+        "memory_window",
+        "window_records",
     }
 )
 
@@ -257,6 +259,18 @@ class Scheduler:
         if report.from_cache:
             self.metrics.inc("jobs.served_from_cache")
         self.metrics.observe("job.latency_s", time.perf_counter() - started)
+        if report.memory:
+            # Resident-memory high-water marks (constant-memory claims are
+            # observable at the service level, not just in reports).
+            peak_clauses = report.memory.get("peak_unique_clauses")
+            if peak_clauses is not None:
+                self.metrics.observe("check.peak_resident_clauses", peak_clauses)
+            peak_units = report.memory.get("peak_resident_units")
+            if peak_units is not None:
+                self.metrics.observe("check.peak_resident_units", peak_units)
+            spills = report.memory.get("spilled_clauses")
+            if spills:
+                self.metrics.inc("check.spilled_clauses", spills)
         self._release(job)
 
     def _finalize_failure(self, job: Job, error: str) -> None:

@@ -13,6 +13,7 @@ keeps most varints short on real traces.
 
 from __future__ import annotations
 
+import mmap
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator
@@ -553,3 +554,278 @@ def iter_binary_records(
 def read_binary_trace(path: str | Path) -> Trace:
     """Load a full binary trace into memory."""
     return assemble_trace(iter_binary_records(path))
+
+
+# -- mmap zero-copy decoding ---------------------------------------------------
+#
+# The chunked decoders above copy the file into Python bytes objects and
+# splice torn records across chunk boundaries. Mapping the file instead
+# gives one contiguous read-only buffer: records decode with direct
+# ``view[pos]`` indexing against the page cache, no copies and no tears,
+# and a checker can hold a byte *cursor* into the proof — the foundation
+# of the shifting-window checker (:mod:`repro.checker.streaming`).
+
+
+class MappedBinaryTrace:
+    """A zero-copy ``mmap`` view of a binary trace file.
+
+    ``view`` is a :class:`memoryview` over the whole mapping; record
+    payloads start at ``payload_start`` (past the magic). Decoding works
+    on ``view`` slices without materializing the file — resident memory
+    is whatever pages the OS keeps cached, not the trace size.
+    """
+
+    __slots__ = ("path", "_file", "_map", "view", "size", "payload_start")
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._file: IO[bytes] | None = open(self.path, "rb")
+        try:
+            self._map: mmap.mmap | None = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except (ValueError, OSError) as exc:
+            self._file.close()
+            self._file = None
+            self._map = None
+            raise TraceError(f"{path}: cannot map binary trace ({exc})") from None
+        self.view: memoryview | None = memoryview(self._map)
+        self.size = len(self.view)
+        if bytes(self.view[: len(MAGIC)]) != MAGIC:
+            self.close()
+            raise TraceError(f"{path}: not a binary trace (bad magic)")
+        self.payload_start = len(MAGIC)
+
+    def close(self) -> None:
+        if self.view is not None:
+            self.view.release()
+            self.view = None
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "MappedBinaryTrace":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def decode_mapped_batch(
+    view: memoryview,
+    pos: int,
+    max_records: int,
+    raw_learned: bool = True,
+) -> tuple[list, int]:
+    """Decode up to ``max_records`` records from a mapped trace at ``pos``.
+
+    Returns ``(items, new_pos)``; an empty ``items`` means end of trace.
+    The buffer is the whole mapping, so — unlike the chunked decoders —
+    there are no torn records to rewind: running off the end of the view
+    is simply a truncated trace (:class:`TraceError`). With
+    ``raw_learned`` the dominant record type comes back as a bare
+    ``(cid, sources)`` tuple, exactly like
+    :func:`iter_binary_records_raw`.
+    """
+    items: list = []
+    append = items.append
+    end = len(view)
+    remaining = max_records
+    try:
+        while remaining > 0 and pos < end:
+            tag = view[pos]
+            pos += 1
+            if tag == _TAG_LEARNED:
+                cid = view[pos]
+                pos += 1
+                if cid & 0x80:
+                    cid &= 0x7F
+                    shift = 7
+                    while True:
+                        byte = view[pos]
+                        pos += 1
+                        cid |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                        if shift > 63:
+                            raise TraceError("varint too long")
+                count = view[pos]
+                pos += 1
+                if count & 0x80:
+                    count &= 0x7F
+                    shift = 7
+                    while True:
+                        byte = view[pos]
+                        pos += 1
+                        count |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                        if shift > 63:
+                            raise TraceError("varint too long")
+                sources = []
+                src_append = sources.append
+                for _ in range(count):
+                    delta = view[pos]
+                    pos += 1
+                    if delta & 0x80:
+                        delta &= 0x7F
+                        shift = 7
+                        while True:
+                            byte = view[pos]
+                            pos += 1
+                            delta |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 63:
+                                raise TraceError("varint too long")
+                    src_append(cid - delta)
+                if raw_learned:
+                    append((cid, sources))
+                else:
+                    append(LearnedClause(cid, tuple(sources)))
+            elif tag == _TAG_HEADER:
+                num_vars, pos = _varint_at(view, pos)
+                num_clauses, pos = _varint_at(view, pos)
+                append(TraceHeader(num_vars, num_clauses))
+            elif tag == _TAG_LEVEL_ZERO:
+                packed, pos = _varint_at(view, pos)
+                antecedent, pos = _varint_at(view, pos)
+                append(LevelZeroAssignment(packed >> 1, bool(packed & 1), antecedent))
+            elif tag == _TAG_FINAL_CONFLICT:
+                cid, pos = _varint_at(view, pos)
+                append(FinalConflict(cid))
+            elif tag == _TAG_DELETION:
+                cid, pos = _varint_at(view, pos)
+                append(ClauseDeletion(cid))
+            elif tag == _TAG_RESULT_SAT:
+                append(TraceResult("SAT"))
+            elif tag == _TAG_RESULT_UNSAT:
+                append(TraceResult("UNSAT"))
+            elif tag == _TAG_RESULT_UNKNOWN:
+                append(TraceResult("UNKNOWN"))
+            else:
+                raise TraceError(f"unknown binary record tag {tag:#x}")
+            remaining -= 1
+    except IndexError:
+        raise TraceError("unexpected end of binary trace") from None
+    return items, pos
+
+
+def scan_mapped_learned(
+    view: memoryview,
+    count_range: tuple[int, int] | None = None,
+    track_last_use: bool = False,
+) -> tuple[list[tuple[int, int]], int, int, dict[int, int], dict[int, int]]:
+    """Extent + use counts in one zero-copy pass over a mapped trace.
+
+    The mmap sibling of :func:`scan_binary_learned`: decodes varints in
+    place off the view, never constructs record objects, and — because
+    the buffer is the whole file — needs no torn-record rollback at all.
+    Returns ``(headers, max_learned_cid, num_learned, counts, last_use)``.
+
+    ``count_range`` restricts ``counts`` to clause IDs in ``[low, high)``
+    (the chunked-counting mode). ``last_use`` maps each referenced clause
+    ID to the stream position (a running record ordinal) of its *last*
+    reference — the retirement signal the shifting-window checker orders
+    its evictions by; empty unless ``track_last_use``.
+    """
+    headers: list[tuple[int, int]] = []
+    max_cid = 0
+    num_learned = 0
+    counts: dict[int, int] = {}
+    counts_get = counts.get
+    last_use: dict[int, int] = {}
+    low, high = count_range if count_range is not None else (0, 1 << 62)
+    pos = len(MAGIC)
+    end = len(view)
+    position = 0  # running record ordinal, the last_use clock
+    try:
+        while pos < end:
+            tag = view[pos]
+            pos += 1
+            position += 1
+            if tag == _TAG_LEARNED:
+                cid = view[pos]
+                pos += 1
+                if cid & 0x80:
+                    cid &= 0x7F
+                    shift = 7
+                    while True:
+                        byte = view[pos]
+                        pos += 1
+                        cid |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                        if shift > 63:
+                            raise TraceError("varint too long")
+                count = view[pos]
+                pos += 1
+                if count & 0x80:
+                    count &= 0x7F
+                    shift = 7
+                    while True:
+                        byte = view[pos]
+                        pos += 1
+                        count |= (byte & 0x7F) << shift
+                        if not byte & 0x80:
+                            break
+                        shift += 7
+                        if shift > 63:
+                            raise TraceError("varint too long")
+                for _ in range(count):
+                    delta = view[pos]
+                    pos += 1
+                    if delta & 0x80:
+                        delta &= 0x7F
+                        shift = 7
+                        while True:
+                            byte = view[pos]
+                            pos += 1
+                            delta |= (byte & 0x7F) << shift
+                            if not byte & 0x80:
+                                break
+                            shift += 7
+                            if shift > 63:
+                                raise TraceError("varint too long")
+                    src = cid - delta
+                    if low <= src < high:
+                        counts[src] = counts_get(src, 0) + 1
+                    if track_last_use:
+                        last_use[src] = position
+                num_learned += 1
+                if cid > max_cid:
+                    max_cid = cid
+            elif tag == _TAG_HEADER:
+                num_vars, pos = _varint_at(view, pos)
+                num_clauses, pos = _varint_at(view, pos)
+                headers.append((num_vars, num_clauses))
+            elif tag == _TAG_LEVEL_ZERO:
+                _, pos = _varint_at(view, pos)
+                antecedent, pos = _varint_at(view, pos)
+                if low <= antecedent < high:
+                    counts[antecedent] = counts_get(antecedent, 0) + 1
+                if track_last_use:
+                    last_use[antecedent] = position
+            elif tag == _TAG_FINAL_CONFLICT:
+                cid, pos = _varint_at(view, pos)
+                if low <= cid < high:
+                    counts[cid] = counts_get(cid, 0) + 1
+                if track_last_use:
+                    last_use[cid] = position
+            elif tag == _TAG_DELETION:
+                # Advisory only: deletions never contribute use counts.
+                _, pos = _varint_at(view, pos)
+            elif tag in (_TAG_RESULT_SAT, _TAG_RESULT_UNSAT, _TAG_RESULT_UNKNOWN):
+                pass
+            else:
+                raise TraceError(f"unknown binary record tag {tag:#x}")
+    except IndexError:
+        raise TraceError("unexpected end of binary trace") from None
+    return headers, max_cid, num_learned, counts, last_use

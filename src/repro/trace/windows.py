@@ -11,6 +11,16 @@ into contiguous windows, and each window's resolutions only ever look
 A :class:`WindowPlan` partitions the learned records into windows of
 (roughly) equal record count, which balances replay work far better than
 equal ID spans when clause IDs are sparse.
+
+Two consumption modes exist on top of a plan:
+
+* :func:`iter_windowed_records` streams the trace **once** and yields
+  each window's learned records in order — the fix for the quadratic
+  pattern of calling :func:`iter_window_records` per window, which
+  restarts decoding from record 0 every time.
+* :class:`ShiftingWindow` is the mutable cursor the streaming checker
+  (:mod:`repro.checker.streaming`) drives while it advances over an
+  mmap'd trace: per-window counters plus a bounded stats log.
 """
 
 from __future__ import annotations
@@ -95,6 +105,16 @@ def plan_windows(
     return WindowPlan(num_original, tuple(windows))
 
 
+def _open_records(
+    source: str | Path | Trace | Iterable[TraceRecord],
+) -> Iterable[TraceRecord]:
+    if isinstance(source, Trace):
+        return source.records()
+    if isinstance(source, (str, Path)):
+        return iter_trace_records(source)
+    return source
+
+
 def iter_window_records(
     source: str | Path | Trace | Iterable[TraceRecord], lo: int, hi: int
 ) -> Iterator[LearnedClause]:
@@ -103,13 +123,83 @@ def iter_window_records(
     Accepts a trace file path, an in-memory :class:`Trace`, or any record
     iterable; non-learned records and out-of-window learned records are
     skipped (constant memory for file sources).
+
+    One call is one decode pass over the *whole* trace — so calling this
+    per window of a plan decodes the trace once per window (quadratic in
+    the window count). Iterate a plan with :func:`iter_windowed_records`
+    instead, which makes a single pass.
     """
-    if isinstance(source, Trace):
-        records: Iterable[TraceRecord] = source.records()
-    elif isinstance(source, (str, Path)):
-        records = iter_trace_records(source)
-    else:
-        records = source
-    for record in records:
+    for record in _open_records(source):
         if isinstance(record, LearnedClause) and lo <= record.cid < hi:
             yield record
+
+
+def iter_windowed_records(
+    source: str | Path | Trace | Iterable[TraceRecord], plan: WindowPlan
+) -> Iterator[tuple[WindowSpec, list[LearnedClause]]]:
+    """Yield ``(window, learned_records)`` for every window — in ONE pass.
+
+    Streams the trace exactly once and groups the learned records by the
+    plan's contiguous clause-ID windows as they arrive. Windows are
+    yielded in plan order; a window the stream has no records for yields
+    an empty list. Learned records falling outside every window (only
+    possible when the plan was built from a different trace) are ignored.
+    Because the source is consumed exactly once, a one-shot record
+    iterator (e.g. a generator) is a valid source — the regression tests
+    rely on this to prove no second decode pass can happen.
+    """
+    windows = plan.windows
+    if not windows:
+        return
+    current = 0
+    batch: list[LearnedClause] = []
+    for record in _open_records(source):
+        if not isinstance(record, LearnedClause):
+            continue
+        cid = record.cid
+        while current < len(windows) and cid >= windows[current].hi:
+            yield windows[current], batch
+            batch = []
+            current += 1
+        if current >= len(windows):
+            return
+        if cid >= windows[current].lo:
+            batch.append(record)
+    while current < len(windows):
+        yield windows[current], batch
+        batch = []
+        current += 1
+
+
+class ShiftingWindow:
+    """Bookkeeping for a bounded window advancing over a record stream.
+
+    The streaming checker (:mod:`repro.checker.streaming`) decodes the
+    trace in batches of ``window_records`` records; each batch is one
+    window position. This cursor tracks where the window currently sits
+    and keeps a bounded per-window stats log for the final report
+    (``max_detail`` caps the log so a multi-GB trace cannot inflate its
+    own verdict; totals keep accumulating regardless).
+    """
+
+    __slots__ = ("window_records", "index", "total_records", "entries", "_max_detail")
+
+    DEFAULT_RECORDS = 4096
+
+    def __init__(self, window_records: int | None = None, max_detail: int = 64):
+        if window_records is not None and window_records < 1:
+            raise ValueError(f"window_records must be positive, got {window_records}")
+        self.window_records = window_records or self.DEFAULT_RECORDS
+        self.index = 0
+        self.total_records = 0
+        self.entries: list[dict] = []
+        self._max_detail = max_detail
+
+    def advance(self, num_records: int, **stats) -> None:
+        """Close the current window position after ``num_records`` records."""
+        self.total_records += num_records
+        if len(self.entries) < self._max_detail:
+            entry = {"window": self.index, "records": num_records}
+            entry.update(stats)
+            self.entries.append(entry)
+        self.index += 1

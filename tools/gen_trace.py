@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Generate arbitrarily large synthetic UNSAT instances with binary traces.
+
+The streaming checker's whole point is traces too big to hold in memory, so
+this generator never builds a :class:`~repro.trace.records.Trace`: both the
+DIMACS file and the RTB1 trace are written record-by-record through buffered
+file handles, keeping the generator itself O(1) in the instance size.
+
+The family is a *chain with hubs*, sized by ``--chain N``:
+
+* Originals (IDs 1..N+1): ``(x1)``, then ``(-x_{i-1} v x_i)`` for i=2..N,
+  then ``(-x_N)``. Classic implication chain, UNSAT.
+* Chain lemmas L_k = ``(x_{k+1})`` for k=1..N-1, each resolved from the
+  previous lemma (or original 1) and original k+1. Every lemma's *next*
+  use is immediate, so a last-use-aware resident set stays tiny.
+* Hub lemmas: every ``--hub-every``-th chain lemma is re-derived *again*
+  at the very end of the learned section, referencing the early lemma
+  directly. Those long-range uses force a naive checker to keep O(N /
+  hub_every) clauses resident across the whole trace — exactly the
+  pressure the shifting-window checker is built to shed by spilling.
+* Level-zero trail x_1..x_N (antecedent: original i) and final conflict
+  on original N+1 close the refutation.
+
+Checkers verify these instances end-to-end (the derivations are real
+resolutions, not placeholders), so the same files also serve the parity
+and fault-injection test suites as large fixtures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.trace.binary_format import BinaryTraceWriter  # noqa: E402
+
+
+def write_chain_cnf(path: str | Path, chain: int) -> None:
+    """DIMACS for the implication chain: N vars, N+1 clauses."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"c chain+hub UNSAT instance, chain={chain}\n")
+        handle.write(f"p cnf {chain} {chain + 1}\n")
+        handle.write("1 0\n")
+        for i in range(2, chain + 1):
+            handle.write(f"-{i - 1} {i} 0\n")
+        handle.write(f"-{chain} 0\n")
+
+
+def write_chain_trace(path: str | Path, chain: int, hub_every: int = 10) -> dict:
+    """Stream the chain+hub refutation trace to ``path`` (RTB1 binary).
+
+    Returns a small stats dict (records written, hub count) so callers
+    can report what they generated without re-scanning the file.
+    """
+    if chain < 3:
+        raise ValueError("chain length must be at least 3")
+    if hub_every < 1:
+        raise ValueError("hub_every must be at least 1")
+    num_original = chain + 1
+    learned = 0
+    with BinaryTraceWriter(path) as writer:
+        writer.header(chain, num_original)
+        # Chain lemmas: L_k = (x_{k+1}), cid = num_original + k.
+        first_lemma = num_original + 1
+        for k in range(1, chain):
+            cid = num_original + k
+            prev = 1 if k == 1 else cid - 1
+            writer.learned_clause(cid, (prev, k + 1))
+            learned += 1
+        # Hub lemmas: re-derive (x_{j+2}) from the *early* lemma L_j at the
+        # tail of the learned section. Sources reference far back.
+        next_cid = num_original + chain
+        hubs = 0
+        for j in range(1, chain - 1, hub_every):
+            writer.learned_clause(next_cid, (num_original + j, j + 2))
+            next_cid += 1
+            hubs += 1
+            learned += 1
+        for i in range(1, chain + 1):
+            writer.level_zero(i, True, i)
+        writer.final_conflict(num_original)
+        writer.result("UNSAT")
+    return {
+        "chain": chain,
+        "num_vars": chain,
+        "num_original": num_original,
+        "num_learned": learned,
+        "num_hubs": hubs,
+    }
+
+
+def generate(prefix: str | Path, chain: int, hub_every: int = 10) -> dict:
+    """Write ``<prefix>.cnf`` and ``<prefix>.rtb``; return the stats dict."""
+    prefix = Path(prefix)
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    cnf_path = prefix.with_suffix(".cnf")
+    trace_path = prefix.with_suffix(".rtb")
+    write_chain_cnf(cnf_path, chain)
+    stats = write_chain_trace(trace_path, chain, hub_every)
+    stats["cnf"] = str(cnf_path)
+    stats["trace"] = str(trace_path)
+    stats["trace_bytes"] = trace_path.stat().st_size
+    return stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("prefix", help="output prefix (writes PREFIX.cnf, PREFIX.rtb)")
+    parser.add_argument(
+        "--chain", type=int, default=20000, help="chain length N (default 20000)"
+    )
+    parser.add_argument(
+        "--hub-every",
+        type=int,
+        default=10,
+        help="emit a long-range hub lemma for every K-th chain lemma (default 10)",
+    )
+    args = parser.parse_args(argv)
+    stats = generate(args.prefix, args.chain, args.hub_every)
+    print(
+        f"wrote {stats['cnf']} ({stats['num_vars']} vars, "
+        f"{stats['num_original']} clauses) and {stats['trace']} "
+        f"({stats['num_learned']} learned, {stats['num_hubs']} hubs, "
+        f"{stats['trace_bytes']} bytes)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
