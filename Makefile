@@ -1,6 +1,6 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service bench-analysis bench-streaming tables tables-large ablations export examples clean
+.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service bench-analysis bench-streaming bench-chaos chaos-drill tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
@@ -46,6 +46,19 @@ bench-service:
 # unpruned check. `--quick` for CI smoke.
 bench-analysis:
 	python benchmarks/bench_analysis.py
+
+# Fault-free overhead of the fault-injection plane (unarmed probes on the
+# journal + verdict-cache bookkeeping paths); writes
+# results/BENCH_chaos.json and fails if attributed overhead exceeds 2%.
+# `--quick` for CI smoke.
+bench-chaos:
+	python benchmarks/bench_chaos.py
+
+# The full chaos drill: SIGKILL / torn-write / ENOSPC injected at every
+# registered fault point of the checking service, asserting exactly-once
+# verdicts and clean recovery.
+chaos-drill:
+	python -m pytest -x -q tests/service/test_faults.py tests/service/test_chaos.py
 
 # Constant-memory gate for the streaming shifting-window checker: flat
 # peak residency across 1x/3x/10x generated traces, time within 1.5x of

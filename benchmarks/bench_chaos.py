@@ -1,0 +1,260 @@
+"""Fault-free overhead benchmark for the fault-injection plane.
+
+Every durability-critical path in the checking service now routes through
+``repro.faults`` — journal appends, cache entry/segment writes, claim and
+finalize transitions, pool dispatch/collect, spool ingest. With no
+``REPRO_FAULT_PLAN`` armed those calls must be close to free: the plane
+is permanent instrumentation, not a test-build flag.
+
+This benchmark times, interleaved best-of:
+
+* **stubbed** — the same service bookkeeping workloads with
+  ``faults.fault_point`` / ``faults.fault_write`` swapped for trivial
+  passthroughs (what the code would cost had the plane been compiled
+  out);
+* **live** — the real plane, armed but with no plan in the environment
+  (the production configuration).
+
+Workloads are the write-heavy bookkeeping layers where nearly all fault
+points live, chosen to be fork-free and deterministic so a tight gate is
+meaningful:
+
+* **journal** — ``JobStore``: submit / claim / finish N jobs (three
+  instrumented journal appends per job plus the claim/finalize points);
+* **cache** — ``VerdictCache`` in batch mode: put N verdicts through
+  segment flushes, then look them all up.
+
+The gate: **attributed** overhead — the workload's exact fault-plane
+call count times the microbenchmarked per-call cost of an unarmed probe,
+as a fraction of the workload time — must stay **below 2%**. End-to-end
+paired deltas are reported alongside but not gated: on a shared box the
+run-to-run noise of a ~0.7s filesystem workload is several percent,
+an order of magnitude above the effect under measurement, so gating on
+the delta would flap. Attribution is conservative (every call is charged
+the full measured cost) and deterministic. Exits non-zero when the gate
+fails.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py          # full, writes JSON
+    PYTHONPATH=src python benchmarks/bench_chaos.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import faults  # noqa: E402
+from repro.checker.report import CheckReport  # noqa: E402
+from repro.service.cache import VerdictCache  # noqa: E402
+from repro.service.jobs import JobStore  # noqa: E402
+
+#: Fault-free plane overhead ceiling, as a fraction of the stubbed time.
+OVERHEAD_GATE = 0.02
+
+#: Calls in the per-call microbenchmark of an unarmed fault_point.
+MICRO_CALLS = 200_000
+
+
+@contextmanager
+def stubbed_plane():
+    """Swap the plane for passthroughs: the cost had it never existed."""
+    original_point, original_write = faults.fault_point, faults.fault_write
+
+    def stub_point(point, key=None):
+        return None
+
+    def stub_write(point, handle, data, key=None):
+        handle.write(data)
+
+    faults.fault_point, faults.fault_write = stub_point, stub_write
+    try:
+        yield
+    finally:
+        faults.fault_point, faults.fault_write = original_point, original_write
+
+
+def workload_journal(root: str, jobs: int) -> None:
+    """Submit, claim and finish ``jobs`` jobs through one JobStore."""
+    store = JobStore(os.path.join(root, "journal.jsonl"))
+    try:
+        for index in range(jobs):
+            store.submit("/bench/a.cnf", "/bench/a.trace", {"i": index})
+        while True:
+            job = store.claim("bench-worker")
+            if job is None:
+                break
+            store.finish(job, {"verified": True})
+        if not store.all_terminal:
+            raise SystemExit("journal workload left non-terminal jobs")
+    finally:
+        store.close()
+
+
+def workload_cache(root: str, entries: int) -> None:
+    """Batch-put ``entries`` verdicts through segment flushes, read back."""
+    cache = VerdictCache(os.path.join(root, "cache"), max_entries=entries + 64,
+                         batch_size=32)
+    fingerprints = [
+        {
+            "formula_sha256": f"f-{index}",
+            "trace_sha256": f"t-{index}",
+            "options_sha256": f"o-{index}",
+            "key": f"{index:064x}",
+        }
+        for index in range(entries)
+    ]
+    for fingerprint in fingerprints:
+        cache.put(fingerprint, CheckReport(method="breadth-first", verified=True,
+                                           total_learned=10, clauses_built=10,
+                                           check_time=0.5))
+    cache.flush()
+    for fingerprint in fingerprints:
+        if cache.get(fingerprint) is None:
+            raise SystemExit(f"cache workload lost entry {fingerprint['key']}")
+
+
+#: Where the workload directories live. Disk fsync latency is orders of
+#: magnitude noisier than the nanosecond effect under measurement, so a
+#: tmpfs (where fsync is near-free) is strongly preferred when present.
+WORK_DIR = "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
+def run_workloads(jobs: int, entries: int) -> float:
+    with tempfile.TemporaryDirectory(prefix="bench-chaos-", dir=WORK_DIR) as root:
+        start = time.perf_counter()
+        workload_journal(root, jobs)
+        workload_cache(root, entries)
+        return time.perf_counter() - start
+
+
+def micro_fault_point(rounds: int = 5) -> float:
+    """Per-call nanoseconds of an unarmed fault_point (best-of)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(MICRO_CALLS):
+            faults.fault_point("jobs.journal.append", key="state")
+        best = min(best, (time.perf_counter() - start) / MICRO_CALLS * 1e9)
+    return best
+
+
+def count_plane_calls(jobs: int, entries: int) -> int:
+    """Run the live workload once with counting probes; return the count."""
+    counter = {"calls": 0}
+    original_point, original_write = faults.fault_point, faults.fault_write
+
+    def counting_point(point, key=None):
+        counter["calls"] += 1
+        return original_point(point, key=key)
+
+    def counting_write(point, handle, data, key=None):
+        counter["calls"] += 1
+        return original_write(point, handle, data, key=key)
+
+    faults.fault_point, faults.fault_write = counting_point, counting_write
+    try:
+        run_workloads(jobs, entries)
+    finally:
+        faults.fault_point, faults.fault_write = original_point, original_write
+    return counter["calls"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: small workload, no JSON")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--out", default="results/BENCH_chaos.json")
+    args = parser.parse_args(argv)
+
+    if os.environ.get(faults.PLAN_ENV):
+        raise SystemExit(f"refusing to benchmark with {faults.PLAN_ENV} armed")
+
+    if args.quick:
+        jobs, entries = 300, 300
+        repeats = args.repeats or 3
+    else:
+        jobs, entries = 2000, 2000
+        repeats = args.repeats or 7
+
+    faults.reset()
+    per_call_ns = micro_fault_point()
+
+    # Interleave, alternating which side goes first, so filesystem warmup
+    # and machine noise land on both sides alike.
+    stubbed_s = live_s = float("inf")
+    for round_index in range(repeats):
+        def time_stubbed():
+            nonlocal stubbed_s
+            with stubbed_plane():
+                stubbed_s = min(stubbed_s, run_workloads(jobs, entries))
+
+        def time_live():
+            nonlocal live_s
+            live_s = min(live_s, run_workloads(jobs, entries))
+
+        sides = (time_stubbed, time_live)
+        for side in (sides if round_index % 2 == 0 else reversed(sides)):
+            side()
+
+    plane_calls = count_plane_calls(jobs, entries)
+    measured_delta_pct = 100.0 * (live_s - stubbed_s) / stubbed_s
+    attributed_pct = 100.0 * (plane_calls * per_call_ns * 1e-9) / stubbed_s
+    print(f"== fault_point (unarmed): {per_call_ns:.0f} ns/call")
+    print(
+        f"== bookkeeping x{jobs} jobs + {entries} cache entries: "
+        f"stubbed {stubbed_s:.4f}s  live {live_s:.4f}s  "
+        f"measured delta {measured_delta_pct:+.2f}% (informational)"
+    )
+    print(
+        f"== attributed overhead: {plane_calls} plane calls x "
+        f"{per_call_ns:.0f} ns = {attributed_pct:+.3f}% of the workload"
+    )
+
+    if not args.quick:
+        payload = {
+            "benchmark": "fault-injection plane fault-free overhead",
+            "quick": False,
+            "repeats": repeats,
+            "jobs": jobs,
+            "cache_entries": entries,
+            "fault_point_ns": round(per_call_ns, 1),
+            "plane_calls": plane_calls,
+            "registered_points": len(faults.registered_points()),
+            "gate_pct": 100.0 * OVERHEAD_GATE,
+            "gated_overhead_pct": round(attributed_pct, 3),
+            "measured_delta_pct": round(measured_delta_pct, 2),
+            "stubbed_s": round(stubbed_s, 6),
+            "live_s": round(live_s, 6),
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out} (gated overhead: {attributed_pct:+.3f}%)")
+    if attributed_pct > 100.0 * OVERHEAD_GATE:
+        print(
+            f"FAIL: fault-plane overhead {attributed_pct:+.3f}% exceeds the "
+            f"{100.0 * OVERHEAD_GATE:.0f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"gate passed: overhead {attributed_pct:+.3f}% < "
+        f"{100.0 * OVERHEAD_GATE:.0f}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

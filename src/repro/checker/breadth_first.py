@@ -25,6 +25,7 @@ from itertools import islice
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro import faults
 from repro.checker.counts import (
     COUNT_SIZE as _COUNT_SIZE,
     CountsReader,
@@ -103,12 +104,38 @@ class BfCheckpoint:
     context: dict = field(default_factory=dict)  # free-form (trace path, time)
 
 
+FP_CHECKPOINT_WRITE = faults.register_fault_point(
+    "checkpoint.write", writes=True,
+    doc="just before a BF checkpoint snapshot is written",
+)
+
+
 def write_checkpoint(checkpoint: BfCheckpoint, path: str | Path) -> None:
-    """Atomically persist a snapshot (write-to-temp + rename)."""
+    """Atomically *and durably* persist a snapshot.
+
+    Write-to-temp + rename makes the swap atomic; the file fsync makes the
+    bytes durable before the rename exposes them; the parent-directory
+    fsync makes the rename itself survive power loss. A checkpoint whose
+    whole point is resuming after a crash must not itself be lost to one.
+    """
+    faults.fault_point(FP_CHECKPOINT_WRITE)
     tmp = f"{path}.tmp"
     with open(tmp, "wb") as handle:
         pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    parent = os.path.dirname(os.fspath(path)) or "."
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_checkpoint(path: str | Path) -> BfCheckpoint:

@@ -46,7 +46,6 @@ import multiprocessing
 import os
 import pickle
 import shutil
-import signal
 import tempfile
 import time
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -56,6 +55,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import FrozenSet, Iterator
 
+from repro import faults
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.kernel import ClauseLits, make_engine
 from repro.checker.level_zero import LevelZeroState, derive_empty_clause
@@ -239,30 +239,20 @@ def run_window(formula: CnfFormula, manifest: WindowManifest) -> dict:
 _WORKER_FORMULA: CnfFormula | None = None
 
 # Process-level fault injection for the recovery tests — the worker-side
-# analogue of repro.solver.buggy. Format: "<mode>:<window>:<token_path>"
-# plus an optional ":<seconds>" for hangs. The token file makes the fault
-# one-shot across processes: the first worker to unlink it wins, so a
-# retried window runs clean — exactly the transient fault (OOM kill,
-# preemption) the recovery machinery exists for.
-FAULT_ENV = "REPRO_CHECK_FAULT"
+# analogue of repro.solver.buggy. The legacy spelling
+# ``REPRO_CHECK_FAULT="<mode>:<window>:<token_path>[:<seconds>]"`` still
+# works (repro.faults translates it into a key-gated plan entry on this
+# fault point); the token file makes the fault one-shot across processes:
+# the first worker to unlink it wins, so a retried window runs clean —
+# exactly the transient fault (OOM kill, preemption) the recovery
+# machinery exists for.
+FAULT_ENV = faults.LEGACY_CHECK_FAULT_ENV
 
-
-def _maybe_inject_fault(window_index: int) -> None:
-    spec = os.environ.get(FAULT_ENV)
-    if not spec:
-        return
-    parts = spec.split(":")
-    mode, target, token = parts[0], int(parts[1]), parts[2]
-    if window_index != target:
-        return
-    try:
-        os.unlink(token)
-    except FileNotFoundError:
-        return  # one-shot: this fault already fired
-    if mode == "kill":
-        os.kill(os.getpid(), signal.SIGKILL)
-    elif mode == "hang":
-        time.sleep(float(parts[3]) if len(parts) > 3 else 3600.0)
+FP_WINDOW = faults.register_fault_point(
+    "parallel.window",
+    doc="inside a parallel-check worker, before it checks its window "
+        "(key = window index)",
+)
 
 
 def _worker_init(formula: CnfFormula) -> None:
@@ -274,7 +264,7 @@ def _check_window_task(manifest_path: str) -> dict:
     assert _WORKER_FORMULA is not None, "worker pool initializer did not run"
     with open(manifest_path, "rb") as handle:
         manifest = pickle.load(handle)
-    _maybe_inject_fault(manifest.index)
+    faults.fault_point(FP_WINDOW, key=manifest.index)
     return run_window(_WORKER_FORMULA, manifest)
 
 

@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
 from repro.checker.breadth_first import BreadthFirstChecker
 from repro.checker.depth_first import DepthFirstChecker
 from repro.checker.errors import CheckFailure, FailureKind
@@ -61,6 +62,11 @@ from repro.trace.records import Trace, TraceError
 #: strategy on those would only re-discover the same bug more slowly.
 DEGRADABLE_KINDS = frozenset(
     {FailureKind.TIMEOUT, FailureKind.MEMORY_OUT, FailureKind.WORKER_CRASH}
+)
+
+FP_ATTEMPT = faults.register_fault_point(
+    "supervisor.attempt",
+    doc="at the start of one supervised check attempt (key = method name)",
 )
 
 #: The paper-faithful degradation ladder, per starting method: fastest
@@ -270,8 +276,21 @@ class CheckSupervisor:
     def _attempt(self, method: str) -> CheckReport:
         started = time.perf_counter()
         try:
+            # Chaos-drill hook: an in-process fault here behaves like the
+            # checker blowing up, which the ladder already classifies.
+            faults.fault_point(FP_ATTEMPT, key=method)
             checker = self._build_checker(method)
             report = checker.check()
+        except faults.FaultInjected as exc:
+            failure = CheckFailure(
+                FailureKind.WORKER_CRASH, f"injected fault: {exc}", method=method
+            )
+            report = CheckReport(
+                method=method,
+                verified=False,
+                failure=failure,
+                check_time=time.perf_counter() - started,
+            )
         except MemoryError:
             # The allocator itself gave out (e.g. while materializing a DF
             # trace). Same degradation semantics as the logical budget.

@@ -754,9 +754,18 @@ def serve_main(argv: list[str] | None = None) -> int:
                         help="minimum seconds between metrics snapshots (default 2)")
     parser.add_argument("--exec-mode", choices=("process", "thread"), default="process",
                         help="worker execution layer (default: pre-forked processes)")
+    parser.add_argument("--max-job-attempts", type=int, default=None, metavar="N",
+                        help="crashes/timeouts before a job is quarantined to "
+                             "jobs/dead (default 3)")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="S",
+                        help="kill a worker stuck on one task longer than S seconds")
+    parser.add_argument("--heartbeat-interval", type=float, default=None, metavar="S",
+                        help="seconds between liveness heartbeat writes (default 1)")
     args = parser.parse_args(argv)
     if args.workers < 1:
         parser.error("--workers needs at least one worker")
+    if args.max_job_attempts is not None and args.max_job_attempts < 1:
+        parser.error("--max-job-attempts needs at least one attempt")
     if args.shards < 1:
         parser.error("--shards needs at least one shard")
     owned = None
@@ -770,6 +779,13 @@ def serve_main(argv: list[str] | None = None) -> int:
 
     from repro.service import CheckDaemon
 
+    extra: dict = {}
+    if args.max_job_attempts is not None:
+        extra["max_job_attempts"] = args.max_job_attempts
+    if args.task_timeout is not None:
+        extra["task_timeout"] = args.task_timeout
+    if args.heartbeat_interval is not None:
+        extra["heartbeat_interval"] = args.heartbeat_interval
     daemon = CheckDaemon(
         args.spool,
         num_workers=args.workers,
@@ -782,9 +798,13 @@ def serve_main(argv: list[str] | None = None) -> int:
         owned_shards=owned,
         metrics_interval=args.metrics_interval,
         exec_mode=args.exec_mode,
+        **extra,
     )
     if daemon.store.requeued_on_replay:
         print(f"c recovered {daemon.store.requeued_on_replay} orphaned job(s) from the journal")
+    if daemon.store.parked_on_replay:
+        print(f"c quarantined {daemon.store.parked_on_replay} poison job(s) to jobs/dead "
+              f"(see: repro status --dead)")
     if args.once:
         code = daemon.run_once()
     else:
@@ -865,10 +885,50 @@ def status_main(argv: list[str] | None = None) -> int:
     parser.add_argument("spool", help="spool directory")
     parser.add_argument("--metrics", action="store_true",
                         help="also render the service metrics snapshot")
+    parser.add_argument("--dead", action="store_true",
+                        help="list quarantined (dead-lettered) jobs with attempt history")
+    parser.add_argument("--health", action="store_true",
+                        help="daemon liveness from heartbeat files")
     args = parser.parse_args(argv)
 
     from repro.service import read_queue_status, render_snapshot, spool_layout
     from repro.service.metrics import load_snapshot
+
+    if args.dead or args.health:
+        from repro.service.daemon import read_dead_letters, read_health
+
+        if args.health:
+            health = read_health(args.spool)
+            daemons = health["daemons"]
+            print(
+                f"daemons: {health['alive']} alive, {health['stale']} stale, "
+                f"{health['dead']} dead"
+            )
+            for entry in daemons:
+                line = (
+                    f"  {entry['daemon_id']} [{entry['status']}] "
+                    f"pid={entry.get('pid', '?')}"
+                )
+                if entry.get("heartbeat_age_s") is not None:
+                    line += f" heartbeat {entry['heartbeat_age_s']:.1f}s ago"
+                if entry.get("shards"):
+                    line += f" shards={','.join(map(str, entry['shards']))}"
+                print(line)
+            if not daemons:
+                print("  (no heartbeat files)")
+        if args.dead:
+            dead = read_dead_letters(args.spool)
+            print(f"dead-lettered jobs: {len(dead)}")
+            for entry in dead:
+                print(
+                    f"  {entry['job_id']} attempts={entry.get('attempts', '?')} "
+                    f"error={entry.get('error') or 'unknown'}"
+                )
+                for record in entry.get("attempt_history", []):
+                    worker = record.get("worker", "?")
+                    print(f"    attempt {record.get('attempt', '?')}: worker={worker}")
+                print(f"    requeue with: repro requeue {args.spool} {entry['job_id']}")
+        return 0
 
     status = read_queue_status(args.spool)
     counts = status.get("counts", {})
@@ -889,6 +949,32 @@ def status_main(argv: list[str] | None = None) -> int:
             print(render_snapshot(load_snapshot(str(metrics_path))))
         else:
             print("(no metrics snapshot yet)")
+    return 0
+
+
+def requeue_main(argv: list[str] | None = None) -> int:
+    """repro requeue: return a quarantined or stuck job to the queue."""
+    parser = argparse.ArgumentParser(prog="repro-requeue")
+    parser.add_argument("spool", help="spool directory")
+    parser.add_argument("job_id", help="job to requeue (see: repro status --dead)")
+    args = parser.parse_args(argv)
+
+    from repro.service.daemon import offline_requeue, read_health, request_requeue
+
+    health = read_health(args.spool)
+    if health["alive"] or health["stale"]:
+        # A daemon owns the journal: hand the request over as a control
+        # file rather than racing it for the single-writer journal.
+        path = request_requeue(args.spool, args.job_id)
+        print(f"requeue of {args.job_id} requested via {path.name}; "
+              f"the owning daemon applies it on its next ingest pass")
+        return 0
+    job = offline_requeue(args.spool, args.job_id)
+    if job is None:
+        print(f"no requeueable job {args.job_id!r} in any shard journal "
+              f"(PENDING and DONE jobs cannot be requeued)", file=sys.stderr)
+        return 1
+    print(f"requeued {job.job_id} (attempts reset, state {job.state.value})")
     return 0
 
 
@@ -938,6 +1024,7 @@ _SUBCOMMANDS: dict[str, tuple[str, str]] = {
     "serve": ("serve_main", "run the checking service over a spool directory"),
     "submit": ("submit_main", "queue one check into a spool directory"),
     "status": ("status_main", "queue depth and state counts for a spool"),
+    "requeue": ("requeue_main", "return a quarantined or stuck job to the queue"),
     "results": ("results_main", "verdicts for terminal jobs in a spool"),
     "lint-trace": ("lint_trace_main", "static structural analysis of a trace"),
     "analyze": ("analyze_main", "derivation-graph analysis: proof cone, DAG stats"),

@@ -30,12 +30,16 @@ those one-shot checks into a long-lived service, per the ROADMAP's
 """
 
 from repro.service.cache import VerdictCache
-from repro.service.client import ServiceClient
+from repro.service.client import RetryPolicy, ServiceClient, call_with_retries
 from repro.service.daemon import (
     CheckDaemon,
     SpoolLayout,
     iter_results,
+    offline_requeue,
+    read_dead_letters,
+    read_health,
     read_queue_status,
+    request_requeue,
     spool_layout,
     submit_job,
 )
@@ -61,11 +65,17 @@ from repro.service.scheduler import Scheduler
 __all__ = [
     "VerdictCache",
     "ServiceClient",
+    "RetryPolicy",
+    "call_with_retries",
     "CheckDaemon",
     "SpoolLayout",
     "spool_layout",
     "submit_job",
     "read_queue_status",
+    "read_health",
+    "read_dead_letters",
+    "request_requeue",
+    "offline_requeue",
     "iter_results",
     "fingerprint_check",
     "fingerprint_formula",

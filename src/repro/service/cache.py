@@ -42,9 +42,24 @@ import threading
 import time
 from pathlib import Path
 
+from repro import faults
 from repro.checker.report import REPORT_SCHEMA_VERSION, CheckReport
 
+from repro.service.jobs import fsync_dir
 from repro.service.metrics import MetricsRegistry
+
+FP_ENTRY_WRITE = faults.register_fault_point(
+    "cache.entry.write", writes=True,
+    doc="single-entry verdict file body (before its atomic rename)",
+)
+FP_SEGMENT_WRITE = faults.register_fault_point(
+    "cache.segment.write", writes=True,
+    doc="one JSONL line of a batched segment flush (key = cache key)",
+)
+FP_SEGMENT_RENAME = faults.register_fault_point(
+    "cache.segment.rename",
+    doc="just before the atomic rename that publishes a flushed segment",
+)
 
 #: Default LRU bound. Verdict entries are small (a few KiB); 4096 of them
 #: is megabytes, not a disk hazard.
@@ -82,7 +97,25 @@ class VerdictCache:
         # key -> segment path, built once at open; later flushes update it.
         self._segment_index: dict[str, Path] = {}
         self._segment_entries: dict[Path, int] = {}
+        #: Undecodable segment lines seen at open — a crashed writer's torn
+        #: tail. Counted (and exported as a metric) rather than silently
+        #: skipped, so a drill can assert recovery noticed the tear.
+        self.torn_lines = 0
+        self._sweep_tmp_files()
         self._load_segments()
+
+    def _sweep_tmp_files(self) -> None:
+        """Remove orphaned ``*.tmp`` files a crashed writer left behind.
+
+        They were never published (the rename did not happen), so deleting
+        them loses nothing; leaving them would slowly leak disk.
+        """
+        for orphan in self.cache_dir.glob("*.tmp"):
+            try:
+                os.unlink(orphan)
+            except OSError:
+                continue
+            self.metrics.inc("cache.tmp_sweeps")
 
     # -- paths ---------------------------------------------------------------
 
@@ -104,6 +137,8 @@ class VerdictCache:
                         try:
                             key = json.loads(line).get("key")
                         except json.JSONDecodeError:
+                            self.torn_lines += 1
+                            self.metrics.inc("cache.torn_lines")
                             continue
                         if key:
                             self._segment_index[key] = segment
@@ -252,10 +287,13 @@ class VerdictCache:
     def _write_entry_file(self, entry: dict) -> None:
         path = self._entry_path(entry["key"])
         tmp = f"{path}.tmp"
+        body = json.dumps(entry, indent=2, sort_keys=True) + "\n"
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(entry, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+            faults.fault_write(FP_ENTRY_WRITE, handle, body, key=entry["key"])
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        fsync_dir(self.cache_dir)
 
     def flush(self) -> None:
         """Write every buffered entry as one segment — a single atomic
@@ -267,11 +305,31 @@ class VerdictCache:
             self._pending_since = None
         segment = self.cache_dir / f"seg-{time.time_ns():020d}-{os.getpid()}.jsonl"
         tmp = f"{segment}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            for entry in pending.values():
-                handle.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
-                handle.write("\n")
-        os.replace(tmp, segment)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for entry in pending.values():
+                    line = json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+                    faults.fault_write(FP_SEGMENT_WRITE, handle, line, key=entry["key"])
+                handle.flush()
+                os.fsync(handle.fileno())
+            faults.fault_point(FP_SEGMENT_RENAME)
+            os.replace(tmp, segment)
+        except Exception:
+            # Disk full / injected write fault: put the verdicts back in the
+            # buffer (newer wins on key collision) so nothing is lost while
+            # the process lives, then surface the error to the caller.
+            with self._lock:
+                pending.update(self._pending)
+                self._pending = pending
+                if self._pending_since is None:
+                    self._pending_since = time.monotonic()
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            self.metrics.inc("cache.flush_failures")
+            raise
+        fsync_dir(self.cache_dir)
         with self._lock:
             for key in pending:
                 self._segment_index[key] = segment

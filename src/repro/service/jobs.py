@@ -2,17 +2,28 @@
 
 Every queue mutation is one appended JSON line — a ``submit`` carrying
 the whole job, or a ``state`` transition (PENDING → RUNNING → DONE /
-FAILED). The journal is the *only* source of truth: reopening it replays
-every line in order and reconstructs the queue exactly, so a SIGKILLed
-daemon loses nothing but its in-flight attempt. Jobs found RUNNING at
-replay time are the crashed daemon's orphans; they are requeued to
-PENDING (with the requeue journaled too), which is what makes
+FAILED / DEAD). The journal is the *only* source of truth: reopening it
+replays every line in order and reconstructs the queue exactly, so a
+SIGKILLed daemon loses nothing but its in-flight attempt. Jobs found
+RUNNING at replay time are the crashed daemon's orphans; they are
+requeued to PENDING (with the requeue journaled too), which is what makes
 "every submitted job reaches a terminal state" survive any number of
 crash/restart cycles without duplicating completed work.
 
 A torn final line (the crash happened mid-append) is skipped, not fatal:
 losing the very last transition is indistinguishable from crashing just
-before it.
+before it. Replay is also defensive about journal *content*: a duplicate
+terminal record for the same job applies last-writer-wins, and a stale
+RUNNING or requeue line arriving after a terminal record is ignored —
+a job that reached DONE stays DONE no matter what trails it. Idempotent
+resubmission leans on exactly that invariant.
+
+**Poison-job quarantine**: a job whose attempts keep crashing the worker
+that runs it is parked in the DEAD state (the dead-letter queue) instead
+of being requeued forever — ``max_job_attempts`` RUNNING entries is the
+budget. A DEAD job keeps its full attempt history, gets a dead-letter
+file under ``jobs/dead/`` for operators, and only leaves the state via
+an explicit ``requeue`` (``repro requeue <job-id>``).
 
 For scale-out, :class:`ShardedJobStore` splits the journal into
 ``num_shards`` independent JSONL files keyed by content fingerprint, so
@@ -32,16 +43,63 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
+
+#: Journal appends and replay are where durability lives; the dead-letter
+#: file is the operator-facing artifact of quarantine.
+FP_JOURNAL_APPEND = faults.register_fault_point(
+    "jobs.journal.append", writes=True,
+    doc="one JSONL line into the job journal (key = event name)",
+)
+FP_JOURNAL_REPLAY = faults.register_fault_point(
+    "jobs.journal.replay",
+    doc="journal replay at store open (before any line is applied)",
+)
+FP_DEAD_LETTER = faults.register_fault_point(
+    "jobs.dead_letter.write", writes=True,
+    doc="the dead-letter file written when a poison job is parked",
+)
+
 
 class JobState(enum.Enum):
     PENDING = "PENDING"
     RUNNING = "RUNNING"
     DONE = "DONE"
     FAILED = "FAILED"
+    #: Dead-lettered: crashed/timed out its worker too many times. Parked
+    #: until an operator requeues it; never retried automatically.
+    DEAD = "DEAD"
 
 
-#: States no further transition can leave.
+#: States no further transition can leave (DEAD *can* be left, but only
+#: via an explicit requeue — it is settled, not active).
 TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED})
+
+#: States in which the queue owes the job no further work.
+SETTLED_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.DEAD})
+
+#: RUNNING entries a job may accumulate before quarantine parks it.
+DEFAULT_MAX_JOB_ATTEMPTS = 3
+
+
+def fsync_dir(path: str | Path) -> None:
+    """Best-effort fsync of a directory, making a rename/creat durable.
+
+    ``os.replace`` guarantees atomicity, not persistence — until the
+    parent directory is synced, a power loss can forget the rename ever
+    happened. Failure is swallowed: not every filesystem lets you open a
+    directory, and durability hardening must never become a crash.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @dataclass
@@ -57,7 +115,12 @@ class Job:
     submitted_at: float = 0.0
     attempts: int = 0  # times this job entered RUNNING
     worker: str | None = None
-    result: dict | None = None  # DONE/FAILED summary (verdict, timing, …)
+    claimed_at: float = 0.0  # journal time of the latest RUNNING entry
+    result: dict | None = None  # DONE/FAILED/DEAD summary (verdict, error, …)
+    #: One entry per RUNNING attempt, error details merged in when the
+    #: attempt ends badly — rebuilt from the journal on replay, so the
+    #: history of a poison job survives any number of restarts.
+    attempt_history: list[dict] = field(default_factory=list)
 
     def to_json(self) -> dict:
         payload = {
@@ -81,11 +144,16 @@ class JobStore:
         fsync: bool = False,
         readonly: bool = False,
         id_prefix: str = "",
+        max_job_attempts: int = DEFAULT_MAX_JOB_ATTEMPTS,
+        dead_letter_dir: str | Path | None = None,
     ) -> None:
         """``readonly=True`` replays the journal without touching it — what
         ``repro status`` / ``repro results`` use, so observing the queue
         never requeues a live daemon's RUNNING jobs. ``id_prefix`` namespaces
-        job IDs (``job-s1-000001``) so shards never mint colliding IDs."""
+        job IDs (``job-s1-000001``) so shards never mint colliding IDs.
+        ``max_job_attempts`` is the poison-job budget: an orphaned RUNNING
+        job that already burned that many attempts is parked DEAD at replay
+        instead of being requeued into another crash loop."""
         self.journal_path = Path(journal_path)
         self.readonly = readonly
         if not readonly:
@@ -95,22 +163,48 @@ class JobStore:
         self._jobs: dict[str, Job] = {}
         self._next_serial = 1
         self._id_prefix = id_prefix
+        self.max_job_attempts = max(1, max_job_attempts)
+        self.dead_letter_dir = Path(dead_letter_dir) if dead_letter_dir else None
         self._listeners: list[Callable[[], None]] = []
         self.requeued_on_replay = 0
+        self.parked_on_replay = 0
         self.torn_lines = 0
         self._handle = None
         self._replay()
         if readonly:
             return
+        journal_existed = self.journal_path.exists()
+        if journal_existed:
+            self._terminate_torn_tail()
         self._handle = open(self.journal_path, "a", encoding="utf-8")
+        if not journal_existed:
+            # Make the journal's very existence durable: an empty file that
+            # vanishes in a power loss silently forgets the whole queue.
+            fsync_dir(self.journal_path.parent)
         # Orphans of a crashed run: a RUNNING job has no owner anymore.
         # Requeue them — and journal the requeue, so a second replay agrees.
+        # A job that already burned its attempt budget is a poison job:
+        # park it DEAD instead of feeding it back into the crash loop.
         for job in self._jobs.values():
             if job.state is JobState.RUNNING:
-                job.state = JobState.PENDING
-                job.worker = None
-                self.requeued_on_replay += 1
-                self._append({"event": "requeue", "job_id": job.job_id, "t": time.time()})
+                if job.attempts >= self.max_job_attempts:
+                    self._park_locked(
+                        job,
+                        {
+                            "error": (
+                                f"requeue budget exhausted: {job.attempts} "
+                                f"attempt(s) ended in a crashed or killed worker"
+                            )
+                        },
+                    )
+                    self.parked_on_replay += 1
+                else:
+                    job.state = JobState.PENDING
+                    job.worker = None
+                    self.requeued_on_replay += 1
+                    self._append(
+                        {"event": "requeue", "job_id": job.job_id, "t": time.time()}
+                    )
 
     # -- journal plumbing ----------------------------------------------------
 
@@ -118,14 +212,37 @@ class JobStore:
         if self._handle is None:
             raise RuntimeError("job store opened readonly")
         line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line + "\n")
+        faults.fault_write(
+            FP_JOURNAL_APPEND, self._handle, line + "\n", key=payload.get("event")
+        )
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
 
+    def _terminate_torn_tail(self) -> None:
+        """Isolate a torn final line before appending after it.
+
+        A crash mid-append can leave the journal without a trailing
+        newline; blindly appending would glue the next record onto the
+        torn tail, corrupting a *good* record to pay for a bad one. A
+        single newline quarantines the tear as one undecodable line that
+        replay already counts and skips.
+        """
+        try:
+            with open(self.journal_path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+        except OSError:
+            pass
+
     def _replay(self) -> None:
         if not self.journal_path.exists():
             return
+        faults.fault_point(FP_JOURNAL_REPLAY)
         with open(self.journal_path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -159,19 +276,47 @@ class JobStore:
             if job is None:
                 return
             try:
-                job.state = JobState(payload["state"])
+                state = JobState(payload["state"])
             except (KeyError, ValueError):
                 return
-            if job.state is JobState.RUNNING:
+            if state is JobState.RUNNING:
+                if job.state in SETTLED_STATES:
+                    # A stale RUNNING after a terminal record (duplicate
+                    # delivery, interleaved writers): the verdict stands.
+                    return
+                job.state = state
                 job.attempts += 1
                 job.worker = payload.get("worker")
+                job.claimed_at = payload.get("t", 0.0)
+                job.attempt_history.append(
+                    {
+                        "attempt": job.attempts,
+                        "worker": job.worker,
+                        "t": job.claimed_at,
+                    }
+                )
             else:
+                # Terminal records apply last-writer-wins — a duplicate
+                # DONE, or a FAILED after a DONE, never corrupts replay.
+                job.state = state
                 job.worker = None
-            if "result" in payload:
-                job.result = payload["result"]
+                if "result" in payload:
+                    job.result = payload["result"]
+                if state in (JobState.FAILED, JobState.DEAD):
+                    error = (payload.get("result") or {}).get("error")
+                    if error and job.attempt_history:
+                        job.attempt_history[-1].setdefault("error", error)
         elif event == "requeue":
             job = self._jobs.get(payload.get("job_id", ""))
-            if job is not None and job.state is JobState.RUNNING:
+            if job is None:
+                return
+            if job.state is JobState.RUNNING or job.state in (
+                JobState.DEAD,
+                JobState.FAILED,
+            ):
+                # Orphan requeue (RUNNING) or operator requeue (DEAD /
+                # FAILED). DONE is never requeued: completed work stays
+                # completed even if a stale requeue line trails it.
                 job.state = JobState.PENDING
                 job.worker = None
 
@@ -193,9 +338,11 @@ class JobStore:
         options: dict | None = None,
         dedup_key: str | None = None,
     ) -> Job:
-        """Append a new PENDING job; returns the existing live job instead
-        when ``dedup_key`` matches one that is not FAILED (identical work
-        submitted twice runs once)."""
+        """Append a new PENDING job; returns the existing job instead when
+        ``dedup_key`` matches one that is not FAILED — identical work
+        submitted twice runs once, and a resubmit of an in-flight,
+        completed, or dead-lettered job is idempotent (a DEAD job needs an
+        explicit requeue, not a shadow duplicate)."""
         with self._lock:
             if dedup_key is not None:
                 for existing in self._jobs.values():
@@ -223,13 +370,17 @@ class JobStore:
                     job.state = JobState.RUNNING
                     job.worker = worker
                     job.attempts += 1
+                    job.claimed_at = time.time()
+                    job.attempt_history.append(
+                        {"attempt": job.attempts, "worker": worker, "t": job.claimed_at}
+                    )
                     self._append(
                         {
                             "event": "state",
                             "job_id": job.job_id,
                             "state": "RUNNING",
                             "worker": worker,
-                            "t": time.time(),
+                            "t": job.claimed_at,
                         }
                     )
                     return job
@@ -241,10 +392,99 @@ class JobStore:
     def fail(self, job: Job, result: dict | None = None) -> None:
         self._transition(job, JobState.FAILED, result)
 
+    def park(self, job: Job, result: dict | None = None) -> None:
+        """Dead-letter ``job``: journal the DEAD state and write the
+        operator-facing dead-letter file with the full attempt history."""
+        with self._lock:
+            self._park_locked(job, result)
+
+    def _park_locked(self, job: Job, result: dict | None) -> None:
+        if job.state in TERMINAL_STATES:
+            raise ValueError(f"{job.job_id} is already {job.state.value}")
+        error = (result or {}).get("error")
+        if error and job.attempt_history:
+            job.attempt_history[-1].setdefault("error", error)
+        job.state = JobState.DEAD
+        job.worker = None
+        job.result = result
+        payload = {
+            "event": "state",
+            "job_id": job.job_id,
+            "state": "DEAD",
+            "t": time.time(),
+        }
+        if result is not None:
+            payload["result"] = result
+        self._append(payload)
+        self._write_dead_letter(job)
+
+    def _write_dead_letter(self, job: Job) -> None:
+        """Persist the quarantined job for operators (`repro status --dead`).
+
+        Informational but precious: it carries the attempt history an
+        operator needs before deciding to requeue. Atomic + fsynced, and
+        never fatal — the journal already holds the authoritative state.
+        """
+        if self.dead_letter_dir is None:
+            return
+        try:
+            self.dead_letter_dir.mkdir(parents=True, exist_ok=True)
+            path = self.dead_letter_dir / f"{job.job_id}.json"
+            tmp = f"{path}.tmp"
+            payload = {
+                "job": job.to_json(),
+                "attempts": job.attempts,
+                "attempt_history": job.attempt_history,
+                "result": job.result,
+                "parked_at": time.time(),
+            }
+            with open(tmp, "w", encoding="utf-8") as handle:
+                faults.fault_write(
+                    FP_DEAD_LETTER,
+                    handle,
+                    json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            fsync_dir(self.dead_letter_dir)
+        except OSError:
+            pass
+
+    def requeue(self, job_id: str) -> Job | None:
+        """RUNNING/DEAD/FAILED → PENDING, journaled; ``None`` if the job is
+        unknown or in a state requeueing makes no sense for (DONE stays
+        DONE, PENDING is already queued). Requeueing a DEAD job resets
+        nothing except the state — the attempt history stays, but the
+        attempt budget applies to *future* crashes only (the operator
+        asked for another round, so they get a full one)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in (JobState.PENDING, JobState.DONE):
+                return None
+            was_dead = job.state is JobState.DEAD
+            job.state = JobState.PENDING
+            job.worker = None
+            if was_dead:
+                # A fresh budget for the operator-requested retry round.
+                job.attempts = 0
+            self._append({"event": "requeue", "job_id": job_id, "t": time.time()})
+            if was_dead and self.dead_letter_dir is not None:
+                try:
+                    os.unlink(self.dead_letter_dir / f"{job_id}.json")
+                except OSError:
+                    pass
+        self._notify()
+        return job
+
     def _transition(self, job: Job, state: JobState, result: dict | None) -> None:
         with self._lock:
             if job.state in TERMINAL_STATES:
                 raise ValueError(f"{job.job_id} is already {job.state.value}")
+            if state is JobState.FAILED:
+                error = (result or {}).get("error")
+                if error and job.attempt_history:
+                    job.attempt_history[-1].setdefault("error", error)
             job.state = state
             job.worker = None
             job.result = result
@@ -266,6 +506,9 @@ class JobStore:
     def jobs(self) -> list[Job]:
         return list(self._jobs.values())
 
+    def dead_jobs(self) -> list[Job]:
+        return [job for job in self._jobs.values() if job.state is JobState.DEAD]
+
     def counts(self) -> dict[str, int]:
         tally = {state.value: 0 for state in JobState}
         for job in self._jobs.values():
@@ -280,7 +523,7 @@ class JobStore:
 
     @property
     def all_terminal(self) -> bool:
-        return all(job.state in TERMINAL_STATES for job in self._jobs.values())
+        return all(job.state in SETTLED_STATES for job in self._jobs.values())
 
     def close(self) -> None:
         if self._handle is not None:
@@ -361,6 +604,8 @@ class ShardedJobStore:
         fsync: bool = False,
         readonly: bool = False,
         basename: str = "journal",
+        max_job_attempts: int = DEFAULT_MAX_JOB_ATTEMPTS,
+        dead_letter_dir: str | Path | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -373,6 +618,10 @@ class ShardedJobStore:
         if bad:
             raise ValueError(f"shard index out of range: {bad} (num_shards={num_shards})")
         self.readonly = readonly
+        self.max_job_attempts = max(1, max_job_attempts)
+        if dead_letter_dir is None:
+            dead_letter_dir = self.root / "jobs" / "dead"
+        self.dead_letter_dir = Path(dead_letter_dir)
         self._shards: dict[int, JobStore] = {}
         for shard in self.owned:
             prefix = f"s{shard}-" if num_shards > 1 else ""
@@ -381,6 +630,8 @@ class ShardedJobStore:
                 fsync=fsync,
                 readonly=readonly,
                 id_prefix=prefix,
+                max_job_attempts=max_job_attempts,
+                dead_letter_dir=None if readonly else self.dead_letter_dir,
             )
         self._claim_rr = 0
         self._claim_lock = threading.Lock()
@@ -442,6 +693,15 @@ class ShardedJobStore:
     def fail(self, job: Job, result: dict | None = None) -> None:
         self._store_of(job).fail(job, result)
 
+    def park(self, job: Job, result: dict | None = None) -> None:
+        self._store_of(job).park(job, result)
+
+    def requeue(self, job_id: str) -> Job | None:
+        for store in self._shards.values():
+            if job_id in store._jobs:
+                return store.requeue(job_id)
+        return None
+
     def _store_of(self, job: Job) -> JobStore:
         for store in self._shards.values():
             if job.job_id in store._jobs:
@@ -457,6 +717,11 @@ class ShardedJobStore:
 
     def jobs(self) -> list[Job]:
         merged = [job for store in self._shards.values() for job in store.jobs()]
+        merged.sort(key=lambda job: (job.submitted_at, job.job_id))
+        return merged
+
+    def dead_jobs(self) -> list[Job]:
+        merged = [job for store in self._shards.values() for job in store.dead_jobs()]
         merged.sort(key=lambda job: (job.submitted_at, job.job_id))
         return merged
 
@@ -478,6 +743,10 @@ class ShardedJobStore:
     @property
     def requeued_on_replay(self) -> int:
         return sum(store.requeued_on_replay for store in self._shards.values())
+
+    @property
+    def parked_on_replay(self) -> int:
+        return sum(store.parked_on_replay for store in self._shards.values())
 
     @property
     def torn_lines(self) -> int:

@@ -141,7 +141,14 @@ class MetricsRegistry:
             }
 
     def write(self, path: str) -> None:
-        """Atomically persist a snapshot (write-to-temp + rename)."""
+        """Atomically persist a snapshot (write-to-temp + rename).
+
+        Metrics are observability, not state: the write is atomic (a
+        reader never sees a torn snapshot) but deliberately *not* fsynced
+        — losing the last snapshot to a power cut costs nothing, and the
+        daemon writes these on a hot loop. This asymmetry with the journal
+        and cache writers is the audited, intended outcome.
+        """
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(self.snapshot(), handle, indent=2, sort_keys=True)

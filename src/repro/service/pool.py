@@ -37,6 +37,7 @@ import time
 from collections import OrderedDict
 from multiprocessing import connection
 
+from repro import faults
 from repro.checker.kernel import set_warm_store_provider
 from repro.checker.store import ClauseStore
 from repro.checker.supervisor import supervised_check
@@ -53,10 +54,29 @@ DEFAULT_WARM_TRACES = 4
 #: dropped and re-seeded — store reuse must never become a slow leak.
 DEFAULT_STORE_ENTRY_BOUND = 500_000
 
-#: Test hook: a path in this env var makes the *next* worker that starts a
-#: task unlink the file and SIGKILL itself — a deterministic one-shot
-#: mid-job crash for the pool-replacement drills.
-FAULT_FILE_ENV = "REPRO_POOL_FAULT_FILE"
+#: How often an idle worker interrupts its pipe wait to check that its
+#: parent is still alive (seconds).
+PARENT_POLL_S = 1.0
+
+#: Deprecated alias, kept importable for old drills: a path in this env
+#: var makes the next worker that starts a task unlink the file and
+#: SIGKILL itself. It is now translated into a ``pool.task.start`` fault
+#: plan entry by :mod:`repro.faults` — prefer ``REPRO_FAULT_PLAN``.
+FAULT_FILE_ENV = faults.LEGACY_POOL_FAULT_ENV
+
+FP_TASK_START = faults.register_fault_point(
+    "pool.task.start",
+    doc="inside a worker process, between receiving a task and checking it",
+)
+FP_TASK_DISPATCH = faults.register_fault_point(
+    "pool.task.dispatch",
+    doc="in the parent, just before a task is piped to an idle worker",
+)
+FP_RESULT_COLLECT = faults.register_fault_point(
+    "pool.result.collect",
+    doc="in the parent collector, after a result is read off the pipe and "
+        "before it is applied (key = job id)",
+)
 
 # Process-wide registry behind the kernel's warm-store provider. Keyed by
 # formula object identity: warm caches hold the formula objects alive, so
@@ -152,17 +172,6 @@ class _WarmCache:
             _STORE_REGISTRY.pop(id(formula), None)
 
 
-def _maybe_inject_fault() -> None:
-    path = os.environ.get(FAULT_FILE_ENV)
-    if not path:
-        return
-    try:
-        os.unlink(path)  # atomic one-shot: only one worker wins the unlink
-    except OSError:
-        return
-    os.kill(os.getpid(), signal.SIGKILL)
-
-
 def _execute_task(task: dict, warm: _WarmCache) -> dict:
     """Run one check task; never raises — errors become a failure result."""
     stats: dict[str, int] = {}
@@ -197,14 +206,30 @@ def _worker_main(name: str, conn, warm_config: tuple) -> None:
     """The long-lived worker loop: recv task, check, send result, repeat."""
     warm = _WarmCache(*warm_config)
     set_warm_store_provider(_registry_provider)
+    parent = os.getppid()
     while True:
         try:
+            # recv() alone cannot detect a SIGKILLed parent: fork-context
+            # children inherit *both* ends of every pipe created before
+            # their fork (their own parent end, and every earlier
+            # sibling's), so the pipe never reaches EOF once the parent
+            # is gone. Poll with a timeout and watch for reparenting —
+            # an orphaned worker must exit, not survive as litter that
+            # holds the dead daemon's stdio open.
+            if not conn.poll(PARENT_POLL_S):
+                if os.getppid() != parent:
+                    break
+                continue
             task = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break
         if task is None:
             break
-        _maybe_inject_fault()
+        # Worker-side fault point (the legacy REPRO_POOL_FAULT_FILE hook
+        # lands here as a token-gated kill entry). A raise-kind fault is a
+        # crash the worker loop does not survive — exactly like a kill,
+        # but visible to coverage-style in-process drills.
+        faults.fault_point(FP_TASK_START, key=task.get("job_id"))
         result = _execute_task(task, warm)
         try:
             conn.send(result)
@@ -215,13 +240,14 @@ def _worker_main(name: str, conn, warm_config: tuple) -> None:
 class _WorkerHandle:
     """Parent-side view of one worker: its process, pipe and current task."""
 
-    __slots__ = ("name", "process", "conn", "task")
+    __slots__ = ("name", "process", "conn", "task", "started")
 
     def __init__(self, name, process, conn):
         self.name = name
         self.process = process
         self.conn = conn
         self.task = None
+        self.started = 0.0
 
 
 class WorkerPool:
@@ -240,6 +266,7 @@ class WorkerPool:
         result_handler,
         metrics: MetricsRegistry | None = None,
         max_task_retries: int = 1,
+        task_timeout: float | None = None,
         warm_formulas: int = DEFAULT_WARM_FORMULAS,
         warm_traces: int = DEFAULT_WARM_TRACES,
         store_entry_bound: int = DEFAULT_STORE_ENTRY_BOUND,
@@ -250,6 +277,11 @@ class WorkerPool:
         self.result_handler = result_handler
         self.metrics = metrics or MetricsRegistry()
         self.max_task_retries = max_task_retries
+        #: A worker holding one task longer than this is presumed hung and
+        #: SIGKILLed — the crash-replacement path then owns retry/surfacing,
+        #: so a livelocked check degrades into an ordinary worker crash
+        #: instead of silently parking one pool slot forever.
+        self.task_timeout = task_timeout
         self._warm_config = (warm_formulas, warm_traces, store_entry_bound)
         try:
             self._ctx = multiprocessing.get_context("fork")
@@ -318,10 +350,12 @@ class WorkerPool:
 
     def submit(self, task: dict) -> bool:
         """Hand ``task`` to an idle worker; ``False`` when all are busy."""
+        faults.fault_point(FP_TASK_DISPATCH, key=task.get("job_id"))
         with self._lock:
             for worker in self._workers:
                 if worker.task is None and worker.process.is_alive():
                     worker.task = task
+                    worker.started = time.monotonic()
                     try:
                         worker.conn.send(task)
                     except OSError:
@@ -368,6 +402,7 @@ class WorkerPool:
             ready = connection.wait(
                 list(by_conn) + list(by_sentinel), timeout=0.2
             )
+            self._reap_hung_workers()
             for item in ready:
                 worker = by_conn.get(item)
                 if worker is not None:
@@ -376,6 +411,25 @@ class WorkerPool:
                     except (EOFError, OSError):
                         self._handle_crash(worker)
                         continue
+                    try:
+                        faults.fault_point(
+                            FP_RESULT_COLLECT,
+                            key=message.get("job_id") if isinstance(message, dict) else None,
+                        )
+                    except (faults.FaultInjected, OSError) as exc:
+                        # The collector thread must survive an in-process
+                        # fault; the computed result is lost, which to the
+                        # owner looks exactly like the worker dying after
+                        # the check — a crash, retried or quarantined.
+                        self.metrics.inc("pool.injected_faults")
+                        job_id = message.get("job_id") if isinstance(message, dict) else ""
+                        message = {
+                            "job_id": job_id,
+                            "ok": False,
+                            "crashed": True,
+                            "error": f"result lost to injected fault: {exc}",
+                            "stats": {},
+                        }
                     with self._lock:
                         worker.task = None
                     self._deliver(message)
@@ -396,6 +450,32 @@ class WorkerPool:
                             pass
                         self._handle_crash(worker, quiet=drained)
 
+    def _reap_hung_workers(self) -> None:
+        """SIGKILL any worker past ``task_timeout`` on its current task.
+
+        The kill is the whole intervention: the process sentinel fires on
+        the next wait and the ordinary crash path replaces the worker and
+        retries (then quarantines) the task.
+        """
+        if self.task_timeout is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            stuck = [
+                worker
+                for worker in self._workers
+                if worker.task is not None
+                and worker.started
+                and now - worker.started > self.task_timeout
+                and worker.process.is_alive()
+            ]
+        for worker in stuck:
+            self.metrics.inc("pool.task_timeouts")
+            try:
+                os.kill(worker.process.pid, signal.SIGKILL)
+            except (OSError, TypeError):
+                pass
+
     def _handle_crash(self, worker: _WorkerHandle, quiet: bool = False) -> None:
         retried = False
         with self._lock:
@@ -414,6 +494,7 @@ class WorkerPool:
                     # otherwise the dispatcher can race a fresh job into the
                     # new worker's slot and the retry finds no idle worker.
                     replacement.task = task
+                    replacement.started = time.monotonic()
                     try:
                         replacement.conn.send(task)
                     except OSError:

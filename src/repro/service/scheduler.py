@@ -30,11 +30,21 @@ import threading
 import time
 from pathlib import Path
 
+from repro import faults
 from repro.checker.report import REPORT_SCHEMA_VERSION, CheckReport
 
 from repro.service.client import ServiceClient
-from repro.service.jobs import Job
+from repro.service.jobs import Job, fsync_dir
 from repro.service.pool import ThreadWorkerPool, WorkerPool
+
+FP_CLAIM = faults.register_fault_point(
+    "scheduler.claim",
+    doc="right after a PENDING job is claimed, before it is dispatched",
+)
+FP_FINALIZE = faults.register_fault_point(
+    "scheduler.finalize",
+    doc="right before a computed verdict is journaled terminal (key = job id)",
+)
 
 #: Job options a journal entry may carry; anything else fails the job
 #: rather than TypeError-ing inside a worker. Mirrors SupervisorConfig
@@ -75,6 +85,7 @@ class Scheduler:
         results_dir: str | Path | None = None,
         mode: str = "process",
         max_task_retries: int = 1,
+        task_timeout: float | None = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("need at least one worker")
@@ -86,6 +97,7 @@ class Scheduler:
         self.num_workers = num_workers
         self.mode = mode
         self.max_task_retries = max_task_retries
+        self.task_timeout = task_timeout
         self.results_dir = Path(results_dir) if results_dir is not None else None
         if self.results_dir is not None:
             self.results_dir.mkdir(parents=True, exist_ok=True)
@@ -117,6 +129,7 @@ class Scheduler:
             self._handle_result,
             metrics=self.metrics,
             max_task_retries=self.max_task_retries,
+            task_timeout=self.task_timeout,
         )
         self.pool.start()
         self._dispatcher = threading.Thread(
@@ -172,6 +185,15 @@ class Scheduler:
                 if job is None:
                     self._cond.wait(timeout=_FALLBACK_WAIT_S)
             if job is not None:
+                try:
+                    faults.fault_point(FP_CLAIM, key=job.job_id)
+                except faults.FaultInjected:
+                    # In-process crash drill between claim and dispatch: the
+                    # job goes back to PENDING, the dispatcher survives.
+                    self.metrics.inc("scheduler.injected_faults")
+                    self.store.requeue(job.job_id)
+                    self._release(job)
+                    continue
                 self._dispatch(job)
 
     def _dispatch(self, job: Job) -> None:
@@ -187,7 +209,10 @@ class Scheduler:
             self._inflight[job.job_id] = (job, fingerprint, started)
         cached = self.client.cache_lookup(fingerprint)
         if cached is not None:
-            self._finalize_success(job, cached, started)
+            try:
+                self._finalize_success(job, cached, started)
+            except Exception as exc:  # noqa: BLE001 - the dispatcher survives
+                self._finalize_failure(job, f"{type(exc).__name__}: {exc}")
             return
         task = {
             "job_id": job.job_id,
@@ -201,11 +226,19 @@ class Scheduler:
         # submit is a worker dying in the claim window; the pool's crash
         # handling owns retries once submitted, but an unsubmittable task
         # simply waits for the next idle slot.
-        submitted = self.pool.submit(task)
-        while not submitted and not self._stop.is_set():
-            with self._cond:
-                self._cond.wait(timeout=_FALLBACK_WAIT_S)
+        try:
             submitted = self.pool.submit(task)
+            while not submitted and not self._stop.is_set():
+                with self._cond:
+                    self._cond.wait(timeout=_FALLBACK_WAIT_S)
+                submitted = self.pool.submit(task)
+        except (faults.FaultInjected, OSError):
+            # An injected dispatch fault: the claim goes back to PENDING
+            # and the dispatcher thread lives on.
+            self.metrics.inc("scheduler.injected_faults")
+            self.store.requeue(job.job_id)
+            self._release(job)
+            return
         if not submitted:
             # Shutting down with the task never handed to a worker: drop it
             # from in-flight so stop() can finish; the journal replay will
@@ -229,7 +262,11 @@ class Scheduler:
             if not result.get("ok"):
                 if result.get("crashed"):
                     self.metrics.inc("jobs.worker_crash_failures")
-                self._finalize_failure(job, result.get("error", "unknown worker error"))
+                    self._finalize_crash(job, result.get("error", "worker crashed"))
+                else:
+                    self._finalize_failure(
+                        job, result.get("error", "unknown worker error")
+                    )
                 return
             report = CheckReport.from_json(result["report"])
             self.client.account(report)
@@ -240,6 +277,7 @@ class Scheduler:
             self._finalize_failure(job, f"{type(exc).__name__}: {exc}")
 
     def _finalize_success(self, job: Job, report: CheckReport, started: float) -> None:
+        faults.fault_point(FP_FINALIZE, key=job.job_id)
         summary = {
             "schema_version": REPORT_SCHEMA_VERSION,
             "verified": report.verified,
@@ -274,8 +312,26 @@ class Scheduler:
         self._release(job)
 
     def _finalize_failure(self, job: Job, error: str) -> None:
-        self.store.fail(job, {"error": error})
+        try:
+            self.store.fail(job, {"error": error})
+        except ValueError:
+            # The job already reached a terminal state — a fault fired
+            # partway through finalization. The first verdict stands.
+            self.metrics.inc("scheduler.duplicate_finalizes")
         self.metrics.inc("jobs.failed")
+        self._release(job)
+
+    def _finalize_crash(self, job: Job, error: str) -> None:
+        """A worker crash or task timeout ate this attempt: requeue while
+        the job has attempt budget left, otherwise quarantine it — a job
+        that reliably kills its worker must not crash-loop the pool."""
+        budget = getattr(self.store, "max_job_attempts", 1)
+        if job.attempts < budget:
+            self.metrics.inc("jobs.crash_requeues")
+            self.store.requeue(job.job_id)
+        else:
+            self.store.park(job, {"error": error})
+            self.metrics.inc("jobs.parked")
         self._release(job)
 
     def _release(self, job: Job) -> None:
@@ -310,5 +366,8 @@ class Scheduler:
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        fsync_dir(self.results_dir)
         return str(path)

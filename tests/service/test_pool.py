@@ -82,20 +82,32 @@ def test_worker_sigkill_mid_job_is_retried_on_replacement(artifacts, tmp_path, m
     scheduler.store.close()
 
 
-def test_crash_past_retry_budget_fails_the_job(artifacts, tmp_path, monkeypatch):
-    """With a zero retry budget one crash surfaces as FAILED, not a hang."""
+def test_crash_past_attempt_budget_quarantines_the_job(artifacts, tmp_path, monkeypatch):
+    """A crash with no budget left dead-letters the job — not a hang, not a
+    crash loop — and an operator requeue gives it a fresh budget."""
     _, cnf, ascii_path, _ = artifacts
     fault = tmp_path / "fault"
     fault.write_text("die once\n")
     monkeypatch.setenv(FAULT_FILE_ENV, str(fault))
-    store = JobStore(tmp_path / "journal.jsonl")
+    store = JobStore(tmp_path / "journal.jsonl", max_job_attempts=1,
+                     dead_letter_dir=tmp_path / "dead")
     client = ServiceClient(cache=VerdictCache(tmp_path / "cache"))
     scheduler = Scheduler(store, client, num_workers=1, max_task_retries=0)
     job = store.submit(cnf, ascii_path, {"method": "bf"})
     scheduler.drain()
-    assert job.state is JobState.FAILED
+    assert job.state is JobState.DEAD
     assert "crash" in job.result["error"]
     assert scheduler.metrics.counter("jobs.worker_crash_failures").value == 1
+    assert scheduler.metrics.counter("jobs.parked").value == 1
+    assert [j.job_id for j in store.dead_jobs()] == [job.job_id]
+    assert (tmp_path / "dead" / f"{job.job_id}.json").is_file()
+    # Operator requeue: budget resets, the (consumed) fault stays quiet,
+    # and the job completes on its fresh attempt.
+    assert store.requeue(job.job_id) is job
+    assert job.state is JobState.PENDING and job.attempts == 0
+    assert not (tmp_path / "dead" / f"{job.job_id}.json").exists()
+    scheduler.drain()
+    assert job.state is JobState.DONE and job.result["verified"] is True
     store.close()
 
 
