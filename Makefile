@@ -1,6 +1,6 @@
 # Convenience targets. Everything is plain pytest / python -m underneath.
 
-.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service bench-analysis bench-streaming bench-chaos chaos-drill tables tables-large ablations export examples clean
+.PHONY: install test lint check bench bench-parallel bench-kernel bench-supervisor bench-service bench-analysis bench-streaming bench-chaos bench-drat chaos-drill tables tables-large ablations export examples clean
 
 install:
 	pip install -e .
@@ -66,6 +66,12 @@ chaos-drill:
 # results/BENCH_streaming.json. `--quick` for CI smoke.
 bench-streaming:
 	python benchmarks/bench_streaming.py
+
+# DRAT forward vs backward (core-first) checking on a generated fixture;
+# writes results/BENCH_drat.json and fails if backward skips < 30% of add
+# steps or takes longer than forward. `--quick` for CI smoke.
+bench-drat:
+	python benchmarks/bench_drat.py
 
 tables:
 	python -m repro.experiments all --scale medium

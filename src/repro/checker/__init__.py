@@ -25,6 +25,9 @@ structured diagnostic.
   satisfying assignment.
 * :class:`RupChecker` — modern extension: validates DRUP-style proofs by
   reverse unit propagation (the lineage that leads to drat-trim).
+* :class:`DratChecker` (re-exported from :mod:`repro.proofs`) — the full
+  clausal front end: text or binary DRAT with RAT fallback and two-pass
+  backward (core-first) checking.
 * :class:`CheckSupervisor` — the resilience layer: wall-clock/memory
   budgets, the DF → hybrid → BF degradation ladder, worker-crash recovery
   and BF checkpoint/resume (see :mod:`repro.checker.supervisor`).
@@ -61,6 +64,7 @@ from repro.checker.hybrid import HybridChecker
 from repro.checker.parallel import ParallelWindowedChecker, WindowManifest, run_window
 from repro.checker.streaming import StreamingWindowChecker
 from repro.checker.rup import RupChecker, DrupWriter
+from repro.proofs.drat import DratChecker
 from repro.checker.supervisor import (
     CheckPolicy,
     CheckSupervisor,
@@ -96,6 +100,7 @@ __all__ = [
     "run_window",
     "RupChecker",
     "DrupWriter",
+    "DratChecker",
     "CheckPolicy",
     "CheckSupervisor",
     "SupervisorConfig",

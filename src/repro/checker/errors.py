@@ -30,6 +30,8 @@ class FailureKind(enum.Enum):
     INTERFACE_MISMATCH = "interface-mismatch"  # windows disagree on a shared clause
     TIMEOUT = "timeout"  # checker exceeded its wall-clock deadline
     WORKER_CRASH = "worker-crash"  # a worker process died and retries ran out
+    MALFORMED_PROOF = "malformed-proof"  # DRUP/DRAT proof stream unparseable
+    NOT_RAT = "not-rat"  # clause is neither RUP nor RAT on its pivot
 
 
 def _rebuild_failure(cls: type, kind: FailureKind, message: str, context: dict) -> "CheckFailure":

@@ -109,6 +109,11 @@ class CheckReport:
     # the streaming checker adds its budget/spill counters. Additive and
     # optional — schema version unchanged.
     memory: dict | None = None
+    # Clausal-proof statistics (:class:`repro.proofs.DratChecker`): step
+    # counts, RUP vs RAT lemma split, resolvent checks and the checking
+    # mode (forward/backward). ``None`` for resolution-trace checks.
+    # Additive and optional — schema version unchanged.
+    proof: dict | None = None
 
     @property
     def built_pct(self) -> float:
@@ -162,6 +167,8 @@ class CheckReport:
             payload["prune"] = self.prune
         if self.memory is not None:
             payload["memory"] = self.memory
+        if self.proof is not None:
+            payload["proof"] = self.proof
         return payload
 
     @classmethod
@@ -198,6 +205,7 @@ class CheckReport:
             fingerprint=payload.get("fingerprint"),
             prune=payload.get("prune"),
             memory=payload.get("memory"),
+            proof=payload.get("proof"),
         )
 
     def summary(self) -> str:

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import IO, Iterator, Sequence
+from typing import IO, Iterable, Iterator, Sequence
 
 from repro.checker.errors import CheckFailure, FailureKind
 from repro.checker.memory import Deadline
@@ -26,6 +26,7 @@ from repro.checker.report import CheckReport
 from repro.checker.store import ClauseStore
 from repro.checker.unitprop import UnitPropagator
 from repro.cnf import CnfFormula
+from repro.proofs.parser import iter_proof_steps, read_proof
 
 
 class DrupWriter:
@@ -33,7 +34,8 @@ class DrupWriter:
 
     Attach to the solver via ``Solver`` 's ``drup_writer`` argument. The
     writer is orthogonal to the resolution trace writer — both can be
-    active at once.
+    active at once. For the binary DRAT encoding use
+    :func:`repro.proofs.open_proof_writer` (same interface).
     """
 
     def __init__(self, path: str | Path):
@@ -62,32 +64,14 @@ class DrupWriter:
 
 
 def iter_drup(path: str | Path) -> Iterator[tuple[str, list[int]]]:
-    """Yield ("add" | "delete", literals) steps from a DRUP file."""
-    with open(path, "r", encoding="ascii") as handle:
-        for lineno, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith("c"):
-                continue
-            kind = "add"
-            if line.startswith("d "):
-                kind = "delete"
-                line = line[2:]
-            tokens = line.split()
-            if tokens[-1] != "0":
-                raise CheckFailure(
-                    FailureKind.BAD_RESOLUTION,
-                    "DRUP line does not end with 0",
-                    line_number=lineno,
-                )
-            try:
-                literals = [int(tok) for tok in tokens[:-1]]
-            except ValueError:
-                raise CheckFailure(
-                    FailureKind.BAD_RESOLUTION,
-                    "DRUP line contains a non-integer token",
-                    line_number=lineno,
-                ) from None
-            yield kind, literals
+    """Yield ("add" | "delete", literals) steps from a DRUP/DRAT file.
+
+    Thin compatibility wrapper over :func:`repro.proofs.iter_proof_steps`
+    — proof tokenizing lives in :mod:`repro.proofs.parser` now, which also
+    understands the binary DRAT encoding (auto-detected). Tokenizer errors
+    carry ``FailureKind.MALFORMED_PROOF``.
+    """
+    return iter_proof_steps(path)
 
 
 class RupChecker:
@@ -142,18 +126,22 @@ class RupChecker:
             prune=prune_info,
         )
 
-    def _skip_ordinals(self) -> frozenset[int]:
-        """The add-step ordinals to skip, after the alignment guard."""
+    def _proof_steps(self) -> tuple[Iterable[tuple[str, list[int]]], frozenset[int]]:
+        """The proof's step stream plus the add-step ordinals to skip.
+
+        Unpruned checks stream the proof file directly (constant memory).
+        With a prune plan the proof is materialized in *one* pass —
+        :func:`repro.proofs.read_proof` folds the add-step count needed
+        for the plan's alignment guard into that same pass, so the file
+        is never read twice.
+        """
         if self._plan is None or not self._plan.skip_ordinals:
-            return frozenset()
-        adds = sum(
-            1 for kind, literals in iter_drup(self.proof_path)
-            if kind == "add" and literals
-        )
-        if adds != self._plan.total_learned:
-            return frozenset()  # proof and trace are not 1:1: run unpruned
+            return iter_proof_steps(self.proof_path), frozenset()
+        doc = read_proof(self.proof_path)
+        if doc.num_adds != self._plan.total_learned:
+            return doc.steps, frozenset()  # not 1:1 with the trace: unpruned
         self._prune_applied = True
-        return self._plan.skip_ordinals
+        return doc.steps, self._plan.skip_ordinals
 
     def _run(self) -> tuple[bool, int]:
         engine = UnitPropagator(self.formula.num_vars, store=ClauseStore())
@@ -163,7 +151,7 @@ class RupChecker:
             key = tuple(sorted(set(clause.literals)))
             index_of.setdefault(key, []).append(index)
 
-        skip_ordinals = self._skip_ordinals()
+        proof_steps, skip_ordinals = self._proof_steps()
         # Deletions of skipped clauses must consume a skip credit instead of
         # removing an identical *kept* clause from the database.
         skipped_pool: dict[tuple[int, ...], int] = {}
@@ -173,7 +161,7 @@ class RupChecker:
         if deadline is not None:
             deadline.check()
         ticks = 0
-        for kind, literals in iter_drup(self.proof_path):
+        for kind, literals in proof_steps:
             if deadline is not None:
                 ticks += 1
                 if not ticks & 0x3F:

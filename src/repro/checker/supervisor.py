@@ -78,6 +78,7 @@ LADDERS: dict[str, tuple[str, ...]] = {
     "bf": ("bf",),
     "parallel": ("parallel", "bf"),
     "rup": ("rup",),
+    "drat": ("drat",),
     "streaming": ("streaming",),
 }
 
@@ -179,6 +180,14 @@ class SupervisorConfig:
     # structurally suspect yields no plan — the check runs unpruned, so
     # pruning can never change a verdict the analyzer wouldn't vouch for.
     prune: bool = False
+    # DRAT only: two-pass backward (core-first) checking — the clausal
+    # analogue of ``prune``, computed from the proof itself rather than a
+    # resolution trace (see repro.proofs.drat).
+    backward: bool = False
+    # Declarative record of how the proof/trace source format was chosen
+    # ("trace" / "drup" / "drat" / "auto"); the method already encodes the
+    # outcome, but job options carry this so fingerprints distinguish it.
+    proof_format: str | None = None
     # Content digests of (formula, trace, options), as computed by
     # repro.service.fingerprint. Purely declarative: the supervisor stamps
     # them onto the final report so a persisted verdict (verdict cache,
@@ -419,6 +428,17 @@ class CheckSupervisor:
             return RupChecker(
                 self.formula, self._source, deadline=deadline,
                 prune_plan=self._prune_plan(),
+            )
+        if method == "drat":
+            # Like rup, the source is the clausal proof file. Backward
+            # (core-first) checking replaces trace-based pruning here.
+            from repro.proofs.drat import DratChecker
+
+            return DratChecker(
+                self.formula,
+                self._source,
+                backward=config.backward,
+                deadline=deadline,
             )
         raise ValueError(f"unknown checker method {method!r}")
 

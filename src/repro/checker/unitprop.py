@@ -34,6 +34,7 @@ class UnitPropagator:
         self._assign = SignedCounters(num_vars)
         self._occurrences: dict[int, list[int]] = {}
         self._unit_indices: set[int] = set()
+        self._empty_indices: set[int] = set()
         self._has_empty = False
 
     def grow(self, num_vars: int) -> None:
@@ -50,6 +51,7 @@ class UnitPropagator:
         self.clauses.append(clause)
         if not clause:
             self._has_empty = True
+            self._empty_indices.add(index)
         elif len(clause) == 1:
             self._unit_indices.add(index)
         for lit in clause:
@@ -59,6 +61,16 @@ class UnitPropagator:
                 self.num_vars = var
         return index
 
+    def occurrences(self, lit: int) -> Sequence[int]:
+        """Indices of clauses containing ``lit``.
+
+        The RAT check enumerates resolution partners through this index.
+        Entries for tombstoned slots never appear (removal scrubs them),
+        but callers iterating while mutating should still skip ``None``
+        slots in :attr:`clauses`.
+        """
+        return self._occurrences.get(lit, ())
+
     def remove_clause(self, index: int) -> None:
         """Remove a clause (its slot is tombstoned)."""
         clause = self.clauses[index]
@@ -67,6 +79,8 @@ class UnitPropagator:
         for lit in clause:
             self._occurrences[lit].remove(index)
         self._unit_indices.discard(index)
+        self._empty_indices.discard(index)
+        self._has_empty = bool(self._empty_indices)
         if self._store is not None:
             self._store.release(clause)
         self.clauses[index] = None  # type: ignore[call-overload]
@@ -129,3 +143,92 @@ class UnitPropagator:
                 marks[abs(unit_lit)] = gen if unit_lit > 0 else neg_gen
                 queue.append(unit_lit)
         return False
+
+    def propagate_tracked(
+        self, assumptions: Iterable[int]
+    ) -> tuple[bool, list[int]]:
+        """Like :meth:`propagate`, but also return the conflict's clause cone.
+
+        Returns ``(conflict, used)`` where ``used`` is a sorted list of
+        clause indices: the conflicting clause plus, transitively, the
+        reason clause of every propagated literal that fed it. That cone
+        alone reproduces the conflict, which is exactly what backward
+        (core-first) proof checking needs to mark antecedent lemmas.
+        ``used`` is empty when there is no conflict, or when the conflict
+        comes from the assumptions alone.
+        """
+        if self._has_empty:
+            return True, [min(self._empty_indices)]
+        counters = self._assign
+        counters.ensure(self.num_vars)
+        marks = counters.marks
+        gen = counters.new_generation()
+        neg_gen = -gen
+        reasons: dict[int, int] = {}  # var -> index of the clause implying it
+        queue: list[int] = []
+        seeds = [(lit, None) for lit in assumptions]
+        seeds += [
+            (self.clauses[index][0], index) for index in self._unit_indices
+        ]
+        for lit, reason in seeds:
+            var = abs(lit)
+            if var >= len(marks):
+                counters.ensure(var)
+                marks = counters.marks
+            desired = gen if lit > 0 else neg_gen
+            mark = marks[var]
+            if mark != gen and mark != neg_gen:
+                marks[var] = desired
+                if reason is not None:
+                    reasons[var] = reason
+                queue.append(lit)
+            elif mark != desired:
+                roots = [entry for entry in (reason, reasons.get(var)) if entry is not None]
+                return True, self._conflict_cone(roots, reasons)
+
+        head = 0
+        while head < len(queue):
+            lit = queue[head]
+            head += 1
+            for index in self._occurrences.get(-lit, ()):
+                clause = self.clauses[index]
+                if clause is None:
+                    continue
+                unit_lit = 0
+                satisfied = False
+                for clause_lit in clause:
+                    mark = marks[abs(clause_lit)]
+                    if mark != gen and mark != neg_gen:
+                        if unit_lit:
+                            unit_lit = None
+                            break
+                        unit_lit = clause_lit
+                    elif (mark == gen) == (clause_lit > 0):
+                        satisfied = True
+                        break
+                if satisfied or unit_lit is None:
+                    continue
+                if unit_lit == 0:
+                    return True, self._conflict_cone([index], reasons)
+                var = abs(unit_lit)
+                marks[var] = gen if unit_lit > 0 else neg_gen
+                reasons[var] = index
+                queue.append(unit_lit)
+        return False, []
+
+    def _conflict_cone(
+        self, roots: Iterable[int], reasons: dict[int, int]
+    ) -> list[int]:
+        """Transitive reason closure of ``roots`` over the reason graph."""
+        cone: set[int] = set()
+        stack = list(roots)
+        while stack:
+            index = stack.pop()
+            if index in cone:
+                continue
+            cone.add(index)
+            for lit in self.clauses[index] or ():
+                reason = reasons.get(abs(lit))
+                if reason is not None and reason not in cone:
+                    stack.append(reason)
+        return sorted(cone)

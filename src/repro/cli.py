@@ -19,7 +19,6 @@ from repro.checker import (
     HybridChecker,
     ParallelWindowedChecker,
     RupChecker,
-    DrupWriter,
     check_model,
 )
 from repro.cnf import parse_dimacs_file
@@ -34,7 +33,14 @@ def solve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("cnf", help="DIMACS CNF file")
     parser.add_argument("--trace", help="write a resolution trace here")
     parser.add_argument("--trace-format", default="ascii", choices=["ascii", "binary"])
-    parser.add_argument("--drup", help="write a DRUP proof here")
+    parser.add_argument("--drup", help="write a DRUP/DRAT proof here")
+    parser.add_argument(
+        "--drup-format",
+        default="text",
+        choices=["text", "binary"],
+        help="proof encoding for --drup: classic line-oriented DRUP text "
+        "or the compact binary DRAT tag/varint encoding",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-conflicts", type=int, default=None)
     parser.add_argument(
@@ -54,7 +60,12 @@ def solve_main(argv: list[str] | None = None) -> int:
     trace_writer = (
         open_trace_writer(args.trace, args.trace_format) if args.trace else validate_writer
     )
-    drup_writer = DrupWriter(args.drup) if args.drup else None
+    if args.drup:
+        from repro.proofs import open_proof_writer
+
+        drup_writer = open_proof_writer(args.drup, args.drup_format)
+    else:
+        drup_writer = None
     config = SolverConfig(seed=args.seed, max_conflicts=args.max_conflicts)
     result = Solver(
         formula, config=config, trace_writer=trace_writer, drup_writer=drup_writer
@@ -93,16 +104,78 @@ _CHECKERS = {
     "bf": "breadth-first",
     "hybrid": "hybrid",
     "rup": "rup",
+    "drat": "drat",
     "streaming": "streaming",
 }
+
+#: Trace-replaying methods --proof-format trace is compatible with.
+_TRACE_METHODS = ("df", "bf", "hybrid", "streaming")
+
+
+def _resolve_proof_source(parser, method: str, proof_format: str, proof_path: str):
+    """Resolve (--method, --proof-format) into the method actually run.
+
+    ``--proof-format drup/drat`` selects the clausal checkers outright
+    (overriding the default ``df``); ``trace`` pins the resolution-trace
+    pipeline. ``auto`` sniffs the file: RTB1 magic or trace keywords mean
+    a resolution trace, anything else a clausal proof — but an explicit
+    trace method other than the default is never second-guessed.
+    Returns ``(method, resolved_format)``.
+    """
+    if proof_format == "trace":
+        if method in ("rup", "drat"):
+            parser.error(f"--proof-format trace conflicts with --method {method}")
+        return method, "trace"
+    if proof_format in ("drup", "drat"):
+        clausal = "rup" if proof_format == "drup" else "drat"
+        if method not in ("df", clausal):  # df is the argparse default
+            parser.error(
+                f"--proof-format {proof_format} conflicts with --method {method}"
+            )
+        return clausal, proof_format
+    # auto
+    if method == "rup":
+        return "rup", "drup"
+    if method == "drat":
+        return "drat", "drat"
+    if method != "df":
+        return method, "trace"  # an explicit trace method wins
+    from repro.proofs import detect_source_format
+
+    try:
+        detected = detect_source_format(proof_path)
+    except OSError as exc:
+        parser.error(f"cannot read proof file: {exc}")
+    if detected == "trace":
+        return method, "trace"
+    return "drat", "drat"
 
 
 def check_main(argv: list[str] | None = None) -> int:
     """repro-check: validate an UNSAT claim from its trace/proof."""
     parser = argparse.ArgumentParser(prog="repro-check")
     parser.add_argument("cnf", help="DIMACS CNF file")
-    parser.add_argument("proof", help="trace file (df/bf/hybrid) or DRUP file (rup)")
+    parser.add_argument(
+        "proof",
+        help="trace file (df/bf/hybrid/streaming) or DRUP/DRAT proof "
+        "(rup/drat; text or binary encoding, auto-detected)",
+    )
     parser.add_argument("--method", default="df", choices=sorted(_CHECKERS))
+    parser.add_argument(
+        "--proof-format",
+        default="auto",
+        choices=["auto", "trace", "drup", "drat"],
+        help="what the proof file is: a resolution trace, a DRUP proof "
+        "(RUP checks only), or a DRAT proof (RUP with RAT fallback). "
+        "auto sniffs the file and picks drat for clausal proofs",
+    )
+    parser.add_argument(
+        "--backward",
+        action="store_true",
+        help="DRAT: two-pass backward (core-first) checking — verify only "
+        "the lemmas the empty clause depends on, skipping dead ones "
+        "(reported in the prune section of the report)",
+    )
     parser.add_argument(
         "--mem-limit",
         "--memory-limit",
@@ -274,11 +347,24 @@ def check_main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.precheck and args.method == "rup":
-        parser.error("--precheck lints resolution traces; not applicable to --method rup")
-    if args.prune and args.method == "rup" and args.parallel is None:
+    args.method, resolved_format = _resolve_proof_source(
+        parser, args.method, args.proof_format, args.proof
+    )
+    if args.backward and args.method != "drat":
         parser.error(
-            "--prune needs a resolution trace to analyze; not --method rup"
+            "--backward is the DRAT checker's core-first mode; it needs "
+            "--proof-format drat (or --method drat)"
+        )
+    if args.precheck and args.method in ("rup", "drat"):
+        parser.error(
+            f"--precheck lints resolution traces; not applicable to "
+            f"--method {args.method}"
+        )
+    if args.prune and args.method in ("rup", "drat") and args.parallel is None:
+        hint = " (for DRAT, --backward is the clausal analogue)" if args.method == "drat" else ""
+        parser.error(
+            f"--prune needs a resolution trace to analyze; "
+            f"not --method {args.method}{hint}"
         )
     if args.parallel is not None and args.parallel < 1:
         parser.error("--parallel needs at least one worker")
@@ -288,8 +374,10 @@ def check_main(argv: list[str] | None = None) -> int:
         parser.error("--checkpoint-every needs --checkpoint PATH")
     if args.window_timeout is not None and args.parallel is None:
         parser.error("--window-timeout only applies with --parallel")
-    if args.parallel is not None and args.method == "rup":
-        parser.error("--parallel verifies resolution traces; not --method rup")
+    if args.parallel is not None and args.method in ("rup", "drat"):
+        parser.error(
+            f"--parallel verifies resolution traces; not --method {args.method}"
+        )
     if args.stream:
         if args.parallel is not None:
             parser.error("--stream and --parallel are different checkers; pick one")
@@ -355,6 +443,12 @@ def check_main(argv: list[str] | None = None) -> int:
         )
         if args.prune:
             options["prune"] = True
+        if args.method == "drat":
+            # Both are cache-key material: a backward verdict must live on
+            # a different cache line from a forward one.
+            options["proof_format"] = resolved_format
+            if args.backward:
+                options["backward"] = True
         if args.parallel is not None:
             options.update(num_workers=args.parallel, window_size=args.window_size)
         if args.max_retries is not None:
@@ -393,6 +487,8 @@ def check_main(argv: list[str] | None = None) -> int:
             checkpoint_every=args.checkpoint_every or 0,
             resume_from=args.resume,
             prune=args.prune,
+            backward=args.backward,
+            proof_format=resolved_format,
             memory_window=args.memory_window,
             window_records=args.window_records,
             **(
@@ -467,6 +563,10 @@ def check_main(argv: list[str] | None = None) -> int:
                 use_kernel=use_kernel,
                 prune_plan=prune_plan,
             )
+        elif args.method == "drat":
+            from repro.proofs import DratChecker
+
+            checker = DratChecker(formula, args.proof, backward=args.backward)
         else:
             checker = RupChecker(formula, args.proof)
 
@@ -823,8 +923,24 @@ def submit_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-submit")
     parser.add_argument("spool", help="spool directory (created if missing)")
     parser.add_argument("cnf", help="DIMACS CNF file")
-    parser.add_argument("proof", help="trace file (df/bf/hybrid) or DRUP file (rup)")
+    parser.add_argument(
+        "proof",
+        help="trace file (df/bf/hybrid/streaming) or DRUP/DRAT proof (rup/drat)",
+    )
     parser.add_argument("--method", default="df", choices=sorted(_CHECKERS))
+    parser.add_argument(
+        "--proof-format",
+        default="auto",
+        choices=["auto", "trace", "drup", "drat"],
+        help="what the proof file is (see repro check --help); auto sniffs",
+    )
+    parser.add_argument(
+        "--backward",
+        action="store_true",
+        help="DRAT: two-pass backward (core-first) checking; keyed into "
+        "the verdict-cache fingerprint, so forward and backward verdicts "
+        "occupy distinct cache lines",
+    )
     parser.add_argument("--policy", default=None, choices=["strict", "fallback"])
     parser.add_argument("--timeout", type=float, default=None, metavar="S")
     parser.add_argument("--mem-limit", type=int, default=None, metavar="UNITS")
@@ -854,7 +970,19 @@ def submit_main(argv: list[str] | None = None) -> int:
 
     from repro.service import submit_job
 
+    args.method, resolved_format = _resolve_proof_source(
+        parser, args.method, args.proof_format, args.proof
+    )
+    if args.backward and args.method != "drat":
+        parser.error(
+            "--backward is the DRAT checker's core-first mode; it needs "
+            "--proof-format drat (or --method drat)"
+        )
     options: dict = {"method": args.method}
+    if args.method == "drat":
+        options["proof_format"] = resolved_format
+        if args.backward:
+            options["backward"] = True
     if args.policy is not None:
         options["policy"] = args.policy
     if args.timeout is not None:

@@ -46,6 +46,11 @@ KEYED_OPTIONS = (
     # both of these, same rationale as num_workers/window_size above.
     "memory_window",
     "window_records",
+    # DRAT proofs: backward (core-first) checking changes the report's
+    # content (prune/proof stats) exactly like trace pruning does, and the
+    # declared proof format is part of what the verdict asserts.
+    "backward",
+    "proof_format",
 )
 
 

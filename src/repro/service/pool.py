@@ -180,7 +180,13 @@ def _execute_task(task: dict, warm: _WarmCache) -> dict:
         fingerprint = task.get("fingerprint") or None
         shas = fingerprint or {}
         formula = warm.formula(shas.get("formula_sha256"), task["formula"], stats)
-        trace = warm.trace(shas.get("trace_sha256"), task["trace"], stats)
+        if task["options"].get("method") in ("rup", "drat"):
+            # Clausal proofs are streamed from disk by their checkers
+            # (mmap for binary DRAT); decoding them as a resolution trace
+            # would be wasted work at best.
+            trace = task["trace"]
+        else:
+            trace = warm.trace(shas.get("trace_sha256"), task["trace"], stats)
         warm.prime_store(formula, shas.get("formula_sha256"), task["options"], stats)
         report = supervised_check(
             formula, trace, fingerprint=fingerprint, **task["options"]

@@ -65,6 +65,8 @@ ALLOWED_JOB_OPTIONS = frozenset(
         "prune",
         "memory_window",
         "window_records",
+        "backward",
+        "proof_format",
     }
 )
 

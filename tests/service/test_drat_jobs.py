@@ -1,0 +1,166 @@
+"""DRAT proofs through the checking service: jobs, verdict cache, chaos.
+
+Clausal-proof jobs ride the same spool/journal/cache machinery as trace
+jobs — same exactly-once guarantees, same fingerprint discipline. The
+cache key must cover the proof-format options (a backward verdict carries
+different prune content than a forward one), and a daemon killed at the
+scheduler's claim/finalize points must recover DRAT jobs exactly once.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import faults
+from repro.cnf import parse_dimacs_file
+from repro.service.cache import VerdictCache
+from repro.service.client import ServiceClient
+from repro.service.daemon import CheckDaemon, iter_results, submit_job
+from repro.service.jobs import JobState, JobStore
+from repro.service.scheduler import Scheduler
+
+from tests.service.test_chaos import _assert_exactly_once, _serve, clean_plane  # noqa: F401
+from tools.gen_drat import generate
+
+DRAT_OPTIONS = {"method": "drat", "proof_format": "drat"}
+
+
+@pytest.fixture(scope="module")
+def drat_artifacts(tmp_path_factory):
+    """(cnf path, text proof path, binary proof path) for one RAT fixture."""
+    inst = generate(core=4, dead=8, rat=2)
+    root = tmp_path_factory.mktemp("drat-artifacts")
+    cnf = root / "inst.cnf"
+    inst.write_cnf(cnf)
+    text = root / "inst.drat"
+    inst.write_proof(text, "text")
+    binary = root / "inst.bdrat"
+    inst.write_proof(binary, "binary")
+    return str(cnf), str(text), str(binary)
+
+
+# -- the happy path ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("which", ["text", "binary"])
+def test_daemon_runs_drat_job_to_done(drat_artifacts, tmp_path, which):
+    cnf, text, binary = drat_artifacts
+    proof = text if which == "text" else binary
+    spool = tmp_path / "spool"
+    submit_job(spool, cnf, proof, dict(DRAT_OPTIONS))
+    assert CheckDaemon(spool, num_workers=1).run_once() == 0
+    ((job, payload),) = iter_results(spool)
+    assert job.state is JobState.DONE
+    assert payload["report"]["verified"] is True
+    assert payload["report"]["method"] == "drat"
+    assert payload["report"]["proof"]["rat_lemmas"] == 2
+
+
+def test_backward_drat_job_reports_prune(drat_artifacts, tmp_path):
+    cnf, text, _ = drat_artifacts
+    spool = tmp_path / "spool"
+    submit_job(spool, cnf, text, dict(DRAT_OPTIONS, backward=True))
+    assert CheckDaemon(spool, num_workers=1).run_once() == 0
+    ((job, payload),) = iter_results(spool)
+    assert job.state is JobState.DONE
+    assert payload["report"]["verified"] is True
+    assert payload["report"]["prune"]["skipped"] >= 8
+
+
+# -- verdict cache -------------------------------------------------------------
+
+
+def test_resubmitted_drat_job_is_served_from_cache(drat_artifacts, tmp_path):
+    cnf, text, _ = drat_artifacts
+    store = JobStore(tmp_path / "journal.jsonl")
+    client = ServiceClient(cache=VerdictCache(tmp_path / "cache"))
+    scheduler = Scheduler(store, client, num_workers=1)
+    store.submit(cnf, text, dict(DRAT_OPTIONS))
+    scheduler.drain()
+    # timeout=None is dropped from the fingerprint: same cache line.
+    store.submit(cnf, text, dict(DRAT_OPTIONS, timeout=None))
+    scheduler.drain()
+    assert scheduler.metrics.counter("jobs.served_from_cache").value == 1
+    assert store.all_terminal
+    store.close()
+
+
+def test_proof_format_options_key_the_cache(drat_artifacts, tmp_path):
+    """forward vs backward (and the declared format) are distinct lines;
+    identical resubmissions hit."""
+    cnf, text, _ = drat_artifacts
+    formula = parse_dimacs_file(cnf)
+    client = ServiceClient(cache=VerdictCache(tmp_path / "cache"))
+
+    forward = client.check(formula, text, **DRAT_OPTIONS)
+    assert forward.verified and not forward.from_cache
+
+    backward = client.check(formula, text, **DRAT_OPTIONS, backward=True)
+    assert backward.verified and not backward.from_cache
+
+    again = client.check(formula, text, **DRAT_OPTIONS, backward=True)
+    assert again.from_cache
+    assert again.prune["skipped"] >= 8  # prune stats survive the cache
+
+    assert client.check(formula, text, **DRAT_OPTIONS).from_cache
+
+
+def test_text_and_binary_proofs_are_distinct_cache_lines(drat_artifacts, tmp_path):
+    """Different artifact bytes → different trace_sha → no false sharing."""
+    cnf, text, binary = drat_artifacts
+    formula = parse_dimacs_file(cnf)
+    client = ServiceClient(cache=VerdictCache(tmp_path / "cache"))
+    client.check(formula, text, **DRAT_OPTIONS)
+    via_binary = client.check(formula, binary, **DRAT_OPTIONS)
+    assert via_binary.verified and not via_binary.from_cache
+
+
+# -- chaos drills --------------------------------------------------------------
+
+DRAT_DRILLS = [
+    pytest.param("point=scheduler.claim,kind=kill", True, id="claim-kill"),
+    pytest.param("point=scheduler.claim,kind=raise", False, id="claim-raise"),
+    pytest.param("point=scheduler.finalize,kind=kill", True, id="finalize-kill"),
+]
+
+
+@pytest.mark.parametrize("plan,dies", DRAT_DRILLS)
+def test_drat_job_survives_scheduler_faults(drat_artifacts, tmp_path, plan, dies):
+    """Kill (or blow up) the scheduler around a DRAT job; a recovery run
+    must land every job DONE exactly once — same bar as trace jobs."""
+    cnf, text, _ = drat_artifacts
+    spool = tmp_path / "spool"
+    mark = tmp_path / "fault-fired"
+    for i in range(2):
+        submit_job(spool, cnf, text, dict(DRAT_OPTIONS, timeout=500 + i))
+
+    first = _serve(spool, plan=f"{plan},mark={mark}")
+    assert mark.exists(), f"fault never fired: {first.stdout}\n{first.stderr}"
+    if dies:
+        assert first.returncode != 0
+        recovery = _serve(spool)
+        assert recovery.returncode == 0, recovery.stderr
+    else:
+        assert first.returncode == 0, f"{first.stdout}\n{first.stderr}"
+    _assert_exactly_once(spool, expect_done=2)
+
+
+def test_flipped_proof_job_is_done_but_unverified(drat_artifacts, tmp_path):
+    """A refuted proof is a *verdict*, not a crash: the job lands DONE with
+    verified=False and the failure serialized in the result."""
+    cnf, text, _ = drat_artifacts
+    flipped = tmp_path / "flipped.drat"
+    lines = Path(text).read_text().splitlines()
+    tokens = lines[0].split()
+    tokens[0] = str(-int(tokens[0]))
+    lines[0] = " ".join(tokens)
+    flipped.write_text("\n".join(lines) + "\n")
+
+    spool = tmp_path / "spool"
+    submit_job(spool, cnf, str(flipped), dict(DRAT_OPTIONS))
+    assert CheckDaemon(spool, num_workers=1).run_once() == 0
+    ((job, payload),) = iter_results(spool)
+    assert job.state is JobState.DONE
+    assert payload["report"]["verified"] is False
+    assert payload["report"]["failure"]["kind"] in ("not-rat", "bad-resolution")

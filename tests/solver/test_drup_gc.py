@@ -1,0 +1,71 @@
+"""Solver DRUP output under learned-clause GC: deletions are logged and the
+resulting proof (text or binary) still checks end-to-end.
+
+Deletion lines are not cosmetic — a checker that replays the proof without
+them holds every learned clause forever, so the solver must emit a ``d``
+step for exactly the clauses its reduce pass drops, in either encoding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker import DratChecker, RupChecker
+from repro.proofs import open_proof_writer, read_proof
+from repro.solver import Solver, SolverConfig
+from tests.conftest import pigeonhole
+
+#: Aggressive GC: cap the learned database at 5 clauses so the reduce pass
+#: fires constantly during the PHP refutation.
+GC_CONFIG = dict(seed=0, min_learned_cap=5, max_learned_factor=0.0)
+
+
+def _solve_with_proof(tmp_path, fmt):
+    formula = pigeonhole(7, 6)
+    proof = tmp_path / f"php.{'drat' if fmt == 'binary' else 'drup'}"
+    writer = open_proof_writer(proof, fmt)
+    result = Solver(formula, SolverConfig(**GC_CONFIG), drup_writer=writer).solve()
+    writer.close()
+    assert result.is_unsat
+    return formula, proof
+
+
+@pytest.mark.parametrize("fmt", ["text", "binary"])
+def test_gc_emits_deletions(tmp_path, fmt):
+    _, proof = _solve_with_proof(tmp_path, fmt)
+    doc = read_proof(proof)
+    assert doc.encoding == fmt
+    assert doc.has_empty
+    assert doc.num_deletes > 0, "GC ran but no deletions reached the proof"
+    # Every deleted clause was added first (solver deletions are never bogus).
+    live: list[tuple[int, ...]] = []
+    for kind, literals in doc:
+        key = tuple(sorted(literals))
+        if kind == "add":
+            live.append(key)
+        else:
+            assert key in live, f"deleted clause never added: {literals}"
+            live.remove(key)
+
+
+@pytest.mark.parametrize("fmt", ["text", "binary"])
+def test_gc_proof_checks_with_drat(tmp_path, fmt):
+    formula, proof = _solve_with_proof(tmp_path, fmt)
+    report = DratChecker(formula, proof).check()
+    assert report.verified, report.failure
+    assert report.proof["deletions"] == read_proof(proof).num_deletes
+
+
+def test_gc_proof_checks_with_rup(tmp_path):
+    formula, proof = _solve_with_proof(tmp_path, "text")
+    report = RupChecker(formula, proof).check()
+    assert report.verified, report.failure
+
+
+def test_gc_proof_encodings_agree(tmp_path):
+    """Text and binary runs of the same seeded solve log identical steps."""
+    docs = {}
+    for fmt in ("text", "binary"):
+        _, proof = _solve_with_proof(tmp_path, fmt)
+        docs[fmt] = read_proof(proof).steps
+    assert docs["text"] == docs["binary"]

@@ -1,0 +1,308 @@
+#!/usr/bin/env python
+"""Generate UNSAT instances with DRAT proofs, drat-trim style.
+
+The family is built from variable-disjoint blocks so every property the
+test suite needs is by construction, not by luck:
+
+* **Core blocks** (``--core N``, N >= 2): one guard unit ``(s)`` plus,
+  for each k, fresh vars x_k, c_k and the guarded pair
+  ``(-s v x_k v c_k)``, ``(-s v x_k v -c_k)``; a wide pair
+  ``(-x_1 v ... v -x_N v u)``, ``(-x_1 v ... v -x_N v -u)`` ties the
+  blocks together. The proof derives the unit lemma ``(x_k)`` from each
+  guarded pair (RUP: assuming -x_k, the guard propagates s and the pair
+  yields c_k, -c_k), then the empty clause via the wide pair. Every core
+  lemma is in the empty clause's dependency cone, so backward checking
+  keeps all of them.
+* **Dead blocks** (``--dead N``): pairs ``(p v q)``, ``(p v -q)`` on
+  fresh vars; the derived unit lemma ``(p)`` is never used again —
+  forward checking verifies it, backward checking skips it. This is the
+  realistic shape: solvers learn far more than the refutation needs.
+* **RAT gadgets** (``--rat N``): fresh vars x, b, q, t with clauses
+  ``(-x v b)``, ``(-x v q)``, ``(-b v q)``, ``(x v t)``. The lemma
+  ``(x v -b)`` is *not* RUP (assuming -x, b propagates no conflict) but
+  is RAT on pivot x: the resolvent with ``(-x v b)`` is a tautology and
+  the resolvent with ``(-x v q)``, namely ``(-b v q)``, is RUP. A
+  checker without the RAT fallback must reject these proofs.
+* **Deletions** (``--deletions``): each dead lemma is deleted again right
+  after the next add step, exercising drat-trim deletion semantics.
+
+Single-literal flip robustness — *forward* checking rejects the proof
+with any single literal of any **add** step flipped:
+
+* A flipped core lemma ``(-x_k)`` with k < N is neither RUP (assuming
+  x_k propagates nothing through other blocks; the wide clauses keep at
+  least two free literals) nor RAT (the resolvent ``(-s v c_k)`` with
+  its own guarded pair is not RUP for the same reason).
+* The *last* core lemma is special: flipping it is unavoidably RUP at
+  its own position (denying it reproduces exactly the propagation state
+  of the final empty-clause check). The proof therefore deletes
+  ``(-s v x_N v c_N)`` right after deriving ``(x_N)`` — the flipped
+  lemma satisfies both wide clauses and the surviving half-pair no
+  longer conflicts, so the empty clause fails and the *proof* is still
+  rejected. This is also why every dead/RAT lemma precedes the last core
+  lemma: once the database is UP-refutable, any later step (and any
+  corruption of it) would check out trivially.
+* Flipped dead and RAT-gadget lemmas fail both RUP and RAT inside their
+  own variable-disjoint block.
+
+Backward checking skips dead lemmas by design (drat-trim's -b does the
+same), so it accepts a flip of a lemma outside the core while still
+rejecting every core flip; the flip matrix asserts exactly that split.
+
+Also provides byte-level corruption modes (``corruptions()``) for the
+malformed-proof matrix: truncated varints, missing terminators, bogus
+tags, a dropped empty clause.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.proofs.parser import open_proof_writer  # noqa: E402
+
+
+@dataclass
+class DratInstance:
+    """One generated instance: DIMACS clauses plus the proof's steps."""
+
+    num_vars: int
+    clauses: list[list[int]] = field(default_factory=list)
+    # ("add" | "delete", literals); the final ("add", []) is the empty clause.
+    steps: list[tuple[str, list[int]]] = field(default_factory=list)
+    core_lemmas: int = 0
+    dead_lemmas: int = 0
+    rat_lemmas: int = 0
+    # Ordinals (among non-empty add steps, 0-based) of the core lemmas —
+    # the ones backward checking must keep and whose flips it must reject.
+    core_ordinals: list[int] = field(default_factory=list)
+
+    @property
+    def num_adds(self) -> int:
+        return sum(1 for kind, lits in self.steps if kind == "add" and lits)
+
+    def write_cnf(self, path: str | Path) -> None:
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(f"c gen_drat instance: core={self.core_lemmas} "
+                         f"dead={self.dead_lemmas} rat={self.rat_lemmas}\n")
+            handle.write(f"p cnf {self.num_vars} {len(self.clauses)}\n")
+            for clause in self.clauses:
+                handle.write(" ".join(map(str, clause)) + " 0\n")
+
+    def write_proof(self, path: str | Path, fmt: str = "text") -> None:
+        with open_proof_writer(path, fmt) as writer:
+            for kind, literals in self.steps:
+                if kind == "delete":
+                    writer.delete_clause(literals)
+                elif literals:
+                    writer.add_clause(literals)
+                else:
+                    writer.finish_unsat()
+
+
+def generate(
+    core: int = 4, dead: int = 8, rat: int = 2, deletions: bool = False
+) -> DratInstance:
+    """Build one instance; fully deterministic in its arguments."""
+    if core < 2:
+        raise ValueError("need at least 2 core blocks for flip robustness")
+    inst = DratInstance(num_vars=0)
+    next_var = 1
+
+    def fresh() -> int:
+        nonlocal next_var
+        var = next_var
+        next_var += 1
+        return var
+
+    guard = fresh()
+    inst.clauses.append([guard])
+    core_vars = []
+    core_pairs = []
+    for _ in range(core):
+        x, c = fresh(), fresh()
+        core_vars.append(x)
+        core_pairs.append(([-guard, x, c], [-guard, x, -c]))
+        inst.clauses += core_pairs[-1]
+    u = fresh()
+    inst.clauses.append([-x for x in core_vars] + [u])
+    inst.clauses.append([-x for x in core_vars] + [-u])
+
+    dead_steps: list[tuple[str, list[int]]] = []
+    for _ in range(dead):
+        p, q = fresh(), fresh()
+        inst.clauses += [[p, q], [p, -q]]
+        dead_steps.append(("add", [p]))
+        if deletions:
+            dead_steps.append(("delete", [p]))
+
+    rat_steps: list[tuple[str, list[int]]] = []
+    for _ in range(rat):
+        x, b, q, t = fresh(), fresh(), fresh(), fresh()
+        inst.clauses += [[-x, b], [-x, q], [-b, q], [x, t]]
+        rat_steps.append(("add", [x, -b]))
+
+    # Interleave: RAT lemmas first, dead lemmas between the core lemmas
+    # (so the backward pass genuinely walks past skippable work), and the
+    # last core lemma strictly last — once it lands the database is
+    # UP-refutable and any later lemma's flip would check out trivially.
+    steps: list[tuple[str, list[int]]] = []
+    steps += rat_steps
+    per_core = max(1, len(dead_steps) // core) if dead_steps else 0
+    cursor = 0
+    core_ordinals: list[int] = []
+
+    def adds_so_far() -> int:
+        return sum(1 for kind, lits in steps if kind == "add" and lits)
+
+    for x in core_vars[:-1]:
+        steps += dead_steps[cursor:cursor + per_core]
+        cursor += per_core
+        core_ordinals.append(adds_so_far())
+        steps.append(("add", [x]))
+    steps += dead_steps[cursor:]
+    core_ordinals.append(adds_so_far())
+    steps.append(("add", [core_vars[-1]]))
+    # Disarm the last block's refutation of {s, -x_N}: with the half-pair
+    # gone, a flipped final lemma no longer re-creates a conflict at the
+    # empty-clause step (see module docstring).
+    steps.append(("delete", core_pairs[-1][0]))
+    steps.append(("add", []))
+
+    inst.steps = steps
+    inst.num_vars = next_var - 1
+    inst.core_lemmas = core
+    inst.dead_lemmas = dead
+    inst.rat_lemmas = rat
+    inst.core_ordinals = core_ordinals
+    return inst
+
+
+# -- corruption modes ----------------------------------------------------------
+
+
+def _flip_first_literal(data: bytes, fmt: str) -> bytes:
+    if fmt == "text":
+        lines = data.decode("ascii").splitlines(keepends=True)
+        for i, line in enumerate(lines):
+            tokens = line.split()
+            if tokens and tokens[0] not in ("d", "c", "0"):
+                tokens[0] = str(-int(tokens[0]))
+                lines[i] = " ".join(tokens) + "\n"
+                return "".join(lines).encode("ascii")
+        return data
+    # Binary: the first step's first literal varint follows the tag. A
+    # single-byte varint flips sign by toggling the low bit.
+    out = bytearray(data)
+    if len(out) >= 2 and not out[1] & 0x80 and out[1] > 1:
+        out[1] ^= 1
+        return bytes(out)
+    return bytes(out)
+
+
+def _drop_terminator(data: bytes, fmt: str) -> bytes:
+    if fmt == "text":
+        text = data.decode("ascii")
+        # Remove the final "0" terminator of the first add line.
+        return text.replace(" 0\n", " \n", 1).encode("ascii")
+    # Binary: strip the trailing 0x00 of the last step.
+    return data[:-1]
+
+
+def _bogus_tag(data: bytes, fmt: str) -> bytes:
+    if fmt == "text":
+        return b"x 1 2 0\n" + data
+    return bytes([0x62]) + data  # 'b' is neither 'a' nor 'd'
+
+
+def _truncate_varint(data: bytes, fmt: str) -> bytes:
+    # The checker stops at the empty clause (drat-trim does too), so the
+    # truncation must replace it, not follow it.
+    if fmt == "text":
+        text = data.decode("ascii")
+        # Swap the final empty clause for an unterminated clause line.
+        return text.replace("\n0\n", "\n99 7").encode("ascii")
+    # Binary: swap the empty step for one whose literal varint promises a
+    # continuation byte that never comes.
+    return data[:-2] + bytes([0x61, 0x80])
+
+
+def _drop_empty_clause(data: bytes, fmt: str) -> bytes:
+    # Dropping only the trailing empty clause is not enough: the checker
+    # accepts an implicit empty clause when the final database conflicts
+    # (drat-trim does too). Drop the last lemma as well, so propagation
+    # at end-of-proof finds no conflict and the verdict is "not-empty".
+    if fmt == "text":
+        lines = data.decode("ascii").splitlines()
+        lines.remove("0")
+        adds = [i for i, line in enumerate(lines) if not line.startswith("d ")]
+        del lines[adds[-1]]
+        return ("\n".join(lines) + "\n").encode("ascii")
+    # Binary: literal 0 never appears inside a step, so every 0x00 byte
+    # is a step terminator; the final empty clause is the trailing "a 0".
+    steps = data[:-2].rstrip(bytes([0x00])).split(bytes([0x00]))
+    adds = [i for i, step in enumerate(steps) if step[:1] == bytes([0x61])]
+    del steps[adds[-1]]
+    return bytes([0x00]).join(steps) + bytes([0x00])
+
+
+#: name -> corruption function (proof bytes, fmt) -> corrupted bytes.
+#: Every corrupted proof must be rejected by the DRAT checker — either as
+#: MALFORMED_PROOF, a failed RUP/RAT check, or NOT_EMPTY.
+CORRUPTIONS = {
+    "flip-literal": _flip_first_literal,
+    "drop-terminator": _drop_terminator,
+    "bogus-tag": _bogus_tag,
+    "truncate-varint": _truncate_varint,
+    "drop-empty": _drop_empty_clause,
+}
+
+
+def corruptions(proof_path: str | Path, fmt: str):
+    """Yield (name, corrupted_bytes) for every corruption mode."""
+    data = Path(proof_path).read_bytes()
+    for name, corrupt in CORRUPTIONS.items():
+        yield name, corrupt(data, fmt)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gen_drat", description="generate an UNSAT instance + DRAT proof"
+    )
+    parser.add_argument("cnf", help="write the DIMACS file here")
+    parser.add_argument("proof", help="write the DRAT proof here")
+    parser.add_argument("--core", type=int, default=4,
+                        help="core blocks the refutation needs (default 4)")
+    parser.add_argument("--dead", type=int, default=8,
+                        help="dead lemmas backward checking skips (default 8)")
+    parser.add_argument("--rat", type=int, default=2,
+                        help="genuine (non-RUP) RAT lemmas (default 2)")
+    parser.add_argument("--format", default="text", choices=["text", "binary"])
+    parser.add_argument("--deletions", action="store_true",
+                        help="delete each dead lemma after the next add step")
+    parser.add_argument("--corrupt", default=None, choices=sorted(CORRUPTIONS),
+                        help="apply one corruption mode to the proof bytes")
+    args = parser.parse_args(argv)
+
+    inst = generate(core=args.core, dead=args.dead, rat=args.rat,
+                    deletions=args.deletions)
+    inst.write_cnf(args.cnf)
+    inst.write_proof(args.proof, args.format)
+    if args.corrupt:
+        data = dict(corruptions(args.proof, args.format))[args.corrupt]
+        Path(args.proof).write_bytes(data)
+    print(f"vars={inst.num_vars} clauses={len(inst.clauses)} "
+          f"adds={inst.num_adds} (core={inst.core_lemmas} "
+          f"dead={inst.dead_lemmas} rat={inst.rat_lemmas}) "
+          f"format={args.format}"
+          + (f" corrupt={args.corrupt}" if args.corrupt else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
